@@ -1,0 +1,138 @@
+// Shared support for the experiment harness binaries (E1..E12).
+//
+// Each bench binary regenerates one table/figure of the reconstructed
+// evaluation (see DESIGN.md): it prints a header naming the experiment,
+// then an aligned table whose rows are the series the paper class
+// reports. Cost is reported both hardware-independently (distance
+// evaluations, nodes visited) and as wall-clock microseconds.
+
+#ifndef CBIX_BENCH_BENCH_COMMON_H_
+#define CBIX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/vector_workload.h"
+#include "index/index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+
+/// Minimal fixed-width table printer: column widths are taken from the
+/// header cells (minimum 10 chars).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      widths_.push_back(h.size() + 2 < 14 ? 14 : h.size() + 2);
+    }
+  }
+
+  void PrintHeader() const {
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(widths_[i]), headers_[i].c_str());
+    }
+    std::printf("\n");
+    size_t total = 0;
+    for (size_t w : widths_) total += w;
+    for (size_t i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(widths_[i]), cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+};
+
+inline std::string Fmt(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t value) { return std::to_string(value); }
+
+inline void PrintExperimentHeader(const std::string& id,
+                                  const std::string& title,
+                                  const std::string& workload) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("workload: %s\n", workload.c_str());
+  std::printf("==============================================================================\n");
+}
+
+/// Aggregate cost of running `queries` as k-NN searches against `index`.
+struct QueryCost {
+  double mean_distance_evals = 0.0;
+  double mean_nodes_visited = 0.0;
+  double mean_micros = 0.0;
+  double evals_fraction = 0.0;  ///< mean evals / index size
+};
+
+inline QueryCost MeasureKnn(const VectorIndex& index,
+                            const std::vector<Vec>& queries, size_t k) {
+  QueryCost cost;
+  if (queries.empty() || index.size() == 0) return cost;
+  Timer timer;
+  SearchStats total;
+  for (const Vec& q : queries) {
+    index.KnnSearch(q, k, &total);
+  }
+  const double n = static_cast<double>(queries.size());
+  cost.mean_micros = static_cast<double>(timer.ElapsedMicros()) / n;
+  cost.mean_distance_evals = static_cast<double>(total.distance_evals) / n;
+  cost.mean_nodes_visited = static_cast<double>(total.nodes_visited) / n;
+  cost.evals_fraction =
+      cost.mean_distance_evals / static_cast<double>(index.size());
+  return cost;
+}
+
+inline QueryCost MeasureRange(const VectorIndex& index,
+                              const std::vector<Vec>& queries,
+                              double radius, double* mean_hits = nullptr) {
+  QueryCost cost;
+  if (queries.empty() || index.size() == 0) return cost;
+  Timer timer;
+  SearchStats total;
+  size_t hits = 0;
+  for (const Vec& q : queries) {
+    hits += index.RangeSearch(q, radius, &total).size();
+  }
+  const double n = static_cast<double>(queries.size());
+  cost.mean_micros = static_cast<double>(timer.ElapsedMicros()) / n;
+  cost.mean_distance_evals = static_cast<double>(total.distance_evals) / n;
+  cost.mean_nodes_visited = static_cast<double>(total.nodes_visited) / n;
+  cost.evals_fraction =
+      cost.mean_distance_evals / static_cast<double>(index.size());
+  if (mean_hits != nullptr) *mean_hits = static_cast<double>(hits) / n;
+  return cost;
+}
+
+/// Standard clustered workload used by the index experiments.
+inline VectorWorkloadSpec StandardWorkload(size_t count, size_t dim,
+                                           uint64_t seed = 7) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = count;
+  spec.dim = dim;
+  spec.num_clusters = 32;
+  spec.cluster_sigma = 0.05;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace cbix::bench
+
+#endif  // CBIX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,77 @@
+// E11 — Table "similarity measure comparison".
+//
+// Same features, different distances: bin-wise L2 punishes small
+// quantization shifts; L1/intersection are the robust histogram
+// defaults; chi-square weights rare bins up; the quadratic form adds
+// perceptual cross-bin similarity at O(d^2) cost.
+
+#include <memory>
+
+#include "bench/bench_quality.h"
+#include "distance/histogram_measures.h"
+#include "distance/minkowski.h"
+#include "distance/quadratic_form.h"
+#include "features/color_histogram.h"
+#include "image/color.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E11", "similarity measure comparison on colour histograms",
+      "labelled synthetic corpus (10x20, 96x96), RGB 4^3 = 64-bin "
+      "histogram, leave-one-out");
+
+  const auto corpus = CorpusGenerator(QualityCorpusSpec()).Generate();
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(4);
+  FeatureExtractor extractor(96, 96);
+  extractor.Add(std::make_shared<ColorHistogramDescriptor>(quantizer), 1.0f);
+
+  const QuadraticFormDistance qf = MakeColorQuadraticForm(*quantizer, 4.0);
+  const std::vector<std::pair<std::string, const DistanceMetric*>> measures =
+      [] {
+        static const L1Distance l1;
+        static const L2Distance l2;
+        static const LInfDistance linf;
+        static const HistogramIntersectionDistance hist_intersect;
+        static const ChiSquareDistance chi_square;
+        static const HellingerDistance hellinger;
+        static const CosineDistance cosine;
+        return std::vector<std::pair<std::string, const DistanceMetric*>>{
+            {"l1", &l1},
+            {"l2", &l2},
+            {"linf", &linf},
+            {"hist_intersect", &hist_intersect},
+            {"chi_square", &chi_square},
+            {"hellinger", &hellinger},
+            {"cosine", &cosine},
+        };
+      }();
+
+  TablePrinter table({"measure", "metric?", "P@5", "P@10", "mAP", "ANR"});
+  table.PrintHeader();
+  for (const auto& [name, metric] : measures) {
+    const QualityResult q = EvaluateQuality(corpus, extractor, *metric);
+    table.PrintRow({name, metric->is_metric() ? "yes" : "no",
+                    Fmt(q.p_at_5, 3), Fmt(q.p_at_10, 3), Fmt(q.map, 3),
+                    Fmt(q.anr, 3)});
+  }
+  {
+    const QualityResult q = EvaluateQuality(corpus, extractor, qf);
+    table.PrintRow({"quadratic_form", "yes", Fmt(q.p_at_5, 3),
+                    Fmt(q.p_at_10, 3), Fmt(q.map, 3), Fmt(q.anr, 3)});
+  }
+  std::printf(
+      "\nExpected shape: L1 / intersection / chi-square / hellinger beat\n"
+      "bin-wise L2 and Linf on histograms; the quadratic form is\n"
+      "competitive with the robust group.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

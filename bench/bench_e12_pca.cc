@@ -1,0 +1,97 @@
+// E12 — Figure "PCA-reduced dimensionality".
+//
+// The dimensionality-reduction companion to E2: project the combined
+// feature vectors onto their top-k principal components and track
+// retrieval quality against index search cost. A steep variance
+// spectrum means most quality survives aggressive reduction while the
+// index recovers its pruning power.
+
+#include <memory>
+
+#include "bench/bench_quality.h"
+#include "distance/minkowski.h"
+#include "features/pca.h"
+#include "index/vp_tree.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E12", "PCA dimensionality reduction of the combined features",
+      "labelled synthetic corpus (10x20, 96x96), default extractor, L2; "
+      "quality via leave-one-out on projected vectors; index cost on a "
+      "VP-tree (m=4, 10-NN)");
+
+  const auto corpus = CorpusGenerator(QualityCorpusSpec()).Generate();
+  const FeatureExtractor extractor = MakeDefaultExtractor(96);
+  std::vector<Vec> features;
+  features.reserve(corpus.size());
+  for (const auto& item : corpus) {
+    features.push_back(extractor.Extract(item.image));
+  }
+
+  Pca pca;
+  CBIX_CHECK(pca.Fit(features).ok());
+
+  const L2Distance l2;
+  const size_t full_dim = extractor.dim();
+
+  TablePrinter table({"dim", "explained_var", "P@10", "mAP", "index_frac",
+                      "us/query"});
+  table.PrintHeader();
+
+  auto evaluate = [&](const std::vector<Vec>& vectors, size_t dim,
+                      double explained) {
+    // Leave-one-out quality on the projected vectors.
+    RetrievalQualityAccumulator acc;
+    for (size_t qi = 0; qi < vectors.size(); ++qi) {
+      std::vector<Neighbor> ranked;
+      for (size_t j = 0; j < vectors.size(); ++j) {
+        if (j == qi) continue;
+        ranked.push_back({static_cast<uint32_t>(j),
+                          l2.Distance(vectors[qi], vectors[j])});
+      }
+      std::sort(ranked.begin(), ranked.end());
+      std::vector<int32_t> labels;
+      for (const auto& n : ranked) labels.push_back(corpus[n.id].class_id);
+      acc.AddQuery(labels, corpus[qi].class_id, 19, 10);
+    }
+
+    VpTreeOptions options;
+    options.arity = 4;
+    options.leaf_size = 8;
+    VpTree tree(std::make_shared<L2Distance>(), options);
+    CBIX_CHECK(tree.Build(vectors).ok());
+    const QueryCost cost = MeasureKnn(tree, vectors, 10);
+
+    table.PrintRow({FmtInt(dim), Fmt(explained, 3),
+                    Fmt(acc.MeanPrecisionAtK(), 3),
+                    Fmt(acc.MeanAveragePrecision(), 3),
+                    Fmt(cost.evals_fraction, 3),
+                    Fmt(cost.mean_micros, 1)});
+  };
+
+  for (size_t k : {2, 4, 8, 16, 32, 64}) {
+    if (k > full_dim) continue;
+    std::vector<Vec> projected;
+    projected.reserve(features.size());
+    for (const Vec& f : features) projected.push_back(pca.Project(f, k));
+    evaluate(projected, k, pca.ExplainedVariance(k));
+  }
+  evaluate(features, full_dim, 1.0);
+
+  std::printf(
+      "\nExpected shape: quality saturates once explained variance passes\n"
+      "~0.9 while per-distance cost and the index evaluation fraction\n"
+      "keep dropping with dimension — PCA trades little recall for large\n"
+      "search savings.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

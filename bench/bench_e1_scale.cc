@@ -1,0 +1,81 @@
+// E1 — Figure "search cost vs collection size".
+//
+// The headline claim of the paper class: an index answers nearest-
+// neighbour queries with a number of distance computations that grows
+// sub-linearly in the collection size, so its advantage over sequential
+// scan *widens* as the collection grows.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/m_tree.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+
+namespace cbix::bench {
+namespace {
+
+std::vector<std::pair<std::string, std::unique_ptr<VectorIndex>>>
+MakeIndexes() {
+  std::vector<std::pair<std::string, std::unique_ptr<VectorIndex>>> out;
+  out.emplace_back("linear_scan", std::make_unique<LinearScanIndex>(
+                                      MakeMinkowskiMetric(MinkowskiKind::kL2)));
+  VpTreeOptions vp2;
+  vp2.arity = 2;
+  out.emplace_back("vp_tree(m=2)",
+                   std::make_unique<VpTree>(
+                       MakeMinkowskiMetric(MinkowskiKind::kL2), vp2));
+  VpTreeOptions vp4;
+  vp4.arity = 4;
+  out.emplace_back("vp_tree(m=4)",
+                   std::make_unique<VpTree>(
+                       MakeMinkowskiMetric(MinkowskiKind::kL2), vp4));
+  out.emplace_back("kd_tree", std::make_unique<KdTree>(KdTreeOptions{}));
+  out.emplace_back("rtree(str)", std::make_unique<RTree>(RTreeOptions{}));
+  out.emplace_back("m_tree", std::make_unique<MTree>(
+                                 MakeMinkowskiMetric(MinkowskiKind::kL2)));
+  return out;
+}
+
+void Run() {
+  PrintExperimentHeader(
+      "E1", "k-NN search cost vs collection size (10-NN, d=16)",
+      "clustered Gaussian vectors, 32 clusters, sigma=0.05, 50 queries "
+      "(perturbed data points)");
+
+  TablePrinter table({"N", "index", "dist_evals", "frac_of_N", "nodes",
+                      "us/query", "speedup_vs_scan"});
+  table.PrintHeader();
+
+  for (size_t n : {1000, 2000, 4000, 8000, 16000, 32000, 64000}) {
+    const auto spec = StandardWorkload(n, 16);
+    const auto data = GenerateVectors(spec);
+    const auto queries =
+        GenerateQueries(spec, data, QueryMode::kPerturbedData, 50, 0.02);
+
+    double scan_evals = 0.0;
+    for (auto& [name, index] : MakeIndexes()) {
+      CBIX_CHECK(index->Build(data).ok());
+      const QueryCost cost = MeasureKnn(*index, queries, 10);
+      if (name == "linear_scan") scan_evals = cost.mean_distance_evals;
+      table.PrintRow({FmtInt(n), name, Fmt(cost.mean_distance_evals, 0),
+                      Fmt(cost.evals_fraction, 3),
+                      Fmt(cost.mean_nodes_visited, 0),
+                      Fmt(cost.mean_micros, 1),
+                      Fmt(scan_evals / cost.mean_distance_evals, 2)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: index evals grow sublinearly; speedup over the\n"
+      "scan widens with N; vp_tree and kd_tree lead on clustered data.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

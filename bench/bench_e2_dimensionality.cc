@@ -1,0 +1,68 @@
+// E2 — Figure "search cost vs feature dimensionality".
+//
+// The curse of dimensionality: pruning power of every index decays as
+// dimensionality grows; past some d the index approaches the scan. This
+// is why the paper class pairs indexing with compact (or PCA-reduced)
+// feature vectors.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E2", "k-NN search cost vs dimensionality (N=10000, 10-NN)",
+      "clustered Gaussian vectors, 40 queries, cost = fraction of the "
+      "database evaluated");
+
+  TablePrinter table(
+      {"dim", "vp_tree(m=4)", "kd_tree", "rtree(str)", "linear_scan"});
+  table.PrintHeader();
+
+  for (size_t dim : {2, 4, 8, 16, 32, 64}) {
+    const auto spec = StandardWorkload(10000, dim);
+    const auto data = GenerateVectors(spec);
+    const auto queries =
+        GenerateQueries(spec, data, QueryMode::kPerturbedData, 40, 0.02);
+
+    std::vector<std::string> row{FmtInt(dim)};
+
+    VpTreeOptions vp;
+    vp.arity = 4;
+    VpTree vp_tree(MakeMinkowskiMetric(MinkowskiKind::kL2), vp);
+    CBIX_CHECK(vp_tree.Build(data).ok());
+    row.push_back(Fmt(MeasureKnn(vp_tree, queries, 10).evals_fraction, 3));
+
+    KdTree kd((KdTreeOptions()));
+    CBIX_CHECK(kd.Build(data).ok());
+    row.push_back(Fmt(MeasureKnn(kd, queries, 10).evals_fraction, 3));
+
+    RTree rtree((RTreeOptions()));
+    CBIX_CHECK(rtree.Build(data).ok());
+    row.push_back(Fmt(MeasureKnn(rtree, queries, 10).evals_fraction, 3));
+
+    LinearScanIndex scan(MakeMinkowskiMetric(MinkowskiKind::kL2));
+    CBIX_CHECK(scan.Build(data).ok());
+    row.push_back(Fmt(MeasureKnn(scan, queries, 10).evals_fraction, 3));
+
+    table.PrintRow(row);
+  }
+  std::printf(
+      "\nExpected shape: all indexes cheap at low d; fractions rise toward\n"
+      "1.0 (scan parity) as d grows — the curse of dimensionality.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E3 — Figure "VP-tree fan-out (arity) sweep".
+//
+// The m-way quantile split is the structural knob of the VP-tree:
+// higher arity gives shallower trees and fewer vantage evaluations per
+// path, but coarser annuli that prune less selectively. The sweet spot
+// is a moderate arity.
+
+#include "bench/bench_common.h"
+#include "index/kd_tree.h"
+#include "index/vp_tree.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E3", "VP-tree arity sweep (N=20000, d=16, 10-NN)",
+      "clustered Gaussian vectors, 50 queries; build cost in distance "
+      "evaluations");
+
+  TablePrinter table({"arity", "depth", "internal", "leaves", "build_evals",
+                      "query_evals", "us/query"});
+  table.PrintHeader();
+
+  const auto spec = StandardWorkload(20000, 16);
+  const auto data = GenerateVectors(spec);
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 50, 0.02);
+
+  for (int arity : {2, 3, 4, 6, 8, 12, 16}) {
+    VpTreeOptions options;
+    options.arity = arity;
+    options.leaf_size = 16;
+    VpTree tree(MakeMinkowskiMetric(MinkowskiKind::kL2), options);
+    CBIX_CHECK(tree.Build(data).ok());
+    const auto shape = tree.Shape();
+    const QueryCost cost = MeasureKnn(tree, queries, 10);
+    table.PrintRow({FmtInt(arity), FmtInt(shape.max_depth),
+                    FmtInt(shape.internal_nodes), FmtInt(shape.leaf_nodes),
+                    FmtInt(tree.build_distance_evals()),
+                    Fmt(cost.mean_distance_evals, 0),
+                    Fmt(cost.mean_micros, 1)});
+  }
+  std::printf(
+      "\nExpected shape: depth falls with arity; query evals are minimized\n"
+      "at a moderate arity (2-4) and rise again for very wide nodes.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

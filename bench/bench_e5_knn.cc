@@ -1,0 +1,59 @@
+// E5 — Figure "k-NN cost vs k".
+//
+// The branch-and-bound ball radius tau equals the current k-th best
+// distance, so larger k means a looser bound for longer and less
+// pruning. The figure quantifies how gracefully each index degrades.
+
+#include "bench/bench_common.h"
+#include "index/kd_tree.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E5", "k-NN search cost vs k (N=20000, d=16)",
+      "clustered Gaussian vectors, 40 queries; cost = fraction of the "
+      "database evaluated");
+
+  const auto spec = StandardWorkload(20000, 16);
+  const auto data = GenerateVectors(spec);
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 40, 0.02);
+
+  VpTreeOptions vp_options;
+  vp_options.arity = 4;
+  VpTree vp(MakeMinkowskiMetric(MinkowskiKind::kL2), vp_options);
+  CBIX_CHECK(vp.Build(data).ok());
+  KdTree kd((KdTreeOptions()));
+  CBIX_CHECK(kd.Build(data).ok());
+  RTree rtree((RTreeOptions()));
+  CBIX_CHECK(rtree.Build(data).ok());
+
+  TablePrinter table({"k", "vp_frac", "kd_frac", "rtree_frac",
+                      "vp_us", "kd_us", "rtree_us"});
+  table.PrintHeader();
+
+  for (size_t k : {1, 2, 5, 10, 20, 50, 100}) {
+    const QueryCost vc = MeasureKnn(vp, queries, k);
+    const QueryCost kc = MeasureKnn(kd, queries, k);
+    const QueryCost rc = MeasureKnn(rtree, queries, k);
+    table.PrintRow({FmtInt(k), Fmt(vc.evals_fraction, 3),
+                    Fmt(kc.evals_fraction, 3), Fmt(rc.evals_fraction, 3),
+                    Fmt(vc.mean_micros, 1), Fmt(kc.mean_micros, 1),
+                    Fmt(rc.mean_micros, 1)});
+  }
+  std::printf(
+      "\nExpected shape: cost grows slowly (sub-linearly) with k for all\n"
+      "indexes; ordering between indexes is stable across k.\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

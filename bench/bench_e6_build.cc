@@ -1,0 +1,115 @@
+// E6 — Table "index construction cost and memory".
+//
+// Build-time economics of the structures: the scan is free to build,
+// trees pay O(N log N) construction (distance evaluations for the
+// VP-tree, comparisons for KD/R-trees) plus node memory overhead.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/m_tree.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+void Run() {
+  PrintExperimentHeader(
+      "E6", "index build cost & memory (d=16)",
+      "clustered Gaussian vectors; build wall-clock, VP-tree build "
+      "distance evaluations, resident bytes per vector");
+
+  TablePrinter table({"N", "index", "build_ms", "build_evals",
+                      "bytes/vec", "overhead_vs_scan"});
+  table.PrintHeader();
+
+  for (size_t n : {4000, 16000, 64000}) {
+    const auto spec = StandardWorkload(n, 16);
+    const auto data = GenerateVectors(spec);
+
+    size_t scan_bytes = 0;
+    {
+      LinearScanIndex scan(MakeMinkowskiMetric(MinkowskiKind::kL2));
+      Timer timer;
+      CBIX_CHECK(scan.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      scan_bytes = scan.MemoryBytes();
+      table.PrintRow({FmtInt(n), "linear_scan", Fmt(ms, 1), "0",
+                      Fmt(static_cast<double>(scan_bytes) / n, 0),
+                      "1.00"});
+    }
+    {
+      VpTreeOptions o;
+      o.arity = 4;
+      VpTree vp(MakeMinkowskiMetric(MinkowskiKind::kL2), o);
+      Timer timer;
+      CBIX_CHECK(vp.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      table.PrintRow(
+          {FmtInt(n), "vp_tree(m=4)", Fmt(ms, 1),
+           FmtInt(vp.build_distance_evals()),
+           Fmt(static_cast<double>(vp.MemoryBytes()) / n, 0),
+           Fmt(static_cast<double>(vp.MemoryBytes()) / scan_bytes, 2)});
+    }
+    {
+      KdTree kd((KdTreeOptions()));
+      Timer timer;
+      CBIX_CHECK(kd.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      table.PrintRow(
+          {FmtInt(n), "kd_tree", Fmt(ms, 1), "0",
+           Fmt(static_cast<double>(kd.MemoryBytes()) / n, 0),
+           Fmt(static_cast<double>(kd.MemoryBytes()) / scan_bytes, 2)});
+    }
+    {
+      RTree rtree((RTreeOptions()));
+      Timer timer;
+      CBIX_CHECK(rtree.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      table.PrintRow(
+          {FmtInt(n), "rtree(str)", Fmt(ms, 1), "0",
+           Fmt(static_cast<double>(rtree.MemoryBytes()) / n, 0),
+           Fmt(static_cast<double>(rtree.MemoryBytes()) / scan_bytes, 2)});
+    }
+    {
+      RTreeOptions dyn;
+      dyn.bulk_load = false;
+      RTree rtree(dyn);
+      Timer timer;
+      CBIX_CHECK(rtree.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      table.PrintRow(
+          {FmtInt(n), "rtree(dyn)", Fmt(ms, 1), "0",
+           Fmt(static_cast<double>(rtree.MemoryBytes()) / n, 0),
+           Fmt(static_cast<double>(rtree.MemoryBytes()) / scan_bytes, 2)});
+    }
+    {
+      MTree mtree(MakeMinkowskiMetric(MinkowskiKind::kL2));
+      Timer timer;
+      CBIX_CHECK(mtree.Build(data).ok());
+      const double ms = timer.ElapsedSeconds() * 1e3;
+      table.PrintRow(
+          {FmtInt(n), "m_tree(dyn)", Fmt(ms, 1),
+           FmtInt(mtree.build_distance_evals()),
+           Fmt(static_cast<double>(mtree.MemoryBytes()) / n, 0),
+           Fmt(static_cast<double>(mtree.MemoryBytes()) / scan_bytes, 2)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: scan builds instantly; tree build times scale\n"
+      "O(N log N); dynamic R-tree insertion is the most expensive build;\n"
+      "vp/kd overhead stays under ~1.2x while the R-tree pays ~2.7x for\n"
+      "its per-entry bounding rectangles (2 * d floats each).\n");
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main() {
+  cbix::bench::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E9 — Table "feature extraction throughput".
+//
+// Google-benchmark microbenchmarks of every standard descriptor plus
+// the combined default pipeline, on 128x128 and 256x256 inputs. These
+// are the per-image insertion costs of the CBIR system.
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/corpus.h"
+#include "features/extractor.h"
+#include "util/logging.h"
+
+namespace cbix {
+namespace {
+
+ImageU8 BenchImage(int size) {
+  CorpusSpec spec;
+  spec.num_classes = 7;
+  spec.images_per_class = 1;
+  spec.width = size;
+  spec.height = size;
+  spec.seed = 99;
+  // Class 3 = noise texture: the most demanding archetype for most
+  // descriptors (no flat regions).
+  return CorpusGenerator(spec).MakeInstance(3, 0).image;
+}
+
+void BM_Descriptor(benchmark::State& state, const std::string& name,
+                   int image_size) {
+  const auto extractor = MakeSingleDescriptorExtractor(name, image_size);
+  CBIX_CHECK(extractor.ok());
+  const ImageU8 image = BenchImage(image_size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->Extract(image));
+  }
+  state.SetLabel(name + " dim=" + std::to_string(extractor->dim()));
+}
+
+void BM_DefaultPipeline(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const FeatureExtractor extractor = MakeDefaultExtractor(size);
+  const ImageU8 image = BenchImage(size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(image));
+  }
+  state.SetLabel("combined dim=" + std::to_string(extractor.dim()));
+}
+
+void RegisterAll() {
+  for (const std::string& name : StandardDescriptorNames()) {
+    for (int size : {128, 256}) {
+      benchmark::RegisterBenchmark(
+          ("E9/extract/" + name + "/" + std::to_string(size)).c_str(),
+          [name, size](benchmark::State& state) {
+            BM_Descriptor(state, name, size);
+          })
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+BENCHMARK(BM_DefaultPipeline)
+    ->Name("E9/extract/combined")
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cbix
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E9 — feature extraction throughput (per-image insertion cost)\n");
+  cbix::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

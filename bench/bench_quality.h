@@ -1,0 +1,90 @@
+// Shared retrieval-quality harness for the corpus experiments
+// (E7, E10, E11, E12): extract features for a labelled synthetic
+// corpus, rank the whole database for every query image
+// (leave-one-out), and aggregate precision/recall metrics.
+
+#ifndef CBIX_BENCH_BENCH_QUALITY_H_
+#define CBIX_BENCH_BENCH_QUALITY_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/retrieval_metrics.h"
+#include "corpus/corpus.h"
+#include "distance/metric.h"
+#include "features/extractor.h"
+#include "index/linear_scan.h"
+
+namespace cbix::bench {
+
+/// The default corpus for quality experiments: 10 classes x 20 images.
+inline CorpusSpec QualityCorpusSpec() {
+  CorpusSpec spec;
+  spec.num_classes = 10;
+  spec.images_per_class = 20;
+  spec.width = 96;
+  spec.height = 96;
+  spec.seed = 2024;
+  return spec;
+}
+
+struct QualityResult {
+  double p_at_5 = 0.0;
+  double p_at_10 = 0.0;
+  double map = 0.0;
+  double anr = 0.0;  ///< average normalized rank (0 = perfect)
+  double extraction_ms_per_image = 0.0;
+};
+
+/// Extracts features for every corpus image with `extractor`, then runs
+/// every image as a leave-one-out query ranked with `metric`.
+inline QualityResult EvaluateQuality(
+    const std::vector<LabeledImage>& corpus,
+    const FeatureExtractor& extractor, const DistanceMetric& metric) {
+  QualityResult result;
+  Timer extraction_timer;
+  std::vector<Vec> features;
+  features.reserve(corpus.size());
+  for (const auto& item : corpus) {
+    features.push_back(extractor.Extract(item.image));
+  }
+  result.extraction_ms_per_image = extraction_timer.ElapsedSeconds() * 1e3 /
+                                   static_cast<double>(corpus.size());
+
+  // Per-class relevant count (excluding the query itself).
+  const size_t per_class =
+      corpus.empty() ? 0 : static_cast<size_t>(
+          std::count_if(corpus.begin(), corpus.end(),
+                        [&corpus](const LabeledImage& x) {
+                          return x.class_id == corpus[0].class_id;
+                        }));
+
+  RetrievalQualityAccumulator acc5, acc10;
+  for (size_t qi = 0; qi < corpus.size(); ++qi) {
+    // Full ranking by distance.
+    std::vector<Neighbor> ranked;
+    ranked.reserve(corpus.size() - 1);
+    for (size_t j = 0; j < corpus.size(); ++j) {
+      if (j == qi) continue;
+      ranked.push_back({static_cast<uint32_t>(j),
+                        metric.Distance(features[qi], features[j])});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<int32_t> labels;
+    labels.reserve(ranked.size());
+    for (const auto& n : ranked) labels.push_back(corpus[n.id].class_id);
+
+    acc5.AddQuery(labels, corpus[qi].class_id, per_class - 1, 5);
+    acc10.AddQuery(labels, corpus[qi].class_id, per_class - 1, 10);
+  }
+  result.p_at_5 = acc5.MeanPrecisionAtK();
+  result.p_at_10 = acc10.MeanPrecisionAtK();
+  result.map = acc10.MeanAveragePrecision();
+  result.anr = acc10.MeanNormalizedRank();
+  return result;
+}
+
+}  // namespace cbix::bench
+
+#endif  // CBIX_BENCH_BENCH_QUALITY_H_

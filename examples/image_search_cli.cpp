@@ -1,0 +1,139 @@
+// image_search_cli — a small command-line image search tool over PNM
+// (PGM/PPM) files, exercising the persistence API.
+//
+//   build  <db-file> <image.ppm> [more.ppm ...]   index images, save db
+//   query  <db-file> <image.ppm> [k]              top-k similar images
+//   demo   <directory>                            write a demo corpus of
+//                                                 .ppm files to search
+//
+// Example session:
+//   ./image_search_cli demo /tmp/cbix_demo
+//   ./image_search_cli build /tmp/cbix.db /tmp/cbix_demo/*.ppm
+//   ./image_search_cli query /tmp/cbix.db /tmp/cbix_demo/img_003.ppm 5
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/corpus.h"
+#include "image/pnm_codec.h"
+
+namespace {
+
+constexpr int kCanonicalSize = 96;
+
+cbix::CbirEngine MakeEngine() {
+  return cbix::CbirEngine(cbix::MakeDefaultExtractor(kCanonicalSize));
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: build <db-file> <image.ppm> ...\n");
+    return 2;
+  }
+  cbix::CbirEngine engine = MakeEngine();
+  for (int i = 1; i < argc; ++i) {
+    const auto id = engine.AddPnmFile(argv[i]);
+    if (!id.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n", argv[i],
+                   id.status().ToString().c_str());
+      continue;
+    }
+    std::printf("indexed [%u] %s\n", id.value(), argv[i]);
+  }
+  const cbix::Status save = engine.Save(argv[0]);
+  if (!save.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %zu images to %s\n", engine.size(), argv[0]);
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: query <db-file> <image.ppm> [k]\n");
+    return 2;
+  }
+  const size_t k = argc >= 3 ? std::strtoul(argv[2], nullptr, 10) : 5;
+
+  cbix::CbirEngine engine = MakeEngine();
+  const cbix::Status load = engine.Load(argv[0]);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
+    return 1;
+  }
+  const auto image = cbix::ReadPnm(argv[1]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                 image.status().ToString().c_str());
+    return 1;
+  }
+  cbix::SearchStats stats;
+  const auto result = engine.QueryKnn(image.value(), k, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("top-%zu of %zu images (%llu distance evals):\n", k,
+              engine.size(),
+              static_cast<unsigned long long>(stats.distance_evals));
+  for (const auto& match : result.value()) {
+    std::printf("  %.4f  %s\n", match.distance, match.name.c_str());
+  }
+  return 0;
+}
+
+int CmdDemo(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: demo <directory>\n");
+    return 2;
+  }
+  const std::string dir = argv[0];
+  cbix::CorpusSpec spec;
+  spec.num_classes = 6;
+  spec.images_per_class = 5;
+  spec.width = 128;
+  spec.height = 128;
+  const auto corpus = cbix::CorpusGenerator(spec).Generate();
+  int written = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "/img_%03zu_%s.ppm", i,
+                  cbix::ArchetypeName(
+                      static_cast<cbix::Archetype>(corpus[i].class_id %
+                                                   cbix::kArchetypeCount))
+                      .c_str());
+    const cbix::Status s = cbix::WritePnm(dir + name, corpus[i].image);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ++written;
+  }
+  std::printf("wrote %d demo images to %s\n", written, dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s build|query|demo ...\n"
+                 "  build <db> <img.ppm> ...\n"
+                 "  query <db> <img.ppm> [k]\n"
+                 "  demo  <directory>\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string verb = argv[1];
+  if (verb == "build") return CmdBuild(argc - 2, argv + 2);
+  if (verb == "query") return CmdQuery(argc - 2, argv + 2);
+  if (verb == "demo") return CmdDemo(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown verb: %s\n", verb.c_str());
+  return 2;
+}

@@ -1,0 +1,287 @@
+#include "core/engine.h"
+
+#include <cassert>
+
+#include "distance/histogram_measures.h"
+#include "distance/minkowski.h"
+#include "image/pnm_codec.h"
+#include "index/linear_scan.h"
+#include "util/thread_pool.h"
+#include "util/serialize.h"
+
+namespace cbix {
+
+namespace {
+constexpr uint32_t kEngineMagic = 0x43425845;  // "CBXE"
+constexpr uint32_t kEngineVersion = 1;
+}  // namespace
+
+std::string IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kLinearScan:
+      return "linear_scan";
+    case IndexKind::kVpTree:
+      return "vp_tree";
+    case IndexKind::kKdTree:
+      return "kd_tree";
+    case IndexKind::kRTree:
+      return "rtree";
+    case IndexKind::kMTree:
+      return "m_tree";
+  }
+  return "unknown";
+}
+
+std::string MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return "l1";
+    case MetricKind::kL2:
+      return "l2";
+    case MetricKind::kLInf:
+      return "linf";
+    case MetricKind::kHistogramIntersection:
+      return "hist_intersect";
+    case MetricKind::kChiSquare:
+      return "chi_square";
+    case MetricKind::kHellinger:
+      return "hellinger";
+    case MetricKind::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const DistanceMetric> MakeMetric(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kL1:
+      return std::make_shared<L1Distance>();
+    case MetricKind::kL2:
+      return std::make_shared<L2Distance>();
+    case MetricKind::kLInf:
+      return std::make_shared<LInfDistance>();
+    case MetricKind::kHistogramIntersection:
+      return std::make_shared<HistogramIntersectionDistance>();
+    case MetricKind::kChiSquare:
+      return std::make_shared<ChiSquareDistance>();
+    case MetricKind::kHellinger:
+      return std::make_shared<HellingerDistance>();
+    case MetricKind::kCosine:
+      return std::make_shared<CosineDistance>();
+  }
+  return std::make_shared<L2Distance>();
+}
+
+Status ValidateIndexMetricCombination(IndexKind index, MetricKind metric) {
+  if (index == IndexKind::kLinearScan) return Status::Ok();
+  const bool minkowski = metric == MetricKind::kL1 ||
+                         metric == MetricKind::kL2 ||
+                         metric == MetricKind::kLInf;
+  if (index == IndexKind::kKdTree || index == IndexKind::kRTree) {
+    if (!minkowski) {
+      return Status::InvalidArgument(
+          IndexKindName(index) + " requires a Minkowski metric, got " +
+          MetricKindName(metric));
+    }
+    return Status::Ok();
+  }
+  // VP-tree / M-tree: any true metric.
+  const bool is_metric = minkowski || metric == MetricKind::kHellinger;
+  if (!is_metric) {
+    return Status::InvalidArgument(
+        IndexKindName(index) +
+        " requires a true metric (triangle inequality), got " +
+        MetricKindName(metric));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+MinkowskiKind ToMinkowskiKind(MetricKind metric) {
+  switch (metric) {
+    case MetricKind::kL1:
+      return MinkowskiKind::kL1;
+    case MetricKind::kLInf:
+      return MinkowskiKind::kLInf;
+    default:
+      return MinkowskiKind::kL2;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
+  CBIX_RETURN_IF_ERROR(
+      ValidateIndexMetricCombination(config.index_kind, config.metric));
+  switch (config.index_kind) {
+    case IndexKind::kLinearScan:
+      return std::unique_ptr<VectorIndex>(
+          new LinearScanIndex(MakeMetric(config.metric)));
+    case IndexKind::kVpTree:
+      return std::unique_ptr<VectorIndex>(
+          new VpTree(MakeMetric(config.metric), config.vp_options));
+    case IndexKind::kKdTree: {
+      KdTreeOptions options = config.kd_options;
+      options.metric = ToMinkowskiKind(config.metric);
+      return std::unique_ptr<VectorIndex>(new KdTree(options));
+    }
+    case IndexKind::kRTree: {
+      RTreeOptions options = config.rtree_options;
+      options.metric = ToMinkowskiKind(config.metric);
+      return std::unique_ptr<VectorIndex>(new RTree(options));
+    }
+    case IndexKind::kMTree:
+      return std::unique_ptr<VectorIndex>(
+          new MTree(MakeMetric(config.metric), config.mtree_max_entries));
+  }
+  return Status::InvalidArgument("unknown index kind");
+}
+
+CbirEngine::CbirEngine(FeatureExtractor extractor, EngineConfig config)
+    : extractor_(std::move(extractor)), config_(config) {}
+
+Result<uint32_t> CbirEngine::AddImage(const ImageU8& image, std::string name,
+                                      int32_t label) {
+  if (image.empty()) return Status::InvalidArgument("empty image");
+  ImageRecord record;
+  record.name = std::move(name);
+  record.label = label;
+  record.features = extractor_.Extract(image);
+  CBIX_ASSIGN_OR_RETURN(const uint32_t id, store_.Add(std::move(record)));
+  index_dirty_ = true;
+  return id;
+}
+
+Result<uint32_t> CbirEngine::AddPnmFile(const std::string& path,
+                                        int32_t label) {
+  CBIX_ASSIGN_OR_RETURN(const ImageU8 image, ReadPnm(path));
+  return AddImage(image, path, label);
+}
+
+Result<uint32_t> CbirEngine::AddImagesParallel(std::vector<BatchItem> batch,
+                                               size_t num_threads) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty batch");
+  }
+  for (const BatchItem& item : batch) {
+    if (item.image.empty()) {
+      return Status::InvalidArgument("empty image in batch");
+    }
+  }
+  std::vector<Vec> features(batch.size());
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(batch.size(), [this, &batch, &features](size_t i) {
+      features[i] = extractor_.Extract(batch[i].image);
+    });
+  }
+  const uint32_t first_id = static_cast<uint32_t>(store_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ImageRecord record;
+    record.name = std::move(batch[i].name);
+    record.label = batch[i].label;
+    record.features = std::move(features[i]);
+    CBIX_RETURN_IF_ERROR(store_.Add(std::move(record)).status());
+  }
+  index_dirty_ = true;
+  return first_id;
+}
+
+Status CbirEngine::BuildIndex() {
+  CBIX_ASSIGN_OR_RETURN(index_, MakeIndex(config_));
+  CBIX_RETURN_IF_ERROR(index_->Build(store_.AllFeatures()));
+  index_dirty_ = false;
+  return Status::Ok();
+}
+
+Status CbirEngine::EnsureIndex() {
+  if (index_dirty_ || index_ == nullptr) return BuildIndex();
+  return Status::Ok();
+}
+
+std::vector<CbirEngine::Match> CbirEngine::ToMatches(
+    const std::vector<Neighbor>& neighbors) const {
+  std::vector<Match> out;
+  out.reserve(neighbors.size());
+  for (const Neighbor& n : neighbors) {
+    const ImageRecord& r = store_.record(n.id);
+    out.push_back({n.id, r.name, r.label, n.distance});
+  }
+  return out;
+}
+
+Result<std::vector<CbirEngine::Match>> CbirEngine::QueryKnn(
+    const ImageU8& image, size_t k, SearchStats* stats) {
+  if (image.empty()) return Status::InvalidArgument("empty query image");
+  return QueryKnnByVector(extractor_.Extract(image), k, stats);
+}
+
+Result<std::vector<CbirEngine::Match>> CbirEngine::QueryKnnByVector(
+    const Vec& features, size_t k, SearchStats* stats) {
+  if (store_.empty()) return std::vector<Match>{};
+  if (features.size() != store_.feature_dim()) {
+    return Status::InvalidArgument("query feature dimension mismatch");
+  }
+  CBIX_RETURN_IF_ERROR(EnsureIndex());
+  SearchStats local;
+  return ToMatches(index_->KnnSearch(features, k,
+                                     stats != nullptr ? stats : &local));
+}
+
+Result<std::vector<CbirEngine::Match>> CbirEngine::QueryRange(
+    const ImageU8& image, double radius, SearchStats* stats) {
+  if (image.empty()) return Status::InvalidArgument("empty query image");
+  if (store_.empty()) return std::vector<Match>{};
+  const Vec features = extractor_.Extract(image);
+  if (features.size() != store_.feature_dim()) {
+    return Status::InvalidArgument("query feature dimension mismatch");
+  }
+  CBIX_RETURN_IF_ERROR(EnsureIndex());
+  SearchStats local;
+  return ToMatches(index_->RangeSearch(features, radius,
+                                       stats != nullptr ? stats : &local));
+}
+
+Status CbirEngine::Save(const std::string& path) const {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(static_cast<uint32_t>(config_.index_kind));
+  writer.Write<uint32_t>(static_cast<uint32_t>(config_.metric));
+  writer.Write<uint64_t>(extractor_.dim());
+  std::vector<uint8_t> store_bytes;
+  store_.Serialize(&store_bytes);
+  writer.WriteVector(store_bytes);
+  return WriteFramedFile(path, kEngineMagic, kEngineVersion,
+                         writer.buffer());
+}
+
+Status CbirEngine::Load(const std::string& path) {
+  std::vector<uint8_t> payload;
+  CBIX_RETURN_IF_ERROR(
+      ReadFramedFile(path, kEngineMagic, kEngineVersion, &payload));
+  BinaryReader reader(payload);
+  uint32_t index_kind = 0, metric = 0;
+  uint64_t dim = 0;
+  CBIX_RETURN_IF_ERROR(reader.Read(&index_kind));
+  CBIX_RETURN_IF_ERROR(reader.Read(&metric));
+  CBIX_RETURN_IF_ERROR(reader.Read(&dim));
+  if (dim != extractor_.dim()) {
+    return Status::FailedPrecondition(
+        "saved database was built with a different extractor "
+        "(feature dim " +
+        std::to_string(dim) + " vs " + std::to_string(extractor_.dim()) +
+        ")");
+  }
+  std::vector<uint8_t> store_bytes;
+  CBIX_RETURN_IF_ERROR(reader.ReadVector(&store_bytes));
+  FeatureStore store;
+  CBIX_RETURN_IF_ERROR(store.Deserialize(store_bytes));
+
+  config_.index_kind = static_cast<IndexKind>(index_kind);
+  config_.metric = static_cast<MetricKind>(metric);
+  store_ = std::move(store);
+  index_dirty_ = true;
+  return BuildIndex();
+}
+
+}  // namespace cbix

@@ -1,0 +1,156 @@
+// CbirEngine — the library facade: images in, ranked similar images out.
+//
+// The engine owns the extraction pipeline, the feature store and the
+// similarity index, and keeps them consistent: adding images marks the
+// index dirty; queries transparently (re)build it. Persistence saves the
+// feature store and configuration; on load the index is rebuilt from the
+// stored features (cheap relative to feature extraction, and immune to
+// index-format drift).
+
+#ifndef CBIX_CORE_ENGINE_H_
+#define CBIX_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_store.h"
+#include "features/extractor.h"
+#include "image/image.h"
+#include "index/index.h"
+#include "index/kd_tree.h"
+#include "index/m_tree.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+
+namespace cbix {
+
+enum class IndexKind {
+  kLinearScan,
+  kVpTree,
+  kKdTree,
+  kRTree,
+  kMTree,
+};
+
+std::string IndexKindName(IndexKind kind);
+
+/// Distance measures the engine can query with. Metric-tree pruning
+/// requires a true metric; the engine validates combinations (e.g.
+/// chi-square is only allowed with linear scan).
+enum class MetricKind {
+  kL1,
+  kL2,
+  kLInf,
+  kHistogramIntersection,
+  kChiSquare,
+  kHellinger,
+  kCosine,
+};
+
+std::string MetricKindName(MetricKind kind);
+
+/// Instantiates the measure.
+std::shared_ptr<const DistanceMetric> MakeMetric(MetricKind kind);
+
+struct EngineConfig {
+  IndexKind index_kind = IndexKind::kVpTree;
+  MetricKind metric = MetricKind::kL1;
+  VpTreeOptions vp_options;
+  KdTreeOptions kd_options;
+  RTreeOptions rtree_options;
+  size_t mtree_max_entries = 16;
+};
+
+class CbirEngine {
+ public:
+  /// The extractor defines the feature space; it must be identical for
+  /// every image added and for every query (also across save/load).
+  CbirEngine(FeatureExtractor extractor, EngineConfig config = {});
+
+  /// Extracts features of `image` and adds it under `name`. Returns the
+  /// assigned id. `label` is optional ground truth for evaluation.
+  Result<uint32_t> AddImage(const ImageU8& image, std::string name,
+                            int32_t label = -1);
+
+  /// Reads a PGM/PPM file and adds it (name = path).
+  Result<uint32_t> AddPnmFile(const std::string& path, int32_t label = -1);
+
+  /// One image of a batch insertion.
+  struct BatchItem {
+    ImageU8 image;
+    std::string name;
+    int32_t label = -1;
+  };
+
+  /// Adds a batch, extracting features in parallel on `num_threads`
+  /// workers (feature extraction dominates insertion cost). Ids are
+  /// assigned in batch order, exactly as sequential AddImage calls
+  /// would. Returns the id of the first added image.
+  Result<uint32_t> AddImagesParallel(std::vector<BatchItem> batch,
+                                     size_t num_threads = 4);
+
+  /// Forces an index (re)build now. Queries do this lazily; call it
+  /// explicitly to control when the cost is paid.
+  Status BuildIndex();
+
+  struct Match {
+    uint32_t id = 0;
+    std::string name;
+    int32_t label = -1;
+    double distance = 0.0;
+  };
+
+  /// The k most similar images to `image` (query-by-example).
+  Result<std::vector<Match>> QueryKnn(const ImageU8& image, size_t k,
+                                      SearchStats* stats = nullptr);
+
+  /// All images within `radius` in feature space.
+  Result<std::vector<Match>> QueryRange(const ImageU8& image, double radius,
+                                        SearchStats* stats = nullptr);
+
+  /// k-NN by raw feature vector (already extracted).
+  Result<std::vector<Match>> QueryKnnByVector(const Vec& features, size_t k,
+                                              SearchStats* stats = nullptr);
+
+  /// Persists the feature store + config. The extractor itself is code,
+  /// not data: the loader must construct the engine with an equivalent
+  /// extractor (validated by feature dimension).
+  Status Save(const std::string& path) const;
+
+  /// Restores store contents saved by Save() and rebuilds the index.
+  Status Load(const std::string& path);
+
+  size_t size() const { return store_.size(); }
+  const FeatureStore& store() const { return store_; }
+  const FeatureExtractor& extractor() const { return extractor_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Extracts features with the engine's pipeline (e.g. for external
+  /// index experiments).
+  Vec ExtractFeatures(const ImageU8& image) const {
+    return extractor_.Extract(image);
+  }
+
+ private:
+  Status EnsureIndex();
+  std::vector<Match> ToMatches(const std::vector<Neighbor>& neighbors) const;
+
+  FeatureExtractor extractor_;
+  EngineConfig config_;
+  FeatureStore store_;
+  std::unique_ptr<VectorIndex> index_;
+  bool index_dirty_ = true;
+};
+
+/// Validates an (index, metric) combination: tree indexes need a true
+/// metric (and KD/R-trees specifically a Minkowski one).
+Status ValidateIndexMetricCombination(IndexKind index, MetricKind metric);
+
+/// Creates an index instance per config (used by the engine and by the
+/// benchmark harnesses directly).
+Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config);
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_ENGINE_H_

@@ -1,0 +1,86 @@
+#include "core/feature_store.h"
+
+#include "util/serialize.h"
+
+namespace cbix {
+
+namespace {
+constexpr uint32_t kStoreMagic = 0x46535452;  // "FSTR"
+constexpr uint32_t kStoreVersion = 1;
+}  // namespace
+
+Result<uint32_t> FeatureStore::Add(ImageRecord record) {
+  if (record.features.empty()) {
+    return Status::InvalidArgument("record has empty feature vector");
+  }
+  if (records_.empty()) {
+    dim_ = record.features.size();
+  } else if (record.features.size() != dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: store=" + std::to_string(dim_) +
+        " record=" + std::to_string(record.features.size()));
+  }
+  records_.push_back(std::move(record));
+  return static_cast<uint32_t>(records_.size() - 1);
+}
+
+std::vector<Vec> FeatureStore::AllFeatures() const {
+  std::vector<Vec> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.features);
+  return out;
+}
+
+std::vector<int32_t> FeatureStore::AllLabels() const {
+  std::vector<int32_t> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.label);
+  return out;
+}
+
+void FeatureStore::Clear() {
+  records_.clear();
+  dim_ = 0;
+}
+
+void FeatureStore::Serialize(std::vector<uint8_t>* out) const {
+  BinaryWriter writer;
+  writer.Write(kStoreMagic);
+  writer.Write(kStoreVersion);
+  writer.Write<uint64_t>(records_.size());
+  writer.Write<uint64_t>(dim_);
+  for (const auto& r : records_) {
+    writer.WriteString(r.name);
+    writer.Write(r.label);
+    writer.WriteVector(r.features);
+  }
+  *out = writer.TakeBuffer();
+}
+
+Status FeatureStore::Deserialize(const std::vector<uint8_t>& bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  CBIX_RETURN_IF_ERROR(reader.Read(&magic));
+  CBIX_RETURN_IF_ERROR(reader.Read(&version));
+  if (magic != kStoreMagic) return Status::Corruption("store: bad magic");
+  if (version != kStoreVersion) {
+    return Status::Corruption("store: unsupported version");
+  }
+  uint64_t count = 0, dim = 0;
+  CBIX_RETURN_IF_ERROR(reader.Read(&count));
+  CBIX_RETURN_IF_ERROR(reader.Read(&dim));
+  std::vector<ImageRecord> records(count);
+  for (auto& r : records) {
+    CBIX_RETURN_IF_ERROR(reader.ReadString(&r.name));
+    CBIX_RETURN_IF_ERROR(reader.Read(&r.label));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&r.features));
+    if (r.features.size() != dim) {
+      return Status::Corruption("store: feature dim mismatch");
+    }
+  }
+  records_ = std::move(records);
+  dim_ = dim;
+  return Status::Ok();
+}
+
+}  // namespace cbix

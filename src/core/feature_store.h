@@ -1,0 +1,56 @@
+// Feature store: the persistent record of every indexed image — its
+// name, optional ground-truth label, and extracted feature vector. Ids
+// are dense and assigned in insertion order, matching index ids.
+
+#ifndef CBIX_CORE_FEATURE_STORE_H_
+#define CBIX_CORE_FEATURE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distance/metric.h"
+#include "util/status.h"
+
+namespace cbix {
+
+struct ImageRecord {
+  std::string name;
+  int32_t label = -1;  ///< ground-truth class, -1 = unlabeled
+  Vec features;
+};
+
+class FeatureStore {
+ public:
+  /// Appends a record; returns its id (= previous size). All feature
+  /// vectors must share one dimension.
+  Result<uint32_t> Add(ImageRecord record);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Dimensionality of stored features (0 when empty).
+  size_t feature_dim() const { return dim_; }
+
+  const ImageRecord& record(uint32_t id) const { return records_[id]; }
+
+  /// Copies all feature vectors in id order (index build input).
+  std::vector<Vec> AllFeatures() const;
+
+  /// All labels in id order.
+  std::vector<int32_t> AllLabels() const;
+
+  void Clear();
+
+  /// Binary round-trip.
+  void Serialize(std::vector<uint8_t>* out) const;
+  Status Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  std::vector<ImageRecord> records_;
+  size_t dim_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_FEATURE_STORE_H_

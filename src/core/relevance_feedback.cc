@@ -1,0 +1,50 @@
+#include "core/relevance_feedback.h"
+
+#include <algorithm>
+
+namespace cbix {
+
+Result<Vec> RocchioRefine(const Vec& query,
+                          const std::vector<Vec>& relevant,
+                          const std::vector<Vec>& irrelevant,
+                          const RocchioParams& params) {
+  if (query.empty()) return Status::InvalidArgument("empty query vector");
+  const size_t d = query.size();
+  for (const Vec& v : relevant) {
+    if (v.size() != d) {
+      return Status::InvalidArgument("relevant vector dimension mismatch");
+    }
+  }
+  for (const Vec& v : irrelevant) {
+    if (v.size() != d) {
+      return Status::InvalidArgument(
+          "irrelevant vector dimension mismatch");
+    }
+  }
+
+  std::vector<double> acc(d, 0.0);
+  for (size_t i = 0; i < d; ++i) acc[i] = params.alpha * query[i];
+
+  if (!relevant.empty()) {
+    const double w = params.beta / static_cast<double>(relevant.size());
+    for (const Vec& v : relevant) {
+      for (size_t i = 0; i < d; ++i) acc[i] += w * v[i];
+    }
+  }
+  if (!irrelevant.empty()) {
+    const double w = params.gamma / static_cast<double>(irrelevant.size());
+    for (const Vec& v : irrelevant) {
+      for (size_t i = 0; i < d; ++i) acc[i] -= w * v[i];
+    }
+  }
+
+  Vec refined(d);
+  for (size_t i = 0; i < d; ++i) {
+    double x = acc[i];
+    if (params.clamp_non_negative) x = std::max(0.0, x);
+    refined[i] = static_cast<float>(x);
+  }
+  return refined;
+}
+
+}  // namespace cbix

@@ -1,0 +1,41 @@
+// Relevance feedback — the classic CBIR interaction loop: the user
+// marks results as relevant/irrelevant, and the query vector moves
+// toward the relevant centroid and away from the irrelevant one
+// (Rocchio's formula, applied in feature space):
+//
+//   q' = alpha * q + beta * mean(relevant) - gamma * mean(irrelevant)
+//
+// Negative coordinates produced by the subtraction are clamped to zero
+// when `clamp_non_negative` is set (histogram blocks are non-negative
+// by construction; keeping the refined query in the same cone preserves
+// the semantics of histogram distances).
+
+#ifndef CBIX_CORE_RELEVANCE_FEEDBACK_H_
+#define CBIX_CORE_RELEVANCE_FEEDBACK_H_
+
+#include <vector>
+
+#include "distance/metric.h"
+#include "util/status.h"
+
+namespace cbix {
+
+struct RocchioParams {
+  double alpha = 1.0;   ///< weight of the original query
+  double beta = 0.75;   ///< pull toward relevant examples
+  double gamma = 0.25;  ///< push away from irrelevant examples
+  bool clamp_non_negative = true;
+};
+
+/// Computes the refined query vector. `relevant` and `irrelevant` hold
+/// feature vectors of the same dimension as `query`; either may be
+/// empty (its term simply drops out). Fails on dimension mismatch or if
+/// everything is empty.
+Result<Vec> RocchioRefine(const Vec& query,
+                          const std::vector<Vec>& relevant,
+                          const std::vector<Vec>& irrelevant,
+                          const RocchioParams& params = {});
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_RELEVANCE_FEEDBACK_H_

@@ -1,0 +1,86 @@
+#include "core/retrieval_metrics.h"
+
+#include <algorithm>
+
+namespace cbix {
+
+double PrecisionAtK(const std::vector<int32_t>& retrieved_labels,
+                    int32_t query_label, size_t k) {
+  const size_t depth = std::min(k, retrieved_labels.size());
+  if (depth == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (retrieved_labels[i] == query_label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(depth);
+}
+
+double RecallAtK(const std::vector<int32_t>& retrieved_labels,
+                 int32_t query_label, size_t total_relevant, size_t k) {
+  if (total_relevant == 0) return 0.0;
+  const size_t depth = std::min(k, retrieved_labels.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (retrieved_labels[i] == query_label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_relevant);
+}
+
+double AveragePrecision(const std::vector<int32_t>& retrieved_labels,
+                        int32_t query_label, size_t total_relevant) {
+  if (total_relevant == 0) return 0.0;
+  size_t hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < retrieved_labels.size(); ++i) {
+    if (retrieved_labels[i] == query_label) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / static_cast<double>(total_relevant);
+}
+
+double AverageNormalizedRank(const std::vector<int32_t>& retrieved_labels,
+                             int32_t query_label) {
+  const size_t n = retrieved_labels.size();
+  if (n == 0) return 0.0;
+  size_t n_rel = 0;
+  double rank_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (retrieved_labels[i] == query_label) {
+      ++n_rel;
+      rank_sum += static_cast<double>(i);
+    }
+  }
+  if (n_rel == 0) return 0.0;
+  // Minimal possible sum of 0-based ranks: 0 + 1 + ... + (n_rel - 1).
+  const double min_sum =
+      static_cast<double>(n_rel) * static_cast<double>(n_rel - 1) / 2.0;
+  return (rank_sum - min_sum) /
+         (static_cast<double>(n) * static_cast<double>(n_rel));
+}
+
+void RetrievalQualityAccumulator::AddQuery(
+    const std::vector<int32_t>& retrieved_labels, int32_t query_label,
+    size_t total_relevant, size_t k) {
+  ++count_;
+  sum_p_at_k_ += PrecisionAtK(retrieved_labels, query_label, k);
+  sum_r_at_k_ += RecallAtK(retrieved_labels, query_label, total_relevant, k);
+  sum_ap_ += AveragePrecision(retrieved_labels, query_label, total_relevant);
+  sum_anr_ += AverageNormalizedRank(retrieved_labels, query_label);
+}
+
+double RetrievalQualityAccumulator::MeanPrecisionAtK() const {
+  return count_ > 0 ? sum_p_at_k_ / static_cast<double>(count_) : 0.0;
+}
+double RetrievalQualityAccumulator::MeanRecallAtK() const {
+  return count_ > 0 ? sum_r_at_k_ / static_cast<double>(count_) : 0.0;
+}
+double RetrievalQualityAccumulator::MeanAveragePrecision() const {
+  return count_ > 0 ? sum_ap_ / static_cast<double>(count_) : 0.0;
+}
+double RetrievalQualityAccumulator::MeanNormalizedRank() const {
+  return count_ > 0 ? sum_anr_ / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace cbix

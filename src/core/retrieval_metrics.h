@@ -1,0 +1,65 @@
+// Retrieval quality metrics over labelled result lists: precision@k,
+// recall@k, average precision, and the average normalized rank measure
+// used by early CBIR evaluations.
+
+#ifndef CBIX_CORE_RETRIEVAL_METRICS_H_
+#define CBIX_CORE_RETRIEVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cbix {
+
+/// `retrieved_labels` is the ranked list of ground-truth labels of the
+/// results (best first); an item is relevant iff its label equals
+/// `query_label`.
+
+/// Fraction of the first min(k, |list|) results that are relevant.
+/// Returns 0 for an empty list or k == 0.
+double PrecisionAtK(const std::vector<int32_t>& retrieved_labels,
+                    int32_t query_label, size_t k);
+
+/// Fraction of all `total_relevant` items found in the first k results.
+double RecallAtK(const std::vector<int32_t>& retrieved_labels,
+                 int32_t query_label, size_t total_relevant, size_t k);
+
+/// Mean of precision@r over every rank r holding a relevant item,
+/// normalized by `total_relevant` (classic AP; 1.0 = perfect ranking).
+double AveragePrecision(const std::vector<int32_t>& retrieved_labels,
+                        int32_t query_label, size_t total_relevant);
+
+/// Average normalized rank (Müller et al. convention):
+///   rank_norm = (sum of relevant ranks - minimal possible sum)
+///               / (n * n_relevant)
+/// where ranks are 0-based over a FULL ranking of the n-item database.
+/// 0 = all relevant items first (perfect), ~0.5 = random, →1 = worst.
+double AverageNormalizedRank(const std::vector<int32_t>& retrieved_labels,
+                             int32_t query_label);
+
+/// Accumulates per-query metrics into corpus-level means.
+class RetrievalQualityAccumulator {
+ public:
+  /// `retrieved_labels` must be the full database ranking for ANR to be
+  /// meaningful; `total_relevant` counts relevant items in the database
+  /// EXCLUDING the query itself if the query was removed from results.
+  void AddQuery(const std::vector<int32_t>& retrieved_labels,
+                int32_t query_label, size_t total_relevant, size_t k);
+
+  size_t query_count() const { return count_; }
+  double MeanPrecisionAtK() const;
+  double MeanRecallAtK() const;
+  double MeanAveragePrecision() const;
+  double MeanNormalizedRank() const;
+
+ private:
+  size_t count_ = 0;
+  double sum_p_at_k_ = 0.0;
+  double sum_r_at_k_ = 0.0;
+  double sum_ap_ = 0.0;
+  double sum_anr_ = 0.0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_RETRIEVAL_METRICS_H_

@@ -1,0 +1,348 @@
+#include "corpus/corpus.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "image/draw.h"
+#include "image/filters.h"
+#include "image/resize.h"
+
+namespace cbix {
+
+namespace {
+
+/// Stable per-class / per-instance seeds derived from the corpus seed.
+uint64_t ClassSeed(uint64_t corpus_seed, int class_id) {
+  SplitMix64 sm(corpus_seed ^ (0xC1A55EEDULL + class_id * 0x9e3779b9ULL));
+  return sm.Next();
+}
+
+uint64_t InstanceSeed(uint64_t class_seed, int instance_id) {
+  SplitMix64 sm(class_seed ^ (0x1257A9CEULL + instance_id * 0x85ebca6bULL));
+  return sm.Next();
+}
+
+/// A saturated palette colour; distinct hue wheels per class.
+/// Class palettes are drawn from a small quantized hue wheel so that
+/// distinct classes frequently share their dominant colour. This keeps
+/// colour features informative but *insufficient* on their own —
+/// texture/layout descriptors must disambiguate hue-colliding classes,
+/// matching the difficulty of real photo collections.
+float QuantizedClassHue(Rng* class_rng) {
+  return static_cast<float>(class_rng->NextBelow(4)) * 0.25f;
+}
+
+ColorF RandomHueColor(Rng* rng, float base_hue, float hue_jitter) {
+  float h = base_hue + rng->Uniform(-hue_jitter, hue_jitter);
+  h -= std::floor(h);
+  const float s = static_cast<float>(rng->Uniform(0.55, 0.95));
+  const float v = static_cast<float>(rng->Uniform(0.6, 0.95));
+  // Inline HSV->RGB to keep corpus self-contained.
+  const float h6 = h * 6.0f;
+  const int sector = static_cast<int>(h6) % 6;
+  const float f = h6 - std::floor(h6);
+  const float p = v * (1 - s), q = v * (1 - s * f), t = v * (1 - s * (1 - f));
+  switch (sector) {
+    case 0:
+      return {v, t, p};
+    case 1:
+      return {q, v, p};
+    case 2:
+      return {p, v, t};
+    case 3:
+      return {p, q, v};
+    case 4:
+      return {t, p, v};
+    default:
+      return {v, p, q};
+  }
+}
+
+// --------------------------------------------------------------------------
+// Archetype painters. Class parameters come from `class_rng` (consumed in
+// a fixed order so all instances of the class agree), instance jitter
+// from `inst_rng`.
+
+ImageF PaintColorField(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float base_hue = QuantizedClassHue(class_rng);
+  const int patches = static_cast<int>(class_rng->UniformInt(2, 5));
+  ImageF img(w, h, 3);
+  FillImage(&img, RandomHueColor(inst_rng, base_hue, 0.03f));
+  for (int i = 0; i < patches; ++i) {
+    const ColorF c = RandomHueColor(inst_rng, base_hue + 0.45f, 0.08f);
+    const float cx = static_cast<float>(inst_rng->Uniform(0.15, 0.85)) * w;
+    const float cy = static_cast<float>(inst_rng->Uniform(0.15, 0.85)) * h;
+    const float r = static_cast<float>(inst_rng->Uniform(0.06, 0.16)) * w;
+    FillCircle(&img, cx, cy, r, c);
+  }
+  return img;
+}
+
+ImageF PaintStripes(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float base_hue = QuantizedClassHue(class_rng);
+  const double freq = class_rng->Uniform(3.0, 14.0);   // periods per image
+  const double angle = class_rng->Uniform(0.0, std::numbers::pi);
+  const ColorF a = RandomHueColor(inst_rng, base_hue, 0.02f);
+  const ColorF b = RandomHueColor(inst_rng, base_hue + 0.5f, 0.02f);
+  const double phase = inst_rng->Uniform(0.0, 2.0 * std::numbers::pi);
+  const double kx = std::cos(angle) * freq * 2.0 * std::numbers::pi / w;
+  const double ky = std::sin(angle) * freq * 2.0 * std::numbers::pi / h;
+  ImageF img(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double s = std::sin(kx * x + ky * y + phase);
+      const float t = static_cast<float>(0.5 + 0.5 * s);
+      PutPixel(&img, x, y,
+               {a.r + t * (b.r - a.r), a.g + t * (b.g - a.g),
+                a.b + t * (b.b - a.b)});
+    }
+  }
+  return img;
+}
+
+ImageF PaintChecker(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float base_hue = QuantizedClassHue(class_rng);
+  const int period = static_cast<int>(class_rng->UniformInt(8, 32));
+  const ColorF a = RandomHueColor(inst_rng, base_hue, 0.02f);
+  const ColorF b = RandomHueColor(inst_rng, base_hue + 0.5f, 0.02f);
+  const int ox = static_cast<int>(inst_rng->UniformInt(0, period - 1));
+  const int oy = static_cast<int>(inst_rng->UniformInt(0, period - 1));
+  ImageF img(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool odd = (((x + ox) / period) + ((y + oy) / period)) % 2 == 1;
+      PutPixel(&img, x, y, odd ? a : b);
+    }
+  }
+  return img;
+}
+
+ImageF PaintNoiseTexture(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float base_hue = QuantizedClassHue(class_rng);
+  const float scale = static_cast<float>(class_rng->Uniform(6.0, 48.0));
+  const int octaves = static_cast<int>(class_rng->UniformInt(1, 4));
+  const ColorF lo = RandomHueColor(inst_rng, base_hue, 0.02f);
+  const ColorF hi = RandomHueColor(inst_rng, base_hue + 0.12f, 0.04f);
+  const ImageF field = ValueNoise(w, h, scale, octaves, inst_rng->Next());
+  ImageF img(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float t = field.at(x, y);
+      PutPixel(&img, x, y,
+               {lo.r + t * (hi.r - lo.r), lo.g + t * (hi.g - lo.g),
+                lo.b + t * (hi.b - lo.b)});
+    }
+  }
+  return img;
+}
+
+ImageF PaintBlobScene(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float bg_hue = QuantizedClassHue(class_rng);
+  const float fg_hue = bg_hue + 0.33f;
+  const int blobs = static_cast<int>(class_rng->UniformInt(4, 12));
+  ImageF img(w, h, 3);
+  FillImage(&img, RandomHueColor(inst_rng, bg_hue, 0.02f));
+  for (int i = 0; i < blobs; ++i) {
+    const ColorF c = RandomHueColor(inst_rng, fg_hue, 0.1f);
+    const float cx = static_cast<float>(inst_rng->Uniform(0.1, 0.9)) * w;
+    const float cy = static_cast<float>(inst_rng->Uniform(0.1, 0.9)) * h;
+    const float rx = static_cast<float>(inst_rng->Uniform(0.03, 0.12)) * w;
+    const float ry = static_cast<float>(inst_rng->Uniform(0.03, 0.12)) * h;
+    FillEllipse(&img, cx, cy, rx, ry, c);
+  }
+  return img;
+}
+
+ImageF PaintShapeScene(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float bg_hue = QuantizedClassHue(class_rng);
+  // The class commits to one shape family; shape identity is what makes
+  // the class recognizable to shape descriptors.
+  const int family = static_cast<int>(class_rng->UniformInt(0, 2));
+  const int count = static_cast<int>(class_rng->UniformInt(3, 7));
+  ImageF img(w, h, 3);
+  FillImage(&img, RandomHueColor(inst_rng, bg_hue, 0.02f));
+  const ColorF fg = RandomHueColor(inst_rng, bg_hue + 0.5f, 0.05f);
+  for (int i = 0; i < count; ++i) {
+    const float cx = static_cast<float>(inst_rng->Uniform(0.15, 0.85)) * w;
+    const float cy = static_cast<float>(inst_rng->Uniform(0.15, 0.85)) * h;
+    const float r = static_cast<float>(inst_rng->Uniform(0.05, 0.13)) * w;
+    switch (family) {
+      case 0:
+        FillCircle(&img, cx, cy, r, fg);
+        break;
+      case 1: {  // triangles
+        const double rot = inst_rng->Uniform(0.0, 2.0 * std::numbers::pi);
+        std::vector<Point2> tri;
+        for (int k = 0; k < 3; ++k) {
+          const double a = rot + k * 2.0 * std::numbers::pi / 3.0;
+          tri.push_back({cx + r * static_cast<float>(std::cos(a)),
+                         cy + r * static_cast<float>(std::sin(a))});
+        }
+        FillPolygon(&img, tri, fg);
+        break;
+      }
+      default: {  // thin bars
+        const double a = inst_rng->Uniform(0.0, std::numbers::pi);
+        const float dx = r * static_cast<float>(std::cos(a));
+        const float dy = r * static_cast<float>(std::sin(a));
+        const float px = -dy * 0.18f, py = dx * 0.18f;
+        FillPolygon(&img,
+                    {{cx - dx - px, cy - dy - py},
+                     {cx - dx + px, cy - dy + py},
+                     {cx + dx + px, cy + dy + py},
+                     {cx + dx - px, cy + dy - py}},
+                    fg);
+        break;
+      }
+    }
+  }
+  return img;
+}
+
+ImageF PaintGradient(int w, int h, Rng* class_rng, Rng* inst_rng) {
+  const float base_hue = QuantizedClassHue(class_rng);
+  const bool horizontal = class_rng->Bernoulli(0.5);
+  const ColorF a = RandomHueColor(inst_rng, base_hue, 0.03f);
+  const ColorF b = RandomHueColor(inst_rng, base_hue + 0.25f, 0.03f);
+  ImageF img(w, h, 3);
+  FillLinearGradient(&img, a, b, horizontal);
+  return img;
+}
+
+}  // namespace
+
+std::string ArchetypeName(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kColorField:
+      return "colorfield";
+    case Archetype::kStripes:
+      return "stripes";
+    case Archetype::kChecker:
+      return "checker";
+    case Archetype::kNoiseTexture:
+      return "noise";
+    case Archetype::kBlobScene:
+      return "blobs";
+    case Archetype::kShapeScene:
+      return "shapes";
+    case Archetype::kGradient:
+      return "gradient";
+  }
+  return "unknown";
+}
+
+CorpusGenerator::CorpusGenerator(const CorpusSpec& spec) : spec_(spec) {
+  assert(spec.num_classes >= 1 && spec.images_per_class >= 1);
+  assert(spec.width >= 16 && spec.height >= 16);
+}
+
+Archetype CorpusGenerator::ClassArchetype(int class_id) const {
+  // Round-robin so every archetype appears once per 7 classes; the class
+  // seed then differentiates classes sharing an archetype.
+  return static_cast<Archetype>(class_id % kArchetypeCount);
+}
+
+LabeledImage CorpusGenerator::MakeInstance(int class_id,
+                                           int instance_id) const {
+  assert(class_id >= 0 && class_id < spec_.num_classes);
+  const uint64_t class_seed = ClassSeed(spec_.seed, class_id);
+  // class_rng must be re-created per instance so each instance reads the
+  // identical class parameter stream.
+  Rng class_rng(class_seed);
+  Rng inst_rng(InstanceSeed(class_seed, instance_id));
+  const Archetype archetype = ClassArchetype(class_id);
+
+  ImageF img;
+  switch (archetype) {
+    case Archetype::kColorField:
+      img = PaintColorField(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+    case Archetype::kStripes:
+      img = PaintStripes(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+    case Archetype::kChecker:
+      img = PaintChecker(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+    case Archetype::kNoiseTexture:
+      img = PaintNoiseTexture(spec_.width, spec_.height, &class_rng,
+                              &inst_rng);
+      break;
+    case Archetype::kBlobScene:
+      img = PaintBlobScene(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+    case Archetype::kShapeScene:
+      img = PaintShapeScene(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+    case Archetype::kGradient:
+      img = PaintGradient(spec_.width, spec_.height, &class_rng, &inst_rng);
+      break;
+  }
+
+  LabeledImage out;
+  out.image = ToU8(img);
+  out.class_id = class_id;
+  out.instance_id = instance_id;
+  out.name = "class" + std::to_string(class_id) + "_" +
+             ArchetypeName(archetype) + "_inst" + std::to_string(instance_id);
+  return out;
+}
+
+std::vector<LabeledImage> CorpusGenerator::Generate() const {
+  std::vector<LabeledImage> out;
+  out.reserve(static_cast<size_t>(spec_.num_classes) *
+              spec_.images_per_class);
+  for (int c = 0; c < spec_.num_classes; ++c) {
+    for (int i = 0; i < spec_.images_per_class; ++i) {
+      out.push_back(MakeInstance(c, i));
+    }
+  }
+  return out;
+}
+
+ImageU8 ApplyDistortion(const ImageU8& in, const Distortion& d,
+                        uint64_t seed) {
+  ImageF img = ToFloat(in);
+
+  if (d.crop_fraction > 0.0f) {
+    const int dx = static_cast<int>(d.crop_fraction * in.width());
+    const int dy = static_cast<int>(d.crop_fraction * in.height());
+    if (in.width() - 2 * dx >= 8 && in.height() - 2 * dy >= 8) {
+      img = Crop(img, dx, dy, in.width() - 2 * dx, in.height() - 2 * dy);
+      img = Resize(img, in.width(), in.height());
+    }
+  }
+  if (d.rotate_quarter_turns != 0) img = Rotate90(img, d.rotate_quarter_turns);
+  if (d.flip_horizontal) img = FlipHorizontal(img);
+  if (d.blur_sigma > 0.0f) img = GaussianBlur(img, d.blur_sigma);
+
+  const bool photometric = d.gaussian_noise_sigma > 0.0f ||
+                           d.brightness_shift != 0.0f ||
+                           d.contrast_scale != 1.0f;
+  if (photometric) {
+    Rng rng(seed ^ 0xD157087ULL);
+    for (float& v : img.data()) {
+      float x = v;
+      x = 0.5f + (x - 0.5f) * d.contrast_scale + d.brightness_shift;
+      if (d.gaussian_noise_sigma > 0.0f) {
+        x += static_cast<float>(rng.Gaussian(0.0, d.gaussian_noise_sigma));
+      }
+      v = std::clamp(x, 0.0f, 1.0f);
+    }
+  }
+  return ToU8(img);
+}
+
+Distortion RandomDistortion(Rng* rng, float severity) {
+  assert(severity >= 0.0f && severity <= 1.0f);
+  Distortion d;
+  d.gaussian_noise_sigma = severity * static_cast<float>(rng->Uniform(0.0, 0.08));
+  d.blur_sigma = severity * static_cast<float>(rng->Uniform(0.0, 2.5));
+  d.brightness_shift = severity * static_cast<float>(rng->Uniform(-0.15, 0.15));
+  d.contrast_scale = 1.0f + severity * static_cast<float>(rng->Uniform(-0.3, 0.3));
+  d.crop_fraction = severity * static_cast<float>(rng->Uniform(0.0, 0.1));
+  d.flip_horizontal = rng->Bernoulli(0.25 * severity);
+  return d;
+}
+
+}  // namespace cbix

@@ -1,0 +1,102 @@
+// Synthetic labelled image corpus — the stand-in for the paper's image
+// collection (see DESIGN.md "Substitutions").
+//
+// A corpus is organized into classes; each class is an *archetype*
+// (colour-field, stripes, checker, noise texture, blob scene, shape
+// scene, gradient) bound to class-specific parameters drawn from the
+// class seed (palette, stripe frequency/angle, checker period, ...).
+// Instances of a class share those parameters but vary in instance-level
+// jitter (positions, phases, small hue shifts), so class members are
+// visually similar without being identical — exactly the structure
+// retrieval-quality experiments need for ground truth.
+
+#ifndef CBIX_CORPUS_CORPUS_H_
+#define CBIX_CORPUS_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "util/random.h"
+
+namespace cbix {
+
+/// Visual archetypes a class can be built from.
+enum class Archetype {
+  kColorField = 0,   ///< dominant flat colour + secondary patches
+  kStripes = 1,      ///< oriented sinusoidal stripes
+  kChecker = 2,      ///< two-colour checkerboard
+  kNoiseTexture = 3, ///< multi-octave value noise, colour-mapped
+  kBlobScene = 4,    ///< coloured ellipses on a background
+  kShapeScene = 5,   ///< polygons/circles of one family on plain ground
+  kGradient = 6,     ///< linear two-colour gradient
+};
+
+constexpr int kArchetypeCount = 7;
+
+std::string ArchetypeName(Archetype archetype);
+
+/// One generated image with its ground-truth label.
+struct LabeledImage {
+  ImageU8 image;
+  int class_id = 0;
+  int instance_id = 0;
+  std::string name;  ///< "class<c>_<archetype>_inst<i>"
+};
+
+/// Corpus generation parameters.
+struct CorpusSpec {
+  int num_classes = 10;
+  int images_per_class = 20;
+  int width = 128;
+  int height = 128;
+  uint64_t seed = 42;
+};
+
+/// Deterministic generator: the same spec always yields the same corpus.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(const CorpusSpec& spec);
+
+  /// Generates the full corpus, classes in order, instances in order.
+  std::vector<LabeledImage> Generate() const;
+
+  /// Generates one instance of one class (classes and instances are
+  /// independently addressable, so tests can make single images).
+  LabeledImage MakeInstance(int class_id, int instance_id) const;
+
+  /// The archetype assigned to `class_id`.
+  Archetype ClassArchetype(int class_id) const;
+
+  const CorpusSpec& spec() const { return spec_; }
+
+ private:
+  CorpusSpec spec_;
+};
+
+/// Photometric / geometric distortion parameters, applied in the order
+/// the fields are declared. Default-constructed = identity.
+struct Distortion {
+  float gaussian_noise_sigma = 0.0f;  ///< additive, in [0,1] units
+  float blur_sigma = 0.0f;
+  float brightness_shift = 0.0f;  ///< added to all samples
+  float contrast_scale = 1.0f;    ///< applied about mid-gray 0.5
+  float crop_fraction = 0.0f;     ///< fraction removed per side, re-resized
+  bool flip_horizontal = false;
+  int rotate_quarter_turns = 0;  ///< multiples of 90°
+};
+
+/// Applies `distortion` to `in` (deterministic given `seed` for noise).
+ImageU8 ApplyDistortion(const ImageU8& in, const Distortion& distortion,
+                        uint64_t seed = 0);
+
+/// Draws a random distortion whose strength grows with `severity` in
+/// [0, 1]: 0 = identity, 1 = strong (noise sigma up to 0.08, blur up to
+/// 2.5 px, ±0.15 brightness, 0.7..1.3 contrast, up to 10% crop, possible
+/// flip).
+Distortion RandomDistortion(Rng* rng, float severity);
+
+}  // namespace cbix
+
+#endif  // CBIX_CORPUS_CORPUS_H_

@@ -1,0 +1,116 @@
+#include "corpus/vector_workload.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+std::string VectorDistributionName(VectorDistribution dist) {
+  switch (dist) {
+    case VectorDistribution::kUniform:
+      return "uniform";
+    case VectorDistribution::kClustered:
+      return "clustered";
+    case VectorDistribution::kCorrelated:
+      return "correlated";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Vec> GenerateUniform(const VectorWorkloadSpec& spec, Rng* rng) {
+  std::vector<Vec> out(spec.count, Vec(spec.dim));
+  for (auto& v : out) {
+    for (auto& x : v) x = static_cast<float>(rng->NextDouble());
+  }
+  return out;
+}
+
+std::vector<Vec> GenerateClustered(const VectorWorkloadSpec& spec,
+                                   Rng* rng) {
+  assert(spec.num_clusters >= 1);
+  std::vector<Vec> centres(spec.num_clusters, Vec(spec.dim));
+  for (auto& c : centres) {
+    for (auto& x : c) x = static_cast<float>(rng->Uniform(0.15, 0.85));
+  }
+  std::vector<Vec> out(spec.count, Vec(spec.dim));
+  for (auto& v : out) {
+    const Vec& c = centres[rng->NextBelow(spec.num_clusters)];
+    for (size_t j = 0; j < spec.dim; ++j) {
+      v[j] = static_cast<float>(c[j] + rng->Gaussian(0.0, spec.cluster_sigma));
+    }
+  }
+  return out;
+}
+
+std::vector<Vec> GenerateCorrelated(const VectorWorkloadSpec& spec,
+                                    Rng* rng) {
+  const size_t k = std::min(spec.intrinsic_dim, spec.dim);
+  assert(k >= 1);
+  // Random basis of k directions (not orthonormalized — enough for a
+  // correlated cloud), plus small isotropic noise in the full space.
+  std::vector<Vec> basis(k, Vec(spec.dim));
+  for (auto& b : basis) {
+    double norm = 0.0;
+    for (auto& x : b) {
+      x = static_cast<float>(rng->Gaussian());
+      norm += static_cast<double>(x) * x;
+    }
+    norm = std::sqrt(norm);
+    for (auto& x : b) x = static_cast<float>(x / norm);
+  }
+  std::vector<Vec> out(spec.count, Vec(spec.dim, 0.5f));
+  for (auto& v : out) {
+    for (size_t i = 0; i < k; ++i) {
+      const float coeff = static_cast<float>(rng->Gaussian(0.0, 0.18));
+      for (size_t j = 0; j < spec.dim; ++j) v[j] += coeff * basis[i][j];
+    }
+    for (size_t j = 0; j < spec.dim; ++j) {
+      v[j] += static_cast<float>(rng->Gaussian(0.0, 0.01));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Vec> GenerateVectors(const VectorWorkloadSpec& spec) {
+  assert(spec.count >= 1 && spec.dim >= 1);
+  Rng rng(spec.seed);
+  switch (spec.distribution) {
+    case VectorDistribution::kUniform:
+      return GenerateUniform(spec, &rng);
+    case VectorDistribution::kClustered:
+      return GenerateClustered(spec, &rng);
+    case VectorDistribution::kCorrelated:
+      return GenerateCorrelated(spec, &rng);
+  }
+  return {};
+}
+
+std::vector<Vec> GenerateQueries(const VectorWorkloadSpec& spec,
+                                 const std::vector<Vec>& data,
+                                 QueryMode mode, size_t count,
+                                 double perturb_sigma, uint64_t seed) {
+  Rng rng(seed);
+  if (mode == QueryMode::kIndependent) {
+    VectorWorkloadSpec qspec = spec;
+    qspec.count = count;
+    qspec.seed = seed ^ 0xABCDEF123ULL;
+    return GenerateVectors(qspec);
+  }
+  assert(!data.empty());
+  std::vector<Vec> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Vec q = data[rng.NextBelow(data.size())];
+    for (auto& x : q) {
+      x += static_cast<float>(rng.Gaussian(0.0, perturb_sigma));
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace cbix

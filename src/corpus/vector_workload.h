@@ -1,0 +1,61 @@
+// Synthetic vector workloads for pure index experiments (E1–E6, E8).
+//
+// Real feature vectors are expensive to generate at the 64k scale the
+// scaling experiments need, and the index claims are about geometry, not
+// pixels. Three distribution families cover the regimes the paper class
+// cares about: uniform (worst case for pruning), clustered Gaussian
+// (realistic feature-space structure), and correlated (low intrinsic
+// dimensionality embedded in a higher-dimensional space).
+
+#ifndef CBIX_CORPUS_VECTOR_WORKLOAD_H_
+#define CBIX_CORPUS_VECTOR_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cbix {
+
+using Vec = std::vector<float>;
+
+enum class VectorDistribution {
+  kUniform,    ///< i.i.d. uniform on [0, 1]^d
+  kClustered,  ///< mixture of isotropic Gaussians with uniform centres
+  kCorrelated, ///< Gaussian supported mostly on a low-dim subspace
+};
+
+std::string VectorDistributionName(VectorDistribution dist);
+
+struct VectorWorkloadSpec {
+  VectorDistribution distribution = VectorDistribution::kClustered;
+  size_t count = 10000;
+  size_t dim = 16;
+  size_t num_clusters = 32;      ///< kClustered only
+  double cluster_sigma = 0.05;   ///< kClustered only
+  size_t intrinsic_dim = 4;      ///< kCorrelated only
+  uint64_t seed = 7;
+};
+
+/// Generates `spec.count` vectors deterministically from the spec.
+std::vector<Vec> GenerateVectors(const VectorWorkloadSpec& spec);
+
+/// Query modes for search experiments.
+enum class QueryMode {
+  kPerturbedData,  ///< a database vector plus small Gaussian noise —
+                   ///< models query-by-example with a distorted image
+  kIndependent,    ///< fresh draws from the same distribution
+};
+
+/// Generates `count` query vectors. For kPerturbedData, `data` must be
+/// non-empty; `perturb_sigma` controls the displacement.
+std::vector<Vec> GenerateQueries(const VectorWorkloadSpec& spec,
+                                 const std::vector<Vec>& data,
+                                 QueryMode mode, size_t count,
+                                 double perturb_sigma = 0.02,
+                                 uint64_t seed = 99);
+
+}  // namespace cbix
+
+#endif  // CBIX_CORPUS_VECTOR_WORKLOAD_H_

@@ -1,0 +1,80 @@
+#include "distance/hausdorff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+
+constexpr double kInfinity = 1e30;
+
+/// Min distance from point p to set b (brute force; edge maps at CBIR
+/// scales are a few thousand points).
+double MinDistanceTo(const std::array<float, 2>& p, const PointSet& b) {
+  double best = kInfinity;
+  for (const auto& q : b) {
+    const double dx = static_cast<double>(p[0]) - q[0];
+    const double dy = static_cast<double>(p[1]) - q[1];
+    best = std::min(best, dx * dx + dy * dy);
+  }
+  return std::sqrt(best);
+}
+
+std::vector<double> AllMinDistances(const PointSet& a, const PointSet& b) {
+  std::vector<double> out;
+  out.reserve(a.size());
+  for (const auto& p : a) out.push_back(MinDistanceTo(p, b));
+  return out;
+}
+
+}  // namespace
+
+double DirectedHausdorff(const PointSet& a, const PointSet& b) {
+  if (a.empty()) return 0.0;
+  if (b.empty()) return kInfinity;
+  double worst = 0.0;
+  for (const auto& p : a) worst = std::max(worst, MinDistanceTo(p, b));
+  return worst;
+}
+
+double HausdorffDistance(const PointSet& a, const PointSet& b) {
+  return std::max(DirectedHausdorff(a, b), DirectedHausdorff(b, a));
+}
+
+double PartialDirectedHausdorff(const PointSet& a, const PointSet& b,
+                                double quantile) {
+  assert(quantile > 0.0 && quantile <= 1.0);
+  if (a.empty()) return 0.0;
+  if (b.empty()) return kInfinity;
+  std::vector<double> dists = AllMinDistances(a, b);
+  // K-th ranked value with K = ceil(quantile * n), 1-based.
+  const size_t k =
+      std::min(dists.size(),
+               static_cast<size_t>(std::ceil(quantile * dists.size())));
+  std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+  return dists[k - 1];
+}
+
+double PartialHausdorffDistance(const PointSet& a, const PointSet& b,
+                                double quantile) {
+  return std::max(PartialDirectedHausdorff(a, b, quantile),
+                  PartialDirectedHausdorff(b, a, quantile));
+}
+
+PointSet PointSetFromMask(const std::vector<uint8_t>& mask, int width,
+                          int height) {
+  assert(static_cast<int>(mask.size()) == width * height);
+  PointSet out;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (mask[static_cast<size_t>(y) * width + x] != 0) {
+        out.push_back({static_cast<float>(x), static_cast<float>(y)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbix

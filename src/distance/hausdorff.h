@@ -1,0 +1,40 @@
+// Hausdorff distances between 2-D point sets (edge maps). The directed
+// Hausdorff from A to B is max_a min_b ||a - b||; the symmetric form
+// takes the max of both directions. The partial (rank-based) variant is
+// robust to outliers: it uses the K-th largest of the min-distances.
+
+#ifndef CBIX_DISTANCE_HAUSDORFF_H_
+#define CBIX_DISTANCE_HAUSDORFF_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cbix {
+
+using PointSet = std::vector<std::array<float, 2>>;
+
+/// Directed Hausdorff h(a, b); returns 0 when `a` is empty and +inf
+/// (1e30) when `a` is non-empty but `b` is empty.
+double DirectedHausdorff(const PointSet& a, const PointSet& b);
+
+/// Symmetric Hausdorff H(a, b) = max(h(a,b), h(b,a)).
+double HausdorffDistance(const PointSet& a, const PointSet& b);
+
+/// Directed partial Hausdorff using the `quantile`-th fraction of ranked
+/// min-distances (quantile in (0, 1]; 1.0 reduces to DirectedHausdorff).
+double PartialDirectedHausdorff(const PointSet& a, const PointSet& b,
+                                double quantile);
+
+/// Symmetric partial Hausdorff.
+double PartialHausdorffDistance(const PointSet& a, const PointSet& b,
+                                double quantile);
+
+/// Extracts the point set of non-zero pixels from a binary edge map
+/// given as width x height row-major bytes.
+PointSet PointSetFromMask(const std::vector<uint8_t>& mask, int width,
+                          int height);
+
+}  // namespace cbix
+
+#endif  // CBIX_DISTANCE_HAUSDORFF_H_

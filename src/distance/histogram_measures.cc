@@ -1,0 +1,70 @@
+#include "distance/histogram_measures.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+double HistogramIntersectionDistance::Distance(const Vec& a,
+                                               const Vec& b) const {
+  assert(a.size() == b.size());
+  double inter = 0.0, mass_a = 0.0, mass_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    inter += std::min(a[i], b[i]);
+    mass_a += a[i];
+    mass_b += b[i];
+  }
+  const double norm = std::min(mass_a, mass_b);
+  if (norm <= 0.0) return mass_a == mass_b ? 0.0 : 1.0;
+  return 1.0 - inter / norm;
+}
+
+double ChiSquareDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double s = static_cast<double>(a[i]) + b[i];
+    if (s <= 0.0) continue;
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d / s;
+  }
+  return 0.5 * sum;
+}
+
+double HellingerDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::sqrt(std::max(0.0f, a[i])) -
+                     std::sqrt(std::max(0.0f, b[i]));
+    sum += d * d;
+  }
+  return std::sqrt(sum / 2.0);
+}
+
+double CosineDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return na == nb ? 0.0 : 1.0;
+  const double cosine = dot / std::sqrt(na * nb);
+  return 1.0 - std::clamp(cosine, -1.0, 1.0);
+}
+
+double CanberraDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::fabs(a[i]) + std::fabs(b[i]);
+    if (denom <= 0.0) continue;
+    sum += std::fabs(static_cast<double>(a[i]) - b[i]) / denom;
+  }
+  return sum;
+}
+
+}  // namespace cbix

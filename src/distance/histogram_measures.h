@@ -1,0 +1,62 @@
+// Histogram-oriented dissimilarity measures: intersection, chi-square,
+// Hellinger and cosine. Inputs are expected to be non-negative
+// (histograms); intersection additionally assumes comparable mass.
+
+#ifndef CBIX_DISTANCE_HISTOGRAM_MEASURES_H_
+#define CBIX_DISTANCE_HISTOGRAM_MEASURES_H_
+
+#include "distance/metric.h"
+
+namespace cbix {
+
+/// Swain–Ballard histogram intersection turned into a dissimilarity:
+///   d(h, g) = 1 - sum_i min(h_i, g_i) / min(|h|, |g|).
+/// For two histograms normalized to unit mass this equals L1/2, hence it
+/// is a true metric on normalized inputs; on unnormalized inputs the
+/// triangle inequality can fail, so is_metric() is conservatively false.
+class HistogramIntersectionDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "hist_intersect"; }
+  bool is_metric() const override { return false; }
+};
+
+/// Symmetric chi-square: d = 0.5 * sum (a_i-b_i)^2 / (a_i+b_i) over bins
+/// with positive mass. Not a metric (triangle inequality fails), but a
+/// strong discriminator for histograms.
+class ChiSquareDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "chi_square"; }
+  bool is_metric() const override { return false; }
+};
+
+/// Hellinger distance: L2 between element-wise square roots, scaled by
+/// 1/sqrt(2) so unit-mass histograms stay within [0, 1]. A true metric
+/// on non-negative vectors.
+class HellingerDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "hellinger"; }
+};
+
+/// Cosine dissimilarity 1 - cos(a, b). Not a metric (no triangle
+/// inequality); included as the vector-space IR baseline.
+class CosineDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "cosine"; }
+  bool is_metric() const override { return false; }
+};
+
+/// Canberra distance: sum |a_i - b_i| / (|a_i| + |b_i|); a metric,
+/// strongly sensitive to changes in small bins.
+class CanberraDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "canberra"; }
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_DISTANCE_HISTOGRAM_MEASURES_H_

@@ -1,0 +1,37 @@
+#include "distance/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbix {
+
+MetricCheckReport CheckMetricAxioms(const DistanceMetric& metric,
+                                    const std::vector<Vec>& sample) {
+  MetricCheckReport report;
+  const size_t n = sample.size();
+
+  // Cache pairwise distances.
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      d[i][j] = metric.Distance(sample[i], sample[j]);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    report.max_self_distance = std::max(report.max_self_distance, d[i][i]);
+    for (size_t j = 0; j < n; ++j) {
+      report.max_negative_distance =
+          std::max(report.max_negative_distance, -d[i][j]);
+      report.max_asymmetry =
+          std::max(report.max_asymmetry, std::fabs(d[i][j] - d[j][i]));
+      for (size_t k = 0; k < n; ++k) {
+        report.max_triangle_violation = std::max(
+            report.max_triangle_violation, d[i][j] - (d[i][k] + d[k][j]));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cbix

@@ -1,0 +1,82 @@
+// Distance measure interface plus the instrumentation wrapper used by
+// all search-cost experiments.
+//
+// A `DistanceMetric` maps two equal-length float vectors to a
+// non-negative dissimilarity. `is_metric()` declares whether the
+// triangle inequality holds — metric indexes (VP-tree) require it for
+// exact pruning; measures that violate it (e.g. chi-square, cosine
+// dissimilarity) are still usable with linear scan and for retrieval
+// quality studies.
+
+#ifndef CBIX_DISTANCE_METRIC_H_
+#define CBIX_DISTANCE_METRIC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cbix {
+
+using Vec = std::vector<float>;
+
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  /// Dissimilarity between `a` and `b`; both must have the same size.
+  virtual double Distance(const Vec& a, const Vec& b) const = 0;
+
+  virtual std::string Name() const = 0;
+
+  /// True when (non-negativity, identity, symmetry, triangle inequality)
+  /// all hold, making the measure safe for metric-tree pruning.
+  virtual bool is_metric() const { return true; }
+};
+
+/// Decorator that counts every Distance() evaluation — the
+/// hardware-independent cost measure of the evaluation (see DESIGN.md).
+/// Thread-safe; the count is monotonically increasing until Reset().
+class CountingMetric : public DistanceMetric {
+ public:
+  explicit CountingMetric(std::shared_ptr<const DistanceMetric> inner)
+      : inner_(std::move(inner)) {}
+
+  double Distance(const Vec& a, const Vec& b) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->Distance(a, b);
+  }
+
+  std::string Name() const override { return inner_->Name(); }
+  bool is_metric() const override { return inner_->is_metric(); }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<const DistanceMetric> inner_;
+  mutable std::atomic<uint64_t> count_{0};
+};
+
+/// Result of probing metric axioms on sampled vectors; all deviations
+/// are max violations (0 = axiom held on every sampled tuple).
+struct MetricCheckReport {
+  double max_asymmetry = 0.0;
+  double max_triangle_violation = 0.0;
+  double max_negative_distance = 0.0;
+  double max_self_distance = 0.0;
+  bool Passed(double tol = 1e-9) const {
+    return max_asymmetry <= tol && max_triangle_violation <= tol &&
+           max_negative_distance <= tol && max_self_distance <= tol;
+  }
+};
+
+/// Empirically probes the metric axioms of `metric` on all pairs/triples
+/// of `sample`. O(n^3) in sample size — test utility, not production.
+MetricCheckReport CheckMetricAxioms(const DistanceMetric& metric,
+                                    const std::vector<Vec>& sample);
+
+}  // namespace cbix
+
+#endif  // CBIX_DISTANCE_METRIC_H_

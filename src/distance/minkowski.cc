@@ -1,0 +1,69 @@
+#include "distance/minkowski.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+double L1Distance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return sum;
+}
+
+double L2Distance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double LInfDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double best = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return best;
+}
+
+MinkowskiDistance::MinkowskiDistance(double p) : p_(p) { assert(p >= 1.0); }
+
+double MinkowskiDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::pow(std::fabs(static_cast<double>(a[i]) - b[i]), p_);
+  }
+  return std::pow(sum, 1.0 / p_);
+}
+
+std::string MinkowskiDistance::Name() const {
+  return "l" + std::to_string(p_);
+}
+
+WeightedL2Distance::WeightedL2Distance(Vec weights)
+    : weights_(std::move(weights)) {
+  for (float w : weights_) {
+    assert(w >= 0.0f);
+    (void)w;
+  }
+}
+
+double WeightedL2Distance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size() && a.size() == weights_.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += weights_[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cbix

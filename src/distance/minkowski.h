@@ -1,0 +1,59 @@
+// Minkowski-family distances: L1 (city block), L2 (Euclidean), L∞
+// (Chebyshev), general Lp, and the diagonally weighted Euclidean
+// distance CBIR uses to combine heterogeneous feature blocks.
+
+#ifndef CBIX_DISTANCE_MINKOWSKI_H_
+#define CBIX_DISTANCE_MINKOWSKI_H_
+
+#include "distance/metric.h"
+
+namespace cbix {
+
+class L1Distance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "l1"; }
+};
+
+class L2Distance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "l2"; }
+};
+
+class LInfDistance : public DistanceMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "linf"; }
+};
+
+/// General Lp distance for p >= 1 (p < 1 would not satisfy the triangle
+/// inequality and is rejected).
+class MinkowskiDistance : public DistanceMetric {
+ public:
+  explicit MinkowskiDistance(double p);
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override;
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// sqrt(sum_i w_i (a_i - b_i)^2) with non-negative weights. A metric
+/// whenever all weights are non-negative (it is the L2 metric of the
+/// rescaled space).
+class WeightedL2Distance : public DistanceMetric {
+ public:
+  explicit WeightedL2Distance(Vec weights);
+  double Distance(const Vec& a, const Vec& b) const override;
+  std::string Name() const override { return "weighted_l2"; }
+  const Vec& weights() const { return weights_; }
+
+ private:
+  Vec weights_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_DISTANCE_MINKOWSKI_H_

@@ -1,0 +1,54 @@
+#include "distance/quadratic_form.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+QuadraticFormDistance::QuadraticFormDistance(Matrix similarity)
+    : a_(std::move(similarity)) {
+  assert(a_.rows() == a_.cols());
+}
+
+double QuadraticFormDistance::Distance(const Vec& a, const Vec& b) const {
+  assert(a.size() == b.size());
+  assert(a.size() == a_.rows());
+  const size_t n = a.size();
+  std::vector<double> diff(n);
+  for (size_t i = 0; i < n; ++i) {
+    diff[i] = static_cast<double>(a[i]) - b[i];
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (diff[i] == 0.0) continue;
+    double row = 0.0;
+    for (size_t j = 0; j < n; ++j) row += a_(i, j) * diff[j];
+    sum += diff[i] * row;
+  }
+  // Guard tiny negative values from floating point on near-PSD matrices.
+  return std::sqrt(std::max(0.0, sum));
+}
+
+QuadraticFormDistance MakeColorQuadraticForm(const ColorQuantizer& quantizer,
+                                             double alpha) {
+  const int n = quantizer.bin_count();
+  // Max possible RGB distance (black to white) normalizes the exponent.
+  const double d_max = std::sqrt(3.0);
+  Matrix sim(n, n);
+  for (int i = 0; i < n; ++i) {
+    const auto ci = quantizer.BinColor(i);
+    for (int j = i; j < n; ++j) {
+      const auto cj = quantizer.BinColor(j);
+      const double dr = ci[0] - cj[0];
+      const double dg = ci[1] - cj[1];
+      const double db = ci[2] - cj[2];
+      const double dist = std::sqrt(dr * dr + dg * dg + db * db);
+      const double s = std::exp(-alpha * dist / d_max);
+      sim(i, j) = s;
+      sim(j, i) = s;
+    }
+  }
+  return QuadraticFormDistance(std::move(sim));
+}
+
+}  // namespace cbix

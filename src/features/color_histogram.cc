@@ -1,0 +1,130 @@
+#include "features/color_histogram.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+
+/// Raw (unnormalized) histogram of the rectangle [x0, x1) x [y0, y1).
+Vec RawHistogram(const ImageF& rgb, const ColorQuantizer& quantizer, int x0,
+                 int y0, int x1, int y1) {
+  Vec hist(quantizer.bin_count(), 0.0f);
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) {
+      const int bin = quantizer.BinOf(rgb.at(x, y, 0), rgb.at(x, y, 1),
+                                      rgb.at(x, y, 2));
+      hist[bin] += 1.0f;
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+ColorHistogramDescriptor::ColorHistogramDescriptor(
+    std::shared_ptr<const ColorQuantizer> quantizer)
+    : quantizer_(std::move(quantizer)) {}
+
+Vec ColorHistogramDescriptor::Extract(const ImageF& rgb) const {
+  assert(rgb.channels() >= 3);
+  Vec hist = RawHistogram(rgb, *quantizer_, 0, 0, rgb.width(), rgb.height());
+  NormalizeVector(&hist, Normalization::kL1);
+  return hist;
+}
+
+size_t ColorHistogramDescriptor::dim() const {
+  return static_cast<size_t>(quantizer_->bin_count());
+}
+
+std::string ColorHistogramDescriptor::Name() const {
+  return "color_hist_" + quantizer_->Name();
+}
+
+CumulativeHistogramDescriptor::CumulativeHistogramDescriptor(
+    std::shared_ptr<const ColorQuantizer> quantizer)
+    : quantizer_(std::move(quantizer)) {}
+
+Vec CumulativeHistogramDescriptor::Extract(const ImageF& rgb) const {
+  assert(rgb.channels() >= 3);
+  Vec hist = RawHistogram(rgb, *quantizer_, 0, 0, rgb.width(), rgb.height());
+  NormalizeVector(&hist, Normalization::kL1);
+  for (size_t i = 1; i < hist.size(); ++i) hist[i] += hist[i - 1];
+  return hist;
+}
+
+size_t CumulativeHistogramDescriptor::dim() const {
+  return static_cast<size_t>(quantizer_->bin_count());
+}
+
+std::string CumulativeHistogramDescriptor::Name() const {
+  return "cumulative_hist_" + quantizer_->Name();
+}
+
+GridHistogramDescriptor::GridHistogramDescriptor(
+    std::shared_ptr<const ColorQuantizer> quantizer, int grid_x, int grid_y)
+    : quantizer_(std::move(quantizer)), grid_x_(grid_x), grid_y_(grid_y) {
+  assert(grid_x >= 1 && grid_y >= 1);
+}
+
+Vec GridHistogramDescriptor::Extract(const ImageF& rgb) const {
+  assert(rgb.channels() >= 3);
+  const int bins = quantizer_->bin_count();
+  Vec out;
+  out.reserve(dim());
+  for (int gy = 0; gy < grid_y_; ++gy) {
+    for (int gx = 0; gx < grid_x_; ++gx) {
+      const int x0 = gx * rgb.width() / grid_x_;
+      const int x1 = (gx + 1) * rgb.width() / grid_x_;
+      const int y0 = gy * rgb.height() / grid_y_;
+      const int y1 = (gy + 1) * rgb.height() / grid_y_;
+      Vec cell = RawHistogram(rgb, *quantizer_, x0, y0, x1, y1);
+      NormalizeVector(&cell, Normalization::kL1);
+      // Scale by the inverse cell count so the concatenated vector still
+      // sums to ~1 and cross-descriptor weights stay comparable.
+      const float scale = 1.0f / static_cast<float>(grid_x_ * grid_y_);
+      for (float v : cell) out.push_back(v * scale);
+      (void)bins;
+    }
+  }
+  return out;
+}
+
+size_t GridHistogramDescriptor::dim() const {
+  return static_cast<size_t>(quantizer_->bin_count()) * grid_x_ * grid_y_;
+}
+
+std::string GridHistogramDescriptor::Name() const {
+  return "grid_hist_" + std::to_string(grid_x_) + "x" +
+         std::to_string(grid_y_) + "_" + quantizer_->Name();
+}
+
+Vec ColorMomentsDescriptor::Extract(const ImageF& rgb) const {
+  assert(rgb.channels() >= 3);
+  Vec out(9, 0.0f);
+  const double n = static_cast<double>(rgb.PixelCount());
+  for (int c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (int y = 0; y < rgb.height(); ++y) {
+      for (int x = 0; x < rgb.width(); ++x) mean += rgb.at(x, y, c);
+    }
+    mean /= n;
+    double var = 0.0, skew = 0.0;
+    for (int y = 0; y < rgb.height(); ++y) {
+      for (int x = 0; x < rgb.width(); ++x) {
+        const double d = rgb.at(x, y, c) - mean;
+        var += d * d;
+        skew += d * d * d;
+      }
+    }
+    var /= n;
+    skew /= n;
+    out[c * 3 + 0] = static_cast<float>(mean);
+    out[c * 3 + 1] = static_cast<float>(std::sqrt(var));
+    out[c * 3 + 2] = static_cast<float>(std::cbrt(skew));
+  }
+  return out;
+}
+
+}  // namespace cbix

@@ -1,0 +1,78 @@
+// Colour histogram descriptors: the global histogram (the CBIR
+// workhorse), its cumulative variant (robust to quantization edge
+// effects), and the grid-partitioned local histogram that restores the
+// spatial layout information a global histogram discards.
+
+#ifndef CBIX_FEATURES_COLOR_HISTOGRAM_H_
+#define CBIX_FEATURES_COLOR_HISTOGRAM_H_
+
+#include <memory>
+
+#include "features/descriptor.h"
+#include "image/color.h"
+
+namespace cbix {
+
+/// Global colour histogram over a pluggable quantizer, normalized to
+/// unit mass (a distribution).
+class ColorHistogramDescriptor : public ImageDescriptor {
+ public:
+  explicit ColorHistogramDescriptor(
+      std::shared_ptr<const ColorQuantizer> quantizer);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override;
+  std::string Name() const override;
+
+  const ColorQuantizer& quantizer() const { return *quantizer_; }
+
+ private:
+  std::shared_ptr<const ColorQuantizer> quantizer_;
+};
+
+/// Cumulative colour histogram: prefix sums of the normalized histogram
+/// in bin order. Small quantization shifts move little cumulative mass,
+/// making L1/L2 on this representation more stable than on raw bins.
+class CumulativeHistogramDescriptor : public ImageDescriptor {
+ public:
+  explicit CumulativeHistogramDescriptor(
+      std::shared_ptr<const ColorQuantizer> quantizer);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override;
+  std::string Name() const override;
+
+ private:
+  std::shared_ptr<const ColorQuantizer> quantizer_;
+};
+
+/// Concatenation of per-cell histograms over a grid_x x grid_y
+/// partition; each cell histogram is normalized to the cell's mass so
+/// all cells weigh equally regardless of area rounding.
+class GridHistogramDescriptor : public ImageDescriptor {
+ public:
+  GridHistogramDescriptor(std::shared_ptr<const ColorQuantizer> quantizer,
+                          int grid_x, int grid_y);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override;
+  std::string Name() const override;
+
+ private:
+  std::shared_ptr<const ColorQuantizer> quantizer_;
+  int grid_x_;
+  int grid_y_;
+};
+
+/// Per-channel mean, standard deviation and cube-root skewness — the
+/// 9-dimensional colour-moments signature (compact colour descriptor).
+class ColorMomentsDescriptor : public ImageDescriptor {
+ public:
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return 9; }
+  std::string Name() const override { return "color_moments"; }
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_COLOR_HISTOGRAM_H_

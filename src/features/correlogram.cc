@@ -1,0 +1,80 @@
+#include "features/correlogram.h"
+
+#include <cassert>
+
+namespace cbix {
+
+AutoCorrelogramDescriptor::AutoCorrelogramDescriptor(
+    std::shared_ptr<const ColorQuantizer> quantizer,
+    std::vector<int> distances)
+    : quantizer_(std::move(quantizer)), distances_(std::move(distances)) {
+  assert(!distances_.empty());
+  for (int d : distances_) {
+    assert(d >= 1);
+    (void)d;
+  }
+}
+
+Vec AutoCorrelogramDescriptor::Extract(const ImageF& rgb) const {
+  assert(rgb.channels() >= 3);
+  const int bins = quantizer_->bin_count();
+  const int w = rgb.width();
+  const int h = rgb.height();
+
+  // Pre-quantize the image once.
+  std::vector<int> q(static_cast<size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      q[static_cast<size_t>(y) * w + x] =
+          quantizer_->BinOf(rgb.at(x, y, 0), rgb.at(x, y, 1),
+                            rgb.at(x, y, 2));
+    }
+  }
+
+  Vec out(dim(), 0.0f);
+  for (size_t di = 0; di < distances_.size(); ++di) {
+    const int d = distances_[di];
+    // For each colour: same-colour ring hits and total in-bounds ring
+    // pixels, accumulated over every pixel of that colour.
+    std::vector<double> same(bins, 0.0), total(bins, 0.0);
+
+    auto probe = [&](int color, int nx, int ny) {
+      if (nx < 0 || nx >= w || ny < 0 || ny >= h) return;
+      total[color] += 1.0;
+      if (q[static_cast<size_t>(ny) * w + nx] == color) same[color] += 1.0;
+    };
+
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        const int color = q[static_cast<size_t>(y) * w + x];
+        // Walk the L∞ ring of radius d: top and bottom rows plus left
+        // and right columns (excluding the corners already covered).
+        for (int i = -d; i <= d; ++i) {
+          probe(color, x + i, y - d);
+          probe(color, x + i, y + d);
+        }
+        for (int j = -d + 1; j <= d - 1; ++j) {
+          probe(color, x - d, y + j);
+          probe(color, x + d, y + j);
+        }
+      }
+    }
+
+    for (int c = 0; c < bins; ++c) {
+      out[di * bins + c] =
+          total[c] > 0.0 ? static_cast<float>(same[c] / total[c]) : 0.0f;
+    }
+  }
+  return out;
+}
+
+size_t AutoCorrelogramDescriptor::dim() const {
+  return static_cast<size_t>(quantizer_->bin_count()) * distances_.size();
+}
+
+std::string AutoCorrelogramDescriptor::Name() const {
+  return "correlogram_" + quantizer_->Name() + "_d" +
+         std::to_string(distances_.size());
+}
+
+}  // namespace cbix

@@ -1,0 +1,37 @@
+// Colour auto-correlogram (Huang et al.): for each colour bin c and
+// each probe distance d, the probability that a pixel at L∞ distance d
+// from a pixel of colour c also has colour c. Encodes colour-spatial
+// co-occurrence that plain histograms cannot see, at modest cost.
+
+#ifndef CBIX_FEATURES_CORRELOGRAM_H_
+#define CBIX_FEATURES_CORRELOGRAM_H_
+
+#include <memory>
+#include <vector>
+
+#include "features/descriptor.h"
+#include "image/color.h"
+
+namespace cbix {
+
+class AutoCorrelogramDescriptor : public ImageDescriptor {
+ public:
+  /// `distances` are the probe radii (L∞ rings). The classic set is
+  /// {1, 3, 5, 7}.
+  AutoCorrelogramDescriptor(std::shared_ptr<const ColorQuantizer> quantizer,
+                            std::vector<int> distances = {1, 3, 5, 7});
+
+  Vec Extract(const ImageF& rgb) const override;
+
+  /// bin_count * |distances| values, ordered distance-major.
+  size_t dim() const override;
+  std::string Name() const override;
+
+ private:
+  std::shared_ptr<const ColorQuantizer> quantizer_;
+  std::vector<int> distances_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_CORRELOGRAM_H_

@@ -1,0 +1,61 @@
+// Image descriptor interface.
+//
+// A descriptor maps a canonical image (RGB float, [0,1] samples, already
+// resized by the extraction pipeline) to a fixed-length feature vector.
+// Descriptors must be deterministic and dimension-stable: dim() is known
+// before extraction and never varies across images, which is what makes
+// the vectors indexable.
+
+#ifndef CBIX_FEATURES_DESCRIPTOR_H_
+#define CBIX_FEATURES_DESCRIPTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "util/status.h"
+
+namespace cbix {
+
+using Vec = std::vector<float>;
+
+class ImageDescriptor {
+ public:
+  virtual ~ImageDescriptor() = default;
+
+  /// Extracts the feature vector of `rgb` (3-channel float, [0, 1]).
+  /// The returned vector has exactly dim() entries.
+  virtual Vec Extract(const ImageF& rgb) const = 0;
+
+  /// Length of the produced vectors.
+  virtual size_t dim() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Vector normalization modes applied to descriptor blocks.
+enum class Normalization {
+  kNone,
+  kL1,      ///< divide by the L1 mass (histograms -> distributions)
+  kL2,      ///< divide by the Euclidean norm
+  kMinMax,  ///< affine map of the block onto [0, 1]
+};
+
+/// Applies `mode` in place; degenerate inputs (zero mass/norm/range) are
+/// left unchanged.
+void NormalizeVector(Vec* v, Normalization mode);
+
+/// Creates one of the standard descriptors by name. Understood names:
+/// "color_hist", "cumulative_hist", "grid_hist", "color_moments",
+/// "correlogram", "glcm", "wavelet", "edge_hist", "shape", "sdt_hist".
+/// Unknown names yield kInvalidArgument.
+Result<std::unique_ptr<ImageDescriptor>> MakeStandardDescriptor(
+    const std::string& name);
+
+/// All names accepted by MakeStandardDescriptor, in canonical order.
+std::vector<std::string> StandardDescriptorNames();
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_DESCRIPTOR_H_

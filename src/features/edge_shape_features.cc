@@ -1,0 +1,108 @@
+#include "features/edge_shape_features.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "image/color.h"
+#include "image/distance_transform.h"
+#include "image/filters.h"
+#include "image/moments.h"
+
+namespace cbix {
+
+EdgeOrientationHistogramDescriptor::EdgeOrientationHistogramDescriptor(
+    int bins, float pre_smooth_sigma)
+    : bins_(bins), pre_smooth_sigma_(pre_smooth_sigma) {
+  assert(bins >= 2);
+}
+
+Vec EdgeOrientationHistogramDescriptor::Extract(const ImageF& rgb) const {
+  const ImageF gray = ToGray(rgb);
+  const GradientField field = SobelGradients(gray, pre_smooth_sigma_);
+
+  Vec out(dim(), 0.0f);
+  double total_magnitude = 0.0;
+  constexpr double kPi = std::numbers::pi;
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const double mag = field.magnitude.at(x, y);
+      if (mag <= 0.0) continue;
+      double theta = field.orientation.at(x, y);
+      if (theta < 0.0) theta += kPi;  // fold polarity
+      if (theta >= kPi) theta -= kPi;
+      int bin = static_cast<int>(theta / kPi * bins_);
+      bin = std::min(bin, bins_ - 1);
+      out[bin] += static_cast<float>(mag);
+      total_magnitude += mag;
+    }
+  }
+  if (total_magnitude > 0.0) {
+    for (int i = 0; i < bins_; ++i) {
+      out[i] = static_cast<float>(out[i] / total_magnitude);
+    }
+  }
+  // Edge density: mean gradient magnitude (scale-stable because the
+  // canonical extraction size is fixed).
+  out[bins_] = static_cast<float>(
+      total_magnitude / static_cast<double>(gray.PixelCount()));
+  return out;
+}
+
+std::string EdgeOrientationHistogramDescriptor::Name() const {
+  return "edge_hist_" + std::to_string(bins_);
+}
+
+ShapeMomentsDescriptor::ShapeMomentsDescriptor(float pre_smooth_sigma)
+    : pre_smooth_sigma_(pre_smooth_sigma) {}
+
+Vec ShapeMomentsDescriptor::Extract(const ImageF& rgb) const {
+  const ImageF gray = ToGray(rgb);
+  const GradientField field = SobelGradients(gray, pre_smooth_sigma_);
+  const Moments m = ComputeMoments(field.magnitude);
+  const auto hu = HuMoments(m);
+
+  Vec out;
+  out.reserve(dim());
+  for (double h : hu) {
+    // Log compression maps the enormous dynamic range of Hu invariants
+    // onto comparable scales while preserving sign.
+    const double compressed =
+        h == 0.0 ? 0.0 : -std::copysign(1.0, h) * std::log10(std::fabs(h));
+    out.push_back(static_cast<float>(compressed));
+  }
+  out.push_back(static_cast<float>(Eccentricity(m)));
+  const double theta = PrincipalOrientation(m);
+  // Principal axes are 180°-ambiguous; encode the doubled angle so the
+  // representation is continuous across the wraparound.
+  out.push_back(static_cast<float>(std::cos(2.0 * theta)));
+  out.push_back(static_cast<float>(std::sin(2.0 * theta)));
+  return out;
+}
+
+SdtHistogramDescriptor::SdtHistogramDescriptor(int bins, float max_distance)
+    : bins_(bins), max_distance_(max_distance) {
+  assert(bins >= 2 && max_distance > 0.0f);
+}
+
+Vec SdtHistogramDescriptor::Extract(const ImageF& rgb) const {
+  const ImageF gray = ToGray(rgb);
+  const GradientField field = SobelGradients(gray, 1.0f);
+  const ImageF sdt = SalienceDistanceTransform(field.magnitude,
+                                               /*min_salience=*/0.05f);
+  Vec out(dim(), 0.0f);
+  for (float v : sdt.data()) {
+    const float clipped = std::min(v, max_distance_ - 1e-3f);
+    int bin = static_cast<int>(clipped / max_distance_ * bins_);
+    bin = std::clamp(bin, 0, bins_ - 1);
+    out[bin] += 1.0f;
+  }
+  NormalizeVector(&out, Normalization::kL1);
+  return out;
+}
+
+std::string SdtHistogramDescriptor::Name() const {
+  return "sdt_hist_" + std::to_string(bins_);
+}
+
+}  // namespace cbix

@@ -1,0 +1,66 @@
+// Edge- and shape-oriented descriptors: the magnitude-weighted edge
+// orientation histogram, the moment-based shape signature, and the
+// salience-distance-transform histogram — the three "indirect shape"
+// features of early CBIR (shape information without segmentation).
+
+#ifndef CBIX_FEATURES_EDGE_SHAPE_FEATURES_H_
+#define CBIX_FEATURES_EDGE_SHAPE_FEATURES_H_
+
+#include "features/descriptor.h"
+
+namespace cbix {
+
+/// Histogram of Sobel gradient orientations, weighted by gradient
+/// magnitude so spurious weak edges contribute proportionally little —
+/// the soft alternative to edge thresholding. Orientations are folded
+/// to [0, pi) (contrast-polarity invariance). dim = bins + 1 (the last
+/// slot is overall edge density: mean gradient magnitude).
+class EdgeOrientationHistogramDescriptor : public ImageDescriptor {
+ public:
+  explicit EdgeOrientationHistogramDescriptor(int bins = 18,
+                                              float pre_smooth_sigma = 1.0f);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return static_cast<size_t>(bins_) + 1; }
+  std::string Name() const override;
+
+ private:
+  int bins_;
+  float pre_smooth_sigma_;
+};
+
+/// Moment-based shape signature over the edge-magnitude map:
+/// 7 log-compressed Hu invariants + eccentricity + principal-axis
+/// orientation (cos, sin encoding) = 10 dims.
+class ShapeMomentsDescriptor : public ImageDescriptor {
+ public:
+  explicit ShapeMomentsDescriptor(float pre_smooth_sigma = 1.0f);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return 10; }
+  std::string Name() const override { return "shape_moments"; }
+
+ private:
+  float pre_smooth_sigma_;
+};
+
+/// Histogram of salience-distance-transform values: discriminates
+/// cluttered scenes (mass near 0) from sparse ones (long-distance tail)
+/// and, between those extremes, characterizes the spatial density of
+/// contours. dim = bins.
+class SdtHistogramDescriptor : public ImageDescriptor {
+ public:
+  SdtHistogramDescriptor(int bins = 16, float max_distance = 32.0f);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return static_cast<size_t>(bins_); }
+  std::string Name() const override;
+
+ private:
+  int bins_;
+  float max_distance_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_EDGE_SHAPE_FEATURES_H_

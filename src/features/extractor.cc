@@ -1,0 +1,204 @@
+#include "features/extractor.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "features/color_histogram.h"
+#include "features/correlogram.h"
+#include "features/edge_shape_features.h"
+#include "features/texture_features.h"
+#include "image/color.h"
+#include "image/resize.h"
+
+namespace cbix {
+
+void NormalizeVector(Vec* v, Normalization mode) {
+  if (v->empty()) return;
+  switch (mode) {
+    case Normalization::kNone:
+      return;
+    case Normalization::kL1: {
+      double mass = 0.0;
+      for (float x : *v) mass += std::fabs(x);
+      if (mass <= 0.0) return;
+      for (float& x : *v) x = static_cast<float>(x / mass);
+      return;
+    }
+    case Normalization::kL2: {
+      double norm = 0.0;
+      for (float x : *v) norm += static_cast<double>(x) * x;
+      norm = std::sqrt(norm);
+      if (norm <= 0.0) return;
+      for (float& x : *v) x = static_cast<float>(x / norm);
+      return;
+    }
+    case Normalization::kMinMax: {
+      float lo = (*v)[0], hi = (*v)[0];
+      for (float x : *v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      if (hi <= lo) return;
+      const float inv = 1.0f / (hi - lo);
+      for (float& x : *v) x = (x - lo) * inv;
+      return;
+    }
+  }
+}
+
+FeatureExtractor::FeatureExtractor(int canonical_width, int canonical_height)
+    : canonical_width_(canonical_width), canonical_height_(canonical_height) {
+  assert(canonical_width >= 16 && canonical_height >= 16);
+}
+
+FeatureExtractor& FeatureExtractor::Add(
+    std::shared_ptr<const ImageDescriptor> descriptor, float weight,
+    Normalization normalization) {
+  assert(descriptor != nullptr);
+  blocks_.push_back({std::move(descriptor), weight, normalization});
+  return *this;
+}
+
+size_t FeatureExtractor::dim() const {
+  size_t total = 0;
+  for (const auto& b : blocks_) total += b.descriptor->dim();
+  return total;
+}
+
+Vec FeatureExtractor::Extract(const ImageU8& image) const {
+  assert(!image.empty());
+  ImageF rgb;
+  if (image.channels() == 1) {
+    // Replicate gray to RGB so colour descriptors degrade gracefully.
+    const ImageF gray = ToFloat(image);
+    rgb = ImageF(image.width(), image.height(), 3);
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        const float v = gray.at(x, y);
+        rgb.at(x, y, 0) = v;
+        rgb.at(x, y, 1) = v;
+        rgb.at(x, y, 2) = v;
+      }
+    }
+  } else {
+    rgb = ToFloat(image);
+  }
+  return ExtractFromFloat(rgb);
+}
+
+Vec FeatureExtractor::ExtractFromFloat(const ImageF& rgb) const {
+  assert(rgb.channels() == 3);
+  const ImageF canonical =
+      Resize(rgb, canonical_width_, canonical_height_);
+  Vec out;
+  out.reserve(dim());
+  for (const auto& block : blocks_) {
+    Vec part = block.descriptor->Extract(canonical);
+    assert(part.size() == block.descriptor->dim());
+    NormalizeVector(&part, block.normalization);
+    for (float v : part) out.push_back(v * block.weight);
+  }
+  return out;
+}
+
+std::string FeatureExtractor::Name() const {
+  std::string name = "extractor[";
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    if (i > 0) name += ", ";
+    name += blocks_[i].descriptor->Name();
+    name += "*";
+    name += std::to_string(blocks_[i].weight).substr(0, 4);
+  }
+  name += "]";
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Standard descriptor registry.
+
+Result<std::unique_ptr<ImageDescriptor>> MakeStandardDescriptor(
+    const std::string& name) {
+  auto hsv = std::make_shared<HsvQuantizer>(18, 3, 3);
+  auto rgb = std::make_shared<RgbUniformQuantizer>(4);
+  if (name == "color_hist") {
+    return std::unique_ptr<ImageDescriptor>(
+        new ColorHistogramDescriptor(hsv));
+  }
+  if (name == "cumulative_hist") {
+    return std::unique_ptr<ImageDescriptor>(
+        new CumulativeHistogramDescriptor(hsv));
+  }
+  if (name == "grid_hist") {
+    return std::unique_ptr<ImageDescriptor>(
+        new GridHistogramDescriptor(rgb, 3, 3));
+  }
+  if (name == "color_moments") {
+    return std::unique_ptr<ImageDescriptor>(new ColorMomentsDescriptor());
+  }
+  if (name == "correlogram") {
+    return std::unique_ptr<ImageDescriptor>(new AutoCorrelogramDescriptor(
+        std::make_shared<RgbUniformQuantizer>(3)));
+  }
+  if (name == "glcm") {
+    return std::unique_ptr<ImageDescriptor>(new GlcmDescriptor());
+  }
+  if (name == "wavelet") {
+    return std::unique_ptr<ImageDescriptor>(
+        new WaveletSignatureDescriptor());
+  }
+  if (name == "edge_hist") {
+    return std::unique_ptr<ImageDescriptor>(
+        new EdgeOrientationHistogramDescriptor());
+  }
+  if (name == "shape") {
+    return std::unique_ptr<ImageDescriptor>(new ShapeMomentsDescriptor());
+  }
+  if (name == "sdt_hist") {
+    return std::unique_ptr<ImageDescriptor>(new SdtHistogramDescriptor());
+  }
+  return Status::InvalidArgument("unknown descriptor: " + name);
+}
+
+std::vector<std::string> StandardDescriptorNames() {
+  return {"color_hist", "cumulative_hist", "grid_hist", "color_moments",
+          "correlogram", "glcm",           "wavelet",   "edge_hist",
+          "shape",      "sdt_hist"};
+}
+
+FeatureExtractor MakeDefaultExtractor(int canonical_size) {
+  FeatureExtractor extractor(canonical_size, canonical_size);
+  auto hsv = std::make_shared<HsvQuantizer>(18, 3, 3);
+  auto rgb3 = std::make_shared<RgbUniformQuantizer>(3);
+  extractor
+      .Add(std::make_shared<ColorHistogramDescriptor>(hsv), 1.0f,
+           Normalization::kNone)  // already L1-normalized internally
+      .Add(std::make_shared<AutoCorrelogramDescriptor>(rgb3), 0.8f,
+           Normalization::kNone)
+      .Add(std::make_shared<GlcmDescriptor>(), 0.6f, Normalization::kMinMax)
+      .Add(std::make_shared<WaveletSignatureDescriptor>(), 0.6f,
+           Normalization::kMinMax)
+      .Add(std::make_shared<EdgeOrientationHistogramDescriptor>(), 0.5f,
+           Normalization::kNone)
+      .Add(std::make_shared<ShapeMomentsDescriptor>(), 0.4f,
+           Normalization::kMinMax);
+  return extractor;
+}
+
+Result<FeatureExtractor> MakeSingleDescriptorExtractor(
+    const std::string& name, int canonical_size) {
+  CBIX_ASSIGN_OR_RETURN(std::unique_ptr<ImageDescriptor> descriptor,
+                        MakeStandardDescriptor(name));
+  // Histogram-family descriptors self-normalize; dense statistics
+  // blocks get min-max so no single dimension dominates distances.
+  Normalization norm = Normalization::kNone;
+  if (name == "glcm" || name == "wavelet" || name == "shape" ||
+      name == "color_moments") {
+    norm = Normalization::kMinMax;
+  }
+  FeatureExtractor extractor(canonical_size, canonical_size);
+  extractor.Add(std::shared_ptr<const ImageDescriptor>(std::move(descriptor)),
+                1.0f, norm);
+  return extractor;
+}
+
+}  // namespace cbix

@@ -1,0 +1,80 @@
+// The feature extraction pipeline: canonicalizes an input image
+// (float conversion + resize to a fixed working resolution), runs a set
+// of weighted descriptor blocks, normalizes each block, and concatenates
+// the results into the final indexable vector.
+
+#ifndef CBIX_FEATURES_EXTRACTOR_H_
+#define CBIX_FEATURES_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/descriptor.h"
+#include "image/image.h"
+#include "util/status.h"
+
+namespace cbix {
+
+/// One descriptor in a composite extractor.
+struct DescriptorBlock {
+  std::shared_ptr<const ImageDescriptor> descriptor;
+  float weight = 1.0f;  ///< multiplies the normalized block
+  Normalization normalization = Normalization::kNone;
+};
+
+class FeatureExtractor {
+ public:
+  /// `canonical_width/height` is the working resolution every image is
+  /// resized to before descriptors run (bilinear). Must be >= 16.
+  FeatureExtractor(int canonical_width = 128, int canonical_height = 128);
+
+  /// Appends a descriptor block. Returns *this for chaining.
+  FeatureExtractor& Add(std::shared_ptr<const ImageDescriptor> descriptor,
+                        float weight = 1.0f,
+                        Normalization normalization = Normalization::kNone);
+
+  /// Total output dimensionality (sum of block dims).
+  size_t dim() const;
+
+  /// Number of descriptor blocks.
+  size_t block_count() const { return blocks_.size(); }
+  const DescriptorBlock& block(size_t i) const { return blocks_[i]; }
+
+  /// Runs the pipeline on a decoded image. The image may be 1- or
+  /// 3-channel u8; grayscale inputs are replicated to RGB.
+  Vec Extract(const ImageU8& image) const;
+
+  /// Float-image entry point (must be 3-channel RGB in [0,1]).
+  Vec ExtractFromFloat(const ImageF& rgb) const;
+
+  /// Descriptive name listing the blocks, e.g.
+  /// "extractor[color_hist_rgb4x4x4*1, glcm_l16_d3*0.5]".
+  std::string Name() const;
+
+  int canonical_width() const { return canonical_width_; }
+  int canonical_height() const { return canonical_height_; }
+
+ private:
+  int canonical_width_;
+  int canonical_height_;
+  std::vector<DescriptorBlock> blocks_;
+};
+
+/// The library's default retrieval pipeline: HSV colour histogram (L1,
+/// weight 1.0), auto-correlogram (weight 0.8), GLCM texture (min-max,
+/// weight 0.6), wavelet signature (min-max, weight 0.6), edge
+/// orientation histogram (weight 0.5) and shape moments (min-max,
+/// weight 0.4). A reasonable all-round configuration used by the
+/// examples and quality benches.
+FeatureExtractor MakeDefaultExtractor(int canonical_size = 128);
+
+/// Single-descriptor extractor by standard name (see
+/// MakeStandardDescriptor), with the block normalization that suits the
+/// descriptor family.
+Result<FeatureExtractor> MakeSingleDescriptorExtractor(
+    const std::string& name, int canonical_size = 128);
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_EXTRACTOR_H_

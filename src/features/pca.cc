@@ -1,0 +1,90 @@
+#include "features/pca.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbix {
+
+Status Pca::Fit(const std::vector<Vec>& samples) {
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("pca: need at least 2 samples");
+  }
+  const size_t d = samples[0].size();
+  if (d == 0) return Status::InvalidArgument("pca: empty vectors");
+  for (const Vec& s : samples) {
+    if (s.size() != d) {
+      return Status::InvalidArgument("pca: inconsistent dimensions");
+    }
+  }
+
+  std::vector<std::vector<double>> rows(samples.size(),
+                                        std::vector<double>(d));
+  for (size_t i = 0; i < samples.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) rows[i][j] = samples[i][j];
+  }
+
+  mean_.assign(d, 0.0);
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += r[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(rows.size());
+
+  const Matrix cov = Covariance(rows);
+  EigenDecomposition eig = JacobiEigenSymmetric(cov);
+  eigenvalues_ = std::move(eig.values);
+  // Numerical noise can push tiny eigenvalues below zero; clamp.
+  for (double& v : eigenvalues_) v = std::max(0.0, v);
+  components_ = std::move(eig.vectors);
+  fitted_ = true;
+  return Status::Ok();
+}
+
+Vec Pca::Project(const Vec& v, size_t k) const {
+  assert(fitted_);
+  assert(v.size() == mean_.size());
+  assert(k >= 1 && k <= mean_.size());
+  Vec out(k, 0.0f);
+  for (size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    for (size_t i = 0; i < mean_.size(); ++i) {
+      acc += (v[i] - mean_[i]) * components_(i, j);
+    }
+    out[j] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Vec Pca::Reconstruct(const Vec& projected) const {
+  assert(fitted_);
+  assert(projected.size() <= mean_.size());
+  Vec out(mean_.size());
+  for (size_t i = 0; i < mean_.size(); ++i) {
+    double acc = mean_[i];
+    for (size_t j = 0; j < projected.size(); ++j) {
+      acc += projected[j] * components_(i, j);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+double Pca::ExplainedVariance(size_t k) const {
+  assert(fitted_);
+  double total = 0.0, head = 0.0;
+  for (size_t i = 0; i < eigenvalues_.size(); ++i) {
+    total += eigenvalues_[i];
+    if (i < k) head += eigenvalues_[i];
+  }
+  return total > 0.0 ? head / total : 0.0;
+}
+
+size_t Pca::ComponentsForVariance(double fraction) const {
+  assert(fitted_);
+  assert(fraction > 0.0 && fraction <= 1.0);
+  for (size_t k = 1; k <= eigenvalues_.size(); ++k) {
+    if (ExplainedVariance(k) >= fraction) return k;
+  }
+  return eigenvalues_.size();
+}
+
+}  // namespace cbix

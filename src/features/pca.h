@@ -1,0 +1,50 @@
+// Principal component analysis for feature dimensionality reduction
+// (experiment E12): fit on a training sample, project vectors onto the
+// top-k components, optionally reconstruct.
+
+#ifndef CBIX_FEATURES_PCA_H_
+#define CBIX_FEATURES_PCA_H_
+
+#include <vector>
+
+#include "features/descriptor.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace cbix {
+
+class Pca {
+ public:
+  /// Fits mean and principal axes from `samples` (each of equal dim d,
+  /// at least 2 samples). Components are stored in descending
+  /// eigenvalue order.
+  Status Fit(const std::vector<Vec>& samples);
+
+  bool fitted() const { return fitted_; }
+  size_t input_dim() const { return mean_.size(); }
+
+  /// Eigenvalues (variances along components), descending.
+  const std::vector<double>& eigenvalues() const { return eigenvalues_; }
+
+  /// Projects `v` onto the first `k` components (k <= input_dim).
+  Vec Project(const Vec& v, size_t k) const;
+
+  /// Reconstructs an input-space vector from a k-dim projection.
+  Vec Reconstruct(const Vec& projected) const;
+
+  /// Fraction of total variance captured by the first `k` components.
+  double ExplainedVariance(size_t k) const;
+
+  /// Smallest k whose explained variance reaches `fraction` (0..1].
+  size_t ComponentsForVariance(double fraction) const;
+
+ private:
+  bool fitted_ = false;
+  std::vector<double> mean_;
+  std::vector<double> eigenvalues_;
+  Matrix components_;  // d x d, eigenvectors as columns
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_PCA_H_

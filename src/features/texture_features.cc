@@ -1,0 +1,83 @@
+#include "features/texture_features.h"
+
+#include <cassert>
+
+#include "image/color.h"
+#include "image/glcm.h"
+#include "image/wavelet.h"
+
+namespace cbix {
+
+GlcmDescriptor::GlcmDescriptor(int gray_levels, std::vector<int> distances)
+    : gray_levels_(gray_levels), distances_(std::move(distances)) {
+  assert(gray_levels >= 2 && !distances_.empty());
+}
+
+Vec GlcmDescriptor::Extract(const ImageF& rgb) const {
+  const ImageF gray = ToGray(rgb);
+  Vec out;
+  out.reserve(dim());
+  for (int d : distances_) {
+    double energy = 0, entropy = 0, contrast = 0, homogeneity = 0,
+           correlation = 0;
+    const auto offsets = StandardGlcmOffsets(d);
+    for (const auto& [dx, dy] : offsets) {
+      const Glcm glcm(gray, gray_levels_, dx, dy, /*symmetric=*/true);
+      energy += glcm.Energy();
+      entropy += glcm.Entropy();
+      contrast += glcm.Contrast();
+      homogeneity += glcm.Homogeneity();
+      correlation += glcm.Correlation();
+    }
+    const double k = static_cast<double>(offsets.size());
+    out.push_back(static_cast<float>(energy / k));
+    out.push_back(static_cast<float>(entropy / k));
+    out.push_back(static_cast<float>(contrast / k));
+    out.push_back(static_cast<float>(homogeneity / k));
+    out.push_back(static_cast<float>(correlation / k));
+  }
+  return out;
+}
+
+std::string GlcmDescriptor::Name() const {
+  return "glcm_l" + std::to_string(gray_levels_) + "_d" +
+         std::to_string(distances_.size());
+}
+
+WaveletSignatureDescriptor::WaveletSignatureDescriptor(int levels)
+    : levels_(levels) {
+  assert(levels >= 1);
+}
+
+Vec WaveletSignatureDescriptor::Extract(const ImageF& rgb) const {
+  ImageF gray = ToGray(rgb);
+  // Crop to dimensions divisible by 2^levels so every level decomposes.
+  const int mask = (1 << levels_) - 1;
+  const int w = gray.width() & ~mask;
+  const int h = gray.height() & ~mask;
+  assert(w >= (1 << levels_) && h >= (1 << levels_));
+  if (w != gray.width() || h != gray.height()) {
+    gray = Crop(gray, 0, 0, w, h);
+  }
+
+  const HaarPyramid pyramid = HaarDecomposeLevels(gray, levels_);
+  Vec out;
+  out.reserve(dim());
+  for (const HaarSubbands& level : pyramid.levels) {
+    out.push_back(BandEnergy(level.lh));
+    out.push_back(BandEnergy(level.hl));
+    out.push_back(BandEnergy(level.hh));
+  }
+  out.push_back(BandEnergy(pyramid.approx));
+  double mean = 0.0;
+  for (float v : pyramid.approx.data()) mean += v;
+  mean /= static_cast<double>(pyramid.approx.data().size());
+  out.push_back(static_cast<float>(mean));
+  return out;
+}
+
+std::string WaveletSignatureDescriptor::Name() const {
+  return "wavelet_l" + std::to_string(levels_);
+}
+
+}  // namespace cbix

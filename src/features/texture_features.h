@@ -1,0 +1,50 @@
+// Texture descriptors: GLCM/Haralick statistics and the Haar wavelet
+// subband-energy signature.
+
+#ifndef CBIX_FEATURES_TEXTURE_FEATURES_H_
+#define CBIX_FEATURES_TEXTURE_FEATURES_H_
+
+#include <vector>
+
+#include "features/descriptor.h"
+
+namespace cbix {
+
+/// Haralick statistics (energy, entropy, contrast, homogeneity,
+/// correlation) of the gray-level co-occurrence matrix, averaged over
+/// the four standard directions (rotation robustness), one group per
+/// probe distance. dim = 5 * |distances|.
+class GlcmDescriptor : public ImageDescriptor {
+ public:
+  explicit GlcmDescriptor(int gray_levels = 16,
+                          std::vector<int> distances = {1, 2, 4});
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return 5 * distances_.size(); }
+  std::string Name() const override;
+
+ private:
+  int gray_levels_;
+  std::vector<int> distances_;
+};
+
+/// Haar wavelet signature: RMS energy of every detail subband (LH, HL,
+/// HH per level) plus energy and mean of the final approximation band.
+/// For `levels` = 3 this is the classic 10-subband signature + mean,
+/// dim = 3 * levels + 2. The image is implicitly cropped to the largest
+/// size decomposable `levels` times.
+class WaveletSignatureDescriptor : public ImageDescriptor {
+ public:
+  explicit WaveletSignatureDescriptor(int levels = 3);
+
+  Vec Extract(const ImageF& rgb) const override;
+  size_t dim() const override { return 3 * static_cast<size_t>(levels_) + 2; }
+  std::string Name() const override;
+
+ private:
+  int levels_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_FEATURES_TEXTURE_FEATURES_H_

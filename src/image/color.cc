@@ -1,0 +1,240 @@
+#include "image/color.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+std::string ColorSpaceName(ColorSpace space) {
+  switch (space) {
+    case ColorSpace::kRgb:
+      return "rgb";
+    case ColorSpace::kHsv:
+      return "hsv";
+    case ColorSpace::kOpponent:
+      return "opponent";
+    case ColorSpace::kGray:
+      return "gray";
+  }
+  return "unknown";
+}
+
+std::array<float, 3> RgbToHsv(float r, float g, float b) {
+  const float maxc = std::max({r, g, b});
+  const float minc = std::min({r, g, b});
+  const float delta = maxc - minc;
+  float h = 0.0f;
+  if (delta > 0.0f) {
+    if (maxc == r) {
+      h = (g - b) / delta;
+      if (h < 0.0f) h += 6.0f;
+    } else if (maxc == g) {
+      h = (b - r) / delta + 2.0f;
+    } else {
+      h = (r - g) / delta + 4.0f;
+    }
+    h /= 6.0f;
+  }
+  const float s = maxc > 0.0f ? delta / maxc : 0.0f;
+  return {h, s, maxc};
+}
+
+std::array<float, 3> HsvToRgb(float h, float s, float v) {
+  if (s <= 0.0f) return {v, v, v};
+  h = h - std::floor(h);  // wrap to [0, 1)
+  const float h6 = h * 6.0f;
+  const int sector = static_cast<int>(h6) % 6;
+  const float f = h6 - std::floor(h6);
+  const float p = v * (1.0f - s);
+  const float q = v * (1.0f - s * f);
+  const float t = v * (1.0f - s * (1.0f - f));
+  switch (sector) {
+    case 0:
+      return {v, t, p};
+    case 1:
+      return {q, v, p};
+    case 2:
+      return {p, v, t};
+    case 3:
+      return {p, q, v};
+    case 4:
+      return {t, p, v};
+    default:
+      return {v, p, q};
+  }
+}
+
+std::array<float, 3> RgbToOpponent(float r, float g, float b) {
+  const float o1 = (r + g + b) / 3.0f;
+  const float o2 = (r - g + 1.0f) / 2.0f;
+  const float o3 = ((r + g) / 2.0f - b + 1.0f) / 2.0f;
+  return {o1, o2, o3};
+}
+
+namespace {
+
+float LuminanceOf(float r, float g, float b) {
+  return 0.299f * r + 0.587f * g + 0.114f * b;
+}
+
+}  // namespace
+
+ImageF ToGray(const ImageF& in) {
+  if (in.channels() == 1) return in;
+  assert(in.channels() >= 3);
+  ImageF out(in.width(), in.height(), 1);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      out.at(x, y) =
+          LuminanceOf(in.at(x, y, 0), in.at(x, y, 1), in.at(x, y, 2));
+    }
+  }
+  return out;
+}
+
+ImageU8 ToGray(const ImageU8& in) {
+  if (in.channels() == 1) return in;
+  assert(in.channels() >= 3);
+  ImageU8 out(in.width(), in.height(), 1);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      const float lum = LuminanceOf(in.at(x, y, 0), in.at(x, y, 1),
+                                    in.at(x, y, 2));
+      out.at(x, y) = static_cast<uint8_t>(std::clamp(lum, 0.0f, 255.0f));
+    }
+  }
+  return out;
+}
+
+ImageF ConvertColorSpace(const ImageF& rgb, ColorSpace space) {
+  if (space == ColorSpace::kGray) return ToGray(rgb);
+  if (space == ColorSpace::kRgb) return rgb;
+  assert(rgb.channels() >= 3);
+  ImageF out(rgb.width(), rgb.height(), 3);
+  for (int y = 0; y < rgb.height(); ++y) {
+    for (int x = 0; x < rgb.width(); ++x) {
+      const float r = rgb.at(x, y, 0);
+      const float g = rgb.at(x, y, 1);
+      const float b = rgb.at(x, y, 2);
+      const std::array<float, 3> v = space == ColorSpace::kHsv
+                                         ? RgbToHsv(r, g, b)
+                                         : RgbToOpponent(r, g, b);
+      out.at(x, y, 0) = v[0];
+      out.at(x, y, 1) = v[1];
+      out.at(x, y, 2) = v[2];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RgbUniformQuantizer
+
+RgbUniformQuantizer::RgbUniformQuantizer(int bins_per_channel)
+    : bins_(bins_per_channel) {
+  assert(bins_per_channel >= 1);
+}
+
+int RgbUniformQuantizer::ChannelBin(float v) const {
+  const int b = static_cast<int>(v * bins_);
+  return std::clamp(b, 0, bins_ - 1);
+}
+
+int RgbUniformQuantizer::BinOf(float r, float g, float b) const {
+  return (ChannelBin(r) * bins_ + ChannelBin(g)) * bins_ + ChannelBin(b);
+}
+
+std::array<float, 3> RgbUniformQuantizer::BinColor(int bin) const {
+  assert(bin >= 0 && bin < bin_count());
+  const int bb = bin % bins_;
+  const int gb = (bin / bins_) % bins_;
+  const int rb = bin / (bins_ * bins_);
+  const float inv = 1.0f / bins_;
+  return {(rb + 0.5f) * inv, (gb + 0.5f) * inv, (bb + 0.5f) * inv};
+}
+
+std::string RgbUniformQuantizer::Name() const {
+  return "rgb" + std::to_string(bins_) + "x" + std::to_string(bins_) + "x" +
+         std::to_string(bins_);
+}
+
+// ---------------------------------------------------------------------------
+// HsvQuantizer
+
+HsvQuantizer::HsvQuantizer(int h_bins, int s_bins, int v_bins)
+    : h_bins_(h_bins), s_bins_(s_bins), v_bins_(v_bins) {
+  assert(h_bins >= 1 && s_bins >= 1 && v_bins >= 1);
+}
+
+int HsvQuantizer::BinOf(float r, float g, float b) const {
+  const auto hsv = RgbToHsv(r, g, b);
+  const int hb = std::clamp(static_cast<int>(hsv[0] * h_bins_), 0,
+                            h_bins_ - 1);
+  const int sb = std::clamp(static_cast<int>(hsv[1] * s_bins_), 0,
+                            s_bins_ - 1);
+  const int vb = std::clamp(static_cast<int>(hsv[2] * v_bins_), 0,
+                            v_bins_ - 1);
+  return (hb * s_bins_ + sb) * v_bins_ + vb;
+}
+
+std::array<float, 3> HsvQuantizer::BinColor(int bin) const {
+  assert(bin >= 0 && bin < bin_count());
+  const int vb = bin % v_bins_;
+  const int sb = (bin / v_bins_) % s_bins_;
+  const int hb = bin / (v_bins_ * s_bins_);
+  const float h = (hb + 0.5f) / h_bins_;
+  const float s = (sb + 0.5f) / s_bins_;
+  const float v = (vb + 0.5f) / v_bins_;
+  return HsvToRgb(h, s, v);
+}
+
+std::string HsvQuantizer::Name() const {
+  return "hsv" + std::to_string(h_bins_) + "x" + std::to_string(s_bins_) +
+         "x" + std::to_string(v_bins_);
+}
+
+// ---------------------------------------------------------------------------
+// GrayQuantizer
+
+GrayQuantizer::GrayQuantizer(int levels) : levels_(levels) {
+  assert(levels >= 1);
+}
+
+int GrayQuantizer::BinOf(float r, float g, float b) const {
+  const float lum = LuminanceOf(r, g, b);
+  return std::clamp(static_cast<int>(lum * levels_), 0, levels_ - 1);
+}
+
+std::array<float, 3> GrayQuantizer::BinColor(int bin) const {
+  assert(bin >= 0 && bin < levels_);
+  const float v = (bin + 0.5f) / levels_;
+  return {v, v, v};
+}
+
+std::string GrayQuantizer::Name() const {
+  return "gray" + std::to_string(levels_);
+}
+
+std::unique_ptr<ColorQuantizer> MakeQuantizer(ColorSpace space,
+                                              int bins_hint) {
+  switch (space) {
+    case ColorSpace::kRgb: {
+      // Choose the per-channel split whose cube is closest to the hint.
+      int per_channel = std::max(1, static_cast<int>(std::round(
+                                        std::cbrt(bins_hint))));
+      return std::make_unique<RgbUniformQuantizer>(per_channel);
+    }
+    case ColorSpace::kHsv: {
+      // Hue-dominant split: h = hint / 9, s = v = 3 (classic 162 = 18*3*3).
+      const int h = std::max(1, bins_hint / 9);
+      return std::make_unique<HsvQuantizer>(h, 3, 3);
+    }
+    case ColorSpace::kOpponent:
+    case ColorSpace::kGray:
+      return std::make_unique<GrayQuantizer>(std::max(1, bins_hint));
+  }
+  return std::make_unique<RgbUniformQuantizer>(4);
+}
+
+}  // namespace cbix

@@ -1,0 +1,125 @@
+// Colour space conversions and colour quantizers.
+//
+// Early CBIR systems index colour in a perceptually motivated space:
+// HSV with a coarse (H-heavy) quantization is the classic choice, RGB
+// with uniform per-channel bins the naive baseline, and the opponent
+// axes (intensity, R-G, B-Y) an intermediate. All three are provided so
+// the histogram experiments can compare them.
+
+#ifndef CBIX_IMAGE_COLOR_H_
+#define CBIX_IMAGE_COLOR_H_
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// Colour spaces understood by the conversion and quantization helpers.
+enum class ColorSpace {
+  kRgb,
+  kHsv,
+  kOpponent,
+  kGray,
+};
+
+std::string ColorSpaceName(ColorSpace space);
+
+/// RGB (0..1 floats) -> HSV with H, S, V all scaled to [0, 1].
+/// H follows the usual hexcone model (0 = red, 1/3 = green, 2/3 = blue);
+/// for achromatic pixels (S == 0) H is defined as 0.
+std::array<float, 3> RgbToHsv(float r, float g, float b);
+
+/// Inverse of RgbToHsv.
+std::array<float, 3> HsvToRgb(float h, float s, float v);
+
+/// RGB -> opponent colour axes, each scaled back into [0, 1]:
+///   o1 = (r + g + b) / 3            (intensity)
+///   o2 = (r - g + 1) / 2            (red–green)
+///   o3 = ((r + g) / 2 - b + 1) / 2  (yellow–blue)
+std::array<float, 3> RgbToOpponent(float r, float g, float b);
+
+/// Luminance (ITU-R BT.601 weights) of an RGB image; 1-channel images
+/// pass through unchanged.
+ImageF ToGray(const ImageF& in);
+ImageU8 ToGray(const ImageU8& in);
+
+/// Converts a 3-channel RGB float image to `space` (kGray yields a
+/// 1-channel image, others 3-channel).
+ImageF ConvertColorSpace(const ImageF& rgb, ColorSpace space);
+
+/// Maps a pixel to a discrete colour bin index; the foundation of colour
+/// histograms and correlograms.
+class ColorQuantizer {
+ public:
+  virtual ~ColorQuantizer() = default;
+
+  /// Total number of bins.
+  virtual int bin_count() const = 0;
+
+  /// Bin index in [0, bin_count()) for an RGB (0..1) pixel.
+  virtual int BinOf(float r, float g, float b) const = 0;
+
+  /// Representative RGB colour of a bin (bin centre), for visualization
+  /// and quadratic-form ground distances.
+  virtual std::array<float, 3> BinColor(int bin) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Uniform per-channel RGB quantizer: `bins_per_channel`^3 bins.
+class RgbUniformQuantizer : public ColorQuantizer {
+ public:
+  explicit RgbUniformQuantizer(int bins_per_channel);
+
+  int bin_count() const override { return bins_ * bins_ * bins_; }
+  int BinOf(float r, float g, float b) const override;
+  std::array<float, 3> BinColor(int bin) const override;
+  std::string Name() const override;
+
+  int bins_per_channel() const { return bins_; }
+
+ private:
+  int ChannelBin(float v) const;
+  int bins_;
+};
+
+/// HSV quantizer with independent H/S/V bin counts. The CBIR-classic
+/// configuration is (18, 3, 3) = 162 bins, hue-dominant.
+class HsvQuantizer : public ColorQuantizer {
+ public:
+  HsvQuantizer(int h_bins, int s_bins, int v_bins);
+
+  int bin_count() const override { return h_bins_ * s_bins_ * v_bins_; }
+  int BinOf(float r, float g, float b) const override;
+  std::array<float, 3> BinColor(int bin) const override;
+  std::string Name() const override;
+
+ private:
+  int h_bins_, s_bins_, v_bins_;
+};
+
+/// Gray-level quantizer (`levels` uniform luminance bins); also the bin
+/// mapping used by GLCM texture analysis.
+class GrayQuantizer : public ColorQuantizer {
+ public:
+  explicit GrayQuantizer(int levels);
+
+  int bin_count() const override { return levels_; }
+  int BinOf(float r, float g, float b) const override;
+  std::array<float, 3> BinColor(int bin) const override;
+  std::string Name() const override;
+
+ private:
+  int levels_;
+};
+
+/// Factory used by feature-extractor configuration.
+std::unique_ptr<ColorQuantizer> MakeQuantizer(ColorSpace space,
+                                              int bins_hint);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_COLOR_H_

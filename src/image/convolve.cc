@@ -1,0 +1,110 @@
+#include "image/convolve.h"
+
+#include <cassert>
+
+namespace cbix {
+
+int ResolveBorder(int coord, int size, BorderMode border) {
+  if (coord >= 0 && coord < size) return coord;
+  switch (border) {
+    case BorderMode::kReplicate:
+      return coord < 0 ? 0 : size - 1;
+    case BorderMode::kReflect: {
+      // Mirror without edge repetition; handle repeated reflections for
+      // coordinates far outside (small kernels never need more than a
+      // couple of bounces).
+      if (size == 1) return 0;
+      const int period = 2 * (size - 1);
+      int m = coord % period;
+      if (m < 0) m += period;
+      return m < size ? m : period - m;
+    }
+    case BorderMode::kZero:
+      return -1;
+  }
+  return -1;
+}
+
+ImageF Convolve(const ImageF& in, const Kernel& kernel, BorderMode border) {
+  assert(kernel.width % 2 == 1 && kernel.height % 2 == 1);
+  assert(static_cast<int>(kernel.weights.size()) ==
+         kernel.width * kernel.height);
+  const int rx = kernel.width / 2;
+  const int ry = kernel.height / 2;
+  ImageF out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        float acc = 0.0f;
+        for (int ky = -ry; ky <= ry; ++ky) {
+          const int sy = ResolveBorder(y + ky, in.height(), border);
+          if (sy < 0) continue;
+          for (int kx = -rx; kx <= rx; ++kx) {
+            const int sx = ResolveBorder(x + kx, in.width(), border);
+            if (sx < 0) continue;
+            acc += kernel.at(kx + rx, ky + ry) * in.at(sx, sy, c);
+          }
+        }
+        out.at(x, y, c) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One horizontal pass of a 1-D kernel.
+ImageF ConvolveRows(const ImageF& in, const std::vector<float>& k,
+                    BorderMode border) {
+  const int r = static_cast<int>(k.size()) / 2;
+  ImageF out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        float acc = 0.0f;
+        for (int i = -r; i <= r; ++i) {
+          const int sx = ResolveBorder(x + i, in.width(), border);
+          if (sx < 0) continue;
+          acc += k[i + r] * in.at(sx, y, c);
+        }
+        out.at(x, y, c) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+/// One vertical pass of a 1-D kernel.
+ImageF ConvolveCols(const ImageF& in, const std::vector<float>& k,
+                    BorderMode border) {
+  const int r = static_cast<int>(k.size()) / 2;
+  ImageF out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        float acc = 0.0f;
+        for (int i = -r; i <= r; ++i) {
+          const int sy = ResolveBorder(y + i, in.height(), border);
+          if (sy < 0) continue;
+          acc += k[i + r] * in.at(x, sy, c);
+        }
+        out.at(x, y, c) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageF ConvolveSeparable(const ImageF& in,
+                         const std::vector<float>& row_kernel,
+                         const std::vector<float>& col_kernel,
+                         BorderMode border) {
+  assert(row_kernel.size() % 2 == 1 && col_kernel.size() % 2 == 1);
+  return ConvolveCols(ConvolveRows(in, row_kernel, border), col_kernel,
+                      border);
+}
+
+}  // namespace cbix

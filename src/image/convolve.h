@@ -1,0 +1,50 @@
+// 2D convolution (general and separable) with selectable border handling.
+// Operates on float images, per channel. Kernels are given in row-major
+// order with odd dimensions; anchor is the kernel centre.
+
+#ifndef CBIX_IMAGE_CONVOLVE_H_
+#define CBIX_IMAGE_CONVOLVE_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// How samples outside the image are synthesized.
+enum class BorderMode {
+  kReplicate,  ///< clamp to nearest edge pixel (default for filters)
+  kReflect,    ///< mirror without repeating the edge sample (dcb|abcd|cba)
+  kZero,       ///< treat outside as 0
+};
+
+/// Dense convolution kernel. `width` and `height` must be odd.
+struct Kernel {
+  int width = 0;
+  int height = 0;
+  std::vector<float> weights;  // row-major, size == width * height
+
+  float at(int kx, int ky) const { return weights[ky * width + kx]; }
+};
+
+/// Correlation-style 2D convolution of every channel of `in` with
+/// `kernel` (no kernel flip — all built-in kernels are either symmetric
+/// or defined in correlation orientation, matching common practice).
+ImageF Convolve(const ImageF& in, const Kernel& kernel,
+                BorderMode border = BorderMode::kReplicate);
+
+/// Separable convolution: applies `row_kernel` horizontally then
+/// `col_kernel` vertically. Both must have odd length. Equivalent to the
+/// dense outer-product kernel but O(w + h) per pixel instead of O(w * h).
+ImageF ConvolveSeparable(const ImageF& in,
+                         const std::vector<float>& row_kernel,
+                         const std::vector<float>& col_kernel,
+                         BorderMode border = BorderMode::kReplicate);
+
+/// Resolves a (possibly out-of-range) coordinate to a valid one under
+/// `border`; returns -1 for kZero when outside.
+int ResolveBorder(int coord, int size, BorderMode border);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_CONVOLVE_H_

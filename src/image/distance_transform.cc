@@ -1,0 +1,115 @@
+#include "image/distance_transform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+
+/// Two-pass chamfer sweep over an initialized distance map (in mask
+/// units). Forward pass scans top-left to bottom-right considering the
+/// causal half-mask; backward pass mirrors it.
+void ChamferSweep(ImageF* dist, const ChamferWeights& w) {
+  const int width = dist->width();
+  const int height = dist->height();
+  auto relax = [dist](int x, int y, int nx, int ny, float cost) {
+    if (nx < 0 || nx >= dist->width() || ny < 0 || ny >= dist->height()) {
+      return;
+    }
+    const float candidate = dist->at(nx, ny) + cost;
+    if (candidate < dist->at(x, y)) dist->at(x, y) = candidate;
+  };
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      relax(x, y, x - 1, y, w.axial);
+      relax(x, y, x, y - 1, w.axial);
+      relax(x, y, x - 1, y - 1, w.diagonal);
+      relax(x, y, x + 1, y - 1, w.diagonal);
+    }
+  }
+  for (int y = height - 1; y >= 0; --y) {
+    for (int x = width - 1; x >= 0; --x) {
+      relax(x, y, x + 1, y, w.axial);
+      relax(x, y, x, y + 1, w.axial);
+      relax(x, y, x + 1, y + 1, w.diagonal);
+      relax(x, y, x - 1, y + 1, w.diagonal);
+    }
+  }
+}
+
+}  // namespace
+
+ImageF ChamferDistanceTransform(const ImageU8& feature_mask,
+                                float no_feature_value,
+                                ChamferWeights weights) {
+  assert(feature_mask.channels() == 1);
+  ImageF dist(feature_mask.width(), feature_mask.height(), 1);
+  const float inf = no_feature_value * weights.unit;
+  for (int y = 0; y < dist.height(); ++y) {
+    for (int x = 0; x < dist.width(); ++x) {
+      dist.at(x, y) = feature_mask.at(x, y) != 0 ? 0.0f : inf;
+    }
+  }
+  ChamferSweep(&dist, weights);
+  for (float& v : dist.data()) {
+    v = std::min(v / weights.unit, no_feature_value);
+  }
+  return dist;
+}
+
+ImageF SalienceDistanceTransform(const ImageF& salience, float min_salience,
+                                 float alpha, ChamferWeights weights) {
+  assert(salience.channels() == 1);
+  float max_salience = 0.0f;
+  for (float v : salience.data()) max_salience = std::max(max_salience, v);
+
+  ImageF dist(salience.width(), salience.height(), 1);
+  constexpr float kInf = 1e9f;
+  if (max_salience <= min_salience) {
+    dist.Fill(kInf);
+    return dist;
+  }
+  for (int y = 0; y < dist.height(); ++y) {
+    for (int x = 0; x < dist.width(); ++x) {
+      const float s = salience.at(x, y);
+      if (s > min_salience) {
+        // Strong edges seed near 0, weak accepted edges near alpha.
+        dist.at(x, y) = alpha * (1.0f - s / max_salience) * weights.unit;
+      } else {
+        dist.at(x, y) = kInf;
+      }
+    }
+  }
+  ChamferSweep(&dist, weights);
+  for (float& v : dist.data()) v /= weights.unit;
+  return dist;
+}
+
+ImageF BruteForceEuclideanDistanceTransform(const ImageU8& feature_mask,
+                                            float no_feature_value) {
+  assert(feature_mask.channels() == 1);
+  std::vector<std::pair<int, int>> features;
+  for (int y = 0; y < feature_mask.height(); ++y) {
+    for (int x = 0; x < feature_mask.width(); ++x) {
+      if (feature_mask.at(x, y) != 0) features.emplace_back(x, y);
+    }
+  }
+  ImageF dist(feature_mask.width(), feature_mask.height(), 1);
+  for (int y = 0; y < dist.height(); ++y) {
+    for (int x = 0; x < dist.width(); ++x) {
+      float best = no_feature_value;
+      for (const auto& [fx, fy] : features) {
+        const float dx = static_cast<float>(x - fx);
+        const float dy = static_cast<float>(y - fy);
+        best = std::min(best, std::sqrt(dx * dx + dy * dy));
+      }
+      dist.at(x, y) = best;
+    }
+  }
+  return dist;
+}
+
+}  // namespace cbix

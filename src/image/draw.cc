@@ -1,0 +1,199 @@
+#include "image/draw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+
+float LuminanceOf(const ColorF& c) {
+  return 0.299f * c.r + 0.587f * c.g + 0.114f * c.b;
+}
+
+}  // namespace
+
+void PutPixel(ImageF* img, int x, int y, const ColorF& color) {
+  if (!img->InBounds(x, y)) return;
+  if (img->channels() >= 3) {
+    img->at(x, y, 0) = color.r;
+    img->at(x, y, 1) = color.g;
+    img->at(x, y, 2) = color.b;
+  } else {
+    img->at(x, y, 0) = LuminanceOf(color);
+  }
+}
+
+void FillImage(ImageF* img, const ColorF& color) {
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) PutPixel(img, x, y, color);
+  }
+}
+
+void FillRect(ImageF* img, int x0, int y0, int x1, int y1,
+              const ColorF& color) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, img->width());
+  y1 = std::min(y1, img->height());
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) PutPixel(img, x, y, color);
+  }
+}
+
+void FillCircle(ImageF* img, float cx, float cy, float r,
+                const ColorF& color) {
+  FillEllipse(img, cx, cy, r, r, color);
+}
+
+void FillEllipse(ImageF* img, float cx, float cy, float rx, float ry,
+                 const ColorF& color) {
+  if (rx <= 0.0f || ry <= 0.0f) return;
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - ry)));
+  const int y1 = std::min(img->height() - 1,
+                          static_cast<int>(std::ceil(cy + ry)));
+  for (int y = y0; y <= y1; ++y) {
+    const float dy = (static_cast<float>(y) - cy) / ry;
+    const float span = 1.0f - dy * dy;
+    if (span < 0.0f) continue;
+    const float half_width = rx * std::sqrt(span);
+    const int x0 = std::max(0, static_cast<int>(std::ceil(cx - half_width)));
+    const int x1 = std::min(img->width() - 1,
+                            static_cast<int>(std::floor(cx + half_width)));
+    for (int x = x0; x <= x1; ++x) PutPixel(img, x, y, color);
+  }
+}
+
+void FillPolygon(ImageF* img, const std::vector<Point2>& vertices,
+                 const ColorF& color) {
+  if (vertices.size() < 3) return;
+  float min_y = vertices[0].y, max_y = vertices[0].y;
+  for (const auto& v : vertices) {
+    min_y = std::min(min_y, v.y);
+    max_y = std::max(max_y, v.y);
+  }
+  const int y0 = std::max(0, static_cast<int>(std::ceil(min_y)));
+  const int y1 = std::min(img->height() - 1,
+                          static_cast<int>(std::floor(max_y)));
+
+  std::vector<float> crossings;
+  for (int y = y0; y <= y1; ++y) {
+    const float fy = static_cast<float>(y) + 0.5f;
+    crossings.clear();
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      const Point2& a = vertices[i];
+      const Point2& b = vertices[(i + 1) % vertices.size()];
+      // Half-open rule on y avoids double counting shared vertices.
+      if ((a.y <= fy && b.y > fy) || (b.y <= fy && a.y > fy)) {
+        const float t = (fy - a.y) / (b.y - a.y);
+        crossings.push_back(a.x + t * (b.x - a.x));
+      }
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (size_t i = 0; i + 1 < crossings.size(); i += 2) {
+      const int x0 = std::max(0, static_cast<int>(std::ceil(crossings[i])));
+      const int x1 = std::min(img->width() - 1,
+                              static_cast<int>(std::floor(crossings[i + 1])));
+      for (int x = x0; x <= x1; ++x) PutPixel(img, x, y, color);
+    }
+  }
+}
+
+void DrawLine(ImageF* img, int x0, int y0, int x1, int y1,
+              const ColorF& color) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    PutPixel(img, x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void FillLinearGradient(ImageF* img, const ColorF& from, const ColorF& to,
+                        bool horizontal) {
+  const int span = horizontal ? img->width() : img->height();
+  const float denom = static_cast<float>(std::max(1, span - 1));
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      const float t = static_cast<float>(horizontal ? x : y) / denom;
+      const ColorF c{from.r + t * (to.r - from.r),
+                     from.g + t * (to.g - from.g),
+                     from.b + t * (to.b - from.b)};
+      PutPixel(img, x, y, c);
+    }
+  }
+}
+
+namespace {
+
+/// Integer lattice hash -> [0, 1) float; SplitMix64-style mixing keyed
+/// by the seed so distinct seeds give independent fields.
+float LatticeHash(int x, int y, uint64_t seed) {
+  uint64_t h = seed;
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(x)) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<uint64_t>(static_cast<uint32_t>(y)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<float>(h >> 11) * 0x1.0p-53f;
+}
+
+float SmoothStep(float t) { return t * t * (3.0f - 2.0f * t); }
+
+/// Single octave of bilinear lattice noise at frequency 1/period.
+float OctaveNoise(float x, float y, float period, uint64_t seed) {
+  const float fx = x / period;
+  const float fy = y / period;
+  const int ix = static_cast<int>(std::floor(fx));
+  const int iy = static_cast<int>(std::floor(fy));
+  const float tx = SmoothStep(fx - ix);
+  const float ty = SmoothStep(fy - iy);
+  const float v00 = LatticeHash(ix, iy, seed);
+  const float v10 = LatticeHash(ix + 1, iy, seed);
+  const float v01 = LatticeHash(ix, iy + 1, seed);
+  const float v11 = LatticeHash(ix + 1, iy + 1, seed);
+  const float top = v00 + tx * (v10 - v00);
+  const float bottom = v01 + tx * (v11 - v01);
+  return top + ty * (bottom - top);
+}
+
+}  // namespace
+
+ImageF ValueNoise(int width, int height, float scale, int octaves,
+                  uint64_t seed) {
+  assert(scale > 0.0f && octaves >= 1);
+  ImageF out(width, height, 1);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      float amp = 1.0f;
+      float period = scale;
+      float total = 0.0f;
+      float norm = 0.0f;
+      for (int o = 0; o < octaves; ++o) {
+        total += amp * OctaveNoise(static_cast<float>(x),
+                                   static_cast<float>(y), period,
+                                   seed + static_cast<uint64_t>(o) * 1013);
+        norm += amp;
+        amp *= 0.5f;
+        period = std::max(1.0f, period * 0.5f);
+      }
+      out.at(x, y) = total / norm;
+    }
+  }
+  return out;
+}
+
+}  // namespace cbix

@@ -1,0 +1,66 @@
+// Rasterization primitives used by the synthetic corpus generator:
+// filled rectangles, circles, ellipses, convex/concave polygons
+// (scanline fill), Bresenham lines, and procedural value noise.
+
+#ifndef CBIX_IMAGE_DRAW_H_
+#define CBIX_IMAGE_DRAW_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// RGB colour in [0, 1] per channel.
+struct ColorF {
+  float r = 0.0f, g = 0.0f, b = 0.0f;
+};
+
+/// 2-D point in pixel coordinates.
+struct Point2 {
+  float x = 0.0f, y = 0.0f;
+};
+
+/// Writes `color` to every channel-triple of pixel (x, y); ignores
+/// out-of-bounds pixels. For 1-channel images writes luminance.
+void PutPixel(ImageF* img, int x, int y, const ColorF& color);
+
+void FillImage(ImageF* img, const ColorF& color);
+
+/// Axis-aligned filled rectangle [x0, x1) x [y0, y1), clipped.
+void FillRect(ImageF* img, int x0, int y0, int x1, int y1,
+              const ColorF& color);
+
+/// Filled circle of radius r (pixels), clipped.
+void FillCircle(ImageF* img, float cx, float cy, float r,
+                const ColorF& color);
+
+/// Filled axis-aligned ellipse with semi-axes rx, ry.
+void FillEllipse(ImageF* img, float cx, float cy, float rx, float ry,
+                 const ColorF& color);
+
+/// Filled polygon via even-odd scanline fill; handles concave polygons.
+void FillPolygon(ImageF* img, const std::vector<Point2>& vertices,
+                 const ColorF& color);
+
+/// 1-pixel Bresenham line.
+void DrawLine(ImageF* img, int x0, int y0, int x1, int y1,
+              const ColorF& color);
+
+/// Linear vertical/horizontal gradient between two colours.
+/// `horizontal` selects the axis.
+void FillLinearGradient(ImageF* img, const ColorF& from, const ColorF& to,
+                        bool horizontal);
+
+/// Deterministic lattice value noise in [0, 1]: `octaves` octaves of
+/// bilinear-interpolated hash noise with persistence 0.5. `scale` is the
+/// base lattice period in pixels. The same (seed, scale, octaves) always
+/// produces the same field.
+ImageF ValueNoise(int width, int height, float scale, int octaves,
+                  uint64_t seed);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_DRAW_H_

@@ -1,0 +1,174 @@
+#include "image/filters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+std::vector<float> GaussianKernel1d(float sigma, int radius) {
+  assert(sigma > 0.0f);
+  if (radius < 0) radius = std::max(1, static_cast<int>(std::ceil(3 * sigma)));
+  std::vector<float> k(2 * radius + 1);
+  const float inv2s2 = 1.0f / (2.0f * sigma * sigma);
+  float sum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float w = std::exp(-static_cast<float>(i * i) * inv2s2);
+    k[i + radius] = w;
+    sum += w;
+  }
+  for (float& w : k) w /= sum;
+  return k;
+}
+
+ImageF GaussianBlur(const ImageF& in, float sigma, BorderMode border) {
+  if (sigma <= 0.0f) return in;
+  const std::vector<float> k = GaussianKernel1d(sigma);
+  return ConvolveSeparable(in, k, k, border);
+}
+
+ImageF BoxBlur(const ImageF& in, int size, BorderMode border) {
+  assert(size >= 1 && size % 2 == 1);
+  const std::vector<float> k(size, 1.0f / static_cast<float>(size));
+  return ConvolveSeparable(in, k, k, border);
+}
+
+ImageF SobelX(const ImageF& gray, BorderMode border) {
+  assert(gray.channels() == 1);
+  // Separable form of [[-1 0 1], [-2 0 2], [-1 0 1]].
+  return ConvolveSeparable(gray, {-1.0f, 0.0f, 1.0f}, {1.0f, 2.0f, 1.0f},
+                           border);
+}
+
+ImageF SobelY(const ImageF& gray, BorderMode border) {
+  assert(gray.channels() == 1);
+  return ConvolveSeparable(gray, {1.0f, 2.0f, 1.0f}, {-1.0f, 0.0f, 1.0f},
+                           border);
+}
+
+ImageF Laplacian(const ImageF& gray, BorderMode border) {
+  assert(gray.channels() == 1);
+  Kernel k;
+  k.width = 3;
+  k.height = 3;
+  k.weights = {0.0f, 1.0f,  0.0f,   //
+               1.0f, -4.0f, 1.0f,   //
+               0.0f, 1.0f,  0.0f};
+  return Convolve(gray, k, border);
+}
+
+GradientField SobelGradients(const ImageF& gray, float pre_smooth_sigma) {
+  assert(gray.channels() == 1);
+  const ImageF src =
+      pre_smooth_sigma > 0.0f ? GaussianBlur(gray, pre_smooth_sigma) : gray;
+  const ImageF gx = SobelX(src);
+  const ImageF gy = SobelY(src);
+  GradientField field;
+  field.magnitude = ImageF(gray.width(), gray.height(), 1);
+  field.orientation = ImageF(gray.width(), gray.height(), 1);
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const float dx = gx.at(x, y);
+      const float dy = gy.at(x, y);
+      field.magnitude.at(x, y) = std::sqrt(dx * dx + dy * dy);
+      field.orientation.at(x, y) = std::atan2(dy, dx);
+    }
+  }
+  return field;
+}
+
+ImageF MedianFilter(const ImageF& in, int size) {
+  assert(size >= 1 && size % 2 == 1);
+  const int r = size / 2;
+  ImageF out(in.width(), in.height(), in.channels());
+  std::vector<float> window;
+  window.reserve(static_cast<size_t>(size) * size);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        window.clear();
+        for (int dy = -r; dy <= r; ++dy) {
+          for (int dx = -r; dx <= r; ++dx) {
+            window.push_back(in.AtClamped(x + dx, y + dy, c));
+          }
+        }
+        auto mid = window.begin() + window.size() / 2;
+        std::nth_element(window.begin(), mid, window.end());
+        out.at(x, y, c) = *mid;
+      }
+    }
+  }
+  return out;
+}
+
+ImageF EqualizeHistogram(const ImageF& gray, int bins) {
+  assert(gray.channels() == 1 && bins >= 2);
+  std::vector<double> hist(bins, 0.0);
+  for (float v : gray.data()) {
+    const int bin = std::clamp(static_cast<int>(v * bins), 0, bins - 1);
+    hist[bin] += 1.0;
+  }
+  const double total = static_cast<double>(gray.data().size());
+  // CDF remap: cdf(min) maps to 0, cdf(max) to 1.
+  std::vector<double> cdf(bins, 0.0);
+  double acc = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    acc += hist[i] / total;
+    cdf[i] = acc;
+  }
+  double cdf_min = 1.0;
+  for (int i = 0; i < bins; ++i) {
+    if (hist[i] > 0.0) {
+      cdf_min = cdf[i];
+      break;
+    }
+  }
+  const double denom = std::max(1e-12, 1.0 - cdf_min);
+  ImageF out(gray.width(), gray.height(), 1);
+  for (size_t i = 0; i < gray.data().size(); ++i) {
+    const int bin =
+        std::clamp(static_cast<int>(gray.data()[i] * bins), 0, bins - 1);
+    out.data()[i] = static_cast<float>(
+        std::clamp((cdf[bin] - cdf_min) / denom, 0.0, 1.0));
+  }
+  return out;
+}
+
+float OtsuThreshold(const ImageF& gray, int histogram_bins) {
+  assert(gray.channels() == 1 && histogram_bins >= 2);
+  float max_value = 0.0f;
+  for (float v : gray.data()) max_value = std::max(max_value, v);
+  if (max_value <= 0.0f) return 0.0f;
+
+  std::vector<double> hist(histogram_bins, 0.0);
+  for (float v : gray.data()) {
+    int bin = static_cast<int>(v / max_value * histogram_bins);
+    bin = std::clamp(bin, 0, histogram_bins - 1);
+    hist[bin] += 1.0;
+  }
+  const double total = static_cast<double>(gray.data().size());
+  for (double& h : hist) h /= total;
+
+  // Maximize between-class variance over all split points.
+  double mean_total = 0.0;
+  for (int i = 0; i < histogram_bins; ++i) mean_total += i * hist[i];
+  double w0 = 0.0, mean0_unnorm = 0.0;
+  double best_var = -1.0;
+  int best_bin = 0;
+  for (int t = 0; t < histogram_bins - 1; ++t) {
+    w0 += hist[t];
+    mean0_unnorm += t * hist[t];
+    const double w1 = 1.0 - w0;
+    if (w0 <= 0.0 || w1 <= 0.0) continue;
+    const double mu0 = mean0_unnorm / w0;
+    const double mu1 = (mean_total - mean0_unnorm) / w1;
+    const double between = w0 * w1 * (mu0 - mu1) * (mu0 - mu1);
+    if (between > best_var) {
+      best_var = between;
+      best_bin = t;
+    }
+  }
+  return (static_cast<float>(best_bin) + 0.5f) / histogram_bins * max_value;
+}
+
+}  // namespace cbix

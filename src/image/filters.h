@@ -1,0 +1,64 @@
+// Standard filtering building blocks: Gaussian smoothing, box blur,
+// Sobel gradients, Laplacian, and gradient magnitude/orientation maps —
+// the pre-processing stages of the CBIR feature extractors.
+
+#ifndef CBIX_IMAGE_FILTERS_H_
+#define CBIX_IMAGE_FILTERS_H_
+
+#include <vector>
+
+#include "image/convolve.h"
+#include "image/image.h"
+
+namespace cbix {
+
+/// Samples a normalized 1-D Gaussian of standard deviation `sigma`.
+/// `radius` < 0 selects ceil(3*sigma) automatically.
+std::vector<float> GaussianKernel1d(float sigma, int radius = -1);
+
+/// Separable Gaussian blur.
+ImageF GaussianBlur(const ImageF& in, float sigma,
+                    BorderMode border = BorderMode::kReplicate);
+
+/// Normalized box blur with an odd window size.
+ImageF BoxBlur(const ImageF& in, int size,
+               BorderMode border = BorderMode::kReplicate);
+
+/// Horizontal Sobel derivative (responds to vertical edges). Input must
+/// be 1-channel.
+ImageF SobelX(const ImageF& gray, BorderMode border = BorderMode::kReplicate);
+
+/// Vertical Sobel derivative (responds to horizontal edges).
+ImageF SobelY(const ImageF& gray, BorderMode border = BorderMode::kReplicate);
+
+/// 4-neighbour Laplacian.
+ImageF Laplacian(const ImageF& gray,
+                 BorderMode border = BorderMode::kReplicate);
+
+/// Per-pixel gradient field of a grayscale image.
+struct GradientField {
+  ImageF magnitude;    ///< sqrt(gx^2 + gy^2)
+  ImageF orientation;  ///< atan2(gy, gx) in (-pi, pi]
+};
+
+/// Sobel gradient magnitude and orientation; optionally smooths the
+/// input first (sigma <= 0 disables smoothing).
+GradientField SobelGradients(const ImageF& gray, float pre_smooth_sigma = 0.0f);
+
+/// Otsu's threshold over a 1-channel float image (values expected within
+/// [0, max_value]); returns the threshold in the same units.
+float OtsuThreshold(const ImageF& gray, int histogram_bins = 256);
+
+/// Median filter with an odd square window (noise removal that
+/// preserves edges, unlike linear smoothing). Border: replicate.
+ImageF MedianFilter(const ImageF& in, int size);
+
+/// Histogram equalization of a 1-channel image with values in [0, 1]:
+/// remaps intensities through the normalized CDF so the output
+/// distribution is approximately uniform (pre-processing step that
+/// removes global illumination differences before feature extraction).
+ImageF EqualizeHistogram(const ImageF& gray, int bins = 256);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_FILTERS_H_

@@ -1,0 +1,125 @@
+#include "image/glcm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+Glcm::Glcm(const ImageF& gray, int levels, int dx, int dy, bool symmetric)
+    : levels_(levels), p_(static_cast<size_t>(levels) * levels, 0.0) {
+  assert(gray.channels() == 1);
+  assert(levels >= 2);
+  assert(dx != 0 || dy != 0);
+
+  auto quantize = [levels](float v) {
+    const int q = static_cast<int>(v * levels);
+    return std::clamp(q, 0, levels - 1);
+  };
+
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const int nx = x + dx;
+      const int ny = y + dy;
+      if (!gray.InBounds(nx, ny)) continue;
+      const int i = quantize(gray.at(x, y));
+      const int j = quantize(gray.at(nx, ny));
+      p_[i * levels_ + j] += 1.0;
+      if (symmetric) p_[j * levels_ + i] += 1.0;
+      pair_count_ += symmetric ? 2.0 : 1.0;
+    }
+  }
+  if (pair_count_ > 0.0) {
+    for (double& v : p_) v /= pair_count_;
+  }
+}
+
+double Glcm::Energy() const {
+  double sum = 0.0;
+  for (double v : p_) sum += v * v;
+  return sum;
+}
+
+double Glcm::Entropy() const {
+  double sum = 0.0;
+  for (double v : p_) {
+    if (v > 0.0) sum -= v * std::log2(v);
+  }
+  return sum;
+}
+
+double Glcm::Contrast() const {
+  double sum = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    for (int j = 0; j < levels_; ++j) {
+      const double d = i - j;
+      sum += d * d * at(i, j);
+    }
+  }
+  return sum;
+}
+
+double Glcm::Homogeneity() const {
+  double sum = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    for (int j = 0; j < levels_; ++j) {
+      sum += at(i, j) / (1.0 + std::abs(i - j));
+    }
+  }
+  return sum;
+}
+
+double Glcm::Correlation() const {
+  // Marginal means and variances.
+  std::vector<double> pi(levels_, 0.0), pj(levels_, 0.0);
+  for (int i = 0; i < levels_; ++i) {
+    for (int j = 0; j < levels_; ++j) {
+      pi[i] += at(i, j);
+      pj[j] += at(i, j);
+    }
+  }
+  double mi = 0.0, mj = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    mi += i * pi[i];
+    mj += i * pj[i];
+  }
+  double vi = 0.0, vj = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    vi += (i - mi) * (i - mi) * pi[i];
+    vj += (i - mj) * (i - mj) * pj[i];
+  }
+  if (vi <= 1e-12 || vj <= 1e-12) return 0.0;
+  double cov = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    for (int j = 0; j < levels_; ++j) {
+      cov += (i - mi) * (j - mj) * at(i, j);
+    }
+  }
+  return cov / std::sqrt(vi * vj);
+}
+
+double Glcm::Dissimilarity() const {
+  double sum = 0.0;
+  for (int i = 0; i < levels_; ++i) {
+    for (int j = 0; j < levels_; ++j) {
+      sum += std::abs(i - j) * at(i, j);
+    }
+  }
+  return sum;
+}
+
+double Glcm::MaxProbability() const {
+  double best = 0.0;
+  for (double v : p_) best = std::max(best, v);
+  return best;
+}
+
+std::vector<std::pair<int, int>> StandardGlcmOffsets(int distance) {
+  assert(distance >= 1);
+  return {{distance, 0},          // 0°
+          {distance, -distance},  // 45° (y grows downward)
+          {0, -distance},         // 90°
+          {-distance, -distance}};  // 135°
+}
+
+}  // namespace cbix

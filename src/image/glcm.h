@@ -1,0 +1,57 @@
+// Gray-level co-occurrence matrix (GLCM) and Haralick texture
+// statistics: energy, entropy, contrast, homogeneity, correlation —
+// the statistical texture features of classic CBIR.
+
+#ifndef CBIX_IMAGE_GLCM_H_
+#define CBIX_IMAGE_GLCM_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// Normalized co-occurrence matrix P_d(i, j): the probability that a
+/// pixel of gray level i has a pixel of gray level j at offset d.
+class Glcm {
+ public:
+  /// Builds the GLCM of `gray` (1-channel, values in [0,1]) quantized to
+  /// `levels` gray levels, for the displacement (dx, dy). When
+  /// `symmetric` is true the matrix also counts the opposite
+  /// displacement, making it symmetric (the common Haralick convention).
+  Glcm(const ImageF& gray, int levels, int dx, int dy,
+       bool symmetric = true);
+
+  int levels() const { return levels_; }
+  double at(int i, int j) const { return p_[i * levels_ + j]; }
+  /// Total number of co-occurring pairs counted (before normalization).
+  double pair_count() const { return pair_count_; }
+
+  /// sum_ij P^2 — a.k.a. angular second moment / uniformity.
+  double Energy() const;
+  /// -sum_ij P log2 P over non-zero entries.
+  double Entropy() const;
+  /// sum_ij (i-j)^2 P.
+  double Contrast() const;
+  /// sum_ij P / (1 + |i-j|).
+  double Homogeneity() const;
+  /// Pearson correlation of (i, j) under P; 0 when a marginal is
+  /// degenerate.
+  double Correlation() const;
+  /// sum_ij |i-j| P.
+  double Dissimilarity() const;
+  /// max_ij P.
+  double MaxProbability() const;
+
+ private:
+  int levels_;
+  double pair_count_ = 0.0;
+  std::vector<double> p_;  // levels x levels, row-major, sums to 1
+};
+
+/// The standard 4-offset set at distance d: 0°, 45°, 90°, 135°.
+std::vector<std::pair<int, int>> StandardGlcmOffsets(int distance);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_GLCM_H_

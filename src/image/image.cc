@@ -1,0 +1,29 @@
+#include "image/image.h"
+
+#include <cmath>
+
+namespace cbix {
+
+ImageF ToFloat(const ImageU8& in) {
+  ImageF out(in.width(), in.height(), in.channels());
+  const auto& src = in.data();
+  auto& dst = out.data();
+  constexpr float kScale = 1.0f / 255.0f;
+  for (size_t i = 0; i < src.size(); ++i) {
+    dst[i] = static_cast<float>(src[i]) * kScale;
+  }
+  return out;
+}
+
+ImageU8 ToU8(const ImageF& in) {
+  ImageU8 out(in.width(), in.height(), in.channels());
+  const auto& src = in.data();
+  auto& dst = out.data();
+  for (size_t i = 0; i < src.size(); ++i) {
+    const float v = std::round(src[i] * 255.0f);
+    dst[i] = static_cast<uint8_t>(std::clamp(v, 0.0f, 255.0f));
+  }
+  return out;
+}
+
+}  // namespace cbix

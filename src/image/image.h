@@ -1,0 +1,191 @@
+// Core raster type for cbix.
+//
+// `ImageT<T>` is a dense interleaved raster: row-major, `channels`
+// samples per pixel. Two instantiations are used throughout the library:
+//   - ImageU8 : storage type for decoded images (0..255 per sample);
+//   - ImageF  : working type for filtering pipelines (nominally 0..1,
+//               but intermediate results such as gradients may exceed it).
+//
+// The type is intentionally a plain value class — copyable, movable, no
+// virtual dispatch — so image pipelines read like arithmetic.
+
+#ifndef CBIX_IMAGE_IMAGE_H_
+#define CBIX_IMAGE_IMAGE_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cbix {
+
+template <typename T>
+class ImageT {
+ public:
+  ImageT() = default;
+
+  /// Creates a width x height image with `channels` interleaved samples
+  /// per pixel, all initialized to `fill`.
+  ImageT(int width, int height, int channels, T fill = T{})
+      : width_(width), height_(height), channels_(channels),
+        data_(static_cast<size_t>(width) * height * channels, fill) {
+    assert(width >= 0 && height >= 0 && channels >= 1);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of pixels (not samples).
+  size_t PixelCount() const {
+    return static_cast<size_t>(width_) * static_cast<size_t>(height_);
+  }
+
+  /// Sample accessor; (x, y) must be inside the image.
+  T& at(int x, int y, int c = 0) {
+    assert(InBounds(x, y) && c >= 0 && c < channels_);
+    return data_[Offset(x, y, c)];
+  }
+  T at(int x, int y, int c = 0) const {
+    assert(InBounds(x, y) && c >= 0 && c < channels_);
+    return data_[Offset(x, y, c)];
+  }
+
+  /// Sample accessor with replicate (clamp-to-edge) border handling:
+  /// out-of-range coordinates read the nearest edge pixel.
+  T AtClamped(int x, int y, int c = 0) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return data_[Offset(x, y, c)];
+  }
+
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  bool SameShape(const ImageT& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+  /// Sets every sample of channel `c` to `value`.
+  void FillChannel(int c, T value) {
+    assert(c >= 0 && c < channels_);
+    for (int y = 0; y < height_; ++y) {
+      for (int x = 0; x < width_; ++x) at(x, y, c) = value;
+    }
+  }
+
+  void Fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  const std::vector<T>& data() const { return data_; }
+  std::vector<T>& data() { return data_; }
+
+  bool operator==(const ImageT& other) const {
+    return SameShape(other) && data_ == other.data_;
+  }
+
+ private:
+  size_t Offset(int x, int y, int c) const {
+    return (static_cast<size_t>(y) * width_ + x) * channels_ + c;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = ImageT<uint8_t>;
+using ImageF = ImageT<float>;
+
+/// u8 [0,255] -> float [0,1].
+ImageF ToFloat(const ImageU8& in);
+
+/// float -> u8 with clamping: samples are scaled by 255 and clamped to
+/// [0, 255]. Values outside [0,1] saturate rather than wrap.
+ImageU8 ToU8(const ImageF& in);
+
+/// Extracts a single channel as a 1-channel image.
+template <typename T>
+ImageT<T> ExtractChannel(const ImageT<T>& in, int c) {
+  assert(c >= 0 && c < in.channels());
+  ImageT<T> out(in.width(), in.height(), 1);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) out.at(x, y) = in.at(x, y, c);
+  }
+  return out;
+}
+
+/// Crops the rectangle [x0, x0+w) x [y0, y0+h), which must lie entirely
+/// inside `in`.
+template <typename T>
+ImageT<T> Crop(const ImageT<T>& in, int x0, int y0, int w, int h) {
+  assert(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0);
+  assert(x0 + w <= in.width() && y0 + h <= in.height());
+  ImageT<T> out(w, h, in.channels());
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        out.at(x, y, c) = in.at(x0 + x, y0 + y, c);
+      }
+    }
+  }
+  return out;
+}
+
+/// Horizontal mirror.
+template <typename T>
+ImageT<T> FlipHorizontal(const ImageT<T>& in) {
+  ImageT<T> out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int c = 0; c < in.channels(); ++c) {
+        out.at(x, y, c) = in.at(in.width() - 1 - x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+/// Rotates by a multiple of 90 degrees counter-clockwise
+/// (`quarter_turns` mod 4).
+template <typename T>
+ImageT<T> Rotate90(const ImageT<T>& in, int quarter_turns) {
+  int q = ((quarter_turns % 4) + 4) % 4;
+  if (q == 0) return in;
+  ImageT<T> out;
+  if (q == 2) {
+    out = ImageT<T>(in.width(), in.height(), in.channels());
+  } else {
+    out = ImageT<T>(in.height(), in.width(), in.channels());
+  }
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      int nx = 0, ny = 0;
+      switch (q) {
+        case 1:  // 90° CCW: (x, y) -> (y, W-1-x)
+          nx = y;
+          ny = in.width() - 1 - x;
+          break;
+        case 2:
+          nx = in.width() - 1 - x;
+          ny = in.height() - 1 - y;
+          break;
+        case 3:  // 270° CCW: (x, y) -> (H-1-y, x)
+          nx = in.height() - 1 - y;
+          ny = x;
+          break;
+      }
+      for (int c = 0; c < in.channels(); ++c) {
+        out.at(nx, ny, c) = in.at(x, y, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_IMAGE_H_

@@ -1,0 +1,31 @@
+#include "image/integral.h"
+
+namespace cbix {
+
+IntegralImage::IntegralImage(const ImageF& gray)
+    : width_(gray.width()), height_(gray.height()),
+      table_(static_cast<size_t>(gray.width()) * gray.height(), 0.0) {
+  assert(gray.channels() == 1);
+  for (int y = 0; y < height_; ++y) {
+    double row_sum = 0.0;
+    for (int x = 0; x < width_; ++x) {
+      row_sum += gray.at(x, y);
+      table_[static_cast<size_t>(y) * width_ + x] =
+          row_sum + (y > 0 ? table_[static_cast<size_t>(y - 1) * width_ + x]
+                           : 0.0);
+    }
+  }
+}
+
+double IntegralImage::RectSum(int x0, int y0, int x1, int y1) const {
+  assert(x0 <= x1 && y0 <= y1);
+  assert(x0 >= 0 && y0 >= 0 && x1 < width_ && y1 < height_);
+  return At(x1, y1) - At(x0 - 1, y1) - At(x1, y0 - 1) + At(x0 - 1, y0 - 1);
+}
+
+double IntegralImage::RectMean(int x0, int y0, int x1, int y1) const {
+  const double area = static_cast<double>(x1 - x0 + 1) * (y1 - y0 + 1);
+  return RectSum(x0, y0, x1, y1) / area;
+}
+
+}  // namespace cbix

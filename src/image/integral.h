@@ -1,0 +1,44 @@
+// Summed-area tables: O(1) rectangle sums after an O(N) pass. Used by
+// grid-histogram features and fast local statistics.
+
+#ifndef CBIX_IMAGE_INTEGRAL_H_
+#define CBIX_IMAGE_INTEGRAL_H_
+
+#include <cassert>
+#include <vector>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// Summed-area table of a single-channel float image. Entry (x, y)
+/// holds the sum over the rectangle [0, x] x [0, y] of the source.
+class IntegralImage {
+ public:
+  explicit IntegralImage(const ImageF& gray);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Sum over the inclusive rectangle [x0, x1] x [y0, y1]; the rectangle
+  /// must be non-empty and inside the image.
+  double RectSum(int x0, int y0, int x1, int y1) const;
+
+  /// Mean over the inclusive rectangle.
+  double RectMean(int x0, int y0, int x1, int y1) const;
+
+ private:
+  double At(int x, int y) const {
+    // (-1) rows/columns are implicit zeros.
+    if (x < 0 || y < 0) return 0.0;
+    return table_[static_cast<size_t>(y) * width_ + x];
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<double> table_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_INTEGRAL_H_

@@ -1,0 +1,104 @@
+#include "image/moments.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+Moments ComputeMoments(const ImageF& gray) {
+  assert(gray.channels() == 1);
+  Moments m;
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < gray.width(); ++x) {
+      const double f = gray.at(x, y);
+      if (f == 0.0) continue;
+      const double xd = x, yd = y;
+      m.m00 += f;
+      m.m10 += xd * f;
+      m.m01 += yd * f;
+      m.m20 += xd * xd * f;
+      m.m11 += xd * yd * f;
+      m.m02 += yd * yd * f;
+      m.m30 += xd * xd * xd * f;
+      m.m21 += xd * xd * yd * f;
+      m.m12 += xd * yd * yd * f;
+      m.m03 += yd * yd * yd * f;
+    }
+  }
+  if (m.m00 <= 0.0) {
+    m.cx = gray.width() / 2.0;
+    m.cy = gray.height() / 2.0;
+    return m;
+  }
+  m.cx = m.m10 / m.m00;
+  m.cy = m.m01 / m.m00;
+  const double cx = m.cx, cy = m.cy;
+  // Central moments from raw moments (standard identities).
+  m.mu20 = m.m20 - cx * m.m10;
+  m.mu11 = m.m11 - cx * m.m01;
+  m.mu02 = m.m02 - cy * m.m01;
+  m.mu30 = m.m30 - 3 * cx * m.m20 + 2 * cx * cx * m.m10;
+  m.mu21 = m.m21 - 2 * cx * m.m11 - cy * m.m20 + 2 * cx * cx * m.m01;
+  m.mu12 = m.m12 - 2 * cy * m.m11 - cx * m.m02 + 2 * cy * cy * m.m10;
+  m.mu03 = m.m03 - 3 * cy * m.m02 + 2 * cy * cy * m.m01;
+  return m;
+}
+
+std::array<double, 7> NormalizedCentralMoments(const Moments& m) {
+  std::array<double, 7> eta{};
+  if (m.m00 <= 0.0) return eta;
+  const double s2 = std::pow(m.m00, 2.0);   // order 2: (2/2)+1 = 2
+  const double s3 = std::pow(m.m00, 2.5);   // order 3: (3/2)+1 = 2.5
+  eta[0] = m.mu20 / s2;
+  eta[1] = m.mu11 / s2;
+  eta[2] = m.mu02 / s2;
+  eta[3] = m.mu30 / s3;
+  eta[4] = m.mu21 / s3;
+  eta[5] = m.mu12 / s3;
+  eta[6] = m.mu03 / s3;
+  return eta;
+}
+
+std::array<double, 7> HuMoments(const Moments& m) {
+  const auto e = NormalizedCentralMoments(m);
+  const double n20 = e[0], n11 = e[1], n02 = e[2];
+  const double n30 = e[3], n21 = e[4], n12 = e[5], n03 = e[6];
+
+  std::array<double, 7> hu{};
+  hu[0] = n20 + n02;
+  hu[1] = std::pow(n20 - n02, 2) + 4 * n11 * n11;
+  hu[2] = std::pow(n30 - 3 * n12, 2) + std::pow(3 * n21 - n03, 2);
+  hu[3] = std::pow(n30 + n12, 2) + std::pow(n21 + n03, 2);
+  hu[4] = (n30 - 3 * n12) * (n30 + n12) *
+              (std::pow(n30 + n12, 2) - 3 * std::pow(n21 + n03, 2)) +
+          (3 * n21 - n03) * (n21 + n03) *
+              (3 * std::pow(n30 + n12, 2) - std::pow(n21 + n03, 2));
+  hu[5] = (n20 - n02) *
+              (std::pow(n30 + n12, 2) - std::pow(n21 + n03, 2)) +
+          4 * n11 * (n30 + n12) * (n21 + n03);
+  hu[6] = (3 * n21 - n03) * (n30 + n12) *
+              (std::pow(n30 + n12, 2) - 3 * std::pow(n21 + n03, 2)) -
+          (n30 - 3 * n12) * (n21 + n03) *
+              (3 * std::pow(n30 + n12, 2) - std::pow(n21 + n03, 2));
+  return hu;
+}
+
+double Eccentricity(const Moments& m) {
+  if (m.m00 <= 0.0) return 0.0;
+  // Eigenvalues of the second-moment (covariance) matrix.
+  const double a = m.mu20 / m.m00;
+  const double b = m.mu11 / m.m00;
+  const double c = m.mu02 / m.m00;
+  const double disc = std::sqrt((a - c) * (a - c) + 4 * b * b);
+  const double l1 = (a + c + disc) / 2.0;  // major
+  const double l2 = (a + c - disc) / 2.0;  // minor
+  if (l1 <= 0.0) return 0.0;
+  const double ratio = std::max(0.0, l2) / l1;
+  return std::sqrt(1.0 - ratio);
+}
+
+double PrincipalOrientation(const Moments& m) {
+  return 0.5 * std::atan2(2.0 * m.mu11, m.mu20 - m.mu02);
+}
+
+}  // namespace cbix

@@ -1,0 +1,47 @@
+// Image moments: raw, central, normalized central, Hu's seven invariant
+// moments, plus eccentricity/orientation of the equivalent ellipse.
+// These are the classic indirect shape descriptors of early CBIR.
+
+#ifndef CBIX_IMAGE_MOMENTS_H_
+#define CBIX_IMAGE_MOMENTS_H_
+
+#include <array>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// Raw and central moments up to order 3 of a single-channel intensity
+/// (or mask) image, treated as a density.
+struct Moments {
+  // Raw moments m_pq = sum x^p y^q f(x,y).
+  double m00 = 0, m10 = 0, m01 = 0, m20 = 0, m11 = 0, m02 = 0;
+  double m30 = 0, m21 = 0, m12 = 0, m03 = 0;
+  // Central moments mu_pq about the centroid.
+  double mu20 = 0, mu11 = 0, mu02 = 0;
+  double mu30 = 0, mu21 = 0, mu12 = 0, mu03 = 0;
+  // Centroid.
+  double cx = 0, cy = 0;
+};
+
+/// Computes moments of `gray` (1-channel). For an all-zero image the
+/// centroid defaults to the image centre and central moments are zero.
+Moments ComputeMoments(const ImageF& gray);
+
+/// Normalized central moments eta_pq = mu_pq / mu00^((p+q)/2 + 1)
+/// packed as [eta20, eta11, eta02, eta30, eta21, eta12, eta03].
+std::array<double, 7> NormalizedCentralMoments(const Moments& m);
+
+/// Hu's seven moment invariants (translation/scale/rotation invariant).
+std::array<double, 7> HuMoments(const Moments& m);
+
+/// Eccentricity of the intensity distribution in [0, 1): 0 for a
+/// rotationally symmetric blob, approaching 1 for a line.
+double Eccentricity(const Moments& m);
+
+/// Orientation (radians in (-pi/2, pi/2]) of the principal axis.
+double PrincipalOrientation(const Moments& m);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_MOMENTS_H_

@@ -1,0 +1,177 @@
+#include "image/pnm_codec.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cbix {
+
+namespace {
+
+/// Incremental tokenizer over PNM header/ASCII-body bytes. Skips
+/// whitespace and '#' comments between tokens.
+class PnmScanner {
+ public:
+  PnmScanner(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Advances past whitespace and comments. Returns false at end of input.
+  bool SkipSeparators() {
+    while (pos_ < size_) {
+      const uint8_t c = data_[pos_];
+      if (c == '#') {
+        while (pos_ < size_ && data_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(c)) {
+        ++pos_;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Parses a non-negative decimal integer token.
+  Result<int> NextInt() {
+    if (!SkipSeparators()) return Status::Corruption("pnm: unexpected EOF");
+    if (!std::isdigit(data_[pos_])) {
+      return Status::Corruption("pnm: expected integer");
+    }
+    long value = 0;
+    while (pos_ < size_ && std::isdigit(data_[pos_])) {
+      value = value * 10 + (data_[pos_] - '0');
+      if (value > 1 << 30) return Status::Corruption("pnm: integer overflow");
+      ++pos_;
+    }
+    return static_cast<int>(value);
+  }
+
+  /// Consumes exactly one separator byte (after the maxval of a binary
+  /// file the raster begins one whitespace later).
+  Status ConsumeSingleWhitespace() {
+    if (pos_ >= size_ || !std::isspace(data_[pos_])) {
+      return Status::Corruption("pnm: missing raster separator");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ImageU8> DecodePnm(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 2 || bytes[0] != 'P') {
+    return Status::Corruption("pnm: bad magic");
+  }
+  const char kind = static_cast<char>(bytes[1]);
+  int channels = 0;
+  bool ascii = false;
+  switch (kind) {
+    case '2':
+      channels = 1;
+      ascii = true;
+      break;
+    case '3':
+      channels = 3;
+      ascii = true;
+      break;
+    case '5':
+      channels = 1;
+      break;
+    case '6':
+      channels = 3;
+      break;
+    default:
+      return Status::Unimplemented(
+          std::string("pnm: unsupported variant P") + kind);
+  }
+
+  PnmScanner scanner(bytes.data() + 2, bytes.size() - 2);
+  CBIX_ASSIGN_OR_RETURN(const int width, scanner.NextInt());
+  CBIX_ASSIGN_OR_RETURN(const int height, scanner.NextInt());
+  CBIX_ASSIGN_OR_RETURN(const int maxval, scanner.NextInt());
+  if (width <= 0 || height <= 0) {
+    return Status::Corruption("pnm: non-positive dimensions");
+  }
+  if (maxval <= 0 || maxval > 255) {
+    return Status::Unimplemented("pnm: only maxval<=255 supported");
+  }
+
+  ImageU8 image(width, height, channels);
+  const size_t samples = image.data().size();
+
+  if (ascii) {
+    for (size_t i = 0; i < samples; ++i) {
+      CBIX_ASSIGN_OR_RETURN(const int v, scanner.NextInt());
+      if (v > maxval) return Status::Corruption("pnm: sample > maxval");
+      image.data()[i] = static_cast<uint8_t>(v * 255 / maxval);
+    }
+    return image;
+  }
+
+  CBIX_RETURN_IF_ERROR(scanner.ConsumeSingleWhitespace());
+  if (scanner.remaining() < samples) {
+    return Status::Corruption("pnm: truncated raster");
+  }
+  const uint8_t* raster = scanner.cursor();
+  if (maxval == 255) {
+    std::copy(raster, raster + samples, image.data().begin());
+  } else {
+    for (size_t i = 0; i < samples; ++i) {
+      if (raster[i] > maxval) {
+        return Status::Corruption("pnm: sample > maxval");
+      }
+      image.data()[i] = static_cast<uint8_t>(raster[i] * 255 / maxval);
+    }
+  }
+  return image;
+}
+
+Result<ImageU8> ReadPnm(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const bool ok = bytes.empty() ||
+                  std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return Status::IoError("short read: " + path);
+  return DecodePnm(bytes);
+}
+
+Result<std::vector<uint8_t>> EncodePnm(const ImageU8& image) {
+  if (image.empty()) return Status::InvalidArgument("pnm: empty image");
+  if (image.channels() != 1 && image.channels() != 3) {
+    return Status::InvalidArgument("pnm: only 1- or 3-channel images");
+  }
+  char header[64];
+  const int len = std::snprintf(header, sizeof(header), "P%c\n%d %d\n255\n",
+                                image.channels() == 1 ? '5' : '6',
+                                image.width(), image.height());
+  std::vector<uint8_t> out(header, header + len);
+  out.insert(out.end(), image.data().begin(), image.data().end());
+  return out;
+}
+
+Status WritePnm(const std::string& path, const ImageU8& image) {
+  CBIX_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes, EncodePnm(image));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0 || !ok) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+}  // namespace cbix

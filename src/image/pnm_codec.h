@@ -1,0 +1,32 @@
+// PNM (portable anymap) codec: reads and writes PGM (P2/P5 grayscale)
+// and PPM (P3/P6 RGB), the classic dependency-free interchange formats.
+// Only maxval <= 255 is supported, which covers the whole corpus.
+
+#ifndef CBIX_IMAGE_PNM_CODEC_H_
+#define CBIX_IMAGE_PNM_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "image/image.h"
+#include "util/status.h"
+
+namespace cbix {
+
+/// Decodes a PNM image from memory. Supports P2/P3 (ASCII) and P5/P6
+/// (binary); '#' comments are honoured anywhere whitespace is allowed.
+Result<ImageU8> DecodePnm(const std::vector<uint8_t>& bytes);
+
+/// Reads and decodes the PNM file at `path`.
+Result<ImageU8> ReadPnm(const std::string& path);
+
+/// Encodes to binary PNM: 1-channel images become P5, 3-channel P6.
+/// Other channel counts are rejected.
+Result<std::vector<uint8_t>> EncodePnm(const ImageU8& image);
+
+/// Encodes and writes `image` to `path` (P5/P6 chosen by channel count).
+Status WritePnm(const std::string& path, const ImageU8& image);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_PNM_CODEC_H_

@@ -1,0 +1,71 @@
+#include "image/resize.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+
+/// Maps an output coordinate to the continuous source coordinate using
+/// pixel-centre alignment: out pixel i covers [i, i+1) scaled by the
+/// ratio, sampled at its centre.
+inline float SourceCoord(int out_i, float scale) {
+  return (static_cast<float>(out_i) + 0.5f) * scale - 0.5f;
+}
+
+}  // namespace
+
+ImageF Resize(const ImageF& in, int out_width, int out_height,
+              ResizeFilter filter) {
+  assert(out_width >= 1 && out_height >= 1);
+  assert(!in.empty());
+  if (out_width == in.width() && out_height == in.height()) return in;
+
+  ImageF out(out_width, out_height, in.channels());
+  const float sx = static_cast<float>(in.width()) / out_width;
+  const float sy = static_cast<float>(in.height()) / out_height;
+
+  if (filter == ResizeFilter::kNearest) {
+    for (int y = 0; y < out_height; ++y) {
+      const int src_y = std::clamp(
+          static_cast<int>(std::floor((y + 0.5f) * sy)), 0, in.height() - 1);
+      for (int x = 0; x < out_width; ++x) {
+        const int src_x = std::clamp(
+            static_cast<int>(std::floor((x + 0.5f) * sx)), 0, in.width() - 1);
+        for (int c = 0; c < in.channels(); ++c) {
+          out.at(x, y, c) = in.at(src_x, src_y, c);
+        }
+      }
+    }
+    return out;
+  }
+
+  for (int y = 0; y < out_height; ++y) {
+    const float fy = SourceCoord(y, sy);
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - y0;
+    for (int x = 0; x < out_width; ++x) {
+      const float fx = SourceCoord(x, sx);
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - x0;
+      for (int c = 0; c < in.channels(); ++c) {
+        const float v00 = in.AtClamped(x0, y0, c);
+        const float v10 = in.AtClamped(x0 + 1, y0, c);
+        const float v01 = in.AtClamped(x0, y0 + 1, c);
+        const float v11 = in.AtClamped(x0 + 1, y0 + 1, c);
+        const float top = v00 + wx * (v10 - v00);
+        const float bottom = v01 + wx * (v11 - v01);
+        out.at(x, y, c) = top + wy * (bottom - top);
+      }
+    }
+  }
+  return out;
+}
+
+ImageU8 Resize(const ImageU8& in, int out_width, int out_height,
+               ResizeFilter filter) {
+  return ToU8(Resize(ToFloat(in), out_width, out_height, filter));
+}
+
+}  // namespace cbix

@@ -1,0 +1,27 @@
+// Image resampling: nearest-neighbour and bilinear. CBIR normalizes all
+// inputs to a canonical resolution before feature extraction so that
+// signatures are comparable across source sizes.
+
+#ifndef CBIX_IMAGE_RESIZE_H_
+#define CBIX_IMAGE_RESIZE_H_
+
+#include "image/image.h"
+
+namespace cbix {
+
+enum class ResizeFilter {
+  kNearest,
+  kBilinear,
+};
+
+/// Resamples `in` to `out_width` x `out_height` (both >= 1).
+ImageF Resize(const ImageF& in, int out_width, int out_height,
+              ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// u8 convenience overload (converts through float for bilinear).
+ImageU8 Resize(const ImageU8& in, int out_width, int out_height,
+               ResizeFilter filter = ResizeFilter::kBilinear);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_RESIZE_H_

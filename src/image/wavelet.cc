@@ -1,0 +1,116 @@
+#include "image/wavelet.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbix {
+
+namespace {
+// Orthonormal Haar butterfly: (a, b) -> ((a+b)/√2, (a-b)/√2). Using the
+// orthonormal normalization keeps total energy invariant across levels,
+// which makes subband energies directly comparable.
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+}  // namespace
+
+HaarSubbands HaarDecompose(const ImageF& gray) {
+  assert(gray.channels() == 1);
+  assert(gray.width() >= 2 && gray.height() >= 2);
+  assert(gray.width() % 2 == 0 && gray.height() % 2 == 0);
+  const int hw = gray.width() / 2;
+  const int hh = gray.height() / 2;
+
+  // Horizontal pass.
+  ImageF lo(hw, gray.height(), 1);
+  ImageF hi(hw, gray.height(), 1);
+  for (int y = 0; y < gray.height(); ++y) {
+    for (int x = 0; x < hw; ++x) {
+      const float a = gray.at(2 * x, y);
+      const float b = gray.at(2 * x + 1, y);
+      lo.at(x, y) = (a + b) * kInvSqrt2;
+      hi.at(x, y) = (a - b) * kInvSqrt2;
+    }
+  }
+
+  // Vertical pass.
+  HaarSubbands out;
+  out.ll = ImageF(hw, hh, 1);
+  out.lh = ImageF(hw, hh, 1);
+  out.hl = ImageF(hw, hh, 1);
+  out.hh = ImageF(hw, hh, 1);
+  for (int y = 0; y < hh; ++y) {
+    for (int x = 0; x < hw; ++x) {
+      const float la = lo.at(x, 2 * y);
+      const float lb = lo.at(x, 2 * y + 1);
+      const float ha = hi.at(x, 2 * y);
+      const float hb = hi.at(x, 2 * y + 1);
+      out.ll.at(x, y) = (la + lb) * kInvSqrt2;
+      out.lh.at(x, y) = (la - lb) * kInvSqrt2;
+      out.hl.at(x, y) = (ha + hb) * kInvSqrt2;
+      out.hh.at(x, y) = (ha - hb) * kInvSqrt2;
+    }
+  }
+  return out;
+}
+
+ImageF HaarReconstruct(const HaarSubbands& s) {
+  const int hw = s.ll.width();
+  const int hh = s.ll.height();
+  assert(s.lh.width() == hw && s.hl.width() == hw && s.hh.width() == hw);
+  assert(s.lh.height() == hh && s.hl.height() == hh && s.hh.height() == hh);
+
+  // Invert vertical pass.
+  ImageF lo(hw, hh * 2, 1);
+  ImageF hi(hw, hh * 2, 1);
+  for (int y = 0; y < hh; ++y) {
+    for (int x = 0; x < hw; ++x) {
+      lo.at(x, 2 * y) = (s.ll.at(x, y) + s.lh.at(x, y)) * kInvSqrt2;
+      lo.at(x, 2 * y + 1) = (s.ll.at(x, y) - s.lh.at(x, y)) * kInvSqrt2;
+      hi.at(x, 2 * y) = (s.hl.at(x, y) + s.hh.at(x, y)) * kInvSqrt2;
+      hi.at(x, 2 * y + 1) = (s.hl.at(x, y) - s.hh.at(x, y)) * kInvSqrt2;
+    }
+  }
+
+  // Invert horizontal pass.
+  ImageF out(hw * 2, hh * 2, 1);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < hw; ++x) {
+      out.at(2 * x, y) = (lo.at(x, y) + hi.at(x, y)) * kInvSqrt2;
+      out.at(2 * x + 1, y) = (lo.at(x, y) - hi.at(x, y)) * kInvSqrt2;
+    }
+  }
+  return out;
+}
+
+HaarPyramid HaarDecomposeLevels(const ImageF& gray, int levels) {
+  assert(levels >= 1 && levels <= MaxHaarLevels(gray.width(), gray.height()));
+  HaarPyramid pyramid;
+  pyramid.num_levels = levels;
+  ImageF current = gray;
+  for (int k = 0; k < levels; ++k) {
+    HaarSubbands bands = HaarDecompose(current);
+    current = bands.ll;
+    pyramid.levels.push_back(std::move(bands));
+  }
+  pyramid.approx = current;
+  return pyramid;
+}
+
+float BandEnergy(const ImageF& band) {
+  if (band.data().empty()) return 0.0f;
+  double sum = 0.0;
+  for (float v : band.data()) sum += static_cast<double>(v) * v;
+  return static_cast<float>(
+      std::sqrt(sum / static_cast<double>(band.data().size())));
+}
+
+int MaxHaarLevels(int width, int height) {
+  int levels = 0;
+  while (width >= 2 && height >= 2 && width % 2 == 0 && height % 2 == 0) {
+    ++levels;
+    width /= 2;
+    height /= 2;
+  }
+  return levels;
+}
+
+}  // namespace cbix

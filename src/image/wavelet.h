@@ -1,0 +1,54 @@
+// 2-D Haar wavelet transform (multi-level, orthonormal, invertible).
+//
+// One level splits an even-sized single-channel image into four
+// half-resolution subbands: LL (coarse approximation), LH (horizontal
+// detail), HL (vertical detail), HH (diagonal detail). Deeper levels
+// recurse on LL only, producing the classic pyramid. CBIR wavelet
+// signatures summarize the energy of each subband.
+
+#ifndef CBIX_IMAGE_WAVELET_H_
+#define CBIX_IMAGE_WAVELET_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace cbix {
+
+/// Subbands of one Haar decomposition level.
+struct HaarSubbands {
+  ImageF ll;  ///< low/low: half-resolution approximation
+  ImageF lh;  ///< low-pass rows, high-pass columns (horizontal edges)
+  ImageF hl;  ///< high-pass rows, low-pass columns (vertical edges)
+  ImageF hh;  ///< diagonal detail
+};
+
+/// One orthonormal Haar analysis step. Width and height of `gray` must
+/// be even and >= 2; the image must be single-channel.
+HaarSubbands HaarDecompose(const ImageF& gray);
+
+/// Inverse of HaarDecompose (exact up to float rounding).
+ImageF HaarReconstruct(const HaarSubbands& subbands);
+
+/// Full multi-level pyramid: `detail[k]` holds the LH/HL/HH subbands of
+/// level k (k = 0 is the finest), `approx` is the final LL band.
+struct HaarPyramid {
+  std::vector<HaarSubbands> levels;  ///< ll member of each level retained
+  ImageF approx;                     ///< deepest LL
+  int num_levels = 0;
+};
+
+/// Decomposes `gray` for `levels` steps (dimensions must stay even and
+/// >= 2 at every step; callers normalize to a power-of-two size first).
+HaarPyramid HaarDecomposeLevels(const ImageF& gray, int levels);
+
+/// Root-mean-square energy of an image (the subband statistic used by
+/// the wavelet signature descriptor).
+float BandEnergy(const ImageF& band);
+
+/// Largest number of Haar levels applicable to a w x h image.
+int MaxHaarLevels(int width, int height);
+
+}  // namespace cbix
+
+#endif  // CBIX_IMAGE_WAVELET_H_

@@ -1,0 +1,95 @@
+// Common interface of all similarity indexes.
+//
+// An index is built over a set of equal-dimension float vectors whose
+// ids are their positions in the build input. It answers the two query
+// forms of the paper class:
+//   - range search: all vectors within `radius` of the query;
+//   - k-NN search: the k closest vectors.
+// Every search reports `SearchStats`, the hardware-independent cost
+// measure (distance evaluations + nodes visited) that the experiment
+// suite compares across index structures.
+
+#ifndef CBIX_INDEX_INDEX_H_
+#define CBIX_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distance/metric.h"
+#include "util/status.h"
+
+namespace cbix {
+
+/// Per-query cost counters. All fields count work for one query.
+struct SearchStats {
+  uint64_t distance_evals = 0;  ///< full-vector distance computations
+  uint64_t nodes_visited = 0;   ///< internal nodes expanded
+  uint64_t leaves_visited = 0;  ///< leaf nodes (or scan blocks) touched
+
+  SearchStats& operator+=(const SearchStats& other) {
+    distance_evals += other.distance_evals;
+    nodes_visited += other.nodes_visited;
+    leaves_visited += other.leaves_visited;
+    return *this;
+  }
+};
+
+/// One search hit: database id plus its distance to the query.
+struct Neighbor {
+  uint32_t id = 0;
+  double distance = 0.0;
+
+  /// Orders by distance, breaking ties by id so result lists are
+  /// deterministic and comparable across index implementations.
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+  bool operator==(const Neighbor& other) const {
+    return id == other.id && distance == other.distance;
+  }
+};
+
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Builds the index over `vectors` (takes ownership). All vectors must
+  /// share one dimension; ids are assigned 0..n-1 in input order.
+  /// Replaces any previous contents.
+  virtual Status Build(std::vector<Vec> vectors) = 0;
+
+  /// All ids within `radius` (inclusive) of `q`, sorted by (distance,
+  /// id). Exact: must agree with a linear scan under the same metric.
+  virtual std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                            SearchStats* stats) const = 0;
+
+  /// The `k` nearest ids sorted by (distance, id); fewer when the index
+  /// holds fewer than k vectors. Exact.
+  virtual std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                          SearchStats* stats) const = 0;
+
+  /// Number of indexed vectors.
+  virtual size_t size() const = 0;
+
+  /// Dimensionality (0 before Build).
+  virtual size_t dim() const = 0;
+
+  /// Implementation name, e.g. "vp_tree(m=4)".
+  virtual std::string Name() const = 0;
+
+  /// Approximate resident bytes of the index structure (vectors +
+  /// nodes), for the build-cost experiment.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+/// Convenience overloads without stats.
+std::vector<Neighbor> RangeSearch(const VectorIndex& index, const Vec& q,
+                                  double radius);
+std::vector<Neighbor> KnnSearch(const VectorIndex& index, const Vec& q,
+                                size_t k);
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_INDEX_H_

@@ -1,0 +1,228 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "distance/minkowski.h"
+
+namespace cbix {
+
+std::string MinkowskiKindName(MinkowskiKind kind) {
+  switch (kind) {
+    case MinkowskiKind::kL1:
+      return "l1";
+    case MinkowskiKind::kL2:
+      return "l2";
+    case MinkowskiKind::kLInf:
+      return "linf";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const DistanceMetric> MakeMinkowskiMetric(
+    MinkowskiKind kind) {
+  switch (kind) {
+    case MinkowskiKind::kL1:
+      return std::make_shared<L1Distance>();
+    case MinkowskiKind::kL2:
+      return std::make_shared<L2Distance>();
+    case MinkowskiKind::kLInf:
+      return std::make_shared<LInfDistance>();
+  }
+  return std::make_shared<L2Distance>();
+}
+
+KdTree::KdTree(KdTreeOptions options) : options_(options) {
+  assert(options_.leaf_size >= 1);
+}
+
+double KdTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+  if (stats != nullptr) ++stats->distance_evals;
+  double acc = 0.0;
+  switch (options_.metric) {
+    case MinkowskiKind::kL1:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+      }
+      return acc;
+    case MinkowskiKind::kL2:
+      for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    case MinkowskiKind::kLInf:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc = std::max(acc, std::fabs(static_cast<double>(a[i]) - b[i]));
+      }
+      return acc;
+  }
+  return acc;
+}
+
+int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,
+                          size_t end) {
+  assert(begin < end);
+  if (end - begin <= options_.leaf_size) {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.leaf_ids.assign(ids->begin() + begin, ids->begin() + end);
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  // Split on the dimension with the widest extent in this subset.
+  int best_dim = 0;
+  float best_extent = -1.0f;
+  for (size_t d = 0; d < dim_; ++d) {
+    float lo = std::numeric_limits<float>::infinity();
+    float hi = -std::numeric_limits<float>::infinity();
+    for (size_t i = begin; i < end; ++i) {
+      const float v = vectors_[(*ids)[i]][d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      best_dim = static_cast<int>(d);
+    }
+  }
+
+  const size_t mid = (begin + end) / 2;
+  std::nth_element(ids->begin() + begin, ids->begin() + mid,
+                   ids->begin() + end,
+                   [this, best_dim](uint32_t a, uint32_t b) {
+                     return vectors_[a][best_dim] < vectors_[b][best_dim];
+                   });
+  const float split_value = vectors_[(*ids)[mid]][best_dim];
+
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].split_dim = best_dim;
+  nodes_[node_index].split_value = split_value;
+  const int32_t left = BuildNode(ids, begin, mid);
+  const int32_t right = BuildNode(ids, mid, end);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+Status KdTree::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    dim_ = vectors[0].size();
+    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim_) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  } else {
+    dim_ = 0;
+  }
+  vectors_ = std::move(vectors);
+  nodes_.clear();
+  root_ = -1;
+  if (vectors_.empty()) return Status::Ok();
+  std::vector<uint32_t> ids(vectors_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  root_ = BuildNode(&ids, 0, ids.size());
+  return Status::Ok();
+}
+
+void KdTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                             SearchStats* stats,
+                             std::vector<Neighbor>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (uint32_t id : node.leaf_ids) {
+      const double d = Dist(q, vectors_[id], stats);
+      if (d <= radius) out->push_back({id, d});
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
+  const double delta =
+      static_cast<double>(q[node.split_dim]) - node.split_value;
+  // |delta| lower-bounds every Minkowski distance from q to points on
+  // the far side of the plane, so the far child prunes when |delta| > r.
+  const int32_t near = delta <= 0.0 ? node.left : node.right;
+  const int32_t far = delta <= 0.0 ? node.right : node.left;
+  RangeSearchNode(near, q, radius, stats, out);
+  if (std::fabs(delta) <= radius) {
+    RangeSearchNode(far, q, radius, stats, out);
+  }
+}
+
+std::vector<Neighbor> KdTree::RangeSearch(const Vec& q, double radius,
+                                          SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (root_ >= 0) RangeSearchNode(root_, q, radius, stats, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+void HeapPush(std::vector<Neighbor>* heap, size_t k,
+              const Neighbor& candidate) {
+  if (heap->size() < k) {
+    heap->push_back(candidate);
+    std::push_heap(heap->begin(), heap->end());
+  } else if (k > 0 && candidate < heap->front()) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = candidate;
+    std::push_heap(heap->begin(), heap->end());
+  }
+}
+
+}  // namespace
+
+void KdTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
+                           SearchStats* stats,
+                           std::vector<Neighbor>* heap) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (uint32_t id : node.leaf_ids) {
+      HeapPush(heap, k, {id, Dist(q, vectors_[id], stats)});
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
+  const double delta =
+      static_cast<double>(q[node.split_dim]) - node.split_value;
+  const int32_t near = delta <= 0.0 ? node.left : node.right;
+  const int32_t far = delta <= 0.0 ? node.right : node.left;
+  KnnSearchNode(near, q, k, stats, heap);
+  const double tau = heap->size() < k
+                         ? std::numeric_limits<double>::infinity()
+                         : heap->front().distance;
+  if (std::fabs(delta) <= tau) {
+    KnnSearchNode(far, q, k, stats, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::KnnSearch(const Vec& q, size_t k,
+                                        SearchStats* stats) const {
+  std::vector<Neighbor> heap;
+  if (root_ >= 0 && k > 0) KnnSearchNode(root_, q, k, stats, &heap);
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::string KdTree::Name() const {
+  return "kd_tree(" + MinkowskiKindName(options_.metric) + ")";
+}
+
+size_t KdTree::MemoryBytes() const {
+  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node) + node.leaf_ids.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace cbix

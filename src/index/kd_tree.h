@@ -1,0 +1,81 @@
+// KD-tree baseline: coordinate-aligned binary space partitioning with
+// median splits on the widest dimension and bucket leaves.
+//
+// Pruning uses the per-axis distance to the splitting plane, which
+// lower-bounds every Minkowski distance, so the tree is exact for L1,
+// L2 and L∞ (selected at construction). Unlike the VP-tree it needs
+// coordinates — it cannot index a general metric space — which is the
+// comparison the index experiments draw.
+
+#ifndef CBIX_INDEX_KD_TREE_H_
+#define CBIX_INDEX_KD_TREE_H_
+
+#include <memory>
+
+#include "index/index.h"
+
+namespace cbix {
+
+/// Minkowski flavour used for distances and pruning.
+enum class MinkowskiKind {
+  kL1,
+  kL2,
+  kLInf,
+};
+
+std::string MinkowskiKindName(MinkowskiKind kind);
+
+/// Builds the matching DistanceMetric (for cross-checking with other
+/// indexes and the linear scan).
+std::shared_ptr<const DistanceMetric> MakeMinkowskiMetric(
+    MinkowskiKind kind);
+
+struct KdTreeOptions {
+  size_t leaf_size = 16;
+  MinkowskiKind metric = MinkowskiKind::kL2;
+};
+
+class KdTree : public VectorIndex {
+ public:
+  explicit KdTree(KdTreeOptions options = {});
+
+  Status Build(std::vector<Vec> vectors) override;
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+ private:
+  struct Node {
+    bool is_leaf = false;
+    // Internal.
+    int split_dim = 0;
+    float split_value = 0.0f;
+    int32_t left = -1;
+    int32_t right = -1;
+    // Leaf.
+    std::vector<uint32_t> leaf_ids;
+  };
+
+  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  int32_t BuildNode(std::vector<uint32_t>* ids, size_t begin, size_t end);
+  void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                       SearchStats* stats, std::vector<Neighbor>* out) const;
+  void KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
+                     SearchStats* stats, std::vector<Neighbor>* heap) const;
+
+  KdTreeOptions options_;
+  std::vector<Vec> vectors_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_KD_TREE_H_

@@ -1,0 +1,86 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbix {
+
+std::vector<Neighbor> RangeSearch(const VectorIndex& index, const Vec& q,
+                                  double radius) {
+  SearchStats stats;
+  return index.RangeSearch(q, radius, &stats);
+}
+
+std::vector<Neighbor> KnnSearch(const VectorIndex& index, const Vec& q,
+                                size_t k) {
+  SearchStats stats;
+  return index.KnnSearch(q, k, &stats);
+}
+
+LinearScanIndex::LinearScanIndex(
+    std::shared_ptr<const DistanceMetric> metric)
+    : metric_(std::move(metric)) {
+  assert(metric_ != nullptr);
+}
+
+Status LinearScanIndex::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    dim_ = vectors[0].size();
+    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim_) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  } else {
+    dim_ = 0;
+  }
+  vectors_ = std::move(vectors);
+  return Status::Ok();
+}
+
+std::vector<Neighbor> LinearScanIndex::RangeSearch(const Vec& q,
+                                                   double radius,
+                                                   SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    const double d = metric_->Distance(q, vectors_[i]);
+    if (stats != nullptr) ++stats->distance_evals;
+    if (d <= radius) out.push_back({static_cast<uint32_t>(i), d});
+  }
+  if (stats != nullptr) ++stats->leaves_visited;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
+                                                 SearchStats* stats) const {
+  std::vector<Neighbor> heap;  // max-heap on (distance, id)
+  heap.reserve(k + 1);
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    const double d = metric_->Distance(q, vectors_[i]);
+    if (stats != nullptr) ++stats->distance_evals;
+    const Neighbor candidate{static_cast<uint32_t>(i), d};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (k > 0 && candidate < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  if (stats != nullptr) ++stats->leaves_visited;
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::string LinearScanIndex::Name() const {
+  return "linear_scan(" + metric_->Name() + ")";
+}
+
+size_t LinearScanIndex::MemoryBytes() const {
+  return vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+}
+
+}  // namespace cbix

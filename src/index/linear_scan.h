@@ -1,0 +1,38 @@
+// Linear scan: the exact brute-force baseline every index is measured
+// against. Works with any distance measure, metric or not.
+
+#ifndef CBIX_INDEX_LINEAR_SCAN_H_
+#define CBIX_INDEX_LINEAR_SCAN_H_
+
+#include <memory>
+
+#include "index/index.h"
+
+namespace cbix {
+
+class LinearScanIndex : public VectorIndex {
+ public:
+  explicit LinearScanIndex(std::shared_ptr<const DistanceMetric> metric);
+
+  Status Build(std::vector<Vec> vectors) override;
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  const std::vector<Vec>& vectors() const { return vectors_; }
+
+ private:
+  std::shared_ptr<const DistanceMetric> metric_;
+  std::vector<Vec> vectors_;
+  size_t dim_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_LINEAR_SCAN_H_

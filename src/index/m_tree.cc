@@ -1,0 +1,402 @@
+#include "index/m_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace cbix {
+
+MTree::MTree(std::shared_ptr<const DistanceMetric> metric,
+             size_t max_node_entries, uint64_t seed)
+    : metric_(std::move(metric)), max_entries_(max_node_entries),
+      rng_(seed) {
+  assert(metric_ != nullptr);
+  assert(max_entries_ >= 4);
+}
+
+double MTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+  if (stats != nullptr) ++stats->distance_evals;
+  return metric_->Distance(a, b);
+}
+
+double MTree::BuildDist(const Vec& a, const Vec& b) {
+  ++build_distance_evals_;
+  return metric_->Distance(a, b);
+}
+
+int32_t MTree::NewNode(bool is_leaf) {
+  Node node;
+  node.is_leaf = is_leaf;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+Status MTree::Build(std::vector<Vec> vectors) {
+  vectors_.clear();
+  nodes_.clear();
+  root_ = -1;
+  dim_ = 0;
+  build_distance_evals_ = 0;
+  for (Vec& v : vectors) {
+    CBIX_RETURN_IF_ERROR(Insert(std::move(v)));
+  }
+  return Status::Ok();
+}
+
+Status MTree::Insert(Vec vector) {
+  if (vectors_.empty() && root_ < 0) {
+    dim_ = vector.size();
+    if (dim_ == 0) return Status::InvalidArgument("empty vector");
+    root_ = NewNode(/*is_leaf=*/true);
+  } else if (vector.size() != dim_) {
+    return Status::InvalidArgument("inconsistent vector dimensions");
+  }
+  const uint32_t id = static_cast<uint32_t>(vectors_.size());
+  vectors_.push_back(std::move(vector));
+
+  double dist_to_parent = 0.0;
+  const int32_t leaf = ChooseLeaf(id, &dist_to_parent);
+
+  Entry entry;
+  entry.object_id = id;
+  entry.dist_to_parent = dist_to_parent;
+  if (nodes_[leaf].entries.size() < max_entries_) {
+    AddEntry(leaf, entry);
+    PropagateRadius(leaf);
+  } else {
+    SplitNode(leaf, entry);
+  }
+  return Status::Ok();
+}
+
+int32_t MTree::ChooseLeaf(uint32_t id, double* dist_to_parent_out) {
+  const Vec& v = vectors_[id];
+  int32_t current = root_;
+  double dist_to_parent = 0.0;  // root has no routing object above it
+  while (!nodes_[current].is_leaf) {
+    Node& node = nodes_[current];
+    // Prefer the routing entry already covering the object (smallest
+    // distance among those); otherwise the one whose radius grows least.
+    int best = -1;
+    double best_dist = 0.0;
+    double best_growth = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      Entry& e = node.entries[i];
+      const double d = BuildDist(v, vectors_[e.object_id]);
+      const double growth = d - e.covering_radius;
+      if (growth <= 0.0) {
+        if (best == -1 || best_growth > 0.0 || d < best_dist) {
+          best = static_cast<int>(i);
+          best_dist = d;
+          best_growth = 0.0;
+        }
+      } else if (best_growth > 0.0 && growth < best_growth) {
+        best = static_cast<int>(i);
+        best_dist = d;
+        best_growth = growth;
+      }
+    }
+    Entry& chosen = node.entries[best];
+    if (best_dist > chosen.covering_radius) {
+      chosen.covering_radius = best_dist;  // enlarge to cover new object
+    }
+    dist_to_parent = best_dist;
+    current = chosen.child;
+  }
+  *dist_to_parent_out = dist_to_parent;
+  return current;
+}
+
+void MTree::AddEntry(int32_t node_id, Entry entry) {
+  Node& node = nodes_[node_id];
+  if (!node.is_leaf && entry.child >= 0) {
+    nodes_[entry.child].parent = node_id;
+    nodes_[entry.child].parent_entry =
+        static_cast<int32_t>(node.entries.size());
+  }
+  node.entries.push_back(entry);
+}
+
+double MTree::RewireUnderRouter(int32_t node_id, uint32_t router_id) {
+  Node& node = nodes_[node_id];
+  const Vec& router = vectors_[router_id];
+  double radius = 0.0;
+  for (Entry& e : node.entries) {
+    e.dist_to_parent = BuildDist(router, vectors_[e.object_id]);
+    const double reach =
+        e.dist_to_parent + (node.is_leaf ? 0.0 : e.covering_radius);
+    radius = std::max(radius, reach);
+  }
+  return radius;
+}
+
+void MTree::PropagateRadius(int32_t node_id) {
+  // Walk upward making sure every ancestor's covering radius bounds the
+  // subtree. Radii only grow here; splits recompute them exactly.
+  int32_t current = node_id;
+  while (nodes_[current].parent >= 0) {
+    const int32_t parent = nodes_[current].parent;
+    const int32_t slot = nodes_[current].parent_entry;
+    Entry& e = nodes_[parent].entries[slot];
+    double needed = 0.0;
+    for (const Entry& child_entry : nodes_[current].entries) {
+      const double reach =
+          child_entry.dist_to_parent +
+          (nodes_[current].is_leaf ? 0.0 : child_entry.covering_radius);
+      needed = std::max(needed, reach);
+    }
+    if (needed > e.covering_radius) e.covering_radius = needed;
+    current = parent;
+  }
+}
+
+void MTree::SplitNode(int32_t node_id, Entry overflow_entry) {
+  // Collect all entries (existing + overflow).
+  std::vector<Entry> entries = std::move(nodes_[node_id].entries);
+  nodes_[node_id].entries.clear();
+  entries.push_back(overflow_entry);
+  const bool is_leaf = nodes_[node_id].is_leaf;
+
+  // Promotion: mM_RAD-style sampled selection — try a few random pairs
+  // and keep the one minimizing the larger of the two covering radii
+  // after a generalized-hyperplane partition.
+  const size_t n = entries.size();
+  size_t best_a = 0, best_b = 1;
+  double best_score = std::numeric_limits<double>::infinity();
+  const int attempts = 8;
+  for (int t = 0; t < attempts; ++t) {
+    size_t a = rng_.NextBelow(n);
+    size_t b = rng_.NextBelow(n);
+    if (a == b) continue;
+    double rad_a = 0.0, rad_b = 0.0;
+    for (const Entry& e : entries) {
+      const double da =
+          BuildDist(vectors_[entries[a].object_id], vectors_[e.object_id]);
+      const double db =
+          BuildDist(vectors_[entries[b].object_id], vectors_[e.object_id]);
+      const double extra = is_leaf ? 0.0 : e.covering_radius;
+      if (da <= db) {
+        rad_a = std::max(rad_a, da + extra);
+      } else {
+        rad_b = std::max(rad_b, db + extra);
+      }
+    }
+    const double score = std::max(rad_a, rad_b);
+    if (score < best_score) {
+      best_score = score;
+      best_a = a;
+      best_b = b;
+    }
+  }
+  if (best_a == best_b) best_b = (best_a + 1) % n;
+
+  const uint32_t router_a = entries[best_a].object_id;
+  const uint32_t router_b = entries[best_b].object_id;
+
+  // Partition by nearest router (generalized hyperplane).
+  const int32_t sibling = NewNode(is_leaf);
+  nodes_[node_id].is_leaf = is_leaf;
+  for (const Entry& e : entries) {
+    const double da = BuildDist(vectors_[router_a], vectors_[e.object_id]);
+    const double db = BuildDist(vectors_[router_b], vectors_[e.object_id]);
+    Entry moved = e;
+    if (da <= db) {
+      moved.dist_to_parent = da;
+      AddEntry(node_id, moved);
+    } else {
+      moved.dist_to_parent = db;
+      AddEntry(sibling, moved);
+    }
+  }
+  // Guard degenerate partitions (all entries equal): move one over.
+  if (nodes_[sibling].entries.empty()) {
+    Entry moved = nodes_[node_id].entries.back();
+    nodes_[node_id].entries.pop_back();
+    moved.dist_to_parent = 0.0;
+    AddEntry(sibling, moved);
+  } else if (nodes_[node_id].entries.empty()) {
+    Entry moved = nodes_[sibling].entries.back();
+    nodes_[sibling].entries.pop_back();
+    moved.dist_to_parent = 0.0;
+    AddEntry(node_id, moved);
+  }
+  // parent_entry slots may have shifted during re-adds; fix children.
+  for (Node* node : {&nodes_[node_id], &nodes_[sibling]}) {
+    if (node->is_leaf) continue;
+    const int32_t self =
+        node == &nodes_[node_id] ? node_id : sibling;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      nodes_[node->entries[i].child].parent = self;
+      nodes_[node->entries[i].child].parent_entry = static_cast<int32_t>(i);
+    }
+  }
+
+  // Exact covering radii for the two new routing entries.
+  const double radius_this = RewireUnderRouter(node_id, router_a);
+  const double radius_sibling = RewireUnderRouter(sibling, router_b);
+
+  Entry entry_a;
+  entry_a.object_id = router_a;
+  entry_a.covering_radius = radius_this;
+  entry_a.child = node_id;
+  Entry entry_b;
+  entry_b.object_id = router_b;
+  entry_b.covering_radius = radius_sibling;
+  entry_b.child = sibling;
+
+  const int32_t parent = nodes_[node_id].parent;
+  if (parent < 0) {
+    // Split of the root: grow the tree by one level.
+    const int32_t new_root = NewNode(/*is_leaf=*/false);
+    nodes_[new_root].parent = -1;
+    entry_a.dist_to_parent = 0.0;
+    entry_b.dist_to_parent = 0.0;
+    AddEntry(new_root, entry_a);
+    AddEntry(new_root, entry_b);
+    root_ = new_root;
+    return;
+  }
+
+  // Replace this node's old entry in the parent with entry_a, then add
+  // entry_b (splitting the parent if full).
+  const int32_t slot = nodes_[node_id].parent_entry;
+  Node& parent_node = nodes_[parent];
+  const int32_t grand = parent_node.parent;
+  double dist_a = 0.0, dist_b = 0.0;
+  if (grand >= 0) {
+    const uint32_t parent_router =
+        nodes_[grand].entries[parent_node.parent_entry].object_id;
+    dist_a = BuildDist(vectors_[parent_router], vectors_[router_a]);
+    dist_b = BuildDist(vectors_[parent_router], vectors_[router_b]);
+  }
+  entry_a.dist_to_parent = dist_a;
+  entry_b.dist_to_parent = dist_b;
+  parent_node.entries[slot] = entry_a;
+  nodes_[node_id].parent_entry = slot;
+
+  if (parent_node.entries.size() < max_entries_) {
+    AddEntry(parent, entry_b);
+    PropagateRadius(parent);
+  } else {
+    SplitNode(parent, entry_b);
+  }
+}
+
+void MTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                            double dist_q_parent, bool has_parent,
+                            SearchStats* stats,
+                            std::vector<Neighbor>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (const Entry& e : node.entries) {
+      // Cheap filter: |d(q,parent) - d(parent,o)| > r  =>  d(q,o) > r.
+      if (has_parent &&
+          std::fabs(dist_q_parent - e.dist_to_parent) > radius) {
+        continue;
+      }
+      const double d = Dist(q, vectors_[e.object_id], stats);
+      if (d <= radius) out->push_back({e.object_id, d});
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
+  for (const Entry& e : node.entries) {
+    if (has_parent && std::fabs(dist_q_parent - e.dist_to_parent) >
+                          radius + e.covering_radius) {
+      continue;  // pruned without computing d(q, router)
+    }
+    const double d = Dist(q, vectors_[e.object_id], stats);
+    if (d > radius + e.covering_radius) continue;
+    RangeSearchNode(e.child, q, radius, d, /*has_parent=*/true, stats, out);
+  }
+}
+
+std::vector<Neighbor> MTree::RangeSearch(const Vec& q, double radius,
+                                         SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (root_ >= 0) {
+    RangeSearchNode(root_, q, radius, 0.0, /*has_parent=*/false, stats,
+                    &out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Neighbor> MTree::KnnSearch(const Vec& q, size_t k,
+                                       SearchStats* stats) const {
+  std::vector<Neighbor> heap;  // bounded max-heap of best k
+  if (root_ < 0 || k == 0) return heap;
+
+  auto heap_push = [&heap, k](const Neighbor& candidate) {
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (candidate < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  };
+  auto tau = [&heap, k] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().distance;
+  };
+
+  // Best-first on the optimistic bound max(0, d(q, router) - radius).
+  using QueueEntry = std::pair<double, int32_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.emplace(0.0, root_);
+
+  while (!queue.empty()) {
+    const auto [bound, node_id] = queue.top();
+    queue.pop();
+    if (bound > tau()) break;
+    const Node& node = nodes_[node_id];
+    if (node.is_leaf) {
+      if (stats != nullptr) ++stats->leaves_visited;
+      for (const Entry& e : node.entries) {
+        heap_push({e.object_id, Dist(q, vectors_[e.object_id], stats)});
+      }
+    } else {
+      if (stats != nullptr) ++stats->nodes_visited;
+      for (const Entry& e : node.entries) {
+        const double d = Dist(q, vectors_[e.object_id], stats);
+        const double child_bound = std::max(0.0, d - e.covering_radius);
+        if (child_bound <= tau()) queue.emplace(child_bound, e.child);
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::string MTree::Name() const {
+  return "m_tree(M=" + std::to_string(max_entries_) + "," +
+         metric_->Name() + ")";
+}
+
+size_t MTree::MemoryBytes() const {
+  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node) + node.entries.size() * sizeof(Entry);
+  }
+  return bytes;
+}
+
+size_t MTree::Height() const {
+  if (root_ < 0) return 0;
+  size_t height = 1;
+  int32_t current = root_;
+  while (!nodes_[current].is_leaf) {
+    current = nodes_[current].entries[0].child;
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace cbix

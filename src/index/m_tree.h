@@ -1,0 +1,97 @@
+// M-tree: a *dynamic* metric access method (Ciaccia, Patella & Zezula,
+// VLDB 1997) — the natural successor of the static VP-tree for image
+// feature indexing, included as the "future work" extension of the
+// reproduction (see DESIGN.md).
+//
+// Where the VP-tree is built once over a known collection, the M-tree
+// grows by insertion like a B-tree: balanced, node-at-a-time splits with
+// promotion of routing objects. Each routing object r stores a covering
+// radius rad(r) bounding the distance from r to every object below it,
+// plus its distance to its parent routing object. Searches prune with
+// two triangle-inequality filters:
+//   1. |d(q, parent) - d(parent, r)| - rad(r) > radius  => skip subtree
+//      (no distance computation needed for r at all), and
+//   2. d(q, r) - rad(r) > radius                        => skip subtree.
+
+#ifndef CBIX_INDEX_M_TREE_H_
+#define CBIX_INDEX_M_TREE_H_
+
+#include <memory>
+
+#include "index/index.h"
+#include "util/random.h"
+
+namespace cbix {
+
+class MTree : public VectorIndex {
+ public:
+  MTree(std::shared_ptr<const DistanceMetric> metric,
+        size_t max_node_entries = 16, uint64_t seed = 0x137);
+
+  /// Bulk build = repeated insertion (the M-tree is dynamic by design).
+  Status Build(std::vector<Vec> vectors) override;
+
+  /// Inserts one vector; its id is size() before the call.
+  Status Insert(Vec vector);
+
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  /// Distance evaluations spent on insertions so far.
+  uint64_t build_distance_evals() const { return build_distance_evals_; }
+
+  /// Height of the tree (leaf = 1, empty = 0).
+  size_t Height() const;
+
+ private:
+  struct Entry {
+    uint32_t object_id = 0;      ///< routing (internal) or data (leaf) id
+    double dist_to_parent = 0.0; ///< d(object, parent routing object)
+    double covering_radius = 0.0;  ///< internal only
+    int32_t child = -1;            ///< internal only
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Entry> entries;
+    int32_t parent = -1;        ///< parent node index
+    int32_t parent_entry = -1;  ///< index of this node's entry in parent
+  };
+
+  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  double BuildDist(const Vec& a, const Vec& b);
+  int32_t NewNode(bool is_leaf);
+  /// Descends to the leaf best suited for `id`, maintaining the distance
+  /// of the inserted object to the chosen routing object at each level.
+  int32_t ChooseLeaf(uint32_t id, double* dist_to_parent_out);
+  void SplitNode(int32_t node_id, Entry overflow_entry);
+  void AddEntry(int32_t node_id, Entry entry);
+  /// Recomputes dist_to_parent of every entry of `node_id` against the
+  /// routing object `router_id`, returning the max (+ child radii).
+  double RewireUnderRouter(int32_t node_id, uint32_t router_id);
+  void PropagateRadius(int32_t node_id);
+
+  void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                       double dist_q_parent, bool has_parent,
+                       SearchStats* stats, std::vector<Neighbor>* out) const;
+
+  std::shared_ptr<const DistanceMetric> metric_;
+  size_t max_entries_;
+  Rng rng_;
+  std::vector<Vec> vectors_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+  uint64_t build_distance_evals_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_M_TREE_H_

@@ -1,0 +1,520 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace cbix {
+
+RTree::RTree(RTreeOptions options) : options_(options) {
+  assert(options_.max_entries >= 4);
+  assert(options_.min_entries >= 1);
+  assert(options_.min_entries <= options_.max_entries / 2);
+}
+
+double RTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+  if (stats != nullptr) ++stats->distance_evals;
+  double acc = 0.0;
+  switch (options_.metric) {
+    case MinkowskiKind::kL1:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
+      }
+      return acc;
+    case MinkowskiKind::kL2:
+      for (size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    case MinkowskiKind::kLInf:
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc = std::max(acc, std::fabs(static_cast<double>(a[i]) - b[i]));
+      }
+      return acc;
+  }
+  return acc;
+}
+
+double RTree::MinDist(const Vec& q, const Rect& r) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < q.size(); ++i) {
+    double gap = 0.0;
+    if (q[i] < r.min[i]) {
+      gap = static_cast<double>(r.min[i]) - q[i];
+    } else if (q[i] > r.max[i]) {
+      gap = static_cast<double>(q[i]) - r.max[i];
+    }
+    switch (options_.metric) {
+      case MinkowskiKind::kL1:
+        acc += gap;
+        break;
+      case MinkowskiKind::kL2:
+        acc += gap * gap;
+        break;
+      case MinkowskiKind::kLInf:
+        acc = std::max(acc, gap);
+        break;
+    }
+  }
+  return options_.metric == MinkowskiKind::kL2 ? std::sqrt(acc) : acc;
+}
+
+RTree::Rect RTree::PointRect(const Vec& v) const { return {v, v}; }
+
+void RTree::Enlarge(Rect* r, const Rect& other) {
+  for (size_t i = 0; i < r->min.size(); ++i) {
+    r->min[i] = std::min(r->min[i], other.min[i]);
+    r->max[i] = std::max(r->max[i], other.max[i]);
+  }
+}
+
+double RTree::Volume(const Rect& r) const {
+  double v = 1.0;
+  for (size_t i = 0; i < r.min.size(); ++i) {
+    v *= static_cast<double>(r.max[i]) - r.min[i];
+  }
+  return v;
+}
+
+double RTree::EnlargementNeeded(const Rect& r, const Rect& add) const {
+  Rect cover = r;
+  Enlarge(&cover, add);
+  const double grown = Volume(cover);
+  const double current = Volume(r);
+  if (grown > 0.0 || current > 0.0) return grown - current;
+  // Degenerate (zero-volume) rectangles: fall back to perimeter growth
+  // so choice is still informed in high dimensions.
+  double perim_grown = 0.0, perim_current = 0.0;
+  for (size_t i = 0; i < r.min.size(); ++i) {
+    perim_grown += static_cast<double>(cover.max[i]) - cover.min[i];
+    perim_current += static_cast<double>(r.max[i]) - r.min[i];
+  }
+  return perim_grown - perim_current;
+}
+
+int32_t RTree::NewNode(bool is_leaf) {
+  Node node;
+  node.is_leaf = is_leaf;
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t RTree::ChooseLeaf(const Rect& rect) const {
+  int32_t current = root_;
+  while (!nodes_[current].is_leaf) {
+    const Node& node = nodes_[current];
+    int best = 0;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      const double enlargement = EnlargementNeeded(node.rects[i], rect);
+      const double volume = Volume(node.rects[i]);
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = static_cast<int>(i);
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    current = node.children[best];
+  }
+  return current;
+}
+
+void RTree::InsertEntry(int32_t node_id, const Rect& rect, int32_t child,
+                        uint32_t point_id) {
+  Node& node = nodes_[node_id];
+  node.rects.push_back(rect);
+  if (node.is_leaf) {
+    node.point_ids.push_back(point_id);
+  } else {
+    node.children.push_back(child);
+    nodes_[child].parent = node_id;
+  }
+}
+
+RTree::Rect RTree::NodeBoundingRect(int32_t node_id) const {
+  const Node& node = nodes_[node_id];
+  assert(!node.rects.empty());
+  Rect r = node.rects[0];
+  for (size_t i = 1; i < node.rects.size(); ++i) Enlarge(&r, node.rects[i]);
+  return r;
+}
+
+void RTree::UpdateParentRect(int32_t node_id) {
+  const int32_t parent = nodes_[node_id].parent;
+  if (parent < 0) return;
+  Node& p = nodes_[parent];
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    if (p.children[i] == node_id) {
+      p.rects[i] = NodeBoundingRect(node_id);
+      break;
+    }
+  }
+}
+
+void RTree::AdjustUpward(int32_t node_id) {
+  while (node_id >= 0) {
+    UpdateParentRect(node_id);
+    node_id = nodes_[node_id].parent;
+  }
+}
+
+void RTree::SplitNode(int32_t node_id) {
+  // Gather this node's entries, then redistribute them over the node and
+  // a fresh sibling using Guttman's quadratic split.
+  const bool is_leaf = nodes_[node_id].is_leaf;
+  std::vector<Rect> rects = std::move(nodes_[node_id].rects);
+  std::vector<int32_t> children = std::move(nodes_[node_id].children);
+  std::vector<uint32_t> point_ids = std::move(nodes_[node_id].point_ids);
+  nodes_[node_id].rects.clear();
+  nodes_[node_id].children.clear();
+  nodes_[node_id].point_ids.clear();
+
+  const int32_t sibling = NewNode(is_leaf);
+  const size_t n = rects.size();
+
+  // Seed selection: the pair wasting the most volume if grouped.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Rect cover = rects[i];
+      Enlarge(&cover, rects[j]);
+      const double dead = Volume(cover) - Volume(rects[i]) -
+                          Volume(rects[j]);
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto add_to = [&](int32_t target, size_t entry) {
+    InsertEntry(target, rects[entry],
+                is_leaf ? -1 : children[entry],
+                is_leaf ? point_ids[entry] : 0);
+  };
+
+  add_to(node_id, seed_a);
+  add_to(sibling, seed_b);
+  Rect cover_a = rects[seed_a];
+  Rect cover_b = rects[seed_b];
+
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+
+  while (remaining > 0) {
+    const size_t count_a = nodes_[node_id].rects.size();
+    const size_t count_b = nodes_[sibling].rects.size();
+    // Force-assign when one group must take everything left to reach the
+    // minimum fill factor.
+    if (count_a + remaining <= options_.min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          add_to(node_id, i);
+          Enlarge(&cover_a, rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining <= options_.min_entries) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          add_to(sibling, i);
+          Enlarge(&cover_b, rects[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: entry with the strongest preference between groups.
+    size_t pick = 0;
+    double best_pref = -1.0;
+    double d_a_pick = 0.0, d_b_pick = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = EnlargementNeeded(cover_a, rects[i]);
+      const double db = EnlargementNeeded(cover_b, rects[i]);
+      const double pref = std::fabs(da - db);
+      if (pref > best_pref) {
+        best_pref = pref;
+        pick = i;
+        d_a_pick = da;
+        d_b_pick = db;
+      }
+    }
+
+    bool to_a;
+    if (d_a_pick != d_b_pick) {
+      to_a = d_a_pick < d_b_pick;
+    } else {
+      const double va = Volume(cover_a), vb = Volume(cover_b);
+      if (va != vb) {
+        to_a = va < vb;
+      } else {
+        to_a = nodes_[node_id].rects.size() <= nodes_[sibling].rects.size();
+      }
+    }
+    if (to_a) {
+      add_to(node_id, pick);
+      Enlarge(&cover_a, rects[pick]);
+    } else {
+      add_to(sibling, pick);
+      Enlarge(&cover_b, rects[pick]);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+
+  // Wire the sibling into the parent (growing the tree if we split the
+  // root), then propagate rectangle updates / further splits upward.
+  const int32_t parent = nodes_[node_id].parent;
+  if (parent < 0) {
+    const int32_t new_root = NewNode(/*is_leaf=*/false);
+    nodes_[new_root].parent = -1;
+    InsertEntry(new_root, NodeBoundingRect(node_id), node_id, 0);
+    InsertEntry(new_root, NodeBoundingRect(sibling), sibling, 0);
+    root_ = new_root;
+    return;
+  }
+  UpdateParentRect(node_id);
+  InsertEntry(parent, NodeBoundingRect(sibling), sibling, 0);
+  if (nodes_[parent].rects.size() > options_.max_entries) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+Status RTree::Insert(Vec vector) {
+  if (vectors_.empty() && root_ < 0) {
+    dim_ = vector.size();
+    if (dim_ == 0) return Status::InvalidArgument("empty vector");
+    root_ = NewNode(/*is_leaf=*/true);
+  } else if (vector.size() != dim_) {
+    return Status::InvalidArgument("inconsistent vector dimensions");
+  }
+  const uint32_t id = static_cast<uint32_t>(vectors_.size());
+  vectors_.push_back(std::move(vector));
+  const Rect rect = PointRect(vectors_.back());
+
+  const int32_t leaf = ChooseLeaf(rect);
+  InsertEntry(leaf, rect, -1, id);
+  if (nodes_[leaf].rects.size() > options_.max_entries) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf);
+  }
+  return Status::Ok();
+}
+
+int32_t RTree::StrPack(std::vector<uint32_t> ids, size_t level_dim) {
+  // Leaf packing: recursively slice the sorted point set into slabs so
+  // that final runs fit a leaf. This is the Sort-Tile-Recursive scheme
+  // generalized to arbitrary dimensionality. Collects leaves only; the
+  // caller assembles the upper levels so the tree stays height-balanced.
+  if (ids.size() <= options_.max_entries) {
+    const int32_t leaf = NewNode(/*is_leaf=*/true);
+    for (uint32_t id : ids) {
+      InsertEntry(leaf, PointRect(vectors_[id]), -1, id);
+    }
+    str_leaves_.push_back(leaf);
+    return leaf;
+  }
+
+  const size_t d = level_dim % dim_;
+  std::sort(ids.begin(), ids.end(), [this, d](uint32_t a, uint32_t b) {
+    if (vectors_[a][d] != vectors_[b][d]) {
+      return vectors_[a][d] < vectors_[b][d];
+    }
+    return a < b;
+  });
+
+  const size_t total_leaves =
+      (ids.size() + options_.max_entries - 1) / options_.max_entries;
+  const size_t remaining_dims = dim_ - (level_dim % dim_);
+  const size_t slabs = std::max<size_t>(
+      2, static_cast<size_t>(std::ceil(std::pow(
+             static_cast<double>(total_leaves),
+             1.0 / static_cast<double>(std::max<size_t>(1, remaining_dims))))));
+  const size_t slab_size = (ids.size() + slabs - 1) / slabs;
+
+  for (size_t begin = 0; begin < ids.size(); begin += slab_size) {
+    const size_t end = std::min(ids.size(), begin + slab_size);
+    StrPack(std::vector<uint32_t>(ids.begin() + begin, ids.begin() + end),
+            level_dim + 1);
+  }
+  return -1;  // leaves were appended to str_leaves_
+}
+
+void RTree::BulkLoadStr(const std::vector<uint32_t>& ids) {
+  str_leaves_.clear();
+  StrPack(ids, 0);
+  // The recursive partition emits leaves in a spatially coherent order;
+  // chunking consecutive runs under shared parents yields the packed,
+  // height-balanced tree of the STR scheme.
+  std::vector<int32_t> level = std::move(str_leaves_);
+  str_leaves_.clear();
+  while (level.size() > 1) {
+    std::vector<int32_t> parents;
+    for (size_t begin = 0; begin < level.size();
+         begin += options_.max_entries) {
+      const size_t end = std::min(level.size(), begin + options_.max_entries);
+      const int32_t parent = NewNode(/*is_leaf=*/false);
+      for (size_t i = begin; i < end; ++i) {
+        InsertEntry(parent, NodeBoundingRect(level[i]), level[i], 0);
+      }
+      parents.push_back(parent);
+    }
+    level = std::move(parents);
+  }
+  root_ = level[0];
+  nodes_[root_].parent = -1;
+}
+
+Status RTree::Build(std::vector<Vec> vectors) {
+  nodes_.clear();
+  vectors_.clear();
+  root_ = -1;
+  dim_ = 0;
+  if (vectors.empty()) return Status::Ok();
+
+  dim_ = vectors[0].size();
+  if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+  for (const Vec& v : vectors) {
+    if (v.size() != dim_) {
+      return Status::InvalidArgument("inconsistent vector dimensions");
+    }
+  }
+
+  if (!options_.bulk_load) {
+    for (Vec& v : vectors) {
+      CBIX_RETURN_IF_ERROR(Insert(std::move(v)));
+    }
+    return Status::Ok();
+  }
+
+  vectors_ = std::move(vectors);
+  std::vector<uint32_t> ids(vectors_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  BulkLoadStr(ids);
+  return Status::Ok();
+}
+
+void RTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                            SearchStats* stats,
+                            std::vector<Neighbor>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (size_t i = 0; i < node.point_ids.size(); ++i) {
+      const uint32_t id = node.point_ids[i];
+      const double d = Dist(q, vectors_[id], stats);
+      if (d <= radius) out->push_back({id, d});
+    }
+    return;
+  }
+  if (stats != nullptr) ++stats->nodes_visited;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (MinDist(q, node.rects[i]) <= radius) {
+      RangeSearchNode(node.children[i], q, radius, stats, out);
+    }
+  }
+}
+
+std::vector<Neighbor> RTree::RangeSearch(const Vec& q, double radius,
+                                         SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (root_ >= 0) RangeSearchNode(root_, q, radius, stats, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Neighbor> RTree::KnnSearch(const Vec& q, size_t k,
+                                       SearchStats* stats) const {
+  std::vector<Neighbor> heap;  // bounded max-heap of current best k
+  if (root_ < 0 || k == 0) return heap;
+
+  auto heap_push = [&heap, k](const Neighbor& candidate) {
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (candidate < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  };
+  auto tau = [&heap, k] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.front().distance;
+  };
+
+  // Best-first traversal on MINDIST.
+  using QueueEntry = std::pair<double, int32_t>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  queue.emplace(0.0, root_);
+
+  while (!queue.empty()) {
+    const auto [mindist, node_id] = queue.top();
+    queue.pop();
+    if (mindist > tau()) break;  // nothing closer remains anywhere
+    const Node& node = nodes_[node_id];
+    if (node.is_leaf) {
+      if (stats != nullptr) ++stats->leaves_visited;
+      for (uint32_t id : node.point_ids) {
+        heap_push({id, Dist(q, vectors_[id], stats)});
+      }
+    } else {
+      if (stats != nullptr) ++stats->nodes_visited;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        const double md = MinDist(q, node.rects[i]);
+        if (md <= tau()) queue.emplace(md, node.children[i]);
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::string RTree::Name() const {
+  return std::string("rtree(M=") + std::to_string(options_.max_entries) +
+         "," + (options_.bulk_load ? "str" : "dyn") + "," +
+         MinkowskiKindName(options_.metric) + ")";
+}
+
+size_t RTree::MemoryBytes() const {
+  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node);
+    bytes += node.rects.size() * 2 * dim_ * sizeof(float);
+    bytes += node.children.size() * sizeof(int32_t);
+    bytes += node.point_ids.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+size_t RTree::Height() const {
+  if (root_ < 0) return 0;
+  size_t height = 1;
+  int32_t current = root_;
+  while (!nodes_[current].is_leaf) {
+    current = nodes_[current].children[0];
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace cbix

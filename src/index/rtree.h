@@ -1,0 +1,100 @@
+// R-tree over point data (Guttman 1984), the multidimensional access
+// method of the paper's era and the comparison structure named in the
+// reproduction bands.
+//
+// Supports both dynamic insertion (ChooseLeaf + quadratic split) and
+// Sort-Tile-Recursive (STR) bulk loading, which produces much better
+// packed trees for static collections. Range queries recurse into every
+// child rectangle intersecting the query ball (via MINDIST); k-NN uses
+// best-first branch-and-bound on MINDIST. MINDIST under any Minkowski
+// norm is the norm of the per-axis gaps, a valid lower bound, so the
+// tree is exact for L1/L2/L∞.
+
+#ifndef CBIX_INDEX_RTREE_H_
+#define CBIX_INDEX_RTREE_H_
+
+#include <memory>
+
+#include "index/index.h"
+#include "index/kd_tree.h"  // MinkowskiKind
+
+namespace cbix {
+
+struct RTreeOptions {
+  size_t max_entries = 16;  ///< node capacity M
+  size_t min_entries = 6;   ///< Guttman's m (<= M/2)
+  MinkowskiKind metric = MinkowskiKind::kL2;
+  bool bulk_load = true;  ///< Build() uses STR; false = repeated Insert
+};
+
+class RTree : public VectorIndex {
+ public:
+  explicit RTree(RTreeOptions options = {});
+
+  Status Build(std::vector<Vec> vectors) override;
+
+  /// Dynamic insertion of one vector; its id is size() before the call.
+  /// The vector's dimensionality must match (or define it if first).
+  Status Insert(Vec vector);
+
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  /// Height of the tree (leaf level = 1; 0 when empty).
+  size_t Height() const;
+
+ private:
+  /// Axis-aligned bounding rectangle (inline min/max arrays of dim_).
+  struct Rect {
+    Vec min;
+    Vec max;
+  };
+
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Rect> rects;          // per entry
+    std::vector<int32_t> children;    // node index (internal) ...
+    std::vector<uint32_t> point_ids;  // ... or vector id (leaf)
+    int32_t parent = -1;
+  };
+
+  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  double MinDist(const Vec& q, const Rect& r) const;
+  Rect PointRect(const Vec& v) const;
+  static void Enlarge(Rect* r, const Rect& other);
+  double Volume(const Rect& r) const;
+  double EnlargementNeeded(const Rect& r, const Rect& add) const;
+
+  int32_t NewNode(bool is_leaf);
+  int32_t ChooseLeaf(const Rect& rect) const;
+  void InsertEntry(int32_t node_id, const Rect& rect, int32_t child,
+                   uint32_t point_id);
+  void SplitNode(int32_t node_id);
+  void AdjustUpward(int32_t node_id);
+  Rect NodeBoundingRect(int32_t node_id) const;
+  void UpdateParentRect(int32_t node_id);
+
+  void BulkLoadStr(const std::vector<uint32_t>& ids);
+  int32_t StrPack(std::vector<uint32_t> ids, size_t level_dim);
+
+  void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                       SearchStats* stats, std::vector<Neighbor>* out) const;
+
+  RTreeOptions options_;
+  std::vector<Vec> vectors_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> str_leaves_;  ///< scratch used during bulk load
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_RTREE_H_

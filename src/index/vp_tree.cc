@@ -1,0 +1,431 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/serialize.h"
+
+namespace cbix {
+
+namespace {
+constexpr uint32_t kVpTreeMagic = 0x56505452;  // "VPTR"
+constexpr uint32_t kVpTreeVersion = 1;
+}  // namespace
+
+std::string VantageSelectionName(VantageSelection selection) {
+  switch (selection) {
+    case VantageSelection::kRandom:
+      return "random";
+    case VantageSelection::kMaxSpread:
+      return "max_spread";
+    case VantageSelection::kCorner:
+      return "corner";
+  }
+  return "unknown";
+}
+
+VpTree::VpTree(std::shared_ptr<const DistanceMetric> metric,
+               VpTreeOptions options)
+    : metric_(std::move(metric)), options_(options) {
+  assert(metric_ != nullptr);
+  assert(options_.arity >= 2);
+  assert(options_.leaf_size >= 1);
+  assert(options_.sample_size >= 2);
+}
+
+double VpTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+  if (stats != nullptr) ++stats->distance_evals;
+  return metric_->Distance(a, b);
+}
+
+uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
+                               Rng* rng) {
+  assert(!ids.empty());
+  if (ids.size() == 1 || options_.selection == VantageSelection::kRandom) {
+    return ids[rng->NextBelow(ids.size())];
+  }
+
+  const size_t candidates =
+      std::min(options_.sample_size, ids.size());
+
+  if (options_.selection == VantageSelection::kCorner) {
+    // Farthest point from a random probe: cheap approximation of a
+    // "corner" of the data set, which yields wide, well-separated
+    // distance distributions.
+    const Vec& probe = vectors_[ids[rng->NextBelow(ids.size())]];
+    uint32_t best_id = ids[0];
+    double best_dist = -1.0;
+    const std::vector<size_t> sample =
+        rng->SampleWithoutReplacement(ids.size(), candidates);
+    for (size_t s : sample) {
+      const double d = metric_->Distance(probe, vectors_[ids[s]]);
+      build_distance_evals_ += 1;
+      if (d > best_dist) {
+        best_dist = d;
+        best_id = ids[s];
+      }
+    }
+    return best_id;
+  }
+
+  // kMaxSpread: pick the candidate whose distances to a fixed target
+  // sample have maximal variance (Yianilos' selection heuristic).
+  const std::vector<size_t> cand_idx =
+      rng->SampleWithoutReplacement(ids.size(), candidates);
+  const size_t targets = std::min(options_.sample_size, ids.size());
+  const std::vector<size_t> target_idx =
+      rng->SampleWithoutReplacement(ids.size(), targets);
+
+  uint32_t best_id = ids[cand_idx[0]];
+  double best_spread = -1.0;
+  for (size_t ci : cand_idx) {
+    const Vec& candidate = vectors_[ids[ci]];
+    double mean = 0.0, m2 = 0.0;
+    size_t n = 0;
+    for (size_t ti : target_idx) {
+      const double d = metric_->Distance(candidate, vectors_[ids[ti]]);
+      build_distance_evals_ += 1;
+      ++n;
+      const double delta = d - mean;
+      mean += delta / static_cast<double>(n);
+      m2 += delta * (d - mean);
+    }
+    const double spread = n > 1 ? m2 / static_cast<double>(n) : 0.0;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_id = ids[ci];
+    }
+  }
+  return best_id;
+}
+
+int32_t VpTree::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
+  if (ids.empty()) return -1;
+
+  if (ids.size() <= options_.leaf_size) {
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.leaf_ids = std::move(ids);
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+
+  const uint32_t vantage = SelectVantage(ids, rng);
+
+  // Distances from the vantage to every other point in this subset.
+  struct Entry {
+    uint32_t id;
+    double dist;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(ids.size() - 1);
+  for (uint32_t id : ids) {
+    if (id == vantage) continue;
+    entries.push_back({id, metric_->Distance(vectors_[vantage],
+                                             vectors_[id])});
+    ++build_distance_evals_;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.id < b.id;
+            });
+
+  // Quantile split into `arity` contiguous groups. Equal distances can
+  // land in different groups; that is fine because each group records
+  // its exact [lo, hi] interval.
+  const int m = options_.arity;
+  Node node;
+  node.vantage_id = vantage;
+
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));  // reserve slot; children recurse next
+
+  std::vector<double> lo, hi;
+  std::vector<int32_t> children;
+  const size_t n = entries.size();
+  for (int g = 0; g < m; ++g) {
+    const size_t begin = n * g / m;
+    const size_t end = n * (g + 1) / m;
+    if (begin >= end) continue;
+    lo.push_back(entries[begin].dist);
+    hi.push_back(entries[end - 1].dist);
+    std::vector<uint32_t> group_ids;
+    group_ids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) group_ids.push_back(entries[i].id);
+    children.push_back(BuildNode(std::move(group_ids), rng));
+  }
+
+  nodes_[node_index].child_lo = std::move(lo);
+  nodes_[node_index].child_hi = std::move(hi);
+  nodes_[node_index].children = std::move(children);
+  return node_index;
+}
+
+Status VpTree::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    dim_ = vectors[0].size();
+    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim_) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  } else {
+    dim_ = 0;
+  }
+  vectors_ = std::move(vectors);
+  nodes_.clear();
+  build_distance_evals_ = 0;
+  root_ = -1;
+  if (vectors_.empty()) return Status::Ok();
+
+  std::vector<uint32_t> ids(vectors_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  Rng rng(options_.seed);
+  root_ = BuildNode(std::move(ids), &rng);
+  return Status::Ok();
+}
+
+void VpTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                             SearchStats* stats,
+                             std::vector<Neighbor>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (uint32_t id : node.leaf_ids) {
+      const double d = Dist(q, vectors_[id], stats);
+      if (d <= radius) out->push_back({id, d});
+    }
+    return;
+  }
+
+  if (stats != nullptr) ++stats->nodes_visited;
+  const double dq = Dist(q, vectors_[node.vantage_id], stats);
+  if (dq <= radius) out->push_back({node.vantage_id, dq});
+
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    // Child i holds points at distance [lo_i, hi_i] from the vantage;
+    // by the triangle inequality their distance to q lies within
+    // [dq - hi_i, dq + hi_i] ∩ [lo_i - dq, ...] — the ball reaches the
+    // annulus iff dq - r <= hi_i and dq + r >= lo_i.
+    if (dq - radius <= node.child_hi[i] &&
+        dq + radius >= node.child_lo[i]) {
+      RangeSearchNode(node.children[i], q, radius, stats, out);
+    }
+  }
+}
+
+std::vector<Neighbor> VpTree::RangeSearch(const Vec& q, double radius,
+                                          SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  if (root_ >= 0) RangeSearchNode(root_, q, radius, stats, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Push into a bounded max-heap of size k.
+void HeapPush(std::vector<Neighbor>* heap, size_t k,
+              const Neighbor& candidate) {
+  if (heap->size() < k) {
+    heap->push_back(candidate);
+    std::push_heap(heap->begin(), heap->end());
+  } else if (k > 0 && candidate < heap->front()) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = candidate;
+    std::push_heap(heap->begin(), heap->end());
+  }
+}
+
+double HeapTau(const std::vector<Neighbor>& heap, size_t k) {
+  return heap.size() < k ? std::numeric_limits<double>::infinity()
+                         : heap.front().distance;
+}
+
+}  // namespace
+
+void VpTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
+                           SearchStats* stats,
+                           std::vector<Neighbor>* heap) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) ++stats->leaves_visited;
+    for (uint32_t id : node.leaf_ids) {
+      HeapPush(heap, k, {id, Dist(q, vectors_[id], stats)});
+    }
+    return;
+  }
+
+  if (stats != nullptr) ++stats->nodes_visited;
+  const double dq = Dist(q, vectors_[node.vantage_id], stats);
+  HeapPush(heap, k, {node.vantage_id, dq});
+
+  // Visit children nearest-first: the child whose annulus is closest to
+  // dq is most likely to tighten tau early and let later children prune.
+  const size_t num_children = node.children.size();
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(num_children);
+  for (size_t i = 0; i < num_children; ++i) {
+    double gap = 0.0;
+    if (dq < node.child_lo[i]) {
+      gap = node.child_lo[i] - dq;
+    } else if (dq > node.child_hi[i]) {
+      gap = dq - node.child_hi[i];
+    }
+    order.emplace_back(gap, i);
+  }
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [gap, i] : order) {
+    const double tau = HeapTau(*heap, k);
+    if (gap > tau) continue;  // annulus provably outside current ball
+    KnnSearchNode(node.children[i], q, k, stats, heap);
+  }
+}
+
+std::vector<Neighbor> VpTree::KnnSearch(const Vec& q, size_t k,
+                                        SearchStats* stats) const {
+  std::vector<Neighbor> heap;
+  if (root_ >= 0 && k > 0) KnnSearchNode(root_, q, k, stats, &heap);
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+std::string VpTree::Name() const {
+  return "vp_tree(m=" + std::to_string(options_.arity) + "," +
+         VantageSelectionName(options_.selection) + "," + metric_->Name() +
+         ")";
+}
+
+size_t VpTree::MemoryBytes() const {
+  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node);
+    bytes += node.leaf_ids.size() * sizeof(uint32_t);
+    bytes += node.child_lo.size() * 2 * sizeof(double);
+    bytes += node.children.size() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+void VpTree::ShapeVisit(int32_t node_id, size_t depth,
+                        TreeShape* shape) const {
+  const Node& node = nodes_[node_id];
+  shape->max_depth = std::max(shape->max_depth, depth);
+  if (node.is_leaf) {
+    ++shape->leaf_nodes;
+    shape->avg_leaf_fill += static_cast<double>(node.leaf_ids.size());
+    return;
+  }
+  ++shape->internal_nodes;
+  for (int32_t child : node.children) ShapeVisit(child, depth + 1, shape);
+}
+
+VpTree::TreeShape VpTree::Shape() const {
+  TreeShape shape;
+  if (root_ >= 0) ShapeVisit(root_, 0, &shape);
+  if (shape.leaf_nodes > 0) {
+    shape.avg_leaf_fill /= static_cast<double>(shape.leaf_nodes);
+  }
+  return shape;
+}
+
+void VpTree::Serialize(std::vector<uint8_t>* out) const {
+  BinaryWriter writer;
+  writer.Write(kVpTreeMagic);
+  writer.Write(kVpTreeVersion);
+  writer.Write<uint32_t>(static_cast<uint32_t>(options_.arity));
+  writer.Write<uint64_t>(options_.leaf_size);
+  writer.Write<uint32_t>(static_cast<uint32_t>(options_.selection));
+  writer.Write<uint64_t>(vectors_.size());
+  writer.Write<uint64_t>(dim_);
+  for (const Vec& v : vectors_) {
+    writer.WriteVector(v);
+  }
+  writer.Write<int32_t>(root_);
+  writer.Write<uint64_t>(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.Write<uint8_t>(node.is_leaf ? 1 : 0);
+    writer.Write(node.vantage_id);
+    writer.WriteVector(node.leaf_ids);
+    writer.WriteVector(node.child_lo);
+    writer.WriteVector(node.child_hi);
+    writer.WriteVector(node.children);
+  }
+  *out = writer.TakeBuffer();
+}
+
+Status VpTree::Deserialize(const std::vector<uint8_t>& bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic = 0, version = 0;
+  CBIX_RETURN_IF_ERROR(reader.Read(&magic));
+  CBIX_RETURN_IF_ERROR(reader.Read(&version));
+  if (magic != kVpTreeMagic) return Status::Corruption("vp_tree: bad magic");
+  if (version != kVpTreeVersion) {
+    return Status::Corruption("vp_tree: unsupported version");
+  }
+  uint32_t arity = 0, selection = 0;
+  uint64_t leaf_size = 0, count = 0, dim = 0, node_count = 0;
+  CBIX_RETURN_IF_ERROR(reader.Read(&arity));
+  CBIX_RETURN_IF_ERROR(reader.Read(&leaf_size));
+  CBIX_RETURN_IF_ERROR(reader.Read(&selection));
+  CBIX_RETURN_IF_ERROR(reader.Read(&count));
+  CBIX_RETURN_IF_ERROR(reader.Read(&dim));
+  if (arity < 2 || leaf_size < 1 || selection > 2) {
+    return Status::Corruption("vp_tree: invalid options");
+  }
+  options_.arity = static_cast<int>(arity);
+  options_.leaf_size = leaf_size;
+  options_.selection = static_cast<VantageSelection>(selection);
+
+  std::vector<Vec> vectors(count);
+  for (auto& v : vectors) {
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&v));
+    if (v.size() != dim) return Status::Corruption("vp_tree: bad vector");
+  }
+  int32_t root = -1;
+  CBIX_RETURN_IF_ERROR(reader.Read(&root));
+  CBIX_RETURN_IF_ERROR(reader.Read(&node_count));
+  std::vector<Node> nodes(node_count);
+  for (auto& node : nodes) {
+    uint8_t is_leaf = 0;
+    CBIX_RETURN_IF_ERROR(reader.Read(&is_leaf));
+    node.is_leaf = is_leaf != 0;
+    CBIX_RETURN_IF_ERROR(reader.Read(&node.vantage_id));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&node.leaf_ids));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&node.child_lo));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&node.child_hi));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&node.children));
+    // Structural validation so corrupt files cannot cause OOB access.
+    if (node.vantage_id >= count && !node.is_leaf) {
+      return Status::Corruption("vp_tree: vantage id out of range");
+    }
+    for (uint32_t id : node.leaf_ids) {
+      if (id >= count) return Status::Corruption("vp_tree: leaf id range");
+    }
+    if (node.child_lo.size() != node.child_hi.size() ||
+        node.child_lo.size() != node.children.size()) {
+      return Status::Corruption("vp_tree: child arrays disagree");
+    }
+    for (int32_t child : node.children) {
+      if (child < 0 || static_cast<uint64_t>(child) >= node_count) {
+        return Status::Corruption("vp_tree: child index range");
+      }
+    }
+  }
+  if (root >= 0 && static_cast<uint64_t>(root) >= node_count) {
+    return Status::Corruption("vp_tree: root out of range");
+  }
+
+  vectors_ = std::move(vectors);
+  nodes_ = std::move(nodes);
+  root_ = root;
+  dim_ = dim;
+  return Status::Ok();
+}
+
+}  // namespace cbix

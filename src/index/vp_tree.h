@@ -1,0 +1,114 @@
+// Vantage-point tree — the core index structure of the reproduction.
+//
+// A VP-tree partitions a metric space recursively: each internal node
+// holds a *vantage point* v and splits the remaining points into m
+// groups by their distance to v (quantile split), recording the exact
+// [lo, hi] distance interval of every group. Searches prune a subtree
+// whenever the triangle inequality proves the query ball cannot
+// intersect its distance annulus:
+//     |d(q, v) - d(v, x)| <= d(q, x)  for all x,
+// so child i (covering d(v, x) in [lo_i, hi_i]) can contain a hit only
+// if [d(q,v) - r, d(q,v) + r] intersects [lo_i, hi_i].
+//
+// Unlike KD/R-trees the VP-tree needs no coordinates, only a metric, so
+// it indexes any feature space whose distance satisfies the triangle
+// inequality — the property that made it attractive for image feature
+// indexing. Construction costs O(n log_m n) distance computations.
+
+#ifndef CBIX_INDEX_VP_TREE_H_
+#define CBIX_INDEX_VP_TREE_H_
+
+#include <memory>
+
+#include "index/index.h"
+#include "util/random.h"
+
+namespace cbix {
+
+/// How the vantage point of a node is chosen.
+enum class VantageSelection {
+  kRandom,     ///< uniform random element
+  kMaxSpread,  ///< candidate whose sampled distance distribution has the
+               ///< largest variance (best split discrimination)
+  kCorner,     ///< farthest point from a random probe — tends to pick
+               ///< "corner" points whose distance distribution is wide
+};
+
+std::string VantageSelectionName(VantageSelection selection);
+
+struct VpTreeOptions {
+  int arity = 2;            ///< children per internal node (m-way split)
+  size_t leaf_size = 16;    ///< max points stored in a leaf
+  VantageSelection selection = VantageSelection::kMaxSpread;
+  size_t sample_size = 24;  ///< candidates/targets sampled by selection
+  uint64_t seed = 0x5eed;   ///< RNG seed for the sampling policies
+};
+
+class VpTree : public VectorIndex {
+ public:
+  VpTree(std::shared_ptr<const DistanceMetric> metric,
+         VpTreeOptions options = {});
+
+  Status Build(std::vector<Vec> vectors) override;
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return vectors_.size(); }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  const VpTreeOptions& options() const { return options_; }
+
+  /// Number of distance evaluations spent building the current tree.
+  uint64_t build_distance_evals() const { return build_distance_evals_; }
+
+  /// Tree statistics for the structure experiments.
+  struct TreeShape {
+    size_t internal_nodes = 0;
+    size_t leaf_nodes = 0;
+    size_t max_depth = 0;
+    double avg_leaf_fill = 0.0;  ///< mean points per leaf
+  };
+  TreeShape Shape() const;
+
+  /// Serializes vectors + structure (not the metric — supply the same
+  /// metric when loading, or pruning becomes invalid).
+  void Serialize(std::vector<uint8_t>* out) const;
+  Status Deserialize(const std::vector<uint8_t>& bytes);
+
+ private:
+  struct Node {
+    // Internal node fields.
+    uint32_t vantage_id = 0;
+    std::vector<double> child_lo;      // per child: min dist to vantage
+    std::vector<double> child_hi;      // per child: max dist to vantage
+    std::vector<int32_t> children;     // node indices
+    // Leaf fields.
+    bool is_leaf = false;
+    std::vector<uint32_t> leaf_ids;
+  };
+
+  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  uint32_t SelectVantage(const std::vector<uint32_t>& ids, Rng* rng);
+  int32_t BuildNode(std::vector<uint32_t> ids, Rng* rng);
+  void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
+                       SearchStats* stats, std::vector<Neighbor>* out) const;
+  void KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
+                     SearchStats* stats, std::vector<Neighbor>* heap) const;
+  void ShapeVisit(int32_t node_id, size_t depth, TreeShape* shape) const;
+
+  std::shared_ptr<const DistanceMetric> metric_;
+  VpTreeOptions options_;
+  std::vector<Vec> vectors_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t dim_ = 0;
+  uint64_t build_distance_evals_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_VP_TREE_H_

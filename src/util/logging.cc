@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace cbix {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      now.time_since_epoch())
+                      .count();
+  {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[%s %lld.%06lld %s:%d] %s\n", LevelTag(level_),
+                 static_cast<long long>(us / 1000000),
+                 static_cast<long long>(us % 1000000), Basename(file_),
+                 line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal
+}  // namespace cbix

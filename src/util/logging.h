@@ -1,0 +1,75 @@
+// Minimal leveled logger for cbix.
+//
+// Usage: CBIX_LOG(kInfo) << "built index with " << n << " entries";
+// The default threshold is kWarning so library internals stay quiet in
+// tests; binaries (examples, benches) raise it explicitly.
+
+#ifndef CBIX_UTIL_LOGGING_H_
+#define CBIX_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cbix {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level tag, timestamp and
+/// source location) on destruction. kFatal aborts after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define CBIX_LOG(severity)                                         \
+  (::cbix::LogLevel::severity < ::cbix::GetLogLevel())             \
+      ? (void)0                                                    \
+      : ::cbix::internal::LogVoidify() &                           \
+            ::cbix::internal::LogMessage(::cbix::LogLevel::severity, \
+                                         __FILE__, __LINE__)       \
+                .stream()
+
+/// Unconditional invariant check, active in all build types. Prefer this
+/// over assert() for conditions that guard memory safety.
+#define CBIX_CHECK(cond)                                              \
+  (cond) ? (void)0                                                    \
+         : ::cbix::internal::LogVoidify() &                           \
+               ::cbix::internal::LogMessage(::cbix::LogLevel::kFatal, \
+                                            __FILE__, __LINE__)       \
+                   .stream()                                          \
+               << "Check failed: " #cond " "
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_LOGGING_H_

@@ -1,0 +1,88 @@
+// Small dense row-major matrix plus the linear algebra the library needs:
+// matrix products, covariance, and a cyclic Jacobi eigensolver for
+// symmetric matrices (used by PCA and the quadratic-form distance).
+//
+// This is deliberately not a general BLAS: matrices here are feature-
+// covariance sized (tens to a few hundred rows), where a clear O(n^3)
+// implementation is the right tool.
+
+#ifndef CBIX_UTIL_MATRIX_H_
+#define CBIX_UTIL_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Identity(size_t n) {
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Row `r` as a copy.
+  std::vector<double> Row(size_t r) const;
+
+  Matrix Transposed() const;
+  Matrix operator*(const Matrix& other) const;
+
+  /// y = M * x for a column vector x (x.size() == cols()).
+  std::vector<double> Apply(const std::vector<double>& x) const;
+
+  /// Frobenius norm of the off-diagonal part; the Jacobi convergence
+  /// measure.
+  double OffDiagonalNorm() const;
+
+  bool IsSymmetric(double tol = 1e-12) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigendecomposition of a symmetric matrix: `values[i]` is paired with
+/// the column `i` of `vectors`. Sorted by descending eigenvalue.
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;  // n x n, eigenvectors as columns
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. Converges
+/// quadratically; `max_sweeps` bounds work for pathological inputs.
+/// The input must be symmetric (asserted via IsSymmetric in debug).
+EigenDecomposition JacobiEigenSymmetric(const Matrix& m,
+                                        int max_sweeps = 64,
+                                        double tol = 1e-12);
+
+/// Covariance matrix (d x d) of `rows` (each a d-dimensional sample).
+/// Uses the biased 1/N normalizer, which is what PCA wants.
+Matrix Covariance(const std::vector<std::vector<double>>& rows);
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_MATRIX_H_

@@ -1,0 +1,39 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace cbix {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // For small k relative to n, rejection sampling into a sorted probe set
+  // would be fine, but a partial Fisher–Yates over an index vector is
+  // simple and O(n) which is acceptable at our scales (n <= a few
+  // million). When k is tiny and n is huge we use Floyd's algorithm.
+  if (k * 20 < n) {
+    // Floyd's: guarantees uniqueness with exactly k draws.
+    std::vector<size_t> out;
+    out.reserve(k);
+    for (size_t j = n - k; j < n; ++j) {
+      size_t t = NextBelow(j + 1);
+      bool seen = false;
+      for (size_t v : out) {
+        if (v == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    return out;
+  }
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    std::swap(idx[i], idx[i + NextBelow(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace cbix

@@ -1,0 +1,97 @@
+#include "util/serialize.h"
+
+#include <array>
+#include <cstdio>
+
+namespace cbix {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       uint32_t version,
+                       const std::vector<uint8_t>& payload) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  BinaryWriter header;
+  header.Write(magic);
+  header.Write(version);
+  header.Write<uint64_t>(payload.size());
+  header.Write(Crc32(payload.data(), payload.size()));
+  bool ok =
+      std::fwrite(header.buffer().data(), 1, header.buffer().size(), f) ==
+      header.buffer().size();
+  if (ok && !payload.empty()) {
+    ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Status ReadFramedFile(const std::string& path, uint32_t magic,
+                      uint32_t expected_version,
+                      std::vector<uint8_t>* payload) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  uint8_t header[20];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return Status::Corruption("truncated header: " + path);
+  }
+  BinaryReader reader(header, sizeof(header));
+  uint32_t file_magic = 0, file_version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  // Reads from a fixed 20-byte buffer cannot underflow.
+  (void)reader.Read(&file_magic);
+  (void)reader.Read(&file_version);
+  (void)reader.Read(&payload_size);
+  (void)reader.Read(&crc);
+  if (file_magic != magic) {
+    std::fclose(f);
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (file_version != expected_version) {
+    std::fclose(f);
+    return Status::Corruption("unsupported version in " + path);
+  }
+  payload->resize(payload_size);
+  const bool read_ok =
+      payload_size == 0 ||
+      std::fread(payload->data(), 1, payload_size, f) == payload_size;
+  std::fclose(f);
+  if (!read_ok) return Status::Corruption("truncated payload: " + path);
+  if (Crc32(payload->data(), payload->size()) != crc) {
+    return Status::Corruption("checksum mismatch: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace cbix

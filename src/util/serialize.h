@@ -1,0 +1,132 @@
+// Binary serialization primitives.
+//
+// `BinaryWriter` appends little-endian POD values, strings and vectors to
+// an in-memory buffer; `BinaryReader` consumes them with bounds checking
+// and returns Status on underflow. File-level helpers wrap the buffer
+// with a magic tag, a format version and a CRC32 so that corrupt or
+// mismatched files are rejected instead of mis-parsed.
+
+#ifndef CBIX_UTIL_SERIALIZE_H_
+#define CBIX_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbix {
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+uint32_t Crc32(const void* data, size_t size);
+
+/// Append-only little-endian binary encoder.
+class BinaryWriter {
+ public:
+  /// Writes a trivially-copyable scalar.
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t offset = buffer_.size();
+    buffer_.resize(offset + sizeof(T));
+    std::memcpy(buffer_.data() + offset, &value, sizeof(T));
+  }
+
+  /// Writes a length-prefixed string (u64 length + bytes).
+  void WriteString(const std::string& s) {
+    Write<uint64_t>(s.size());
+    const size_t offset = buffer_.size();
+    buffer_.resize(offset + s.size());
+    std::memcpy(buffer_.data() + offset, s.data(), s.size());
+  }
+
+  /// Writes a length-prefixed vector of trivially-copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<uint64_t>(v.size());
+    const size_t bytes = v.size() * sizeof(T);
+    const size_t offset = buffer_.size();
+    buffer_.resize(offset + bytes);
+    if (bytes > 0) std::memcpy(buffer_.data() + offset, v.data(), bytes);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian binary decoder over a borrowed buffer.
+/// The buffer must outlive the reader.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > size_) {
+      return Status::Corruption("binary reader underflow");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::Ok();
+  }
+
+  Status ReadString(std::string* out) {
+    uint64_t len = 0;
+    CBIX_RETURN_IF_ERROR(Read(&len));
+    if (pos_ + len > size_) {
+      return Status::Corruption("string length exceeds buffer");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t len = 0;
+    CBIX_RETURN_IF_ERROR(Read(&len));
+    const uint64_t bytes = len * sizeof(T);
+    if (len > size_ || pos_ + bytes > size_) {  // len check guards overflow
+      return Status::Corruption("vector length exceeds buffer");
+    }
+    out->resize(len);
+    if (bytes > 0) std::memcpy(out->data(), data_ + pos_, bytes);
+    pos_ += bytes;
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Writes `payload` to `path` framed as:
+///   magic (4 bytes) | version (u32) | payload size (u64) | crc32 (u32) |
+///   payload bytes.
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       uint32_t version, const std::vector<uint8_t>& payload);
+
+/// Reads a file written by WriteFramedFile, validating magic, version and
+/// checksum. On success stores the payload in `*payload`.
+Status ReadFramedFile(const std::string& path, uint32_t magic,
+                      uint32_t expected_version,
+                      std::vector<uint8_t>* payload);
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_SERIALIZE_H_

@@ -1,0 +1,47 @@
+// Streaming and batch statistics used by benchmark harnesses and
+// retrieval-quality reporting.
+
+#ifndef CBIX_UTIL_STATS_H_
+#define CBIX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max, O(1) per observation.
+class StatsAccumulator {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Population variance (0 for fewer than 2 samples).
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `p` in [0, 100]. The input is copied and sorted; use for reporting, not
+/// hot paths.
+double Percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_STATS_H_

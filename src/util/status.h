@@ -1,0 +1,177 @@
+// Status / Result error model for cbix.
+//
+// Library code does not throw exceptions (per the project style guide);
+// fallible operations return `Status`, and fallible producers return
+// `Result<T>` which holds either a value or a Status. Both are cheap to
+// move and carry a code plus a human-readable message.
+
+#ifndef CBIX_UTIL_STATUS_H_
+#define CBIX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cbix {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIoError = 7,
+  kCorruption = 8,
+  kUnimplemented = 9,
+};
+
+/// Returns the canonical lowercase name of a status code ("ok",
+/// "invalid_argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+///
+/// The default-constructed Status is OK. An OK status never carries a
+/// message. Statuses are immutable once constructed.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be kOk; use the default constructor (or `Status::Ok()`) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  /// Named constructor for the OK status; reads better at call sites that
+  /// return early.
+  static Status Ok() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+///
+/// Accessors assert on misuse (taking the value of a failed result), so
+/// callers must branch on `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: allows `return Status::NotFound(...);`.
+  /// `status` must not be OK — an OK result must carry a value.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The failure status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define CBIX_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::cbix::Status cbix_status_ = (expr);         \
+    if (!cbix_status_.ok()) return cbix_status_;  \
+  } while (0)
+
+/// Evaluates a Result expression; on success binds its value to `lhs`,
+/// on failure returns the status out of the current function.
+#define CBIX_ASSIGN_OR_RETURN(lhs, expr)              \
+  CBIX_ASSIGN_OR_RETURN_IMPL_(                        \
+      CBIX_STATUS_CONCAT_(cbix_result_, __LINE__), lhs, expr)
+
+#define CBIX_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define CBIX_STATUS_CONCAT_(a, b) CBIX_STATUS_CONCAT_IMPL_(a, b)
+#define CBIX_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+// Fixed-size worker pool used to parallelize database builds and feature
+// extraction over image batches. Deliberately simple: submit void tasks,
+// wait for quiescence with WaitIdle, destruction joins all workers.
+
+#ifndef CBIX_UTIL_THREAD_POOL_H_
+#define CBIX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cbix {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after destruction begins.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for all
+  /// iterations. `fn` must be safe to invoke concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_THREAD_POOL_H_

@@ -1,0 +1,161 @@
+#include "image/color.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+TEST(ColorTest, PrimariesToHsv) {
+  // Pure red: H=0, S=1, V=1.
+  auto red = RgbToHsv(1, 0, 0);
+  EXPECT_NEAR(red[0], 0.0f, 1e-6);
+  EXPECT_NEAR(red[1], 1.0f, 1e-6);
+  EXPECT_NEAR(red[2], 1.0f, 1e-6);
+  // Pure green: H=1/3.
+  auto green = RgbToHsv(0, 1, 0);
+  EXPECT_NEAR(green[0], 1.0f / 3.0f, 1e-6);
+  // Pure blue: H=2/3.
+  auto blue = RgbToHsv(0, 0, 1);
+  EXPECT_NEAR(blue[0], 2.0f / 3.0f, 1e-6);
+}
+
+TEST(ColorTest, AchromaticHasZeroSaturation) {
+  for (float v : {0.0f, 0.25f, 1.0f}) {
+    const auto hsv = RgbToHsv(v, v, v);
+    EXPECT_EQ(hsv[0], 0.0f);
+    EXPECT_EQ(hsv[1], 0.0f);
+    EXPECT_NEAR(hsv[2], v, 1e-6);
+  }
+}
+
+/// Property sweep: HSV -> RGB -> HSV round trips for random colours.
+class HsvRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HsvRoundTrip, RgbToHsvToRgb) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const float r = static_cast<float>(rng.NextDouble());
+    const float g = static_cast<float>(rng.NextDouble());
+    const float b = static_cast<float>(rng.NextDouble());
+    const auto hsv = RgbToHsv(r, g, b);
+    const auto rgb = HsvToRgb(hsv[0], hsv[1], hsv[2]);
+    EXPECT_NEAR(rgb[0], r, 1e-5);
+    EXPECT_NEAR(rgb[1], g, 1e-5);
+    EXPECT_NEAR(rgb[2], b, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsvRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ColorTest, OpponentAxesInUnitRange) {
+  Rng rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const auto o = RgbToOpponent(static_cast<float>(rng.NextDouble()),
+                                 static_cast<float>(rng.NextDouble()),
+                                 static_cast<float>(rng.NextDouble()));
+    for (float v : o) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(ColorTest, ToGrayWeightsSumToLuminance) {
+  ImageF rgb(1, 1, 3);
+  rgb.at(0, 0, 0) = 1.0f;
+  rgb.at(0, 0, 1) = 1.0f;
+  rgb.at(0, 0, 2) = 1.0f;
+  EXPECT_NEAR(ToGray(rgb).at(0, 0), 1.0f, 1e-6);
+  rgb.at(0, 0, 0) = 1.0f;
+  rgb.at(0, 0, 1) = 0.0f;
+  rgb.at(0, 0, 2) = 0.0f;
+  EXPECT_NEAR(ToGray(rgb).at(0, 0), 0.299f, 1e-6);
+}
+
+TEST(ColorTest, ToGrayPassthroughForSingleChannel) {
+  ImageF gray(2, 2, 1, 0.3f);
+  EXPECT_EQ(ToGray(gray), gray);
+}
+
+TEST(ColorTest, ConvertColorSpaceShapes) {
+  ImageF rgb(4, 4, 3, 0.5f);
+  EXPECT_EQ(ConvertColorSpace(rgb, ColorSpace::kGray).channels(), 1);
+  EXPECT_EQ(ConvertColorSpace(rgb, ColorSpace::kHsv).channels(), 3);
+  EXPECT_EQ(ConvertColorSpace(rgb, ColorSpace::kOpponent).channels(), 3);
+  EXPECT_EQ(ConvertColorSpace(rgb, ColorSpace::kRgb), rgb);
+}
+
+TEST(RgbUniformQuantizerTest, BinsCoverAndPartition) {
+  RgbUniformQuantizer q(4);
+  EXPECT_EQ(q.bin_count(), 64);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const int bin = q.BinOf(static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble()),
+                            static_cast<float>(rng.NextDouble()));
+    ASSERT_GE(bin, 0);
+    ASSERT_LT(bin, 64);
+  }
+}
+
+TEST(RgbUniformQuantizerTest, BinColorMapsBackToSameBin) {
+  RgbUniformQuantizer q(4);
+  for (int bin = 0; bin < q.bin_count(); ++bin) {
+    const auto c = q.BinColor(bin);
+    EXPECT_EQ(q.BinOf(c[0], c[1], c[2]), bin) << bin;
+  }
+}
+
+TEST(RgbUniformQuantizerTest, BoundaryValuesClamped) {
+  RgbUniformQuantizer q(4);
+  EXPECT_EQ(q.BinOf(1.0f, 1.0f, 1.0f), q.bin_count() - 1);
+  EXPECT_EQ(q.BinOf(0.0f, 0.0f, 0.0f), 0);
+}
+
+TEST(HsvQuantizerTest, BinColorMapsBackToSameBin) {
+  HsvQuantizer q(18, 3, 3);
+  EXPECT_EQ(q.bin_count(), 162);
+  for (int bin = 0; bin < q.bin_count(); ++bin) {
+    const auto c = q.BinColor(bin);
+    EXPECT_EQ(q.BinOf(c[0], c[1], c[2]), bin) << bin;
+  }
+}
+
+TEST(HsvQuantizerTest, SimilarHuesShareBins) {
+  HsvQuantizer q(18, 3, 3);
+  // Two nearby saturated reds must land in the same bin.
+  EXPECT_EQ(q.BinOf(1.0f, 0.01f, 0.0f), q.BinOf(1.0f, 0.02f, 0.01f));
+  // Red and green must differ.
+  EXPECT_NE(q.BinOf(1.0f, 0.0f, 0.0f), q.BinOf(0.0f, 1.0f, 0.0f));
+}
+
+TEST(GrayQuantizerTest, LevelsPartitionIntensity) {
+  GrayQuantizer q(8);
+  EXPECT_EQ(q.bin_count(), 8);
+  EXPECT_EQ(q.BinOf(0, 0, 0), 0);
+  EXPECT_EQ(q.BinOf(1, 1, 1), 7);
+  int prev = -1;
+  for (int i = 0; i <= 100; ++i) {
+    const float v = i / 100.0f;
+    const int bin = q.BinOf(v, v, v);
+    EXPECT_GE(bin, prev);  // monotone in intensity
+    prev = bin;
+  }
+}
+
+TEST(MakeQuantizerTest, HintsProduceReasonableSizes) {
+  const auto rgb = MakeQuantizer(ColorSpace::kRgb, 64);
+  EXPECT_EQ(rgb->bin_count(), 64);
+  const auto hsv = MakeQuantizer(ColorSpace::kHsv, 162);
+  EXPECT_EQ(hsv->bin_count(), 162);
+  const auto gray = MakeQuantizer(ColorSpace::kGray, 16);
+  EXPECT_EQ(gray->bin_count(), 16);
+}
+
+}  // namespace
+}  // namespace cbix

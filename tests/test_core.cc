@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/feature_store.h"
+#include "core/retrieval_metrics.h"
+#include "corpus/corpus.h"
+
+namespace cbix {
+namespace {
+
+// --------------------------------------------------------------------------
+// FeatureStore
+
+TEST(FeatureStoreTest, AddAssignsSequentialIds) {
+  FeatureStore store;
+  for (int i = 0; i < 5; ++i) {
+    const auto id = store.Add({"img" + std::to_string(i), i, Vec{1.0f, 2.0f}});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.feature_dim(), 2u);
+  EXPECT_EQ(store.record(3).name, "img3");
+  EXPECT_EQ(store.record(3).label, 3);
+}
+
+TEST(FeatureStoreTest, RejectsDimensionMismatch) {
+  FeatureStore store;
+  ASSERT_TRUE(store.Add({"a", 0, Vec{1, 2, 3}}).ok());
+  EXPECT_EQ(store.Add({"b", 0, Vec{1, 2}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Add({"c", 0, Vec{}}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FeatureStoreTest, SerializeRoundTrip) {
+  FeatureStore store;
+  ASSERT_TRUE(store.Add({"alpha", 3, Vec{0.5f, -1.0f}}).ok());
+  ASSERT_TRUE(store.Add({"beta", -1, Vec{1.5f, 2.0f}}).ok());
+  std::vector<uint8_t> bytes;
+  store.Serialize(&bytes);
+
+  FeatureStore restored;
+  ASSERT_TRUE(restored.Deserialize(bytes).ok());
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.record(0).name, "alpha");
+  EXPECT_EQ(restored.record(0).label, 3);
+  EXPECT_EQ(restored.record(1).features, (Vec{1.5f, 2.0f}));
+}
+
+TEST(FeatureStoreTest, DeserializeRejectsGarbage) {
+  FeatureStore store;
+  EXPECT_FALSE(store.Deserialize({1, 2, 3}).ok());
+}
+
+TEST(FeatureStoreTest, AllFeaturesAndLabels) {
+  FeatureStore store;
+  ASSERT_TRUE(store.Add({"a", 1, Vec{1.0f}}).ok());
+  ASSERT_TRUE(store.Add({"b", 2, Vec{2.0f}}).ok());
+  EXPECT_EQ(store.AllFeatures().size(), 2u);
+  EXPECT_EQ(store.AllLabels(), (std::vector<int32_t>{1, 2}));
+}
+
+// --------------------------------------------------------------------------
+// Retrieval metrics
+
+TEST(RetrievalMetricsTest, PrecisionAtK) {
+  const std::vector<int32_t> labels{1, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 1, 4), 0.75);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 1, 5), 0.6);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 0, 5), 0.4);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({}, 1, 5), 0.0);
+}
+
+TEST(RetrievalMetricsTest, PrecisionAtKBeyondListUsesListLength) {
+  const std::vector<int32_t> labels{1, 1};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(labels, 1, 10), 1.0);
+}
+
+TEST(RetrievalMetricsTest, RecallAtK) {
+  const std::vector<int32_t> labels{1, 0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RecallAtK(labels, 1, 3, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(labels, 1, 3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(labels, 1, 0, 5), 0.0);
+}
+
+TEST(RetrievalMetricsTest, AveragePrecisionPerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1, 1, 0, 0}, 1, 2), 1.0);
+}
+
+TEST(RetrievalMetricsTest, AveragePrecisionKnownValue) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision({1, 0, 1, 0}, 1, 2), 5.0 / 6.0, 1e-12);
+}
+
+TEST(RetrievalMetricsTest, AverageNormalizedRankExtremes) {
+  // Perfect: relevant items first -> 0.
+  EXPECT_DOUBLE_EQ(AverageNormalizedRank({1, 1, 0, 0}, 1), 0.0);
+  // Worst: relevant items last.
+  const double worst = AverageNormalizedRank({0, 0, 1, 1}, 1);
+  EXPECT_GT(worst, 0.4);
+  EXPECT_DOUBLE_EQ(AverageNormalizedRank({0, 0, 0}, 1), 0.0);
+}
+
+TEST(RetrievalMetricsTest, AccumulatorAverages) {
+  RetrievalQualityAccumulator acc;
+  acc.AddQuery({1, 1, 0, 0}, 1, 2, 2);  // perfect
+  acc.AddQuery({0, 0, 1, 1}, 1, 2, 2);  // worst
+  EXPECT_EQ(acc.query_count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.MeanPrecisionAtK(), 0.5);
+  EXPECT_GT(acc.MeanAveragePrecision(), 0.2);
+  EXPECT_LT(acc.MeanAveragePrecision(), 0.8);
+}
+
+// --------------------------------------------------------------------------
+// Engine integration
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static FeatureExtractor SmallExtractor() {
+    // Small fast pipeline for tests.
+    auto ex = MakeSingleDescriptorExtractor("color_hist", 64);
+    EXPECT_TRUE(ex.ok());
+    return ex.value();
+  }
+
+  static std::vector<LabeledImage> SmallCorpus() {
+    CorpusSpec spec;
+    spec.num_classes = 5;
+    spec.images_per_class = 4;
+    spec.width = spec.height = 48;
+    return CorpusGenerator(spec).Generate();
+  }
+};
+
+TEST_F(EngineTest, AddAndQuerySelf) {
+  CbirEngine engine(SmallExtractor());
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  EXPECT_EQ(engine.size(), corpus.size());
+
+  // Querying with a database image must return that image first at
+  // distance ~0.
+  const auto result = engine.QueryKnn(corpus[7].image, 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 5u);
+  EXPECT_EQ(result->at(0).name, corpus[7].name);
+  EXPECT_NEAR(result->at(0).distance, 0.0, 1e-9);
+}
+
+TEST_F(EngineTest, AllIndexKindsAgree) {
+  const auto corpus = SmallCorpus();
+  std::vector<std::vector<CbirEngine::Match>> results;
+  for (IndexKind kind : {IndexKind::kLinearScan, IndexKind::kVpTree,
+                         IndexKind::kKdTree, IndexKind::kRTree}) {
+    EngineConfig config;
+    config.index_kind = kind;
+    config.metric = MetricKind::kL1;
+    CbirEngine engine(SmallExtractor(), config);
+    for (const auto& item : corpus) {
+      ASSERT_TRUE(
+          engine.AddImage(item.image, item.name, item.class_id).ok());
+    }
+    const auto result = engine.QueryKnn(corpus[3].image, 8);
+    ASSERT_TRUE(result.ok()) << IndexKindName(kind);
+    results.push_back(result.value());
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), results[0].size());
+    for (size_t j = 0; j < results[0].size(); ++j) {
+      EXPECT_EQ(results[i][j].id, results[0][j].id) << "index kind " << i;
+    }
+  }
+}
+
+TEST_F(EngineTest, RangeQueryReturnsOnlyWithinRadius) {
+  CbirEngine engine(SmallExtractor());
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  const auto result = engine.QueryRange(corpus[0].image, 0.25);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 1u);
+  for (const auto& match : result.value()) {
+    EXPECT_LE(match.distance, 0.25);
+  }
+  EXPECT_EQ(result->at(0).id, 0u);
+}
+
+TEST_F(EngineTest, InvalidIndexMetricComboRejected) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kVpTree;
+  config.metric = MetricKind::kChiSquare;  // not a metric
+  CbirEngine engine(SmallExtractor(), config);
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 2;
+  spec.width = spec.height = 32;
+  const auto corpus = CorpusGenerator(spec).Generate();
+  ASSERT_TRUE(engine.AddImage(corpus[0].image, "a", 0).ok());
+  const auto result = engine.QueryKnn(corpus[1].image, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, ChiSquareAllowedWithLinearScan) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kChiSquare;
+  CbirEngine engine(SmallExtractor(), config);
+  const auto corpus = SmallCorpus();
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(engine.AddImage(corpus[i].image, corpus[i].name, 0).ok());
+  }
+  const auto result = engine.QueryKnn(corpus[0].image, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0).id, 0u);
+}
+
+TEST_F(EngineTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "cbix_engine_test.db";
+  const auto corpus = SmallCorpus();
+  {
+    CbirEngine engine(SmallExtractor());
+    for (const auto& item : corpus) {
+      ASSERT_TRUE(
+          engine.AddImage(item.image, item.name, item.class_id).ok());
+    }
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  CbirEngine restored(SmallExtractor());
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.size(), corpus.size());
+  const auto result = restored.QueryKnn(corpus[2].image, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at(0).name, corpus[2].name);
+  std::remove(path.c_str());
+}
+
+TEST_F(EngineTest, LoadRejectsMismatchedExtractor) {
+  const std::string path = ::testing::TempDir() + "cbix_engine_dim.db";
+  {
+    CbirEngine engine(SmallExtractor());
+    const auto corpus = SmallCorpus();
+    ASSERT_TRUE(engine.AddImage(corpus[0].image, "x", 0).ok());
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  // A different extractor with a different dimension must be rejected.
+  auto other = MakeSingleDescriptorExtractor("color_moments", 64);
+  ASSERT_TRUE(other.ok());
+  CbirEngine restored(other.value());
+  EXPECT_EQ(restored.Load(path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(EngineTest, StatsReportPruning) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kVpTree;
+  config.metric = MetricKind::kL1;
+  CbirEngine engine(SmallExtractor(), config);
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  SearchStats stats;
+  const auto result = engine.QueryKnn(corpus[0].image, 3, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(stats.distance_evals, 0u);
+}
+
+TEST_F(EngineTest, EmptyEngineQueriesReturnEmpty) {
+  CbirEngine engine(SmallExtractor());
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 32;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  const auto knn = engine.QueryKnn(item.image, 5);
+  ASSERT_TRUE(knn.ok());
+  EXPECT_TRUE(knn->empty());
+}
+
+TEST_F(EngineTest, QueryByVectorMatchesQueryByImage) {
+  CbirEngine engine(SmallExtractor());
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  const Vec features = engine.ExtractFeatures(corpus[5].image);
+  const auto by_vec = engine.QueryKnnByVector(features, 4);
+  const auto by_img = engine.QueryKnn(corpus[5].image, 4);
+  ASSERT_TRUE(by_vec.ok());
+  ASSERT_TRUE(by_img.ok());
+  ASSERT_EQ(by_vec->size(), by_img->size());
+  for (size_t i = 0; i < by_vec->size(); ++i) {
+    EXPECT_EQ(by_vec->at(i).id, by_img->at(i).id);
+  }
+}
+
+TEST_F(EngineTest, RetrievalFindsClassMates) {
+  // End-to-end quality: with colour histograms on the synthetic corpus,
+  // the nearest neighbours of a query should be dominated by its class.
+  CbirEngine engine(SmallExtractor());
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  RetrievalQualityAccumulator acc;
+  for (size_t qi = 0; qi < corpus.size(); ++qi) {
+    const auto result =
+        engine.QueryKnn(corpus[qi].image, corpus.size());
+    ASSERT_TRUE(result.ok());
+    std::vector<int32_t> labels;
+    for (const auto& match : result.value()) {
+      if (match.id == qi) continue;  // drop self-match
+      labels.push_back(match.label);
+    }
+    acc.AddQuery(labels, corpus[qi].class_id, 3, 3);
+  }
+  // Random guessing would give P@3 ~ 3/19 ≈ 0.16; features must beat it
+  // by a wide margin.
+  EXPECT_GT(acc.MeanPrecisionAtK(), 0.45);
+}
+
+}  // namespace
+}  // namespace cbix

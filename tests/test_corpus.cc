@@ -1,0 +1,250 @@
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/vector_workload.h"
+#include "distance/minkowski.h"
+
+namespace cbix {
+namespace {
+
+TEST(CorpusTest, GeneratesRequestedCount) {
+  CorpusSpec spec;
+  spec.num_classes = 5;
+  spec.images_per_class = 4;
+  spec.width = 32;
+  spec.height = 32;
+  const auto corpus = CorpusGenerator(spec).Generate();
+  ASSERT_EQ(corpus.size(), 20u);
+  for (const auto& item : corpus) {
+    EXPECT_EQ(item.image.width(), 32);
+    EXPECT_EQ(item.image.height(), 32);
+    EXPECT_EQ(item.image.channels(), 3);
+    EXPECT_GE(item.class_id, 0);
+    EXPECT_LT(item.class_id, 5);
+  }
+}
+
+TEST(CorpusTest, DeterministicForSameSpec) {
+  CorpusSpec spec;
+  spec.num_classes = 3;
+  spec.images_per_class = 2;
+  spec.width = 24;
+  spec.height = 24;
+  const auto a = CorpusGenerator(spec).Generate();
+  const auto b = CorpusGenerator(spec).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].image, b[i].image) << i;
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  CorpusSpec a_spec;
+  a_spec.num_classes = 2;
+  a_spec.images_per_class = 1;
+  a_spec.width = a_spec.height = 24;
+  CorpusSpec b_spec = a_spec;
+  b_spec.seed = a_spec.seed + 1;
+  const auto a = CorpusGenerator(a_spec).Generate();
+  const auto b = CorpusGenerator(b_spec).Generate();
+  EXPECT_NE(a[0].image, b[0].image);
+}
+
+TEST(CorpusTest, InstancesOfClassDifferButShareArchetype) {
+  CorpusSpec spec;
+  spec.num_classes = 7;
+  spec.images_per_class = 3;
+  spec.width = spec.height = 32;
+  CorpusGenerator gen(spec);
+  for (int c = 0; c < 7; ++c) {
+    const auto i0 = gen.MakeInstance(c, 0);
+    const auto i1 = gen.MakeInstance(c, 1);
+    EXPECT_NE(i0.image, i1.image) << "class " << c;
+    EXPECT_EQ(i0.class_id, i1.class_id);
+  }
+}
+
+TEST(CorpusTest, ArchetypesRoundRobin) {
+  CorpusSpec spec;
+  spec.num_classes = 14;
+  CorpusGenerator gen(spec);
+  EXPECT_EQ(gen.ClassArchetype(0), gen.ClassArchetype(7));
+  EXPECT_NE(gen.ClassArchetype(0), gen.ClassArchetype(1));
+}
+
+TEST(CorpusTest, NamesEncodeClassAndInstance) {
+  CorpusSpec spec;
+  spec.num_classes = 2;
+  spec.images_per_class = 2;
+  spec.width = spec.height = 16;
+  const auto item = CorpusGenerator(spec).MakeInstance(1, 0);
+  EXPECT_NE(item.name.find("class1"), std::string::npos);
+  EXPECT_NE(item.name.find("inst0"), std::string::npos);
+}
+
+TEST(DistortionTest, IdentityByDefault) {
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 32;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  const ImageU8 out = ApplyDistortion(item.image, Distortion{});
+  EXPECT_EQ(out, item.image);
+}
+
+TEST(DistortionTest, NoiseChangesImageDeterministically) {
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 32;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  Distortion d;
+  d.gaussian_noise_sigma = 0.05f;
+  const ImageU8 a = ApplyDistortion(item.image, d, /*seed=*/5);
+  const ImageU8 b = ApplyDistortion(item.image, d, /*seed=*/5);
+  const ImageU8 c = ApplyDistortion(item.image, d, /*seed=*/6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, item.image);
+}
+
+TEST(DistortionTest, CropPreservesSize) {
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 48;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  Distortion d;
+  d.crop_fraction = 0.1f;
+  const ImageU8 out = ApplyDistortion(item.image, d);
+  EXPECT_EQ(out.width(), 48);
+  EXPECT_EQ(out.height(), 48);
+  EXPECT_NE(out, item.image);
+}
+
+TEST(DistortionTest, SeverityZeroIsIdentity) {
+  Rng rng(3);
+  const Distortion d = RandomDistortion(&rng, 0.0f);
+  EXPECT_EQ(d.gaussian_noise_sigma, 0.0f);
+  EXPECT_EQ(d.blur_sigma, 0.0f);
+  EXPECT_EQ(d.brightness_shift, 0.0f);
+  EXPECT_EQ(d.contrast_scale, 1.0f);
+  EXPECT_FALSE(d.flip_horizontal);
+}
+
+TEST(DistortionTest, SeverityBoundsRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const Distortion d = RandomDistortion(&rng, 1.0f);
+    EXPECT_LE(d.gaussian_noise_sigma, 0.08f);
+    EXPECT_LE(d.blur_sigma, 2.5f);
+    EXPECT_LE(std::abs(d.brightness_shift), 0.15f);
+    EXPECT_GE(d.contrast_scale, 0.7f);
+    EXPECT_LE(d.contrast_scale, 1.3f);
+    EXPECT_LE(d.crop_fraction, 0.1f);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Vector workloads
+
+TEST(VectorWorkloadTest, ShapesAndDeterminism) {
+  VectorWorkloadSpec spec;
+  spec.count = 100;
+  spec.dim = 8;
+  const auto a = GenerateVectors(spec);
+  const auto b = GenerateVectors(spec);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a[0].size(), 8u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VectorWorkloadTest, UniformStaysInUnitCube) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kUniform;
+  spec.count = 500;
+  spec.dim = 4;
+  for (const auto& v : GenerateVectors(spec)) {
+    for (float x : v) {
+      EXPECT_GE(x, 0.0f);
+      EXPECT_LT(x, 1.0f);
+    }
+  }
+}
+
+TEST(VectorWorkloadTest, ClusteredIsTighterThanUniform) {
+  // Mean nearest-neighbour distance is much smaller for clustered data.
+  VectorWorkloadSpec u;
+  u.distribution = VectorDistribution::kUniform;
+  u.count = 400;
+  u.dim = 8;
+  VectorWorkloadSpec c = u;
+  c.distribution = VectorDistribution::kClustered;
+  c.num_clusters = 8;
+  c.cluster_sigma = 0.02;
+
+  L2Distance l2;
+  auto mean_nn = [&l2](const std::vector<Vec>& data) {
+    double total = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = 1e30;
+      for (size_t j = 0; j < data.size(); ++j) {
+        if (i == j) continue;
+        best = std::min(best, l2.Distance(data[i], data[j]));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(data.size());
+  };
+  EXPECT_LT(mean_nn(GenerateVectors(c)), mean_nn(GenerateVectors(u)) * 0.8);
+}
+
+TEST(VectorWorkloadTest, CorrelatedHasLowEffectiveSpread) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kCorrelated;
+  spec.count = 300;
+  spec.dim = 16;
+  spec.intrinsic_dim = 2;
+  const auto data = GenerateVectors(spec);
+  ASSERT_EQ(data.size(), 300u);
+  // Coordinates hover around 0.5 (mean structure), unlike uniform.
+  double mean = 0;
+  for (const auto& v : data) {
+    for (float x : v) mean += x;
+  }
+  mean /= 300.0 * 16.0;
+  EXPECT_NEAR(mean, 0.5, 0.05);
+}
+
+TEST(VectorWorkloadTest, PerturbedQueriesNearData) {
+  VectorWorkloadSpec spec;
+  spec.count = 50;
+  spec.dim = 6;
+  const auto data = GenerateVectors(spec);
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 20, 0.01);
+  ASSERT_EQ(queries.size(), 20u);
+  L2Distance l2;
+  for (const auto& q : queries) {
+    double best = 1e30;
+    for (const auto& v : data) best = std::min(best, l2.Distance(q, v));
+    EXPECT_LT(best, 0.2);
+  }
+}
+
+TEST(VectorWorkloadTest, IndependentQueriesMatchDistribution) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kUniform;
+  spec.count = 10;
+  spec.dim = 3;
+  const auto data = GenerateVectors(spec);
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kIndependent, 25);
+  EXPECT_EQ(queries.size(), 25u);
+  for (const auto& q : queries) EXPECT_EQ(q.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cbix

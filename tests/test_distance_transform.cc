@@ -1,0 +1,121 @@
+#include "image/distance_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+TEST(ChamferDtTest, FeaturePixelsAreZero) {
+  ImageU8 mask(8, 8, 1, 0);
+  mask.at(3, 4) = 1;
+  mask.at(7, 0) = 1;
+  const ImageF dt = ChamferDistanceTransform(mask);
+  EXPECT_EQ(dt.at(3, 4), 0.0f);
+  EXPECT_EQ(dt.at(7, 0), 0.0f);
+}
+
+TEST(ChamferDtTest, SingleFeatureDistancesWithinChamferError) {
+  // The 3-4 chamfer mask approximates Euclidean distance within ~8%.
+  ImageU8 mask(31, 31, 1, 0);
+  mask.at(15, 15) = 1;
+  const ImageF dt = ChamferDistanceTransform(mask);
+  for (int y = 0; y < 31; ++y) {
+    for (int x = 0; x < 31; ++x) {
+      const float exact = std::sqrt(static_cast<float>(
+          (x - 15) * (x - 15) + (y - 15) * (y - 15)));
+      EXPECT_LE(std::fabs(dt.at(x, y) - exact), exact * 0.09f + 1e-4f)
+          << "at (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(ChamferDtTest, MatchesBruteForceOnRandomMasks) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    ImageU8 mask(24, 18, 1, 0);
+    for (int i = 0; i < 10; ++i) {
+      mask.at(static_cast<int>(rng.NextBelow(24)),
+              static_cast<int>(rng.NextBelow(18))) = 1;
+    }
+    const ImageF chamfer = ChamferDistanceTransform(mask);
+    const ImageF exact = BruteForceEuclideanDistanceTransform(mask);
+    for (int y = 0; y < 18; ++y) {
+      for (int x = 0; x < 24; ++x) {
+        EXPECT_LE(std::fabs(chamfer.at(x, y) - exact.at(x, y)),
+                  exact.at(x, y) * 0.09f + 1e-3f);
+      }
+    }
+  }
+}
+
+TEST(ChamferDtTest, EmptyMaskSaturates) {
+  ImageU8 mask(6, 6, 1, 0);
+  const ImageF dt = ChamferDistanceTransform(mask, /*no_feature_value=*/50.0f);
+  for (float v : dt.data()) EXPECT_EQ(v, 50.0f);
+}
+
+TEST(ChamferDtTest, AllFeaturesZeroEverywhere) {
+  ImageU8 mask(5, 5, 1, 1);
+  const ImageF dt = ChamferDistanceTransform(mask);
+  for (float v : dt.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ChamferDtTest, MonotoneAwayFromLine) {
+  // Feature column at x=0: distance should grow monotonically with x.
+  ImageU8 mask(16, 4, 1, 0);
+  for (int y = 0; y < 4; ++y) mask.at(0, y) = 1;
+  const ImageF dt = ChamferDistanceTransform(mask);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 1; x < 16; ++x) {
+      EXPECT_GT(dt.at(x, y), dt.at(x - 1, y));
+      EXPECT_NEAR(dt.at(x, y), static_cast<float>(x), 0.01f);
+    }
+  }
+}
+
+TEST(SalienceDtTest, StrongEdgeSeedsNearZero) {
+  ImageF salience(9, 9, 1, 0.0f);
+  salience.at(4, 4) = 1.0f;  // one maximally salient pixel
+  const ImageF sdt = SalienceDistanceTransform(salience);
+  EXPECT_NEAR(sdt.at(4, 4), 0.0f, 1e-5);
+  // Distances grow away from the seed.
+  EXPECT_GT(sdt.at(0, 0), sdt.at(3, 3));
+}
+
+TEST(SalienceDtTest, WeakEdgesSeedHigherThanStrong) {
+  ImageF salience(16, 4, 1, 0.0f);
+  salience.at(2, 2) = 1.0f;   // strong
+  salience.at(12, 2) = 0.3f;  // weak
+  const float alpha = 8.0f;
+  const ImageF sdt = SalienceDistanceTransform(salience, 1e-4f, alpha);
+  EXPECT_NEAR(sdt.at(2, 2), 0.0f, 1e-5);
+  EXPECT_NEAR(sdt.at(12, 2), alpha * (1.0f - 0.3f), 0.01f);
+}
+
+TEST(SalienceDtTest, NoSalienceYieldsInfiniteField) {
+  ImageF salience(5, 5, 1, 0.0f);
+  const ImageF sdt = SalienceDistanceTransform(salience);
+  for (float v : sdt.data()) EXPECT_GE(v, 1e8f);
+}
+
+TEST(SalienceDtTest, PropagationBoundedBySeeds) {
+  // SDT values can never exceed seed + chamfer distance to that seed.
+  Rng rng(7);
+  ImageF salience(12, 12, 1, 0.0f);
+  for (int i = 0; i < 6; ++i) {
+    salience.at(static_cast<int>(rng.NextBelow(12)),
+                static_cast<int>(rng.NextBelow(12))) =
+        0.2f + 0.8f * static_cast<float>(rng.NextDouble());
+  }
+  const ImageF sdt = SalienceDistanceTransform(salience);
+  for (float v : sdt.data()) {
+    EXPECT_LT(v, 40.0f);  // image diameter ~17 + max seed 8
+  }
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "distance/hausdorff.h"
+#include "distance/histogram_measures.h"
+#include "distance/metric.h"
+#include "distance/minkowski.h"
+#include "distance/quadratic_form.h"
+#include "image/color.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+TEST(MinkowskiTest, KnownValues) {
+  const Vec a{0, 0, 0};
+  const Vec b{3, 4, 0};
+  EXPECT_DOUBLE_EQ(L1Distance().Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(L2Distance().Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(LInfDistance().Distance(a, b), 4.0);
+  EXPECT_NEAR(MinkowskiDistance(3).Distance(a, b),
+              std::pow(27.0 + 64.0, 1.0 / 3.0), 1e-9);
+}
+
+TEST(MinkowskiTest, GeneralPMatchesSpecialCases) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    Vec a(5), b(5);
+    for (int j = 0; j < 5; ++j) {
+      a[j] = static_cast<float>(rng.NextDouble());
+      b[j] = static_cast<float>(rng.NextDouble());
+    }
+    EXPECT_NEAR(MinkowskiDistance(1).Distance(a, b),
+                L1Distance().Distance(a, b), 1e-9);
+    EXPECT_NEAR(MinkowskiDistance(2).Distance(a, b),
+                L2Distance().Distance(a, b), 1e-9);
+  }
+}
+
+TEST(WeightedL2Test, WeightsScaleDimensions) {
+  WeightedL2Distance wd(Vec{4.0f, 0.0f});
+  // Only the first dimension counts, scaled by sqrt(4)=2.
+  EXPECT_DOUBLE_EQ(wd.Distance({0, 0}, {3, 100}), 6.0);
+}
+
+TEST(WeightedL2Test, UnitWeightsEqualL2) {
+  WeightedL2Distance wd(Vec{1, 1, 1});
+  L2Distance l2;
+  const Vec a{0.1f, 0.5f, 0.9f}, b{0.3f, 0.2f, 0.4f};
+  EXPECT_NEAR(wd.Distance(a, b), l2.Distance(a, b), 1e-9);
+}
+
+TEST(HistogramIntersectionTest, IdenticalHistogramsZero) {
+  const Vec h{0.25f, 0.25f, 0.5f};
+  EXPECT_NEAR(HistogramIntersectionDistance().Distance(h, h), 0.0, 1e-9);
+}
+
+TEST(HistogramIntersectionTest, DisjointHistogramsOne) {
+  const Vec h{1.0f, 0.0f}, g{0.0f, 1.0f};
+  EXPECT_NEAR(HistogramIntersectionDistance().Distance(h, g), 1.0, 1e-9);
+}
+
+TEST(HistogramIntersectionTest, EqualsHalfL1OnNormalizedInputs) {
+  Rng rng(2);
+  HistogramIntersectionDistance hi;
+  L1Distance l1;
+  for (int trial = 0; trial < 30; ++trial) {
+    Vec a(8), b(8);
+    float sa = 0, sb = 0;
+    for (int i = 0; i < 8; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble());
+      b[i] = static_cast<float>(rng.NextDouble());
+      sa += a[i];
+      sb += b[i];
+    }
+    for (int i = 0; i < 8; ++i) {
+      a[i] /= sa;
+      b[i] /= sb;
+    }
+    EXPECT_NEAR(hi.Distance(a, b), 0.5 * l1.Distance(a, b), 1e-5);
+  }
+}
+
+TEST(ChiSquareTest, KnownValueAndZeroIdentity) {
+  ChiSquareDistance chi;
+  EXPECT_NEAR(chi.Distance({0.5f, 0.5f}, {0.5f, 0.5f}), 0.0, 1e-12);
+  // 0.5 * ((0.2)^2/1.0 + (0.2)^2/1.0) with bins {0.6,0.4} vs {0.4,0.6}:
+  // each bin: (0.2)^2 / 1.0 = 0.04 -> total 0.5*0.08 = 0.04.
+  EXPECT_NEAR(chi.Distance({0.6f, 0.4f}, {0.4f, 0.6f}), 0.04, 1e-6);
+}
+
+TEST(HellingerTest, BoundedByOneOnDistributions) {
+  HellingerDistance h;
+  EXPECT_NEAR(h.Distance({1.0f, 0.0f}, {0.0f, 1.0f}), 1.0, 1e-6);
+  EXPECT_NEAR(h.Distance({0.5f, 0.5f}, {0.5f, 0.5f}), 0.0, 1e-9);
+}
+
+TEST(CosineTest, OrthogonalAndParallel) {
+  CosineDistance c;
+  EXPECT_NEAR(c.Distance({1, 0}, {0, 1}), 1.0, 1e-9);
+  EXPECT_NEAR(c.Distance({1, 1}, {2, 2}), 0.0, 1e-9);
+  EXPECT_NEAR(c.Distance({1, 0}, {-1, 0}), 2.0, 1e-9);
+}
+
+TEST(CanberraTest, KnownValue) {
+  CanberraDistance c;
+  // |1-3|/(1+3) + |2-2|/(2+2) = 0.5.
+  EXPECT_NEAR(c.Distance({1, 2}, {3, 2}), 0.5, 1e-9);
+  EXPECT_NEAR(c.Distance({0, 0}, {0, 0}), 0.0, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Metric axioms: parameterized over every measure that claims to be a
+// metric, probed on random histogram-like vectors.
+
+struct MetricCase {
+  std::string name;
+  std::shared_ptr<const DistanceMetric> metric;
+};
+
+class MetricAxiomsTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(MetricAxiomsTest, HoldOnRandomSample) {
+  const auto& metric = *GetParam().metric;
+  Rng rng(99);
+  std::vector<Vec> sample;
+  for (int i = 0; i < 12; ++i) {
+    Vec v(6);
+    float mass = 0;
+    for (auto& x : v) {
+      x = static_cast<float>(rng.NextDouble());
+      mass += x;
+    }
+    for (auto& x : v) x /= mass;  // normalized histograms
+    sample.push_back(v);
+  }
+  const MetricCheckReport report = CheckMetricAxioms(metric, sample);
+  EXPECT_TRUE(report.Passed(1e-6))
+      << GetParam().name << ": asym=" << report.max_asymmetry
+      << " tri=" << report.max_triangle_violation
+      << " neg=" << report.max_negative_distance
+      << " self=" << report.max_self_distance;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomsTest,
+    ::testing::Values(
+        MetricCase{"l1", std::make_shared<L1Distance>()},
+        MetricCase{"l2", std::make_shared<L2Distance>()},
+        MetricCase{"linf", std::make_shared<LInfDistance>()},
+        MetricCase{"l3", std::make_shared<MinkowskiDistance>(3.0)},
+        MetricCase{"weighted_l2",
+                   std::make_shared<WeightedL2Distance>(
+                       Vec{1.0f, 0.5f, 2.0f, 1.0f, 0.1f, 3.0f})},
+        MetricCase{"hellinger", std::make_shared<HellingerDistance>()},
+        MetricCase{"canberra", std::make_shared<CanberraDistance>()}),
+    [](const ::testing::TestParamInfo<MetricCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MetricFlagsTest, NonMetricsDeclareThemselves) {
+  EXPECT_FALSE(ChiSquareDistance().is_metric());
+  EXPECT_FALSE(CosineDistance().is_metric());
+  EXPECT_FALSE(HistogramIntersectionDistance().is_metric());
+  EXPECT_TRUE(L2Distance().is_metric());
+  EXPECT_TRUE(HellingerDistance().is_metric());
+}
+
+TEST(CountingMetricTest, CountsAndResets) {
+  auto counting =
+      std::make_shared<CountingMetric>(std::make_shared<L2Distance>());
+  const Vec a{1, 2}, b{3, 4};
+  EXPECT_EQ(counting->count(), 0u);
+  counting->Distance(a, b);
+  counting->Distance(a, b);
+  EXPECT_EQ(counting->count(), 2u);
+  counting->Reset();
+  EXPECT_EQ(counting->count(), 0u);
+  EXPECT_EQ(counting->Name(), "l2");
+}
+
+// --------------------------------------------------------------------------
+// Quadratic form
+
+TEST(QuadraticFormTest, IdentityMatrixEqualsL2) {
+  QuadraticFormDistance qf(Matrix::Identity(4));
+  L2Distance l2;
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Vec a(4), b(4);
+    for (int j = 0; j < 4; ++j) {
+      a[j] = static_cast<float>(rng.NextDouble());
+      b[j] = static_cast<float>(rng.NextDouble());
+    }
+    EXPECT_NEAR(qf.Distance(a, b), l2.Distance(a, b), 1e-6);
+  }
+}
+
+TEST(QuadraticFormTest, CrossBinSimilaritySoftensNeighbourShift) {
+  // Moving mass to a perceptually similar bin must cost less than moving
+  // it to a dissimilar bin.
+  RgbUniformQuantizer quantizer(2);  // 8 bins
+  const QuadraticFormDistance qf = MakeColorQuadraticForm(quantizer, 4.0);
+  L2Distance l2;
+
+  Vec base(8, 0.0f), near_shift(8, 0.0f), far_shift(8, 0.0f);
+  // Bin 0 = dark, bin 1 differs only in blue; bin 7 = opposite corner.
+  base[0] = 1.0f;
+  near_shift[1] = 1.0f;
+  far_shift[7] = 1.0f;
+  EXPECT_LT(qf.Distance(base, near_shift), qf.Distance(base, far_shift));
+  // Plain L2 cannot tell the two shifts apart.
+  EXPECT_NEAR(l2.Distance(base, near_shift), l2.Distance(base, far_shift),
+              1e-9);
+}
+
+TEST(QuadraticFormTest, ZeroForIdenticalVectors) {
+  RgbUniformQuantizer quantizer(2);
+  const QuadraticFormDistance qf = MakeColorQuadraticForm(quantizer);
+  const Vec h{0.5f, 0.5f, 0, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(qf.Distance(h, h), 0.0, 1e-9);
+}
+
+TEST(QuadraticFormTest, SatisfiesMetricAxiomsOnSample) {
+  RgbUniformQuantizer quantizer(2);
+  const auto qf = std::make_shared<QuadraticFormDistance>(
+      MakeColorQuadraticForm(quantizer, 4.0));
+  Rng rng(6);
+  std::vector<Vec> sample;
+  for (int i = 0; i < 10; ++i) {
+    Vec v(8);
+    float mass = 0;
+    for (auto& x : v) {
+      x = static_cast<float>(rng.NextDouble());
+      mass += x;
+    }
+    for (auto& x : v) x /= mass;
+    sample.push_back(v);
+  }
+  EXPECT_TRUE(CheckMetricAxioms(*qf, sample).Passed(1e-6));
+}
+
+// --------------------------------------------------------------------------
+// Hausdorff
+
+TEST(HausdorffTest, IdenticalSetsZero) {
+  const PointSet a{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_EQ(HausdorffDistance(a, a), 0.0);
+}
+
+TEST(HausdorffTest, KnownAsymmetry) {
+  const PointSet a{{0, 0}};
+  const PointSet b{{0, 0}, {10, 0}};
+  EXPECT_EQ(DirectedHausdorff(a, b), 0.0);
+  EXPECT_EQ(DirectedHausdorff(b, a), 10.0);
+  EXPECT_EQ(HausdorffDistance(a, b), 10.0);
+}
+
+TEST(HausdorffTest, EmptySetConventions) {
+  const PointSet empty;
+  const PointSet a{{1, 2}};
+  EXPECT_EQ(DirectedHausdorff(empty, a), 0.0);
+  EXPECT_GT(DirectedHausdorff(a, empty), 1e29);
+}
+
+TEST(HausdorffTest, PartialIgnoresOutliers) {
+  PointSet a, b;
+  for (int i = 0; i < 9; ++i) {
+    a.push_back({static_cast<float>(i), 0.0f});
+    b.push_back({static_cast<float>(i), 0.5f});
+  }
+  a.push_back({100.0f, 100.0f});  // outlier in a only
+  EXPECT_GT(DirectedHausdorff(a, b), 50.0);
+  EXPECT_NEAR(PartialDirectedHausdorff(a, b, 0.9), 0.5, 1e-5);
+}
+
+TEST(HausdorffTest, PartialQuantileOneEqualsFull) {
+  Rng rng(8);
+  PointSet a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back({static_cast<float>(rng.NextDouble() * 10),
+                 static_cast<float>(rng.NextDouble() * 10)});
+    b.push_back({static_cast<float>(rng.NextDouble() * 10),
+                 static_cast<float>(rng.NextDouble() * 10)});
+  }
+  EXPECT_NEAR(PartialDirectedHausdorff(a, b, 1.0), DirectedHausdorff(a, b),
+              1e-9);
+}
+
+TEST(HausdorffTest, PointSetFromMask) {
+  std::vector<uint8_t> mask(6, 0);
+  mask[1] = 1;  // (1, 0) in a 3x2 image
+  mask[5] = 1;  // (2, 1)
+  const PointSet points = PointSetFromMask(mask, 3, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0][0], 1.0f);
+  EXPECT_EQ(points[0][1], 0.0f);
+  EXPECT_EQ(points[1][0], 2.0f);
+  EXPECT_EQ(points[1][1], 1.0f);
+}
+
+}  // namespace
+}  // namespace cbix

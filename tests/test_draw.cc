@@ -1,0 +1,142 @@
+#include "image/draw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cbix {
+namespace {
+
+TEST(DrawTest, PutPixelRgbAndGray) {
+  ImageF rgb(4, 4, 3);
+  PutPixel(&rgb, 1, 2, {0.2f, 0.4f, 0.6f});
+  EXPECT_EQ(rgb.at(1, 2, 0), 0.2f);
+  EXPECT_EQ(rgb.at(1, 2, 1), 0.4f);
+  EXPECT_EQ(rgb.at(1, 2, 2), 0.6f);
+
+  ImageF gray(4, 4, 1);
+  PutPixel(&gray, 0, 0, {1.0f, 1.0f, 1.0f});
+  EXPECT_NEAR(gray.at(0, 0), 1.0f, 1e-6);
+}
+
+TEST(DrawTest, PutPixelIgnoresOutOfBounds) {
+  ImageF img(2, 2, 3);
+  PutPixel(&img, -1, 0, {1, 1, 1});
+  PutPixel(&img, 5, 5, {1, 1, 1});
+  for (float v : img.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(DrawTest, FillRectClipsAndFills) {
+  ImageF img(8, 8, 3);
+  FillRect(&img, -2, -2, 3, 3, {1, 0, 0});
+  EXPECT_EQ(img.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(img.at(2, 2, 0), 1.0f);
+  EXPECT_EQ(img.at(3, 3, 0), 0.0f);  // [x0, x1) exclusive
+}
+
+TEST(DrawTest, FillCircleAreaApproximatesPiR2) {
+  ImageF img(64, 64, 1);
+  FillCircle(&img, 32, 32, 10, {1, 1, 1});
+  int count = 0;
+  for (float v : img.data()) count += v > 0.5f;
+  EXPECT_NEAR(count, M_PI * 100.0, 20.0);
+}
+
+TEST(DrawTest, FillCircleStaysInBoundingBox) {
+  ImageF img(64, 64, 1);
+  FillCircle(&img, 32, 32, 10, {1, 1, 1});
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      if (img.at(x, y) > 0.5f) {
+        const float d = std::hypot(x - 32.0f, y - 32.0f);
+        EXPECT_LE(d, 10.6f);
+      }
+    }
+  }
+}
+
+TEST(DrawTest, FillEllipseRespectsSemiAxes) {
+  ImageF img(64, 64, 1);
+  FillEllipse(&img, 32, 32, 20, 5, {1, 1, 1});
+  EXPECT_GT(img.at(48, 32), 0.5f);  // inside along x
+  EXPECT_EQ(img.at(32, 48), 0.0f);  // outside along y
+}
+
+TEST(DrawTest, FillPolygonTriangle) {
+  ImageF img(32, 32, 1);
+  FillPolygon(&img, {{4, 4}, {28, 4}, {16, 28}}, {1, 1, 1});
+  EXPECT_GT(img.at(16, 10), 0.5f);  // interior
+  EXPECT_EQ(img.at(2, 30), 0.0f);   // exterior
+  EXPECT_EQ(img.at(30, 30), 0.0f);
+}
+
+TEST(DrawTest, FillPolygonConcave) {
+  // A "U" shape: the notch must stay unfilled.
+  ImageF img(40, 40, 1);
+  FillPolygon(&img,
+              {{5, 5}, {35, 5}, {35, 35}, {25, 35}, {25, 15},
+               {15, 15}, {15, 35}, {5, 35}},
+              {1, 1, 1});
+  EXPECT_GT(img.at(10, 30), 0.5f);  // left leg
+  EXPECT_GT(img.at(30, 30), 0.5f);  // right leg
+  EXPECT_EQ(img.at(20, 30), 0.0f);  // notch
+  EXPECT_GT(img.at(20, 10), 0.5f);  // bridge
+}
+
+TEST(DrawTest, PolygonNeedsThreeVertices) {
+  ImageF img(8, 8, 1);
+  FillPolygon(&img, {{1, 1}, {5, 5}}, {1, 1, 1});
+  for (float v : img.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(DrawTest, DrawLineEndpointsAndConnectivity) {
+  ImageF img(16, 16, 1);
+  DrawLine(&img, 2, 3, 12, 9, {1, 1, 1});
+  EXPECT_GT(img.at(2, 3), 0.5f);
+  EXPECT_GT(img.at(12, 9), 0.5f);
+  int count = 0;
+  for (float v : img.data()) count += v > 0.5f;
+  EXPECT_GE(count, 11);  // at least max(dx, dy) + 1 pixels
+}
+
+TEST(DrawTest, GradientEndsMatchColors) {
+  ImageF img(10, 4, 3);
+  FillLinearGradient(&img, {0, 0, 0}, {1, 1, 1}, /*horizontal=*/true);
+  EXPECT_NEAR(img.at(0, 0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(img.at(9, 0, 0), 1.0f, 1e-6);
+  EXPECT_GT(img.at(5, 0, 0), img.at(2, 0, 0));
+}
+
+TEST(ValueNoiseTest, DeterministicAndInRange) {
+  const ImageF a = ValueNoise(32, 32, 8.0f, 3, 42);
+  const ImageF b = ValueNoise(32, 32, 8.0f, 3, 42);
+  EXPECT_EQ(a, b);
+  for (float v : a.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ValueNoiseTest, DifferentSeedsDiffer) {
+  const ImageF a = ValueNoise(32, 32, 8.0f, 3, 1);
+  const ImageF b = ValueNoise(32, 32, 8.0f, 3, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(ValueNoiseTest, LargerScaleIsSmoother) {
+  auto roughness = [](const ImageF& img) {
+    double acc = 0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 1; x < img.width(); ++x) {
+        acc += std::fabs(img.at(x, y) - img.at(x - 1, y));
+      }
+    }
+    return acc;
+  };
+  const ImageF fine = ValueNoise(64, 64, 4.0f, 1, 7);
+  const ImageF coarse = ValueNoise(64, 64, 32.0f, 1, 7);
+  EXPECT_GT(roughness(fine), roughness(coarse) * 2);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "corpus/corpus.h"
+#include "distance/minkowski.h"
+#include "features/color_histogram.h"
+#include "features/correlogram.h"
+#include "features/descriptor.h"
+#include "features/edge_shape_features.h"
+#include "features/extractor.h"
+#include "features/texture_features.h"
+#include "image/draw.h"
+#include "image/resize.h"
+
+namespace cbix {
+namespace {
+
+ImageF SolidImage(int size, const ColorF& color) {
+  ImageF img(size, size, 3);
+  FillImage(&img, color);
+  return img;
+}
+
+float VecSum(const Vec& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0f);
+}
+
+// --------------------------------------------------------------------------
+// Normalization
+
+TEST(NormalizationTest, L1MakesUnitMass) {
+  Vec v{1, 3, 4};
+  NormalizeVector(&v, Normalization::kL1);
+  EXPECT_NEAR(VecSum(v), 1.0f, 1e-6);
+  EXPECT_NEAR(v[2], 0.5f, 1e-6);
+}
+
+TEST(NormalizationTest, L2MakesUnitNorm) {
+  Vec v{3, 4};
+  NormalizeVector(&v, Normalization::kL2);
+  EXPECT_NEAR(v[0], 0.6f, 1e-6);
+  EXPECT_NEAR(v[1], 0.8f, 1e-6);
+}
+
+TEST(NormalizationTest, MinMaxMapsToUnitInterval) {
+  Vec v{-2, 0, 6};
+  NormalizeVector(&v, Normalization::kMinMax);
+  EXPECT_NEAR(v[0], 0.0f, 1e-6);
+  EXPECT_NEAR(v[1], 0.25f, 1e-6);
+  EXPECT_NEAR(v[2], 1.0f, 1e-6);
+}
+
+TEST(NormalizationTest, DegenerateInputsUnchanged) {
+  Vec zeros{0, 0, 0};
+  Vec copy = zeros;
+  NormalizeVector(&zeros, Normalization::kL1);
+  EXPECT_EQ(zeros, copy);
+  Vec constant{2, 2};
+  NormalizeVector(&constant, Normalization::kMinMax);
+  EXPECT_EQ(constant, (Vec{2, 2}));
+}
+
+// --------------------------------------------------------------------------
+// Colour histograms
+
+TEST(ColorHistogramTest, UnitMassAndCorrectDim) {
+  auto quantizer = std::make_shared<HsvQuantizer>(18, 3, 3);
+  ColorHistogramDescriptor desc(quantizer);
+  EXPECT_EQ(desc.dim(), 162u);
+  const Vec h = desc.Extract(SolidImage(32, {0.8f, 0.1f, 0.1f}));
+  EXPECT_EQ(h.size(), 162u);
+  EXPECT_NEAR(VecSum(h), 1.0f, 1e-5);
+}
+
+TEST(ColorHistogramTest, SolidColorIsOneBin) {
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(4);
+  ColorHistogramDescriptor desc(quantizer);
+  const Vec h = desc.Extract(SolidImage(16, {0.9f, 0.1f, 0.1f}));
+  int nonzero = 0;
+  for (float v : h) nonzero += v > 0;
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(ColorHistogramTest, InvariantToFlips) {
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 32;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  const ImageF rgb = ToFloat(item.image);
+  auto quantizer = std::make_shared<HsvQuantizer>(18, 3, 3);
+  ColorHistogramDescriptor desc(quantizer);
+  const Vec a = desc.Extract(rgb);
+  const Vec b = desc.Extract(FlipHorizontal(rgb));
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(ColorHistogramTest, DistinguishesColors) {
+  auto quantizer = std::make_shared<HsvQuantizer>(18, 3, 3);
+  ColorHistogramDescriptor desc(quantizer);
+  const Vec red = desc.Extract(SolidImage(16, {0.9f, 0.1f, 0.1f}));
+  const Vec blue = desc.Extract(SolidImage(16, {0.1f, 0.1f, 0.9f}));
+  EXPECT_GT(L1Distance().Distance(red, blue), 1.0);
+}
+
+TEST(CumulativeHistogramTest, MonotoneAndEndsAtOne) {
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(4);
+  CumulativeHistogramDescriptor desc(quantizer);
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 32;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  const Vec h = desc.Extract(ToFloat(item.image));
+  for (size_t i = 1; i < h.size(); ++i) EXPECT_GE(h[i], h[i - 1] - 1e-6);
+  EXPECT_NEAR(h.back(), 1.0f, 1e-5);
+}
+
+TEST(GridHistogramTest, SensitiveToLayoutWhereGlobalIsNot) {
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(4);
+  // Half-red/half-blue, left-right vs right-left.
+  ImageF a(32, 32, 3), b(32, 32, 3);
+  FillRect(&a, 0, 0, 16, 32, {1, 0, 0});
+  FillRect(&a, 16, 0, 32, 32, {0, 0, 1});
+  FillRect(&b, 0, 0, 16, 32, {0, 0, 1});
+  FillRect(&b, 16, 0, 32, 32, {1, 0, 0});
+
+  ColorHistogramDescriptor global(quantizer);
+  GridHistogramDescriptor grid(quantizer, 2, 2);
+  L1Distance l1;
+  EXPECT_NEAR(l1.Distance(global.Extract(a), global.Extract(b)), 0.0, 1e-5);
+  EXPECT_GT(l1.Distance(grid.Extract(a), grid.Extract(b)), 0.5);
+}
+
+TEST(GridHistogramTest, DimIsCellsTimesBins) {
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(3);
+  GridHistogramDescriptor desc(quantizer, 3, 2);
+  EXPECT_EQ(desc.dim(), 27u * 6u);
+  const Vec v = desc.Extract(SolidImage(30, {0.5f, 0.5f, 0.5f}));
+  EXPECT_EQ(v.size(), desc.dim());
+  EXPECT_NEAR(VecSum(v), 1.0f, 1e-5);  // cells scaled by 1/cell_count
+}
+
+TEST(ColorMomentsTest, SolidImageMomentsAreExact) {
+  ColorMomentsDescriptor desc;
+  const Vec m = desc.Extract(SolidImage(16, {0.25f, 0.5f, 0.75f}));
+  ASSERT_EQ(m.size(), 9u);
+  EXPECT_NEAR(m[0], 0.25f, 1e-3);  // mean R
+  EXPECT_NEAR(m[1], 0.0f, 1e-4);   // std R
+  EXPECT_NEAR(m[3], 0.5f, 1e-3);   // mean G
+  EXPECT_NEAR(m[6], 0.75f, 1e-3);  // mean B
+}
+
+// --------------------------------------------------------------------------
+// Correlogram
+
+TEST(CorrelogramTest, SolidImageFullyCorrelated) {
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(2);
+  AutoCorrelogramDescriptor desc(quantizer, {1, 3});
+  EXPECT_EQ(desc.dim(), 16u);
+  const Vec v = desc.Extract(SolidImage(24, {0.9f, 0.9f, 0.9f}));
+  // The occupied bin has probability 1 at every distance; others 0.
+  float max_val = 0;
+  int ones = 0;
+  for (float x : v) {
+    max_val = std::max(max_val, x);
+    ones += x > 0.99f;
+  }
+  EXPECT_NEAR(max_val, 1.0f, 1e-6);
+  EXPECT_EQ(ones, 2);  // one bin per distance
+}
+
+TEST(CorrelogramTest, FineCheckerDecorrelatedAtDistanceOne) {
+  // Period-1 checker in black/white: at L∞ distance 1 the 8-ring around
+  // any pixel holds 4 same and 4 opposite pixels -> autocorrelation ~0.5
+  // for each of the two colours (less at borders).
+  ImageF img(32, 32, 3);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const float v = ((x + y) % 2 == 0) ? 0.9f : 0.1f;
+      PutPixel(&img, x, y, {v, v, v});
+    }
+  }
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(2);
+  AutoCorrelogramDescriptor desc(quantizer, {1});
+  const Vec v = desc.Extract(img);
+  for (float x : v) {
+    if (x > 0) {
+      EXPECT_NEAR(x, 0.5f, 0.08f);
+    }
+  }
+}
+
+TEST(CorrelogramTest, DiscriminatesLayoutWithSameHistogram) {
+  // Same 50/50 colour mass; blocked vs fine checker layouts.
+  ImageF blocked(32, 32, 3), checker(32, 32, 3);
+  FillRect(&blocked, 0, 0, 16, 32, {0.9f, 0.1f, 0.1f});
+  FillRect(&blocked, 16, 0, 32, 32, {0.1f, 0.1f, 0.9f});
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      PutPixel(&checker, x, y,
+               ((x + y) % 2 == 0) ? ColorF{0.9f, 0.1f, 0.1f}
+                                  : ColorF{0.1f, 0.1f, 0.9f});
+    }
+  }
+  auto quantizer = std::make_shared<RgbUniformQuantizer>(2);
+  AutoCorrelogramDescriptor desc(quantizer, {1});
+  const double d = L1Distance().Distance(desc.Extract(blocked),
+                                         desc.Extract(checker));
+  EXPECT_GT(d, 0.5);
+}
+
+// --------------------------------------------------------------------------
+// Texture descriptors
+
+TEST(GlcmDescriptorTest, DimAndDiscrimination) {
+  GlcmDescriptor desc(16, {1, 2});
+  EXPECT_EQ(desc.dim(), 10u);
+  // Smooth vs striped texture must differ markedly in contrast features.
+  const ImageF smooth = SolidImage(32, {0.5f, 0.5f, 0.5f});
+  ImageF stripes(32, 32, 3);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const float v = (x % 2 == 0) ? 0.9f : 0.1f;
+      PutPixel(&stripes, x, y, {v, v, v});
+    }
+  }
+  const Vec a = desc.Extract(smooth);
+  const Vec b = desc.Extract(stripes);
+  EXPECT_GT(L2Distance().Distance(a, b), 1.0);
+}
+
+TEST(WaveletDescriptorTest, DimFormula) {
+  EXPECT_EQ(WaveletSignatureDescriptor(3).dim(), 11u);
+  EXPECT_EQ(WaveletSignatureDescriptor(1).dim(), 5u);
+}
+
+TEST(WaveletDescriptorTest, SolidImageHasOnlyApproxEnergy) {
+  WaveletSignatureDescriptor desc(3);
+  const Vec v = desc.Extract(SolidImage(64, {0.5f, 0.5f, 0.5f}));
+  ASSERT_EQ(v.size(), 11u);
+  for (int i = 0; i < 9; ++i) EXPECT_NEAR(v[i], 0.0f, 1e-4) << i;
+  EXPECT_GT(v[9], 0.5f);             // LL energy
+  EXPECT_NEAR(v[10], 4.0f, 0.1f);    // LL mean of 0.5 scaled by 2^3
+}
+
+TEST(WaveletDescriptorTest, OrientationSelective) {
+  ImageF vertical(64, 64, 3), horizontal(64, 64, 3);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const float v = (x % 2 == 0) ? 0.9f : 0.1f;
+      const float h = (y % 2 == 0) ? 0.9f : 0.1f;
+      PutPixel(&vertical, x, y, {v, v, v});
+      PutPixel(&horizontal, x, y, {h, h, h});
+    }
+  }
+  WaveletSignatureDescriptor desc(1);
+  const Vec sv = desc.Extract(vertical);    // [lh, hl, hh, ll_e, ll_mean]
+  const Vec sh = desc.Extract(horizontal);
+  EXPECT_GT(sv[1], sv[0] + 0.1f);  // vertical stripes -> HL dominates
+  EXPECT_GT(sh[0], sh[1] + 0.1f);  // horizontal stripes -> LH dominates
+}
+
+TEST(WaveletDescriptorTest, HandlesNonPowerOfTwoByCropping) {
+  WaveletSignatureDescriptor desc(2);
+  const Vec v = desc.Extract(SolidImage(50, {0.3f, 0.3f, 0.3f}));
+  EXPECT_EQ(v.size(), desc.dim());
+}
+
+// --------------------------------------------------------------------------
+// Edge / shape descriptors
+
+TEST(EdgeHistogramTest, VerticalEdgesConcentrateInOneBin) {
+  ImageF img(64, 64, 3);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const float v = (x / 8) % 2 == 0 ? 0.1f : 0.9f;
+      PutPixel(&img, x, y, {v, v, v});
+    }
+  }
+  EdgeOrientationHistogramDescriptor desc(18);
+  const Vec h = desc.Extract(img);
+  ASSERT_EQ(h.size(), 19u);
+  // Vertical edges -> gradient along x -> folded orientation ~0 -> bin 0
+  // (or the last bin due to wraparound).
+  const float concentrated = h[0] + h[17];
+  EXPECT_GT(concentrated, 0.8f);
+  EXPECT_GT(h[18], 0.0f);  // non-zero edge density
+}
+
+TEST(EdgeHistogramTest, SolidImageHasZeroDensity) {
+  EdgeOrientationHistogramDescriptor desc;
+  const Vec h = desc.Extract(SolidImage(32, {0.4f, 0.4f, 0.4f}));
+  EXPECT_NEAR(h.back(), 0.0f, 1e-5);
+}
+
+TEST(EdgeHistogramTest, RotationShiftsBins) {
+  ImageF vertical(64, 64, 3), horizontal(64, 64, 3);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      const float v = (x / 8) % 2 == 0 ? 0.1f : 0.9f;
+      const float h = (y / 8) % 2 == 0 ? 0.1f : 0.9f;
+      PutPixel(&vertical, x, y, {v, v, v});
+      PutPixel(&horizontal, x, y, {h, h, h});
+    }
+  }
+  EdgeOrientationHistogramDescriptor desc(18);
+  const Vec hv = desc.Extract(vertical);
+  const Vec hh = desc.Extract(horizontal);
+  // Horizontal stripes put mass near pi/2 (bin 9), vertical near 0.
+  EXPECT_GT(hh[9] + hh[8], 0.6f);
+  EXPECT_LT(hv[9], 0.2f);
+}
+
+TEST(ShapeMomentsTest, DimAndDiscrimination) {
+  ShapeMomentsDescriptor desc;
+  EXPECT_EQ(desc.dim(), 10u);
+  ImageF circle(64, 64, 3), bar(64, 64, 3);
+  FillCircle(&circle, 32, 32, 14, {1, 1, 1});
+  FillRect(&bar, 4, 28, 60, 36, {1, 1, 1});
+  const Vec a = desc.Extract(circle);
+  const Vec b = desc.Extract(bar);
+  // Eccentricity slot (index 7) must separate the shapes.
+  EXPECT_LT(a[7], 0.5f);
+  EXPECT_GT(b[7], 0.8f);
+}
+
+TEST(SdtHistogramTest, ClutteredVsSparseScenes) {
+  // Cluttered: many edges -> SDT mass near 0. Sparse: one small shape ->
+  // long tail.
+  ImageF cluttered(64, 64, 3), sparse(64, 64, 3);
+  for (int i = 0; i < 20; ++i) {
+    FillCircle(&cluttered, (i * 13) % 64, (i * 29) % 64, 4.0f,
+               {(i % 2) ? 0.9f : 0.1f, 0.5f, 0.5f});
+  }
+  FillCircle(&sparse, 12, 12, 4, {1, 1, 1});
+  SdtHistogramDescriptor desc(16, 32.0f);
+  const Vec hc = desc.Extract(cluttered);
+  const Vec hs = desc.Extract(sparse);
+  ASSERT_EQ(hc.size(), 16u);
+  EXPECT_GT(hc[0] + hc[1], hs[0] + hs[1]);
+  // Sparse scene has more mass in far bins.
+  float far_c = 0, far_s = 0;
+  for (int i = 8; i < 16; ++i) {
+    far_c += hc[i];
+    far_s += hs[i];
+  }
+  EXPECT_GT(far_s, far_c);
+}
+
+// --------------------------------------------------------------------------
+// Extractor composition & registry
+
+TEST(ExtractorTest, DimIsSumOfBlocks) {
+  FeatureExtractor ex(64, 64);
+  ex.Add(std::make_shared<ColorMomentsDescriptor>(), 1.0f)
+      .Add(std::make_shared<WaveletSignatureDescriptor>(2), 1.0f);
+  EXPECT_EQ(ex.dim(), 9u + 8u);
+  EXPECT_EQ(ex.block_count(), 2u);
+}
+
+TEST(ExtractorTest, OutputSizeMatchesDim) {
+  const FeatureExtractor ex = MakeDefaultExtractor(64);
+  CorpusSpec spec;
+  spec.num_classes = 1;
+  spec.images_per_class = 1;
+  spec.width = spec.height = 48;
+  const auto item = CorpusGenerator(spec).MakeInstance(0, 0);
+  const Vec v = ex.Extract(item.image);
+  EXPECT_EQ(v.size(), ex.dim());
+}
+
+TEST(ExtractorTest, WeightScalesBlock) {
+  FeatureExtractor ex1(32, 32), ex2(32, 32);
+  ex1.Add(std::make_shared<ColorMomentsDescriptor>(), 1.0f);
+  ex2.Add(std::make_shared<ColorMomentsDescriptor>(), 2.0f);
+  const ImageU8 img = ToU8(SolidImage(32, {0.5f, 0.25f, 0.75f}));
+  const Vec a = ex1.Extract(img);
+  const Vec b = ex2.Extract(img);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(b[i], 2 * a[i], 1e-5);
+}
+
+TEST(ExtractorTest, GrayscaleInputHandled) {
+  FeatureExtractor ex(32, 32);
+  ex.Add(std::make_shared<ColorMomentsDescriptor>(), 1.0f);
+  ImageU8 gray(20, 20, 1, 128);
+  const Vec v = ex.Extract(gray);
+  EXPECT_EQ(v.size(), 9u);
+  EXPECT_NEAR(v[0], 0.5f, 0.01f);  // all channels replicate luminance
+  EXPECT_NEAR(v[3], 0.5f, 0.01f);
+}
+
+TEST(ExtractorTest, ResizeNormalizesInputSizes) {
+  // Same scene at two resolutions should land close in feature space.
+  CorpusSpec big_spec;
+  big_spec.num_classes = 1;
+  big_spec.images_per_class = 1;
+  big_spec.width = big_spec.height = 128;
+  const auto item = CorpusGenerator(big_spec).MakeInstance(0, 0);
+  const ImageU8 small = Resize(item.image, 64, 64);
+
+  FeatureExtractor ex(64, 64);
+  auto hsv = std::make_shared<HsvQuantizer>(18, 3, 3);
+  ex.Add(std::make_shared<ColorHistogramDescriptor>(hsv), 1.0f);
+  const Vec a = ex.Extract(item.image);
+  const Vec b = ex.Extract(small);
+  EXPECT_LT(L1Distance().Distance(a, b), 0.15);
+}
+
+TEST(DescriptorRegistryTest, AllStandardNamesConstruct) {
+  for (const std::string& name : StandardDescriptorNames()) {
+    const auto desc = MakeStandardDescriptor(name);
+    ASSERT_TRUE(desc.ok()) << name;
+    EXPECT_GT(desc.value()->dim(), 0u) << name;
+  }
+}
+
+TEST(DescriptorRegistryTest, UnknownNameRejected) {
+  EXPECT_EQ(MakeStandardDescriptor("bogus").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DescriptorRegistryTest, SingleDescriptorExtractorWorks) {
+  const auto ex = MakeSingleDescriptorExtractor("color_hist", 64);
+  ASSERT_TRUE(ex.ok());
+  EXPECT_EQ(ex->dim(), 162u);
+  const Vec v = ex->Extract(ToU8(SolidImage(32, {0.9f, 0.2f, 0.2f})));
+  EXPECT_EQ(v.size(), 162u);
+}
+
+TEST(ExtractorTest, NameListsBlocks) {
+  const FeatureExtractor ex = MakeDefaultExtractor(64);
+  const std::string name = ex.Name();
+  EXPECT_NE(name.find("color_hist"), std::string::npos);
+  EXPECT_NE(name.find("glcm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,204 @@
+#include "image/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "image/convolve.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+ImageF RandomImage(int w, int h, int channels, uint64_t seed) {
+  Rng rng(seed);
+  ImageF img(w, h, channels);
+  for (auto& v : img.data()) v = static_cast<float>(rng.NextDouble());
+  return img;
+}
+
+TEST(ConvolveTest, IdentityKernel) {
+  const ImageF img = RandomImage(8, 6, 1, 1);
+  Kernel identity;
+  identity.width = 3;
+  identity.height = 3;
+  identity.weights = {0, 0, 0, 0, 1, 0, 0, 0, 0};
+  const ImageF out = Convolve(img, identity);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_NEAR(out.at(x, y), img.at(x, y), 1e-6);
+    }
+  }
+}
+
+TEST(ConvolveTest, SeparableMatchesDense) {
+  const ImageF img = RandomImage(12, 9, 1, 2);
+  const std::vector<float> row = {0.25f, 0.5f, 0.25f};
+  const std::vector<float> col = {0.1f, 0.8f, 0.1f};
+  // Dense outer-product kernel.
+  Kernel dense;
+  dense.width = 3;
+  dense.height = 3;
+  dense.weights.resize(9);
+  for (int ky = 0; ky < 3; ++ky) {
+    for (int kx = 0; kx < 3; ++kx) {
+      dense.weights[ky * 3 + kx] = row[kx] * col[ky];
+    }
+  }
+  const ImageF a = Convolve(img, dense);
+  const ImageF b = ConvolveSeparable(img, row, col);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      EXPECT_NEAR(a.at(x, y), b.at(x, y), 1e-5);
+    }
+  }
+}
+
+TEST(ConvolveTest, ZeroBorderDarkensEdges) {
+  ImageF img(5, 5, 1, 1.0f);
+  Kernel box;
+  box.width = 3;
+  box.height = 3;
+  box.weights.assign(9, 1.0f / 9.0f);
+  const ImageF out = Convolve(img, box, BorderMode::kZero);
+  EXPECT_NEAR(out.at(2, 2), 1.0f, 1e-6);          // interior untouched
+  EXPECT_NEAR(out.at(0, 0), 4.0f / 9.0f, 1e-6);   // corner sees 4 ones
+  EXPECT_NEAR(out.at(2, 0), 6.0f / 9.0f, 1e-6);   // edge sees 6 ones
+}
+
+TEST(ConvolveTest, ReplicateBorderKeepsConstantImage) {
+  ImageF img(5, 5, 1, 0.7f);
+  Kernel box;
+  box.width = 3;
+  box.height = 3;
+  box.weights.assign(9, 1.0f / 9.0f);
+  const ImageF out = Convolve(img, box, BorderMode::kReplicate);
+  for (float v : out.data()) EXPECT_NEAR(v, 0.7f, 1e-6);
+}
+
+TEST(ResolveBorderTest, ReflectPattern) {
+  // size=4: ... 2 1 | 0 1 2 3 | 2 1 0 ...
+  EXPECT_EQ(ResolveBorder(-1, 4, BorderMode::kReflect), 1);
+  EXPECT_EQ(ResolveBorder(-2, 4, BorderMode::kReflect), 2);
+  EXPECT_EQ(ResolveBorder(4, 4, BorderMode::kReflect), 2);
+  EXPECT_EQ(ResolveBorder(5, 4, BorderMode::kReflect), 1);
+  EXPECT_EQ(ResolveBorder(2, 4, BorderMode::kReflect), 2);
+}
+
+TEST(ResolveBorderTest, SizeOneAlwaysZero) {
+  EXPECT_EQ(ResolveBorder(-3, 1, BorderMode::kReflect), 0);
+  EXPECT_EQ(ResolveBorder(9, 1, BorderMode::kReplicate), 0);
+}
+
+TEST(GaussianKernelTest, NormalizedAndSymmetric) {
+  for (float sigma : {0.5f, 1.0f, 2.5f}) {
+    const auto k = GaussianKernel1d(sigma);
+    EXPECT_EQ(k.size() % 2, 1u);
+    float sum = std::accumulate(k.begin(), k.end(), 0.0f);
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+    for (size_t i = 0; i < k.size() / 2; ++i) {
+      EXPECT_NEAR(k[i], k[k.size() - 1 - i], 1e-6);
+    }
+    // Peak at the centre.
+    EXPECT_GE(k[k.size() / 2], k[0]);
+  }
+}
+
+TEST(GaussianBlurTest, PreservesConstantImage) {
+  ImageF img(9, 9, 3, 0.42f);
+  const ImageF out = GaussianBlur(img, 1.5f);
+  for (float v : out.data()) EXPECT_NEAR(v, 0.42f, 1e-5);
+}
+
+TEST(GaussianBlurTest, ReducesVariance) {
+  const ImageF img = RandomImage(32, 32, 1, 3);
+  const ImageF out = GaussianBlur(img, 2.0f);
+  auto variance = [](const ImageF& im) {
+    double mean = 0;
+    for (float v : im.data()) mean += v;
+    mean /= im.data().size();
+    double var = 0;
+    for (float v : im.data()) var += (v - mean) * (v - mean);
+    return var / im.data().size();
+  };
+  EXPECT_LT(variance(out), variance(img) * 0.5);
+}
+
+TEST(GaussianBlurTest, SigmaZeroIsIdentity) {
+  const ImageF img = RandomImage(6, 6, 1, 4);
+  EXPECT_EQ(GaussianBlur(img, 0.0f), img);
+}
+
+TEST(SobelTest, HorizontalRampHasConstantGradientX) {
+  // f(x, y) = x / 8 -> df/dx constant; Sobel x response = 8 * step.
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) img.at(x, y) = x / 8.0f;
+  }
+  const ImageF gx = SobelX(img);
+  const ImageF gy = SobelY(img);
+  for (int y = 1; y < 7; ++y) {
+    for (int x = 1; x < 7; ++x) {
+      EXPECT_NEAR(gx.at(x, y), 8.0f * (1.0f / 8.0f), 1e-5);
+      EXPECT_NEAR(gy.at(x, y), 0.0f, 1e-5);
+    }
+  }
+}
+
+TEST(SobelTest, GradientsOrientationOnVerticalEdge) {
+  // Left half dark, right half bright: gradient points in +x, angle ~0.
+  ImageF img(10, 10, 1);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 5; x < 10; ++x) img.at(x, y) = 1.0f;
+  }
+  const GradientField field = SobelGradients(img);
+  // At the edge column the magnitude peaks and orientation is ~0 rad.
+  int peak_x = 0;
+  float peak = -1;
+  for (int x = 1; x < 9; ++x) {
+    if (field.magnitude.at(x, 5) > peak) {
+      peak = field.magnitude.at(x, 5);
+      peak_x = x;
+    }
+  }
+  EXPECT_TRUE(peak_x == 4 || peak_x == 5);
+  EXPECT_NEAR(field.orientation.at(peak_x, 5), 0.0f, 1e-4);
+}
+
+TEST(LaplacianTest, ZeroOnLinearRamp) {
+  ImageF img(8, 8, 1);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) img.at(x, y) = 0.1f * x + 0.2f * y;
+  }
+  const ImageF lap = Laplacian(img);
+  for (int y = 1; y < 7; ++y) {
+    for (int x = 1; x < 7; ++x) EXPECT_NEAR(lap.at(x, y), 0.0f, 1e-5);
+  }
+}
+
+TEST(OtsuTest, SeparatesBimodalImage) {
+  ImageF img(20, 20, 1);
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      img.at(x, y) = (x < 10) ? 0.2f : 0.8f;
+    }
+  }
+  const float t = OtsuThreshold(img);
+  EXPECT_GT(t, 0.2f);
+  EXPECT_LT(t, 0.8f);
+}
+
+TEST(OtsuTest, AllZeroImageReturnsZero) {
+  ImageF img(4, 4, 1, 0.0f);
+  EXPECT_EQ(OtsuThreshold(img), 0.0f);
+}
+
+TEST(BoxBlurTest, ConstantPreserved) {
+  ImageF img(7, 7, 1, 0.9f);
+  const ImageF out = BoxBlur(img, 5);
+  for (float v : out.data()) EXPECT_NEAR(v, 0.9f, 1e-5);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,161 @@
+// Tests for the pre-processing additions: median filter, histogram
+// equalization, and the engine's parallel batch ingestion.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "corpus/corpus.h"
+#include "image/filters.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+TEST(MedianFilterTest, ConstantImageUnchanged) {
+  ImageF img(7, 7, 1, 0.4f);
+  const ImageF out = MedianFilter(img, 3);
+  for (float v : out.data()) EXPECT_EQ(v, 0.4f);
+}
+
+TEST(MedianFilterTest, RemovesSaltAndPepperImpulse) {
+  ImageF img(9, 9, 1, 0.5f);
+  img.at(4, 4) = 1.0f;  // isolated impulse
+  img.at(2, 7) = 0.0f;
+  const ImageF out = MedianFilter(img, 3);
+  EXPECT_EQ(out.at(4, 4), 0.5f);
+  EXPECT_EQ(out.at(2, 7), 0.5f);
+}
+
+TEST(MedianFilterTest, PreservesStepEdge) {
+  // Unlike linear blur, a median keeps a hard edge hard.
+  ImageF img(10, 10, 1);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 5; x < 10; ++x) img.at(x, y) = 1.0f;
+  }
+  const ImageF out = MedianFilter(img, 3);
+  for (int y = 1; y < 9; ++y) {
+    EXPECT_EQ(out.at(3, y), 0.0f);
+    EXPECT_EQ(out.at(6, y), 1.0f);
+  }
+}
+
+TEST(MedianFilterTest, SizeOneIsIdentity) {
+  Rng rng(1);
+  ImageF img(6, 6, 2);
+  for (auto& v : img.data()) v = static_cast<float>(rng.NextDouble());
+  EXPECT_EQ(MedianFilter(img, 1), img);
+}
+
+TEST(EqualizeHistogramTest, AlreadyUniformIsNearIdentity) {
+  // A linear ramp is already uniform; equalization must keep the
+  // ordering and roughly preserve values.
+  ImageF img(256, 1, 1);
+  for (int x = 0; x < 256; ++x) img.at(x, 0) = x / 255.0f;
+  const ImageF out = EqualizeHistogram(img);
+  for (int x = 1; x < 256; ++x) {
+    EXPECT_GE(out.at(x, 0), out.at(x - 1, 0));  // monotone
+  }
+  EXPECT_NEAR(out.at(128, 0), 0.5f, 0.05f);
+}
+
+TEST(EqualizeHistogramTest, StretchesCompressedRange) {
+  // All mass in [0.4, 0.6] must spread toward [0, 1].
+  Rng rng(2);
+  ImageF img(64, 64, 1);
+  for (auto& v : img.data()) {
+    v = 0.4f + 0.2f * static_cast<float>(rng.NextDouble());
+  }
+  const ImageF out = EqualizeHistogram(img);
+  float lo = 1.0f, hi = 0.0f;
+  for (float v : out.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05f);
+  EXPECT_GT(hi, 0.95f);
+}
+
+TEST(EqualizeHistogramTest, ConstantImageMapsToZero) {
+  ImageF img(8, 8, 1, 0.7f);
+  const ImageF out = EqualizeHistogram(img);
+  // Single-bin image: cdf(min)==cdf(bin), remap sends it to 0.
+  for (float v : out.data()) EXPECT_NEAR(v, 0.0f, 1e-6);
+}
+
+TEST(AddImagesParallelTest, MatchesSequentialInsertion) {
+  CorpusSpec spec;
+  spec.num_classes = 4;
+  spec.images_per_class = 6;
+  spec.width = spec.height = 48;
+  const auto corpus = CorpusGenerator(spec).Generate();
+  auto extractor = MakeSingleDescriptorExtractor("color_hist", 48);
+  ASSERT_TRUE(extractor.ok());
+
+  CbirEngine sequential(extractor.value());
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(
+        sequential.AddImage(item.image, item.name, item.class_id).ok());
+  }
+
+  CbirEngine parallel(extractor.value());
+  std::vector<CbirEngine::BatchItem> batch;
+  for (const auto& item : corpus) {
+    batch.push_back({item.image, item.name, item.class_id});
+  }
+  const auto first_id = parallel.AddImagesParallel(std::move(batch), 4);
+  ASSERT_TRUE(first_id.ok());
+  EXPECT_EQ(first_id.value(), 0u);
+  ASSERT_EQ(parallel.size(), sequential.size());
+
+  // Identical stores: same names, labels, features in the same order.
+  for (uint32_t id = 0; id < parallel.size(); ++id) {
+    EXPECT_EQ(parallel.store().record(id).name,
+              sequential.store().record(id).name);
+    EXPECT_EQ(parallel.store().record(id).features,
+              sequential.store().record(id).features);
+  }
+
+  // And identical query behaviour.
+  const auto a = parallel.QueryKnn(corpus[5].image, 6);
+  const auto b = sequential.QueryKnn(corpus[5].image, 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->at(i).id, b->at(i).id);
+  }
+}
+
+TEST(AddImagesParallelTest, AppendsAfterExistingRecords) {
+  CorpusSpec spec;
+  spec.num_classes = 2;
+  spec.images_per_class = 3;
+  spec.width = spec.height = 32;
+  const auto corpus = CorpusGenerator(spec).Generate();
+  auto extractor = MakeSingleDescriptorExtractor("color_moments", 32);
+  ASSERT_TRUE(extractor.ok());
+  CbirEngine engine(extractor.value());
+  ASSERT_TRUE(engine.AddImage(corpus[0].image, "first", 0).ok());
+
+  std::vector<CbirEngine::BatchItem> batch;
+  for (size_t i = 1; i < corpus.size(); ++i) {
+    batch.push_back({corpus[i].image, corpus[i].name, corpus[i].class_id});
+  }
+  const auto first_id = engine.AddImagesParallel(std::move(batch), 2);
+  ASSERT_TRUE(first_id.ok());
+  EXPECT_EQ(first_id.value(), 1u);
+  EXPECT_EQ(engine.size(), corpus.size());
+}
+
+TEST(AddImagesParallelTest, RejectsEmptyBatchAndEmptyImages) {
+  auto extractor = MakeSingleDescriptorExtractor("color_moments", 32);
+  ASSERT_TRUE(extractor.ok());
+  CbirEngine engine(extractor.value());
+  EXPECT_FALSE(engine.AddImagesParallel({}, 2).ok());
+  std::vector<CbirEngine::BatchItem> batch;
+  batch.push_back({ImageU8(), "empty", -1});
+  EXPECT_FALSE(engine.AddImagesParallel(std::move(batch), 2).ok());
+  EXPECT_EQ(engine.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,142 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+namespace cbix {
+namespace {
+
+TEST(ImageTest, ConstructionAndFill) {
+  ImageU8 img(4, 3, 2, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 2);
+  EXPECT_EQ(img.PixelCount(), 12u);
+  EXPECT_EQ(img.data().size(), 24u);
+  for (uint8_t v : img.data()) EXPECT_EQ(v, 7);
+}
+
+TEST(ImageTest, AtReadsAndWrites) {
+  ImageF img(3, 3, 1);
+  img.at(2, 1) = 0.5f;
+  EXPECT_EQ(img.at(2, 1), 0.5f);
+  EXPECT_EQ(img.at(0, 0), 0.0f);
+}
+
+TEST(ImageTest, AtClampedReplicatesBorder) {
+  ImageF img(2, 2, 1);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 0) = 2.0f;
+  img.at(0, 1) = 3.0f;
+  img.at(1, 1) = 4.0f;
+  EXPECT_EQ(img.AtClamped(-5, -5), 1.0f);
+  EXPECT_EQ(img.AtClamped(10, 0), 2.0f);
+  EXPECT_EQ(img.AtClamped(0, 10), 3.0f);
+  EXPECT_EQ(img.AtClamped(99, 99), 4.0f);
+}
+
+TEST(ImageTest, FillChannelTouchesOnlyThatChannel) {
+  ImageU8 img(2, 2, 3, 0);
+  img.FillChannel(1, 9);
+  for (int y = 0; y < 2; ++y) {
+    for (int x = 0; x < 2; ++x) {
+      EXPECT_EQ(img.at(x, y, 0), 0);
+      EXPECT_EQ(img.at(x, y, 1), 9);
+      EXPECT_EQ(img.at(x, y, 2), 0);
+    }
+  }
+}
+
+TEST(ImageTest, ToFloatToU8RoundTrip) {
+  ImageU8 img(3, 2, 3);
+  uint8_t v = 0;
+  for (auto& s : img.data()) s = v += 17;
+  const ImageU8 round = ToU8(ToFloat(img));
+  EXPECT_EQ(round, img);
+}
+
+TEST(ImageTest, ToU8Clamps) {
+  ImageF img(1, 1, 1);
+  img.at(0, 0) = 2.5f;
+  EXPECT_EQ(ToU8(img).at(0, 0), 255);
+  img.at(0, 0) = -1.0f;
+  EXPECT_EQ(ToU8(img).at(0, 0), 0);
+}
+
+TEST(ImageTest, ExtractChannel) {
+  ImageU8 img(2, 1, 3);
+  img.at(0, 0, 1) = 10;
+  img.at(1, 0, 1) = 20;
+  const ImageU8 g = ExtractChannel(img, 1);
+  EXPECT_EQ(g.channels(), 1);
+  EXPECT_EQ(g.at(0, 0), 10);
+  EXPECT_EQ(g.at(1, 0), 20);
+}
+
+TEST(ImageTest, CropTakesExactRegion) {
+  ImageU8 img(4, 4, 1);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      img.at(x, y) = static_cast<uint8_t>(y * 4 + x);
+    }
+  }
+  const ImageU8 crop = Crop(img, 1, 2, 2, 2);
+  EXPECT_EQ(crop.width(), 2);
+  EXPECT_EQ(crop.height(), 2);
+  EXPECT_EQ(crop.at(0, 0), 9);   // (1,2)
+  EXPECT_EQ(crop.at(1, 1), 14);  // (2,3)
+}
+
+TEST(ImageTest, FlipHorizontalMirrorsColumns) {
+  ImageU8 img(3, 1, 1);
+  img.at(0, 0) = 1;
+  img.at(1, 0) = 2;
+  img.at(2, 0) = 3;
+  const ImageU8 flipped = FlipHorizontal(img);
+  EXPECT_EQ(flipped.at(0, 0), 3);
+  EXPECT_EQ(flipped.at(1, 0), 2);
+  EXPECT_EQ(flipped.at(2, 0), 1);
+}
+
+TEST(ImageTest, FlipTwiceIsIdentity) {
+  ImageU8 img(5, 4, 3);
+  uint8_t v = 0;
+  for (auto& s : img.data()) s = ++v;
+  EXPECT_EQ(FlipHorizontal(FlipHorizontal(img)), img);
+}
+
+TEST(ImageTest, Rotate90Shapes) {
+  ImageU8 img(4, 2, 1);
+  const ImageU8 r1 = Rotate90(img, 1);
+  EXPECT_EQ(r1.width(), 2);
+  EXPECT_EQ(r1.height(), 4);
+  const ImageU8 r2 = Rotate90(img, 2);
+  EXPECT_EQ(r2.width(), 4);
+  EXPECT_EQ(r2.height(), 2);
+}
+
+TEST(ImageTest, RotateFourTimesIsIdentity) {
+  ImageU8 img(3, 5, 2);
+  uint8_t v = 0;
+  for (auto& s : img.data()) s = ++v;
+  ImageU8 rotated = img;
+  for (int i = 0; i < 4; ++i) rotated = Rotate90(rotated, 1);
+  EXPECT_EQ(rotated, img);
+}
+
+TEST(ImageTest, RotateNegativeEqualsComplement) {
+  ImageU8 img(3, 2, 1);
+  uint8_t v = 0;
+  for (auto& s : img.data()) s = ++v;
+  EXPECT_EQ(Rotate90(img, -1), Rotate90(img, 3));
+}
+
+TEST(ImageTest, Rotate90MovesPixelCorrectly) {
+  ImageU8 img(3, 2, 1, 0);
+  img.at(2, 0) = 99;  // top-right corner
+  // 90° CCW: top-right -> top-left (x=y, y=W-1-x).
+  const ImageU8 r = Rotate90(img, 1);
+  EXPECT_EQ(r.at(0, 0), 99);
+}
+
+}  // namespace
+}  // namespace cbix

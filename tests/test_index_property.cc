@@ -1,0 +1,332 @@
+// The central exactness property of the reproduction: every index
+// structure must return byte-identical result sets to a linear scan
+// under the same metric, for range and k-NN queries, across workload
+// distributions, dimensionalities and index configurations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/vector_workload.h"
+#include "distance/minkowski.h"
+#include "index/index.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/rtree.h"
+#include "index/vp_tree.h"
+
+namespace cbix {
+namespace {
+
+enum class IndexUnderTest {
+  kVpTree2,
+  kVpTree4,
+  kVpTree8,
+  kVpTreeRandom,
+  kVpTreeCorner,
+  kKdTree,
+  kRTreeStr,
+  kRTreeDynamic,
+};
+
+struct PropertyCase {
+  std::string name;
+  IndexUnderTest index;
+  VectorDistribution distribution;
+  size_t dim;
+  MinkowskiKind metric;
+};
+
+std::unique_ptr<VectorIndex> MakeIndexUnderTest(IndexUnderTest kind,
+                                                MinkowskiKind metric) {
+  switch (kind) {
+    case IndexUnderTest::kVpTree2: {
+      VpTreeOptions o;
+      o.arity = 2;
+      return std::make_unique<VpTree>(MakeMinkowskiMetric(metric), o);
+    }
+    case IndexUnderTest::kVpTree4: {
+      VpTreeOptions o;
+      o.arity = 4;
+      o.leaf_size = 8;
+      return std::make_unique<VpTree>(MakeMinkowskiMetric(metric), o);
+    }
+    case IndexUnderTest::kVpTree8: {
+      VpTreeOptions o;
+      o.arity = 8;
+      o.leaf_size = 4;
+      return std::make_unique<VpTree>(MakeMinkowskiMetric(metric), o);
+    }
+    case IndexUnderTest::kVpTreeRandom: {
+      VpTreeOptions o;
+      o.selection = VantageSelection::kRandom;
+      return std::make_unique<VpTree>(MakeMinkowskiMetric(metric), o);
+    }
+    case IndexUnderTest::kVpTreeCorner: {
+      VpTreeOptions o;
+      o.selection = VantageSelection::kCorner;
+      return std::make_unique<VpTree>(MakeMinkowskiMetric(metric), o);
+    }
+    case IndexUnderTest::kKdTree: {
+      KdTreeOptions o;
+      o.metric = metric;
+      o.leaf_size = 8;
+      return std::make_unique<KdTree>(o);
+    }
+    case IndexUnderTest::kRTreeStr: {
+      RTreeOptions o;
+      o.metric = metric;
+      return std::make_unique<RTree>(o);
+    }
+    case IndexUnderTest::kRTreeDynamic: {
+      RTreeOptions o;
+      o.metric = metric;
+      o.bulk_load = false;
+      o.max_entries = 8;
+      o.min_entries = 3;
+      return std::make_unique<RTree>(o);
+    }
+  }
+  return nullptr;
+}
+
+class IndexEquivalence : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(IndexEquivalence, MatchesLinearScan) {
+  const PropertyCase& param = GetParam();
+
+  VectorWorkloadSpec spec;
+  spec.distribution = param.distribution;
+  spec.count = 600;
+  spec.dim = param.dim;
+  spec.seed = 1234;
+  const std::vector<Vec> data = GenerateVectors(spec);
+
+  LinearScanIndex reference(MakeMinkowskiMetric(param.metric));
+  ASSERT_TRUE(reference.Build(data).ok());
+
+  auto index = MakeIndexUnderTest(param.index, param.metric);
+  ASSERT_TRUE(index->Build(data).ok());
+  ASSERT_EQ(index->size(), data.size());
+  ASSERT_EQ(index->dim(), param.dim);
+
+  const std::vector<Vec> queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 12, 0.03, 777);
+
+  // Pick radii that produce small, medium and large result sets.
+  for (const Vec& q : queries) {
+    const auto knn_ref = KnnSearch(reference, q, 10);
+    ASSERT_EQ(knn_ref.size(), 10u);
+    const double r_small = knn_ref[2].distance;
+    const double r_large = knn_ref[9].distance * 1.5;
+
+    for (double radius : {r_small, r_large}) {
+      SearchStats stats;
+      const auto got = index->RangeSearch(q, radius, &stats);
+      const auto want = RangeSearch(reference, q, radius);
+      ASSERT_EQ(got.size(), want.size())
+          << index->Name() << " radius=" << radius;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+        EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+      }
+    }
+
+    for (size_t k : {1ULL, 5ULL, 25ULL}) {
+      const auto got = KnnSearch(*index, q, k);
+      const auto want = KnnSearch(reference, q, k);
+      ASSERT_EQ(got.size(), want.size()) << index->Name() << " k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << index->Name() << " k=" << k;
+        EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+      }
+    }
+  }
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  const std::pair<IndexUnderTest, std::string> indexes[] = {
+      {IndexUnderTest::kVpTree2, "vp2"},
+      {IndexUnderTest::kVpTree4, "vp4"},
+      {IndexUnderTest::kVpTree8, "vp8"},
+      {IndexUnderTest::kVpTreeRandom, "vp_random"},
+      {IndexUnderTest::kVpTreeCorner, "vp_corner"},
+      {IndexUnderTest::kKdTree, "kd"},
+      {IndexUnderTest::kRTreeStr, "rtree_str"},
+      {IndexUnderTest::kRTreeDynamic, "rtree_dyn"},
+  };
+  const std::pair<VectorDistribution, std::string> distributions[] = {
+      {VectorDistribution::kUniform, "uniform"},
+      {VectorDistribution::kClustered, "clustered"},
+  };
+  const std::pair<MinkowskiKind, std::string> metrics[] = {
+      {MinkowskiKind::kL1, "l1"},
+      {MinkowskiKind::kL2, "l2"},
+      {MinkowskiKind::kLInf, "linf"},
+  };
+  for (const auto& [index, iname] : indexes) {
+    for (const auto& [dist, dname] : distributions) {
+      for (const auto& [metric, mname] : metrics) {
+        // Two dimensionalities: comfortable and curse-y.
+        for (size_t dim : {4ULL, 16ULL}) {
+          cases.push_back({iname + "_" + dname + "_" + mname + "_d" +
+                               std::to_string(dim),
+                           index, dist, dim, metric});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, IndexEquivalence, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------------------------------
+// Degenerate inputs, shared across implementations.
+
+class IndexEdgeCases
+    : public ::testing::TestWithParam<
+          std::pair<std::string, IndexUnderTest>> {};
+
+TEST_P(IndexEdgeCases, EmptyIndex) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  ASSERT_TRUE(index->Build({}).ok());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_TRUE(KnnSearch(*index, {}, 5).empty());
+  EXPECT_TRUE(RangeSearch(*index, {}, 1.0).empty());
+}
+
+TEST_P(IndexEdgeCases, SingleElement) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  ASSERT_TRUE(index->Build({{1.0f, 2.0f}}).ok());
+  const auto knn = KnnSearch(*index, {1.0f, 2.0f}, 3);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].id, 0u);
+  EXPECT_NEAR(knn[0].distance, 0.0, 1e-12);
+}
+
+TEST_P(IndexEdgeCases, AllDuplicateVectors) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  const std::vector<Vec> data(50, Vec{0.5f, 0.5f, 0.5f});
+  ASSERT_TRUE(index->Build(data).ok());
+  const auto hits = RangeSearch(*index, {0.5f, 0.5f, 0.5f}, 0.0);
+  EXPECT_EQ(hits.size(), 50u);
+  const auto knn = KnnSearch(*index, {0.5f, 0.5f, 0.5f}, 7);
+  ASSERT_EQ(knn.size(), 7u);
+  // Deterministic tie-break: ascending ids.
+  for (size_t i = 0; i < knn.size(); ++i) EXPECT_EQ(knn[i].id, i);
+}
+
+TEST_P(IndexEdgeCases, KLargerThanSize) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  VectorWorkloadSpec spec;
+  spec.count = 5;
+  spec.dim = 3;
+  ASSERT_TRUE(index->Build(GenerateVectors(spec)).ok());
+  EXPECT_EQ(KnnSearch(*index, Vec{0.5f, 0.5f, 0.5f}, 100).size(), 5u);
+}
+
+TEST_P(IndexEdgeCases, ZeroRadiusFindsExactMatchesOnly) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  VectorWorkloadSpec spec;
+  spec.count = 60;
+  spec.dim = 4;
+  std::vector<Vec> data = GenerateVectors(spec);
+  const Vec probe = data[17];
+  ASSERT_TRUE(index->Build(data).ok());
+  const auto hits = RangeSearch(*index, probe, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 17u);
+}
+
+TEST_P(IndexEdgeCases, InconsistentDimensionsRejected) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  const Status s = index->Build({{1.0f, 2.0f}, {1.0f}});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(IndexEdgeCases, RebuildReplacesContents) {
+  auto index = MakeIndexUnderTest(GetParam().second, MinkowskiKind::kL2);
+  ASSERT_TRUE(index->Build({{0.0f}, {1.0f}, {2.0f}}).ok());
+  ASSERT_TRUE(index->Build({{5.0f}}).ok());
+  EXPECT_EQ(index->size(), 1u);
+  const auto knn = KnnSearch(*index, {5.0f}, 10);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].id, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexEdgeCases,
+    ::testing::Values(
+        std::make_pair(std::string("vp2"), IndexUnderTest::kVpTree2),
+        std::make_pair(std::string("vp4"), IndexUnderTest::kVpTree4),
+        std::make_pair(std::string("kd"), IndexUnderTest::kKdTree),
+        std::make_pair(std::string("rtree_str"), IndexUnderTest::kRTreeStr),
+        std::make_pair(std::string("rtree_dyn"),
+                       IndexUnderTest::kRTreeDynamic)),
+    [](const ::testing::TestParamInfo<
+        std::pair<std::string, IndexUnderTest>>& info) {
+      return info.param.first;
+    });
+
+// --------------------------------------------------------------------------
+// Cost accounting sanity: trees must beat the scan on clustered data.
+
+TEST(IndexPruningTest, TreesEvaluateFewerDistancesThanScan) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = 4000;
+  spec.dim = 8;
+  spec.num_clusters = 32;
+  spec.cluster_sigma = 0.03;
+  const auto data = GenerateVectors(spec);
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 10, 0.01);
+
+  for (IndexUnderTest kind :
+       {IndexUnderTest::kVpTree4, IndexUnderTest::kKdTree,
+        IndexUnderTest::kRTreeStr}) {
+    auto index = MakeIndexUnderTest(kind, MinkowskiKind::kL2);
+    ASSERT_TRUE(index->Build(data).ok());
+    uint64_t total_evals = 0;
+    for (const Vec& q : queries) {
+      SearchStats stats;
+      index->KnnSearch(q, 5, &stats);
+      total_evals += stats.distance_evals;
+    }
+    const double mean_evals =
+        static_cast<double>(total_evals) / queries.size();
+    EXPECT_LT(mean_evals, 0.5 * static_cast<double>(data.size()))
+        << index->Name() << " failed to prune";
+  }
+}
+
+TEST(IndexStatsTest, StatsAccumulateAcrossCalls) {
+  VectorWorkloadSpec spec;
+  spec.count = 200;
+  spec.dim = 4;
+  VpTreeOptions o;
+  VpTree tree(MakeMinkowskiMetric(MinkowskiKind::kL2), o);
+  ASSERT_TRUE(tree.Build(GenerateVectors(spec)).ok());
+  SearchStats stats;
+  tree.KnnSearch(Vec{0.5f, 0.5f, 0.5f, 0.5f}, 5, &stats);
+  const uint64_t after_one = stats.distance_evals;
+  EXPECT_GT(after_one, 0u);
+  tree.KnnSearch(Vec{0.5f, 0.5f, 0.5f, 0.5f}, 5, &stats);
+  EXPECT_EQ(stats.distance_evals, 2 * after_one);
+}
+
+TEST(NeighborTest, OrderingIsDistanceThenId) {
+  const Neighbor a{1, 0.5}, b{2, 0.5}, c{0, 0.7};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(c < a);
+}
+
+}  // namespace
+}  // namespace cbix

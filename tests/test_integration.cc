@@ -1,0 +1,240 @@
+// Cross-module integration and failure-injection tests: the full
+// image → codec → features → index → query pipeline, persistence under
+// corruption, and engine equivalence across all index kinds (including
+// the dynamic M-tree).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/relevance_feedback.h"
+#include "corpus/corpus.h"
+#include "image/pnm_codec.h"
+#include "util/serialize.h"
+
+namespace cbix {
+namespace {
+
+std::vector<LabeledImage> SmallCorpus(int classes = 6, int per_class = 5,
+                                      int size = 48) {
+  CorpusSpec spec;
+  spec.num_classes = classes;
+  spec.images_per_class = per_class;
+  spec.width = spec.height = size;
+  return CorpusGenerator(spec).Generate();
+}
+
+FeatureExtractor FastExtractor() {
+  auto ex = MakeSingleDescriptorExtractor("color_hist", 48);
+  EXPECT_TRUE(ex.ok());
+  return ex.value();
+}
+
+TEST(IntegrationTest, FileRoundTripThroughEngine) {
+  // Write corpus images as PPM files, index them from disk, query with
+  // an in-memory image of the same scene: the codec must be lossless
+  // enough that the file-loaded twin is the top match.
+  const auto corpus = SmallCorpus(3, 2, 48);
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const std::string path = ::testing::TempDir() + "cbix_integ_" +
+                             std::to_string(i) + ".ppm";
+    ASSERT_TRUE(WritePnm(path, corpus[i].image).ok());
+    paths.push_back(path);
+  }
+
+  CbirEngine engine(FastExtractor());
+  for (const auto& path : paths) {
+    ASSERT_TRUE(engine.AddPnmFile(path).ok());
+  }
+  const auto result = engine.QueryKnn(corpus[4].image, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->at(0).name, paths[4]);
+  EXPECT_NEAR(result->at(0).distance, 0.0, 1e-9);
+
+  for (const auto& path : paths) std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, AllFiveIndexKindsReturnIdenticalRankings) {
+  const auto corpus = SmallCorpus();
+  std::vector<std::vector<CbirEngine::Match>> all_results;
+  for (IndexKind kind :
+       {IndexKind::kLinearScan, IndexKind::kVpTree, IndexKind::kKdTree,
+        IndexKind::kRTree, IndexKind::kMTree}) {
+    EngineConfig config;
+    config.index_kind = kind;
+    config.metric = MetricKind::kL2;
+    CbirEngine engine(FastExtractor(), config);
+    for (const auto& item : corpus) {
+      ASSERT_TRUE(
+          engine.AddImage(item.image, item.name, item.class_id).ok());
+    }
+    const auto result = engine.QueryKnn(corpus[11].image, 10);
+    ASSERT_TRUE(result.ok()) << IndexKindName(kind);
+    all_results.push_back(result.value());
+  }
+  for (size_t i = 1; i < all_results.size(); ++i) {
+    ASSERT_EQ(all_results[i].size(), all_results[0].size());
+    for (size_t j = 0; j < all_results[0].size(); ++j) {
+      EXPECT_EQ(all_results[i][j].id, all_results[0][j].id)
+          << "index kind " << i << " rank " << j;
+    }
+  }
+}
+
+TEST(IntegrationTest, MTreeEngineValidatesMetric) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kMTree;
+  config.metric = MetricKind::kCosine;  // not a metric
+  EXPECT_FALSE(MakeIndex(config).ok());
+  config.metric = MetricKind::kHellinger;  // metric, non-Minkowski: OK
+  EXPECT_TRUE(MakeIndex(config).ok());
+}
+
+TEST(IntegrationTest, RangeAndKnnConsistentThroughEngine) {
+  // The radius equal to the k-th neighbour distance must return a
+  // superset containing exactly the same leading ids.
+  CbirEngine engine(FastExtractor());
+  const auto corpus = SmallCorpus();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  const auto knn = engine.QueryKnn(corpus[3].image, 7);
+  ASSERT_TRUE(knn.ok());
+  const double radius = knn->back().distance;
+  const auto range = engine.QueryRange(corpus[3].image, radius);
+  ASSERT_TRUE(range.ok());
+  ASSERT_GE(range->size(), knn->size());
+  for (size_t i = 0; i < knn->size(); ++i) {
+    EXPECT_EQ(range->at(i).id, knn->at(i).id);
+  }
+}
+
+class PersistenceFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cbix_corrupt_test.db";
+    CbirEngine engine(FastExtractor());
+    const auto corpus = SmallCorpus(3, 3, 48);
+    for (const auto& item : corpus) {
+      ASSERT_TRUE(
+          engine.AddImage(item.image, item.name, item.class_id).ok());
+    }
+    ASSERT_TRUE(engine.Save(path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  long FileSize() {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    return size;
+  }
+
+  void CorruptByte(long offset, uint8_t value) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    std::fseek(f, offset, SEEK_SET);
+    std::fputc(value, f);
+    std::fclose(f);
+  }
+
+  void Truncate(long new_size) {
+    std::FILE* in = std::fopen(path_.c_str(), "rb");
+    std::vector<uint8_t> bytes(new_size);
+    ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), in), bytes.size());
+    std::fclose(in);
+    std::FILE* out = std::fopen(path_.c_str(), "wb");
+    std::fwrite(bytes.data(), 1, bytes.size(), out);
+    std::fclose(out);
+  }
+
+  std::string path_;
+};
+
+TEST_F(PersistenceFailureTest, FlippedPayloadByteDetected) {
+  CorruptByte(FileSize() / 2, 0x5a);
+  CbirEngine engine(FastExtractor());
+  const Status s = engine.Load(path_);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST_F(PersistenceFailureTest, TruncatedFileDetected) {
+  Truncate(FileSize() / 2);
+  CbirEngine engine(FastExtractor());
+  EXPECT_EQ(engine.Load(path_).code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceFailureTest, TruncatedHeaderDetected) {
+  Truncate(10);
+  CbirEngine engine(FastExtractor());
+  EXPECT_EQ(engine.Load(path_).code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceFailureTest, FlippedMagicDetected) {
+  CorruptByte(0, 0x00);
+  CbirEngine engine(FastExtractor());
+  EXPECT_EQ(engine.Load(path_).code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistenceFailureTest, IntactFileStillLoads) {
+  CbirEngine engine(FastExtractor());
+  EXPECT_TRUE(engine.Load(path_).ok());
+  EXPECT_EQ(engine.size(), 9u);
+}
+
+TEST(IntegrationTest, FeedbackLoopThroughEngine) {
+  // Exercise the full relevance-feedback interaction through the engine
+  // API: query, mark, refine, re-query.
+  CbirEngine engine(FastExtractor());
+  const auto corpus = SmallCorpus(5, 8, 48);
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  const Vec q0 = engine.ExtractFeatures(corpus[0].image);
+  const auto round1 = engine.QueryKnnByVector(q0, 10);
+  ASSERT_TRUE(round1.ok());
+
+  std::vector<Vec> relevant, irrelevant;
+  for (const auto& match : round1.value()) {
+    const Vec& features = engine.store().record(match.id).features;
+    (match.label == corpus[0].class_id ? relevant : irrelevant)
+        .push_back(features);
+  }
+  const auto refined = RocchioRefine(q0, relevant, irrelevant);
+  ASSERT_TRUE(refined.ok());
+  const auto round2 = engine.QueryKnnByVector(refined.value(), 10);
+  ASSERT_TRUE(round2.ok());
+  EXPECT_EQ(round2->size(), 10u);
+}
+
+TEST(IntegrationTest, DistortedQueriesStillRankSourceClassHigh) {
+  // Photometric robustness end-to-end: a mildly distorted image must
+  // rank its own class in the majority of the top 5.
+  CbirEngine engine(FastExtractor());
+  const auto corpus = SmallCorpus(5, 8, 64);
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+  Rng rng(3);
+  int majority = 0, total = 0;
+  for (size_t qi = 0; qi < corpus.size(); qi += 5) {
+    Distortion d = RandomDistortion(&rng, 0.25f);
+    d.flip_horizontal = false;
+    const ImageU8 distorted = ApplyDistortion(corpus[qi].image, d, qi);
+    const auto result = engine.QueryKnn(distorted, 5);
+    ASSERT_TRUE(result.ok());
+    int same = 0;
+    for (const auto& match : result.value()) {
+      if (match.label == corpus[qi].class_id) ++same;
+    }
+    majority += same >= 3;
+    ++total;
+  }
+  EXPECT_GE(majority * 10, total * 7);  // >= 70% of queries
+}
+
+}  // namespace
+}  // namespace cbix

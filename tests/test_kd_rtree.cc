@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "corpus/vector_workload.h"
+#include "index/kd_tree.h"
+#include "index/linear_scan.h"
+#include "index/rtree.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 5) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+TEST(KdTreeTest, NameAndDims) {
+  KdTreeOptions o;
+  o.metric = MinkowskiKind::kL1;
+  KdTree tree(o);
+  ASSERT_TRUE(tree.Build(ClusteredData(100, 5)).ok());
+  EXPECT_EQ(tree.dim(), 5u);
+  EXPECT_NE(tree.Name().find("l1"), std::string::npos);
+}
+
+TEST(KdTreeTest, MemoryGrowsWithData) {
+  KdTree small((KdTreeOptions()));
+  KdTree large((KdTreeOptions()));
+  ASSERT_TRUE(small.Build(ClusteredData(50, 4)).ok());
+  ASSERT_TRUE(large.Build(ClusteredData(500, 4)).ok());
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(KdTreeTest, PrunesInLowDimensions) {
+  KdTreeOptions o;
+  o.leaf_size = 8;
+  KdTree tree(o);
+  const auto data = ClusteredData(5000, 2);
+  ASSERT_TRUE(tree.Build(data).ok());
+  SearchStats stats;
+  tree.KnnSearch(data[42], 3, &stats);
+  // In 2-D a KD-tree should touch far less than 20% of the data.
+  EXPECT_LT(stats.distance_evals, 1000u);
+}
+
+TEST(RTreeTest, DynamicInsertMatchesBulkLoadResults) {
+  const auto data = ClusteredData(400, 6);
+
+  RTreeOptions bulk_opts;
+  RTree bulk(bulk_opts);
+  ASSERT_TRUE(bulk.Build(data).ok());
+
+  RTreeOptions dyn_opts;
+  dyn_opts.bulk_load = false;
+  RTree dynamic(dyn_opts);
+  ASSERT_TRUE(dynamic.Build(data).ok());
+
+  LinearScanIndex reference(MakeMinkowskiMetric(MinkowskiKind::kL2));
+  ASSERT_TRUE(reference.Build(data).ok());
+
+  for (int qi = 0; qi < 8; ++qi) {
+    const Vec& q = data[qi * 47 % data.size()];
+    const auto want = KnnSearch(reference, q, 9);
+    const auto got_bulk = KnnSearch(bulk, q, 9);
+    const auto got_dyn = KnnSearch(dynamic, q, 9);
+    ASSERT_EQ(got_bulk.size(), want.size());
+    ASSERT_EQ(got_dyn.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got_bulk[i].id, want[i].id);
+      EXPECT_EQ(got_dyn[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(RTreeTest, IncrementalInsertAfterBuild) {
+  RTreeOptions o;
+  o.bulk_load = false;
+  RTree tree(o);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(Vec{static_cast<float>(i), static_cast<float>(i % 7)})
+            .ok());
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  const auto hits = RangeSearch(tree, Vec{50.0f, 1.0f}, 0.5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 50u);
+}
+
+TEST(RTreeTest, InsertRejectsDimensionMismatch) {
+  RTree tree((RTreeOptions()));
+  ASSERT_TRUE(tree.Insert(Vec{1.0f, 2.0f}).ok());
+  EXPECT_EQ(tree.Insert(Vec{1.0f}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RTreeTest, BulkLoadHeightIsLogarithmic) {
+  RTreeOptions o;
+  o.max_entries = 16;
+  RTree tree(o);
+  ASSERT_TRUE(tree.Build(ClusteredData(4096, 4)).ok());
+  // ceil(log_16(4096/16)) + 1 = 3 levels; allow +1 slack for packing.
+  EXPECT_LE(tree.Height(), 4u);
+  EXPECT_GE(tree.Height(), 2u);
+}
+
+TEST(RTreeTest, DynamicTreeTallerButValid) {
+  RTreeOptions o;
+  o.bulk_load = false;
+  o.max_entries = 8;
+  o.min_entries = 3;
+  RTree tree(o);
+  ASSERT_TRUE(tree.Build(ClusteredData(1000, 4)).ok());
+  EXPECT_GE(tree.Height(), 3u);
+  // Exactness already covered by the property suite; sanity check here.
+  const auto knn = KnnSearch(tree, Vec(4, 0.5f), 5);
+  EXPECT_EQ(knn.size(), 5u);
+}
+
+TEST(RTreeTest, StrBulkLoadPrunesWell) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = 8000;
+  spec.dim = 4;
+  spec.num_clusters = 64;
+  spec.cluster_sigma = 0.02;
+  const auto data = GenerateVectors(spec);
+  RTree tree((RTreeOptions()));
+  ASSERT_TRUE(tree.Build(data).ok());
+  SearchStats stats;
+  tree.KnnSearch(data[100], 5, &stats);
+  EXPECT_LT(stats.distance_evals, 2000u);
+}
+
+TEST(RTreeTest, RangeSearchOnUniformGrid) {
+  // A regular 2-D grid makes expected counts exact: range r=1.0 (L2)
+  // around an interior lattice point covers the 4 axis neighbours +
+  // itself.
+  std::vector<Vec> grid;
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      grid.push_back({static_cast<float>(x), static_cast<float>(y)});
+    }
+  }
+  RTree tree((RTreeOptions()));
+  ASSERT_TRUE(tree.Build(grid).ok());
+  const auto hits = RangeSearch(tree, Vec{10.0f, 10.0f}, 1.0);
+  EXPECT_EQ(hits.size(), 5u);
+  const auto hits_diag = RangeSearch(tree, Vec{10.0f, 10.0f}, 1.5);
+  EXPECT_EQ(hits_diag.size(), 9u);  // + 4 diagonal neighbours
+}
+
+TEST(MinkowskiKindTest, NamesAndFactory) {
+  EXPECT_EQ(MinkowskiKindName(MinkowskiKind::kL1), "l1");
+  EXPECT_EQ(MinkowskiKindName(MinkowskiKind::kL2), "l2");
+  EXPECT_EQ(MinkowskiKindName(MinkowskiKind::kLInf), "linf");
+  const auto metric = MakeMinkowskiMetric(MinkowskiKind::kL1);
+  EXPECT_DOUBLE_EQ(metric->Distance({0, 0}, {1, 1}), 2.0);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,192 @@
+#include "index/m_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/vector_workload.h"
+#include "distance/histogram_measures.h"
+#include "distance/minkowski.h"
+#include "index/linear_scan.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> MakeData(size_t n, size_t dim, VectorDistribution dist,
+                          uint64_t seed = 11) {
+  VectorWorkloadSpec spec;
+  spec.distribution = dist;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+struct MTreeCase {
+  std::string name;
+  VectorDistribution distribution;
+  size_t dim;
+  size_t max_entries;
+};
+
+class MTreeEquivalence : public ::testing::TestWithParam<MTreeCase> {};
+
+TEST_P(MTreeEquivalence, MatchesLinearScan) {
+  const MTreeCase& param = GetParam();
+  const auto data = MakeData(700, param.dim, param.distribution);
+
+  auto metric = std::make_shared<L2Distance>();
+  LinearScanIndex reference(metric);
+  ASSERT_TRUE(reference.Build(data).ok());
+  MTree tree(metric, param.max_entries);
+  ASSERT_TRUE(tree.Build(data).ok());
+  ASSERT_EQ(tree.size(), data.size());
+
+  VectorWorkloadSpec spec;
+  spec.distribution = param.distribution;
+  spec.count = data.size();
+  spec.dim = param.dim;
+  const auto queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 10, 0.03, 55);
+
+  for (const Vec& q : queries) {
+    const auto knn_ref = KnnSearch(reference, q, 12);
+    for (size_t k : {1ULL, 6ULL, 12ULL}) {
+      const auto got = KnnSearch(tree, q, k);
+      const auto want = KnnSearch(reference, q, k);
+      ASSERT_EQ(got.size(), want.size()) << "k=" << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << "k=" << k;
+        EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+      }
+    }
+    for (double radius :
+         {knn_ref[3].distance, knn_ref[11].distance * 1.3}) {
+      const auto got = RangeSearch(tree, q, radius);
+      const auto want = RangeSearch(reference, q, radius);
+      ASSERT_EQ(got.size(), want.size()) << "radius=" << radius;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, MTreeEquivalence,
+    ::testing::Values(
+        MTreeCase{"uniform_d4_M16", VectorDistribution::kUniform, 4, 16},
+        MTreeCase{"uniform_d16_M16", VectorDistribution::kUniform, 16, 16},
+        MTreeCase{"clustered_d4_M8", VectorDistribution::kClustered, 4, 8},
+        MTreeCase{"clustered_d16_M16", VectorDistribution::kClustered, 16,
+                  16},
+        MTreeCase{"clustered_d8_M32", VectorDistribution::kClustered, 8,
+                  32},
+        MTreeCase{"correlated_d16_M16", VectorDistribution::kCorrelated,
+                  16, 16}),
+    [](const ::testing::TestParamInfo<MTreeCase>& info) {
+      return info.param.name;
+    });
+
+TEST(MTreeTest, IncrementalInsertStaysExact) {
+  // Insert in several batches, querying between batches: the dynamic
+  // behaviour the static VP-tree cannot offer.
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, 8);
+  LinearScanIndex reference(metric);
+  const auto data = MakeData(600, 8, VectorDistribution::kClustered);
+
+  std::vector<Vec> inserted;
+  for (size_t batch = 0; batch < 3; ++batch) {
+    for (size_t i = batch * 200; i < (batch + 1) * 200; ++i) {
+      ASSERT_TRUE(tree.Insert(data[i]).ok());
+      inserted.push_back(data[i]);
+    }
+    ASSERT_TRUE(reference.Build(inserted).ok());
+    const Vec& q = data[batch * 37];
+    const auto got = KnnSearch(tree, q, 9);
+    const auto want = KnnSearch(reference, q, 9);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "batch " << batch;
+    }
+  }
+}
+
+TEST(MTreeTest, HeightGrowsLogarithmically) {
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, 16);
+  ASSERT_TRUE(
+      tree.Build(MakeData(4000, 8, VectorDistribution::kClustered)).ok());
+  EXPECT_GE(tree.Height(), 2u);
+  EXPECT_LE(tree.Height(), 6u);
+}
+
+TEST(MTreeTest, PrunesOnClusteredData) {
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, 16);
+  const auto data = MakeData(5000, 8, VectorDistribution::kClustered);
+  ASSERT_TRUE(tree.Build(data).ok());
+  SearchStats stats;
+  tree.KnnSearch(data[123], 5, &stats);
+  EXPECT_LT(stats.distance_evals, data.size() / 2);
+}
+
+TEST(MTreeTest, WorksWithHellingerMetric) {
+  auto metric = std::make_shared<HellingerDistance>();
+  auto data = MakeData(400, 8, VectorDistribution::kUniform);
+  for (auto& v : data) {
+    float mass = 0;
+    for (float x : v) mass += x;
+    for (auto& x : v) x /= mass;
+  }
+  MTree tree(metric, 12);
+  LinearScanIndex reference(metric);
+  ASSERT_TRUE(tree.Build(data).ok());
+  ASSERT_TRUE(reference.Build(data).ok());
+  const auto got = KnnSearch(tree, data[7], 10);
+  const auto want = KnnSearch(reference, data[7], 10);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id);
+  }
+}
+
+TEST(MTreeTest, EdgeCases) {
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, 8);
+  ASSERT_TRUE(tree.Build({}).ok());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(KnnSearch(tree, {}, 3).empty());
+
+  ASSERT_TRUE(tree.Build({{1.0f, 1.0f}}).ok());
+  const auto knn = KnnSearch(tree, {1.0f, 1.0f}, 5);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].id, 0u);
+
+  // All-duplicates: splits must not loop forever.
+  const std::vector<Vec> dups(100, Vec{0.3f, 0.7f});
+  ASSERT_TRUE(tree.Build(dups).ok());
+  EXPECT_EQ(RangeSearch(tree, {0.3f, 0.7f}, 0.0).size(), 100u);
+
+  EXPECT_EQ(tree.Insert(Vec{1.0f}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MTreeTest, BuildCountsDistanceEvals) {
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, 16);
+  ASSERT_TRUE(
+      tree.Build(MakeData(500, 4, VectorDistribution::kClustered)).ok());
+  EXPECT_GT(tree.build_distance_evals(), 500u);
+}
+
+TEST(MTreeTest, NameAndMemory) {
+  auto metric = std::make_shared<L1Distance>();
+  MTree tree(metric, 20);
+  ASSERT_TRUE(
+      tree.Build(MakeData(300, 4, VectorDistribution::kUniform)).ok());
+  EXPECT_NE(tree.Name().find("M=20"), std::string::npos);
+  EXPECT_NE(tree.Name().find("l1"), std::string::npos);
+  EXPECT_GT(tree.MemoryBytes(), 300u * 4u * sizeof(float));
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/matrix.h"
+#include "util/stats.h"
+
+namespace cbix {
+namespace {
+
+TEST(MatrixTest, IdentityAndAccess) {
+  Matrix m = Matrix::Identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m(0, 1), 0.0);
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) a(r, c) = ++v;
+  }
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(2, 1), a(1, 2));
+  const Matrix tt = t.Transposed();
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(tt(r, c), a(r, c));
+  }
+}
+
+TEST(MatrixTest, ApplyMatchesManualProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = -1; a(1, 1) = 3;
+  const std::vector<double> y = a.Apply({4.0, 5.0});
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 11.0);
+}
+
+TEST(JacobiTest, DiagonalMatrixEigenvaluesSorted) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const EigenDecomposition e = JacobiEigenSymmetric(m);
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2; m(0, 1) = 1;
+  m(1, 0) = 1; m(1, 1) = 2;
+  const EigenDecomposition e = JacobiEigenSymmetric(m);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(e.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(e.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  // A = V diag(L) V^T must reproduce the input.
+  Matrix m(4, 4);
+  const double vals[4][4] = {{4, 1, 0.5, 0},
+                             {1, 3, 0.2, 0.1},
+                             {0.5, 0.2, 2, 0.3},
+                             {0, 0.1, 0.3, 1}};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) m(r, c) = vals[r][c];
+  }
+  const EigenDecomposition e = JacobiEigenSymmetric(m);
+  Matrix reconstructed(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < 4; ++k) {
+        acc += e.vectors(i, k) * e.values[k] * e.vectors(j, k);
+      }
+      reconstructed(i, j) = acc;
+    }
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), m(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal) {
+  Matrix m(3, 3);
+  m(0, 0) = 2; m(0, 1) = 1; m(0, 2) = 0;
+  m(1, 0) = 1; m(1, 1) = 2; m(1, 2) = 1;
+  m(2, 0) = 0; m(2, 1) = 1; m(2, 2) = 2;
+  const EigenDecomposition e = JacobiEigenSymmetric(m);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < 3; ++k) {
+        dot += e.vectors(k, i) * e.vectors(k, j);
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(CovarianceTest, KnownTwoDimensional) {
+  // Perfectly anti-correlated pairs.
+  const std::vector<std::vector<double>> rows = {{1, -1}, {-1, 1}};
+  const Matrix cov = Covariance(rows);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), -1.0, 1e-12);
+}
+
+TEST(CovarianceTest, ConstantDataHasZeroCovariance) {
+  const std::vector<std::vector<double>> rows(5, {2.0, 3.0});
+  const Matrix cov = Covariance(rows);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_NEAR(cov(i, j), 0.0, 1e-12);
+  }
+}
+
+TEST(StatsAccumulatorTest, BasicMoments) {
+  StatsAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 2.0);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatsAccumulatorTest, SingleValue) {
+  StatsAccumulator acc;
+  acc.Add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.Variance(), 0.0);
+}
+
+TEST(PercentileTest, KnownQuantiles) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 12.5), 1.5);  // interpolated
+}
+
+TEST(PercentileTest, EmptyAndClamped) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 200), 7.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/draw.h"
+#include "image/glcm.h"
+#include "image/moments.h"
+
+namespace cbix {
+namespace {
+
+ImageF CircleImage(int size, float cx, float cy, float r) {
+  ImageF img(size, size, 1, 0.0f);
+  FillCircle(&img, cx, cy, r, {1.0f, 1.0f, 1.0f});
+  return img;
+}
+
+TEST(MomentsTest, CentroidOfCircle) {
+  const ImageF img = CircleImage(64, 20.0f, 30.0f, 8.0f);
+  const Moments m = ComputeMoments(img);
+  EXPECT_NEAR(m.cx, 20.0, 0.5);
+  EXPECT_NEAR(m.cy, 30.0, 0.5);
+  EXPECT_GT(m.m00, 150.0);  // ~pi*64
+}
+
+TEST(MomentsTest, EmptyImageDefaults) {
+  ImageF img(10, 10, 1, 0.0f);
+  const Moments m = ComputeMoments(img);
+  EXPECT_EQ(m.m00, 0.0);
+  EXPECT_EQ(m.cx, 5.0);
+  EXPECT_EQ(m.cy, 5.0);
+  EXPECT_EQ(Eccentricity(m), 0.0);
+}
+
+TEST(MomentsTest, CentralMomentsTranslationInvariant) {
+  const ImageF a = CircleImage(64, 20.0f, 20.0f, 7.0f);
+  const ImageF b = CircleImage(64, 40.0f, 35.0f, 7.0f);
+  const Moments ma = ComputeMoments(a);
+  const Moments mb = ComputeMoments(b);
+  EXPECT_NEAR(ma.mu20, mb.mu20, std::fabs(ma.mu20) * 0.05 + 1.0);
+  EXPECT_NEAR(ma.mu02, mb.mu02, std::fabs(ma.mu02) * 0.05 + 1.0);
+  EXPECT_NEAR(ma.mu11, mb.mu11, std::fabs(ma.mu20) * 0.05 + 1.0);
+}
+
+TEST(MomentsTest, HuInvariantUnderScale) {
+  const ImageF small = CircleImage(96, 48.0f, 48.0f, 10.0f);
+  const ImageF big = CircleImage(96, 48.0f, 48.0f, 25.0f);
+  const auto hu_small = HuMoments(ComputeMoments(small));
+  const auto hu_big = HuMoments(ComputeMoments(big));
+  // First Hu invariant: compare with generous tolerance (rasterization).
+  EXPECT_NEAR(hu_small[0], hu_big[0], hu_small[0] * 0.05);
+}
+
+TEST(MomentsTest, HuInvariantUnderRotation) {
+  // A bar rotated 90° must keep its Hu invariants.
+  ImageF bar(64, 64, 1, 0.0f);
+  FillRect(&bar, 12, 28, 52, 36, {1, 1, 1});
+  ImageF bar_rot(64, 64, 1, 0.0f);
+  FillRect(&bar_rot, 28, 12, 36, 52, {1, 1, 1});
+  const auto hu_a = HuMoments(ComputeMoments(bar));
+  const auto hu_b = HuMoments(ComputeMoments(bar_rot));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(hu_a[i], hu_b[i],
+                std::max(1e-12, std::fabs(hu_a[i]) * 0.02))
+        << "hu[" << i << "]";
+  }
+}
+
+TEST(MomentsTest, EccentricityCircleVsBar) {
+  const ImageF circle = CircleImage(64, 32.0f, 32.0f, 14.0f);
+  ImageF bar(64, 64, 1, 0.0f);
+  FillRect(&bar, 4, 30, 60, 34, {1, 1, 1});
+  const double ecc_circle = Eccentricity(ComputeMoments(circle));
+  const double ecc_bar = Eccentricity(ComputeMoments(bar));
+  EXPECT_LT(ecc_circle, 0.2);
+  EXPECT_GT(ecc_bar, 0.9);
+}
+
+TEST(MomentsTest, PrincipalOrientationOfTiltedBar) {
+  // Horizontal bar: orientation ~0.
+  ImageF bar(64, 64, 1, 0.0f);
+  FillRect(&bar, 8, 30, 56, 34, {1, 1, 1});
+  EXPECT_NEAR(PrincipalOrientation(ComputeMoments(bar)), 0.0, 0.05);
+  // Vertical bar: orientation ~±pi/2.
+  ImageF vbar(64, 64, 1, 0.0f);
+  FillRect(&vbar, 30, 8, 34, 56, {1, 1, 1});
+  EXPECT_NEAR(std::fabs(PrincipalOrientation(ComputeMoments(vbar))),
+              M_PI / 2, 0.05);
+}
+
+// --------------------------------------------------------------------------
+// GLCM
+
+ImageF CheckerImage(int size, int period) {
+  ImageF img(size, size, 1);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      img.at(x, y) = ((x / period + y / period) % 2 == 0) ? 0.1f : 0.9f;
+    }
+  }
+  return img;
+}
+
+TEST(GlcmTest, ProbabilitiesSumToOne) {
+  const ImageF img = CheckerImage(32, 4);
+  const Glcm glcm(img, 8, 1, 0);
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) sum += glcm.at(i, j);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GlcmTest, SymmetricMode) {
+  const ImageF img = CheckerImage(32, 4);
+  const Glcm glcm(img, 8, 1, 0, /*symmetric=*/true);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(glcm.at(i, j), glcm.at(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(GlcmTest, ConstantImageIsMaximallyHomogeneous) {
+  ImageF img(16, 16, 1, 0.5f);
+  const Glcm glcm(img, 8, 1, 0);
+  EXPECT_NEAR(glcm.Energy(), 1.0, 1e-9);       // all mass in one cell
+  EXPECT_NEAR(glcm.Entropy(), 0.0, 1e-9);
+  EXPECT_NEAR(glcm.Contrast(), 0.0, 1e-9);
+  EXPECT_NEAR(glcm.Homogeneity(), 1.0, 1e-9);
+  EXPECT_NEAR(glcm.MaxProbability(), 1.0, 1e-9);
+}
+
+TEST(GlcmTest, FineCheckerHasHighContrastAtPeriodOffset) {
+  // Period-1 checker: horizontal neighbours always differ -> all mass
+  // off-diagonal -> contrast high, homogeneity low.
+  const ImageF img = CheckerImage(32, 1);
+  const Glcm glcm(img, 8, 1, 0);
+  EXPECT_GT(glcm.Contrast(), 10.0);
+  EXPECT_LT(glcm.Homogeneity(), 0.3);
+  // Smooth noise-free two-level texture still has low entropy (2 cells).
+  EXPECT_LT(glcm.Entropy(), 1.1);
+}
+
+TEST(GlcmTest, CoarseCheckerSmootherThanFine) {
+  const Glcm fine(CheckerImage(32, 1), 8, 1, 0);
+  const Glcm coarse(CheckerImage(32, 8), 8, 1, 0);
+  EXPECT_GT(fine.Contrast(), coarse.Contrast());
+  EXPECT_LT(fine.Homogeneity(), coarse.Homogeneity());
+}
+
+TEST(GlcmTest, CorrelationOfGradientIsHigh) {
+  // A smooth ramp: neighbouring pixels have very similar levels.
+  ImageF img(32, 32, 1);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) img.at(x, y) = x / 32.0f;
+  }
+  const Glcm glcm(img, 16, 1, 0);
+  EXPECT_GT(glcm.Correlation(), 0.9);
+}
+
+TEST(GlcmTest, DegenerateCorrelationIsZero) {
+  ImageF img(8, 8, 1, 0.5f);
+  const Glcm glcm(img, 8, 1, 0);
+  EXPECT_EQ(glcm.Correlation(), 0.0);
+}
+
+TEST(GlcmTest, StandardOffsetsAreFourDirections) {
+  const auto offsets = StandardGlcmOffsets(2);
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(offsets[2], (std::pair<int, int>{0, -2}));
+}
+
+TEST(GlcmTest, PairCountMatchesGeometry) {
+  // 4x4 image, offset (1,0): 3 pairs per row * 4 rows, doubled symmetric.
+  ImageF img(4, 4, 1, 0.5f);
+  const Glcm glcm(img, 4, 1, 0, /*symmetric=*/true);
+  EXPECT_EQ(glcm.pair_count(), 24.0);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,140 @@
+#include "features/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+/// Data lying exactly on a line in 3-D (one principal direction).
+std::vector<Vec> LineData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> out;
+  for (size_t i = 0; i < n; ++i) {
+    const float t = static_cast<float>(rng.Gaussian());
+    out.push_back({1.0f + 2.0f * t, 2.0f - 1.0f * t, 0.5f + 0.5f * t});
+  }
+  return out;
+}
+
+TEST(PcaTest, RejectsDegenerateInputs) {
+  Pca pca;
+  EXPECT_EQ(pca.Fit({}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pca.Fit({{1.0f}}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(pca.Fit({{1.0f, 2.0f}, {1.0f}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PcaTest, OneDominantComponentOnLineData) {
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(LineData(300, 1)).ok());
+  ASSERT_EQ(pca.eigenvalues().size(), 3u);
+  EXPECT_GT(pca.eigenvalues()[0], 1.0);
+  EXPECT_NEAR(pca.eigenvalues()[1], 0.0, 1e-6);
+  EXPECT_NEAR(pca.ExplainedVariance(1), 1.0, 1e-6);
+  EXPECT_EQ(pca.ComponentsForVariance(0.99), 1u);
+}
+
+TEST(PcaTest, ProjectionReconstructionExactOnSubspaceData) {
+  Pca pca;
+  const auto data = LineData(200, 2);
+  ASSERT_TRUE(pca.Fit(data).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    const Vec proj = pca.Project(data[i], 1);
+    ASSERT_EQ(proj.size(), 1u);
+    const Vec rec = pca.Reconstruct(proj);
+    ASSERT_EQ(rec.size(), 3u);
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(rec[j], data[i][j], 1e-3);
+    }
+  }
+}
+
+TEST(PcaTest, FullProjectionIsLossless) {
+  Rng rng(3);
+  std::vector<Vec> data;
+  for (int i = 0; i < 100; ++i) {
+    Vec v(5);
+    for (auto& x : v) x = static_cast<float>(rng.NextDouble());
+    data.push_back(v);
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data).ok());
+  for (int i = 0; i < 10; ++i) {
+    const Vec rec = pca.Reconstruct(pca.Project(data[i], 5));
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(rec[j], data[i][j], 1e-4);
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceMonotone) {
+  Rng rng(4);
+  std::vector<Vec> data;
+  for (int i = 0; i < 150; ++i) {
+    Vec v(6);
+    for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+    data.push_back(v);
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data).ok());
+  double prev = 0.0;
+  for (size_t k = 1; k <= 6; ++k) {
+    const double ev = pca.ExplainedVariance(k);
+    EXPECT_GE(ev, prev - 1e-12);
+    prev = ev;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(PcaTest, ReconstructionErrorDecreasesWithK) {
+  Rng rng(5);
+  std::vector<Vec> data;
+  for (int i = 0; i < 200; ++i) {
+    // Anisotropic Gaussian: distinct variances per dimension.
+    Vec v(4);
+    v[0] = static_cast<float>(rng.Gaussian(0, 4.0));
+    v[1] = static_cast<float>(rng.Gaussian(0, 2.0));
+    v[2] = static_cast<float>(rng.Gaussian(0, 1.0));
+    v[3] = static_cast<float>(rng.Gaussian(0, 0.5));
+    data.push_back(v);
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data).ok());
+  auto mean_error = [&](size_t k) {
+    double total = 0;
+    for (const auto& v : data) {
+      const Vec rec = pca.Reconstruct(pca.Project(v, k));
+      for (size_t j = 0; j < v.size(); ++j) {
+        total += (rec[j] - v[j]) * (rec[j] - v[j]);
+      }
+    }
+    return total;
+  };
+  double prev = mean_error(1);
+  for (size_t k = 2; k <= 4; ++k) {
+    const double err = mean_error(k);
+    EXPECT_LE(err, prev + 1e-6);
+    prev = err;
+  }
+  EXPECT_NEAR(mean_error(4), 0.0, 1e-3);
+}
+
+TEST(PcaTest, EigenvaluesMatchAxisVariances) {
+  Rng rng(6);
+  std::vector<Vec> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back({static_cast<float>(rng.Gaussian(0, 3.0)),
+                    static_cast<float>(rng.Gaussian(0, 1.0))});
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data).ok());
+  EXPECT_NEAR(pca.eigenvalues()[0], 9.0, 0.4);
+  EXPECT_NEAR(pca.eigenvalues()[1], 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace cbix

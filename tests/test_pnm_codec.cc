@@ -1,0 +1,132 @@
+#include "image/pnm_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cbix {
+namespace {
+
+ImageU8 MakeTestImage(int w, int h, int channels) {
+  ImageU8 img(w, h, channels);
+  uint8_t v = 0;
+  for (auto& s : img.data()) s = v += 31;
+  return img;
+}
+
+TEST(PnmCodecTest, EncodeDecodeRoundTripP6) {
+  const ImageU8 img = MakeTestImage(7, 5, 3);
+  const auto encoded = EncodePnm(img);
+  ASSERT_TRUE(encoded.ok());
+  const auto decoded = DecodePnm(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), img);
+}
+
+TEST(PnmCodecTest, EncodeDecodeRoundTripP5) {
+  const ImageU8 img = MakeTestImage(9, 4, 1);
+  const auto encoded = EncodePnm(img);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_GE(encoded.value().size(), 2u);
+  EXPECT_EQ(encoded.value()[1], '5');
+  const auto decoded = DecodePnm(encoded.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), img);
+}
+
+TEST(PnmCodecTest, DecodeAsciiP2) {
+  const std::string text = "P2\n# comment\n3 2\n255\n0 10 20\n30 40 255\n";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  const auto decoded = DecodePnm(bytes);
+  ASSERT_TRUE(decoded.ok());
+  const ImageU8& img = decoded.value();
+  EXPECT_EQ(img.width(), 3);
+  EXPECT_EQ(img.height(), 2);
+  EXPECT_EQ(img.channels(), 1);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(1, 0), 10);
+  EXPECT_EQ(img.at(2, 1), 255);
+}
+
+TEST(PnmCodecTest, DecodeAsciiP3) {
+  const std::string text = "P3 2 1 255  1 2 3  4 5 6";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  const auto decoded = DecodePnm(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->channels(), 3);
+  EXPECT_EQ(decoded->at(0, 0, 0), 1);
+  EXPECT_EQ(decoded->at(1, 0, 2), 6);
+}
+
+TEST(PnmCodecTest, CommentsEverywhere) {
+  const std::string text =
+      "P2\n#a\n 2 #b\n 1\n# c\n255\n# d\n7 8\n";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  const auto decoded = DecodePnm(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->at(0, 0), 7);
+  EXPECT_EQ(decoded->at(1, 0), 8);
+}
+
+TEST(PnmCodecTest, MaxvalRescaling) {
+  const std::string text = "P2 2 1 15 0 15";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  const auto decoded = DecodePnm(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->at(0, 0), 0);
+  EXPECT_EQ(decoded->at(1, 0), 255);
+}
+
+TEST(PnmCodecTest, RejectsBadMagic) {
+  const std::string text = "Q5 2 2 255 ....";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(DecodePnm(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmCodecTest, RejectsUnsupportedVariant) {
+  const std::string text = "P4\n2 2\n";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(DecodePnm(bytes).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PnmCodecTest, RejectsTruncatedRaster) {
+  std::string text = "P5 4 4 255 ";
+  text += "only-few";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(DecodePnm(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmCodecTest, RejectsSampleAboveMaxval) {
+  const std::string text = "P2 1 1 100 200";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(DecodePnm(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmCodecTest, RejectsZeroDimensions) {
+  const std::string text = "P2 0 2 255";
+  const std::vector<uint8_t> bytes(text.begin(), text.end());
+  EXPECT_EQ(DecodePnm(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmCodecTest, EncodeRejectsTwoChannelImage) {
+  const ImageU8 img(2, 2, 2);
+  EXPECT_EQ(EncodePnm(img).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PnmCodecTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "cbix_pnm_test.ppm";
+  const ImageU8 img = MakeTestImage(12, 8, 3);
+  ASSERT_TRUE(WritePnm(path, img).ok());
+  const auto loaded = ReadPnm(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), img);
+  std::remove(path.c_str());
+}
+
+TEST(PnmCodecTest, ReadMissingFileIsIoError) {
+  EXPECT_EQ(ReadPnm("/nonexistent/____cbix.ppm").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cbix

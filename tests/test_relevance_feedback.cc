@@ -1,0 +1,122 @@
+#include "core/relevance_feedback.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/retrieval_metrics.h"
+#include "corpus/corpus.h"
+#include "distance/minkowski.h"
+
+namespace cbix {
+namespace {
+
+TEST(RocchioTest, NoFeedbackScalesQueryByAlpha) {
+  const Vec q{1.0f, 2.0f};
+  const auto refined = RocchioRefine(q, {}, {}, {.alpha = 2.0});
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined.value(), (Vec{2.0f, 4.0f}));
+}
+
+TEST(RocchioTest, MovesTowardRelevantCentroid) {
+  const Vec q{0.0f, 0.0f};
+  const std::vector<Vec> relevant{{1.0f, 0.0f}, {3.0f, 0.0f}};
+  RocchioParams params;
+  params.alpha = 1.0;
+  params.beta = 0.5;
+  params.gamma = 0.0;
+  const auto refined = RocchioRefine(q, relevant, {}, params);
+  ASSERT_TRUE(refined.ok());
+  // centroid (2, 0) * beta 0.5 = (1, 0).
+  EXPECT_NEAR(refined->at(0), 1.0f, 1e-6);
+  EXPECT_NEAR(refined->at(1), 0.0f, 1e-6);
+}
+
+TEST(RocchioTest, PushesAwayFromIrrelevantAndClamps) {
+  const Vec q{0.2f, 0.2f};
+  const std::vector<Vec> irrelevant{{1.0f, 0.0f}};
+  RocchioParams params;
+  params.gamma = 0.5;
+  const auto refined = RocchioRefine(q, {}, irrelevant, params);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_NEAR(refined->at(0), 0.0f, 1e-6);  // 0.2 - 0.5 clamped to 0
+  EXPECT_NEAR(refined->at(1), 0.2f, 1e-6);
+}
+
+TEST(RocchioTest, ClampCanBeDisabled) {
+  const Vec q{0.2f, 0.2f};
+  const std::vector<Vec> irrelevant{{1.0f, 0.0f}};
+  RocchioParams params;
+  params.gamma = 0.5;
+  params.clamp_non_negative = false;
+  const auto refined = RocchioRefine(q, {}, irrelevant, params);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_NEAR(refined->at(0), -0.3f, 1e-6);
+}
+
+TEST(RocchioTest, RejectsDimensionMismatch) {
+  const Vec q{1.0f, 2.0f};
+  EXPECT_FALSE(RocchioRefine(q, {{1.0f}}, {}).ok());
+  EXPECT_FALSE(RocchioRefine(q, {}, {{1.0f, 2.0f, 3.0f}}).ok());
+  EXPECT_FALSE(RocchioRefine({}, {}, {}).ok());
+}
+
+TEST(RocchioTest, FeedbackImprovesRetrievalOnCorpus) {
+  // End-to-end: one round of positive/negative feedback must improve
+  // precision for a class whose first query was mediocre.
+  CorpusSpec spec;
+  spec.num_classes = 8;
+  spec.images_per_class = 12;
+  spec.width = spec.height = 64;
+  const auto corpus = CorpusGenerator(spec).Generate();
+
+  auto extractor = MakeSingleDescriptorExtractor("color_hist", 64);
+  ASSERT_TRUE(extractor.ok());
+  CbirEngine engine(extractor.value());
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+
+  double initial_p10_sum = 0.0, refined_p10_sum = 0.0;
+  int evaluated = 0;
+  for (size_t qi = 0; qi < corpus.size(); qi += 7) {
+    const int32_t label = corpus[qi].class_id;
+    const Vec q0 = engine.ExtractFeatures(corpus[qi].image);
+
+    const auto round1 = engine.QueryKnnByVector(q0, 20);
+    ASSERT_TRUE(round1.ok());
+    std::vector<int32_t> labels1;
+    std::vector<Vec> relevant, irrelevant;
+    for (const auto& match : round1.value()) {
+      if (match.id == qi) continue;
+      labels1.push_back(match.label);
+      const Vec& features = engine.store().record(match.id).features;
+      if (match.label == label) {
+        relevant.push_back(features);
+      } else {
+        irrelevant.push_back(features);
+      }
+    }
+    const double p1 = PrecisionAtK(labels1, label, 10);
+
+    const auto refined = RocchioRefine(q0, relevant, irrelevant);
+    ASSERT_TRUE(refined.ok());
+    const auto round2 = engine.QueryKnnByVector(refined.value(), 20);
+    ASSERT_TRUE(round2.ok());
+    std::vector<int32_t> labels2;
+    for (const auto& match : round2.value()) {
+      if (match.id == qi) continue;
+      labels2.push_back(match.label);
+    }
+    const double p2 = PrecisionAtK(labels2, label, 10);
+
+    initial_p10_sum += p1;
+    refined_p10_sum += p2;
+    ++evaluated;
+  }
+  ASSERT_GT(evaluated, 10);
+  // Mean precision after feedback must not degrade, and should improve.
+  EXPECT_GE(refined_p10_sum, initial_p10_sum);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "image/integral.h"
+#include "image/resize.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+ImageF RandomImage(int w, int h, uint64_t seed) {
+  Rng rng(seed);
+  ImageF img(w, h, 1);
+  for (auto& v : img.data()) v = static_cast<float>(rng.NextDouble());
+  return img;
+}
+
+TEST(ResizeTest, SameSizeIsIdentity) {
+  const ImageF img = RandomImage(10, 8, 1);
+  EXPECT_EQ(Resize(img, 10, 8), img);
+}
+
+TEST(ResizeTest, OutputShape) {
+  const ImageF img = RandomImage(16, 12, 2);
+  const ImageF out = Resize(img, 7, 5);
+  EXPECT_EQ(out.width(), 7);
+  EXPECT_EQ(out.height(), 5);
+  EXPECT_EQ(out.channels(), 1);
+}
+
+TEST(ResizeTest, ConstantImageStaysConstant) {
+  ImageF img(9, 9, 3, 0.6f);
+  for (auto filter : {ResizeFilter::kNearest, ResizeFilter::kBilinear}) {
+    const ImageF out = Resize(img, 17, 3, filter);
+    for (float v : out.data()) EXPECT_NEAR(v, 0.6f, 1e-6);
+  }
+}
+
+TEST(ResizeTest, BilinearValuesWithinInputRange) {
+  const ImageF img = RandomImage(13, 11, 4);
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : img.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const ImageF out = Resize(img, 29, 31);
+  for (float v : out.data()) {
+    EXPECT_GE(v, lo - 1e-6f);
+    EXPECT_LE(v, hi + 1e-6f);
+  }
+}
+
+TEST(ResizeTest, Upscale2xNearestReplicatesPixels) {
+  ImageF img(2, 2, 1);
+  img.at(0, 0) = 0.1f;
+  img.at(1, 0) = 0.2f;
+  img.at(0, 1) = 0.3f;
+  img.at(1, 1) = 0.4f;
+  const ImageF out = Resize(img, 4, 4, ResizeFilter::kNearest);
+  EXPECT_EQ(out.at(0, 0), 0.1f);
+  EXPECT_EQ(out.at(1, 1), 0.1f);
+  EXPECT_EQ(out.at(2, 0), 0.2f);
+  EXPECT_EQ(out.at(3, 3), 0.4f);
+}
+
+TEST(ResizeTest, DownscalePreservesMeanApproximately) {
+  const ImageF img = RandomImage(64, 64, 6);
+  const ImageF out = Resize(img, 16, 16);
+  double mean_in = 0, mean_out = 0;
+  for (float v : img.data()) mean_in += v;
+  for (float v : out.data()) mean_out += v;
+  mean_in /= img.data().size();
+  mean_out /= out.data().size();
+  EXPECT_NEAR(mean_in, mean_out, 0.03);
+}
+
+TEST(ResizeTest, U8Overload) {
+  ImageU8 img(8, 8, 3, 100);
+  const ImageU8 out = Resize(img, 4, 4);
+  EXPECT_EQ(out.width(), 4);
+  for (uint8_t v : out.data()) EXPECT_EQ(v, 100);
+}
+
+TEST(IntegralImageTest, MatchesBruteForceSums) {
+  const ImageF img = RandomImage(17, 13, 8);
+  const IntegralImage integral(img);
+  Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    int x0 = static_cast<int>(rng.NextBelow(17));
+    int x1 = static_cast<int>(rng.NextBelow(17));
+    int y0 = static_cast<int>(rng.NextBelow(13));
+    int y1 = static_cast<int>(rng.NextBelow(13));
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    double expected = 0.0;
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) expected += img.at(x, y);
+    }
+    EXPECT_NEAR(integral.RectSum(x0, y0, x1, y1), expected, 1e-4);
+  }
+}
+
+TEST(IntegralImageTest, FullImageSum) {
+  const ImageF img = RandomImage(9, 7, 10);
+  const IntegralImage integral(img);
+  double total = 0.0;
+  for (float v : img.data()) total += v;
+  EXPECT_NEAR(integral.RectSum(0, 0, 8, 6), total, 1e-4);
+}
+
+TEST(IntegralImageTest, SinglePixelRect) {
+  const ImageF img = RandomImage(5, 5, 11);
+  const IntegralImage integral(img);
+  EXPECT_NEAR(integral.RectSum(2, 3, 2, 3), img.at(2, 3), 1e-6);
+  EXPECT_NEAR(integral.RectMean(2, 3, 2, 3), img.at(2, 3), 1e-6);
+}
+
+TEST(IntegralImageTest, RectMean) {
+  ImageF img(4, 4, 1, 0.25f);
+  const IntegralImage integral(img);
+  EXPECT_NEAR(integral.RectMean(0, 0, 3, 3), 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,153 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace cbix {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, SensitiveToSingleBit) {
+  uint8_t a[4] = {1, 2, 3, 4};
+  uint8_t b[4] = {1, 2, 3, 5};
+  EXPECT_NE(Crc32(a, 4), Crc32(b, 4));
+}
+
+TEST(BinaryRoundTripTest, Scalars) {
+  BinaryWriter w;
+  w.Write<int32_t>(-7);
+  w.Write<uint64_t>(123456789ULL);
+  w.Write<double>(3.25);
+  w.Write<uint8_t>(255);
+
+  BinaryReader r(w.buffer());
+  int32_t i = 0;
+  uint64_t u = 0;
+  double d = 0;
+  uint8_t b = 0;
+  ASSERT_TRUE(r.Read(&i).ok());
+  ASSERT_TRUE(r.Read(&u).ok());
+  ASSERT_TRUE(r.Read(&d).ok());
+  ASSERT_TRUE(r.Read(&b).ok());
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(u, 123456789ULL);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(b, 255);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryRoundTripTest, StringsAndVectors) {
+  BinaryWriter w;
+  w.WriteString("hello cbix");
+  w.WriteString("");
+  w.WriteVector(std::vector<float>{1.5f, -2.5f, 0.0f});
+  w.WriteVector(std::vector<uint32_t>{});
+
+  BinaryReader r(w.buffer());
+  std::string s1, s2;
+  std::vector<float> vf;
+  std::vector<uint32_t> vu;
+  ASSERT_TRUE(r.ReadString(&s1).ok());
+  ASSERT_TRUE(r.ReadString(&s2).ok());
+  ASSERT_TRUE(r.ReadVector(&vf).ok());
+  ASSERT_TRUE(r.ReadVector(&vu).ok());
+  EXPECT_EQ(s1, "hello cbix");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(vf, (std::vector<float>{1.5f, -2.5f, 0.0f}));
+  EXPECT_TRUE(vu.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryReaderTest, UnderflowIsCorruption) {
+  BinaryWriter w;
+  w.Write<uint16_t>(7);
+  BinaryReader r(w.buffer());
+  uint64_t big = 0;
+  EXPECT_EQ(r.Read(&big).code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryReaderTest, OversizedVectorLengthRejected) {
+  BinaryWriter w;
+  w.Write<uint64_t>(1ULL << 60);  // absurd length prefix
+  BinaryReader r(w.buffer());
+  std::vector<double> v;
+  EXPECT_EQ(r.ReadVector(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryReaderTest, OversizedStringLengthRejected) {
+  BinaryWriter w;
+  w.Write<uint64_t>(1000);
+  w.Write<uint32_t>(0);  // only 4 bytes of payload follow
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kCorruption);
+}
+
+class FramedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "cbix_framed_test.bin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FramedFileTest, RoundTrip) {
+  const std::vector<uint8_t> payload{1, 2, 3, 250, 251};
+  ASSERT_TRUE(WriteFramedFile(path_, 0xABCD1234, 3, payload).ok());
+  std::vector<uint8_t> loaded;
+  ASSERT_TRUE(ReadFramedFile(path_, 0xABCD1234, 3, &loaded).ok());
+  EXPECT_EQ(loaded, payload);
+}
+
+TEST_F(FramedFileTest, EmptyPayloadRoundTrip) {
+  ASSERT_TRUE(WriteFramedFile(path_, 0x1, 1, {}).ok());
+  std::vector<uint8_t> loaded{9, 9};
+  ASSERT_TRUE(ReadFramedFile(path_, 0x1, 1, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(FramedFileTest, WrongMagicRejected) {
+  ASSERT_TRUE(WriteFramedFile(path_, 0xAAAA, 1, {1, 2}).ok());
+  std::vector<uint8_t> loaded;
+  EXPECT_EQ(ReadFramedFile(path_, 0xBBBB, 1, &loaded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FramedFileTest, WrongVersionRejected) {
+  ASSERT_TRUE(WriteFramedFile(path_, 0xAAAA, 1, {1, 2}).ok());
+  std::vector<uint8_t> loaded;
+  EXPECT_EQ(ReadFramedFile(path_, 0xAAAA, 2, &loaded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FramedFileTest, CorruptedPayloadDetected) {
+  ASSERT_TRUE(WriteFramedFile(path_, 0xAAAA, 1, {1, 2, 3, 4, 5}).ok());
+  // Flip one payload byte on disk.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 20 + 2, SEEK_SET);  // header is 20 bytes
+  std::fputc(0x7f, f);
+  std::fclose(f);
+  std::vector<uint8_t> loaded;
+  EXPECT_EQ(ReadFramedFile(path_, 0xAAAA, 1, &loaded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(FramedFileTest, MissingFileIsIoError) {
+  std::vector<uint8_t> loaded;
+  EXPECT_EQ(ReadFramedFile(path_ + ".nope", 0xAAAA, 1, &loaded).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cbix

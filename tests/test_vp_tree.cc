@@ -1,0 +1,204 @@
+#include "index/vp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/vector_workload.h"
+#include "distance/histogram_measures.h"
+#include "distance/minkowski.h"
+#include "index/linear_scan.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 3) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+TEST(VpTreeTest, ShapeReflectsArityAndLeafSize) {
+  VpTreeOptions o;
+  o.arity = 4;
+  o.leaf_size = 10;
+  VpTree tree(std::make_shared<L2Distance>(), o);
+  ASSERT_TRUE(tree.Build(ClusteredData(1000, 8)).ok());
+  const auto shape = tree.Shape();
+  EXPECT_GT(shape.internal_nodes, 0u);
+  EXPECT_GT(shape.leaf_nodes, 0u);
+  EXPECT_LE(shape.avg_leaf_fill, 10.0);
+  EXPECT_GT(shape.avg_leaf_fill, 0.0);
+  // 4-ary tree over 1000 points with leaves of <=10: depth well under 12.
+  EXPECT_LT(shape.max_depth, 12u);
+}
+
+TEST(VpTreeTest, HigherArityShallowerTree) {
+  const auto data = ClusteredData(2000, 8);
+  VpTreeOptions o2;
+  o2.arity = 2;
+  VpTreeOptions o8;
+  o8.arity = 8;
+  VpTree t2(std::make_shared<L2Distance>(), o2);
+  VpTree t8(std::make_shared<L2Distance>(), o8);
+  ASSERT_TRUE(t2.Build(data).ok());
+  ASSERT_TRUE(t8.Build(data).ok());
+  EXPECT_GT(t2.Shape().max_depth, t8.Shape().max_depth);
+}
+
+TEST(VpTreeTest, BuildCountsDistanceEvaluations) {
+  VpTree tree(std::make_shared<L2Distance>());
+  ASSERT_TRUE(tree.Build(ClusteredData(500, 4)).ok());
+  // Build must cost at least one distance per non-root element and at
+  // most O(n log n + selection sampling).
+  EXPECT_GE(tree.build_distance_evals(), 499u);
+  EXPECT_LT(tree.build_distance_evals(), 500u * 60u);
+}
+
+TEST(VpTreeTest, WorksWithNonEuclideanMetric) {
+  // Hellinger is a true metric on histograms: the VP-tree must stay
+  // exact. This is the property KD/R-trees cannot offer.
+  VectorWorkloadSpec spec;
+  spec.count = 400;
+  spec.dim = 8;
+  std::vector<Vec> data = GenerateVectors(spec);
+  for (auto& v : data) {
+    float mass = 0;
+    for (float x : v) mass += x;
+    for (auto& x : v) x /= mass;
+  }
+  auto metric = std::make_shared<HellingerDistance>();
+  VpTree tree(metric);
+  LinearScanIndex reference(metric);
+  ASSERT_TRUE(tree.Build(data).ok());
+  ASSERT_TRUE(reference.Build(data).ok());
+  for (int qi = 0; qi < 10; ++qi) {
+    const Vec& q = data[qi * 37 % data.size()];
+    const auto got = KnnSearch(tree, q, 8);
+    const auto want = KnnSearch(reference, q, 8);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+    }
+  }
+}
+
+TEST(VpTreeTest, SerializationRoundTripPreservesResults) {
+  VpTreeOptions o;
+  o.arity = 4;
+  auto metric = std::make_shared<L2Distance>();
+  VpTree tree(metric, o);
+  const auto data = ClusteredData(300, 6);
+  ASSERT_TRUE(tree.Build(data).ok());
+
+  std::vector<uint8_t> bytes;
+  tree.Serialize(&bytes);
+
+  VpTree restored(metric);
+  ASSERT_TRUE(restored.Deserialize(bytes).ok());
+  EXPECT_EQ(restored.size(), tree.size());
+  EXPECT_EQ(restored.dim(), tree.dim());
+  EXPECT_EQ(restored.options().arity, 4);
+
+  for (int qi = 0; qi < 5; ++qi) {
+    const Vec& q = data[qi * 31 % data.size()];
+    const auto a = KnnSearch(tree, q, 7);
+    const auto b = KnnSearch(restored, q, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-12);
+    }
+  }
+}
+
+TEST(VpTreeTest, DeserializeRejectsGarbage) {
+  VpTree tree(std::make_shared<L2Distance>());
+  std::vector<uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FALSE(tree.Deserialize(garbage).ok());
+}
+
+TEST(VpTreeTest, DeserializeRejectsCorruptedNodeIndices) {
+  VpTree tree(std::make_shared<L2Distance>());
+  ASSERT_TRUE(tree.Build(ClusteredData(100, 4)).ok());
+  std::vector<uint8_t> bytes;
+  tree.Serialize(&bytes);
+  // Corrupt a byte deep in the node area and expect either a clean
+  // rejection or a successful parse (the byte may land in a float), but
+  // never a crash.
+  for (size_t offset = bytes.size() - 40; offset < bytes.size();
+       offset += 4) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[offset] = 0xff;
+    VpTree victim(std::make_shared<L2Distance>());
+    (void)victim.Deserialize(mutated);  // must not crash
+  }
+  SUCCEED();
+}
+
+TEST(VpTreeTest, SelectionPoliciesAllExact) {
+  const auto data = ClusteredData(800, 8);
+  LinearScanIndex reference(std::make_shared<L2Distance>());
+  ASSERT_TRUE(reference.Build(data).ok());
+  for (VantageSelection sel :
+       {VantageSelection::kRandom, VantageSelection::kMaxSpread,
+        VantageSelection::kCorner}) {
+    VpTreeOptions o;
+    o.selection = sel;
+    VpTree tree(std::make_shared<L2Distance>(), o);
+    ASSERT_TRUE(tree.Build(data).ok());
+    const Vec q = data[123];
+    const auto got = KnnSearch(tree, q, 10);
+    const auto want = KnnSearch(reference, q, 10);
+    ASSERT_EQ(got.size(), want.size()) << VantageSelectionName(sel);
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << VantageSelectionName(sel);
+    }
+  }
+}
+
+TEST(VpTreeTest, DeterministicBuildGivenSeed) {
+  const auto data = ClusteredData(500, 6);
+  VpTreeOptions o;
+  o.seed = 42;
+  VpTree a(std::make_shared<L2Distance>(), o);
+  VpTree b(std::make_shared<L2Distance>(), o);
+  ASSERT_TRUE(a.Build(data).ok());
+  ASSERT_TRUE(b.Build(data).ok());
+  std::vector<uint8_t> bytes_a, bytes_b;
+  a.Serialize(&bytes_a);
+  b.Serialize(&bytes_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST(VpTreeTest, MemoryAccountingGrowsWithData) {
+  VpTree small(std::make_shared<L2Distance>());
+  VpTree large(std::make_shared<L2Distance>());
+  ASSERT_TRUE(small.Build(ClusteredData(100, 8)).ok());
+  ASSERT_TRUE(large.Build(ClusteredData(1000, 8)).ok());
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+  EXPECT_GT(small.MemoryBytes(), 100u * 8u * sizeof(float));
+}
+
+TEST(VpTreeTest, NameEncodesConfiguration) {
+  VpTreeOptions o;
+  o.arity = 6;
+  o.selection = VantageSelection::kCorner;
+  VpTree tree(std::make_shared<L1Distance>(), o);
+  const std::string name = tree.Name();
+  EXPECT_NE(name.find("m=6"), std::string::npos);
+  EXPECT_NE(name.find("corner"), std::string::npos);
+  EXPECT_NE(name.find("l1"), std::string::npos);
+}
+
+TEST(VpTreeTest, RangeRadiusCoveringAllReturnsEverything) {
+  const auto data = ClusteredData(200, 4);
+  VpTree tree(std::make_shared<L2Distance>());
+  ASSERT_TRUE(tree.Build(data).ok());
+  const auto all = RangeSearch(tree, data[0], 1e9);
+  EXPECT_EQ(all.size(), data.size());
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,131 @@
+#include "image/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+ImageF RandomImage(int w, int h, uint64_t seed) {
+  Rng rng(seed);
+  ImageF img(w, h, 1);
+  for (auto& v : img.data()) v = static_cast<float>(rng.NextDouble());
+  return img;
+}
+
+double TotalEnergy(const ImageF& img) {
+  double sum = 0;
+  for (float v : img.data()) sum += static_cast<double>(v) * v;
+  return sum;
+}
+
+TEST(HaarTest, SubbandShapes) {
+  const ImageF img = RandomImage(16, 8, 1);
+  const HaarSubbands s = HaarDecompose(img);
+  EXPECT_EQ(s.ll.width(), 8);
+  EXPECT_EQ(s.ll.height(), 4);
+  EXPECT_EQ(s.hh.width(), 8);
+  EXPECT_EQ(s.hh.height(), 4);
+}
+
+TEST(HaarTest, PerfectReconstruction) {
+  const ImageF img = RandomImage(32, 32, 2);
+  const ImageF rec = HaarReconstruct(HaarDecompose(img));
+  ASSERT_TRUE(rec.SameShape(img));
+  for (size_t i = 0; i < img.data().size(); ++i) {
+    EXPECT_NEAR(rec.data()[i], img.data()[i], 1e-5);
+  }
+}
+
+TEST(HaarTest, EnergyConservation) {
+  // Orthonormal transform: total energy of subbands == input energy.
+  const ImageF img = RandomImage(16, 16, 3);
+  const HaarSubbands s = HaarDecompose(img);
+  const double sub_energy = TotalEnergy(s.ll) + TotalEnergy(s.lh) +
+                            TotalEnergy(s.hl) + TotalEnergy(s.hh);
+  EXPECT_NEAR(sub_energy, TotalEnergy(img), 1e-3);
+}
+
+TEST(HaarTest, ConstantImageHasNoDetail) {
+  ImageF img(8, 8, 1, 0.5f);
+  const HaarSubbands s = HaarDecompose(img);
+  for (float v : s.lh.data()) EXPECT_NEAR(v, 0.0f, 1e-6);
+  for (float v : s.hl.data()) EXPECT_NEAR(v, 0.0f, 1e-6);
+  for (float v : s.hh.data()) EXPECT_NEAR(v, 0.0f, 1e-6);
+  // LL of a constant c is 2c per level (orthonormal scaling).
+  for (float v : s.ll.data()) EXPECT_NEAR(v, 1.0f, 1e-6);
+}
+
+TEST(HaarTest, VerticalStripesExciteHlBand) {
+  // Alternating columns: pure horizontal high frequency -> HL (high-pass
+  // rows) carries the detail; LH stays silent.
+  ImageF img(16, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.at(x, y) = (x % 2 == 0) ? 1.0f : 0.0f;
+  }
+  const HaarSubbands s = HaarDecompose(img);
+  EXPECT_GT(BandEnergy(s.hl), 0.4f);
+  EXPECT_NEAR(BandEnergy(s.lh), 0.0f, 1e-5);
+  EXPECT_NEAR(BandEnergy(s.hh), 0.0f, 1e-5);
+}
+
+TEST(HaarTest, HorizontalStripesExciteLhBand) {
+  ImageF img(16, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) img.at(x, y) = (y % 2 == 0) ? 1.0f : 0.0f;
+  }
+  const HaarSubbands s = HaarDecompose(img);
+  EXPECT_GT(BandEnergy(s.lh), 0.4f);
+  EXPECT_NEAR(BandEnergy(s.hl), 0.0f, 1e-5);
+}
+
+TEST(HaarPyramidTest, MultiLevelReconstruction) {
+  const ImageF img = RandomImage(32, 32, 4);
+  HaarPyramid pyramid = HaarDecomposeLevels(img, 3);
+  EXPECT_EQ(pyramid.levels.size(), 3u);
+  EXPECT_EQ(pyramid.approx.width(), 4);
+  // Reconstruct bottom-up.
+  ImageF current = pyramid.approx;
+  for (int k = 2; k >= 0; --k) {
+    HaarSubbands bands = pyramid.levels[k];
+    bands.ll = current;
+    current = HaarReconstruct(bands);
+  }
+  ASSERT_TRUE(current.SameShape(img));
+  for (size_t i = 0; i < img.data().size(); ++i) {
+    EXPECT_NEAR(current.data()[i], img.data()[i], 1e-4);
+  }
+}
+
+TEST(HaarPyramidTest, EnergyConservedAcrossLevels) {
+  const ImageF img = RandomImage(32, 32, 5);
+  const HaarPyramid pyramid = HaarDecomposeLevels(img, 3);
+  double total = TotalEnergy(pyramid.approx);
+  for (const auto& level : pyramid.levels) {
+    total += TotalEnergy(level.lh) + TotalEnergy(level.hl) +
+             TotalEnergy(level.hh);
+  }
+  EXPECT_NEAR(total, TotalEnergy(img), 1e-2);
+}
+
+TEST(MaxHaarLevelsTest, PowersOfTwo) {
+  EXPECT_EQ(MaxHaarLevels(64, 64), 6);
+  EXPECT_EQ(MaxHaarLevels(64, 32), 5);
+  EXPECT_EQ(MaxHaarLevels(48, 48), 4);  // 48 = 16*3: 4 halvings stay even
+  EXPECT_EQ(MaxHaarLevels(3, 64), 0);
+  EXPECT_EQ(MaxHaarLevels(1, 1), 0);
+}
+
+TEST(BandEnergyTest, KnownValue) {
+  ImageF img(2, 2, 1);
+  img.at(0, 0) = 3.0f;
+  img.at(1, 0) = 4.0f;
+  // RMS of {3,4,0,0} = sqrt(25/4) = 2.5.
+  EXPECT_NEAR(BandEnergy(img), 2.5f, 1e-6);
+}
+
+}  // namespace
+}  // namespace cbix
