@@ -1,0 +1,351 @@
+// bench_kernels — micro-benchmark of the batched distance kernels
+// against the seed's scalar query path, plus ThreadPool scaling of
+// CbirEngine::QueryKnnBatch.
+//
+// The scalar baseline reproduces the pre-FeatureMatrix seed exactly:
+// one std::vector<float> heap allocation per candidate, a virtual
+// Distance(Vec, Vec) call per pair with a single sequential double
+// accumulator, and a per-candidate heap update. The batched path is the
+// production LinearScanIndex (flat matrix + RankBatch blocks).
+//
+// Usage: bench_kernels [output.json]
+// Prints a table and, when a path is given, writes the machine-readable
+// perf trajectory (BENCH_kernels.json) future PRs regress against.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "index/linear_scan.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed-replica scalar metrics: virtual dispatch per pair, sequential
+// double accumulation — kept verbatim so the baseline stays honest even
+// as the production metrics evolve.
+
+class SeedMetric {
+ public:
+  virtual ~SeedMetric() = default;
+  virtual double Distance(const Vec& a, const Vec& b) const = 0;
+};
+
+class SeedL1 : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      sum += std::fabs(static_cast<double>(a[i]) - b[i]);
+    }
+    return sum;
+  }
+};
+
+class SeedL2 : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+};
+
+class SeedLInf : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double best = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      best = std::max(best, std::fabs(static_cast<double>(a[i]) - b[i]));
+    }
+    return best;
+  }
+};
+
+class SeedChiSquare : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double s = static_cast<double>(a[i]) + b[i];
+      if (s <= 0.0) continue;
+      const double d = static_cast<double>(a[i]) - b[i];
+      sum += d * d / s;
+    }
+    return 0.5 * sum;
+  }
+};
+
+class SeedHistIntersect : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double inter = 0.0, mass_a = 0.0, mass_b = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      inter += std::min(a[i], b[i]);
+      mass_a += a[i];
+      mass_b += b[i];
+    }
+    const double norm = std::min(mass_a, mass_b);
+    if (norm <= 0.0) return mass_a == mass_b ? 0.0 : 1.0;
+    return 1.0 - inter / norm;
+  }
+};
+
+class SeedCosine : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += static_cast<double>(a[i]) * b[i];
+      na += static_cast<double>(a[i]) * a[i];
+      nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na <= 0.0 || nb <= 0.0) return na == nb ? 0.0 : 1.0;
+    return 1.0 - std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
+  }
+};
+
+class SeedHellinger : public SeedMetric {
+ public:
+  double Distance(const Vec& a, const Vec& b) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double d = std::sqrt(std::max(0.0f, a[i])) -
+                       std::sqrt(std::max(0.0f, b[i]));
+      sum += d * d;
+    }
+    return std::sqrt(sum / 2.0);
+  }
+};
+
+/// Seed-replica k-NN scan over nested vectors.
+std::vector<Neighbor> SeedKnn(const SeedMetric& metric,
+                              const std::vector<Vec>& vectors, const Vec& q,
+                              size_t k) {
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    const Neighbor candidate{static_cast<uint32_t>(i),
+                             metric.Distance(q, vectors[i])};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (k > 0 && candidate < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = candidate;
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+struct MetricSetup {
+  std::string name;
+  MetricKind kind;
+  std::unique_ptr<SeedMetric> seed;
+};
+
+std::vector<MetricSetup> BenchMetrics() {
+  std::vector<MetricSetup> out;
+  out.push_back({"l1", MetricKind::kL1, std::make_unique<SeedL1>()});
+  out.push_back({"l2", MetricKind::kL2, std::make_unique<SeedL2>()});
+  out.push_back({"linf", MetricKind::kLInf, std::make_unique<SeedLInf>()});
+  out.push_back({"cosine", MetricKind::kCosine,
+                 std::make_unique<SeedCosine>()});
+  out.push_back({"chi_square", MetricKind::kChiSquare,
+                 std::make_unique<SeedChiSquare>()});
+  out.push_back({"hist_intersect", MetricKind::kHistogramIntersection,
+                 std::make_unique<SeedHistIntersect>()});
+  out.push_back({"hellinger", MetricKind::kHellinger,
+                 std::make_unique<SeedHellinger>()});
+  return out;
+}
+
+struct KernelRow {
+  std::string metric;
+  size_t dim = 0;
+  double scalar_us = 0.0;   ///< mean per query, seed-replica path
+  double batched_us = 0.0;  ///< mean per query, batched kernel path
+  double speedup = 0.0;
+};
+
+struct ScalingRow {
+  size_t threads = 0;
+  double total_ms = 0.0;
+  double speedup_vs_1 = 0.0;
+};
+
+constexpr size_t kCount = 16384;
+constexpr size_t kQueries = 8;
+constexpr size_t kK = 10;
+constexpr size_t kScalingQueries = 96;
+
+KernelRow RunKernelCase(const MetricSetup& setup, size_t dim) {
+  const VectorWorkloadSpec spec = StandardWorkload(kCount, dim);
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, kQueries, 0.05, 1234);
+
+  KernelRow row;
+  row.metric = setup.name;
+  row.dim = dim;
+
+  // Warm both paths once so first-touch page faults are off the clock.
+  (void)SeedKnn(*setup.seed, data, queries[0], kK);
+  LinearScanIndex index(MakeMetric(setup.kind));
+  if (!index.Build(data).ok()) return row;
+  (void)KnnSearch(index, queries[0], kK);
+
+  uint64_t checksum_scalar = 0, checksum_batched = 0;
+  {
+    Timer timer;
+    for (const Vec& q : queries) {
+      checksum_scalar += SeedKnn(*setup.seed, data, q, kK)[0].id;
+    }
+    row.scalar_us =
+        static_cast<double>(timer.ElapsedMicros()) / kQueries;
+  }
+  {
+    Timer timer;
+    for (const Vec& q : queries) {
+      checksum_batched += KnnSearch(index, q, kK)[0].id;
+    }
+    row.batched_us =
+        static_cast<double>(timer.ElapsedMicros()) / kQueries;
+  }
+  if (checksum_scalar != checksum_batched) {
+    std::printf("WARNING: %s dim=%zu nearest-id checksum mismatch\n",
+                setup.name.c_str(), dim);
+  }
+  row.speedup = row.batched_us > 0.0 ? row.scalar_us / row.batched_us : 0.0;
+  return row;
+}
+
+std::vector<ScalingRow> RunThreadScaling() {
+  const size_t dim = 128;
+  const VectorWorkloadSpec spec = StandardWorkload(kCount, dim);
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, kScalingQueries, 0.05, 77);
+
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  CbirEngine engine(FeatureExtractor(), config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok()) {
+      return {};
+    }
+  }
+  (void)engine.BuildIndex();
+
+  std::vector<ScalingRow> rows;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    // Warm-up (also covers any lazy rebuild).
+    (void)engine.QueryKnnBatchByVectors(queries, kK, threads);
+    Timer timer;
+    const auto result = engine.QueryKnnBatchByVectors(queries, kK, threads);
+    ScalingRow row;
+    row.threads = threads;
+    row.total_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+    if (!result.ok()) row.total_ms = -1.0;
+    rows.push_back(row);
+  }
+  for (auto& row : rows) {
+    row.speedup_vs_1 =
+        row.total_ms > 0.0 ? rows[0].total_ms / row.total_ms : 0.0;
+  }
+  return rows;
+}
+
+void WriteJson(const std::string& path, const std::vector<KernelRow>& rows,
+               const std::vector<ScalingRow>& scaling) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_kernels\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"queries\": %zu, \"k\": %zu,"
+               " \"scaling_queries\": %zu, \"scaling_dim\": 128},\n",
+               kCount, kQueries, kK, kScalingQueries);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"metric\": \"%s\", \"dim\": %zu,"
+                 " \"scalar_us_per_query\": %.2f,"
+                 " \"batched_us_per_query\": %.2f, \"speedup\": %.3f}%s\n",
+                 r.metric.c_str(), r.dim, r.scalar_us, r.batched_us,
+                 r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"query_knn_batch_scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& r = scaling[i];
+    std::fprintf(f,
+                 "    {\"threads\": %zu, \"total_ms\": %.2f,"
+                 " \"speedup_vs_1\": %.3f}%s\n",
+                 r.threads, r.total_ms, r.speedup_vs_1,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "KERNELS", "batched kernel k-NN scan vs seed scalar path",
+      "clustered, n=" + std::to_string(kCount) +
+          ", k=" + std::to_string(kK));
+
+  std::vector<KernelRow> rows;
+  TablePrinter table({"metric", "dim", "scalar_us", "batched_us", "speedup"});
+  table.PrintHeader();
+  for (const MetricSetup& setup : BenchMetrics()) {
+    for (size_t dim : {32u, 128u, 512u}) {
+      const KernelRow row = RunKernelCase(setup, dim);
+      rows.push_back(row);
+      table.PrintRow({row.metric, FmtInt(row.dim), Fmt(row.scalar_us),
+                      Fmt(row.batched_us), Fmt(row.speedup, 3)});
+    }
+  }
+
+  std::printf("\nQueryKnnBatch thread scaling (linear scan, l2, dim=128, "
+              "%zu queries)\n",
+              kScalingQueries);
+  const std::vector<ScalingRow> scaling = RunThreadScaling();
+  TablePrinter scaling_table({"threads", "total_ms", "speedup_vs_1"});
+  scaling_table.PrintHeader();
+  for (const ScalingRow& row : scaling) {
+    scaling_table.PrintRow(
+        {FmtInt(row.threads), Fmt(row.total_ms), Fmt(row.speedup_vs_1, 3)});
+  }
+
+  if (argc > 1) WriteJson(argv[1], rows, scaling);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

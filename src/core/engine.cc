@@ -159,6 +159,17 @@ Result<uint32_t> CbirEngine::AddPnmFile(const std::string& path,
   return AddImage(image, path, label);
 }
 
+Result<uint32_t> CbirEngine::AddFeatureVector(Vec features, std::string name,
+                                              int32_t label) {
+  ImageRecord record;
+  record.name = std::move(name);
+  record.label = label;
+  record.features = std::move(features);
+  CBIX_ASSIGN_OR_RETURN(const uint32_t id, store_.Add(std::move(record)));
+  index_dirty_ = true;
+  return id;
+}
+
 Result<uint32_t> CbirEngine::AddImagesParallel(std::vector<BatchItem> batch,
                                                size_t num_threads) {
   if (batch.empty()) {
@@ -190,7 +201,7 @@ Result<uint32_t> CbirEngine::AddImagesParallel(std::vector<BatchItem> batch,
 
 Status CbirEngine::BuildIndex() {
   CBIX_ASSIGN_OR_RETURN(index_, MakeIndex(config_));
-  CBIX_RETURN_IF_ERROR(index_->Build(store_.AllFeatures()));
+  CBIX_RETURN_IF_ERROR(index_->BuildFromMatrix(store_.matrix()));
   index_dirty_ = false;
   return Status::Ok();
 }
@@ -205,8 +216,7 @@ std::vector<CbirEngine::Match> CbirEngine::ToMatches(
   std::vector<Match> out;
   out.reserve(neighbors.size());
   for (const Neighbor& n : neighbors) {
-    const ImageRecord& r = store_.record(n.id);
-    out.push_back({n.id, r.name, r.label, n.distance});
+    out.push_back({n.id, store_.name(n.id), store_.label(n.id), n.distance});
   }
   return out;
 }
@@ -227,6 +237,64 @@ Result<std::vector<CbirEngine::Match>> CbirEngine::QueryKnnByVector(
   SearchStats local;
   return ToMatches(index_->KnnSearch(features, k,
                                      stats != nullptr ? stats : &local));
+}
+
+Result<std::vector<std::vector<CbirEngine::Match>>>
+CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
+                          size_t num_threads,
+                          std::vector<SearchStats>* stats) {
+  for (const ImageU8& image : images) {
+    if (image.empty()) return Status::InvalidArgument("empty query image");
+  }
+  if (store_.empty()) {
+    if (stats != nullptr) stats->assign(images.size(), SearchStats{});
+    return std::vector<std::vector<Match>>(images.size());
+  }
+  if (extractor_.dim() != store_.feature_dim()) {
+    return Status::InvalidArgument("query feature dimension mismatch");
+  }
+  CBIX_RETURN_IF_ERROR(EnsureIndex());
+
+  std::vector<std::vector<Match>> results(images.size());
+  std::vector<SearchStats> local_stats(images.size());
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(images.size(), [&](size_t i) {
+      const Vec features = extractor_.Extract(images[i]);
+      results[i] = ToMatches(
+          index_->KnnSearch(features, k, &local_stats[i]));
+    });
+  }
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return results;
+}
+
+Result<std::vector<std::vector<CbirEngine::Match>>>
+CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
+                                   size_t num_threads,
+                                   std::vector<SearchStats>* stats) {
+  if (store_.empty()) {
+    if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+    return std::vector<std::vector<Match>>(queries.size());
+  }
+  for (const Vec& q : queries) {
+    if (q.size() != store_.feature_dim()) {
+      return Status::InvalidArgument("query feature dimension mismatch");
+    }
+  }
+  CBIX_RETURN_IF_ERROR(EnsureIndex());
+
+  std::vector<std::vector<Match>> results(queries.size());
+  std::vector<SearchStats> local_stats(queries.size());
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(queries.size(), [&](size_t i) {
+      results[i] = ToMatches(
+          index_->KnnSearch(queries[i], k, &local_stats[i]));
+    });
+  }
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return results;
 }
 
 Result<std::vector<CbirEngine::Match>> CbirEngine::QueryRange(

@@ -76,6 +76,12 @@ class CbirEngine {
   /// Reads a PGM/PPM file and adds it (name = path).
   Result<uint32_t> AddPnmFile(const std::string& path, int32_t label = -1);
 
+  /// Adds an already-extracted feature vector (vector workloads and
+  /// external pipelines). The dimension must match the store contents;
+  /// the first vector fixes it.
+  Result<uint32_t> AddFeatureVector(Vec features, std::string name,
+                                    int32_t label = -1);
+
   /// One image of a batch insertion.
   struct BatchItem {
     ImageU8 image;
@@ -112,6 +118,21 @@ class CbirEngine {
   /// k-NN by raw feature vector (already extracted).
   Result<std::vector<Match>> QueryKnnByVector(const Vec& features, size_t k,
                                               SearchStats* stats = nullptr);
+
+  /// Batched query-by-example: extracts features and answers k-NN for
+  /// every image of the batch in parallel on `num_threads` pool workers
+  /// (the index is built once up front and shared read-only). Results
+  /// are positionally aligned with `images` and identical to running
+  /// QueryKnn sequentially. When `stats` is non-null it is resized to
+  /// the batch size and filled with per-query counters.
+  Result<std::vector<std::vector<Match>>> QueryKnnBatch(
+      const std::vector<ImageU8>& images, size_t k, size_t num_threads = 4,
+      std::vector<SearchStats>* stats = nullptr);
+
+  /// Batched k-NN over already-extracted feature vectors.
+  Result<std::vector<std::vector<Match>>> QueryKnnBatchByVectors(
+      const std::vector<Vec>& queries, size_t k, size_t num_threads = 4,
+      std::vector<SearchStats>* stats = nullptr);
 
   /// Persists the feature store + config. The extractor itself is code,
   /// not data: the loader must construct the engine with an equivalent

@@ -13,46 +13,44 @@ Result<uint32_t> FeatureStore::Add(ImageRecord record) {
   if (record.features.empty()) {
     return Status::InvalidArgument("record has empty feature vector");
   }
-  if (records_.empty()) {
-    dim_ = record.features.size();
-  } else if (record.features.size() != dim_) {
+  // Guard on the matrix dimension, not emptiness: Deserialize can leave
+  // an empty store whose dimension is already fixed.
+  if (matrix_.dim() != 0 && record.features.size() != matrix_.dim()) {
     return Status::InvalidArgument(
-        "feature dimension mismatch: store=" + std::to_string(dim_) +
+        "feature dimension mismatch: store=" +
+        std::to_string(matrix_.dim()) +
         " record=" + std::to_string(record.features.size()));
   }
-  records_.push_back(std::move(record));
-  return static_cast<uint32_t>(records_.size() - 1);
+  matrix_.AppendRow(record.features);
+  names_.push_back(std::move(record.name));
+  labels_.push_back(record.label);
+  return static_cast<uint32_t>(names_.size() - 1);
 }
 
-std::vector<Vec> FeatureStore::AllFeatures() const {
-  std::vector<Vec> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.features);
-  return out;
-}
-
-std::vector<int32_t> FeatureStore::AllLabels() const {
-  std::vector<int32_t> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.label);
+ImageRecord FeatureStore::record(uint32_t id) const {
+  ImageRecord out;
+  out.name = names_[id];
+  out.label = labels_[id];
+  out.features = matrix_.RowVec(id);
   return out;
 }
 
 void FeatureStore::Clear() {
-  records_.clear();
-  dim_ = 0;
+  names_.clear();
+  labels_.clear();
+  matrix_.Clear();
 }
 
 void FeatureStore::Serialize(std::vector<uint8_t>* out) const {
   BinaryWriter writer;
   writer.Write(kStoreMagic);
   writer.Write(kStoreVersion);
-  writer.Write<uint64_t>(records_.size());
-  writer.Write<uint64_t>(dim_);
-  for (const auto& r : records_) {
-    writer.WriteString(r.name);
-    writer.Write(r.label);
-    writer.WriteVector(r.features);
+  writer.Write<uint64_t>(size());
+  writer.Write<uint64_t>(matrix_.dim());
+  for (size_t i = 0; i < size(); ++i) {
+    writer.WriteString(names_[i]);
+    writer.Write(labels_[i]);
+    writer.WriteVector(matrix_.RowVec(i));
   }
   *out = writer.TakeBuffer();
 }
@@ -69,17 +67,27 @@ Status FeatureStore::Deserialize(const std::vector<uint8_t>& bytes) {
   uint64_t count = 0, dim = 0;
   CBIX_RETURN_IF_ERROR(reader.Read(&count));
   CBIX_RETURN_IF_ERROR(reader.Read(&dim));
-  std::vector<ImageRecord> records(count);
-  for (auto& r : records) {
-    CBIX_RETURN_IF_ERROR(reader.ReadString(&r.name));
-    CBIX_RETURN_IF_ERROR(reader.Read(&r.label));
-    CBIX_RETURN_IF_ERROR(reader.ReadVector(&r.features));
-    if (r.features.size() != dim) {
+  if (count > 0 && dim == 0) {
+    return Status::Corruption("store: zero feature dimension");
+  }
+  std::vector<std::string> names(count);
+  std::vector<int32_t> labels(count);
+  // No Reserve(count): the count is untrusted until the payload parses;
+  // geometric growth bounds the allocation by what the buffer yields.
+  FeatureMatrix matrix(dim);
+  Vec features;
+  for (uint64_t i = 0; i < count; ++i) {
+    CBIX_RETURN_IF_ERROR(reader.ReadString(&names[i]));
+    CBIX_RETURN_IF_ERROR(reader.Read(&labels[i]));
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&features));
+    if (features.size() != dim) {
       return Status::Corruption("store: feature dim mismatch");
     }
+    matrix.AppendRow(features);
   }
-  records_ = std::move(records);
-  dim_ = dim;
+  names_ = std::move(names);
+  labels_ = std::move(labels);
+  matrix_ = std::move(matrix);
   return Status::Ok();
 }
 

@@ -1,6 +1,11 @@
 // Feature store: the persistent record of every indexed image — its
 // name, optional ground-truth label, and extracted feature vector. Ids
 // are dense and assigned in insertion order, matching index ids.
+//
+// Feature vectors live in one flat FeatureMatrix (SoA) rather than one
+// heap allocation per record: index builds hand the matrix to the index
+// without per-vector copies, and the query path scans it with batched
+// kernels. Names and labels are parallel arrays indexed by id.
 
 #ifndef CBIX_CORE_FEATURE_STORE_H_
 #define CBIX_CORE_FEATURE_STORE_H_
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "distance/metric.h"
+#include "util/feature_matrix.h"
 #include "util/status.h"
 
 namespace cbix {
@@ -26,19 +32,31 @@ class FeatureStore {
   /// vectors must share one dimension.
   Result<uint32_t> Add(ImageRecord record);
 
-  size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
 
   /// Dimensionality of stored features (0 when empty).
-  size_t feature_dim() const { return dim_; }
+  size_t feature_dim() const { return matrix_.dim(); }
 
-  const ImageRecord& record(uint32_t id) const { return records_[id]; }
+  /// Materializes record `id` (copies the feature row). Prefer name()/
+  /// label()/features() on hot paths.
+  ImageRecord record(uint32_t id) const;
 
-  /// Copies all feature vectors in id order (index build input).
-  std::vector<Vec> AllFeatures() const;
+  const std::string& name(uint32_t id) const { return names_[id]; }
+  int32_t label(uint32_t id) const { return labels_[id]; }
+
+  /// Zero-copy view of the feature row of `id` (feature_dim() floats).
+  const float* features(uint32_t id) const { return matrix_.row(id); }
+
+  /// Flat feature storage in id order — the index build input.
+  const FeatureMatrix& matrix() const { return matrix_; }
+
+  /// Copies all feature vectors in id order (compat bridge; index
+  /// builds should consume matrix() instead).
+  std::vector<Vec> AllFeatures() const { return matrix_.ToVectors(); }
 
   /// All labels in id order.
-  std::vector<int32_t> AllLabels() const;
+  std::vector<int32_t> AllLabels() const { return labels_; }
 
   void Clear();
 
@@ -47,8 +65,9 @@ class FeatureStore {
   Status Deserialize(const std::vector<uint8_t>& bytes);
 
  private:
-  std::vector<ImageRecord> records_;
-  size_t dim_ = 0;
+  std::vector<std::string> names_;
+  std::vector<int32_t> labels_;
+  FeatureMatrix matrix_;
 };
 
 }  // namespace cbix

@@ -1,0 +1,231 @@
+#include "distance/batch_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbix {
+namespace kernels {
+
+// All reductions run four independent accumulator lanes: a single
+// accumulator serializes on FP-add latency (~4 cycles/element), which is
+// exactly the seed's scalar bottleneck; independent lanes let the
+// compiler pipeline or SLP-vectorize without reassociation flags.
+
+double L1(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    s0 += std::fabs(static_cast<double>(a[i + 0]) - b[i + 0]);
+    s1 += std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]);
+    s2 += std::fabs(static_cast<double>(a[i + 2]) - b[i + 2]);
+    s3 += std::fabs(static_cast<double>(a[i + 3]) - b[i + 3]);
+    s4 += std::fabs(static_cast<double>(a[i + 4]) - b[i + 4]);
+    s5 += std::fabs(static_cast<double>(a[i + 5]) - b[i + 5]);
+    s6 += std::fabs(static_cast<double>(a[i + 6]) - b[i + 6]);
+    s7 += std::fabs(static_cast<double>(a[i + 7]) - b[i + 7]);
+  }
+  for (; i < dim; ++i) {
+    s0 += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+double L2Squared(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const double d0 = static_cast<double>(a[i + 0]) - b[i + 0];
+    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+    const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
+    const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
+    const double d4 = static_cast<double>(a[i + 4]) - b[i + 4];
+    const double d5 = static_cast<double>(a[i + 5]) - b[i + 5];
+    const double d6 = static_cast<double>(a[i + 6]) - b[i + 6];
+    const double d7 = static_cast<double>(a[i + 7]) - b[i + 7];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s4 += d4 * d4;
+    s5 += d5 * d5;
+    s6 += d6 * d6;
+    s7 += d7 * d7;
+  }
+  for (; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s0 += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+double LInf(const float* a, const float* b, size_t dim) {
+  // max is order-independent, so the lanes are exact.
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    m0 = std::max(m0, std::fabs(static_cast<double>(a[i + 0]) - b[i + 0]));
+    m1 = std::max(m1, std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]));
+    m2 = std::max(m2, std::fabs(static_cast<double>(a[i + 2]) - b[i + 2]));
+    m3 = std::max(m3, std::fabs(static_cast<double>(a[i + 3]) - b[i + 3]));
+  }
+  for (; i < dim; ++i) {
+    m0 = std::max(m0, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return std::max(std::max(m0, m1), std::max(m2, m3));
+}
+
+double ChiSquare(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    const double sum0 = static_cast<double>(a[i]) + b[i];
+    const double sum1 = static_cast<double>(a[i + 1]) + b[i + 1];
+    const double d0 = static_cast<double>(a[i]) - b[i];
+    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+    s0 += sum0 > 0.0 ? d0 * d0 / sum0 : 0.0;
+    s1 += sum1 > 0.0 ? d1 * d1 / sum1 : 0.0;
+  }
+  for (; i < dim; ++i) {
+    const double sum = static_cast<double>(a[i]) + b[i];
+    if (sum > 0.0) {
+      const double d = static_cast<double>(a[i]) - b[i];
+      s0 += d * d / sum;
+    }
+  }
+  return 0.5 * (s0 + s1);
+}
+
+double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
+  // Mirrors the scalar reference exactly: the sqrt and subtraction run
+  // in float, only the squared accumulation in double.
+  double s0 = 0.0, s1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    const double d0 = std::sqrt(std::max(0.0f, a[i])) -
+                      std::sqrt(std::max(0.0f, b[i]));
+    const double d1 = std::sqrt(std::max(0.0f, a[i + 1])) -
+                      std::sqrt(std::max(0.0f, b[i + 1]));
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+  }
+  for (; i < dim; ++i) {
+    const double d = std::sqrt(std::max(0.0f, a[i])) -
+                     std::sqrt(std::max(0.0f, b[i]));
+    s0 += d * d;
+  }
+  return s0 + s1;
+}
+
+double Canberra(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    const double den0 = std::fabs(a[i]) + std::fabs(b[i]);
+    const double den1 = std::fabs(a[i + 1]) + std::fabs(b[i + 1]);
+    s0 += den0 > 0.0
+              ? std::fabs(static_cast<double>(a[i]) - b[i]) / den0
+              : 0.0;
+    s1 += den1 > 0.0
+              ? std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]) / den1
+              : 0.0;
+  }
+  for (; i < dim; ++i) {
+    const double den = std::fabs(a[i]) + std::fabs(b[i]);
+    if (den > 0.0) {
+      s0 += std::fabs(static_cast<double>(a[i]) - b[i]) / den;
+    }
+  }
+  return s0 + s1;
+}
+
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq) {
+  double d0 = 0.0, d1 = 0.0, n0 = 0.0, n1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    d0 += static_cast<double>(a[i]) * b[i];
+    d1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    n0 += static_cast<double>(b[i]) * b[i];
+    n1 += static_cast<double>(b[i + 1]) * b[i + 1];
+  }
+  for (; i < dim; ++i) {
+    d0 += static_cast<double>(a[i]) * b[i];
+    n0 += static_cast<double>(b[i]) * b[i];
+  }
+  *dot = d0 + d1;
+  *norm_b_sq = n0 + n1;
+}
+
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b) {
+  double i0 = 0.0, i1 = 0.0, m0 = 0.0, m1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    i0 += std::min(a[i], b[i]);
+    i1 += std::min(a[i + 1], b[i + 1]);
+    m0 += b[i];
+    m1 += b[i + 1];
+  }
+  for (; i < dim; ++i) {
+    i0 += std::min(a[i], b[i]);
+    m0 += b[i];
+  }
+  *inter = i0 + i1;
+  *mass_b = m0 + m1;
+}
+
+double Mass(const float* a, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += a[i + 0];
+    s1 += a[i + 1];
+    s2 += a[i + 2];
+    s3 += a[i + 3];
+  }
+  for (; i < dim; ++i) s0 += a[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double NormSquared(const float* a, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += static_cast<double>(a[i + 0]) * a[i + 0];
+    s1 += static_cast<double>(a[i + 1]) * a[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * a[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * a[i + 3];
+  }
+  for (; i < dim; ++i) s0 += static_cast<double>(a[i]) * a[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double PowSum(const float* a, const float* b, size_t dim, double p) {
+  double sum = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    sum += std::pow(std::fabs(static_cast<double>(a[i]) - b[i]), p);
+  }
+  return sum;
+}
+
+double WeightedL2Squared(const float* a, const float* b, const float* w,
+                         size_t dim) {
+  double s0 = 0.0, s1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    const double d0 = static_cast<double>(a[i]) - b[i];
+    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+    s0 += w[i] * d0 * d0;
+    s1 += w[i + 1] * d1 * d1;
+  }
+  for (; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s0 += w[i] * d * d;
+  }
+  return s0 + s1;
+}
+
+}  // namespace kernels
+}  // namespace cbix

@@ -4,67 +4,215 @@
 #include <cassert>
 #include <cmath>
 
+#include "distance/batch_kernels.h"
+
 namespace cbix {
 
-double HistogramIntersectionDistance::Distance(const Vec& a,
-                                               const Vec& b) const {
-  assert(a.size() == b.size());
-  double inter = 0.0, mass_a = 0.0, mass_b = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    inter += std::min(a[i], b[i]);
-    mass_a += a[i];
-    mass_b += b[i];
-  }
+namespace {
+
+double IntersectionFromParts(double inter, double mass_a, double mass_b) {
   const double norm = std::min(mass_a, mass_b);
   if (norm <= 0.0) return mass_a == mass_b ? 0.0 : 1.0;
   return 1.0 - inter / norm;
 }
 
+double CosineFromParts(double dot, double norm_a_sq, double norm_b_sq) {
+  if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) {
+    return norm_a_sq == norm_b_sq ? 0.0 : 1.0;
+  }
+  const double cosine = dot / std::sqrt(norm_a_sq * norm_b_sq);
+  return 1.0 - std::clamp(cosine, -1.0, 1.0);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram intersection
+
+double HistogramIntersectionDistance::DistanceRaw(const float* a,
+                                                  const float* b,
+                                                  size_t dim) const {
+  double inter = 0.0, mass_b = 0.0;
+  kernels::MinAndMass(a, b, dim, &inter, &mass_b);
+  return IntersectionFromParts(inter, kernels::Mass(a, dim), mass_b);
+}
+
+double HistogramIntersectionDistance::Distance(const Vec& a,
+                                               const Vec& b) const {
+  assert(a.size() == b.size());
+  return DistanceRaw(a.data(), b.data(), a.size());
+}
+
+void HistogramIntersectionDistance::DistanceBatch(
+    const float* q, const float* rows, size_t stride, size_t n, size_t dim,
+    double* out) const {
+  const double mass_q = kernels::Mass(q, dim);
+  BatchLoop(
+      [&](const float* r) {
+        double inter = 0.0, mass_r = 0.0;
+        kernels::MinAndMass(q, r, dim, &inter, &mass_r);
+        return IntersectionFromParts(inter, mass_q, mass_r);
+      },
+      ContiguousRows{rows, stride}, n, out);
+}
+
+void HistogramIntersectionDistance::DistanceBatch(const float* q,
+                                                  const float* const* rows,
+                                                  size_t n, size_t dim,
+                                                  double* out) const {
+  const double mass_q = kernels::Mass(q, dim);
+  BatchLoop(
+      [&](const float* r) {
+        double inter = 0.0, mass_r = 0.0;
+        kernels::MinAndMass(q, r, dim, &inter, &mass_r);
+        return IntersectionFromParts(inter, mass_q, mass_r);
+      },
+      GatheredRows{rows}, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Chi-square
+
+double ChiSquareDistance::DistanceRaw(const float* a, const float* b,
+                                      size_t dim) const {
+  return kernels::ChiSquare(a, b, dim);
+}
+
 double ChiSquareDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double s = static_cast<double>(a[i]) + b[i];
-    if (s <= 0.0) continue;
-    const double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d / s;
-  }
-  return 0.5 * sum;
+  return kernels::ChiSquare(a.data(), b.data(), a.size());
+}
+
+void ChiSquareDistance::DistanceBatch(const float* q, const float* rows,
+                                      size_t stride, size_t n, size_t dim,
+                                      double* out) const {
+  BatchLoop([&](const float* r) { return kernels::ChiSquare(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void ChiSquareDistance::DistanceBatch(const float* q,
+                                      const float* const* rows, size_t n,
+                                      size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return kernels::ChiSquare(q, r, dim); },
+            GatheredRows{rows}, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Hellinger
+
+double HellingerDistance::DistanceRaw(const float* a, const float* b,
+                                      size_t dim) const {
+  return std::sqrt(kernels::HellingerSquaredSum(a, b, dim) / 2.0);
 }
 
 double HellingerDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = std::sqrt(std::max(0.0f, a[i])) -
-                     std::sqrt(std::max(0.0f, b[i]));
-    sum += d * d;
-  }
-  return std::sqrt(sum / 2.0);
+  return DistanceRaw(a.data(), b.data(), a.size());
+}
+
+void HellingerDistance::DistanceBatch(const float* q, const float* rows,
+                                      size_t stride, size_t n, size_t dim,
+                                      double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void HellingerDistance::DistanceBatch(const float* q,
+                                      const float* const* rows, size_t n,
+                                      size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            GatheredRows{rows}, n, out);
+}
+
+void HellingerDistance::RankBatch(const float* q, const float* rows,
+                                  size_t stride, size_t n, size_t dim,
+                                  double* keys) const {
+  BatchLoop(
+      [&](const float* r) { return kernels::HellingerSquaredSum(q, r, dim); },
+      ContiguousRows{rows, stride}, n, keys);
+}
+
+void HellingerDistance::RankBatch(const float* q, const float* const* rows,
+                                  size_t n, size_t dim,
+                                  double* keys) const {
+  BatchLoop(
+      [&](const float* r) { return kernels::HellingerSquaredSum(q, r, dim); },
+      GatheredRows{rows}, n, keys);
+}
+
+double HellingerDistance::RankToDistance(double key) const {
+  return std::sqrt(key / 2.0);
+}
+
+double HellingerDistance::DistanceToRank(double distance) const {
+  return 2.0 * distance * distance;
+}
+
+// ---------------------------------------------------------------------------
+// Cosine
+
+double CosineDistance::DistanceRaw(const float* a, const float* b,
+                                   size_t dim) const {
+  double dot = 0.0, norm_b_sq = 0.0;
+  kernels::DotAndNormSq(a, b, dim, &dot, &norm_b_sq);
+  return CosineFromParts(dot, kernels::NormSquared(a, dim), norm_b_sq);
 }
 
 double CosineDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
-  if (na <= 0.0 || nb <= 0.0) return na == nb ? 0.0 : 1.0;
-  const double cosine = dot / std::sqrt(na * nb);
-  return 1.0 - std::clamp(cosine, -1.0, 1.0);
+  return DistanceRaw(a.data(), b.data(), a.size());
+}
+
+void CosineDistance::DistanceBatch(const float* q, const float* rows,
+                                   size_t stride, size_t n, size_t dim,
+                                   double* out) const {
+  const double norm_q_sq = kernels::NormSquared(q, dim);
+  BatchLoop(
+      [&](const float* r) {
+        double dot = 0.0, norm_r_sq = 0.0;
+        kernels::DotAndNormSq(q, r, dim, &dot, &norm_r_sq);
+        return CosineFromParts(dot, norm_q_sq, norm_r_sq);
+      },
+      ContiguousRows{rows, stride}, n, out);
+}
+
+void CosineDistance::DistanceBatch(const float* q, const float* const* rows,
+                                   size_t n, size_t dim, double* out) const {
+  const double norm_q_sq = kernels::NormSquared(q, dim);
+  BatchLoop(
+      [&](const float* r) {
+        double dot = 0.0, norm_r_sq = 0.0;
+        kernels::DotAndNormSq(q, r, dim, &dot, &norm_r_sq);
+        return CosineFromParts(dot, norm_q_sq, norm_r_sq);
+      },
+      GatheredRows{rows}, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Canberra
+
+double CanberraDistance::DistanceRaw(const float* a, const float* b,
+                                     size_t dim) const {
+  return kernels::Canberra(a, b, dim);
 }
 
 double CanberraDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double denom = std::fabs(a[i]) + std::fabs(b[i]);
-    if (denom <= 0.0) continue;
-    sum += std::fabs(static_cast<double>(a[i]) - b[i]) / denom;
-  }
-  return sum;
+  return kernels::Canberra(a.data(), b.data(), a.size());
+}
+
+void CanberraDistance::DistanceBatch(const float* q, const float* rows,
+                                     size_t stride, size_t n, size_t dim,
+                                     double* out) const {
+  BatchLoop([&](const float* r) { return kernels::Canberra(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void CanberraDistance::DistanceBatch(const float* q,
+                                     const float* const* rows, size_t n,
+                                     size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return kernels::Canberra(q, r, dim); },
+            GatheredRows{rows}, n, out);
 }
 
 }  // namespace cbix

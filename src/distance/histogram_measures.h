@@ -17,6 +17,13 @@ namespace cbix {
 class HistogramIntersectionDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  /// Batched form hoists the query mass out of the per-row loop.
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "hist_intersect"; }
   bool is_metric() const override { return false; }
 };
@@ -27,6 +34,12 @@ class HistogramIntersectionDistance : public DistanceMetric {
 class ChiSquareDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "chi_square"; }
   bool is_metric() const override { return false; }
 };
@@ -37,6 +50,19 @@ class ChiSquareDistance : public DistanceMetric {
 class HellingerDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
+  /// Rank key = unscaled squared sum; distance = sqrt(key / 2).
+  void RankBatch(const float* q, const float* rows, size_t stride, size_t n,
+                 size_t dim, double* keys) const override;
+  void RankBatch(const float* q, const float* const* rows, size_t n,
+                 size_t dim, double* keys) const override;
+  double RankToDistance(double key) const override;
+  double DistanceToRank(double distance) const override;
   std::string Name() const override { return "hellinger"; }
 };
 
@@ -45,6 +71,13 @@ class HellingerDistance : public DistanceMetric {
 class CosineDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  /// Batched form hoists the query norm out of the per-row loop.
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "cosine"; }
   bool is_metric() const override { return false; }
 };
@@ -54,6 +87,12 @@ class CosineDistance : public DistanceMetric {
 class CanberraDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "canberra"; }
 };
 

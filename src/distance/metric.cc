@@ -5,6 +5,41 @@
 
 namespace cbix {
 
+double DistanceMetric::DistanceRaw(const float* a, const float* b,
+                                   size_t dim) const {
+  // Fallback for measures without a raw kernel; copies into vectors.
+  return Distance(Vec(a, a + dim), Vec(b, b + dim));
+}
+
+void DistanceMetric::DistanceBatch(const float* q, const float* rows,
+                                   size_t stride, size_t n, size_t dim,
+                                   double* out) const {
+  const Vec query(q, q + dim);
+  for (size_t i = 0; i < n; ++i) {
+    const float* r = rows + i * stride;
+    out[i] = Distance(query, Vec(r, r + dim));
+  }
+}
+
+void DistanceMetric::DistanceBatch(const float* q, const float* const* rows,
+                                   size_t n, size_t dim, double* out) const {
+  const Vec query(q, q + dim);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Distance(query, Vec(rows[i], rows[i] + dim));
+  }
+}
+
+void DistanceMetric::RankBatch(const float* q, const float* rows,
+                               size_t stride, size_t n, size_t dim,
+                               double* keys) const {
+  DistanceBatch(q, rows, stride, n, dim, keys);
+}
+
+void DistanceMetric::RankBatch(const float* q, const float* const* rows,
+                               size_t n, size_t dim, double* keys) const {
+  DistanceBatch(q, rows, n, dim, keys);
+}
+
 MetricCheckReport CheckMetricAxioms(const DistanceMetric& metric,
                                     const std::vector<Vec>& sample) {
   MetricCheckReport report;

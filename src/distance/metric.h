@@ -33,6 +33,41 @@ class DistanceMetric {
   /// True when (non-negativity, identity, symmetry, triangle inequality)
   /// all hold, making the measure safe for metric-tree pruning.
   virtual bool is_metric() const { return true; }
+
+  // ------------------------------------------------------------------
+  // Batched evaluation over flat float rows (FeatureMatrix storage).
+  //
+  // The scalar Distance() above is the semantic reference; the raw and
+  // batched forms must agree with it (standard measures override them
+  // with allocation-free kernels from distance/batch_kernels.h; the
+  // defaults fall back to Distance() so exotic measures keep working).
+
+  /// Distance between two raw rows of `dim` floats.
+  virtual double DistanceRaw(const float* a, const float* b,
+                             size_t dim) const;
+
+  /// Distances from query `q` to `n` contiguous rows starting at `rows`
+  /// with `stride` floats between row starts; writes `out[0..n)`.
+  virtual void DistanceBatch(const float* q, const float* rows,
+                             size_t stride, size_t n, size_t dim,
+                             double* out) const;
+
+  /// Gather form: `rows[i]` points at candidate i (VP-tree leaves).
+  virtual void DistanceBatch(const float* q, const float* const* rows,
+                             size_t n, size_t dim, double* out) const;
+
+  // Rank keys: a monotone transform of the distance that is cheaper to
+  // compute in bulk (L2 and Hellinger skip the per-candidate sqrt).
+  // Top-k/range scans compare keys and convert only survivors:
+  //   RankToDistance(key) == distance,  DistanceToRank(distance) == key.
+  // The default key IS the distance.
+
+  virtual void RankBatch(const float* q, const float* rows, size_t stride,
+                         size_t n, size_t dim, double* keys) const;
+  virtual void RankBatch(const float* q, const float* const* rows,
+                         size_t n, size_t dim, double* keys) const;
+  virtual double RankToDistance(double key) const { return key; }
+  virtual double DistanceToRank(double distance) const { return distance; }
 };
 
 /// Decorator that counts every Distance() evaluation — the
@@ -46,6 +81,40 @@ class CountingMetric : public DistanceMetric {
   double Distance(const Vec& a, const Vec& b) const override {
     count_.fetch_add(1, std::memory_order_relaxed);
     return inner_->Distance(a, b);
+  }
+
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->DistanceRaw(a, b, dim);
+  }
+
+  // Batched forms count one evaluation per candidate row.
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    inner_->DistanceBatch(q, rows, stride, n, dim, out);
+  }
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    inner_->DistanceBatch(q, rows, n, dim, out);
+  }
+  void RankBatch(const float* q, const float* rows, size_t stride, size_t n,
+                 size_t dim, double* keys) const override {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    inner_->RankBatch(q, rows, stride, n, dim, keys);
+  }
+  void RankBatch(const float* q, const float* const* rows, size_t n,
+                 size_t dim, double* keys) const override {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    inner_->RankBatch(q, rows, n, dim, keys);
+  }
+  double RankToDistance(double key) const override {
+    return inner_->RankToDistance(key);
+  }
+  double DistanceToRank(double distance) const override {
+    return inner_->DistanceToRank(distance);
   }
 
   std::string Name() const override { return inner_->Name(); }

@@ -3,50 +3,165 @@
 #include <cassert>
 #include <cmath>
 
+#include "distance/batch_kernels.h"
+
 namespace cbix {
+
+// ---------------------------------------------------------------------------
+// L1
 
 double L1Distance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += std::fabs(static_cast<double>(a[i]) - b[i]);
-  }
-  return sum;
+  return kernels::L1(a.data(), b.data(), a.size());
 }
+
+double L1Distance::DistanceRaw(const float* a, const float* b,
+                               size_t dim) const {
+  return kernels::L1(a, b, dim);
+}
+
+void L1Distance::DistanceBatch(const float* q, const float* rows,
+                               size_t stride, size_t n, size_t dim,
+                               double* out) const {
+  BatchLoop([&](const float* r) { return kernels::L1(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void L1Distance::DistanceBatch(const float* q, const float* const* rows,
+                               size_t n, size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return kernels::L1(q, r, dim); },
+            GatheredRows{rows}, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// L2
 
 double L2Distance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(kernels::L2Squared(a.data(), b.data(), a.size()));
 }
+
+double L2Distance::DistanceRaw(const float* a, const float* b,
+                               size_t dim) const {
+  return std::sqrt(kernels::L2Squared(a, b, dim));
+}
+
+void L2Distance::DistanceBatch(const float* q, const float* rows,
+                               size_t stride, size_t n, size_t dim,
+                               double* out) const {
+  BatchLoop(
+      [&](const float* r) { return std::sqrt(kernels::L2Squared(q, r, dim)); },
+      ContiguousRows{rows, stride}, n, out);
+}
+
+void L2Distance::DistanceBatch(const float* q, const float* const* rows,
+                               size_t n, size_t dim, double* out) const {
+  BatchLoop(
+      [&](const float* r) { return std::sqrt(kernels::L2Squared(q, r, dim)); },
+      GatheredRows{rows}, n, out);
+}
+
+void L2Distance::RankBatch(const float* q, const float* rows, size_t stride,
+                           size_t n, size_t dim, double* keys) const {
+  BatchLoop([&](const float* r) { return kernels::L2Squared(q, r, dim); },
+            ContiguousRows{rows, stride}, n, keys);
+}
+
+void L2Distance::RankBatch(const float* q, const float* const* rows,
+                           size_t n, size_t dim, double* keys) const {
+  BatchLoop([&](const float* r) { return kernels::L2Squared(q, r, dim); },
+            GatheredRows{rows}, n, keys);
+}
+
+double L2Distance::RankToDistance(double key) const { return std::sqrt(key); }
+
+double L2Distance::DistanceToRank(double distance) const {
+  return distance * distance;
+}
+
+// ---------------------------------------------------------------------------
+// L∞
 
 double LInfDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double best = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    best = std::max(best, std::fabs(static_cast<double>(a[i]) - b[i]));
-  }
-  return best;
+  return kernels::LInf(a.data(), b.data(), a.size());
 }
 
-MinkowskiDistance::MinkowskiDistance(double p) : p_(p) { assert(p >= 1.0); }
+double LInfDistance::DistanceRaw(const float* a, const float* b,
+                                 size_t dim) const {
+  return kernels::LInf(a, b, dim);
+}
+
+void LInfDistance::DistanceBatch(const float* q, const float* rows,
+                                 size_t stride, size_t n, size_t dim,
+                                 double* out) const {
+  BatchLoop([&](const float* r) { return kernels::LInf(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void LInfDistance::DistanceBatch(const float* q, const float* const* rows,
+                                 size_t n, size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return kernels::LInf(q, r, dim); },
+            GatheredRows{rows}, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// General Lp
+
+MinkowskiDistance::MinkowskiDistance(double p)
+    : p_(p), inv_p_(std::isinf(p) ? 0.0 : 1.0 / p) {
+  assert(p >= 1.0);
+  if (p == 1.0) {
+    form_ = Form::kL1;
+  } else if (p == 2.0) {
+    form_ = Form::kL2;
+  } else if (std::isinf(p)) {
+    form_ = Form::kLInf;
+  } else {
+    form_ = Form::kGeneral;
+  }
+}
+
+double MinkowskiDistance::DistanceRaw(const float* a, const float* b,
+                                      size_t dim) const {
+  switch (form_) {
+    case Form::kL1:
+      return kernels::L1(a, b, dim);
+    case Form::kL2:
+      return std::sqrt(kernels::L2Squared(a, b, dim));
+    case Form::kLInf:
+      return kernels::LInf(a, b, dim);
+    case Form::kGeneral:
+      return std::pow(kernels::PowSum(a, b, dim, p_), inv_p_);
+  }
+  return 0.0;
+}
 
 double MinkowskiDistance::Distance(const Vec& a, const Vec& b) const {
   assert(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    sum += std::pow(std::fabs(static_cast<double>(a[i]) - b[i]), p_);
-  }
-  return std::pow(sum, 1.0 / p_);
+  return DistanceRaw(a.data(), b.data(), a.size());
+}
+
+void MinkowskiDistance::DistanceBatch(const float* q, const float* rows,
+                                      size_t stride, size_t n, size_t dim,
+                                      double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void MinkowskiDistance::DistanceBatch(const float* q,
+                                      const float* const* rows, size_t n,
+                                      size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            GatheredRows{rows}, n, out);
 }
 
 std::string MinkowskiDistance::Name() const {
   return "l" + std::to_string(p_);
 }
+
+// ---------------------------------------------------------------------------
+// Weighted L2
 
 WeightedL2Distance::WeightedL2Distance(Vec weights)
     : weights_(std::move(weights)) {
@@ -56,14 +171,58 @@ WeightedL2Distance::WeightedL2Distance(Vec weights)
   }
 }
 
+double WeightedL2Distance::DistanceRaw(const float* a, const float* b,
+                                       size_t dim) const {
+  assert(dim == weights_.size());
+  return std::sqrt(
+      kernels::WeightedL2Squared(a, b, weights_.data(), dim));
+}
+
 double WeightedL2Distance::Distance(const Vec& a, const Vec& b) const {
-  assert(a.size() == b.size() && a.size() == weights_.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    sum += weights_[i] * d * d;
-  }
-  return std::sqrt(sum);
+  assert(a.size() == b.size());
+  return DistanceRaw(a.data(), b.data(), a.size());
+}
+
+void WeightedL2Distance::DistanceBatch(const float* q, const float* rows,
+                                       size_t stride, size_t n, size_t dim,
+                                       double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            ContiguousRows{rows, stride}, n, out);
+}
+
+void WeightedL2Distance::DistanceBatch(const float* q,
+                                       const float* const* rows, size_t n,
+                                       size_t dim, double* out) const {
+  BatchLoop([&](const float* r) { return DistanceRaw(q, r, dim); },
+            GatheredRows{rows}, n, out);
+}
+
+void WeightedL2Distance::RankBatch(const float* q, const float* rows,
+                                   size_t stride, size_t n, size_t dim,
+                                   double* keys) const {
+  BatchLoop(
+      [&](const float* r) {
+        return kernels::WeightedL2Squared(q, r, weights_.data(), dim);
+      },
+      ContiguousRows{rows, stride}, n, keys);
+}
+
+void WeightedL2Distance::RankBatch(const float* q, const float* const* rows,
+                                   size_t n, size_t dim,
+                                   double* keys) const {
+  BatchLoop(
+      [&](const float* r) {
+        return kernels::WeightedL2Squared(q, r, weights_.data(), dim);
+      },
+      GatheredRows{rows}, n, keys);
+}
+
+double WeightedL2Distance::RankToDistance(double key) const {
+  return std::sqrt(key);
+}
+
+double WeightedL2Distance::DistanceToRank(double distance) const {
+  return distance * distance;
 }
 
 }  // namespace cbix

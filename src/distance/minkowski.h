@@ -1,6 +1,10 @@
 // Minkowski-family distances: L1 (city block), L2 (Euclidean), L∞
 // (Chebyshev), general Lp, and the diagonally weighted Euclidean
 // distance CBIR uses to combine heterogeneous feature blocks.
+//
+// All of them override the raw/batched kernel hooks of DistanceMetric
+// (see distance/batch_kernels.h); L2 and weighted L2 additionally rank
+// by squared distance so bulk scans defer the sqrt to finalization.
 
 #ifndef CBIX_DISTANCE_MINKOWSKI_H_
 #define CBIX_DISTANCE_MINKOWSKI_H_
@@ -12,32 +16,69 @@ namespace cbix {
 class L1Distance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "l1"; }
 };
 
 class L2Distance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
+  /// Rank key = squared distance (sqrt deferred to finalization).
+  void RankBatch(const float* q, const float* rows, size_t stride, size_t n,
+                 size_t dim, double* keys) const override;
+  void RankBatch(const float* q, const float* const* rows, size_t n,
+                 size_t dim, double* keys) const override;
+  double RankToDistance(double key) const override;
+  double DistanceToRank(double distance) const override;
   std::string Name() const override { return "l2"; }
 };
 
 class LInfDistance : public DistanceMetric {
  public:
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override { return "linf"; }
 };
 
 /// General Lp distance for p >= 1 (p < 1 would not satisfy the triangle
-/// inequality and is rejected).
+/// inequality and is rejected). p = 1, 2 and infinity are dispatched to
+/// the specialized L1/L2/L∞ kernels instead of running the per-element
+/// std::pow loop; the general path precomputes 1/p once.
 class MinkowskiDistance : public DistanceMetric {
  public:
   explicit MinkowskiDistance(double p);
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
   std::string Name() const override;
   double p() const { return p_; }
 
  private:
+  enum class Form { kL1, kL2, kLInf, kGeneral };
+
   double p_;
+  double inv_p_;  ///< 1/p, precomputed for the general-path root
+  Form form_;
 };
 
 /// sqrt(sum_i w_i (a_i - b_i)^2) with non-negative weights. A metric
@@ -47,6 +88,18 @@ class WeightedL2Distance : public DistanceMetric {
  public:
   explicit WeightedL2Distance(Vec weights);
   double Distance(const Vec& a, const Vec& b) const override;
+  double DistanceRaw(const float* a, const float* b,
+                     size_t dim) const override;
+  void DistanceBatch(const float* q, const float* rows, size_t stride,
+                     size_t n, size_t dim, double* out) const override;
+  void DistanceBatch(const float* q, const float* const* rows, size_t n,
+                     size_t dim, double* out) const override;
+  void RankBatch(const float* q, const float* rows, size_t stride, size_t n,
+                 size_t dim, double* keys) const override;
+  void RankBatch(const float* q, const float* const* rows, size_t n,
+                 size_t dim, double* keys) const override;
+  double RankToDistance(double key) const override;
+  double DistanceToRank(double distance) const override;
   std::string Name() const override { return "weighted_l2"; }
   const Vec& weights() const { return weights_; }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "distance/metric.h"
+#include "util/feature_matrix.h"
 #include "util/status.h"
 
 namespace cbix {
@@ -59,6 +60,15 @@ class VectorIndex {
   /// share one dimension; ids are assigned 0..n-1 in input order.
   /// Replaces any previous contents.
   virtual Status Build(std::vector<Vec> vectors) = 0;
+
+  /// Builds from flat SoA feature storage; row ids become vector ids.
+  /// Indexes that scan rows directly (linear scan, VP-tree) copy the
+  /// matrix buffer once (and offer a move-adopting AdoptMatrix); the
+  /// default unpacks into nested vectors without an extra matrix copy
+  /// for structures still consuming those.
+  virtual Status BuildFromMatrix(const FeatureMatrix& matrix) {
+    return Build(matrix.ToVectors());
+  }
 
   /// All ids within `radius` (inclusive) of `q`, sorted by (distance,
   /// id). Exact: must agree with a linear scan under the same metric.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/batch_kernels.h"
 #include "distance/minkowski.h"
 
 namespace cbix {
@@ -40,26 +41,17 @@ KdTree::KdTree(KdTreeOptions options) : options_(options) {
 
 double KdTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
-  double acc = 0.0;
+  // Shared kernels keep reported distances bit-identical across every
+  // index (the linear-scan reference included).
   switch (options_.metric) {
     case MinkowskiKind::kL1:
-      for (size_t i = 0; i < a.size(); ++i) {
-        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
-      }
-      return acc;
+      return kernels::L1(a.data(), b.data(), a.size());
     case MinkowskiKind::kL2:
-      for (size_t i = 0; i < a.size(); ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        acc += d * d;
-      }
-      return std::sqrt(acc);
+      return std::sqrt(kernels::L2Squared(a.data(), b.data(), a.size()));
     case MinkowskiKind::kLInf:
-      for (size_t i = 0; i < a.size(); ++i) {
-        acc = std::max(acc, std::fabs(static_cast<double>(a[i]) - b[i]));
-      }
-      return acc;
+      return kernels::LInf(a.data(), b.data(), a.size());
   }
-  return acc;
+  return 0.0;
 }
 
 int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,

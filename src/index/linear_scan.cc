@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+
+#include "distance/batch_kernels.h"
 
 namespace cbix {
 
@@ -17,6 +20,14 @@ std::vector<Neighbor> KnnSearch(const VectorIndex& index, const Vec& q,
   return index.KnnSearch(q, k, &stats);
 }
 
+namespace {
+
+/// Candidates per batched kernel call: large enough to amortize the
+/// virtual dispatch, small enough that the key buffer stays in L1.
+constexpr size_t kScanBlock = 256;
+
+}  // namespace
+
 LinearScanIndex::LinearScanIndex(
     std::shared_ptr<const DistanceMetric> metric)
     : metric_(std::move(metric)) {
@@ -25,17 +36,26 @@ LinearScanIndex::LinearScanIndex(
 
 Status LinearScanIndex::Build(std::vector<Vec> vectors) {
   if (!vectors.empty()) {
-    dim_ = vectors[0].size();
-    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+    const size_t dim = vectors[0].size();
+    if (dim == 0) return Status::InvalidArgument("empty vectors");
     for (const Vec& v : vectors) {
-      if (v.size() != dim_) {
+      if (v.size() != dim) {
         return Status::InvalidArgument("inconsistent vector dimensions");
       }
     }
-  } else {
-    dim_ = 0;
   }
-  vectors_ = std::move(vectors);
+  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
+}
+
+Status LinearScanIndex::BuildFromMatrix(const FeatureMatrix& matrix) {
+  return AdoptMatrix(FeatureMatrix(matrix));
+}
+
+Status LinearScanIndex::AdoptMatrix(FeatureMatrix matrix) {
+  if (matrix.count() > 0 && matrix.dim() == 0) {
+    return Status::InvalidArgument("empty vectors");
+  }
+  data_ = std::move(matrix);
   return Status::Ok();
 }
 
@@ -43,12 +63,26 @@ std::vector<Neighbor> LinearScanIndex::RangeSearch(const Vec& q,
                                                    double radius,
                                                    SearchStats* stats) const {
   std::vector<Neighbor> out;
-  for (size_t i = 0; i < vectors_.size(); ++i) {
-    const double d = metric_->Distance(q, vectors_[i]);
-    if (stats != nullptr) ++stats->distance_evals;
-    if (d <= radius) out.push_back({static_cast<uint32_t>(i), d});
+  const size_t n = data_.count();
+  const size_t dim = data_.dim();
+  const double radius_key = RankKeyThreshold(metric_->DistanceToRank(radius));
+  double keys[kScanBlock];
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t block = std::min(kScanBlock, n - begin);
+    metric_->RankBatch(q.data(), data_.row(begin), data_.stride(), block,
+                       dim, keys);
+    if (stats != nullptr) {
+      stats->distance_evals += block;
+      ++stats->leaves_visited;
+    }
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > radius_key) continue;
+      const double d = metric_->RankToDistance(keys[i]);
+      if (d <= radius) {
+        out.push_back({static_cast<uint32_t>(begin + i), d});
+      }
+    }
   }
-  if (stats != nullptr) ++stats->leaves_visited;
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -56,21 +90,38 @@ std::vector<Neighbor> LinearScanIndex::RangeSearch(const Vec& q,
 std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
                                                  SearchStats* stats) const {
   std::vector<Neighbor> heap;  // max-heap on (distance, id)
+  if (k == 0) return heap;
   heap.reserve(k + 1);
-  for (size_t i = 0; i < vectors_.size(); ++i) {
-    const double d = metric_->Distance(q, vectors_[i]);
-    if (stats != nullptr) ++stats->distance_evals;
-    const Neighbor candidate{static_cast<uint32_t>(i), d};
-    if (heap.size() < k) {
-      heap.push_back(candidate);
-      std::push_heap(heap.begin(), heap.end());
-    } else if (k > 0 && candidate < heap.front()) {
-      std::pop_heap(heap.begin(), heap.end());
-      heap.back() = candidate;
-      std::push_heap(heap.begin(), heap.end());
+  const size_t n = data_.count();
+  const size_t dim = data_.dim();
+  double tau_key = std::numeric_limits<double>::infinity();
+  double keys[kScanBlock];
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t block = std::min(kScanBlock, n - begin);
+    metric_->RankBatch(q.data(), data_.row(begin), data_.stride(), block,
+                       dim, keys);
+    if (stats != nullptr) {
+      stats->distance_evals += block;
+      ++stats->leaves_visited;
+    }
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > tau_key) continue;  // provably outside the k-ball
+      const Neighbor candidate{static_cast<uint32_t>(begin + i),
+                               metric_->RankToDistance(keys[i])};
+      if (heap.size() < k) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (candidate < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end());
+      }
+      if (heap.size() == k) {
+        tau_key =
+            RankKeyThreshold(metric_->DistanceToRank(heap.front().distance));
+      }
     }
   }
-  if (stats != nullptr) ++stats->leaves_visited;
   std::sort(heap.begin(), heap.end());
   return heap;
 }
@@ -80,7 +131,12 @@ std::string LinearScanIndex::Name() const {
 }
 
 size_t LinearScanIndex::MemoryBytes() const {
-  return vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  // One flat allocation; the seed's per-row std::vector control blocks
+  // and allocator headers are gone. Count the buffer once plus the
+  // allocator header of the single allocation and the index object.
+  constexpr size_t kAllocHeader = 16;
+  return data_.MemoryBytes() + (data_.MemoryBytes() > 0 ? kAllocHeader : 0) +
+         sizeof(*this);
 }
 
 }  // namespace cbix

@@ -1,5 +1,11 @@
 // Linear scan: the exact brute-force baseline every index is measured
 // against. Works with any distance measure, metric or not.
+//
+// Candidates live in a flat FeatureMatrix and are scanned in blocks
+// through the metric's batched rank kernels: the inner loop is free of
+// virtual dispatch and pointer chasing, L2-style metrics compare
+// squared keys and defer the sqrt to candidates that actually enter
+// the result, and each block feeds a bounded top-k heap.
 
 #ifndef CBIX_INDEX_LINEAR_SCAN_H_
 #define CBIX_INDEX_LINEAR_SCAN_H_
@@ -15,22 +21,24 @@ class LinearScanIndex : public VectorIndex {
   explicit LinearScanIndex(std::shared_ptr<const DistanceMetric> metric);
 
   Status Build(std::vector<Vec> vectors) override;
+  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
+  /// Zero-copy build: takes ownership of `matrix`.
+  Status AdoptMatrix(FeatureMatrix matrix);
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return vectors_.size(); }
-  size_t dim() const override { return dim_; }
+  size_t size() const override { return data_.count(); }
+  size_t dim() const override { return data_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
-  const std::vector<Vec>& vectors() const { return vectors_; }
+  const FeatureMatrix& matrix() const { return data_; }
 
  private:
   std::shared_ptr<const DistanceMetric> metric_;
-  std::vector<Vec> vectors_;
-  size_t dim_ = 0;
+  FeatureMatrix data_;
 };
 
 }  // namespace cbix

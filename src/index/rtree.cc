@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "distance/batch_kernels.h"
+
 namespace cbix {
 
 RTree::RTree(RTreeOptions options) : options_(options) {
@@ -16,26 +18,17 @@ RTree::RTree(RTreeOptions options) : options_(options) {
 
 double RTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
-  double acc = 0.0;
+  // Shared kernels keep reported distances bit-identical across every
+  // index (the linear-scan reference included).
   switch (options_.metric) {
     case MinkowskiKind::kL1:
-      for (size_t i = 0; i < a.size(); ++i) {
-        acc += std::fabs(static_cast<double>(a[i]) - b[i]);
-      }
-      return acc;
+      return kernels::L1(a.data(), b.data(), a.size());
     case MinkowskiKind::kL2:
-      for (size_t i = 0; i < a.size(); ++i) {
-        const double d = static_cast<double>(a[i]) - b[i];
-        acc += d * d;
-      }
-      return std::sqrt(acc);
+      return std::sqrt(kernels::L2Squared(a.data(), b.data(), a.size()));
     case MinkowskiKind::kLInf:
-      for (size_t i = 0; i < a.size(); ++i) {
-        acc = std::max(acc, std::fabs(static_cast<double>(a[i]) - b[i]));
-      }
-      return acc;
+      return kernels::LInf(a.data(), b.data(), a.size());
   }
-  return acc;
+  return 0.0;
 }
 
 double RTree::MinDist(const Vec& q, const Rect& r) const {

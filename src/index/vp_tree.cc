@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/batch_kernels.h"
 #include "util/serialize.h"
 
 namespace cbix {
@@ -12,6 +13,9 @@ namespace cbix {
 namespace {
 constexpr uint32_t kVpTreeMagic = 0x56505452;  // "VPTR"
 constexpr uint32_t kVpTreeVersion = 1;
+
+/// Leaf candidates per batched kernel call.
+constexpr size_t kLeafBlock = 128;
 }  // namespace
 
 std::string VantageSelectionName(VantageSelection selection) {
@@ -35,9 +39,9 @@ VpTree::VpTree(std::shared_ptr<const DistanceMetric> metric,
   assert(options_.sample_size >= 2);
 }
 
-double VpTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+double VpTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
-  return metric_->Distance(a, b);
+  return metric_->DistanceRaw(q, data_.row(id), data_.dim());
 }
 
 uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
@@ -47,6 +51,7 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
     return ids[rng->NextBelow(ids.size())];
   }
 
+  const size_t dim = data_.dim();
   const size_t candidates =
       std::min(options_.sample_size, ids.size());
 
@@ -54,13 +59,13 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
     // Farthest point from a random probe: cheap approximation of a
     // "corner" of the data set, which yields wide, well-separated
     // distance distributions.
-    const Vec& probe = vectors_[ids[rng->NextBelow(ids.size())]];
+    const float* probe = data_.row(ids[rng->NextBelow(ids.size())]);
     uint32_t best_id = ids[0];
     double best_dist = -1.0;
     const std::vector<size_t> sample =
         rng->SampleWithoutReplacement(ids.size(), candidates);
     for (size_t s : sample) {
-      const double d = metric_->Distance(probe, vectors_[ids[s]]);
+      const double d = metric_->DistanceRaw(probe, data_.row(ids[s]), dim);
       build_distance_evals_ += 1;
       if (d > best_dist) {
         best_dist = d;
@@ -81,11 +86,12 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
   uint32_t best_id = ids[cand_idx[0]];
   double best_spread = -1.0;
   for (size_t ci : cand_idx) {
-    const Vec& candidate = vectors_[ids[ci]];
+    const float* candidate = data_.row(ids[ci]);
     double mean = 0.0, m2 = 0.0;
     size_t n = 0;
     for (size_t ti : target_idx) {
-      const double d = metric_->Distance(candidate, vectors_[ids[ti]]);
+      const double d =
+          metric_->DistanceRaw(candidate, data_.row(ids[ti]), dim);
       build_distance_evals_ += 1;
       ++n;
       const double delta = d - mean;
@@ -119,12 +125,13 @@ int32_t VpTree::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
     uint32_t id;
     double dist;
   };
+  const float* vantage_row = data_.row(vantage);
   std::vector<Entry> entries;
   entries.reserve(ids.size() - 1);
   for (uint32_t id : ids) {
     if (id == vantage) continue;
-    entries.push_back({id, metric_->Distance(vectors_[vantage],
-                                             vectors_[id])});
+    entries.push_back({id, metric_->DistanceRaw(vantage_row, data_.row(id),
+                                                data_.dim())});
     ++build_distance_evals_;
   }
   std::sort(entries.begin(), entries.end(),
@@ -166,27 +173,60 @@ int32_t VpTree::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
 
 Status VpTree::Build(std::vector<Vec> vectors) {
   if (!vectors.empty()) {
-    dim_ = vectors[0].size();
-    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
+    const size_t dim = vectors[0].size();
+    if (dim == 0) return Status::InvalidArgument("empty vectors");
     for (const Vec& v : vectors) {
-      if (v.size() != dim_) {
+      if (v.size() != dim) {
         return Status::InvalidArgument("inconsistent vector dimensions");
       }
     }
-  } else {
-    dim_ = 0;
   }
-  vectors_ = std::move(vectors);
+  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
+}
+
+Status VpTree::BuildFromMatrix(const FeatureMatrix& matrix) {
+  return AdoptMatrix(FeatureMatrix(matrix));
+}
+
+Status VpTree::AdoptMatrix(FeatureMatrix matrix) {
+  if (matrix.count() > 0 && matrix.dim() == 0) {
+    return Status::InvalidArgument("empty vectors");
+  }
+  data_ = std::move(matrix);
   nodes_.clear();
   build_distance_evals_ = 0;
   root_ = -1;
-  if (vectors_.empty()) return Status::Ok();
+  if (data_.empty()) return Status::Ok();
 
-  std::vector<uint32_t> ids(vectors_.size());
+  std::vector<uint32_t> ids(data_.count());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
   Rng rng(options_.seed);
   root_ = BuildNode(std::move(ids), &rng);
   return Status::Ok();
+}
+
+void VpTree::ScanLeafRange(const Node& node, const Vec& q, double radius,
+                           SearchStats* stats,
+                           std::vector<Neighbor>* out) const {
+  const size_t dim = data_.dim();
+  const double radius_key =
+      RankKeyThreshold(metric_->DistanceToRank(radius));
+  const float* rows[kLeafBlock];
+  double keys[kLeafBlock];
+  const size_t total = node.leaf_ids.size();
+  for (size_t begin = 0; begin < total; begin += kLeafBlock) {
+    const size_t block = std::min(kLeafBlock, total - begin);
+    for (size_t i = 0; i < block; ++i) {
+      rows[i] = data_.row(node.leaf_ids[begin + i]);
+    }
+    metric_->RankBatch(q.data(), rows, block, dim, keys);
+    if (stats != nullptr) stats->distance_evals += block;
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > radius_key) continue;
+      const double d = metric_->RankToDistance(keys[i]);
+      if (d <= radius) out->push_back({node.leaf_ids[begin + i], d});
+    }
+  }
 }
 
 void VpTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
@@ -195,15 +235,12 @@ void VpTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     if (stats != nullptr) ++stats->leaves_visited;
-    for (uint32_t id : node.leaf_ids) {
-      const double d = Dist(q, vectors_[id], stats);
-      if (d <= radius) out->push_back({id, d});
-    }
+    ScanLeafRange(node, q, radius, stats, out);
     return;
   }
 
   if (stats != nullptr) ++stats->nodes_visited;
-  const double dq = Dist(q, vectors_[node.vantage_id], stats);
+  const double dq = Dist(q.data(), node.vantage_id, stats);
   if (dq <= radius) out->push_back({node.vantage_id, dq});
 
   for (size_t i = 0; i < node.children.size(); ++i) {
@@ -248,20 +285,48 @@ double HeapTau(const std::vector<Neighbor>& heap, size_t k) {
 
 }  // namespace
 
+void VpTree::ScanLeafKnn(const Node& node, const Vec& q, size_t k,
+                         SearchStats* stats,
+                         std::vector<Neighbor>* heap) const {
+  const size_t dim = data_.dim();
+  const float* rows[kLeafBlock];
+  double keys[kLeafBlock];
+  const size_t total = node.leaf_ids.size();
+  for (size_t begin = 0; begin < total; begin += kLeafBlock) {
+    const size_t block = std::min(kLeafBlock, total - begin);
+    for (size_t i = 0; i < block; ++i) {
+      rows[i] = data_.row(node.leaf_ids[begin + i]);
+    }
+    metric_->RankBatch(q.data(), rows, block, dim, keys);
+    if (stats != nullptr) stats->distance_evals += block;
+    double tau_key =
+        heap->size() < k
+            ? std::numeric_limits<double>::infinity()
+            : RankKeyThreshold(metric_->DistanceToRank(HeapTau(*heap, k)));
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > tau_key) continue;
+      HeapPush(heap, k, {node.leaf_ids[begin + i],
+                         metric_->RankToDistance(keys[i])});
+      if (heap->size() == k) {
+        tau_key =
+            RankKeyThreshold(metric_->DistanceToRank(heap->front().distance));
+      }
+    }
+  }
+}
+
 void VpTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
                            SearchStats* stats,
                            std::vector<Neighbor>* heap) const {
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     if (stats != nullptr) ++stats->leaves_visited;
-    for (uint32_t id : node.leaf_ids) {
-      HeapPush(heap, k, {id, Dist(q, vectors_[id], stats)});
-    }
+    ScanLeafKnn(node, q, k, stats, heap);
     return;
   }
 
   if (stats != nullptr) ++stats->nodes_visited;
-  const double dq = Dist(q, vectors_[node.vantage_id], stats);
+  const double dq = Dist(q.data(), node.vantage_id, stats);
   HeapPush(heap, k, {node.vantage_id, dq});
 
   // Visit children nearest-first: the child whose annulus is closest to
@@ -302,7 +367,7 @@ std::string VpTree::Name() const {
 }
 
 size_t VpTree::MemoryBytes() const {
-  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  size_t bytes = data_.MemoryBytes() + sizeof(*this);
   for (const Node& node : nodes_) {
     bytes += sizeof(Node);
     bytes += node.leaf_ids.size() * sizeof(uint32_t);
@@ -341,10 +406,10 @@ void VpTree::Serialize(std::vector<uint8_t>* out) const {
   writer.Write<uint32_t>(static_cast<uint32_t>(options_.arity));
   writer.Write<uint64_t>(options_.leaf_size);
   writer.Write<uint32_t>(static_cast<uint32_t>(options_.selection));
-  writer.Write<uint64_t>(vectors_.size());
-  writer.Write<uint64_t>(dim_);
-  for (const Vec& v : vectors_) {
-    writer.WriteVector(v);
+  writer.Write<uint64_t>(data_.count());
+  writer.Write<uint64_t>(data_.dim());
+  for (size_t i = 0; i < data_.count(); ++i) {
+    writer.WriteVector(data_.RowVec(i));
   }
   writer.Write<int32_t>(root_);
   writer.Write<uint64_t>(nodes_.size());
@@ -382,10 +447,14 @@ Status VpTree::Deserialize(const std::vector<uint8_t>& bytes) {
   options_.leaf_size = leaf_size;
   options_.selection = static_cast<VantageSelection>(selection);
 
-  std::vector<Vec> vectors(count);
-  for (auto& v : vectors) {
-    CBIX_RETURN_IF_ERROR(reader.ReadVector(&v));
-    if (v.size() != dim) return Status::Corruption("vp_tree: bad vector");
+  // No Reserve(count): the count is untrusted until the payload parses;
+  // geometric growth bounds the allocation by what the buffer yields.
+  FeatureMatrix matrix(dim);
+  Vec row;
+  for (uint64_t i = 0; i < count; ++i) {
+    CBIX_RETURN_IF_ERROR(reader.ReadVector(&row));
+    if (row.size() != dim) return Status::Corruption("vp_tree: bad vector");
+    matrix.AppendRow(row);
   }
   int32_t root = -1;
   CBIX_RETURN_IF_ERROR(reader.Read(&root));
@@ -421,10 +490,9 @@ Status VpTree::Deserialize(const std::vector<uint8_t>& bytes) {
     return Status::Corruption("vp_tree: root out of range");
   }
 
-  vectors_ = std::move(vectors);
+  data_ = std::move(matrix);
   nodes_ = std::move(nodes);
   root_ = root;
-  dim_ = dim;
   return Status::Ok();
 }
 

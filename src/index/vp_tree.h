@@ -50,13 +50,16 @@ class VpTree : public VectorIndex {
          VpTreeOptions options = {});
 
   Status Build(std::vector<Vec> vectors) override;
+  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
+  /// Zero-copy build: takes ownership of `matrix`.
+  Status AdoptMatrix(FeatureMatrix matrix);
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return vectors_.size(); }
-  size_t dim() const override { return dim_; }
+  size_t size() const override { return data_.count(); }
+  size_t dim() const override { return data_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
@@ -91,9 +94,16 @@ class VpTree : public VectorIndex {
     std::vector<uint32_t> leaf_ids;
   };
 
-  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  /// Query-to-row distance with per-query stats accounting.
+  double Dist(const float* q, uint32_t id, SearchStats* stats) const;
   uint32_t SelectVantage(const std::vector<uint32_t>& ids, Rng* rng);
   int32_t BuildNode(std::vector<uint32_t> ids, Rng* rng);
+  /// Batched leaf scan for the range query; appends hits to `out`.
+  void ScanLeafRange(const Node& node, const Vec& q, double radius,
+                     SearchStats* stats, std::vector<Neighbor>* out) const;
+  /// Batched leaf scan feeding the k-NN heap.
+  void ScanLeafKnn(const Node& node, const Vec& q, size_t k,
+                   SearchStats* stats, std::vector<Neighbor>* heap) const;
   void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
                        SearchStats* stats, std::vector<Neighbor>* out) const;
   void KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
@@ -102,10 +112,9 @@ class VpTree : public VectorIndex {
 
   std::shared_ptr<const DistanceMetric> metric_;
   VpTreeOptions options_;
-  std::vector<Vec> vectors_;
+  FeatureMatrix data_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
-  size_t dim_ = 0;
   uint64_t build_distance_evals_ = 0;
 };
 

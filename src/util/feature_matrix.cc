@@ -1,0 +1,151 @@
+#include "util/feature_matrix.h"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <new>
+
+namespace cbix {
+
+namespace {
+
+float* AllocateAligned(size_t floats) {
+  if (floats == 0) return nullptr;
+  // Guard the byte-count multiplication: untrusted row counts (e.g.
+  // from serialized files) must fail allocation, not wrap to a tiny
+  // buffer that later row writes overrun.
+  if (floats > std::numeric_limits<size_t>::max() / sizeof(float)) {
+    throw std::bad_alloc();
+  }
+  return static_cast<float*>(::operator new(
+      floats * sizeof(float), std::align_val_t(FeatureMatrix::kAlignment)));
+}
+
+size_t CheckedFloatCount(size_t rows, size_t stride) {
+  if (stride != 0 &&
+      rows > std::numeric_limits<size_t>::max() / stride) {
+    throw std::bad_alloc();
+  }
+  return rows * stride;
+}
+
+void DeallocateAligned(float* p) {
+  if (p != nullptr) {
+    ::operator delete(p, std::align_val_t(FeatureMatrix::kAlignment));
+  }
+}
+
+}  // namespace
+
+FeatureMatrix::FeatureMatrix(const FeatureMatrix& other) {
+  dim_ = other.dim_;
+  stride_ = other.stride_;
+  count_ = other.count_;
+  capacity_ = other.count_;  // copies are trimmed to size
+  data_ = AllocateAligned(CheckedFloatCount(capacity_, stride_));
+  if (count_ > 0) {
+    std::memcpy(data_, other.data_, count_ * stride_ * sizeof(float));
+  }
+}
+
+FeatureMatrix& FeatureMatrix::operator=(const FeatureMatrix& other) {
+  if (this != &other) {
+    FeatureMatrix copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+FeatureMatrix::FeatureMatrix(FeatureMatrix&& other) noexcept
+    : data_(other.data_),
+      dim_(other.dim_),
+      stride_(other.stride_),
+      count_(other.count_),
+      capacity_(other.capacity_) {
+  other.data_ = nullptr;
+  other.dim_ = other.stride_ = other.count_ = other.capacity_ = 0;
+}
+
+FeatureMatrix& FeatureMatrix::operator=(FeatureMatrix&& other) noexcept {
+  if (this != &other) {
+    DeallocateAligned(data_);
+    data_ = other.data_;
+    dim_ = other.dim_;
+    stride_ = other.stride_;
+    count_ = other.count_;
+    capacity_ = other.capacity_;
+    other.data_ = nullptr;
+    other.dim_ = other.stride_ = other.count_ = other.capacity_ = 0;
+  }
+  return *this;
+}
+
+FeatureMatrix::~FeatureMatrix() { DeallocateAligned(data_); }
+
+void FeatureMatrix::SetDim(size_t dim) {
+  assert(count_ == 0);
+  dim_ = dim;
+  constexpr size_t kFloatsPerLine = kAlignment / sizeof(float);
+  stride_ = (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+
+FeatureMatrix FeatureMatrix::FromVectors(const std::vector<Vec>& rows) {
+  FeatureMatrix m;
+  if (rows.empty()) return m;
+  m.SetDim(rows[0].size());
+  m.Reserve(rows.size());
+  for (const Vec& v : rows) m.AppendRow(v);
+  return m;
+}
+
+void FeatureMatrix::Grow(size_t min_rows) {
+  size_t new_capacity = capacity_ == 0 ? 8 : capacity_ * 2;
+  if (new_capacity < min_rows) new_capacity = min_rows;
+  float* new_data = AllocateAligned(CheckedFloatCount(new_capacity, stride_));
+  if (count_ > 0) {
+    std::memcpy(new_data, data_, count_ * stride_ * sizeof(float));
+  }
+  DeallocateAligned(data_);
+  data_ = new_data;
+  capacity_ = new_capacity;
+}
+
+void FeatureMatrix::Reserve(size_t rows) {
+  if (rows > capacity_ && stride_ > 0) Grow(rows);
+}
+
+void FeatureMatrix::AppendRow(const float* values, size_t size) {
+  if (dim_ == 0 && count_ == 0) SetDim(size);
+  assert(size == dim_ && size > 0);
+  if (count_ == capacity_) Grow(count_ + 1);
+  float* dst = data_ + count_ * stride_;
+  std::memcpy(dst, values, dim_ * sizeof(float));
+  if (stride_ > dim_) {
+    std::memset(dst + dim_, 0, (stride_ - dim_) * sizeof(float));
+  }
+  ++count_;
+}
+
+Vec FeatureMatrix::RowVec(size_t i) const {
+  assert(i < count_);
+  return Vec(row(i), row(i) + dim_);
+}
+
+std::vector<Vec> FeatureMatrix::ToVectors() const {
+  std::vector<Vec> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(RowVec(i));
+  return out;
+}
+
+void FeatureMatrix::Clear() {
+  DeallocateAligned(data_);
+  data_ = nullptr;
+  dim_ = stride_ = count_ = capacity_ = 0;
+}
+
+size_t FeatureMatrix::MemoryBytes() const {
+  return capacity_ * stride_ * sizeof(float);
+}
+
+}  // namespace cbix

@@ -1,0 +1,92 @@
+// FeatureMatrix — flat, row-major, aligned feature storage.
+//
+// The entire query path of the system bottoms out in feature-space
+// distance evaluations, and `std::vector<std::vector<float>>` defeats
+// the hardware there twice: every row is a separate heap allocation
+// (pointer chase, no spatial locality between candidates) and the
+// per-row control block wastes cache lines. FeatureMatrix stores all
+// vectors in one contiguous 32-byte-aligned buffer; rows are padded to
+// a fixed stride (multiple of 8 floats) so every row starts aligned and
+// batched kernels can stream candidates without per-row indirection.
+// Row ids are positions, matching index/store ids. Padding lanes are
+// zero-filled and never read by kernels (they iterate exactly `dim`
+// elements), so padded rows compare identically to unpadded vectors.
+
+#ifndef CBIX_UTIL_FEATURE_MATRIX_H_
+#define CBIX_UTIL_FEATURE_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cbix {
+
+using Vec = std::vector<float>;
+
+class FeatureMatrix {
+ public:
+  /// Row alignment in bytes; stride is padded so each row starts on
+  /// a kAlignment boundary (8 floats).
+  static constexpr size_t kAlignment = 32;
+
+  FeatureMatrix() = default;
+
+  /// An empty matrix accepting rows of dimension `dim`.
+  explicit FeatureMatrix(size_t dim) { SetDim(dim); }
+
+  FeatureMatrix(const FeatureMatrix& other);
+  FeatureMatrix& operator=(const FeatureMatrix& other);
+  FeatureMatrix(FeatureMatrix&& other) noexcept;
+  FeatureMatrix& operator=(FeatureMatrix&& other) noexcept;
+  ~FeatureMatrix();
+
+  /// Packs `rows` (all the same non-zero dimension; asserted) into a
+  /// matrix. An empty input yields an empty matrix of dimension 0.
+  static FeatureMatrix FromVectors(const std::vector<Vec>& rows);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Floats from one row start to the next (>= dim, multiple of 8).
+  size_t stride() const { return stride_; }
+
+  /// Zero-copy view of row `i` (valid until the next mutating call).
+  const float* row(size_t i) const { return data_ + i * stride_; }
+  float* mutable_row(size_t i) { return data_ + i * stride_; }
+
+  /// Base pointer of the contiguous buffer (row 0), nullptr when empty.
+  const float* data() const { return data_; }
+
+  /// Appends one row; `values` must hold dim() floats. On the first
+  /// append into a dim-0 matrix, `size` fixes the dimension.
+  void AppendRow(const float* values, size_t size);
+  void AppendRow(const Vec& v) { AppendRow(v.data(), v.size()); }
+
+  void Reserve(size_t rows);
+
+  /// Materializes row `i` as an owned vector (no padding).
+  Vec RowVec(size_t i) const;
+
+  /// Unpacks all rows (compat bridge for nested-vector consumers).
+  std::vector<Vec> ToVectors() const;
+
+  void Clear();
+
+  /// Heap bytes owned by the buffer (allocated capacity, counted once).
+  size_t MemoryBytes() const;
+
+ private:
+  void SetDim(size_t dim);
+  void Grow(size_t min_rows);
+
+  float* data_ = nullptr;
+  size_t dim_ = 0;
+  size_t stride_ = 0;
+  size_t count_ = 0;
+  size_t capacity_ = 0;  ///< rows
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_FEATURE_MATRIX_H_

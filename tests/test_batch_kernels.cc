@@ -1,0 +1,393 @@
+// Equivalence suite for the batched distance kernels: every batched
+// form (raw, contiguous, gather, rank-key) must reproduce a naive
+// scalar double-accumulating reference within 1e-6, across odd
+// dimensions and degenerate corpora, and the blocked top-k scan must
+// reproduce the scalar reference ranking exactly (same ids).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/corpus.h"
+#include "distance/batch_kernels.h"
+#include "distance/histogram_measures.h"
+#include "distance/metric.h"
+#include "distance/minkowski.h"
+#include "index/linear_scan.h"
+#include "index/vp_tree.h"
+#include "util/feature_matrix.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Naive scalar references (sequential accumulation, mirroring the seed
+// implementations — deliberately independent of the kernel code).
+
+double RefL1(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += std::fabs(static_cast<double>(a[i]) - b[i]);
+  }
+  return s;
+}
+
+double RefL2(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double RefLInf(const Vec& a, const Vec& b) {
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+double RefHistIntersect(const Vec& a, const Vec& b) {
+  double inter = 0.0, ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    inter += std::min(a[i], b[i]);
+    ma += a[i];
+    mb += b[i];
+  }
+  const double norm = std::min(ma, mb);
+  if (norm <= 0.0) return ma == mb ? 0.0 : 1.0;
+  return 1.0 - inter / norm;
+}
+
+double RefChiSquare(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double sum = static_cast<double>(a[i]) + b[i];
+    if (sum <= 0.0) continue;
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d / sum;
+  }
+  return 0.5 * s;
+}
+
+double RefHellinger(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::sqrt(std::max(0.0f, a[i])) -
+                     std::sqrt(std::max(0.0f, b[i]));
+    s += d * d;
+  }
+  return std::sqrt(s / 2.0);
+}
+
+double RefCosine(const Vec& a, const Vec& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return na == nb ? 0.0 : 1.0;
+  return 1.0 - std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
+}
+
+double RefCanberra(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double den = std::fabs(a[i]) + std::fabs(b[i]);
+    if (den <= 0.0) continue;
+    s += std::fabs(static_cast<double>(a[i]) - b[i]) / den;
+  }
+  return s;
+}
+
+using RefFn = double (*)(const Vec&, const Vec&);
+
+struct KernelCase {
+  std::string name;
+  std::shared_ptr<const DistanceMetric> metric;
+  RefFn reference;
+};
+
+std::vector<KernelCase> AllKernelCases() {
+  return {
+      {"l1", MakeMetric(MetricKind::kL1), RefL1},
+      {"l2", MakeMetric(MetricKind::kL2), RefL2},
+      {"linf", MakeMetric(MetricKind::kLInf), RefLInf},
+      {"hist_intersect", MakeMetric(MetricKind::kHistogramIntersection),
+       RefHistIntersect},
+      {"chi_square", MakeMetric(MetricKind::kChiSquare), RefChiSquare},
+      {"hellinger", MakeMetric(MetricKind::kHellinger), RefHellinger},
+      {"cosine", MakeMetric(MetricKind::kCosine), RefCosine},
+      {"canberra", std::make_shared<CanberraDistance>(), RefCanberra},
+  };
+}
+
+/// Random non-negative vectors (histogram-like, valid for every
+/// measure), with occasional exact zeros to hit the zero-mass branches.
+std::vector<Vec> RandomRows(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> rows;
+  rows.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    Vec v(dim);
+    for (auto& x : v) {
+      const double u = rng.NextDouble();
+      x = u < 0.1 ? 0.0f : static_cast<float>(u);
+    }
+    rows.push_back(std::move(v));
+  }
+  return rows;
+}
+
+class BatchKernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(BatchKernelEquivalence, AllFormsMatchScalarReference) {
+  const KernelCase& param = GetParam();
+  const DistanceMetric& metric = *param.metric;
+
+  for (size_t dim : {1u, 7u, 33u, 257u}) {
+    for (size_t count : {0u, 1u, 100u}) {
+      const std::vector<Vec> rows = RandomRows(count, dim, 17 * dim + count);
+      const FeatureMatrix matrix = FeatureMatrix::FromVectors(rows);
+      const Vec q = RandomRows(1, dim, 999 + dim)[0];
+
+      std::vector<double> batched(count, -1.0);
+      metric.DistanceBatch(q.data(), matrix.data(), matrix.stride(), count,
+                           dim, batched.data());
+
+      std::vector<const float*> ptrs(count);
+      for (size_t i = 0; i < count; ++i) ptrs[i] = matrix.row(i);
+      std::vector<double> gathered(count, -1.0);
+      metric.DistanceBatch(q.data(), ptrs.data(), count, dim,
+                           gathered.data());
+
+      std::vector<double> keys(count, -1.0);
+      metric.RankBatch(q.data(), matrix.data(), matrix.stride(), count, dim,
+                       keys.data());
+
+      for (size_t i = 0; i < count; ++i) {
+        const double want = param.reference(q, rows[i]);
+        EXPECT_NEAR(metric.Distance(q, rows[i]), want, 1e-6)
+            << param.name << " Distance dim=" << dim << " i=" << i;
+        EXPECT_NEAR(metric.DistanceRaw(q.data(), matrix.row(i), dim), want,
+                    1e-6)
+            << param.name << " DistanceRaw dim=" << dim << " i=" << i;
+        EXPECT_NEAR(batched[i], want, 1e-6)
+            << param.name << " DistanceBatch dim=" << dim << " i=" << i;
+        EXPECT_NEAR(gathered[i], want, 1e-6)
+            << param.name << " gather dim=" << dim << " i=" << i;
+        // Rank keys are a monotone transform; converting back must give
+        // the distance, and the inverse must give the key back.
+        EXPECT_NEAR(metric.RankToDistance(keys[i]), want, 1e-6)
+            << param.name << " RankToDistance dim=" << dim << " i=" << i;
+        EXPECT_NEAR(metric.DistanceToRank(metric.RankToDistance(keys[i])),
+                    keys[i], 1e-6 + keys[i] * 1e-9)
+            << param.name << " DistanceToRank dim=" << dim << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelEquivalence, SelfDistanceIsZeroOnDuplicates) {
+  const KernelCase& param = GetParam();
+  const Vec v = RandomRows(1, 33, 5)[0];
+  EXPECT_NEAR(param.metric->DistanceRaw(v.data(), v.data(), v.size()), 0.0,
+              1e-9)
+      << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, BatchKernelEquivalence,
+    ::testing::ValuesIn(AllKernelCases()),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Ranking equivalence: the blocked kernel scan must produce the same
+// ids as a scalar-reference top-k / range scan (ties broken by id).
+
+class BatchRankingEquivalence : public ::testing::TestWithParam<KernelCase> {
+};
+
+TEST_P(BatchRankingEquivalence, BlockedTopKMatchesScalarReference) {
+  const KernelCase& param = GetParam();
+  for (size_t dim : {1u, 7u, 33u, 257u}) {
+    std::vector<Vec> rows = RandomRows(700, dim, 31 * dim);
+    // Duplicated rows exercise the (distance, id) tie-break.
+    for (int d = 0; d < 20; ++d) rows.push_back(rows[d * 7]);
+
+    LinearScanIndex index(param.metric);
+    ASSERT_TRUE(index.Build(rows).ok());
+    const Vec q = RandomRows(1, dim, 4242 + dim)[0];
+
+    // Scalar reference ranking over reference distances.
+    std::vector<Neighbor> all;
+    all.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      all.push_back({static_cast<uint32_t>(i), param.reference(q, rows[i])});
+    }
+    std::sort(all.begin(), all.end());
+
+    for (size_t k : {1u, 10u, 64u}) {
+      const auto got = KnnSearch(index, q, k);
+      ASSERT_EQ(got.size(), std::min(k, rows.size()))
+          << param.name << " dim=" << dim;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, all[i].id)
+            << param.name << " dim=" << dim << " k=" << k << " i=" << i;
+        EXPECT_NEAR(got[i].distance, all[i].distance, 1e-6);
+      }
+    }
+
+    // Range query at the 25th distance. The radius is nudged by one
+    // part in 1e9 so membership does not hinge on the last ulp of two
+    // different (reference vs kernel) summation orders; ties at the
+    // boundary (duplicated rows) land inside for both.
+    const double radius = all[25].distance * (1.0 + 1e-9);
+    const auto got = RangeSearch(index, q, radius);
+    std::vector<Neighbor> want;
+    for (const Neighbor& n : all) {
+      if (n.distance <= radius) want.push_back(n);
+    }
+    ASSERT_EQ(got.size(), want.size()) << param.name << " dim=" << dim;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << param.name << " dim=" << dim;
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, BatchRankingEquivalence,
+    ::testing::ValuesIn(AllKernelCases()),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// VP-tree leaf scans go through the gather kernels; results must stay
+// identical to the linear scan for metric measures.
+
+TEST(VpTreeBatchedLeafTest, MatchesLinearScanOnMetricMeasures) {
+  for (MetricKind kind :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kHellinger}) {
+    const auto metric = MakeMetric(kind);
+    const std::vector<Vec> rows = RandomRows(500, 19, 77);
+
+    LinearScanIndex reference(metric);
+    ASSERT_TRUE(reference.Build(rows).ok());
+    VpTree tree(metric);
+    ASSERT_TRUE(tree.Build(rows).ok());
+
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      const Vec q = RandomRows(1, 19, 1000 + seed)[0];
+      const auto want = KnnSearch(reference, q, 15);
+      const auto got = KnnSearch(tree, q, 15);
+      ASSERT_EQ(got.size(), want.size()) << MetricKindName(kind);
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << MetricKindName(kind);
+        EXPECT_NEAR(got[i].distance, want[i].distance, 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryKnnBatch must be deterministic and identical to sequential
+// QueryKnn, for any thread count.
+
+TEST(QueryKnnBatchTest, MatchesSequentialQueries) {
+  auto extractor = MakeSingleDescriptorExtractor("color_hist", 64);
+  ASSERT_TRUE(extractor.ok());
+  CorpusSpec spec;
+  spec.num_classes = 4;
+  spec.images_per_class = 5;
+  spec.width = spec.height = 48;
+  const auto corpus = CorpusGenerator(spec).Generate();
+
+  CbirEngine engine(extractor.value());
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+
+  std::vector<ImageU8> queries;
+  for (size_t i = 0; i < corpus.size(); i += 2) {
+    queries.push_back(corpus[i].image);
+  }
+
+  for (size_t num_threads : {1u, 4u}) {
+    std::vector<SearchStats> stats;
+    const auto batch = engine.QueryKnnBatch(queries, 5, num_threads, &stats);
+    ASSERT_TRUE(batch.ok()) << num_threads << " threads";
+    ASSERT_EQ(batch->size(), queries.size());
+    ASSERT_EQ(stats.size(), queries.size());
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto sequential = engine.QueryKnn(queries[i], 5);
+      ASSERT_TRUE(sequential.ok());
+      ASSERT_EQ(batch->at(i).size(), sequential->size());
+      for (size_t j = 0; j < sequential->size(); ++j) {
+        EXPECT_EQ(batch->at(i)[j].id, sequential->at(j).id);
+        EXPECT_EQ(batch->at(i)[j].distance, sequential->at(j).distance);
+        EXPECT_EQ(batch->at(i)[j].name, sequential->at(j).name);
+      }
+      EXPECT_GT(stats[i].distance_evals, 0u);
+    }
+  }
+}
+
+TEST(QueryKnnBatchTest, ByVectorsMatchesSequentialAndHandlesEmpty) {
+  auto extractor = MakeSingleDescriptorExtractor("color_hist", 64);
+  ASSERT_TRUE(extractor.ok());
+  CbirEngine engine(extractor.value());
+
+  // Empty store: positional empty results.
+  const auto empty = engine.QueryKnnBatchByVectors({Vec{1.0f}}, 3);
+  ASSERT_TRUE(empty.ok());
+  ASSERT_EQ(empty->size(), 1u);
+  EXPECT_TRUE(empty->at(0).empty());
+
+  CorpusSpec spec;
+  spec.num_classes = 3;
+  spec.images_per_class = 4;
+  spec.width = spec.height = 48;
+  const auto corpus = CorpusGenerator(spec).Generate();
+  for (const auto& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+
+  std::vector<Vec> queries;
+  for (const auto& item : corpus) {
+    queries.push_back(engine.ExtractFeatures(item.image));
+  }
+
+  const auto batch = engine.QueryKnnBatchByVectors(queries, 4, 3);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto sequential = engine.QueryKnnByVector(queries[i], 4);
+    ASSERT_TRUE(sequential.ok());
+    ASSERT_EQ(batch->at(i).size(), sequential->size());
+    for (size_t j = 0; j < sequential->size(); ++j) {
+      EXPECT_EQ(batch->at(i)[j].id, sequential->at(j).id);
+      EXPECT_EQ(batch->at(i)[j].distance, sequential->at(j).distance);
+    }
+  }
+
+  // Dimension mismatch is rejected.
+  const auto bad = engine.QueryKnnBatchByVectors({Vec{1.0f, 2.0f}}, 3);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace cbix

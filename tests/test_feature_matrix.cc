@@ -1,0 +1,116 @@
+#include "util/feature_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+TEST(FeatureMatrixTest, EmptyMatrix) {
+  FeatureMatrix m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.dim(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.MemoryBytes(), 0u);
+  EXPECT_TRUE(m.ToVectors().empty());
+}
+
+TEST(FeatureMatrixTest, AppendFixesDimensionAndPreservesValues) {
+  FeatureMatrix m;
+  m.AppendRow(Vec{1.0f, 2.0f, 3.0f});
+  m.AppendRow(Vec{4.0f, 5.0f, 6.0f});
+  EXPECT_EQ(m.dim(), 3u);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.RowVec(0), (Vec{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(m.RowVec(1), (Vec{4.0f, 5.0f, 6.0f}));
+}
+
+TEST(FeatureMatrixTest, RowsAre32ByteAlignedForEveryDim) {
+  for (size_t dim : {1u, 7u, 8u, 9u, 33u, 257u}) {
+    FeatureMatrix m(dim);
+    for (int r = 0; r < 5; ++r) m.AppendRow(Vec(dim, 1.0f));
+    EXPECT_EQ(m.stride() % (FeatureMatrix::kAlignment / sizeof(float)), 0u);
+    EXPECT_GE(m.stride(), dim);
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(m.row(r)) %
+                    FeatureMatrix::kAlignment,
+                0u)
+          << "dim=" << dim << " row=" << r;
+    }
+  }
+}
+
+TEST(FeatureMatrixTest, PaddingLanesAreZero) {
+  FeatureMatrix m(3);  // stride 8 -> 5 padding floats
+  m.AppendRow(Vec{1.0f, 2.0f, 3.0f});
+  for (size_t i = m.dim(); i < m.stride(); ++i) {
+    EXPECT_EQ(m.row(0)[i], 0.0f);
+  }
+}
+
+TEST(FeatureMatrixTest, FromVectorsRoundTrips) {
+  Rng rng(42);
+  std::vector<Vec> rows;
+  for (int r = 0; r < 37; ++r) {
+    Vec v(13);
+    for (auto& x : v) x = static_cast<float>(rng.NextDouble());
+    rows.push_back(v);
+  }
+  const FeatureMatrix m = FeatureMatrix::FromVectors(rows);
+  EXPECT_EQ(m.count(), rows.size());
+  EXPECT_EQ(m.dim(), 13u);
+  EXPECT_EQ(m.ToVectors(), rows);
+}
+
+TEST(FeatureMatrixTest, CopyAndMoveSemantics) {
+  FeatureMatrix m(4);
+  m.AppendRow(Vec{1, 2, 3, 4});
+  m.AppendRow(Vec{5, 6, 7, 8});
+
+  FeatureMatrix copy(m);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_EQ(copy.RowVec(1), m.RowVec(1));
+  EXPECT_NE(copy.row(0), m.row(0));  // deep copy
+
+  FeatureMatrix moved(std::move(copy));
+  EXPECT_EQ(moved.count(), 2u);
+  EXPECT_EQ(moved.RowVec(0), (Vec{1, 2, 3, 4}));
+  EXPECT_EQ(copy.count(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  FeatureMatrix assigned;
+  assigned = moved;
+  EXPECT_EQ(assigned.count(), 2u);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.count(), 2u);
+}
+
+TEST(FeatureMatrixTest, GrowthKeepsEarlierRows) {
+  FeatureMatrix m(5);
+  std::vector<Vec> expect;
+  Rng rng(7);
+  for (int r = 0; r < 100; ++r) {
+    Vec v(5);
+    for (auto& x : v) x = static_cast<float>(rng.NextDouble());
+    m.AppendRow(v);
+    expect.push_back(v);
+  }
+  EXPECT_EQ(m.ToVectors(), expect);
+  EXPECT_GT(m.MemoryBytes(), 100 * 5 * sizeof(float));
+}
+
+TEST(FeatureMatrixTest, ClearResets) {
+  FeatureMatrix m(2);
+  m.AppendRow(Vec{1, 2});
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.dim(), 0u);
+  // Reusable with a new dimension after Clear.
+  m.AppendRow(Vec{1, 2, 3});
+  EXPECT_EQ(m.dim(), 3u);
+}
+
+}  // namespace
+}  // namespace cbix
