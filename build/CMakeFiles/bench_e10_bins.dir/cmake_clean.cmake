@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_bins.dir/bench/bench_e10_bins.cc.o"
+  "CMakeFiles/bench_e10_bins.dir/bench/bench_e10_bins.cc.o.d"
+  "bench_e10_bins"
+  "bench_e10_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

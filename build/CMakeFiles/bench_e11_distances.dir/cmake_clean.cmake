@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_distances.dir/bench/bench_e11_distances.cc.o"
+  "CMakeFiles/bench_e11_distances.dir/bench/bench_e11_distances.cc.o.d"
+  "bench_e11_distances"
+  "bench_e11_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_pca.dir/bench/bench_e12_pca.cc.o"
+  "CMakeFiles/bench_e12_pca.dir/bench/bench_e12_pca.cc.o.d"
+  "bench_e12_pca"
+  "bench_e12_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

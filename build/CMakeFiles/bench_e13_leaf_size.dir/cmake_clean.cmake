@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_leaf_size.dir/bench/bench_e13_leaf_size.cc.o"
+  "CMakeFiles/bench_e13_leaf_size.dir/bench/bench_e13_leaf_size.cc.o.d"
+  "bench_e13_leaf_size"
+  "bench_e13_leaf_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_leaf_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

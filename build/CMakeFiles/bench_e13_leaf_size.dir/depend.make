@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e13_leaf_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_scale.dir/bench/bench_e1_scale.cc.o"
+  "CMakeFiles/bench_e1_scale.dir/bench/bench_e1_scale.cc.o.d"
+  "bench_e1_scale"
+  "bench_e1_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

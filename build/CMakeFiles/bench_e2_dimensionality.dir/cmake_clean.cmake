@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_dimensionality.dir/bench/bench_e2_dimensionality.cc.o"
+  "CMakeFiles/bench_e2_dimensionality.dir/bench/bench_e2_dimensionality.cc.o.d"
+  "bench_e2_dimensionality"
+  "bench_e2_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

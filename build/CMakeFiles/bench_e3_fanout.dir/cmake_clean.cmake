@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_fanout.dir/bench/bench_e3_fanout.cc.o"
+  "CMakeFiles/bench_e3_fanout.dir/bench/bench_e3_fanout.cc.o.d"
+  "bench_e3_fanout"
+  "bench_e3_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

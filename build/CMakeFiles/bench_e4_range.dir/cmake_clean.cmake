@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_range.dir/bench/bench_e4_range.cc.o"
+  "CMakeFiles/bench_e4_range.dir/bench/bench_e4_range.cc.o.d"
+  "bench_e4_range"
+  "bench_e4_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

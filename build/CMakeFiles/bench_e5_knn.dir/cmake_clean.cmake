@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_knn.dir/bench/bench_e5_knn.cc.o"
+  "CMakeFiles/bench_e5_knn.dir/bench/bench_e5_knn.cc.o.d"
+  "bench_e5_knn"
+  "bench_e5_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_build.dir/bench/bench_e6_build.cc.o"
+  "CMakeFiles/bench_e6_build.dir/bench/bench_e6_build.cc.o.d"
+  "bench_e6_build"
+  "bench_e6_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

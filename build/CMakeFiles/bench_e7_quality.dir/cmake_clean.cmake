@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_quality.dir/bench/bench_e7_quality.cc.o"
+  "CMakeFiles/bench_e7_quality.dir/bench/bench_e7_quality.cc.o.d"
+  "bench_e7_quality"
+  "bench_e7_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_vantage.dir/bench/bench_e8_vantage.cc.o"
+  "CMakeFiles/bench_e8_vantage.dir/bench/bench_e8_vantage.cc.o.d"
+  "bench_e8_vantage"
+  "bench_e8_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

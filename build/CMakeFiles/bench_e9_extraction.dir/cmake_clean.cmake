@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_extraction.dir/bench/bench_e9_extraction.cc.o"
+  "CMakeFiles/bench_e9_extraction.dir/bench/bench_e9_extraction.cc.o.d"
+  "bench_e9_extraction"
+  "bench_e9_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

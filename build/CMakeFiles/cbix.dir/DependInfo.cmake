@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cc" "CMakeFiles/cbix.dir/src/core/engine.cc.o" "gcc" "CMakeFiles/cbix.dir/src/core/engine.cc.o.d"
+  "/root/repo/src/core/feature_store.cc" "CMakeFiles/cbix.dir/src/core/feature_store.cc.o" "gcc" "CMakeFiles/cbix.dir/src/core/feature_store.cc.o.d"
+  "/root/repo/src/core/relevance_feedback.cc" "CMakeFiles/cbix.dir/src/core/relevance_feedback.cc.o" "gcc" "CMakeFiles/cbix.dir/src/core/relevance_feedback.cc.o.d"
+  "/root/repo/src/core/retrieval_metrics.cc" "CMakeFiles/cbix.dir/src/core/retrieval_metrics.cc.o" "gcc" "CMakeFiles/cbix.dir/src/core/retrieval_metrics.cc.o.d"
+  "/root/repo/src/corpus/corpus.cc" "CMakeFiles/cbix.dir/src/corpus/corpus.cc.o" "gcc" "CMakeFiles/cbix.dir/src/corpus/corpus.cc.o.d"
+  "/root/repo/src/corpus/vector_workload.cc" "CMakeFiles/cbix.dir/src/corpus/vector_workload.cc.o" "gcc" "CMakeFiles/cbix.dir/src/corpus/vector_workload.cc.o.d"
+  "/root/repo/src/distance/batch_kernels.cc" "CMakeFiles/cbix.dir/src/distance/batch_kernels.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/batch_kernels.cc.o.d"
+  "/root/repo/src/distance/hausdorff.cc" "CMakeFiles/cbix.dir/src/distance/hausdorff.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/hausdorff.cc.o.d"
+  "/root/repo/src/distance/histogram_measures.cc" "CMakeFiles/cbix.dir/src/distance/histogram_measures.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/histogram_measures.cc.o.d"
+  "/root/repo/src/distance/metric.cc" "CMakeFiles/cbix.dir/src/distance/metric.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/metric.cc.o.d"
+  "/root/repo/src/distance/minkowski.cc" "CMakeFiles/cbix.dir/src/distance/minkowski.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/minkowski.cc.o.d"
+  "/root/repo/src/distance/quadratic_form.cc" "CMakeFiles/cbix.dir/src/distance/quadratic_form.cc.o" "gcc" "CMakeFiles/cbix.dir/src/distance/quadratic_form.cc.o.d"
+  "/root/repo/src/features/color_histogram.cc" "CMakeFiles/cbix.dir/src/features/color_histogram.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/color_histogram.cc.o.d"
+  "/root/repo/src/features/correlogram.cc" "CMakeFiles/cbix.dir/src/features/correlogram.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/correlogram.cc.o.d"
+  "/root/repo/src/features/edge_shape_features.cc" "CMakeFiles/cbix.dir/src/features/edge_shape_features.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/edge_shape_features.cc.o.d"
+  "/root/repo/src/features/extractor.cc" "CMakeFiles/cbix.dir/src/features/extractor.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/extractor.cc.o.d"
+  "/root/repo/src/features/pca.cc" "CMakeFiles/cbix.dir/src/features/pca.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/pca.cc.o.d"
+  "/root/repo/src/features/texture_features.cc" "CMakeFiles/cbix.dir/src/features/texture_features.cc.o" "gcc" "CMakeFiles/cbix.dir/src/features/texture_features.cc.o.d"
+  "/root/repo/src/image/color.cc" "CMakeFiles/cbix.dir/src/image/color.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/color.cc.o.d"
+  "/root/repo/src/image/convolve.cc" "CMakeFiles/cbix.dir/src/image/convolve.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/convolve.cc.o.d"
+  "/root/repo/src/image/distance_transform.cc" "CMakeFiles/cbix.dir/src/image/distance_transform.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/distance_transform.cc.o.d"
+  "/root/repo/src/image/draw.cc" "CMakeFiles/cbix.dir/src/image/draw.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/draw.cc.o.d"
+  "/root/repo/src/image/filters.cc" "CMakeFiles/cbix.dir/src/image/filters.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/filters.cc.o.d"
+  "/root/repo/src/image/glcm.cc" "CMakeFiles/cbix.dir/src/image/glcm.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/glcm.cc.o.d"
+  "/root/repo/src/image/image.cc" "CMakeFiles/cbix.dir/src/image/image.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/image.cc.o.d"
+  "/root/repo/src/image/integral.cc" "CMakeFiles/cbix.dir/src/image/integral.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/integral.cc.o.d"
+  "/root/repo/src/image/moments.cc" "CMakeFiles/cbix.dir/src/image/moments.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/moments.cc.o.d"
+  "/root/repo/src/image/pnm_codec.cc" "CMakeFiles/cbix.dir/src/image/pnm_codec.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/pnm_codec.cc.o.d"
+  "/root/repo/src/image/resize.cc" "CMakeFiles/cbix.dir/src/image/resize.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/resize.cc.o.d"
+  "/root/repo/src/image/wavelet.cc" "CMakeFiles/cbix.dir/src/image/wavelet.cc.o" "gcc" "CMakeFiles/cbix.dir/src/image/wavelet.cc.o.d"
+  "/root/repo/src/index/kd_tree.cc" "CMakeFiles/cbix.dir/src/index/kd_tree.cc.o" "gcc" "CMakeFiles/cbix.dir/src/index/kd_tree.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "CMakeFiles/cbix.dir/src/index/linear_scan.cc.o" "gcc" "CMakeFiles/cbix.dir/src/index/linear_scan.cc.o.d"
+  "/root/repo/src/index/m_tree.cc" "CMakeFiles/cbix.dir/src/index/m_tree.cc.o" "gcc" "CMakeFiles/cbix.dir/src/index/m_tree.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "CMakeFiles/cbix.dir/src/index/rtree.cc.o" "gcc" "CMakeFiles/cbix.dir/src/index/rtree.cc.o.d"
+  "/root/repo/src/index/vp_tree.cc" "CMakeFiles/cbix.dir/src/index/vp_tree.cc.o" "gcc" "CMakeFiles/cbix.dir/src/index/vp_tree.cc.o.d"
+  "/root/repo/src/util/feature_matrix.cc" "CMakeFiles/cbix.dir/src/util/feature_matrix.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/feature_matrix.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/cbix.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/matrix.cc" "CMakeFiles/cbix.dir/src/util/matrix.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/matrix.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/cbix.dir/src/util/random.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/serialize.cc" "CMakeFiles/cbix.dir/src/util/serialize.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/serialize.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/cbix.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/cbix.dir/src/util/status.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/cbix.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/cbix.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batch_kernels.cc" "CMakeFiles/cbix_tests.dir/tests/test_batch_kernels.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_batch_kernels.cc.o.d"
+  "/root/repo/tests/test_color.cc" "CMakeFiles/cbix_tests.dir/tests/test_color.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_color.cc.o.d"
+  "/root/repo/tests/test_core.cc" "CMakeFiles/cbix_tests.dir/tests/test_core.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_core.cc.o.d"
+  "/root/repo/tests/test_corpus.cc" "CMakeFiles/cbix_tests.dir/tests/test_corpus.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_corpus.cc.o.d"
+  "/root/repo/tests/test_distance_transform.cc" "CMakeFiles/cbix_tests.dir/tests/test_distance_transform.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_distance_transform.cc.o.d"
+  "/root/repo/tests/test_distances.cc" "CMakeFiles/cbix_tests.dir/tests/test_distances.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_distances.cc.o.d"
+  "/root/repo/tests/test_draw.cc" "CMakeFiles/cbix_tests.dir/tests/test_draw.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_draw.cc.o.d"
+  "/root/repo/tests/test_feature_matrix.cc" "CMakeFiles/cbix_tests.dir/tests/test_feature_matrix.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_feature_matrix.cc.o.d"
+  "/root/repo/tests/test_features.cc" "CMakeFiles/cbix_tests.dir/tests/test_features.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_features.cc.o.d"
+  "/root/repo/tests/test_filters.cc" "CMakeFiles/cbix_tests.dir/tests/test_filters.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_filters.cc.o.d"
+  "/root/repo/tests/test_filters_extra.cc" "CMakeFiles/cbix_tests.dir/tests/test_filters_extra.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_filters_extra.cc.o.d"
+  "/root/repo/tests/test_image.cc" "CMakeFiles/cbix_tests.dir/tests/test_image.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_image.cc.o.d"
+  "/root/repo/tests/test_index_property.cc" "CMakeFiles/cbix_tests.dir/tests/test_index_property.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_index_property.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "CMakeFiles/cbix_tests.dir/tests/test_integration.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_integration.cc.o.d"
+  "/root/repo/tests/test_kd_rtree.cc" "CMakeFiles/cbix_tests.dir/tests/test_kd_rtree.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_kd_rtree.cc.o.d"
+  "/root/repo/tests/test_m_tree.cc" "CMakeFiles/cbix_tests.dir/tests/test_m_tree.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_m_tree.cc.o.d"
+  "/root/repo/tests/test_matrix_stats.cc" "CMakeFiles/cbix_tests.dir/tests/test_matrix_stats.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_matrix_stats.cc.o.d"
+  "/root/repo/tests/test_moments_glcm.cc" "CMakeFiles/cbix_tests.dir/tests/test_moments_glcm.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_moments_glcm.cc.o.d"
+  "/root/repo/tests/test_pca.cc" "CMakeFiles/cbix_tests.dir/tests/test_pca.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_pca.cc.o.d"
+  "/root/repo/tests/test_pnm_codec.cc" "CMakeFiles/cbix_tests.dir/tests/test_pnm_codec.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_pnm_codec.cc.o.d"
+  "/root/repo/tests/test_random.cc" "CMakeFiles/cbix_tests.dir/tests/test_random.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_random.cc.o.d"
+  "/root/repo/tests/test_relevance_feedback.cc" "CMakeFiles/cbix_tests.dir/tests/test_relevance_feedback.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_relevance_feedback.cc.o.d"
+  "/root/repo/tests/test_resize_integral.cc" "CMakeFiles/cbix_tests.dir/tests/test_resize_integral.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_resize_integral.cc.o.d"
+  "/root/repo/tests/test_serialize.cc" "CMakeFiles/cbix_tests.dir/tests/test_serialize.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_serialize.cc.o.d"
+  "/root/repo/tests/test_status.cc" "CMakeFiles/cbix_tests.dir/tests/test_status.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_status.cc.o.d"
+  "/root/repo/tests/test_thread_pool.cc" "CMakeFiles/cbix_tests.dir/tests/test_thread_pool.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_thread_pool.cc.o.d"
+  "/root/repo/tests/test_vp_tree.cc" "CMakeFiles/cbix_tests.dir/tests/test_vp_tree.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_vp_tree.cc.o.d"
+  "/root/repo/tests/test_wavelet.cc" "CMakeFiles/cbix_tests.dir/tests/test_wavelet.cc.o" "gcc" "CMakeFiles/cbix_tests.dir/tests/test_wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/cbix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duplicate_finder.dir/examples/duplicate_finder.cpp.o"
+  "CMakeFiles/duplicate_finder.dir/examples/duplicate_finder.cpp.o.d"
+  "duplicate_finder"
+  "duplicate_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duplicate_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

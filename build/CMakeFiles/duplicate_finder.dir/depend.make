@@ -1,0 +1,2 @@
+# Empty dependencies file for duplicate_finder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_search_cli.dir/examples/image_search_cli.cpp.o"
+  "CMakeFiles/image_search_cli.dir/examples/image_search_cli.cpp.o.d"
+  "image_search_cli"
+  "image_search_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_search_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/texture_browser.dir/examples/texture_browser.cpp.o"
+  "CMakeFiles/texture_browser.dir/examples/texture_browser.cpp.o.d"
+  "texture_browser"
+  "texture_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/texture_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for texture_browser.
+# This may be replaced when dependencies are built.
