@@ -1,0 +1,175 @@
+// bench_shards — build time and batch-query throughput of the sharded
+// feature store vs shard count.
+//
+// For each shard count the harness partitions one clustered corpus
+// through the engine's `shards` knob (linear scan per shard, L2),
+// times the full index build (partition + concurrent per-shard
+// builds), and measures QueryKnnBatch throughput with the queries x
+// shards fan-out. A checksum of the top-1 ids guards equivalence: every
+// shard count must answer exactly like shards=1.
+//
+// Usage: bench_shards [output.json]
+// Prints a table and, when a path is given, writes BENCH_shards.json —
+// the sharding perf trajectory future PRs regress against.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+constexpr size_t kCount = 16384;
+constexpr size_t kDim = 128;
+constexpr size_t kK = 10;
+constexpr size_t kBatchQueries = 64;
+constexpr size_t kQueryThreads = 8;
+
+struct ShardRow {
+  size_t shards = 0;
+  double build_ms = 0.0;
+  double batch_ms = 0.0;   ///< whole batch, kQueryThreads workers
+  double batch_qps = 0.0;  ///< queries per second
+  double build_speedup_vs_1 = 0.0;
+  double qps_speedup_vs_1 = 0.0;
+  uint64_t checksum = 0;  ///< sum of top-1 ids, must match shards=1
+};
+
+/// A bench-setup failure must not become a silent zeroed data point in
+/// the committed trajectory: abort so the smoke script fails the PR.
+[[noreturn]] void Die(size_t shards, const std::string& what,
+                      const Status& status) {
+  std::fprintf(stderr, "bench_shards: shards=%zu %s failed: %s\n", shards,
+               what.c_str(), status.ToString().c_str());
+  std::exit(1);
+}
+
+ShardRow RunShardCase(size_t shards, const std::vector<Vec>& data,
+                      const std::vector<Vec>& queries) {
+  ShardRow row;
+  row.shards = shards;
+
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.shards = shards;
+  CbirEngine engine(FeatureExtractor(), config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto added =
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i));
+    if (!added.ok()) Die(shards, "AddFeatureVector", added.status());
+  }
+
+  {
+    Timer timer;
+    const Status built = engine.BuildIndex();
+    if (!built.ok()) Die(shards, "BuildIndex", built);
+    row.build_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  }
+
+  // Warm-up run keeps first-touch page faults off the clock.
+  (void)engine.QueryKnnBatchByVectors(queries, kK, kQueryThreads);
+  Timer timer;
+  const auto result =
+      engine.QueryKnnBatchByVectors(queries, kK, kQueryThreads);
+  row.batch_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  if (!result.ok()) Die(shards, "QueryKnnBatchByVectors", result.status());
+  row.batch_qps = row.batch_ms > 0.0
+                      ? 1000.0 * static_cast<double>(queries.size()) /
+                            row.batch_ms
+                      : 0.0;
+  for (const auto& matches : result.value()) {
+    if (!matches.empty()) row.checksum += matches[0].id;
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<ShardRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_shards: cannot write %s\n", path.c_str());
+    std::exit(1);  // a stale trajectory must not pass the smoke ritual
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_shards\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"dim\": %zu, \"k\": %zu,"
+               " \"batch_queries\": %zu, \"query_threads\": %zu,"
+               " \"index\": \"linear_scan\", \"metric\": \"l2\"},\n",
+               kCount, kDim, kK, kBatchQueries, kQueryThreads);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"shard_scaling\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ShardRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"build_ms\": %.2f,"
+                 " \"build_speedup_vs_1\": %.3f, \"batch_ms\": %.2f,"
+                 " \"batch_qps\": %.1f, \"qps_speedup_vs_1\": %.3f}%s\n",
+                 r.shards, r.build_ms, r.build_speedup_vs_1, r.batch_ms,
+                 r.batch_qps, r.qps_speedup_vs_1,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "SHARDS", "sharded store build + batch query scaling vs shard count",
+      "clustered, n=" + std::to_string(kCount) + ", dim=" +
+          std::to_string(kDim) + ", k=" + std::to_string(kK));
+
+  const VectorWorkloadSpec spec = StandardWorkload(kCount, kDim);
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, kBatchQueries, 0.05, 4321);
+
+  std::vector<ShardRow> rows;
+  TablePrinter table({"shards", "build_ms", "build_x", "batch_ms",
+                      "batch_qps", "qps_x"});
+  table.PrintHeader();
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    ShardRow row = RunShardCase(shards, data, queries);
+    if (!rows.empty()) {
+      row.build_speedup_vs_1 =
+          row.build_ms > 0.0 ? rows[0].build_ms / row.build_ms : 0.0;
+      row.qps_speedup_vs_1 =
+          rows[0].batch_qps > 0.0 ? row.batch_qps / rows[0].batch_qps : 0.0;
+      if (row.checksum != rows[0].checksum) {
+        // An equivalence break must fail the smoke ritual, not ship a
+        // wrong-answer trajectory.
+        std::fprintf(
+            stderr,
+            "bench_shards: shards=%zu top-1 id checksum mismatch vs "
+            "shards=1 — sharded results diverged\n",
+            shards);
+        std::exit(1);
+      }
+    } else {
+      row.build_speedup_vs_1 = 1.0;
+      row.qps_speedup_vs_1 = 1.0;
+    }
+    rows.push_back(row);
+    table.PrintRow({FmtInt(row.shards), Fmt(row.build_ms),
+                    Fmt(row.build_speedup_vs_1, 3), Fmt(row.batch_ms),
+                    Fmt(row.batch_qps, 1), Fmt(row.qps_speedup_vs_1, 3)});
+  }
+
+  if (argc > 1) WriteJson(argv[1], rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Per-PR smoke ritual: configure, build, run the tier-1 test suite, and
+# refresh the committed perf trajectories (BENCH_kernels.json +
+# BENCH_shards.json) so every PR leaves a fresh data point.
+#
+# Usage: bench/run_bench.sh [build-dir]
+#   BUILD_DIR / $1  build directory (default: <repo>/build)
+#   JOBS            parallelism (default: nproc)
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${BUILD_DIR:-$ROOT/build}}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure =="
+cmake -B "$BUILD" -S "$ROOT"
+
+echo "== build =="
+cmake --build "$BUILD" -j"$JOBS"
+
+echo "== tier-1 tests =="
+(cd "$BUILD" && ctest --output-on-failure -j"$JOBS")
+
+echo "== perf trajectory: kernels =="
+"$BUILD/bench_kernels" "$ROOT/BENCH_kernels.json"
+
+echo "== perf trajectory: shards =="
+"$BUILD/bench_shards" "$ROOT/BENCH_shards.json"
+
+echo "== smoke OK =="

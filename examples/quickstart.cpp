@@ -62,5 +62,35 @@ int main() {
       static_cast<unsigned long long>(stats.distance_evals), engine.size(),
       100.0 * static_cast<double>(stats.distance_evals) /
           static_cast<double>(engine.size()));
-  return 0;
+
+  // 4. The same corpus behind a sharded store: features partition
+  // round-robin across 4 shards, shard-local VP-trees build
+  // concurrently, and queries fan across the shards — with exactly the
+  // same answers as the flat engine above (same index kind and metric,
+  // so agreement is the guaranteed invariant, not a coincidence).
+  EngineConfig sharded_config;
+  sharded_config.shards = 4;
+  CbirEngine sharded(MakeDefaultExtractor(96), sharded_config);
+  for (const LabeledImage& item : corpus) {
+    if (!sharded.AddImage(item.image, item.name, item.class_id).ok()) {
+      return 1;
+    }
+  }
+  const auto sharded_result = sharded.QueryKnn(query, 5);
+  if (!sharded_result.ok()) {
+    std::fprintf(stderr, "sharded query failed: %s\n",
+                 sharded_result.status().ToString().c_str());
+    return 1;
+  }
+  if (sharded_result.value().empty()) {
+    std::fprintf(stderr, "sharded query returned no matches\n");
+    return 1;
+  }
+  const bool same_top =
+      sharded_result.value()[0].name == result.value()[0].name;
+  std::printf("\nsharded engine (4 shards) top match: %s (%s)\n",
+              sharded_result.value()[0].name.c_str(),
+              same_top ? "agrees with the single-shard engine"
+                       : "DISAGREES — this is a bug");
+  return same_top ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include "distance/minkowski.h"
 #include "image/pnm_codec.h"
 #include "index/linear_scan.h"
+#include "index/sharded_index.h"
 #include "util/thread_pool.h"
 #include "util/serialize.h"
 
@@ -109,11 +110,9 @@ MinkowskiKind ToMinkowskiKind(MetricKind metric) {
   }
 }
 
-}  // namespace
-
-Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
-  CBIX_RETURN_IF_ERROR(
-      ValidateIndexMetricCombination(config.index_kind, config.metric));
+/// One shard-local (or unsharded) index instance. Assumes the
+/// (index, metric) combination was already validated.
+std::unique_ptr<VectorIndex> MakeUnshardedIndex(const EngineConfig& config) {
   switch (config.index_kind) {
     case IndexKind::kLinearScan:
       return std::unique_ptr<VectorIndex>(
@@ -135,7 +134,24 @@ Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
       return std::unique_ptr<VectorIndex>(
           new MTree(MakeMetric(config.metric), config.mtree_max_entries));
   }
-  return Status::InvalidArgument("unknown index kind");
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
+  CBIX_RETURN_IF_ERROR(
+      ValidateIndexMetricCombination(config.index_kind, config.metric));
+  std::unique_ptr<VectorIndex> index = MakeUnshardedIndex(config);
+  if (index == nullptr) return Status::InvalidArgument("unknown index kind");
+  if (config.shards > 1) {
+    ShardedIndexOptions options;
+    options.num_shards = config.shards;
+    options.build_threads = config.shard_build_threads;
+    return std::unique_ptr<VectorIndex>(new ShardedIndex(
+        [config] { return MakeUnshardedIndex(config); }, options));
+  }
+  return index;
 }
 
 CbirEngine::CbirEngine(FeatureExtractor extractor, EngineConfig config)
@@ -239,6 +255,46 @@ Result<std::vector<CbirEngine::Match>> CbirEngine::QueryKnnByVector(
                                      stats != nullptr ? stats : &local));
 }
 
+std::vector<std::vector<CbirEngine::Match>> CbirEngine::KnnBatchOnPool(
+    ThreadPool& pool, const std::vector<Vec>& queries, size_t k,
+    std::vector<SearchStats>* stats) const {
+  const size_t num_queries = queries.size();
+  std::vector<std::vector<Match>> results(num_queries);
+  std::vector<SearchStats> local_stats(num_queries);
+  const auto* sharded = dynamic_cast<const ShardedIndex*>(index_.get());
+  if (sharded != nullptr && sharded->num_shards() > 1) {
+    // queries x shards work items: per-(query, shard) partial top-k
+    // lists land in slots indexed by (query, shard), so the merge is
+    // deterministic regardless of worker scheduling.
+    const size_t num_shards = sharded->num_shards();
+    const ShardedFeatureStore& store = sharded->store();
+    std::vector<std::vector<std::vector<Neighbor>>> partial(num_queries);
+    std::vector<std::vector<SearchStats>> shard_stats(num_queries);
+    for (size_t i = 0; i < num_queries; ++i) {
+      partial[i].resize(num_shards);
+      shard_stats[i].resize(num_shards);
+    }
+    pool.ParallelFor(num_queries * num_shards, [&](size_t item) {
+      const size_t qi = item / num_shards;
+      const size_t s = item % num_shards;
+      partial[qi][s] =
+          store.KnnSearchShard(s, queries[qi], k, &shard_stats[qi][s]);
+    });
+    for (size_t i = 0; i < num_queries; ++i) {
+      results[i] = ToMatches(
+          ShardedFeatureStore::MergeTopK(std::move(partial[i]), k));
+      for (const SearchStats& s : shard_stats[i]) local_stats[i] += s;
+    }
+  } else {
+    pool.ParallelFor(num_queries, [&](size_t i) {
+      results[i] = ToMatches(
+          index_->KnnSearch(queries[i], k, &local_stats[i]));
+    });
+  }
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return results;
+}
+
 Result<std::vector<std::vector<CbirEngine::Match>>>
 CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
                           size_t num_threads,
@@ -255,17 +311,15 @@ CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
   }
   CBIX_RETURN_IF_ERROR(EnsureIndex());
 
-  std::vector<std::vector<Match>> results(images.size());
-  std::vector<SearchStats> local_stats(images.size());
+  std::vector<std::vector<Match>> results;
   {
     ThreadPool pool(num_threads);
+    std::vector<Vec> features(images.size());
     pool.ParallelFor(images.size(), [&](size_t i) {
-      const Vec features = extractor_.Extract(images[i]);
-      results[i] = ToMatches(
-          index_->KnnSearch(features, k, &local_stats[i]));
+      features[i] = extractor_.Extract(images[i]);
     });
+    results = KnnBatchOnPool(pool, features, k, stats);
   }
-  if (stats != nullptr) *stats = std::move(local_stats);
   return results;
 }
 
@@ -284,16 +338,11 @@ CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
   }
   CBIX_RETURN_IF_ERROR(EnsureIndex());
 
-  std::vector<std::vector<Match>> results(queries.size());
-  std::vector<SearchStats> local_stats(queries.size());
+  std::vector<std::vector<Match>> results;
   {
     ThreadPool pool(num_threads);
-    pool.ParallelFor(queries.size(), [&](size_t i) {
-      results[i] = ToMatches(
-          index_->KnnSearch(queries[i], k, &local_stats[i]));
-    });
+    results = KnnBatchOnPool(pool, queries, k, stats);
   }
-  if (stats != nullptr) *stats = std::move(local_stats);
   return results;
 }
 

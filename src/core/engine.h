@@ -25,6 +25,8 @@
 
 namespace cbix {
 
+class ThreadPool;
+
 enum class IndexKind {
   kLinearScan,
   kVpTree,
@@ -60,6 +62,15 @@ struct EngineConfig {
   KdTreeOptions kd_options;
   RTreeOptions rtree_options;
   size_t mtree_max_entries = 16;
+  /// Number of feature-store shards. 1 (default) keeps today's single
+  /// flat index; >1 partitions features round-robin across shards,
+  /// builds one `index_kind` index per shard concurrently, and fans
+  /// queries across shards (results are exactly those of the unsharded
+  /// index — see ShardedIndex).
+  size_t shards = 1;
+  /// Pool workers for concurrent shard builds; 0 = min(shards,
+  /// hardware concurrency).
+  size_t shard_build_threads = 0;
 };
 
 class CbirEngine {
@@ -156,6 +167,14 @@ class CbirEngine {
  private:
   Status EnsureIndex();
   std::vector<Match> ToMatches(const std::vector<Neighbor>& neighbors) const;
+
+  /// Shared worker of both batch k-NN entry points; the index must be
+  /// built. Unsharded: one pool work item per query. Sharded: one item
+  /// per (query, shard), merged per query — so shard scans of a single
+  /// slow query also spread across workers.
+  std::vector<std::vector<Match>> KnnBatchOnPool(
+      ThreadPool& pool, const std::vector<Vec>& queries, size_t k,
+      std::vector<SearchStats>* stats) const;
 
   FeatureExtractor extractor_;
   EngineConfig config_;

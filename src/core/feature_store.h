@@ -48,7 +48,9 @@ class FeatureStore {
   /// Zero-copy view of the feature row of `id` (feature_dim() floats).
   const float* features(uint32_t id) const { return matrix_.row(id); }
 
-  /// Flat feature storage in id order — the index build input.
+  /// Flat feature storage in id order — the index build input (and,
+  /// via ShardedFeatureStore::Partition, the sharded one; shard-local
+  /// ids map back to store ids via ShardedFeatureStore::GlobalId).
   const FeatureMatrix& matrix() const { return matrix_; }
 
   /// Copies all feature vectors in id order (compat bridge; index

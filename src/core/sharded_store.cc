@@ -1,0 +1,145 @@
+#include "core/sharded_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace cbix {
+
+ShardedFeatureStore::ShardedFeatureStore(size_t num_shards) {
+  shards_.resize(std::max<size_t>(1, num_shards));
+  shard_rows_.resize(shards_.size(), 0);
+}
+
+void ShardedFeatureStore::Partition(const FeatureMatrix& matrix) {
+  const size_t S = std::max<size_t>(1, shards_.size());
+  const size_t n = matrix.count();
+  indexes_.clear();
+  shards_.assign(S, FeatureMatrix(matrix.dim()));
+  shard_rows_.assign(S, 0);
+  total_rows_ = n;
+  dim_ = matrix.dim();
+  for (size_t s = 0; s < S; ++s) {
+    // Shard s receives global ids s, s+S, s+2S, ...
+    shard_rows_[s] = n > s ? (n - s - 1) / S + 1 : 0;
+    shards_[s].Reserve(shard_rows_[s]);
+  }
+  for (size_t g = 0; g < n; ++g) {
+    shards_[g % S].AppendRow(matrix.row(g), dim_);
+  }
+}
+
+Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
+                                         size_t num_threads) {
+  assert(factory != nullptr);
+  const size_t S = shards_.size();
+  if (num_threads == 0) {
+    // One worker per shard, bounded by the cores that can actually run
+    // them (hardware_concurrency can report 0 on exotic platforms).
+    num_threads = std::min<size_t>(
+        S, std::max<unsigned>(1, std::thread::hardware_concurrency()));
+  }
+  std::vector<std::unique_ptr<VectorIndex>> indexes(S);
+  std::vector<Status> statuses(S, Status::Ok());
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(S, [&](size_t s) {
+      indexes[s] = factory();
+      if (indexes[s] == nullptr) {
+        statuses[s] = Status::Internal("shard index factory returned null");
+        return;
+      }
+      // Hand the shard buffer to the index instead of keeping a second
+      // copy of the corpus alive: scan-style indexes adopt it outright,
+      // the rest copy what they need and the buffer is discarded.
+      statuses[s] = indexes[s]->AdoptMatrix(std::move(shards_[s]));
+    });
+  }
+  for (const Status& status : statuses) {
+    CBIX_RETURN_IF_ERROR(status);
+  }
+  indexes_ = std::move(indexes);
+  return Status::Ok();
+}
+
+std::vector<Neighbor> ShardedFeatureStore::KnnSearchShard(
+    size_t s, const Vec& q, size_t k, SearchStats* stats) const {
+  assert(indexes_built());
+  if (s >= indexes_.size() || indexes_[s] == nullptr) return {};
+  std::vector<Neighbor> out = indexes_[s]->KnnSearch(q, k, stats);
+  // Local ids are strictly increasing in the global id within a shard,
+  // so the (distance, id) ordering survives the remap.
+  for (Neighbor& n : out) n.id = GlobalId(s, n.id);
+  return out;
+}
+
+std::vector<Neighbor> ShardedFeatureStore::RangeSearchShard(
+    size_t s, const Vec& q, double radius, SearchStats* stats) const {
+  assert(indexes_built());
+  if (s >= indexes_.size() || indexes_[s] == nullptr) return {};
+  std::vector<Neighbor> out = indexes_[s]->RangeSearch(q, radius, stats);
+  for (Neighbor& n : out) n.id = GlobalId(s, n.id);
+  return out;
+}
+
+std::vector<Neighbor> ShardedFeatureStore::MergeTopK(
+    std::vector<std::vector<Neighbor>> per_shard, size_t k) {
+  std::vector<Neighbor> merged;
+  size_t total = 0;
+  for (const auto& list : per_shard) total += list.size();
+  merged.reserve(total);
+  for (auto& list : per_shard) {
+    merged.insert(merged.end(), list.begin(), list.end());
+  }
+  // Any element of the global top-k is within its own shard's top-k,
+  // so the concatenation always contains the exact answer.
+  std::sort(merged.begin(), merged.end());
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<Neighbor> ShardedFeatureStore::KnnSearch(
+    const Vec& q, size_t k, SearchStats* stats) const {
+  std::vector<std::vector<Neighbor>> per_shard(num_shards());
+  for (size_t s = 0; s < num_shards(); ++s) {
+    SearchStats shard_stats;
+    per_shard[s] = KnnSearchShard(s, q, k, &shard_stats);
+    if (stats != nullptr) *stats += shard_stats;
+  }
+  return MergeTopK(std::move(per_shard), k);
+}
+
+std::vector<Neighbor> ShardedFeatureStore::RangeSearch(
+    const Vec& q, double radius, SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  for (size_t s = 0; s < num_shards(); ++s) {
+    SearchStats shard_stats;
+    std::vector<Neighbor> hits = RangeSearchShard(s, q, radius, &shard_stats);
+    out.insert(out.end(), hits.begin(), hits.end());
+    if (stats != nullptr) *stats += shard_stats;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ShardedFeatureStore::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const FeatureMatrix& shard : shards_) bytes += shard.MemoryBytes();
+  for (const auto& index : indexes_) {
+    if (index != nullptr) bytes += index->MemoryBytes();
+  }
+  return bytes;
+}
+
+void ShardedFeatureStore::Clear() {
+  const size_t S = std::max<size_t>(1, shards_.size());
+  shards_.assign(S, FeatureMatrix());
+  shard_rows_.assign(S, 0);
+  indexes_.clear();
+  total_rows_ = 0;
+  dim_ = 0;
+}
+
+}  // namespace cbix

@@ -1,0 +1,144 @@
+// ShardedFeatureStore — feature storage partitioned across N
+// independent FeatureMatrix shards, the scaling step from one flat
+// buffer toward serving-size corpora.
+//
+// Rows are assigned round-robin: global id g lives in shard (g mod S)
+// at local row (g div S). The mapping is pure arithmetic — no lookup
+// tables — so remapping per-shard results to global ids is free, and
+// shard populations differ by at most one row regardless of corpus
+// size. Per-shard indexes are built concurrently on a ThreadPool, and
+// k-NN / range queries fan scans across the shards and merge the
+// per-shard result heaps into one globally ordered answer. Because the
+// distance kernels evaluate each candidate row independently of its
+// block, a sharded scan returns bit-identical distances to an
+// unsharded scan of the same rows — the equivalence the property tests
+// lock in.
+
+#ifndef CBIX_CORE_SHARDED_STORE_H_
+#define CBIX_CORE_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "util/feature_matrix.h"
+#include "util/status.h"
+
+namespace cbix {
+
+class ShardedFeatureStore {
+ public:
+  /// Creates an index instance for one shard. Called once per shard;
+  /// every instance must use the same metric/configuration so shards
+  /// rank candidates identically.
+  using ShardIndexFactory = std::function<std::unique_ptr<VectorIndex>()>;
+
+  ShardedFeatureStore() : ShardedFeatureStore(1) {}
+
+  /// A store with `num_shards` shards (0 is clamped to 1).
+  explicit ShardedFeatureStore(size_t num_shards);
+
+  /// Distributes the rows of `matrix` round-robin across the shards,
+  /// replacing any previous contents (including built indexes).
+  void Partition(const FeatureMatrix& matrix);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const { return total_rows_; }
+  bool empty() const { return total_rows_ == 0; }
+  size_t dim() const { return dim_; }
+
+  /// Feature rows of shard `s` (local row ids). Empty after
+  /// BuildIndexes: shard buffers are moved into (or released to) the
+  /// shard indexes so the corpus is not held twice.
+  const FeatureMatrix& shard(size_t s) const { return shards_[s]; }
+
+  /// Rows assigned to shard `s` (stable across BuildIndexes).
+  size_t shard_size(size_t s) const { return shard_rows_[s]; }
+
+  // ------------------------------------------------------------------
+  // Global id <-> (shard, local id) mapping. The contract every layer
+  // relies on: GlobalId(ShardOf(g), LocalId(g)) == g, and GlobalId is
+  // strictly increasing in the local id within one shard, so per-shard
+  // (distance, local id) orderings agree with the global
+  // (distance, global id) ordering restricted to that shard.
+
+  size_t ShardOf(uint32_t global_id) const { return global_id % num_shards(); }
+  uint32_t LocalId(uint32_t global_id) const {
+    return global_id / static_cast<uint32_t>(num_shards());
+  }
+  uint32_t GlobalId(size_t shard, uint32_t local_id) const {
+    return local_id * static_cast<uint32_t>(num_shards()) +
+           static_cast<uint32_t>(shard);
+  }
+
+  // ------------------------------------------------------------------
+  // Per-shard indexes.
+
+  /// Builds one index per shard from `factory`, running the builds
+  /// concurrently on `num_threads` pool workers (0 = min(shards,
+  /// hardware concurrency)). Shard matrices are moved into indexes
+  /// that can adopt them and released otherwise — after a successful
+  /// build the indexes own the only copy of the rows. Returns the
+  /// first per-shard build error, if any; after a failure, re-run
+  /// Partition before retrying (shard buffers may already be handed
+  /// off).
+  Status BuildIndexes(const ShardIndexFactory& factory,
+                      size_t num_threads = 0);
+
+  bool indexes_built() const { return !indexes_.empty(); }
+
+  /// The index over shard `s` (null before BuildIndexes).
+  const VectorIndex* index(size_t s) const {
+    return s < indexes_.size() ? indexes_[s].get() : nullptr;
+  }
+
+  // ------------------------------------------------------------------
+  // Queries. Results carry *global* ids and are sorted by
+  // (distance, id); both forms are exact and must agree with an
+  // unsharded linear scan over the same rows (see tests).
+
+  /// k nearest rows across all shards (sequential fan over shards; the
+  /// batch query path parallelizes queries x shards externally via
+  /// the *Shard entry points below).
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const;
+
+  /// All rows within `radius` (inclusive) across all shards.
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const;
+
+  /// Shard-granular k-NN: the top-k of shard `s` only, remapped to
+  /// global ids. Merging every shard's result with MergeTopK yields
+  /// exactly the global top-k.
+  std::vector<Neighbor> KnnSearchShard(size_t s, const Vec& q, size_t k,
+                                       SearchStats* stats) const;
+
+  /// Shard-granular range search with global ids, sorted.
+  std::vector<Neighbor> RangeSearchShard(size_t s, const Vec& q,
+                                         double radius,
+                                         SearchStats* stats) const;
+
+  /// Merges per-shard top-k lists (global ids) into the global top-k,
+  /// ordered by (distance, id). Deterministic for any input order.
+  static std::vector<Neighbor> MergeTopK(
+      std::vector<std::vector<Neighbor>> per_shard, size_t k);
+
+  /// Heap bytes of shard matrices plus built indexes.
+  size_t MemoryBytes() const;
+
+  void Clear();
+
+ private:
+  std::vector<FeatureMatrix> shards_;
+  std::vector<size_t> shard_rows_;  ///< per-shard row counts
+  std::vector<std::unique_ptr<VectorIndex>> indexes_;
+  size_t total_rows_ = 0;
+  size_t dim_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_SHARDED_STORE_H_

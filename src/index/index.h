@@ -63,11 +63,19 @@ class VectorIndex {
 
   /// Builds from flat SoA feature storage; row ids become vector ids.
   /// Indexes that scan rows directly (linear scan, VP-tree) copy the
-  /// matrix buffer once (and offer a move-adopting AdoptMatrix); the
-  /// default unpacks into nested vectors without an extra matrix copy
-  /// for structures still consuming those.
+  /// matrix buffer once; the default unpacks into nested vectors
+  /// without an extra matrix copy for structures still consuming
+  /// those.
   virtual Status BuildFromMatrix(const FeatureMatrix& matrix) {
     return Build(matrix.ToVectors());
+  }
+
+  /// Move-adopting build: takes ownership of `matrix`. Indexes that
+  /// scan flat rows directly override this zero-copy (the sharded
+  /// store hands each shard buffer to its index through it); the
+  /// default copies via BuildFromMatrix and discards the argument.
+  virtual Status AdoptMatrix(FeatureMatrix matrix) {
+    return BuildFromMatrix(matrix);
   }
 
   /// All ids within `radius` (inclusive) of `q`, sorted by (distance,

@@ -23,7 +23,7 @@ class LinearScanIndex : public VectorIndex {
   Status Build(std::vector<Vec> vectors) override;
   Status BuildFromMatrix(const FeatureMatrix& matrix) override;
   /// Zero-copy build: takes ownership of `matrix`.
-  Status AdoptMatrix(FeatureMatrix matrix);
+  Status AdoptMatrix(FeatureMatrix matrix) override;
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,

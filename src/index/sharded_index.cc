@@ -1,0 +1,57 @@
+#include "index/sharded_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cbix {
+
+ShardedIndex::ShardedIndex(ShardedFeatureStore::ShardIndexFactory factory,
+                           ShardedIndexOptions options)
+    : factory_(std::move(factory)),
+      options_(options),
+      store_(std::max<size_t>(1, options.num_shards)) {
+  assert(factory_ != nullptr);
+}
+
+Status ShardedIndex::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    const size_t dim = vectors[0].size();
+    if (dim == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  }
+  return BuildFromMatrix(FeatureMatrix::FromVectors(vectors));
+}
+
+Status ShardedIndex::BuildFromMatrix(const FeatureMatrix& matrix) {
+  store_.Partition(matrix);
+  return store_.BuildIndexes(factory_, options_.build_threads);
+}
+
+std::vector<Neighbor> ShardedIndex::RangeSearch(const Vec& q, double radius,
+                                                SearchStats* stats) const {
+  if (!store_.indexes_built()) return {};
+  return store_.RangeSearch(q, radius, stats);
+}
+
+std::vector<Neighbor> ShardedIndex::KnnSearch(const Vec& q, size_t k,
+                                              SearchStats* stats) const {
+  if (!store_.indexes_built()) return {};
+  return store_.KnnSearch(q, k, stats);
+}
+
+std::string ShardedIndex::Name() const {
+  const VectorIndex* first = store_.index(0);
+  const std::string inner = first != nullptr ? first->Name() : "unbuilt";
+  return "sharded(" + inner + ", shards=" +
+         std::to_string(store_.num_shards()) + ")";
+}
+
+size_t ShardedIndex::MemoryBytes() const {
+  return store_.MemoryBytes() + sizeof(*this);
+}
+
+}  // namespace cbix

@@ -1,0 +1,67 @@
+// ShardedIndex — a VectorIndex composed of N shard-local indexes over a
+// ShardedFeatureStore partition.
+//
+// Build partitions the input round-robin and constructs one index per
+// shard (from a caller-supplied factory) concurrently on a ThreadPool;
+// searches fan across the shards and merge the per-shard heaps, so the
+// result is exactly what an unsharded index over the same rows would
+// return, with global ids. The engine plugs this in behind the
+// `shards` config knob; its batch query path additionally schedules
+// queries x shards work items through the shard-granular entry points
+// exposed by the underlying store.
+
+#ifndef CBIX_INDEX_SHARDED_INDEX_H_
+#define CBIX_INDEX_SHARDED_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sharded_store.h"
+#include "index/index.h"
+
+namespace cbix {
+
+struct ShardedIndexOptions {
+  size_t num_shards = 1;     ///< clamped to >= 1
+  size_t build_threads = 0;  ///< pool workers for shard builds; 0 =
+                             ///< min(shards, hardware concurrency)
+};
+
+class ShardedIndex : public VectorIndex {
+ public:
+  /// `factory` creates one shard-local index per shard; all instances
+  /// must share metric/configuration (the engine passes its unsharded
+  /// index factory).
+  ShardedIndex(ShardedFeatureStore::ShardIndexFactory factory,
+               ShardedIndexOptions options);
+
+  Status Build(std::vector<Vec> vectors) override;
+  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
+
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return store_.size(); }
+  size_t dim() const override { return store_.dim(); }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  size_t num_shards() const { return store_.num_shards(); }
+
+  /// The partitioned store behind the index: shard matrices, id
+  /// mapping, and the shard-granular search entry points the engine's
+  /// batch path fans out over.
+  const ShardedFeatureStore& store() const { return store_; }
+
+ private:
+  ShardedFeatureStore::ShardIndexFactory factory_;
+  ShardedIndexOptions options_;
+  ShardedFeatureStore store_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_SHARDED_INDEX_H_

@@ -115,7 +115,12 @@ TEST(IntegrationTest, RangeAndKnnConsistentThroughEngine) {
 class PersistenceFailureTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "cbix_corrupt_test.db";
+    // Unique per test: ctest registers each test as its own process
+    // (gtest_discover_tests) and runs them concurrently, so siblings
+    // must not share a scratch file.
+    path_ = ::testing::TempDir() + "cbix_corrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".db";
     CbirEngine engine(FastExtractor());
     const auto corpus = SmallCorpus(3, 3, 48);
     for (const auto& item : corpus) {

@@ -1,0 +1,171 @@
+// Regression guard for the batch query fan-out paths: the same corpus
+// and query batch must produce byte-identical results (ids, names,
+// labels, bit-equal distances, equal per-query stats) regardless of the
+// worker-thread count, across repeated runs, and for both the flat and
+// the sharded engine configurations. Worker scheduling may reorder
+// execution; it must never reorder or perturb answers.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/corpus.h"
+#include "corpus/vector_workload.h"
+
+namespace cbix {
+namespace {
+
+using Matches = std::vector<std::vector<CbirEngine::Match>>;
+
+/// Bitwise distance comparison: determinism means the same double, not
+/// merely a close one.
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void ExpectIdenticalBatches(const Matches& got, const Matches& want,
+                            const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t q = 0; q < got.size(); ++q) {
+    ASSERT_EQ(got[q].size(), want[q].size()) << context << " query=" << q;
+    for (size_t i = 0; i < got[q].size(); ++i) {
+      EXPECT_EQ(got[q][i].id, want[q][i].id) << context << " query=" << q;
+      EXPECT_EQ(got[q][i].name, want[q][i].name) << context << " query=" << q;
+      EXPECT_EQ(got[q][i].label, want[q][i].label)
+          << context << " query=" << q;
+      EXPECT_TRUE(BitEqual(got[q][i].distance, want[q][i].distance))
+          << context << " query=" << q << " rank=" << i
+          << " got=" << got[q][i].distance << " want=" << want[q][i].distance;
+    }
+  }
+}
+
+void ExpectIdenticalStats(const std::vector<SearchStats>& got,
+                          const std::vector<SearchStats>& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t q = 0; q < got.size(); ++q) {
+    EXPECT_EQ(got[q].distance_evals, want[q].distance_evals)
+        << context << " query=" << q;
+    EXPECT_EQ(got[q].nodes_visited, want[q].nodes_visited)
+        << context << " query=" << q;
+    EXPECT_EQ(got[q].leaves_visited, want[q].leaves_visited)
+        << context << " query=" << q;
+  }
+}
+
+class BatchDeterminism : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchDeterminism, VectorBatchIsThreadCountInvariant) {
+  const size_t shards = GetParam();
+
+  VectorWorkloadSpec spec;
+  spec.count = 400;
+  spec.dim = 16;
+  spec.seed = 2026;
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 12, 0.04, 55);
+
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.shards = shards;
+  CbirEngine engine(FeatureExtractor(), config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i), i % 5)
+            .ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+
+  // Reference: the sequential single-query path.
+  Matches reference(queries.size());
+  std::vector<SearchStats> reference_stats(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    auto result = engine.QueryKnnByVector(queries[q], 9, &reference_stats[q]);
+    ASSERT_TRUE(result.ok());
+    reference[q] = std::move(result.value());
+  }
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    for (int run = 0; run < 3; ++run) {
+      std::vector<SearchStats> stats;
+      auto result = engine.QueryKnnBatchByVectors(queries, 9, threads, &stats);
+      ASSERT_TRUE(result.ok());
+      const std::string context = "shards=" + std::to_string(shards) +
+                                  " threads=" + std::to_string(threads) +
+                                  " run=" + std::to_string(run);
+      ExpectIdenticalBatches(result.value(), reference, context);
+      ExpectIdenticalStats(stats, reference_stats, context);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlatAndSharded, BatchDeterminism,
+                         ::testing::Values(1u, 3u),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+TEST(BatchDeterminismTest, ImageBatchIsThreadCountInvariant) {
+  CorpusSpec spec;
+  spec.num_classes = 3;
+  spec.images_per_class = 4;
+  spec.width = 48;
+  spec.height = 48;
+  const std::vector<LabeledImage> corpus = CorpusGenerator(spec).Generate();
+
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL1;
+  config.shards = 2;
+  CbirEngine engine(MakeDefaultExtractor(48), config);
+  for (const LabeledImage& item : corpus) {
+    ASSERT_TRUE(engine.AddImage(item.image, item.name, item.class_id).ok());
+  }
+
+  const std::vector<ImageU8> batch = {corpus[0].image, corpus[5].image,
+                                      corpus[11].image};
+  std::vector<SearchStats> reference_stats;
+  auto reference = engine.QueryKnnBatch(batch, 4, 1, &reference_stats);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference.value().size(), batch.size());
+  // A database image queried against itself must come back on top.
+  EXPECT_EQ(reference.value()[0][0].id, 0u);
+  EXPECT_TRUE(BitEqual(reference.value()[0][0].distance, 0.0));
+
+  for (size_t threads : {2u, 8u}) {
+    std::vector<SearchStats> stats;
+    auto result = engine.QueryKnnBatch(batch, 4, threads, &stats);
+    ASSERT_TRUE(result.ok());
+    ExpectIdenticalBatches(result.value(), reference.value(),
+                           "image_batch threads=" + std::to_string(threads));
+    ExpectIdenticalStats(stats, reference_stats, "image_batch");
+  }
+}
+
+TEST(BatchDeterminismTest, EmptyStoreAndEmptyBatch) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.shards = 3;
+  CbirEngine engine(FeatureExtractor(), config);
+
+  std::vector<SearchStats> stats;
+  auto result = engine.QueryKnnBatchByVectors({{1.f, 2.f}}, 5, 4, &stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_TRUE(result.value()[0].empty());
+
+  ASSERT_TRUE(engine.AddFeatureVector({1.f, 2.f}, "v0").ok());
+  auto empty_batch = engine.QueryKnnBatchByVectors({}, 5, 4, &stats);
+  ASSERT_TRUE(empty_batch.ok());
+  EXPECT_TRUE(empty_batch.value().empty());
+  EXPECT_TRUE(stats.empty());
+}
+
+}  // namespace
+}  // namespace cbix

@@ -95,7 +95,10 @@ TEST(BinaryReaderTest, OversizedStringLengthRejected) {
 class FramedFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "cbix_framed_test.bin";
+    // Unique per test: sibling tests run as concurrent ctest processes.
+    path_ = ::testing::TempDir() + "cbix_framed_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

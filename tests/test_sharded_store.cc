@@ -1,0 +1,378 @@
+// Shard/unsharded interchangeability: a ShardedFeatureStore-backed
+// index must return *identical* ids and distances (ties broken by id)
+// to an unsharded LinearScanIndex over the same rows, for k-NN and
+// range queries, across every engine metric and a spread of shard
+// counts. The distance kernels evaluate rows independently of their
+// block, so the comparison is exact equality, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/feature_store.h"
+#include "core/sharded_store.h"
+#include "corpus/vector_workload.h"
+#include "index/linear_scan.h"
+#include "index/sharded_index.h"
+#include "index/vp_tree.h"
+
+namespace cbix {
+namespace {
+
+ShardedFeatureStore::ShardIndexFactory LinearScanFactory(MetricKind metric) {
+  return [metric]() -> std::unique_ptr<VectorIndex> {
+    return std::make_unique<LinearScanIndex>(MakeMetric(metric));
+  };
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& got,
+                         const std::vector<Neighbor>& want,
+                         const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank=" << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << context << " rank=" << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// The central property: sharded == unsharded, exactly.
+
+struct EquivalenceCase {
+  std::string name;
+  MetricKind metric;
+  VectorDistribution distribution;
+  size_t dim;
+};
+
+class ShardedEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ShardedEquivalence, MatchesLinearScanExactly) {
+  const EquivalenceCase& param = GetParam();
+
+  VectorWorkloadSpec spec;
+  spec.distribution = param.distribution;
+  spec.count = 500;
+  spec.dim = param.dim;
+  spec.seed = 4242;
+  const std::vector<Vec> data = GenerateVectors(spec);
+
+  LinearScanIndex reference(MakeMetric(param.metric));
+  ASSERT_TRUE(reference.Build(data).ok());
+
+  const std::vector<Vec> queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 8, 0.04, 99);
+
+  for (size_t num_shards : {1u, 2u, 3u, 7u}) {
+    ShardedIndexOptions options;
+    options.num_shards = num_shards;
+    ShardedIndex sharded(LinearScanFactory(param.metric), options);
+    ASSERT_TRUE(sharded.Build(data).ok());
+    ASSERT_EQ(sharded.size(), data.size());
+    ASSERT_EQ(sharded.dim(), param.dim);
+    ASSERT_EQ(sharded.num_shards(), num_shards);
+
+    const std::string context =
+        param.name + "/shards=" + std::to_string(num_shards);
+    for (const Vec& q : queries) {
+      const auto knn_ref = KnnSearch(reference, q, 10);
+      ASSERT_EQ(knn_ref.size(), 10u);
+
+      for (size_t k : {1ULL, 5ULL, 25ULL}) {
+        ExpectSameNeighbors(KnnSearch(sharded, q, k),
+                            KnnSearch(reference, q, k),
+                            context + " k=" + std::to_string(k));
+      }
+      for (double radius :
+           {knn_ref[2].distance, knn_ref[9].distance * 1.5}) {
+        ExpectSameNeighbors(
+            RangeSearch(sharded, q, radius), RangeSearch(reference, q, radius),
+            context + " radius=" + std::to_string(radius));
+      }
+    }
+  }
+}
+
+std::vector<EquivalenceCase> MakeEquivalenceCases() {
+  const std::pair<MetricKind, std::string> metrics[] = {
+      {MetricKind::kL1, "l1"},
+      {MetricKind::kL2, "l2"},
+      {MetricKind::kLInf, "linf"},
+      {MetricKind::kHistogramIntersection, "hist_intersect"},
+      {MetricKind::kChiSquare, "chi_square"},
+      {MetricKind::kHellinger, "hellinger"},
+      {MetricKind::kCosine, "cosine"},
+  };
+  std::vector<EquivalenceCase> cases;
+  for (const auto& [metric, mname] : metrics) {
+    cases.push_back({mname + "_clustered_d16", metric,
+                     VectorDistribution::kClustered, 16});
+    cases.push_back({mname + "_uniform_d8", metric,
+                     VectorDistribution::kUniform, 8});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, ShardedEquivalence,
+    ::testing::ValuesIn(MakeEquivalenceCases()),
+    [](const ::testing::TestParamInfo<EquivalenceCase>& info) {
+      return info.param.name;
+    });
+
+// Shard-local VP-trees must compose exactly like shard-local scans.
+TEST(ShardedIndexTest, VpTreeShardsMatchLinearScan) {
+  VectorWorkloadSpec spec;
+  spec.count = 400;
+  spec.dim = 12;
+  spec.seed = 11;
+  const std::vector<Vec> data = GenerateVectors(spec);
+
+  LinearScanIndex reference(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(reference.Build(data).ok());
+
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  ShardedIndex sharded(
+      []() -> std::unique_ptr<VectorIndex> {
+        return std::make_unique<VpTree>(MakeMetric(MetricKind::kL2),
+                                        VpTreeOptions{});
+      },
+      options);
+  ASSERT_TRUE(sharded.Build(data).ok());
+  EXPECT_NE(sharded.Name().find("sharded(vp_tree"), std::string::npos);
+
+  const std::vector<Vec> queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 6, 0.05, 5);
+  for (const Vec& q : queries) {
+    ExpectSameNeighbors(KnnSearch(sharded, q, 9), KnnSearch(reference, q, 9),
+                        "vp_shards");
+    const double radius = KnnSearch(reference, q, 5)[4].distance;
+    ExpectSameNeighbors(RangeSearch(sharded, q, radius),
+                        RangeSearch(reference, q, radius), "vp_shards_range");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Id mapping contract.
+
+TEST(ShardedStoreTest, IdMappingRoundTripsAndBalances) {
+  FeatureMatrix matrix(4);
+  const size_t n = 103;
+  for (size_t i = 0; i < n; ++i) {
+    const Vec row = {static_cast<float>(i), 0.f, 0.f, 0.f};
+    matrix.AppendRow(row);
+  }
+  for (size_t num_shards : {1u, 2u, 3u, 7u, 16u}) {
+    ShardedFeatureStore store(num_shards);
+    store.Partition(matrix);
+    ASSERT_EQ(store.num_shards(), num_shards);
+    ASSERT_EQ(store.size(), n);
+    ASSERT_EQ(store.dim(), 4u);
+
+    size_t total = 0, min_rows = n, max_rows = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      total += store.shard_size(s);
+      min_rows = std::min(min_rows, store.shard_size(s));
+      max_rows = std::max(max_rows, store.shard_size(s));
+    }
+    EXPECT_EQ(total, n);
+    EXPECT_LE(max_rows - min_rows, 1u) << "round-robin must balance";
+
+    for (uint32_t g = 0; g < n; ++g) {
+      const size_t s = store.ShardOf(g);
+      const uint32_t local = store.LocalId(g);
+      ASSERT_LT(s, num_shards);
+      ASSERT_LT(local, store.shard_size(s));
+      EXPECT_EQ(store.GlobalId(s, local), g);
+      // The row really is the one the global id names.
+      EXPECT_EQ(store.shard(s).row(local)[0], static_cast<float>(g));
+    }
+  }
+}
+
+TEST(ShardedStoreTest, FeatureStoreShardedViewMatchesMatrix) {
+  FeatureStore store;
+  for (int i = 0; i < 10; ++i) {
+    ImageRecord record;
+    record.name = "img" + std::to_string(i);
+    record.features = {static_cast<float>(i), 1.f};
+    ASSERT_TRUE(store.Add(std::move(record)).ok());
+  }
+  ShardedFeatureStore sharded(3);
+  sharded.Partition(store.matrix());
+  EXPECT_EQ(sharded.size(), store.size());
+  EXPECT_EQ(sharded.dim(), store.feature_dim());
+  for (uint32_t g = 0; g < store.size(); ++g) {
+    const float* row =
+        sharded.shard(sharded.ShardOf(g)).row(sharded.LocalId(g));
+    EXPECT_EQ(row[0], store.features(g)[0]);
+    EXPECT_EQ(row[1], store.features(g)[1]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// MergeTopK semantics.
+
+TEST(ShardedStoreTest, MergeTopKOrdersByDistanceThenId) {
+  std::vector<std::vector<Neighbor>> per_shard = {
+      {{4, 0.1}, {7, 0.5}},
+      {{2, 0.5}, {5, 0.9}},
+      {{0, 0.5}, {3, 0.7}},
+  };
+  const auto merged = ShardedFeatureStore::MergeTopK(per_shard, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 4u);
+  // Three hits tie at 0.5 — ascending global id breaks the tie.
+  EXPECT_EQ(merged[1].id, 0u);
+  EXPECT_EQ(merged[2].id, 2u);
+  EXPECT_EQ(merged[3].id, 7u);
+}
+
+TEST(ShardedStoreTest, MergeTopKHandlesShortAndEmptyShards) {
+  std::vector<std::vector<Neighbor>> per_shard = {{{1, 0.3}}, {}, {{0, 0.2}}};
+  const auto merged = ShardedFeatureStore::MergeTopK(per_shard, 10);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].id, 0u);
+  EXPECT_EQ(merged[1].id, 1u);
+}
+
+// --------------------------------------------------------------------------
+// Degenerate shapes.
+
+TEST(ShardedIndexTest, EmptyBuild) {
+  ShardedIndexOptions options;
+  options.num_shards = 4;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  ASSERT_TRUE(index.Build({}).ok());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(KnnSearch(index, {}, 5).empty());
+  EXPECT_TRUE(RangeSearch(index, {}, 1.0).empty());
+}
+
+TEST(ShardedIndexTest, FewerRowsThanShards) {
+  ShardedIndexOptions options;
+  options.num_shards = 7;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  const std::vector<Vec> data = {{0.f}, {1.f}, {2.f}};
+  ASSERT_TRUE(index.Build(data).ok());
+  EXPECT_EQ(index.size(), 3u);
+  const auto knn = KnnSearch(index, {1.2f}, 10);
+  ASSERT_EQ(knn.size(), 3u);
+  EXPECT_EQ(knn[0].id, 1u);
+  EXPECT_EQ(knn[1].id, 2u);
+  EXPECT_EQ(knn[2].id, 0u);
+}
+
+TEST(ShardedIndexTest, DuplicateVectorsTieBreakByGlobalId) {
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  const std::vector<Vec> data(20, Vec{0.5f, 0.5f});
+  ASSERT_TRUE(index.Build(data).ok());
+  const auto knn = KnnSearch(index, {0.5f, 0.5f}, 8);
+  ASSERT_EQ(knn.size(), 8u);
+  for (size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_EQ(knn[i].id, i) << "global-id tie break across shards";
+    EXPECT_EQ(knn[i].distance, 0.0);
+  }
+  EXPECT_EQ(RangeSearch(index, {0.5f, 0.5f}, 0.0).size(), 20u);
+}
+
+TEST(ShardedIndexTest, RebuildReplacesContents) {
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  ASSERT_TRUE(index.Build({{0.f}, {1.f}, {2.f}}).ok());
+  ASSERT_TRUE(index.Build({{5.f}}).ok());
+  EXPECT_EQ(index.size(), 1u);
+  const auto knn = KnnSearch(index, {5.f}, 10);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].id, 0u);
+}
+
+TEST(ShardedIndexTest, InconsistentDimensionsRejected) {
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  EXPECT_EQ(index.Build({{1.f, 2.f}, {1.f}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedIndexTest, StatsCountEveryRowOnceAcrossShards) {
+  VectorWorkloadSpec spec;
+  spec.count = 300;
+  spec.dim = 8;
+  const std::vector<Vec> data = GenerateVectors(spec);
+  ShardedIndexOptions options;
+  options.num_shards = 4;
+  ShardedIndex index(LinearScanFactory(MetricKind::kL2), options);
+  ASSERT_TRUE(index.Build(data).ok());
+  SearchStats stats;
+  index.KnnSearch(Vec(8, 0.5f), 5, &stats);
+  // Shard-local linear scans evaluate each of their rows exactly once.
+  EXPECT_EQ(stats.distance_evals, data.size());
+}
+
+// --------------------------------------------------------------------------
+// Engine integration: the `shards` knob must not change any answer.
+
+TEST(ShardedEngineTest, ShardedConfigMatchesUnsharded) {
+  VectorWorkloadSpec spec;
+  spec.count = 250;
+  spec.dim = 10;
+  spec.seed = 31;
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries =
+      GenerateQueries(spec, data, QueryMode::kPerturbedData, 5, 0.05, 3);
+
+  EngineConfig flat_config;
+  flat_config.index_kind = IndexKind::kLinearScan;
+  flat_config.metric = MetricKind::kL1;
+  EngineConfig sharded_config = flat_config;
+  sharded_config.shards = 3;
+
+  CbirEngine flat(FeatureExtractor(), flat_config);
+  CbirEngine sharded(FeatureExtractor(), sharded_config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const std::string name = "v" + std::to_string(i);
+    ASSERT_TRUE(flat.AddFeatureVector(data[i], name).ok());
+    ASSERT_TRUE(sharded.AddFeatureVector(data[i], name).ok());
+  }
+  ASSERT_TRUE(flat.BuildIndex().ok());
+  ASSERT_TRUE(sharded.BuildIndex().ok());
+
+  for (const Vec& q : queries) {
+    const auto want = flat.QueryKnnByVector(q, 7);
+    const auto got = sharded.QueryKnnByVector(q, 7);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().size(), want.value().size());
+    for (size_t i = 0; i < want.value().size(); ++i) {
+      EXPECT_EQ(got.value()[i].id, want.value()[i].id);
+      EXPECT_EQ(got.value()[i].distance, want.value()[i].distance);
+      EXPECT_EQ(got.value()[i].name, want.value()[i].name);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, MakeIndexWrapsWhenShardsConfigured) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.shards = 4;
+  auto index = MakeIndex(config);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index.value()->Build({{1.f}, {2.f}, {3.f}}).ok());
+  EXPECT_NE(index.value()->Name().find("shards=4"), std::string::npos);
+
+  config.shards = 1;
+  auto flat = MakeIndex(config);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.value()->Name().find("sharded"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbix
