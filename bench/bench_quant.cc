@@ -1,0 +1,263 @@
+// bench_quant — memory footprint, batch-query throughput and retrieval
+// quality of the quantized feature backings vs the exact float path.
+//
+// For each backing (none / int8 / pq) the harness builds the engine on
+// one clustered corpus, reports the scan-path bytes per vector (codes +
+// grid parameters or codebook for quantized backings; the flat matrix
+// for the float path), measures QueryKnnBatch throughput, and computes
+// recall@10 of the two-stage (quantized over-fetch -> exact rerank)
+// results against the exact float top-10.
+//
+// Gates (a failed gate exits nonzero so bench/run_bench.sh fails the
+// PR):
+//   - int8 recall@10 >= 0.95 on the synthetic workload;
+//   - int8 scan bytes/vector <= 0.26x the float bytes/vector;
+//   - pq scan compression >= 8x (its recall is reported, not gated).
+//
+// Usage: bench_quant [output.json]
+// Prints a table and, when a path is given, writes BENCH_quant.json —
+// the quantization trajectory future PRs regress against.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "quant/quantized_store.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+constexpr size_t kCount = 16384;
+constexpr size_t kDim = 128;
+constexpr size_t kK = 10;
+constexpr size_t kBatchQueries = 64;
+constexpr size_t kQueryThreads = 8;
+constexpr size_t kPqM = 16;
+constexpr size_t kRerankFactor = 4;    ///< int8: fine grids, shallow fetch
+constexpr size_t kPqRerankFactor = 32;  ///< pq: coarser codes, deeper fetch
+
+constexpr double kInt8RecallGate = 0.95;
+constexpr double kInt8BytesGate = 0.26;  // x float bytes/vector
+constexpr double kPqCompressionGate = 8.0;
+
+struct QuantRow {
+  std::string name;
+  size_t rerank_factor = 0;
+  double build_ms = 0.0;  ///< index build incl. quantization/training
+  double scan_bytes_per_vec = 0.0;   ///< hot scan path
+  double total_bytes_per_vec = 0.0;  ///< incl. retained float rows
+  double compression_x = 0.0;        ///< float scan bytes / quant scan bytes
+  double batch_ms = 0.0;
+  double batch_qps = 0.0;
+  double recall_at_10 = 1.0;  ///< vs the exact float top-10
+};
+
+[[noreturn]] void Die(const std::string& name, const std::string& what,
+                      const Status& status) {
+  std::fprintf(stderr, "bench_quant: %s %s failed: %s\n", name.c_str(),
+               what.c_str(), status.ToString().c_str());
+  std::exit(1);
+}
+
+QuantRow RunCase(QuantizationKind quant, const std::vector<Vec>& data,
+                 const std::vector<Vec>& queries,
+                 const std::vector<std::vector<uint32_t>>* exact_top,
+                 std::vector<std::vector<uint32_t>>* top_out) {
+  QuantRow row;
+  row.name = QuantizationKindName(quant);
+  row.rerank_factor =
+      quant == QuantizationKind::kPq ? kPqRerankFactor : kRerankFactor;
+
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.quantization = quant;
+  config.pq_m = kPqM;
+  config.rerank_factor = row.rerank_factor;
+  CbirEngine engine(FeatureExtractor(), config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    const auto added =
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i));
+    if (!added.ok()) Die(row.name, "AddFeatureVector", added.status());
+  }
+
+  {
+    Timer timer;
+    const Status built = engine.BuildIndex();
+    if (!built.ok()) Die(row.name, "BuildIndex", built);
+    row.build_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  }
+
+  const double n = static_cast<double>(data.size());
+  const auto* quant_store =
+      dynamic_cast<const QuantizedStore*>(engine.index());
+  if (quant_store != nullptr) {
+    row.scan_bytes_per_vec = static_cast<double>(
+                                 quant_store->ScanBackingBytes()) / n;
+    row.total_bytes_per_vec =
+        static_cast<double>(quant_store->MemoryBytes()) / n;
+  } else {
+    row.scan_bytes_per_vec =
+        static_cast<double>(engine.store().matrix().MemoryBytes()) / n;
+    row.total_bytes_per_vec =
+        static_cast<double>(engine.IndexMemoryBytes()) / n;
+  }
+
+  (void)engine.QueryKnnBatchByVectors(queries, kK, kQueryThreads);  // warm-up
+  Timer timer;
+  const auto result =
+      engine.QueryKnnBatchByVectors(queries, kK, kQueryThreads);
+  row.batch_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+  if (!result.ok()) Die(row.name, "QueryKnnBatchByVectors", result.status());
+  row.batch_qps =
+      row.batch_ms > 0.0
+          ? 1000.0 * static_cast<double>(queries.size()) / row.batch_ms
+          : 0.0;
+
+  top_out->clear();
+  for (const auto& matches : result.value()) {
+    std::vector<uint32_t> ids;
+    ids.reserve(matches.size());
+    for (const auto& m : matches) ids.push_back(m.id);
+    top_out->push_back(std::move(ids));
+  }
+
+  if (exact_top != nullptr) {
+    size_t hits = 0, total = 0;
+    for (size_t qi = 0; qi < exact_top->size(); ++qi) {
+      const auto& want = (*exact_top)[qi];
+      const auto& got = (*top_out)[qi];
+      total += want.size();
+      for (const uint32_t id : want) {
+        for (const uint32_t g : got) {
+          if (g == id) {
+            ++hits;
+            break;
+          }
+        }
+      }
+    }
+    row.recall_at_10 = total > 0 ? static_cast<double>(hits) /
+                                       static_cast<double>(total)
+                                 : 1.0;
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<QuantRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_quant: cannot write %s\n", path.c_str());
+    std::exit(1);  // a stale trajectory must not pass the smoke ritual
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_quant\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"dim\": %zu, \"k\": %zu,"
+               " \"batch_queries\": %zu, \"query_threads\": %zu,"
+               " \"pq_m\": %zu,"
+               " \"index\": \"linear_scan\", \"metric\": \"l2\"},\n",
+               kCount, kDim, kK, kBatchQueries, kQueryThreads, kPqM);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"quantization\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const QuantRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"backing\": \"%s\", \"rerank_factor\": %zu,"
+                 " \"build_ms\": %.2f,"
+                 " \"scan_bytes_per_vec\": %.2f,"
+                 " \"total_bytes_per_vec\": %.2f,"
+                 " \"compression_x\": %.2f, \"batch_ms\": %.2f,"
+                 " \"batch_qps\": %.1f, \"recall_at_10\": %.4f}%s\n",
+                 r.name.c_str(), r.rerank_factor, r.build_ms,
+                 r.scan_bytes_per_vec, r.total_bytes_per_vec,
+                 r.compression_x, r.batch_ms, r.batch_qps, r.recall_at_10,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "QUANT",
+      "quantized scan backings: bytes/vector, batch QPS, recall@10",
+      "clustered, n=" + std::to_string(kCount) + ", dim=" +
+          std::to_string(kDim) + ", k=" + std::to_string(kK));
+
+  const VectorWorkloadSpec spec = StandardWorkload(kCount, kDim);
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, kBatchQueries, 0.05, 4321);
+
+  std::vector<QuantRow> rows;
+  std::vector<std::vector<uint32_t>> exact_top, top;
+  TablePrinter table({"backing", "build_ms", "scan_B/vec", "total_B/vec",
+                      "compress_x", "batch_qps", "recall@10"});
+  table.PrintHeader();
+  for (const QuantizationKind quant :
+       {QuantizationKind::kNone, QuantizationKind::kInt8,
+        QuantizationKind::kPq}) {
+    QuantRow row = RunCase(quant, data, queries,
+                           rows.empty() ? nullptr : &exact_top, &top);
+    if (rows.empty()) {
+      exact_top = top;  // float path = ground truth
+      row.compression_x = 1.0;
+    } else {
+      row.compression_x = row.scan_bytes_per_vec > 0.0
+                              ? rows[0].scan_bytes_per_vec /
+                                    row.scan_bytes_per_vec
+                              : 0.0;
+    }
+    rows.push_back(row);
+    table.PrintRow({row.name, Fmt(row.build_ms), Fmt(row.scan_bytes_per_vec),
+                    Fmt(row.total_bytes_per_vec), Fmt(row.compression_x),
+                    Fmt(row.batch_qps, 1), Fmt(row.recall_at_10, 4)});
+  }
+
+  // Quality/compression gates: a regression must fail the smoke ritual,
+  // not ship a degraded trajectory.
+  bool ok = true;
+  const QuantRow& int8_row = rows[1];
+  const QuantRow& pq_row = rows[2];
+  if (int8_row.recall_at_10 < kInt8RecallGate) {
+    std::fprintf(stderr,
+                 "bench_quant: GATE FAILED int8 recall@10 %.4f < %.2f\n",
+                 int8_row.recall_at_10, kInt8RecallGate);
+    ok = false;
+  }
+  if (int8_row.scan_bytes_per_vec >
+      kInt8BytesGate * rows[0].scan_bytes_per_vec) {
+    std::fprintf(
+        stderr,
+        "bench_quant: GATE FAILED int8 scan bytes/vec %.2f > %.2fx float "
+        "(%.2f)\n",
+        int8_row.scan_bytes_per_vec, kInt8BytesGate,
+        rows[0].scan_bytes_per_vec);
+    ok = false;
+  }
+  if (pq_row.compression_x < kPqCompressionGate) {
+    std::fprintf(stderr,
+                 "bench_quant: GATE FAILED pq compression %.2fx < %.1fx\n",
+                 pq_row.compression_x, kPqCompressionGate);
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  if (argc > 1) WriteJson(argv[1], rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Per-PR smoke ritual: configure, build, run the tier-1 test suite, and
 # refresh the committed perf trajectories (BENCH_kernels.json +
-# BENCH_shards.json) so every PR leaves a fresh data point.
+# BENCH_shards.json + BENCH_quant.json) so every PR leaves a fresh data
+# point. bench_quant additionally gates int8 recall@10 and int8/pq
+# compression; a quality regression fails the ritual.
 #
 # Usage: bench/run_bench.sh [build-dir]
 #   BUILD_DIR / $1  build directory (default: <repo>/build)
@@ -27,5 +29,8 @@ echo "== perf trajectory: kernels =="
 
 echo "== perf trajectory: shards =="
 "$BUILD/bench_shards" "$ROOT/BENCH_shards.json"
+
+echo "== perf trajectory: quantization (recall/compression gates) =="
+"$BUILD/bench_quant" "$ROOT/BENCH_quant.json"
 
 echo "== smoke OK =="

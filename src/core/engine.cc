@@ -7,6 +7,7 @@
 #include "image/pnm_codec.h"
 #include "index/linear_scan.h"
 #include "index/sharded_index.h"
+#include "quant/quantized_store.h"
 #include "util/thread_pool.h"
 #include "util/serialize.h"
 
@@ -14,7 +15,8 @@ namespace cbix {
 
 namespace {
 constexpr uint32_t kEngineMagic = 0x43425845;  // "CBXE"
-constexpr uint32_t kEngineVersion = 1;
+// v2: quantization config fields appended after the metric kind.
+constexpr uint32_t kEngineVersion = 2;
 }  // namespace
 
 std::string IndexKindName(IndexKind kind) {
@@ -49,6 +51,18 @@ std::string MetricKindName(MetricKind kind) {
       return "hellinger";
     case MetricKind::kCosine:
       return "cosine";
+  }
+  return "unknown";
+}
+
+std::string QuantizationKindName(QuantizationKind kind) {
+  switch (kind) {
+    case QuantizationKind::kNone:
+      return "none";
+    case QuantizationKind::kInt8:
+      return "int8";
+    case QuantizationKind::kPq:
+      return "pq";
   }
   return "unknown";
 }
@@ -111,10 +125,20 @@ MinkowskiKind ToMinkowskiKind(MetricKind metric) {
 }
 
 /// One shard-local (or unsharded) index instance. Assumes the
-/// (index, metric) combination was already validated.
+/// (index, metric, quantization) combination was already validated.
 std::unique_ptr<VectorIndex> MakeUnshardedIndex(const EngineConfig& config) {
   switch (config.index_kind) {
     case IndexKind::kLinearScan:
+      if (config.quantization != QuantizationKind::kNone) {
+        QuantizedStoreOptions options;
+        options.backing = config.quantization == QuantizationKind::kInt8
+                              ? QuantBacking::kInt8
+                              : QuantBacking::kPq;
+        options.rerank_factor = config.rerank_factor;
+        options.pq.m = config.pq_m;
+        return std::unique_ptr<VectorIndex>(
+            new QuantizedStore(MakeMetric(config.metric), options));
+      }
       return std::unique_ptr<VectorIndex>(
           new LinearScanIndex(MakeMetric(config.metric)));
     case IndexKind::kVpTree:
@@ -142,6 +166,13 @@ std::unique_ptr<VectorIndex> MakeUnshardedIndex(const EngineConfig& config) {
 Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
   CBIX_RETURN_IF_ERROR(
       ValidateIndexMetricCombination(config.index_kind, config.metric));
+  if (config.quantization != QuantizationKind::kNone &&
+      config.index_kind != IndexKind::kLinearScan) {
+    return Status::InvalidArgument(
+        "quantization (" + QuantizationKindName(config.quantization) +
+        ") requires the linear_scan index kind, got " +
+        IndexKindName(config.index_kind));
+  }
   std::unique_ptr<VectorIndex> index = MakeUnshardedIndex(config);
   if (index == nullptr) return Status::InvalidArgument("unknown index kind");
   if (config.shards > 1) {
@@ -364,23 +395,56 @@ Status CbirEngine::Save(const std::string& path) const {
   BinaryWriter writer;
   writer.Write<uint32_t>(static_cast<uint32_t>(config_.index_kind));
   writer.Write<uint32_t>(static_cast<uint32_t>(config_.metric));
+  writer.Write<uint32_t>(static_cast<uint32_t>(config_.quantization));
+  writer.Write<uint64_t>(config_.pq_m);
+  writer.Write<uint64_t>(config_.rerank_factor);
   writer.Write<uint64_t>(extractor_.dim());
   std::vector<uint8_t> store_bytes;
   store_.Serialize(&store_bytes);
   writer.WriteVector(store_bytes);
+  // Persist a built flat quantized index so Load restores codes and
+  // codebooks instead of re-training (PQ k-means dominates load cost
+  // otherwise). Rows are omitted — the FeatureStore section above
+  // already holds them once; Load reattaches its matrix. Sharded or
+  // unbuilt indexes fall back to the rebuild path, like the tree
+  // indexes always do.
+  const auto* quant =
+      index_dirty_ ? nullptr
+                   : dynamic_cast<const QuantizedStore*>(index_.get());
+  writer.Write<uint8_t>(quant != nullptr ? 1 : 0);
+  if (quant != nullptr) quant->Serialize(&writer, /*include_rows=*/false);
   return WriteFramedFile(path, kEngineMagic, kEngineVersion,
                          writer.buffer());
 }
 
 Status CbirEngine::Load(const std::string& path) {
   std::vector<uint8_t> payload;
-  CBIX_RETURN_IF_ERROR(
-      ReadFramedFile(path, kEngineMagic, kEngineVersion, &payload));
+  uint32_t version = kEngineVersion;
+  const Status framed =
+      ReadFramedFile(path, kEngineMagic, kEngineVersion, &payload);
+  if (!framed.ok()) {
+    // v1 files (pre-quantization layout: no quant config fields, no
+    // index payload) stay loadable with quantization defaulted off.
+    if (!ReadFramedFile(path, kEngineMagic, 1, &payload).ok()) {
+      return framed;
+    }
+    version = 1;
+  }
   BinaryReader reader(payload);
-  uint32_t index_kind = 0, metric = 0;
-  uint64_t dim = 0;
+  uint32_t index_kind = 0, metric = 0, quantization = 0;
+  uint64_t pq_m = 8, rerank_factor = 4, dim = 0;
   CBIX_RETURN_IF_ERROR(reader.Read(&index_kind));
   CBIX_RETURN_IF_ERROR(reader.Read(&metric));
+  if (version >= 2) {
+    CBIX_RETURN_IF_ERROR(reader.Read(&quantization));
+    CBIX_RETURN_IF_ERROR(reader.Read(&pq_m));
+    CBIX_RETURN_IF_ERROR(reader.Read(&rerank_factor));
+    if (quantization > static_cast<uint32_t>(QuantizationKind::kPq)) {
+      // Unknown enum values must be rejected here: downstream index
+      // construction would otherwise coerce them to a valid backing.
+      return Status::Corruption("unknown quantization kind");
+    }
+  }
   CBIX_RETURN_IF_ERROR(reader.Read(&dim));
   if (dim != extractor_.dim()) {
     return Status::FailedPrecondition(
@@ -396,8 +460,37 @@ Status CbirEngine::Load(const std::string& path) {
 
   config_.index_kind = static_cast<IndexKind>(index_kind);
   config_.metric = static_cast<MetricKind>(metric);
+  config_.quantization = static_cast<QuantizationKind>(quantization);
+  config_.pq_m = pq_m;
+  config_.rerank_factor = rerank_factor;
   store_ = std::move(store);
   index_dirty_ = true;
+
+  if (version >= 2) {
+    uint8_t has_quant_index = 0;
+    CBIX_RETURN_IF_ERROR(reader.Read(&has_quant_index));
+    // The payload is a *flat* quantized index; an engine configured
+    // with shards > 1 wants a sharded one, so it skips the payload and
+    // takes the rebuild path (each shard re-quantizes its partition).
+    if (has_quant_index != 0 && config_.shards <= 1) {
+      CBIX_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
+                            MakeIndex(config_));
+      auto* quant = dynamic_cast<QuantizedStore*>(index.get());
+      if (quant == nullptr) {
+        return Status::Corruption(
+            "quantized index payload under a non-quantized config");
+      }
+      CBIX_RETURN_IF_ERROR(quant->Deserialize(&reader));
+      if (!quant->AttachExactRows(FeatureMatrix(store_.matrix())).ok() ||
+          quant->size() != store_.size()) {
+        return Status::Corruption(
+            "quantized index does not match the feature store");
+      }
+      index_ = std::move(index);
+      index_dirty_ = false;
+      return Status::Ok();
+    }
+  }
   return BuildIndex();
 }
 

@@ -55,6 +55,17 @@ std::string MetricKindName(MetricKind kind);
 /// Instantiates the measure.
 std::shared_ptr<const DistanceMetric> MakeMetric(MetricKind kind);
 
+/// Compressed scan-path backings (see quant/quantized_store.h). kNone
+/// keeps the exact float scan; kInt8/kPq replace the linear-scan index
+/// with a quantized scan plus exact rerank on retained float rows.
+enum class QuantizationKind {
+  kNone,
+  kInt8,
+  kPq,
+};
+
+std::string QuantizationKindName(QuantizationKind kind);
+
 struct EngineConfig {
   IndexKind index_kind = IndexKind::kVpTree;
   MetricKind metric = MetricKind::kL1;
@@ -71,6 +82,15 @@ struct EngineConfig {
   /// Pool workers for concurrent shard builds; 0 = min(shards,
   /// hardware concurrency).
   size_t shard_build_threads = 0;
+  /// Feature-storage quantization. Requires index_kind == kLinearScan
+  /// (the quantized store *is* a scan structure); composes with
+  /// `shards` — each shard quantizes its own partition independently.
+  QuantizationKind quantization = QuantizationKind::kNone;
+  /// PQ subspaces (quantization == kPq); clamped to [1, feature dim].
+  size_t pq_m = 8;
+  /// Quantized-scan over-fetch: the approximate stage keeps
+  /// k * rerank_factor candidates before the exact rerank.
+  size_t rerank_factor = 4;
 };
 
 class CbirEngine {
@@ -155,6 +175,17 @@ class CbirEngine {
 
   size_t size() const { return store_.size(); }
   const FeatureStore& store() const { return store_; }
+
+  /// The built index (nullptr before the first build). Exposed for
+  /// memory accounting and index introspection (bench, examples).
+  const VectorIndex* index() const { return index_.get(); }
+
+  /// Resident bytes of the built index structure (0 before build).
+  size_t IndexMemoryBytes() const {
+    return index_ != nullptr ? index_->MemoryBytes() : 0;
+  }
+
+
   const FeatureExtractor& extractor() const { return extractor_; }
   const EngineConfig& config() const { return config_; }
 

@@ -41,6 +41,20 @@ void FeatureStore::Clear() {
   matrix_.Clear();
 }
 
+size_t FeatureStore::MemoryBytes() const {
+  size_t bytes = matrix_.MemoryBytes() +
+                 names_.capacity() * sizeof(std::string) +
+                 labels_.capacity() * sizeof(int32_t);
+  // Only out-of-line string storage; SSO bytes live in the control
+  // blocks already counted above. An empty string's capacity is the
+  // exact SSO threshold of the active library.
+  const size_t sso_capacity = std::string().capacity();
+  for (const std::string& name : names_) {
+    if (name.capacity() > sso_capacity) bytes += name.capacity();
+  }
+  return bytes;
+}
+
 void FeatureStore::Serialize(std::vector<uint8_t>* out) const {
   BinaryWriter writer;
   writer.Write(kStoreMagic);

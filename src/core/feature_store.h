@@ -62,6 +62,10 @@ class FeatureStore {
 
   void Clear();
 
+  /// Heap bytes of the feature matrix plus the name/label arrays (the
+  /// bench layer reports honest bytes-per-vector from this).
+  size_t MemoryBytes() const;
+
   /// Binary round-trip.
   void Serialize(std::vector<uint8_t>* out) const;
   Status Deserialize(const std::vector<uint8_t>& bytes);

@@ -125,7 +125,10 @@ std::vector<Neighbor> ShardedFeatureStore::RangeSearch(
 }
 
 size_t ShardedFeatureStore::MemoryBytes() const {
-  size_t bytes = 0;
+  size_t bytes = sizeof(*this) +
+                 shards_.capacity() * sizeof(FeatureMatrix) +
+                 shard_rows_.capacity() * sizeof(size_t) +
+                 indexes_.capacity() * sizeof(std::unique_ptr<VectorIndex>);
   for (const FeatureMatrix& shard : shards_) bytes += shard.MemoryBytes();
   for (const auto& index : indexes_) {
     if (index != nullptr) bytes += index->MemoryBytes();

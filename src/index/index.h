@@ -84,7 +84,12 @@ class VectorIndex {
                                             SearchStats* stats) const = 0;
 
   /// The `k` nearest ids sorted by (distance, id); fewer when the index
-  /// holds fewer than k vectors. Exact.
+  /// holds fewer than k vectors. Exact for the stock structures (scan
+  /// and trees). QuantizedStore is the one deliberate exception: its
+  /// candidate stage ranks against compressed rows, so a true neighbor
+  /// whose quantized rank falls outside the k * rerank_factor
+  /// over-fetch can be missed — see quant/quantized_store.h for the
+  /// recall model (distances of returned ids are always exact).
   virtual std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                           SearchStats* stats) const = 0;
 

@@ -210,9 +210,13 @@ std::string KdTree::Name() const {
 }
 
 size_t KdTree::MemoryBytes() const {
-  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  // Count allocated capacities, not just live sizes: the vector-of-
+  // vectors storage and the node array both hold their slack resident.
+  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
+  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
+  bytes += nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
-    bytes += sizeof(Node) + node.leaf_ids.size() * sizeof(uint32_t);
+    bytes += node.leaf_ids.capacity() * sizeof(uint32_t);
   }
   return bytes;
 }

@@ -381,9 +381,13 @@ std::string MTree::Name() const {
 }
 
 size_t MTree::MemoryBytes() const {
-  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  // Capacity-based: slack in the vector-of-vectors and node/entry
+  // arrays is resident memory too.
+  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
+  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
+  bytes += nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
-    bytes += sizeof(Node) + node.entries.size() * sizeof(Entry);
+    bytes += node.entries.capacity() * sizeof(Entry);
   }
   return bytes;
 }

@@ -489,12 +489,17 @@ std::string RTree::Name() const {
 }
 
 size_t RTree::MemoryBytes() const {
-  size_t bytes = vectors_.size() * (sizeof(Vec) + dim_ * sizeof(float));
+  // Capacity-based: slack in the vector-of-vectors, node array and
+  // per-node rect/child/id arrays is resident memory too.
+  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
+  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
+  bytes += nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
-    bytes += sizeof(Node);
+    // Each Rect is two Vec control blocks plus their dim_-float heaps.
+    bytes += node.rects.capacity() * sizeof(Rect);
     bytes += node.rects.size() * 2 * dim_ * sizeof(float);
-    bytes += node.children.size() * sizeof(int32_t);
-    bytes += node.point_ids.size() * sizeof(uint32_t);
+    bytes += node.children.capacity() * sizeof(int32_t);
+    bytes += node.point_ids.capacity() * sizeof(uint32_t);
   }
   return bytes;
 }

@@ -367,12 +367,14 @@ std::string VpTree::Name() const {
 }
 
 size_t VpTree::MemoryBytes() const {
-  size_t bytes = data_.MemoryBytes() + sizeof(*this);
+  // Capacity-based: allocator slack in the node array and per-node
+  // vectors is resident memory too.
+  size_t bytes =
+      data_.MemoryBytes() + sizeof(*this) + nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
-    bytes += sizeof(Node);
-    bytes += node.leaf_ids.size() * sizeof(uint32_t);
-    bytes += node.child_lo.size() * 2 * sizeof(double);
-    bytes += node.children.size() * sizeof(int32_t);
+    bytes += node.leaf_ids.capacity() * sizeof(uint32_t);
+    bytes += node.child_lo.capacity() * 2 * sizeof(double);
+    bytes += node.children.capacity() * sizeof(int32_t);
   }
   return bytes;
 }

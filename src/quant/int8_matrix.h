@@ -1,0 +1,128 @@
+// Int8Matrix — per-dimension affine scalar quantization of a
+// FeatureMatrix: 1 byte per stored component instead of 4.
+//
+// Each dimension j gets its own affine grid (scale_j, offset_j) fit to
+// the column's [min, max] range, and every row component is rounded to
+// the nearest of 256 grid points: x̂ = offset_j + scale_j * code. The
+// scan path then streams uint8 codes — a quarter of the float
+// bandwidth — while the query stays in float ("asymmetric" distance:
+// exact distances to the *reconstructed* points, no query quantization
+// error). Rounding error is bounded per component by scale_j / 2, so
+// the reconstruction is within half a grid cell everywhere and a
+// quantized top-k over-fetch plus an exact rerank on retained float
+// rows recovers the exact answer with near-1 recall (see
+// quant/quantized_store.h).
+//
+// The asymmetric kernels mirror distance/batch_kernels.h: raw
+// pointers, no allocation, independent accumulation lanes. Per-
+// dimension scales make a pure integer accumulation unsound (each
+// lane's product carries a per-dimension weight), so each row's codes
+// are dequantized exactly once — inline, in registers, never
+// materialized — and the uint8→float convert pipelines with the FMA
+// chain. Unlike the exact float-path kernels the lanes accumulate in
+// float (see kKeyRelativeError): the keys only order candidates for a
+// rerank that is exact anyway, and single precision doubles the SIMD
+// width. The query is pre-centered once per query (q - offset),
+// hoisting the offset subtraction out of the row loop.
+
+#ifndef CBIX_QUANT_INT8_MATRIX_H_
+#define CBIX_QUANT_INT8_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/feature_matrix.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace cbix {
+
+class Int8Matrix {
+ public:
+  /// Code-row alignment in bytes; the code stride is padded to it so
+  /// every row of codes starts aligned (padding codes are zero and
+  /// never read — kernels iterate exactly dim() elements).
+  static constexpr size_t kAlignment = 32;
+
+  /// Conservative relative accuracy of the float-lane asymmetric
+  /// kernels. Rank keys are ordering devices for the reranked
+  /// over-fetch; any *bound* compared against them (the range-search
+  /// prefilter) must be widened by this factor so float rounding never
+  /// drops a true candidate.
+  static constexpr double kKeyRelativeError = 1e-4;
+
+  Int8Matrix() = default;
+
+  /// Quantizes `matrix`: fits per-dimension grids to the column ranges
+  /// and encodes every row. A dimension with zero range gets scale 0
+  /// and reconstructs exactly to its constant value.
+  static Int8Matrix Quantize(const FeatureMatrix& matrix);
+
+  size_t dim() const { return dim_; }
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Bytes (== codes) from one code row start to the next.
+  size_t stride() const { return stride_; }
+
+  const uint8_t* row(size_t i) const { return codes_.data() + i * stride_; }
+
+  /// Per-dimension grid parameters: x̂_j = offsets[j] + scales[j] * code.
+  const float* scales() const { return scales_.data(); }
+  const float* offsets() const { return offsets_.data(); }
+
+  /// Reconstructs row `i` into `out` (dim() floats).
+  void DequantizeRow(size_t i, float* out) const;
+
+  /// Reconstructs rows [begin, begin+n) into `out`, a row-major float
+  /// block with `out_stride` floats between row starts (out_stride >=
+  /// dim(); padding lanes are zero-filled so the block can feed the
+  /// stock batched metric kernels directly).
+  void DequantizeBlock(size_t begin, size_t n, float* out,
+                       size_t out_stride) const;
+
+  /// Centers a query onto the grid: q_centered[j] = q[j] - offsets[j].
+  /// Call once per query; the result feeds the asymmetric kernels.
+  void CenterQuery(const float* q, float* q_centered) const;
+
+  /// Squared L2 between the centered query and reconstructed row `i`:
+  ///   sum_j (q_centered[j] - scales[j] * codes[j])^2.
+  /// Equals kernels::L2Squared(q, dequantized row) up to rounding.
+  double AsymmetricL2Squared(const float* q_centered, size_t i) const;
+
+  /// Batched form over rows [begin, begin+n); writes out[0..n).
+  void AsymmetricL2SquaredBatch(const float* q_centered, size_t begin,
+                                size_t n, double* out) const;
+
+  /// Inner product between the *raw* query and reconstructed row `i`:
+  ///   sum_j q[j] * (offsets[j] + scales[j] * codes[j]).
+  /// The offset part is sum_j q[j]*offsets[j], constant per query —
+  /// pass it precomputed as `q_dot_offset` so the row loop only touches
+  /// codes and scales.
+  double AsymmetricDot(const float* q, double q_dot_offset, size_t i) const;
+
+  /// Heap bytes of codes plus the scale/offset arrays.
+  size_t MemoryBytes() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  Status Deserialize(BinaryReader* reader);
+
+  bool operator==(const Int8Matrix& other) const {
+    return dim_ == other.dim_ && count_ == other.count_ &&
+           codes_ == other.codes_ && scales_ == other.scales_ &&
+           offsets_ == other.offsets_;
+  }
+
+ private:
+  size_t dim_ = 0;
+  size_t stride_ = 0;  ///< bytes per code row, multiple of kAlignment
+  size_t count_ = 0;
+  std::vector<uint8_t> codes_;  ///< count_ * stride_ bytes
+  std::vector<float> scales_;   ///< dim_ entries
+  std::vector<float> offsets_;  ///< dim_ entries
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_QUANT_INT8_MATRIX_H_

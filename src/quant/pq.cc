@@ -1,0 +1,245 @@
+#include "quant/pq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "distance/batch_kernels.h"
+#include "util/random.h"
+
+namespace cbix {
+
+size_t PqCodebook::sub_begin(size_t s) const {
+  assert(s <= m_);
+  const size_t base = dim_ / m_;
+  const size_t rem = dim_ % m_;
+  return s * base + std::min(s, rem);
+}
+
+const float* PqCodebook::centroid(size_t s, size_t c) const {
+  assert(s < m_ && c < k_);
+  return centroids_.data() + centroid_offset(s) + c * sub_dim(s);
+}
+
+namespace {
+
+/// Index of the centroid (among `k`, each `dsub` floats at `centroids`)
+/// nearest to `x` in squared L2; ties break to the lowest index so
+/// encoding is deterministic.
+size_t NearestCentroid(const float* x, const float* centroids, size_t k,
+                       size_t dsub) {
+  size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < k; ++c) {
+    const double d = kernels::L2Squared(x, centroids + c * dsub, dsub);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PqCodebook PqCodebook::Train(const FeatureMatrix& data,
+                             const PqOptions& options) {
+  PqCodebook cb;
+  cb.dim_ = data.dim();
+  if (data.empty() || data.dim() == 0) return cb;
+  cb.m_ = std::max<size_t>(1, std::min(options.m, cb.dim_));
+
+  Rng rng(options.seed);
+  const size_t sample_count =
+      std::min(data.count(), std::max<size_t>(1, options.train_sample));
+  std::vector<size_t> sample =
+      rng.SampleWithoutReplacement(data.count(), sample_count);
+  std::sort(sample.begin(), sample.end());  // deterministic, cache-friendly
+
+  cb.k_ = std::min<size_t>(256, sample_count);
+  cb.centroids_.assign(cb.k_ * cb.dim_, 0.0f);
+
+  // Per-subspace Lloyd's algorithm over the sampled subvectors.
+  std::vector<size_t> assign(sample_count);
+  for (size_t s = 0; s < cb.m_; ++s) {
+    const size_t begin = cb.sub_begin(s);
+    const size_t dsub = cb.sub_dim(s);
+    float* cents = cb.centroids_.data() + cb.centroid_offset(s);
+
+    // Init: k distinct sampled rows.
+    const std::vector<size_t> init =
+        rng.SampleWithoutReplacement(sample_count, cb.k_);
+    for (size_t c = 0; c < cb.k_; ++c) {
+      std::memcpy(cents + c * dsub, data.row(sample[init[c]]) + begin,
+                  dsub * sizeof(float));
+    }
+
+    std::vector<double> sums(cb.k_ * dsub);
+    std::vector<size_t> counts(cb.k_);
+    for (size_t iter = 0; iter < std::max<size_t>(1, options.train_iters);
+         ++iter) {
+      for (size_t i = 0; i < sample_count; ++i) {
+        assign[i] =
+            NearestCentroid(data.row(sample[i]) + begin, cents, cb.k_, dsub);
+      }
+      std::fill(sums.begin(), sums.end(), 0.0);
+      std::fill(counts.begin(), counts.end(), 0);
+      for (size_t i = 0; i < sample_count; ++i) {
+        const float* x = data.row(sample[i]) + begin;
+        double* sum = sums.data() + assign[i] * dsub;
+        for (size_t j = 0; j < dsub; ++j) sum[j] += x[j];
+        ++counts[assign[i]];
+      }
+      for (size_t c = 0; c < cb.k_; ++c) {
+        if (counts[c] == 0) {
+          // Reseed a dead centroid to a random sampled subvector so the
+          // codebook keeps its full capacity.
+          const size_t r = rng.NextBelow(sample_count);
+          std::memcpy(cents + c * dsub, data.row(sample[r]) + begin,
+                      dsub * sizeof(float));
+          continue;
+        }
+        for (size_t j = 0; j < dsub; ++j) {
+          cents[c * dsub + j] =
+              static_cast<float>(sums[c * dsub + j] /
+                                 static_cast<double>(counts[c]));
+        }
+      }
+    }
+  }
+  return cb;
+}
+
+void PqCodebook::EncodeRow(const float* row, uint8_t* codes) const {
+  for (size_t s = 0; s < m_; ++s) {
+    codes[s] = static_cast<uint8_t>(
+        NearestCentroid(row + sub_begin(s),
+                        centroids_.data() + centroid_offset(s), k_,
+                        sub_dim(s)));
+  }
+}
+
+void PqCodebook::DecodeRow(const uint8_t* codes, float* out) const {
+  for (size_t s = 0; s < m_; ++s) {
+    std::memcpy(out + sub_begin(s), centroid(s, codes[s]),
+                sub_dim(s) * sizeof(float));
+  }
+}
+
+void PqCodebook::BuildAdcTable(const float* q, double* lut) const {
+  for (size_t s = 0; s < m_; ++s) {
+    const float* qs = q + sub_begin(s);
+    const size_t dsub = sub_dim(s);
+    const float* cents = centroids_.data() + centroid_offset(s);
+    for (size_t c = 0; c < k_; ++c) {
+      lut[s * k_ + c] = kernels::L2Squared(qs, cents + c * dsub, dsub);
+    }
+  }
+}
+
+size_t PqCodebook::MemoryBytes() const {
+  return centroids_.capacity() * sizeof(float);
+}
+
+void PqCodebook::Serialize(BinaryWriter* writer) const {
+  writer->Write<uint64_t>(dim_);
+  writer->Write<uint64_t>(m_);
+  writer->Write<uint64_t>(k_);
+  writer->WriteVector(centroids_);
+}
+
+Status PqCodebook::Deserialize(BinaryReader* reader) {
+  uint64_t dim = 0, m = 0, k = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&dim));
+  CBIX_RETURN_IF_ERROR(reader->Read(&m));
+  CBIX_RETURN_IF_ERROR(reader->Read(&k));
+  std::vector<float> centroids;
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&centroids));
+  // Exactly two valid shapes: the empty codebook Train() yields for
+  // empty data, or a fully-populated one (partially-zero shapes would
+  // pass the size product check and crash the query path later).
+  const bool empty_shape = dim == 0 && m == 0 && k == 0 && centroids.empty();
+  const bool full_shape =
+      dim > 0 && m >= 1 && m <= dim && k >= 1 && k <= 256 &&
+      dim <= std::numeric_limits<size_t>::max() / k &&
+      centroids.size() == k * dim;
+  if (!empty_shape && !full_shape) {
+    return Status::Corruption("pq codebook shape mismatch");
+  }
+  dim_ = dim;
+  m_ = m;
+  k_ = k;
+  centroids_ = std::move(centroids);
+  return Status::Ok();
+}
+
+PqMatrix PqMatrix::Quantize(const FeatureMatrix& matrix,
+                            const PqOptions& options) {
+  PqMatrix pq;
+  pq.codebook_ = PqCodebook::Train(matrix, options);
+  pq.count_ = matrix.count();
+  if (pq.codebook_.empty()) return pq;
+  pq.codes_.assign(pq.count_ * pq.codebook_.m(), 0);
+  for (size_t i = 0; i < pq.count_; ++i) {
+    pq.codebook_.EncodeRow(matrix.row(i),
+                           pq.codes_.data() + i * pq.codebook_.m());
+  }
+  return pq;
+}
+
+void PqMatrix::DequantizeBlock(size_t begin, size_t n, float* out,
+                               size_t out_stride) const {
+  assert(begin + n <= count_);
+  const size_t dim = codebook_.dim();
+  assert(out_stride >= dim);
+  for (size_t i = 0; i < n; ++i) {
+    float* dst = out + i * out_stride;
+    DequantizeRow(begin + i, dst);
+    if (out_stride > dim) {
+      std::memset(dst + dim, 0, (out_stride - dim) * sizeof(float));
+    }
+  }
+}
+
+size_t PqMatrix::MemoryBytes() const {
+  return codes_.capacity() * sizeof(uint8_t) + codebook_.MemoryBytes();
+}
+
+void PqMatrix::Serialize(BinaryWriter* writer) const {
+  codebook_.Serialize(writer);
+  writer->Write<uint64_t>(count_);
+  writer->WriteVector(codes_);
+}
+
+Status PqMatrix::Deserialize(BinaryReader* reader) {
+  PqCodebook codebook;
+  CBIX_RETURN_IF_ERROR(codebook.Deserialize(reader));
+  uint64_t count = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&count));
+  std::vector<uint8_t> codes;
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&codes));
+  if (codebook.empty()
+          ? (!codes.empty() || count != 0)
+          : (count > std::numeric_limits<size_t>::max() / codebook.m() ||
+             codes.size() != count * codebook.m())) {
+    return Status::Corruption("pq matrix shape mismatch");
+  }
+  if (codebook.k() < 256) {
+    // Every code byte indexes the centroid table and the per-query ADC
+    // LUT; with fewer than 256 centroids an out-of-range byte in a
+    // corrupt file would read past both.
+    for (const uint8_t code : codes) {
+      if (code >= codebook.k()) {
+        return Status::Corruption("pq code exceeds codebook size");
+      }
+    }
+  }
+  codebook_ = std::move(codebook);
+  count_ = count;
+  codes_ = std::move(codes);
+  return Status::Ok();
+}
+
+}  // namespace cbix

@@ -1,0 +1,150 @@
+// Product quantization: M-byte codes with per-query ADC lookup tables.
+//
+// The feature space splits into M contiguous subspaces (remainder
+// dimensions spread over the first subspaces, so any dim works with any
+// M <= dim). Each subspace gets a k-means codebook of up to 256
+// centroids trained on a deterministic row sample; a vector is stored
+// as M uint8 centroid ids, and its reconstruction is the concatenation
+// of the chosen centroids. A query precomputes one table of squared L2
+// distances from each of its subvectors to every centroid
+// ("asymmetric distance computation"), after which a row's squared L2
+// distance to its reconstruction is M table reads — independent of the
+// original dimensionality. Compression is dim*4 : M bytes per row plus
+// the amortized codebook.
+//
+// Training is deterministic given the options seed: sampling, centroid
+// init and empty-cluster reseeding all draw from util/random.h's Rng.
+
+#ifndef CBIX_QUANT_PQ_H_
+#define CBIX_QUANT_PQ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/feature_matrix.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace cbix {
+
+struct PqOptions {
+  size_t m = 8;              ///< subspaces (clamped to [1, dim])
+  size_t train_iters = 10;   ///< Lloyd iterations per subspace
+  size_t train_sample = 4096;  ///< max rows sampled for training
+  uint64_t seed = 0x5eedULL;
+};
+
+/// The trained quantizer: subspace layout plus per-subspace centroids.
+class PqCodebook {
+ public:
+  PqCodebook() = default;
+
+  /// Trains per-subspace k-means codebooks on (a sample of) `data`.
+  /// k = min(256, sample rows); empty data yields an empty codebook.
+  static PqCodebook Train(const FeatureMatrix& data,
+                          const PqOptions& options);
+
+  size_t dim() const { return dim_; }
+  size_t m() const { return m_; }
+  size_t k() const { return k_; }  ///< centroids per subspace
+  bool empty() const { return m_ == 0 || k_ == 0; }
+
+  /// First dimension of subspace `s`; subspace s covers
+  /// [sub_begin(s), sub_begin(s+1)). Remainder dims go to the first
+  /// (dim % m) subspaces, so lengths differ by at most one.
+  size_t sub_begin(size_t s) const;
+  size_t sub_dim(size_t s) const { return sub_begin(s + 1) - sub_begin(s); }
+
+  /// Centroid `c` of subspace `s` (sub_dim(s) floats).
+  const float* centroid(size_t s, size_t c) const;
+
+  /// Encodes one row (dim() floats) to m() nearest-centroid codes.
+  void EncodeRow(const float* row, uint8_t* codes) const;
+
+  /// Reconstructs codes into `out` (dim() floats).
+  void DecodeRow(const uint8_t* codes, float* out) const;
+
+  /// Fills the per-query ADC table: lut[s * k() + c] is the squared L2
+  /// distance from the query's subvector s to centroid c. `lut` must
+  /// hold m() * k() doubles.
+  void BuildAdcTable(const float* q, double* lut) const;
+
+  /// Squared L2 between the query behind `lut` and the reconstruction
+  /// of `codes`: sum of m() table reads.
+  double AdcDistanceSquared(const double* lut, const uint8_t* codes) const {
+    double acc = 0.0;
+    for (size_t s = 0; s < m_; ++s) acc += lut[s * k_ + codes[s]];
+    return acc;
+  }
+
+  size_t MemoryBytes() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  Status Deserialize(BinaryReader* reader);
+
+  bool operator==(const PqCodebook& other) const {
+    return dim_ == other.dim_ && m_ == other.m_ && k_ == other.k_ &&
+           centroids_ == other.centroids_;
+  }
+
+ private:
+  size_t dim_ = 0;
+  size_t m_ = 0;
+  size_t k_ = 0;
+  /// Flattened per-subspace centroid blocks: subspace s occupies
+  /// [centroid_offset(s), centroid_offset(s) + k_ * sub_dim(s)).
+  std::vector<float> centroids_;
+
+  size_t centroid_offset(size_t s) const { return k_ * sub_begin(s); }
+};
+
+/// PQ-encoded rows over one codebook (the quantized FeatureMatrix
+/// backing; row ids are positions, matching the source matrix).
+class PqMatrix {
+ public:
+  PqMatrix() = default;
+
+  /// Trains a codebook on `matrix` and encodes every row.
+  static PqMatrix Quantize(const FeatureMatrix& matrix,
+                           const PqOptions& options);
+
+  const PqCodebook& codebook() const { return codebook_; }
+  size_t dim() const { return codebook_.dim(); }
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Codes of row `i` (m() bytes).
+  const uint8_t* row(size_t i) const {
+    return codes_.data() + i * codebook_.m();
+  }
+
+  void DequantizeRow(size_t i, float* out) const {
+    codebook_.DecodeRow(row(i), out);
+  }
+
+  /// Reconstructs rows [begin, begin+n) into a row-major float block
+  /// with `out_stride` floats between rows (padding zero-filled).
+  void DequantizeBlock(size_t begin, size_t n, float* out,
+                       size_t out_stride) const;
+
+  /// Heap bytes of codes plus the codebook.
+  size_t MemoryBytes() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  Status Deserialize(BinaryReader* reader);
+
+  bool operator==(const PqMatrix& other) const {
+    return count_ == other.count_ && codes_ == other.codes_ &&
+           codebook_ == other.codebook_;
+  }
+
+ private:
+  PqCodebook codebook_;
+  size_t count_ = 0;
+  std::vector<uint8_t> codes_;  ///< count_ * m() bytes
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_QUANT_PQ_H_

@@ -1,0 +1,407 @@
+#include "quant/quantized_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "distance/batch_kernels.h"
+#include "distance/minkowski.h"
+
+namespace cbix {
+
+namespace {
+
+/// Candidates per batched kernel call (matches index/linear_scan.cc).
+constexpr size_t kScanBlock = 256;
+
+/// Float stride of the dequantize-block scratch, padded like
+/// FeatureMatrix rows so the stock batched kernels see aligned rows.
+size_t ScratchStride(size_t dim) {
+  constexpr size_t kFloatsPerLine = FeatureMatrix::kAlignment / sizeof(float);
+  return (dim + kFloatsPerLine - 1) / kFloatsPerLine * kFloatsPerLine;
+}
+
+}  // namespace
+
+std::string QuantBackingName(QuantBacking backing) {
+  switch (backing) {
+    case QuantBacking::kInt8:
+      return "int8";
+    case QuantBacking::kPq:
+      return "pq";
+  }
+  return "unknown";
+}
+
+QuantizedStore::QuantizedStore(std::shared_ptr<const DistanceMetric> metric,
+                               QuantizedStoreOptions options)
+    : metric_(std::move(metric)), options_(options) {
+  assert(metric_ != nullptr);
+  if (options_.rerank_factor == 0) options_.rerank_factor = 1;
+}
+
+Status QuantizedStore::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    const size_t dim = vectors[0].size();
+    if (dim == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  }
+  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
+}
+
+Status QuantizedStore::BuildFromMatrix(const FeatureMatrix& matrix) {
+  return AdoptMatrix(FeatureMatrix(matrix));
+}
+
+Status QuantizedStore::AdoptMatrix(FeatureMatrix matrix) {
+  if (matrix.count() > 0 && matrix.dim() == 0) {
+    return Status::InvalidArgument("empty vectors");
+  }
+  exact_rows_ = std::move(matrix);
+  int8_ = Int8Matrix();
+  pq_ = PqMatrix();
+  switch (options_.backing) {
+    case QuantBacking::kInt8:
+      int8_ = Int8Matrix::Quantize(exact_rows_);
+      break;
+    case QuantBacking::kPq:
+      pq_ = PqMatrix::Quantize(exact_rows_, options_.pq);
+      break;
+  }
+  ComputeReconstructionError();
+  return Status::Ok();
+}
+
+void QuantizedStore::ComputeReconstructionError() {
+  max_recon_error_ = 0.0;
+  const size_t n = exact_rows_.count();
+  const size_t dim = exact_rows_.dim();
+  if (n == 0 || dim == 0) return;
+  std::vector<float> recon(dim);
+  for (size_t i = 0; i < n; ++i) {
+    if (options_.backing == QuantBacking::kInt8) {
+      int8_.DequantizeRow(i, recon.data());
+    } else {
+      pq_.DequantizeRow(i, recon.data());
+    }
+    max_recon_error_ =
+        std::max(max_recon_error_,
+                 metric_->DistanceRaw(exact_rows_.row(i), recon.data(), dim));
+  }
+}
+
+bool QuantizedStore::UseL2FastPath() const {
+  return dynamic_cast<const L2Distance*>(metric_.get()) != nullptr;
+}
+
+QuantizedStore::ApproxScratch QuantizedStore::PrepareApproxScan(
+    const Vec& q) const {
+  ApproxScratch scratch;
+  const bool l2 = UseL2FastPath();
+  if (l2 && options_.backing == QuantBacking::kPq && !pq_.empty()) {
+    scratch.lut.resize(pq_.codebook().m() * pq_.codebook().k());
+    pq_.codebook().BuildAdcTable(q.data(), scratch.lut.data());
+  } else if (l2 && options_.backing == QuantBacking::kInt8) {
+    scratch.q_centered.resize(exact_rows_.dim());
+    int8_.CenterQuery(q.data(), scratch.q_centered.data());
+  } else {
+    scratch.block.resize(kScanBlock * ScratchStride(exact_rows_.dim()));
+  }
+  return scratch;
+}
+
+void QuantizedStore::ApproxKeysBlock(const Vec& q, size_t begin, size_t n,
+                                     ApproxScratch* scratch,
+                                     double* keys) const {
+  const size_t dim = exact_rows_.dim();
+  if (!scratch->lut.empty()) {
+    // PQ + L2: a row key is m() table reads.
+    const PqCodebook& cb = pq_.codebook();
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = cb.AdcDistanceSquared(scratch->lut.data(), pq_.row(begin + i));
+    }
+    return;
+  }
+  if (!scratch->q_centered.empty()) {
+    // int8 + L2: fused asymmetric kernel, no materialized floats.
+    int8_.AsymmetricL2SquaredBatch(scratch->q_centered.data(), begin, n,
+                                   keys);
+    return;
+  }
+  // Generic metric: reconstruct the block once and feed the stock
+  // batched rank kernels — every metric the float path supports works
+  // against the quantized backing too.
+  const size_t stride = ScratchStride(dim);
+  if (options_.backing == QuantBacking::kInt8) {
+    int8_.DequantizeBlock(begin, n, scratch->block.data(), stride);
+  } else {
+    pq_.DequantizeBlock(begin, n, scratch->block.data(), stride);
+  }
+  metric_->RankBatch(q.data(), scratch->block.data(), stride, n, dim, keys);
+}
+
+std::vector<Neighbor> QuantizedStore::ApproxTopK(const Vec& q, size_t fetch,
+                                                 SearchStats* stats) const {
+  std::vector<Neighbor> heap;  // max-heap on (key, id)
+  if (fetch == 0) return heap;
+  heap.reserve(fetch + 1);
+  const size_t n = exact_rows_.count();
+  ApproxScratch scratch = PrepareApproxScan(q);
+
+  double tau_key = std::numeric_limits<double>::infinity();
+  double keys[kScanBlock];
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t block = std::min(kScanBlock, n - begin);
+    ApproxKeysBlock(q, begin, block, &scratch, keys);
+    if (stats != nullptr) {
+      stats->distance_evals += block;
+      ++stats->leaves_visited;
+    }
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > tau_key) continue;
+      const Neighbor candidate{static_cast<uint32_t>(begin + i), keys[i]};
+      if (heap.size() < fetch) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (candidate < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end());
+      }
+      if (heap.size() == fetch) {
+        tau_key = RankKeyThreshold(heap.front().distance);
+      }
+    }
+  }
+  return heap;
+}
+
+std::vector<uint32_t> QuantizedStore::ApproxRangeCandidates(
+    const Vec& q, double key_threshold, SearchStats* stats) const {
+  std::vector<uint32_t> out;
+  const size_t n = exact_rows_.count();
+  ApproxScratch scratch = PrepareApproxScan(q);
+
+  double keys[kScanBlock];
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t block = std::min(kScanBlock, n - begin);
+    ApproxKeysBlock(q, begin, block, &scratch, keys);
+    if (stats != nullptr) {
+      stats->distance_evals += block;
+      ++stats->leaves_visited;
+    }
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] <= key_threshold) {
+        out.push_back(static_cast<uint32_t>(begin + i));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Neighbor> QuantizedStore::RerankExact(
+    const Vec& q, const std::vector<Neighbor>& candidates, size_t k,
+    SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  out.reserve(candidates.size());
+  const size_t dim = exact_rows_.dim();
+  for (const Neighbor& c : candidates) {
+    out.push_back(
+        {c.id, metric_->DistanceRaw(q.data(), exact_rows_.row(c.id), dim)});
+  }
+  if (stats != nullptr) stats->distance_evals += candidates.size();
+  std::sort(out.begin(), out.end());
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<Neighbor> QuantizedStore::KnnSearch(const Vec& q, size_t k,
+                                                SearchStats* stats) const {
+  if (k == 0 || exact_rows_.empty()) return {};
+  const size_t n = exact_rows_.count();
+  const size_t fetch = std::min(n, k * options_.rerank_factor);
+  const std::vector<Neighbor> candidates = ApproxTopK(q, fetch, stats);
+  return RerankExact(q, candidates, k, stats);
+}
+
+std::vector<Neighbor> QuantizedStore::RangeSearch(const Vec& q, double radius,
+                                                  SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  const size_t n = exact_rows_.count();
+  const size_t dim = exact_rows_.dim();
+  if (n == 0) return out;
+
+  if (metric_->is_metric()) {
+    // Triangle inequality: d(q, x) >= d(q, x̂) - d(x, x̂), so every true
+    // hit has an approximate distance within radius + max reconstruction
+    // error. Scan the backing with the inflated threshold, then verify
+    // the (few) survivors exactly. The extra widening absorbs the
+    // float-lane rounding of the asymmetric kernels.
+    const double key_threshold =
+        RankKeyThreshold(metric_->DistanceToRank(radius + max_recon_error_)) *
+        (1.0 + Int8Matrix::kKeyRelativeError);
+    const std::vector<uint32_t> candidates =
+        ApproxRangeCandidates(q, key_threshold, stats);
+    for (const uint32_t id : candidates) {
+      const double d = metric_->DistanceRaw(q.data(), exact_rows_.row(id), dim);
+      if (d <= radius) out.push_back({id, d});
+    }
+    if (stats != nullptr) stats->distance_evals += candidates.size();
+  } else {
+    // No distance bound without the triangle inequality — scan the
+    // retained float rows exactly, as LinearScanIndex would.
+    const double radius_key =
+        RankKeyThreshold(metric_->DistanceToRank(radius));
+    double keys[kScanBlock];
+    for (size_t begin = 0; begin < n; begin += kScanBlock) {
+      const size_t block = std::min(kScanBlock, n - begin);
+      metric_->RankBatch(q.data(), exact_rows_.row(begin),
+                         exact_rows_.stride(), block, dim, keys);
+      if (stats != nullptr) {
+        stats->distance_evals += block;
+        ++stats->leaves_visited;
+      }
+      for (size_t i = 0; i < block; ++i) {
+        if (keys[i] > radius_key) continue;
+        const double d = metric_->RankToDistance(keys[i]);
+        if (d <= radius) out.push_back({static_cast<uint32_t>(begin + i), d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string QuantizedStore::Name() const {
+  std::string name = "quant_" + QuantBackingName(options_.backing) + "(";
+  if (options_.backing == QuantBacking::kPq) {
+    name += "m=" + std::to_string(options_.pq.m) + ",";
+  }
+  name += metric_->Name() +
+          ",rerank=" + std::to_string(options_.rerank_factor) + ")";
+  return name;
+}
+
+size_t QuantizedStore::ScanBackingBytes() const {
+  return options_.backing == QuantBacking::kInt8 ? int8_.MemoryBytes()
+                                                 : pq_.MemoryBytes();
+}
+
+size_t QuantizedStore::MemoryBytes() const {
+  return ScanBackingBytes() + ExactRowBytes() + sizeof(*this);
+}
+
+void QuantizedStore::Serialize(BinaryWriter* writer,
+                               bool include_rows) const {
+  writer->Write<uint32_t>(static_cast<uint32_t>(options_.backing));
+  writer->Write<uint64_t>(options_.rerank_factor);
+  writer->Write<uint64_t>(options_.pq.m);
+  writer->Write<uint64_t>(options_.pq.train_iters);
+  writer->Write<uint64_t>(options_.pq.train_sample);
+  writer->Write<uint64_t>(options_.pq.seed);
+  writer->Write<double>(max_recon_error_);
+  writer->Write<uint64_t>(exact_rows_.dim());
+  writer->Write<uint64_t>(exact_rows_.count());
+  writer->Write<uint8_t>(include_rows ? 1 : 0);
+  if (include_rows) {
+    std::vector<float> rows(exact_rows_.count() * exact_rows_.dim());
+    for (size_t i = 0; i < exact_rows_.count(); ++i) {
+      std::copy(exact_rows_.row(i), exact_rows_.row(i) + exact_rows_.dim(),
+                rows.begin() +
+                    static_cast<ptrdiff_t>(i * exact_rows_.dim()));
+    }
+    writer->WriteVector(rows);
+  }
+  if (options_.backing == QuantBacking::kInt8) {
+    int8_.Serialize(writer);
+  } else {
+    pq_.Serialize(writer);
+  }
+}
+
+Status QuantizedStore::Deserialize(BinaryReader* reader) {
+  uint32_t backing = 0;
+  uint64_t rerank = 0, pq_m = 0, pq_iters = 0, pq_sample = 0, pq_seed = 0;
+  double max_err = 0.0;
+  uint64_t dim = 0, count = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&backing));
+  CBIX_RETURN_IF_ERROR(reader->Read(&rerank));
+  CBIX_RETURN_IF_ERROR(reader->Read(&pq_m));
+  CBIX_RETURN_IF_ERROR(reader->Read(&pq_iters));
+  CBIX_RETURN_IF_ERROR(reader->Read(&pq_sample));
+  CBIX_RETURN_IF_ERROR(reader->Read(&pq_seed));
+  CBIX_RETURN_IF_ERROR(reader->Read(&max_err));
+  CBIX_RETURN_IF_ERROR(reader->Read(&dim));
+  CBIX_RETURN_IF_ERROR(reader->Read(&count));
+  if (backing > static_cast<uint32_t>(QuantBacking::kPq)) {
+    return Status::Corruption("unknown quantized backing");
+  }
+  if (dim != 0 && count > std::numeric_limits<size_t>::max() / dim) {
+    return Status::Corruption("quantized store shape overflow");
+  }
+  if (count > 0 && dim == 0) {
+    return Status::Corruption("quantized store shape mismatch");
+  }
+  uint8_t has_rows = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&has_rows));
+  FeatureMatrix matrix(dim);
+  if (has_rows != 0) {
+    std::vector<float> rows;
+    CBIX_RETURN_IF_ERROR(reader->ReadVector(&rows));
+    if (rows.size() != count * dim) {
+      return Status::Corruption("quantized store shape mismatch");
+    }
+    matrix.Reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      matrix.AppendRow(rows.data() + i * dim, dim);
+    }
+  }
+
+  QuantizedStoreOptions options;
+  options.backing = static_cast<QuantBacking>(backing);
+  options.rerank_factor = std::max<uint64_t>(1, rerank);
+  options.pq.m = pq_m;
+  options.pq.train_iters = pq_iters;
+  options.pq.train_sample = pq_sample;
+  options.pq.seed = pq_seed;
+
+  Int8Matrix int8;
+  PqMatrix pq;
+  if (options.backing == QuantBacking::kInt8) {
+    CBIX_RETURN_IF_ERROR(int8.Deserialize(reader));
+    if (int8.count() != count || int8.dim() != dim) {
+      return Status::Corruption("int8 backing does not match rows");
+    }
+  } else {
+    CBIX_RETURN_IF_ERROR(pq.Deserialize(reader));
+    if (pq.count() != count || (count > 0 && pq.dim() != dim)) {
+      return Status::Corruption("pq backing does not match rows");
+    }
+  }
+
+  options_ = options;
+  exact_rows_ = std::move(matrix);
+  int8_ = std::move(int8);
+  pq_ = std::move(pq);
+  max_recon_error_ = max_err;
+  return Status::Ok();
+}
+
+Status QuantizedStore::AttachExactRows(FeatureMatrix rows) {
+  const bool is_int8 = options_.backing == QuantBacking::kInt8;
+  const size_t count = is_int8 ? int8_.count() : pq_.count();
+  const size_t dim = is_int8 ? int8_.dim() : pq_.dim();
+  if (rows.count() != count || (count > 0 && rows.dim() != dim)) {
+    return Status::InvalidArgument(
+        "attached rows do not match the quantized backing");
+  }
+  exact_rows_ = std::move(rows);
+  return Status::Ok();
+}
+
+}  // namespace cbix

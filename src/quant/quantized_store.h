@@ -1,0 +1,165 @@
+// QuantizedStore — a linear-scan VectorIndex whose hot scan path runs
+// over a compressed backing (int8 scalar quantization or product
+// quantization) with a two-stage query:
+//
+//   1. approximate scan: rank every row by its distance to the query
+//      computed against the *reconstructed* (dequantized) point —
+//      int8 rows through the fused asymmetric L2 kernel, PQ rows
+//      through per-query ADC tables, any other metric through a
+//      dequantize-block fallback feeding the stock batched kernels —
+//      and keep the best k * rerank_factor candidates;
+//   2. exact rerank: recompute the true metric distance of those
+//      candidates on the retained float rows, sort by (distance, id),
+//      return the top k.
+//
+// The scan touches ~4x (int8) to ~30x (PQ) fewer bytes per row than the
+// float path; the retained float rows are cold storage only the few
+// rerank candidates read. Range search stays *exact*: for true metrics
+// the triangle inequality bounds |d(q,x) - d(q,x̂)| by the row's
+// reconstruction error, so scanning the backing with the radius
+// inflated by the worst-case reconstruction error and verifying
+// survivors on float rows returns exactly the linear-scan answer; for
+// non-metric measures the store falls back to an exact float scan.
+//
+// Built per shard by ShardedFeatureStore (each shard owns an
+// independent backing — per-shard codebooks and grids), or flat behind
+// EngineConfig::quantization.
+
+#ifndef CBIX_QUANT_QUANTIZED_STORE_H_
+#define CBIX_QUANT_QUANTIZED_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/index.h"
+#include "quant/int8_matrix.h"
+#include "quant/pq.h"
+
+namespace cbix {
+
+enum class QuantBacking {
+  kInt8,  ///< per-dimension affine scalar quantization, 1 byte/dim
+  kPq,    ///< product quantization, m() bytes/row + shared codebook
+};
+
+std::string QuantBackingName(QuantBacking backing);
+
+struct QuantizedStoreOptions {
+  QuantBacking backing = QuantBacking::kInt8;
+  /// Stage-1 over-fetch multiplier: the approximate scan keeps
+  /// k * rerank_factor candidates for exact reranking (clamped to >=1).
+  size_t rerank_factor = 4;
+  /// PQ training/encoding parameters (backing == kPq only).
+  PqOptions pq;
+};
+
+class QuantizedStore : public VectorIndex {
+ public:
+  QuantizedStore(std::shared_ptr<const DistanceMetric> metric,
+                 QuantizedStoreOptions options);
+
+  Status Build(std::vector<Vec> vectors) override;
+  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
+  /// Zero-copy adopt: `matrix` becomes the retained exact rows and the
+  /// quantized backing is encoded from it.
+  Status AdoptMatrix(FeatureMatrix matrix) override;
+
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return exact_rows_.count(); }
+  size_t dim() const override { return exact_rows_.dim(); }
+  std::string Name() const override;
+  /// Scan backing + retained exact rows + the object itself.
+  size_t MemoryBytes() const override;
+
+  // ------------------------------------------------------------------
+  // Accounting and introspection (bench/bench_quant.cc reports these).
+
+  /// Bytes the hot scan path touches: quantized codes plus grid
+  /// parameters (int8) or codebook (PQ).
+  size_t ScanBackingBytes() const;
+
+  /// Bytes of the retained float rows (cold; rerank candidates only).
+  size_t ExactRowBytes() const { return exact_rows_.MemoryBytes(); }
+
+  /// Worst-case metric distance between any stored row and its
+  /// reconstruction (the range-search radius inflation).
+  double max_reconstruction_error() const { return max_recon_error_; }
+
+  const QuantizedStoreOptions& options() const { return options_; }
+  const FeatureMatrix& exact_rows() const { return exact_rows_; }
+  const Int8Matrix& int8_backing() const { return int8_; }
+  const PqMatrix& pq_backing() const { return pq_; }
+
+  /// Binary round-trip of the backing, the options and (by default)
+  /// the retained rows. The metric is code, not data: Deserialize
+  /// keeps the metric the store was constructed with (callers must
+  /// pass the same metric they built with, exactly like
+  /// CbirEngine::Load and its extractor).
+  ///
+  /// `include_rows = false` omits the float rows — for callers that
+  /// already persist them elsewhere (the engine file stores them once
+  /// in the FeatureStore section). A store deserialized from such a
+  /// payload is unusable until AttachExactRows supplies them.
+  void Serialize(BinaryWriter* writer, bool include_rows = true) const;
+  Status Deserialize(BinaryReader* reader);
+
+  /// Reattaches the float rows to a store deserialized with
+  /// `include_rows = false`; `rows` must match the backing's count and
+  /// dimension exactly (it is the same matrix that was quantized).
+  Status AttachExactRows(FeatureMatrix rows);
+
+ private:
+  /// Runs the approximate stage: rank keys of all rows against the
+  /// backing, keeping the best `fetch` (key, id) pairs. Keys are the
+  /// metric's rank keys evaluated on reconstructed rows.
+  std::vector<Neighbor> ApproxTopK(const Vec& q, size_t fetch,
+                                   SearchStats* stats) const;
+
+  /// Approximate stage of range search: all ids whose rank key against
+  /// the backing is <= `key_threshold`.
+  std::vector<uint32_t> ApproxRangeCandidates(const Vec& q,
+                                              double key_threshold,
+                                              SearchStats* stats) const;
+
+  /// Per-query workspace of the approximate scan; exactly one of its
+  /// buffers is populated, selecting the dispatch in ApproxKeysBlock.
+  struct ApproxScratch {
+    std::vector<double> lut;         ///< PQ + L2: ADC table
+    std::vector<float> q_centered;   ///< int8 + L2: centered query
+    std::vector<float> block;        ///< generic: dequantized block
+  };
+
+  /// Builds the workspace for one query (ADC table / centered query /
+  /// block buffer, per metric and backing).
+  ApproxScratch PrepareApproxScan(const Vec& q) const;
+
+  /// Dispatches one block of approximate rank keys to the backing.
+  void ApproxKeysBlock(const Vec& q, size_t begin, size_t n,
+                       ApproxScratch* scratch, double* keys) const;
+
+  /// Exact rerank of `candidates` (ids) on the retained float rows.
+  std::vector<Neighbor> RerankExact(const Vec& q,
+                                    const std::vector<Neighbor>& candidates,
+                                    size_t k, SearchStats* stats) const;
+
+  /// True when the metric admits the fused int8/PQ squared-L2 path.
+  bool UseL2FastPath() const;
+
+  void ComputeReconstructionError();
+
+  std::shared_ptr<const DistanceMetric> metric_;
+  QuantizedStoreOptions options_;
+  FeatureMatrix exact_rows_;
+  Int8Matrix int8_;  ///< backing == kInt8
+  PqMatrix pq_;      ///< backing == kPq
+  double max_recon_error_ = 0.0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_QUANT_QUANTIZED_STORE_H_

@@ -1,0 +1,701 @@
+// Quantized feature storage: correctness of the int8 and PQ backings
+// and of the two-stage (quantized scan -> exact rerank) query path.
+//
+//  - quantize -> dequantize reconstruction error is bounded by half a
+//    grid cell per dimension (int8) / the codebook assignment (PQ);
+//  - the asymmetric kernels agree with scalar references computed on
+//    explicitly dequantized rows;
+//  - PQ ADC table lookups agree with brute-force codebook distances;
+//  - quantized stores round-trip through BinaryWriter/Reader;
+//  - range search is *exact* (equals LinearScanIndex) for every engine
+//    metric, quantized backing notwithstanding;
+//  - sharded and flat quantized engines return identical ids after the
+//    exact rerank — the per-shard-rollout invariant the ROADMAP calls
+//    for.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "distance/batch_kernels.h"
+#include "distance/minkowski.h"
+#include "index/linear_scan.h"
+#include "quant/int8_matrix.h"
+#include "quant/pq.h"
+#include "quant/quantized_store.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace cbix {
+namespace {
+
+FeatureMatrix ClusteredMatrix(size_t count, size_t dim, uint64_t seed = 7) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = count;
+  spec.dim = dim;
+  spec.seed = seed;
+  return FeatureMatrix::FromVectors(GenerateVectors(spec));
+}
+
+std::vector<Vec> PerturbedQueries(const FeatureMatrix& data, size_t count,
+                                  uint64_t seed = 4321) {
+  std::vector<Vec> queries;
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    Vec q = data.RowVec(rng.NextBelow(data.count()));
+    for (float& v : q) v += static_cast<float>(rng.Gaussian(0.0, 0.02));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// ---------------------------------------------------------------------------
+// Int8Matrix: reconstruction bounds and kernel equivalence.
+
+TEST(Int8Matrix, ReconstructionWithinHalfGridCell) {
+  const FeatureMatrix data = ClusteredMatrix(200, 19);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  ASSERT_EQ(q.count(), data.count());
+  ASSERT_EQ(q.dim(), data.dim());
+  std::vector<float> recon(data.dim());
+  for (size_t i = 0; i < data.count(); ++i) {
+    q.DequantizeRow(i, recon.data());
+    for (size_t j = 0; j < data.dim(); ++j) {
+      const float bound = q.scales()[j] * 0.5f + 1e-6f;
+      EXPECT_NEAR(recon[j], data.row(i)[j], bound)
+          << "row " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(Int8Matrix, ConstantDimensionReconstructsExactly) {
+  FeatureMatrix data(3);
+  const float rows[][3] = {{1.5f, 0.25f, -2.0f},
+                           {1.5f, 0.75f, -1.0f},
+                           {1.5f, 0.50f, 0.5f}};
+  for (const auto& r : rows) data.AppendRow(r, 3);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  EXPECT_EQ(q.scales()[0], 0.0f);  // zero-range dimension
+  std::vector<float> recon(3);
+  for (size_t i = 0; i < 3; ++i) {
+    q.DequantizeRow(i, recon.data());
+    EXPECT_EQ(recon[0], 1.5f);
+  }
+}
+
+TEST(Int8Matrix, AsymmetricL2MatchesScalarReference) {
+  const FeatureMatrix data = ClusteredMatrix(150, 27);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  const std::vector<Vec> queries = PerturbedQueries(data, 8);
+  std::vector<float> recon(data.dim());
+  std::vector<float> centered(data.dim());
+  for (const Vec& query : queries) {
+    q.CenterQuery(query.data(), centered.data());
+    for (size_t i = 0; i < data.count(); ++i) {
+      q.DequantizeRow(i, recon.data());
+      double ref = 0.0;
+      for (size_t j = 0; j < data.dim(); ++j) {
+        const double d = static_cast<double>(query[j]) - recon[j];
+        ref += d * d;
+      }
+      // Float-lane kernel: agreement within its documented accuracy.
+      const double got = q.AsymmetricL2Squared(centered.data(), i);
+      EXPECT_NEAR(got, ref, Int8Matrix::kKeyRelativeError * (1.0 + ref))
+          << "row " << i;
+    }
+  }
+}
+
+TEST(Int8Matrix, AsymmetricDotMatchesScalarReference) {
+  const FeatureMatrix data = ClusteredMatrix(100, 33);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  const std::vector<Vec> queries = PerturbedQueries(data, 4);
+  std::vector<float> recon(data.dim());
+  for (const Vec& query : queries) {
+    double q_dot_offset = 0.0;
+    for (size_t j = 0; j < data.dim(); ++j) {
+      q_dot_offset += static_cast<double>(query[j]) * q.offsets()[j];
+    }
+    for (size_t i = 0; i < data.count(); ++i) {
+      q.DequantizeRow(i, recon.data());
+      double ref = 0.0;
+      for (size_t j = 0; j < data.dim(); ++j) {
+        ref += static_cast<double>(query[j]) * recon[j];
+      }
+      const double got = q.AsymmetricDot(query.data(), q_dot_offset, i);
+      EXPECT_NEAR(got, ref, 1e-6 * (1.0 + std::fabs(ref))) << "row " << i;
+    }
+  }
+}
+
+TEST(Int8Matrix, DequantizeBlockMatchesRowwise) {
+  const FeatureMatrix data = ClusteredMatrix(70, 13);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  const size_t stride = 16;
+  std::vector<float> block(32 * stride, -1.0f);
+  q.DequantizeBlock(20, 32, block.data(), stride);
+  std::vector<float> row(data.dim());
+  for (size_t i = 0; i < 32; ++i) {
+    q.DequantizeRow(20 + i, row.data());
+    for (size_t j = 0; j < data.dim(); ++j) {
+      EXPECT_EQ(block[i * stride + j], row[j]);
+    }
+    for (size_t j = data.dim(); j < stride; ++j) {
+      EXPECT_EQ(block[i * stride + j], 0.0f);  // padding zero-filled
+    }
+  }
+}
+
+TEST(Int8Matrix, SerializeRoundTrip) {
+  const FeatureMatrix data = ClusteredMatrix(60, 21);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  BinaryWriter writer;
+  q.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  Int8Matrix restored;
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(restored == q);
+}
+
+TEST(Int8Matrix, CompressionIsAtLeastFourXOnScanBytes) {
+  const FeatureMatrix data = ClusteredMatrix(1024, 64);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  // Codes are 1/4 of the float row bytes; scale/offset arrays amortize.
+  EXPECT_LE(q.MemoryBytes() * 100, data.MemoryBytes() * 27);
+}
+
+// ---------------------------------------------------------------------------
+// PQ: encode/decode, ADC equivalence, round-trip.
+
+TEST(Pq, EncodePicksNearestCentroidAndAdcMatchesBruteForce) {
+  const FeatureMatrix data = ClusteredMatrix(500, 24);
+  PqOptions options;
+  options.m = 6;
+  options.train_iters = 5;
+  const PqMatrix pq = PqMatrix::Quantize(data, options);
+  const PqCodebook& cb = pq.codebook();
+  ASSERT_EQ(cb.m(), 6u);
+  ASSERT_EQ(cb.k(), 256u);
+
+  const std::vector<Vec> queries = PerturbedQueries(data, 4);
+  std::vector<double> lut(cb.m() * cb.k());
+  std::vector<float> recon(data.dim());
+  for (const Vec& query : queries) {
+    cb.BuildAdcTable(query.data(), lut.data());
+    for (size_t i = 0; i < data.count(); i += 17) {
+      // Brute force: squared L2 between the query and the decoded row.
+      pq.DequantizeRow(i, recon.data());
+      const double ref =
+          kernels::L2Squared(query.data(), recon.data(), data.dim());
+      const double adc = cb.AdcDistanceSquared(lut.data(), pq.row(i));
+      EXPECT_NEAR(adc, ref, 1e-6 * (1.0 + ref)) << "row " << i;
+    }
+  }
+
+  // Every stored code is the argmin centroid of its subvector.
+  for (size_t i = 0; i < data.count(); i += 71) {
+    for (size_t s = 0; s < cb.m(); ++s) {
+      const float* sub = data.row(i) + cb.sub_begin(s);
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_c = 0;
+      for (size_t c = 0; c < cb.k(); ++c) {
+        const double d =
+            kernels::L2Squared(sub, cb.centroid(s, c), cb.sub_dim(s));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      EXPECT_EQ(pq.row(i)[s], best_c) << "row " << i << " sub " << s;
+    }
+  }
+}
+
+TEST(Pq, SubspaceLayoutCoversAllDimensionsForUnevenSplit) {
+  const FeatureMatrix data = ClusteredMatrix(300, 23);  // 23 dims, m=5
+  PqOptions options;
+  options.m = 5;
+  options.train_iters = 3;
+  const PqCodebook cb = PqCodebook::Train(data, options);
+  ASSERT_EQ(cb.sub_begin(0), 0u);
+  ASSERT_EQ(cb.sub_begin(cb.m()), 23u);
+  size_t total = 0;
+  for (size_t s = 0; s < cb.m(); ++s) {
+    EXPECT_GE(cb.sub_dim(s), 4u);
+    EXPECT_LE(cb.sub_dim(s), 5u);
+    total += cb.sub_dim(s);
+  }
+  EXPECT_EQ(total, 23u);
+}
+
+TEST(Pq, TrainingIsDeterministic) {
+  const FeatureMatrix data = ClusteredMatrix(400, 16);
+  PqOptions options;
+  options.m = 4;
+  options.train_iters = 4;
+  const PqMatrix a = PqMatrix::Quantize(data, options);
+  const PqMatrix b = PqMatrix::Quantize(data, options);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Pq, DeserializeRejectsOutOfRangeCodes) {
+  // A codebook trained on < 256 rows has k < 256; a corrupt code byte
+  // indexing past it must be rejected, not read out of bounds later.
+  const FeatureMatrix data = ClusteredMatrix(40, 12);  // k = 40
+  PqOptions options;
+  options.m = 3;
+  options.train_iters = 2;
+  const PqMatrix pq = PqMatrix::Quantize(data, options);
+  ASSERT_LT(pq.codebook().k(), 256u);
+  BinaryWriter writer;
+  pq.Serialize(&writer);
+  std::vector<uint8_t> bytes = writer.buffer();
+  bytes.back() = 255;  // last code byte -> out of range
+  BinaryReader reader(bytes);
+  PqMatrix restored;
+  EXPECT_FALSE(restored.Deserialize(&reader).ok());
+}
+
+TEST(Pq, SerializeRoundTrip) {
+  const FeatureMatrix data = ClusteredMatrix(200, 20);
+  PqOptions options;
+  options.m = 5;
+  options.train_iters = 3;
+  const PqMatrix pq = PqMatrix::Quantize(data, options);
+  BinaryWriter writer;
+  pq.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  PqMatrix restored;
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(restored == pq);
+}
+
+// ---------------------------------------------------------------------------
+// QuantizedStore: the VectorIndex contract.
+
+QuantizedStoreOptions Int8Options(size_t rerank = 4) {
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kInt8;
+  options.rerank_factor = rerank;
+  return options;
+}
+
+QuantizedStoreOptions PqStoreOptions(size_t m, size_t rerank = 8) {
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kPq;
+  options.rerank_factor = rerank;
+  options.pq.m = m;
+  options.pq.train_iters = 5;
+  return options;
+}
+
+TEST(QuantizedStore, KnnMatchesExactScanAfterRerank) {
+  const FeatureMatrix data = ClusteredMatrix(2000, 32);
+  const std::vector<Vec> queries = PerturbedQueries(data, 16);
+  for (const MetricKind metric :
+       {MetricKind::kL2, MetricKind::kL1, MetricKind::kCosine}) {
+    LinearScanIndex exact(MakeMetric(metric));
+    ASSERT_TRUE(exact.BuildFromMatrix(data).ok());
+    QuantizedStore store(MakeMetric(metric), Int8Options(8));
+    ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+    for (const Vec& q : queries) {
+      const auto want = KnnSearch(exact, q, 10);
+      const auto got = KnnSearch(store, q, 10);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id)
+            << MetricKindName(metric) << " rank " << i;
+        EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+TEST(QuantizedStore, RangeSearchIsExactForAllEngineMetrics) {
+  const FeatureMatrix data = ClusteredMatrix(1200, 24);
+  const std::vector<Vec> queries = PerturbedQueries(data, 8);
+  for (const MetricKind metric :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLInf,
+        MetricKind::kHistogramIntersection, MetricKind::kChiSquare,
+        MetricKind::kHellinger, MetricKind::kCosine}) {
+    LinearScanIndex exact(MakeMetric(metric));
+    ASSERT_TRUE(exact.BuildFromMatrix(data).ok());
+    for (const QuantizedStoreOptions& options :
+         {Int8Options(), PqStoreOptions(6)}) {
+      QuantizedStore store(MakeMetric(metric), options);
+      ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+      for (const Vec& q : queries) {
+        // A radius that catches a handful of rows on this workload.
+        const double radius = KnnSearch(exact, q, 8).back().distance;
+        const auto want = RangeSearch(exact, q, radius);
+        const auto got = RangeSearch(store, q, radius);
+        ASSERT_EQ(got.size(), want.size())
+            << MetricKindName(metric) << "/"
+            << QuantBackingName(options.backing);
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id);
+          EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantizedStore, PqKnnWithRerankRecoversExactTopK) {
+  const FeatureMatrix data = ClusteredMatrix(2000, 32);
+  const std::vector<Vec> queries = PerturbedQueries(data, 16);
+  LinearScanIndex exact(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(exact.BuildFromMatrix(data).ok());
+  QuantizedStore store(MakeMetric(MetricKind::kL2), PqStoreOptions(8, 16));
+  ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+  size_t hits = 0, total = 0;
+  for (const Vec& q : queries) {
+    const auto want = KnnSearch(exact, q, 10);
+    const auto got = KnnSearch(store, q, 10);
+    ASSERT_EQ(got.size(), want.size());
+    total += want.size();
+    for (const Neighbor& w : want) {
+      for (const Neighbor& g : got) {
+        if (g.id == w.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  // PQ is lossier than int8; with a 16x over-fetch on this clustered
+  // workload recall@10 stays essentially perfect.
+  EXPECT_GE(static_cast<double>(hits), 0.95 * static_cast<double>(total));
+}
+
+TEST(QuantizedStore, StatsCountApproxScanAndRerank) {
+  const FeatureMatrix data = ClusteredMatrix(1000, 16);
+  QuantizedStore store(MakeMetric(MetricKind::kL2), Int8Options(4));
+  ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+  SearchStats stats;
+  const Vec q = data.RowVec(3);
+  (void)store.KnnSearch(q, 5, &stats);
+  // 1000 approximate evals + 20 exact rerank evals.
+  EXPECT_EQ(stats.distance_evals, 1020u);
+  EXPECT_GT(stats.leaves_visited, 0u);
+}
+
+TEST(QuantizedStore, EmptyAndDegenerateInputs) {
+  QuantizedStore store(MakeMetric(MetricKind::kL2), Int8Options());
+  ASSERT_TRUE(store.Build({}).ok());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(KnnSearch(store, {1.0f, 2.0f}, 3).empty());
+  EXPECT_TRUE(RangeSearch(store, {1.0f, 2.0f}, 10.0).empty());
+
+  ASSERT_TRUE(store.Build({{1.0f, 2.0f}, {3.0f, 4.0f}}).ok());
+  EXPECT_EQ(store.size(), 2u);
+  const auto all = KnnSearch(store, {1.0f, 2.0f}, 10);  // k > n
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].id, 0u);
+  EXPECT_EQ(KnnSearch(store, {1.0f, 2.0f}, 0).size(), 0u);
+
+  QuantizedStore bad(MakeMetric(MetricKind::kL2), Int8Options());
+  EXPECT_FALSE(bad.Build({{}, {}}).ok());  // zero-dim vectors
+}
+
+TEST(QuantizedStore, SerializeRoundTripPreservesSearchResults) {
+  const FeatureMatrix data = ClusteredMatrix(600, 24);
+  const std::vector<Vec> queries = PerturbedQueries(data, 6);
+  for (const QuantizedStoreOptions& options :
+       {Int8Options(), PqStoreOptions(6)}) {
+    QuantizedStore store(MakeMetric(MetricKind::kL2), options);
+    ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+    BinaryWriter writer;
+    store.Serialize(&writer);
+    BinaryReader reader(writer.buffer());
+    QuantizedStore restored(MakeMetric(MetricKind::kL2), options);
+    ASSERT_TRUE(restored.Deserialize(&reader).ok());
+    EXPECT_TRUE(reader.AtEnd());
+    EXPECT_EQ(restored.size(), store.size());
+    EXPECT_EQ(restored.dim(), store.dim());
+    EXPECT_EQ(restored.max_reconstruction_error(),
+              store.max_reconstruction_error());
+    for (const Vec& q : queries) {
+      const auto want = KnnSearch(store, q, 7);
+      const auto got = KnnSearch(restored, q, 7);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id);
+        EXPECT_EQ(got[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+TEST(QuantizedStore, DeserializeRejectsTruncatedPayload) {
+  const FeatureMatrix data = ClusteredMatrix(50, 8);
+  QuantizedStore store(MakeMetric(MetricKind::kL2), Int8Options());
+  ASSERT_TRUE(store.BuildFromMatrix(data).ok());
+  BinaryWriter writer;
+  store.Serialize(&writer);
+  std::vector<uint8_t> truncated(writer.buffer().begin(),
+                                 writer.buffer().end() - 9);
+  BinaryReader reader(truncated);
+  QuantizedStore restored(MakeMetric(MetricKind::kL2), Int8Options());
+  EXPECT_FALSE(restored.Deserialize(&reader).ok());
+}
+
+TEST(QuantizedStore, MemoryAccountingSeparatesScanAndExactBytes) {
+  const FeatureMatrix data = ClusteredMatrix(4096, 64);
+  QuantizedStore int8_store(MakeMetric(MetricKind::kL2), Int8Options());
+  ASSERT_TRUE(int8_store.BuildFromMatrix(data).ok());
+  // Scan backing is ~1/4 of the float bytes (64-dim rows, no padding).
+  EXPECT_LE(int8_store.ScanBackingBytes() * 100,
+            int8_store.ExactRowBytes() * 27);
+  EXPECT_GE(int8_store.MemoryBytes(),
+            int8_store.ScanBackingBytes() + int8_store.ExactRowBytes());
+
+  QuantizedStore pq_store(MakeMetric(MetricKind::kL2), PqStoreOptions(8));
+  ASSERT_TRUE(pq_store.BuildFromMatrix(data).ok());
+  // >= 8x compression of the scan path, codebook included.
+  EXPECT_LE(pq_store.ScanBackingBytes() * 8, pq_store.ExactRowBytes());
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: knobs, validation, persistence, sharded rollout.
+
+EngineConfig QuantEngineConfig(QuantizationKind quant, size_t shards,
+                               MetricKind metric = MetricKind::kL2) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = metric;
+  config.quantization = quant;
+  config.shards = shards;
+  config.pq_m = 8;
+  config.rerank_factor = 8;
+  return config;
+}
+
+std::vector<Vec> EngineWorkload(size_t count, size_t dim) {
+  VectorWorkloadSpec spec;
+  spec.count = count;
+  spec.dim = dim;
+  spec.seed = 11;
+  return GenerateVectors(spec);
+}
+
+CbirEngine MakeVectorEngine(const EngineConfig& config,
+                            const std::vector<Vec>& data) {
+  CbirEngine engine(FeatureExtractor(), config);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  return engine;
+}
+
+TEST(QuantizedEngine, QuantizationRequiresLinearScanIndex) {
+  EngineConfig config = QuantEngineConfig(QuantizationKind::kInt8, 1);
+  config.index_kind = IndexKind::kVpTree;
+  const auto index = MakeIndex(config);
+  EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QuantizedEngine, QuantizedIndexNamesReflectBacking) {
+  const auto int8_index =
+      MakeIndex(QuantEngineConfig(QuantizationKind::kInt8, 1));
+  ASSERT_TRUE(int8_index.ok());
+  EXPECT_EQ(int8_index.value()->Name(), "quant_int8(l2,rerank=8)");
+  const auto pq_index = MakeIndex(QuantEngineConfig(QuantizationKind::kPq, 1));
+  ASSERT_TRUE(pq_index.ok());
+  EXPECT_EQ(pq_index.value()->Name(), "quant_pq(m=8,l2,rerank=8)");
+}
+
+TEST(QuantizedEngine, ShardedAndFlatReturnIdenticalIdsAfterRerank) {
+  const std::vector<Vec> data = EngineWorkload(3000, 24);
+  const size_t k = 10;
+  for (const QuantizationKind quant :
+       {QuantizationKind::kInt8, QuantizationKind::kPq}) {
+    CbirEngine flat = MakeVectorEngine(QuantEngineConfig(quant, 1), data);
+    std::vector<Vec> queries;
+    {
+      VectorWorkloadSpec spec;
+      spec.count = data.size();
+      spec.dim = 24;
+      spec.seed = 11;
+      queries = GenerateQueries(spec, data, QueryMode::kPerturbedData, 24,
+                                0.05, 999);
+    }
+    const auto flat_result = flat.QueryKnnBatchByVectors(queries, k, 2);
+    ASSERT_TRUE(flat_result.ok());
+    for (const size_t shards : {3u, 5u}) {
+      CbirEngine sharded =
+          MakeVectorEngine(QuantEngineConfig(quant, shards), data);
+      const auto sharded_result =
+          sharded.QueryKnnBatchByVectors(queries, k, 4);
+      ASSERT_TRUE(sharded_result.ok());
+      ASSERT_EQ(sharded_result.value().size(), flat_result.value().size());
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const auto& want = flat_result.value()[qi];
+        const auto& got = sharded_result.value()[qi];
+        ASSERT_EQ(got.size(), want.size())
+            << QuantizationKindName(quant) << " shards=" << shards;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id)
+              << QuantizationKindName(quant) << " shards=" << shards
+              << " query=" << qi << " rank=" << i;
+          EXPECT_DOUBLE_EQ(got[i].distance, want[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantizedEngine, QuantizedMatchesUnquantizedAfterRerank) {
+  const std::vector<Vec> data = EngineWorkload(2000, 24);
+  CbirEngine exact =
+      MakeVectorEngine(QuantEngineConfig(QuantizationKind::kNone, 1), data);
+  CbirEngine quant =
+      MakeVectorEngine(QuantEngineConfig(QuantizationKind::kInt8, 1), data);
+  const Vec query = data[42];
+  const auto want = exact.QueryKnnByVector(query, 10);
+  const auto got = quant.QueryKnnByVector(query, 10);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), want.value().size());
+  for (size_t i = 0; i < want.value().size(); ++i) {
+    EXPECT_EQ(got.value()[i].id, want.value()[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got.value()[i].distance, want.value()[i].distance);
+  }
+}
+
+TEST(QuantizedEngine, SaveLoadPreservesQuantizationConfig) {
+  const std::string path =
+      ::testing::TempDir() + "/cbix_quant_engine_" +
+      std::to_string(::getpid()) + ".bin";
+  const std::vector<Vec> data = EngineWorkload(300, 16);
+  {
+    CbirEngine engine =
+        MakeVectorEngine(QuantEngineConfig(QuantizationKind::kInt8, 1), data);
+    ASSERT_TRUE(engine.BuildIndex().ok());
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  CbirEngine restored(FeatureExtractor(),
+                      QuantEngineConfig(QuantizationKind::kNone, 1));
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.config().quantization, QuantizationKind::kInt8);
+  EXPECT_EQ(restored.config().pq_m, 8u);
+  EXPECT_EQ(restored.config().rerank_factor, 8u);
+  ASSERT_NE(restored.index(), nullptr);
+  EXPECT_EQ(restored.index()->Name(), "quant_int8(l2,rerank=8)");
+  const auto result = restored.QueryKnnByVector(data[5], 3);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_EQ(result.value()[0].id, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedEngine, ShardedEngineLoadsFlatQuantizedFileViaRebuild) {
+  // The persisted quantized payload is flat; a loading engine with
+  // shards > 1 must skip it and rebuild per shard, not error.
+  const std::string path = ::testing::TempDir() + "/cbix_quant_shard_" +
+                           std::to_string(::getpid()) + ".bin";
+  const std::vector<Vec> data = EngineWorkload(400, 16);
+  {
+    CbirEngine engine =
+        MakeVectorEngine(QuantEngineConfig(QuantizationKind::kInt8, 1), data);
+    ASSERT_TRUE(engine.BuildIndex().ok());
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  EngineConfig sharded_config = QuantEngineConfig(QuantizationKind::kNone, 1);
+  sharded_config.shards = 3;
+  CbirEngine restored(FeatureExtractor(), sharded_config);
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.config().quantization, QuantizationKind::kInt8);
+  const auto result = restored.QueryKnnByVector(data[7], 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_EQ(result.value()[0].id, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedEngine, LoadsVersion1FilesWithQuantizationDefaultedOff) {
+  // Hand-written v1 layout: index_kind, metric, dim, store bytes — no
+  // quantization fields, no index payload.
+  const std::string path = ::testing::TempDir() + "/cbix_quant_v1_" +
+                           std::to_string(::getpid()) + ".bin";
+  const std::vector<Vec> data = EngineWorkload(100, 16);
+  FeatureStore store;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        store.Add({"v" + std::to_string(i), -1, data[i]}).ok());
+  }
+  BinaryWriter writer;
+  writer.Write<uint32_t>(static_cast<uint32_t>(IndexKind::kLinearScan));
+  writer.Write<uint32_t>(static_cast<uint32_t>(MetricKind::kL2));
+  // v1 wrote extractor_.dim(); a vector-workload engine's default
+  // extractor reports 0 (the loader validates against the same).
+  writer.Write<uint64_t>(0);
+  std::vector<uint8_t> store_bytes;
+  store.Serialize(&store_bytes);
+  writer.WriteVector(store_bytes);
+  ASSERT_TRUE(
+      WriteFramedFile(path, 0x43425845u, 1, writer.buffer()).ok());
+
+  CbirEngine restored(FeatureExtractor(),
+                      QuantEngineConfig(QuantizationKind::kPq, 1));
+  ASSERT_TRUE(restored.Load(path).ok());
+  EXPECT_EQ(restored.config().quantization, QuantizationKind::kNone);
+  const auto result = restored.QueryKnnByVector(data[3], 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.value().empty());
+  EXPECT_EQ(result.value()[0].id, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(QuantizedEngine, SaveLoadRestoresPqBackingWithIdenticalResults) {
+  // A built quantized engine persists its codes and codebooks; Load
+  // restores them instead of re-training, and answers identically.
+  const std::string path = ::testing::TempDir() + "/cbix_quant_pq_" +
+                           std::to_string(::getpid()) + ".bin";
+  const std::vector<Vec> data = EngineWorkload(800, 16);
+  std::vector<std::vector<CbirEngine::Match>> want;
+  {
+    CbirEngine engine =
+        MakeVectorEngine(QuantEngineConfig(QuantizationKind::kPq, 1), data);
+    ASSERT_TRUE(engine.BuildIndex().ok());
+    for (size_t i = 0; i < 5; ++i) {
+      const auto r = engine.QueryKnnByVector(data[i * 31], 10);
+      ASSERT_TRUE(r.ok());
+      want.push_back(r.value());
+    }
+    ASSERT_TRUE(engine.Save(path).ok());
+  }
+  CbirEngine restored(FeatureExtractor(),
+                      QuantEngineConfig(QuantizationKind::kNone, 1));
+  ASSERT_TRUE(restored.Load(path).ok());
+  ASSERT_NE(restored.index(), nullptr);
+  const auto* quant = dynamic_cast<const QuantizedStore*>(restored.index());
+  ASSERT_NE(quant, nullptr);
+  EXPECT_EQ(quant->options().backing, QuantBacking::kPq);
+  for (size_t i = 0; i < want.size(); ++i) {
+    const auto got = restored.QueryKnnByVector(data[i * 31], 10);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().size(), want[i].size());
+    for (size_t r = 0; r < want[i].size(); ++r) {
+      EXPECT_EQ(got.value()[r].id, want[i][r].id);
+      EXPECT_EQ(got.value()[r].distance, want[i][r].distance);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cbix
