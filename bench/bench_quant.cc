@@ -51,7 +51,7 @@ struct QuantRow {
   size_t rerank_factor = 0;
   double build_ms = 0.0;  ///< index build incl. quantization/training
   double scan_bytes_per_vec = 0.0;   ///< hot scan path
-  double total_bytes_per_vec = 0.0;  ///< incl. retained float rows
+  double total_bytes_per_vec = 0.0;  ///< engine-wide: index + store rows
   double compression_x = 0.0;        ///< float scan bytes / quant scan bytes
   double batch_ms = 0.0;
   double batch_qps = 0.0;
@@ -100,14 +100,18 @@ QuantRow RunCase(QuantizationKind quant, const std::vector<Vec>& data,
   if (quant_store != nullptr) {
     row.scan_bytes_per_vec = static_cast<double>(
                                  quant_store->ScanBackingBytes()) / n;
-    row.total_bytes_per_vec =
-        static_cast<double>(quant_store->MemoryBytes()) / n;
   } else {
     row.scan_bytes_per_vec =
         static_cast<double>(engine.store().matrix().MemoryBytes()) / n;
-    row.total_bytes_per_vec =
-        static_cast<double>(engine.IndexMemoryBytes()) / n;
   }
+  // Engine-wide footprint: index structure + the store's float rows.
+  // The index shares the store substrate (resident once), so its own
+  // MemoryBytes no longer includes rows — summing the two layers is
+  // the honest per-vector total (float: rows only; quantized: rows +
+  // codes; the pre-substrate layout paid rows twice on top of this).
+  row.total_bytes_per_vec =
+      static_cast<double>(engine.IndexMemoryBytes() +
+                          engine.store().matrix().MemoryBytes()) / n;
 
   (void)engine.QueryKnnBatchByVectors(queries, kK, kQueryThreads);  // warm-up
   Timer timer;

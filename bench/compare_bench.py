@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression diff for the BENCH_*.json trajectories.
+
+Compares a baseline snapshot against freshly regenerated trajectories
+and fails when throughput or compression regresses beyond the
+threshold. Absolute throughput is machine-specific, so the baseline
+must come from the same machine as the current run — CI rebuilds the
+base commit's benches on the runner and regenerates the baseline there
+(the committed BENCH_*.json are a cross-PR trajectory record, not a
+portable baseline). Compared fields:
+
+  - BENCH_kernels.json  kernels[]        batched_us_per_query (lower is
+                                         better; a >threshold increase
+                                         is a QPS regression)
+  - BENCH_shards.json   shard_scaling[]  batch_qps
+  - BENCH_quant.json    quantization[]   batch_qps, compression_x
+
+Usage: compare_bench.py <baseline_dir> <current_dir> [--threshold 0.20]
+
+Exit code 0 = no regression, 1 = regression(s) found, 2 = bad input.
+Missing baseline files are skipped with a note (first run of a new
+trajectory has nothing to regress against).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def index_rows(rows, key_fields):
+    return {tuple(r[k] for k in key_fields): r for r in rows}
+
+
+def check_metric(failures, name, key, old, new, field, threshold,
+                 higher_is_better):
+    old_v, new_v = old.get(field), new.get(field)
+    if not old_v:  # 0/absent baseline: nothing to compare against
+        return
+    if new_v is None:
+        # Schema drift must not silently disable the gate.
+        failures.append(f"{name} {key}: {field} missing from current run")
+        return
+    if higher_is_better:
+        worse_pct = (1.0 - new_v / old_v) * 100.0
+        regressed = new_v < old_v * (1.0 - threshold)
+        direction = "dropped"
+    else:
+        worse_pct = (new_v / old_v - 1.0) * 100.0
+        regressed = new_v > old_v * (1.0 + threshold)
+        direction = "rose"
+    if regressed:
+        failures.append(
+            f"{name} {key}: {field} {direction} "
+            f"{old_v:.2f} -> {new_v:.2f} ({worse_pct:+.1f}% "
+            f"worse, threshold {threshold * 100.0:.0f}%)")
+
+
+def compare_file(failures, notes, baseline_dir, current_dir, filename,
+                 section, key_fields, metrics, threshold):
+    base_path = os.path.join(baseline_dir, filename)
+    cur_path = os.path.join(current_dir, filename)
+    if not os.path.exists(base_path):
+        notes.append(f"{filename}: no baseline, skipped")
+        return
+    if not os.path.exists(cur_path):
+        failures.append(f"{filename}: missing from current run")
+        return
+    base_rows = index_rows(load(base_path).get(section, []), key_fields)
+    cur_rows = index_rows(load(cur_path).get(section, []), key_fields)
+    for key, old in base_rows.items():
+        new = cur_rows.get(key)
+        if new is None:
+            failures.append(f"{filename} {key}: row vanished from {section}")
+            continue
+        for field, higher_is_better in metrics:
+            check_metric(failures, filename, key, old, new, field,
+                         threshold, higher_is_better)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir")
+    parser.add_argument("current_dir")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression tolerance (default 0.20)")
+    args = parser.parse_args()
+    if not os.path.isdir(args.baseline_dir):
+        print(f"baseline dir not found: {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures, notes = [], []
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_kernels.json", "kernels", ("metric", "dim"),
+                 [("batched_us_per_query", False)], args.threshold)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_shards.json", "shard_scaling", ("shards",),
+                 [("batch_qps", True)], args.threshold)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_quant.json", "quantization",
+                 ("backing", "rerank_factor"),
+                 [("batch_qps", True), ("compression_x", True)],
+                 args.threshold)
+
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        print(f"{len(failures)} perf regression(s) vs baseline trajectory:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("perf diff OK: no regression beyond "
+          f"{args.threshold * 100.0:.0f}% vs baseline trajectories")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,7 +248,11 @@ Result<uint32_t> CbirEngine::AddImagesParallel(std::vector<BatchItem> batch,
 
 Status CbirEngine::BuildIndex() {
   CBIX_ASSIGN_OR_RETURN(index_, MakeIndex(config_));
-  CBIX_RETURN_IF_ERROR(index_->BuildFromMatrix(store_.matrix()));
+  // Zero-copy: the index shares the store's row substrate, so float
+  // rows are resident once, referenced by both layers. Store appends
+  // copy-on-write, keeping the built index's snapshot stable until
+  // the dirty flag triggers the next rebuild.
+  CBIX_RETURN_IF_ERROR(index_->BuildFromRows(store_.view()));
   index_dirty_ = false;
   return Status::Ok();
 }
@@ -481,7 +485,8 @@ Status CbirEngine::Load(const std::string& path) {
             "quantized index payload under a non-quantized config");
       }
       CBIX_RETURN_IF_ERROR(quant->Deserialize(&reader));
-      if (!quant->AttachExactRows(FeatureMatrix(store_.matrix())).ok() ||
+      // Share the store's substrate as the rerank rows (zero-copy).
+      if (!quant->AttachExactRows(store_.view()).ok() ||
           quant->size() != store_.size()) {
         return Status::Corruption(
             "quantized index does not match the feature store");

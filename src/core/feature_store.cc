@@ -15,13 +15,15 @@ Result<uint32_t> FeatureStore::Add(ImageRecord record) {
   }
   // Guard on the matrix dimension, not emptiness: Deserialize can leave
   // an empty store whose dimension is already fixed.
-  if (matrix_.dim() != 0 && record.features.size() != matrix_.dim()) {
+  if (rows_.dim() != 0 && record.features.size() != rows_.dim()) {
     return Status::InvalidArgument(
         "feature dimension mismatch: store=" +
-        std::to_string(matrix_.dim()) +
+        std::to_string(rows_.dim()) +
         " record=" + std::to_string(record.features.size()));
   }
-  matrix_.AppendRow(record.features);
+  // Copy-on-write append: a built index still holding the previous
+  // snapshot keeps reading its (now stale) buffer until rebuild.
+  rows_.AppendRow(record.features);
   names_.push_back(std::move(record.name));
   labels_.push_back(record.label);
   return static_cast<uint32_t>(names_.size() - 1);
@@ -31,18 +33,20 @@ ImageRecord FeatureStore::record(uint32_t id) const {
   ImageRecord out;
   out.name = names_[id];
   out.label = labels_[id];
-  out.features = matrix_.RowVec(id);
+  out.features = rows_.RowVec(id);
   return out;
 }
 
 void FeatureStore::Clear() {
   names_.clear();
   labels_.clear();
-  matrix_.Clear();
+  rows_.Reset();
 }
 
 size_t FeatureStore::MemoryBytes() const {
-  size_t bytes = matrix_.MemoryBytes() +
+  // Owner of record for the substrate: counted unconditionally here;
+  // indexes sharing it report 0 for the rows.
+  size_t bytes = rows_.SubstrateBytes() +
                  names_.capacity() * sizeof(std::string) +
                  labels_.capacity() * sizeof(int32_t);
   // Only out-of-line string storage; SSO bytes live in the control
@@ -60,11 +64,11 @@ void FeatureStore::Serialize(std::vector<uint8_t>* out) const {
   writer.Write(kStoreMagic);
   writer.Write(kStoreVersion);
   writer.Write<uint64_t>(size());
-  writer.Write<uint64_t>(matrix_.dim());
+  writer.Write<uint64_t>(rows_.dim());
   for (size_t i = 0; i < size(); ++i) {
     writer.WriteString(names_[i]);
     writer.Write(labels_[i]);
-    writer.WriteVector(matrix_.RowVec(i));
+    writer.WriteVector(rows_.RowVec(i));
   }
   *out = writer.TakeBuffer();
 }
@@ -101,7 +105,7 @@ Status FeatureStore::Deserialize(const std::vector<uint8_t>& bytes) {
   }
   names_ = std::move(names);
   labels_ = std::move(labels);
-  matrix_ = std::move(matrix);
+  rows_ = RowView::Adopt(std::move(matrix));
   return Status::Ok();
 }
 

@@ -2,10 +2,13 @@
 // name, optional ground-truth label, and extracted feature vector. Ids
 // are dense and assigned in insertion order, matching index ids.
 //
-// Feature vectors live in one flat FeatureMatrix (SoA) rather than one
-// heap allocation per record: index builds hand the matrix to the index
-// without per-vector copies, and the query path scans it with batched
-// kernels. Names and labels are parallel arrays indexed by id.
+// Feature vectors live in one flat FeatureMatrix (SoA) behind a
+// RowView, the shared row substrate: the engine hands view() to the
+// index build zero-copy, so the index reads the very same buffer the
+// store owns and float rows are resident exactly once. The store is
+// the only layer that appends; RowView's copy-on-write keeps any
+// snapshot a built index still references bit-stable across Add.
+// Names and labels are parallel arrays indexed by id.
 
 #ifndef CBIX_CORE_FEATURE_STORE_H_
 #define CBIX_CORE_FEATURE_STORE_H_
@@ -16,6 +19,7 @@
 
 #include "distance/metric.h"
 #include "util/feature_matrix.h"
+#include "util/row_view.h"
 #include "util/status.h"
 
 namespace cbix {
@@ -36,7 +40,7 @@ class FeatureStore {
   bool empty() const { return names_.empty(); }
 
   /// Dimensionality of stored features (0 when empty).
-  size_t feature_dim() const { return matrix_.dim(); }
+  size_t feature_dim() const { return rows_.dim(); }
 
   /// Materializes record `id` (copies the feature row). Prefer name()/
   /// label()/features() on hot paths.
@@ -46,16 +50,21 @@ class FeatureStore {
   int32_t label(uint32_t id) const { return labels_[id]; }
 
   /// Zero-copy view of the feature row of `id` (feature_dim() floats).
-  const float* features(uint32_t id) const { return matrix_.row(id); }
+  const float* features(uint32_t id) const { return rows_.row(id); }
 
   /// Flat feature storage in id order — the index build input (and,
   /// via ShardedFeatureStore::Partition, the sharded one; shard-local
   /// ids map back to store ids via ShardedFeatureStore::GlobalId).
-  const FeatureMatrix& matrix() const { return matrix_; }
+  const FeatureMatrix& matrix() const { return rows_.matrix(); }
+
+  /// The shared row substrate: pass to VectorIndex::BuildFromRows (the
+  /// engine does) so the index references this store's buffer instead
+  /// of copying it. Snapshots stay valid across Add (copy-on-write).
+  RowView view() const { return rows_; }
 
   /// Copies all feature vectors in id order (compat bridge; index
-  /// builds should consume matrix() instead).
-  std::vector<Vec> AllFeatures() const { return matrix_.ToVectors(); }
+  /// builds should consume view()/matrix() instead).
+  std::vector<Vec> AllFeatures() const { return matrix().ToVectors(); }
 
   /// All labels in id order.
   std::vector<int32_t> AllLabels() const { return labels_; }
@@ -73,7 +82,7 @@ class FeatureStore {
  private:
   std::vector<std::string> names_;
   std::vector<int32_t> labels_;
-  FeatureMatrix matrix_;
+  RowView rows_;
 };
 
 }  // namespace cbix

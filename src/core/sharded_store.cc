@@ -17,17 +17,23 @@ void ShardedFeatureStore::Partition(const FeatureMatrix& matrix) {
   const size_t S = std::max<size_t>(1, shards_.size());
   const size_t n = matrix.count();
   indexes_.clear();
-  shards_.assign(S, FeatureMatrix(matrix.dim()));
   shard_rows_.assign(S, 0);
   total_rows_ = n;
   dim_ = matrix.dim();
+  std::vector<FeatureMatrix> partitions(S);
   for (size_t s = 0; s < S; ++s) {
+    partitions[s] = FeatureMatrix(dim_);
     // Shard s receives global ids s, s+S, s+2S, ...
     shard_rows_[s] = n > s ? (n - s - 1) / S + 1 : 0;
-    shards_[s].Reserve(shard_rows_[s]);
+    partitions[s].Reserve(shard_rows_[s]);
   }
   for (size_t g = 0; g < n; ++g) {
-    shards_[g % S].AppendRow(matrix.row(g), dim_);
+    partitions[g % S].AppendRow(matrix.row(g), dim_);
+  }
+  shards_.clear();
+  shards_.reserve(S);
+  for (FeatureMatrix& p : partitions) {
+    shards_.push_back(RowView::Adopt(std::move(p)));
   }
 }
 
@@ -51,10 +57,10 @@ Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
         statuses[s] = Status::Internal("shard index factory returned null");
         return;
       }
-      // Hand the shard buffer to the index instead of keeping a second
-      // copy of the corpus alive: scan-style indexes adopt it outright,
-      // the rest copy what they need and the buffer is discarded.
-      statuses[s] = indexes[s]->AdoptMatrix(std::move(shards_[s]));
+      // Share the shard substrate with the index: both reference one
+      // buffer, so the partition rows are resident exactly once and
+      // shard(s) stays readable after the build.
+      statuses[s] = indexes[s]->BuildFromRows(shards_[s]);
     });
   }
   for (const Status& status : statuses) {
@@ -125,11 +131,13 @@ std::vector<Neighbor> ShardedFeatureStore::RangeSearch(
 }
 
 size_t ShardedFeatureStore::MemoryBytes() const {
-  size_t bytes = sizeof(*this) +
-                 shards_.capacity() * sizeof(FeatureMatrix) +
+  size_t bytes = sizeof(*this) + shards_.capacity() * sizeof(RowView) +
                  shard_rows_.capacity() * sizeof(size_t) +
                  indexes_.capacity() * sizeof(std::unique_ptr<VectorIndex>);
-  for (const FeatureMatrix& shard : shards_) bytes += shard.MemoryBytes();
+  // The store is the owner of record for the partition substrates, so
+  // it counts them unconditionally; indexes sharing them report 0 for
+  // the rows (RowView::OwnedMemoryBytes) — no row is counted twice.
+  for (const RowView& shard : shards_) bytes += shard.SubstrateBytes();
   for (const auto& index : indexes_) {
     if (index != nullptr) bytes += index->MemoryBytes();
   }
@@ -138,7 +146,7 @@ size_t ShardedFeatureStore::MemoryBytes() const {
 
 void ShardedFeatureStore::Clear() {
   const size_t S = std::max<size_t>(1, shards_.size());
-  shards_.assign(S, FeatureMatrix());
+  shards_.assign(S, RowView());
   shard_rows_.assign(S, 0);
   indexes_.clear();
   total_rows_ = 0;

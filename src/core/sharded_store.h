@@ -50,10 +50,11 @@ class ShardedFeatureStore {
   bool empty() const { return total_rows_ == 0; }
   size_t dim() const { return dim_; }
 
-  /// Feature rows of shard `s` (local row ids). Empty after
-  /// BuildIndexes: shard buffers are moved into (or released to) the
-  /// shard indexes so the corpus is not held twice.
-  const FeatureMatrix& shard(size_t s) const { return shards_[s]; }
+  /// Feature rows of shard `s` (local row ids). Stays valid after
+  /// BuildIndexes: each shard index *shares* the partition substrate
+  /// (RowView) instead of taking a private copy, so the rows are
+  /// resident once and remain readable here.
+  const FeatureMatrix& shard(size_t s) const { return shards_[s].matrix(); }
 
   /// Rows assigned to shard `s` (stable across BuildIndexes).
   size_t shard_size(size_t s) const { return shard_rows_[s]; }
@@ -79,12 +80,11 @@ class ShardedFeatureStore {
 
   /// Builds one index per shard from `factory`, running the builds
   /// concurrently on `num_threads` pool workers (0 = min(shards,
-  /// hardware concurrency)). Shard matrices are moved into indexes
-  /// that can adopt them and released otherwise — after a successful
-  /// build the indexes own the only copy of the rows. Returns the
-  /// first per-shard build error, if any; after a failure, re-run
-  /// Partition before retrying (shard buffers may already be handed
-  /// off).
+  /// hardware concurrency)). Each index shares its shard's substrate
+  /// zero-copy (BuildFromRows), so the partition rows are resident
+  /// once, referenced by both the store and its index. Returns the
+  /// first per-shard build error, if any; the partitions survive a
+  /// failure, so BuildIndexes may simply be retried.
   Status BuildIndexes(const ShardIndexFactory& factory,
                       size_t num_threads = 0);
 
@@ -132,7 +132,7 @@ class ShardedFeatureStore {
   void Clear();
 
  private:
-  std::vector<FeatureMatrix> shards_;
+  std::vector<RowView> shards_;
   std::vector<size_t> shard_rows_;  ///< per-shard row counts
   std::vector<std::unique_ptr<VectorIndex>> indexes_;
   size_t total_rows_ = 0;

@@ -1,0 +1,18 @@
+#include "index/index.h"
+
+namespace cbix {
+
+Status VectorIndex::Build(std::vector<Vec> vectors) {
+  if (!vectors.empty()) {
+    const size_t dim = vectors[0].size();
+    if (dim == 0) return Status::InvalidArgument("empty vectors");
+    for (const Vec& v : vectors) {
+      if (v.size() != dim) {
+        return Status::InvalidArgument("inconsistent vector dimensions");
+      }
+    }
+  }
+  return BuildFromRows(RowView::Adopt(FeatureMatrix::FromVectors(vectors)));
+}
+
+}  // namespace cbix

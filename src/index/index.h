@@ -1,4 +1,6 @@
-// Common interface of all similarity indexes.
+// Common interface of all similarity indexes. Every index builds over
+// RowView (util/row_view.h) — the shared row substrate — through the
+// single BuildFromRows virtual.
 //
 // An index is built over a set of equal-dimension float vectors whose
 // ids are their positions in the build input. It answers the two query
@@ -18,6 +20,7 @@
 
 #include "distance/metric.h"
 #include "util/feature_matrix.h"
+#include "util/row_view.h"
 #include "util/status.h"
 
 namespace cbix {
@@ -56,26 +59,29 @@ class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
 
-  /// Builds the index over `vectors` (takes ownership). All vectors must
-  /// share one dimension; ids are assigned 0..n-1 in input order.
-  /// Replaces any previous contents.
-  virtual Status Build(std::vector<Vec> vectors) = 0;
+  /// THE build entry point: (re)builds the index over a shared row
+  /// substrate. Row ids become vector ids; replaces any previous
+  /// contents. Every index reads rows through the view without copying
+  /// them — when the caller shares a live substrate (the engine passes
+  /// the feature store's matrix, the sharded store its partitions),
+  /// the float rows stay resident exactly once.
+  virtual Status BuildFromRows(RowView rows) = 0;
 
-  /// Builds from flat SoA feature storage; row ids become vector ids.
-  /// Indexes that scan rows directly (linear scan, VP-tree) copy the
-  /// matrix buffer once; the default unpacks into nested vectors
-  /// without an extra matrix copy for structures still consuming
-  /// those.
-  virtual Status BuildFromMatrix(const FeatureMatrix& matrix) {
-    return Build(matrix.ToVectors());
+  // Thin adapters — all funnel into BuildFromRows.
+
+  /// Packs `vectors` (all one non-zero dimension, validated) into a
+  /// fresh substrate the index uniquely owns.
+  Status Build(std::vector<Vec> vectors);
+
+  /// Copies `matrix` into a fresh substrate the index uniquely owns
+  /// (for callers that keep their matrix mutable).
+  Status BuildFromMatrix(const FeatureMatrix& matrix) {
+    return BuildFromRows(RowView::Copy(matrix));
   }
 
-  /// Move-adopting build: takes ownership of `matrix`. Indexes that
-  /// scan flat rows directly override this zero-copy (the sharded
-  /// store hands each shard buffer to its index through it); the
-  /// default copies via BuildFromMatrix and discards the argument.
-  virtual Status AdoptMatrix(FeatureMatrix matrix) {
-    return BuildFromMatrix(matrix);
+  /// Moves `matrix` into a fresh substrate the index uniquely owns.
+  Status AdoptMatrix(FeatureMatrix matrix) {
+    return BuildFromRows(RowView::Adopt(std::move(matrix)));
   }
 
   /// All ids within `radius` (inclusive) of `q`, sorted by (distance,
@@ -102,8 +108,11 @@ class VectorIndex {
   /// Implementation name, e.g. "vp_tree(m=4)".
   virtual std::string Name() const = 0;
 
-  /// Approximate resident bytes of the index structure (vectors +
-  /// nodes), for the build-cost experiment.
+  /// Approximate resident bytes of the index structure, for the
+  /// build-cost experiment. The row substrate is counted only when the
+  /// index uniquely owns it (RowView::OwnedMemoryBytes): an index built
+  /// over a shared store matrix reports just its nodes, and summing it
+  /// with the store's MemoryBytes never counts a float row twice.
   virtual size_t MemoryBytes() const = 0;
 };
 

@@ -39,17 +39,19 @@ KdTree::KdTree(KdTreeOptions options) : options_(options) {
   assert(options_.leaf_size >= 1);
 }
 
-double KdTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+double KdTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
   // Shared kernels keep reported distances bit-identical across every
   // index (the linear-scan reference included).
+  const float* row = rows_.row(id);
+  const size_t dim = rows_.dim();
   switch (options_.metric) {
     case MinkowskiKind::kL1:
-      return kernels::L1(a.data(), b.data(), a.size());
+      return kernels::L1(q, row, dim);
     case MinkowskiKind::kL2:
-      return std::sqrt(kernels::L2Squared(a.data(), b.data(), a.size()));
+      return std::sqrt(kernels::L2Squared(q, row, dim));
     case MinkowskiKind::kLInf:
-      return kernels::LInf(a.data(), b.data(), a.size());
+      return kernels::LInf(q, row, dim);
   }
   return 0.0;
 }
@@ -68,11 +70,11 @@ int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,
   // Split on the dimension with the widest extent in this subset.
   int best_dim = 0;
   float best_extent = -1.0f;
-  for (size_t d = 0; d < dim_; ++d) {
+  for (size_t d = 0; d < rows_.dim(); ++d) {
     float lo = std::numeric_limits<float>::infinity();
     float hi = -std::numeric_limits<float>::infinity();
     for (size_t i = begin; i < end; ++i) {
-      const float v = vectors_[(*ids)[i]][d];
+      const float v = rows_.row((*ids)[i])[d];
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -86,9 +88,9 @@ int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,
   std::nth_element(ids->begin() + begin, ids->begin() + mid,
                    ids->begin() + end,
                    [this, best_dim](uint32_t a, uint32_t b) {
-                     return vectors_[a][best_dim] < vectors_[b][best_dim];
+                     return rows_.row(a)[best_dim] < rows_.row(b)[best_dim];
                    });
-  const float split_value = vectors_[(*ids)[mid]][best_dim];
+  const float split_value = rows_.row((*ids)[mid])[best_dim];
 
   const int32_t node_index = static_cast<int32_t>(nodes_.size());
   nodes_.emplace_back();
@@ -101,23 +103,12 @@ int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,
   return node_index;
 }
 
-Status KdTree::Build(std::vector<Vec> vectors) {
-  if (!vectors.empty()) {
-    dim_ = vectors[0].size();
-    if (dim_ == 0) return Status::InvalidArgument("empty vectors");
-    for (const Vec& v : vectors) {
-      if (v.size() != dim_) {
-        return Status::InvalidArgument("inconsistent vector dimensions");
-      }
-    }
-  } else {
-    dim_ = 0;
-  }
-  vectors_ = std::move(vectors);
+Status KdTree::BuildFromRows(RowView rows) {
+  rows_ = std::move(rows);
   nodes_.clear();
   root_ = -1;
-  if (vectors_.empty()) return Status::Ok();
-  std::vector<uint32_t> ids(vectors_.size());
+  if (rows_.empty()) return Status::Ok();
+  std::vector<uint32_t> ids(rows_.count());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
   root_ = BuildNode(&ids, 0, ids.size());
   return Status::Ok();
@@ -130,7 +121,7 @@ void KdTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
   if (node.is_leaf) {
     if (stats != nullptr) ++stats->leaves_visited;
     for (uint32_t id : node.leaf_ids) {
-      const double d = Dist(q, vectors_[id], stats);
+      const double d = Dist(q.data(), id, stats);
       if (d <= radius) out->push_back({id, d});
     }
     return;
@@ -179,7 +170,7 @@ void KdTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
   if (node.is_leaf) {
     if (stats != nullptr) ++stats->leaves_visited;
     for (uint32_t id : node.leaf_ids) {
-      HeapPush(heap, k, {id, Dist(q, vectors_[id], stats)});
+      HeapPush(heap, k, {id, Dist(q.data(), id, stats)});
     }
     return;
   }
@@ -210,11 +201,11 @@ std::string KdTree::Name() const {
 }
 
 size_t KdTree::MemoryBytes() const {
-  // Count allocated capacities, not just live sizes: the vector-of-
-  // vectors storage and the node array both hold their slack resident.
-  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
-  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
-  bytes += nodes_.capacity() * sizeof(Node);
+  // Count allocated capacities, not just live sizes: the node array
+  // holds its slack resident. The flat row substrate counts only when
+  // this tree uniquely owns it (shared store rows are the store's).
+  size_t bytes = sizeof(*this) + rows_.OwnedMemoryBytes() +
+                 nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
     bytes += node.leaf_ids.capacity() * sizeof(uint32_t);
   }

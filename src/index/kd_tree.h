@@ -39,14 +39,16 @@ class KdTree : public VectorIndex {
  public:
   explicit KdTree(KdTreeOptions options = {});
 
-  Status Build(std::vector<Vec> vectors) override;
+  /// Shares `rows` zero-copy: splits and leaf scans read the substrate
+  /// in place.
+  Status BuildFromRows(RowView rows) override;
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return vectors_.size(); }
-  size_t dim() const override { return dim_; }
+  size_t size() const override { return rows_.count(); }
+  size_t dim() const override { return rows_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
@@ -62,7 +64,8 @@ class KdTree : public VectorIndex {
     std::vector<uint32_t> leaf_ids;
   };
 
-  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  /// Query-to-row distance through the shared batched kernels.
+  double Dist(const float* q, uint32_t id, SearchStats* stats) const;
   int32_t BuildNode(std::vector<uint32_t>* ids, size_t begin, size_t end);
   void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
                        SearchStats* stats, std::vector<Neighbor>* out) const;
@@ -70,10 +73,9 @@ class KdTree : public VectorIndex {
                      SearchStats* stats, std::vector<Neighbor>* heap) const;
 
   KdTreeOptions options_;
-  std::vector<Vec> vectors_;
+  RowView rows_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
-  size_t dim_ = 0;
 };
 
 }  // namespace cbix

@@ -34,28 +34,8 @@ LinearScanIndex::LinearScanIndex(
   assert(metric_ != nullptr);
 }
 
-Status LinearScanIndex::Build(std::vector<Vec> vectors) {
-  if (!vectors.empty()) {
-    const size_t dim = vectors[0].size();
-    if (dim == 0) return Status::InvalidArgument("empty vectors");
-    for (const Vec& v : vectors) {
-      if (v.size() != dim) {
-        return Status::InvalidArgument("inconsistent vector dimensions");
-      }
-    }
-  }
-  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
-}
-
-Status LinearScanIndex::BuildFromMatrix(const FeatureMatrix& matrix) {
-  return AdoptMatrix(FeatureMatrix(matrix));
-}
-
-Status LinearScanIndex::AdoptMatrix(FeatureMatrix matrix) {
-  if (matrix.count() > 0 && matrix.dim() == 0) {
-    return Status::InvalidArgument("empty vectors");
-  }
-  data_ = std::move(matrix);
+Status LinearScanIndex::BuildFromRows(RowView rows) {
+  rows_ = std::move(rows);
   return Status::Ok();
 }
 
@@ -63,13 +43,13 @@ std::vector<Neighbor> LinearScanIndex::RangeSearch(const Vec& q,
                                                    double radius,
                                                    SearchStats* stats) const {
   std::vector<Neighbor> out;
-  const size_t n = data_.count();
-  const size_t dim = data_.dim();
+  const size_t n = rows_.count();
+  const size_t dim = rows_.dim();
   const double radius_key = RankKeyThreshold(metric_->DistanceToRank(radius));
   double keys[kScanBlock];
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     const size_t block = std::min(kScanBlock, n - begin);
-    metric_->RankBatch(q.data(), data_.row(begin), data_.stride(), block,
+    metric_->RankBatch(q.data(), rows_.row(begin), rows_.stride(), block,
                        dim, keys);
     if (stats != nullptr) {
       stats->distance_evals += block;
@@ -92,13 +72,13 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
   std::vector<Neighbor> heap;  // max-heap on (distance, id)
   if (k == 0) return heap;
   heap.reserve(k + 1);
-  const size_t n = data_.count();
-  const size_t dim = data_.dim();
+  const size_t n = rows_.count();
+  const size_t dim = rows_.dim();
   double tau_key = std::numeric_limits<double>::infinity();
   double keys[kScanBlock];
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     const size_t block = std::min(kScanBlock, n - begin);
-    metric_->RankBatch(q.data(), data_.row(begin), data_.stride(), block,
+    metric_->RankBatch(q.data(), rows_.row(begin), rows_.stride(), block,
                        dim, keys);
     if (stats != nullptr) {
       stats->distance_evals += block;
@@ -131,12 +111,12 @@ std::string LinearScanIndex::Name() const {
 }
 
 size_t LinearScanIndex::MemoryBytes() const {
-  // One flat allocation; the seed's per-row std::vector control blocks
-  // and allocator headers are gone. Count the buffer once plus the
-  // allocator header of the single allocation and the index object.
+  // The substrate is counted only when this index uniquely owns it;
+  // built over a shared store matrix the scan itself is just the
+  // object plus the view (float rows resident once, at the store).
+  const size_t owned = rows_.OwnedMemoryBytes();
   constexpr size_t kAllocHeader = 16;
-  return data_.MemoryBytes() + (data_.MemoryBytes() > 0 ? kAllocHeader : 0) +
-         sizeof(*this);
+  return owned + (owned > 0 ? kAllocHeader : 0) + sizeof(*this);
 }
 
 }  // namespace cbix

@@ -20,25 +20,23 @@ class LinearScanIndex : public VectorIndex {
  public:
   explicit LinearScanIndex(std::shared_ptr<const DistanceMetric> metric);
 
-  Status Build(std::vector<Vec> vectors) override;
-  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
-  /// Zero-copy build: takes ownership of `matrix`.
-  Status AdoptMatrix(FeatureMatrix matrix) override;
+  /// Shares `rows` zero-copy: the scan reads the substrate in place.
+  Status BuildFromRows(RowView rows) override;
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return data_.count(); }
-  size_t dim() const override { return data_.dim(); }
+  size_t size() const override { return rows_.count(); }
+  size_t dim() const override { return rows_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
-  const FeatureMatrix& matrix() const { return data_; }
+  const FeatureMatrix& matrix() const { return rows_.matrix(); }
 
  private:
   std::shared_ptr<const DistanceMetric> metric_;
-  FeatureMatrix data_;
+  RowView rows_;
 };
 
 }  // namespace cbix

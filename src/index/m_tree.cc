@@ -16,14 +16,14 @@ MTree::MTree(std::shared_ptr<const DistanceMetric> metric,
   assert(max_entries_ >= 4);
 }
 
-double MTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+double MTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
-  return metric_->Distance(a, b);
+  return metric_->DistanceRaw(q, rows_.row(id), dim_);
 }
 
-double MTree::BuildDist(const Vec& a, const Vec& b) {
+double MTree::BuildDist(uint32_t a, uint32_t b) {
   ++build_distance_evals_;
-  return metric_->Distance(a, b);
+  return metric_->DistanceRaw(rows_.row(a), rows_.row(b), dim_);
 }
 
 int32_t MTree::NewNode(bool is_leaf) {
@@ -33,29 +33,37 @@ int32_t MTree::NewNode(bool is_leaf) {
   return static_cast<int32_t>(nodes_.size() - 1);
 }
 
-Status MTree::Build(std::vector<Vec> vectors) {
-  vectors_.clear();
+Status MTree::BuildFromRows(RowView rows) {
   nodes_.clear();
   root_ = -1;
-  dim_ = 0;
   build_distance_evals_ = 0;
-  for (Vec& v : vectors) {
-    CBIX_RETURN_IF_ERROR(Insert(std::move(v)));
+  rows_ = std::move(rows);
+  dim_ = rows_.dim();
+  if (rows_.empty()) return Status::Ok();
+  // Dynamic structure: the substrate is complete up front; insert row
+  // by row exactly as repeated Insert() calls would have.
+  root_ = NewNode(/*is_leaf=*/true);
+  for (size_t i = 0; i < rows_.count(); ++i) {
+    InsertId(static_cast<uint32_t>(i));
   }
   return Status::Ok();
 }
 
 Status MTree::Insert(Vec vector) {
-  if (vectors_.empty() && root_ < 0) {
+  if (rows_.empty() && root_ < 0) {
     dim_ = vector.size();
     if (dim_ == 0) return Status::InvalidArgument("empty vector");
     root_ = NewNode(/*is_leaf=*/true);
   } else if (vector.size() != dim_) {
     return Status::InvalidArgument("inconsistent vector dimensions");
   }
-  const uint32_t id = static_cast<uint32_t>(vectors_.size());
-  vectors_.push_back(std::move(vector));
+  const uint32_t id = static_cast<uint32_t>(rows_.count());
+  rows_.AppendRow(vector);  // copy-on-write when the substrate is shared
+  InsertId(id);
+  return Status::Ok();
+}
 
+void MTree::InsertId(uint32_t id) {
   double dist_to_parent = 0.0;
   const int32_t leaf = ChooseLeaf(id, &dist_to_parent);
 
@@ -68,15 +76,25 @@ Status MTree::Insert(Vec vector) {
   } else {
     SplitNode(leaf, entry);
   }
-  return Status::Ok();
 }
 
 int32_t MTree::ChooseLeaf(uint32_t id, double* dist_to_parent_out) {
-  const Vec& v = vectors_[id];
   int32_t current = root_;
   double dist_to_parent = 0.0;  // root has no routing object above it
   while (!nodes_[current].is_leaf) {
     Node& node = nodes_[current];
+    // Split and root-growth invariants keep every internal node at
+    // >= 1 routing entry; an empty one would leave `best` at its
+    // sentinel below and index entries[-1] (UB). Guard the invariant
+    // here rather than trusting it silently; in release builds (the
+    // assert compiles out) degrade the childless node to a leaf — it
+    // has no subtree to lose, and inserting here is well-defined.
+    assert(!node.entries.empty() &&
+           "internal M-tree node has no routing entries");
+    if (node.entries.empty()) {
+      node.is_leaf = true;
+      break;
+    }
     // Prefer the routing entry already covering the object (smallest
     // distance among those); otherwise the one whose radius grows least.
     int best = -1;
@@ -84,7 +102,7 @@ int32_t MTree::ChooseLeaf(uint32_t id, double* dist_to_parent_out) {
     double best_growth = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < node.entries.size(); ++i) {
       Entry& e = node.entries[i];
-      const double d = BuildDist(v, vectors_[e.object_id]);
+      const double d = BuildDist(id, e.object_id);
       const double growth = d - e.covering_radius;
       if (growth <= 0.0) {
         if (best == -1 || best_growth > 0.0 || d < best_dist) {
@@ -98,6 +116,10 @@ int32_t MTree::ChooseLeaf(uint32_t id, double* dist_to_parent_out) {
         best_growth = growth;
       }
     }
+    // Non-empty entries guarantee the loop chose something (the first
+    // entry always beats the sentinel); keep a release-mode backstop so
+    // a violated invariant degrades to child 0 instead of UB.
+    if (best < 0) best = 0;
     Entry& chosen = node.entries[best];
     if (best_dist > chosen.covering_radius) {
       chosen.covering_radius = best_dist;  // enlarge to cover new object
@@ -121,10 +143,9 @@ void MTree::AddEntry(int32_t node_id, Entry entry) {
 
 double MTree::RewireUnderRouter(int32_t node_id, uint32_t router_id) {
   Node& node = nodes_[node_id];
-  const Vec& router = vectors_[router_id];
   double radius = 0.0;
   for (Entry& e : node.entries) {
-    e.dist_to_parent = BuildDist(router, vectors_[e.object_id]);
+    e.dist_to_parent = BuildDist(router_id, e.object_id);
     const double reach =
         e.dist_to_parent + (node.is_leaf ? 0.0 : e.covering_radius);
     radius = std::max(radius, reach);
@@ -172,10 +193,8 @@ void MTree::SplitNode(int32_t node_id, Entry overflow_entry) {
     if (a == b) continue;
     double rad_a = 0.0, rad_b = 0.0;
     for (const Entry& e : entries) {
-      const double da =
-          BuildDist(vectors_[entries[a].object_id], vectors_[e.object_id]);
-      const double db =
-          BuildDist(vectors_[entries[b].object_id], vectors_[e.object_id]);
+      const double da = BuildDist(entries[a].object_id, e.object_id);
+      const double db = BuildDist(entries[b].object_id, e.object_id);
       const double extra = is_leaf ? 0.0 : e.covering_radius;
       if (da <= db) {
         rad_a = std::max(rad_a, da + extra);
@@ -199,8 +218,8 @@ void MTree::SplitNode(int32_t node_id, Entry overflow_entry) {
   const int32_t sibling = NewNode(is_leaf);
   nodes_[node_id].is_leaf = is_leaf;
   for (const Entry& e : entries) {
-    const double da = BuildDist(vectors_[router_a], vectors_[e.object_id]);
-    const double db = BuildDist(vectors_[router_b], vectors_[e.object_id]);
+    const double da = BuildDist(router_a, e.object_id);
+    const double db = BuildDist(router_b, e.object_id);
     Entry moved = e;
     if (da <= db) {
       moved.dist_to_parent = da;
@@ -268,8 +287,8 @@ void MTree::SplitNode(int32_t node_id, Entry overflow_entry) {
   if (grand >= 0) {
     const uint32_t parent_router =
         nodes_[grand].entries[parent_node.parent_entry].object_id;
-    dist_a = BuildDist(vectors_[parent_router], vectors_[router_a]);
-    dist_b = BuildDist(vectors_[parent_router], vectors_[router_b]);
+    dist_a = BuildDist(parent_router, router_a);
+    dist_b = BuildDist(parent_router, router_b);
   }
   entry_a.dist_to_parent = dist_a;
   entry_b.dist_to_parent = dist_b;
@@ -297,7 +316,7 @@ void MTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
           std::fabs(dist_q_parent - e.dist_to_parent) > radius) {
         continue;
       }
-      const double d = Dist(q, vectors_[e.object_id], stats);
+      const double d = Dist(q.data(), e.object_id, stats);
       if (d <= radius) out->push_back({e.object_id, d});
     }
     return;
@@ -308,7 +327,7 @@ void MTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
                           radius + e.covering_radius) {
       continue;  // pruned without computing d(q, router)
     }
-    const double d = Dist(q, vectors_[e.object_id], stats);
+    const double d = Dist(q.data(), e.object_id, stats);
     if (d > radius + e.covering_radius) continue;
     RangeSearchNode(e.child, q, radius, d, /*has_parent=*/true, stats, out);
   }
@@ -360,12 +379,12 @@ std::vector<Neighbor> MTree::KnnSearch(const Vec& q, size_t k,
     if (node.is_leaf) {
       if (stats != nullptr) ++stats->leaves_visited;
       for (const Entry& e : node.entries) {
-        heap_push({e.object_id, Dist(q, vectors_[e.object_id], stats)});
+        heap_push({e.object_id, Dist(q.data(), e.object_id, stats)});
       }
     } else {
       if (stats != nullptr) ++stats->nodes_visited;
       for (const Entry& e : node.entries) {
-        const double d = Dist(q, vectors_[e.object_id], stats);
+        const double d = Dist(q.data(), e.object_id, stats);
         const double child_bound = std::max(0.0, d - e.covering_radius);
         if (child_bound <= tau()) queue.emplace(child_bound, e.child);
       }
@@ -381,10 +400,10 @@ std::string MTree::Name() const {
 }
 
 size_t MTree::MemoryBytes() const {
-  // Capacity-based: slack in the vector-of-vectors and node/entry
-  // arrays is resident memory too.
-  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
-  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
+  // Capacity-based: slack in the node/entry arrays is resident memory
+  // too. The flat row substrate counts only when this tree uniquely
+  // owns it (shared store rows are the store's).
+  size_t bytes = sizeof(*this) + rows_.OwnedMemoryBytes();
   bytes += nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
     bytes += node.entries.capacity() * sizeof(Entry);

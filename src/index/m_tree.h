@@ -28,10 +28,12 @@ class MTree : public VectorIndex {
   MTree(std::shared_ptr<const DistanceMetric> metric,
         size_t max_node_entries = 16, uint64_t seed = 0x137);
 
-  /// Bulk build = repeated insertion (the M-tree is dynamic by design).
-  Status Build(std::vector<Vec> vectors) override;
+  /// Bulk build = repeated insertion over the shared substrate (the
+  /// M-tree is dynamic by design); rows are read in place, zero-copy.
+  Status BuildFromRows(RowView rows) override;
 
-  /// Inserts one vector; its id is size() before the call.
+  /// Inserts one vector; its id is size() before the call. Appends
+  /// through the row view (copy-on-write when shared).
   Status Insert(Vec vector);
 
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
@@ -39,7 +41,7 @@ class MTree : public VectorIndex {
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return vectors_.size(); }
+  size_t size() const override { return rows_.count(); }
   size_t dim() const override { return dim_; }
   std::string Name() const override;
   size_t MemoryBytes() const override;
@@ -65,9 +67,13 @@ class MTree : public VectorIndex {
     int32_t parent_entry = -1;  ///< index of this node's entry in parent
   };
 
-  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
-  double BuildDist(const Vec& a, const Vec& b);
+  /// Query-to-row distance with per-query stats accounting.
+  double Dist(const float* q, uint32_t id, SearchStats* stats) const;
+  /// Row-to-row distance charged to the build counter.
+  double BuildDist(uint32_t a, uint32_t b);
   int32_t NewNode(bool is_leaf);
+  /// Inserts the existing row `id` into the tree (Insert = append+this).
+  void InsertId(uint32_t id);
   /// Descends to the leaf best suited for `id`, maintaining the distance
   /// of the inserted object to the chosen routing object at each level.
   int32_t ChooseLeaf(uint32_t id, double* dist_to_parent_out);
@@ -85,7 +91,7 @@ class MTree : public VectorIndex {
   std::shared_ptr<const DistanceMetric> metric_;
   size_t max_entries_;
   Rng rng_;
-  std::vector<Vec> vectors_;
+  RowView rows_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
   size_t dim_ = 0;

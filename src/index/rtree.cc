@@ -16,17 +16,18 @@ RTree::RTree(RTreeOptions options) : options_(options) {
   assert(options_.min_entries <= options_.max_entries / 2);
 }
 
-double RTree::Dist(const Vec& a, const Vec& b, SearchStats* stats) const {
+double RTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
   // Shared kernels keep reported distances bit-identical across every
   // index (the linear-scan reference included).
+  const float* row = rows_.row(id);
   switch (options_.metric) {
     case MinkowskiKind::kL1:
-      return kernels::L1(a.data(), b.data(), a.size());
+      return kernels::L1(q, row, dim_);
     case MinkowskiKind::kL2:
-      return std::sqrt(kernels::L2Squared(a.data(), b.data(), a.size()));
+      return std::sqrt(kernels::L2Squared(q, row, dim_));
     case MinkowskiKind::kLInf:
-      return kernels::LInf(a.data(), b.data(), a.size());
+      return kernels::LInf(q, row, dim_);
   }
   return 0.0;
 }
@@ -55,7 +56,13 @@ double RTree::MinDist(const Vec& q, const Rect& r) const {
   return options_.metric == MinkowskiKind::kL2 ? std::sqrt(acc) : acc;
 }
 
-RTree::Rect RTree::PointRect(const Vec& v) const { return {v, v}; }
+RTree::Rect RTree::PointRect(uint32_t id) const {
+  const float* row = rows_.row(id);
+  Rect r;
+  r.min.assign(row, row + dim_);
+  r.max = r.min;
+  return r;
+}
 
 void RTree::Enlarge(Rect* r, const Rect& other) {
   for (size_t i = 0; i < r->min.size(); ++i) {
@@ -64,28 +71,22 @@ void RTree::Enlarge(Rect* r, const Rect& other) {
   }
 }
 
-double RTree::Volume(const Rect& r) const {
-  double v = 1.0;
+double RTree::Margin(const Rect& r) {
+  double m = 0.0;
   for (size_t i = 0; i < r.min.size(); ++i) {
-    v *= static_cast<double>(r.max[i]) - r.min[i];
+    m += static_cast<double>(r.max[i]) - r.min[i];
   }
-  return v;
+  return m;
 }
 
 double RTree::EnlargementNeeded(const Rect& r, const Rect& add) const {
   Rect cover = r;
   Enlarge(&cover, add);
-  const double grown = Volume(cover);
-  const double current = Volume(r);
-  if (grown > 0.0 || current > 0.0) return grown - current;
-  // Degenerate (zero-volume) rectangles: fall back to perimeter growth
-  // so choice is still informed in high dimensions.
-  double perim_grown = 0.0, perim_current = 0.0;
-  for (size_t i = 0; i < r.min.size(); ++i) {
-    perim_grown += static_cast<double>(cover.max[i]) - cover.min[i];
-    perim_current += static_cast<double>(r.max[i]) - r.min[i];
-  }
-  return perim_grown - perim_current;
+  // Margin growth: finite at any dim (a volume difference would be
+  // inf - inf = NaN once extents multiply past double range), and it
+  // handles degenerate point rects without a special case — for two
+  // points it degrades to their L1 distance, a sensible preference.
+  return Margin(cover) - Margin(r);
 }
 
 int32_t RTree::NewNode(bool is_leaf) {
@@ -101,15 +102,15 @@ int32_t RTree::ChooseLeaf(const Rect& rect) const {
     const Node& node = nodes_[current];
     int best = 0;
     double best_enlargement = std::numeric_limits<double>::infinity();
-    double best_volume = std::numeric_limits<double>::infinity();
+    double best_margin = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < node.rects.size(); ++i) {
       const double enlargement = EnlargementNeeded(node.rects[i], rect);
-      const double volume = Volume(node.rects[i]);
+      const double margin = Margin(node.rects[i]);
       if (enlargement < best_enlargement ||
-          (enlargement == best_enlargement && volume < best_volume)) {
+          (enlargement == best_enlargement && margin < best_margin)) {
         best = static_cast<int>(i);
         best_enlargement = enlargement;
-        best_volume = volume;
+        best_margin = margin;
       }
     }
     current = node.children[best];
@@ -170,15 +171,18 @@ void RTree::SplitNode(int32_t node_id) {
   const int32_t sibling = NewNode(is_leaf);
   const size_t n = rects.size();
 
-  // Seed selection: the pair wasting the most volume if grouped.
+  // Seed selection: the pair wasting the most margin if grouped (the
+  // classic volume-based waste is inf - inf - inf = NaN at high dim;
+  // for point rects margin waste is simply their L1 separation, so
+  // the seeds are the farthest-apart pair).
   size_t seed_a = 0, seed_b = 1;
   double worst = -std::numeric_limits<double>::infinity();
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       Rect cover = rects[i];
       Enlarge(&cover, rects[j]);
-      const double dead = Volume(cover) - Volume(rects[i]) -
-                          Volume(rects[j]);
+      const double dead =
+          Margin(cover) - Margin(rects[i]) - Margin(rects[j]);
       if (dead > worst) {
         worst = dead;
         seed_a = i;
@@ -251,9 +255,9 @@ void RTree::SplitNode(int32_t node_id) {
     if (d_a_pick != d_b_pick) {
       to_a = d_a_pick < d_b_pick;
     } else {
-      const double va = Volume(cover_a), vb = Volume(cover_b);
-      if (va != vb) {
-        to_a = va < vb;
+      const double ma = Margin(cover_a), mb = Margin(cover_b);
+      if (ma != mb) {
+        to_a = ma < mb;
       } else {
         to_a = nodes_[node_id].rects.size() <= nodes_[sibling].rects.size();
       }
@@ -290,17 +294,21 @@ void RTree::SplitNode(int32_t node_id) {
 }
 
 Status RTree::Insert(Vec vector) {
-  if (vectors_.empty() && root_ < 0) {
+  if (rows_.empty() && root_ < 0) {
     dim_ = vector.size();
     if (dim_ == 0) return Status::InvalidArgument("empty vector");
     root_ = NewNode(/*is_leaf=*/true);
   } else if (vector.size() != dim_) {
     return Status::InvalidArgument("inconsistent vector dimensions");
   }
-  const uint32_t id = static_cast<uint32_t>(vectors_.size());
-  vectors_.push_back(std::move(vector));
-  const Rect rect = PointRect(vectors_.back());
+  const uint32_t id = static_cast<uint32_t>(rows_.count());
+  rows_.AppendRow(vector);  // copy-on-write when the substrate is shared
+  InsertId(id);
+  return Status::Ok();
+}
 
+void RTree::InsertId(uint32_t id) {
+  const Rect rect = PointRect(id);
   const int32_t leaf = ChooseLeaf(rect);
   InsertEntry(leaf, rect, -1, id);
   if (nodes_[leaf].rects.size() > options_.max_entries) {
@@ -308,7 +316,6 @@ Status RTree::Insert(Vec vector) {
   } else {
     AdjustUpward(leaf);
   }
-  return Status::Ok();
 }
 
 int32_t RTree::StrPack(std::vector<uint32_t> ids, size_t level_dim) {
@@ -319,7 +326,7 @@ int32_t RTree::StrPack(std::vector<uint32_t> ids, size_t level_dim) {
   if (ids.size() <= options_.max_entries) {
     const int32_t leaf = NewNode(/*is_leaf=*/true);
     for (uint32_t id : ids) {
-      InsertEntry(leaf, PointRect(vectors_[id]), -1, id);
+      InsertEntry(leaf, PointRect(id), -1, id);
     }
     str_leaves_.push_back(leaf);
     return leaf;
@@ -327,8 +334,8 @@ int32_t RTree::StrPack(std::vector<uint32_t> ids, size_t level_dim) {
 
   const size_t d = level_dim % dim_;
   std::sort(ids.begin(), ids.end(), [this, d](uint32_t a, uint32_t b) {
-    if (vectors_[a][d] != vectors_[b][d]) {
-      return vectors_[a][d] < vectors_[b][d];
+    if (rows_.row(a)[d] != rows_.row(b)[d]) {
+      return rows_.row(a)[d] < rows_.row(b)[d];
     }
     return a < b;
   });
@@ -375,30 +382,23 @@ void RTree::BulkLoadStr(const std::vector<uint32_t>& ids) {
   nodes_[root_].parent = -1;
 }
 
-Status RTree::Build(std::vector<Vec> vectors) {
+Status RTree::BuildFromRows(RowView rows) {
   nodes_.clear();
-  vectors_.clear();
   root_ = -1;
-  dim_ = 0;
-  if (vectors.empty()) return Status::Ok();
+  rows_ = std::move(rows);
+  dim_ = rows_.dim();
+  if (rows_.empty()) return Status::Ok();
 
-  dim_ = vectors[0].size();
-  if (dim_ == 0) return Status::InvalidArgument("empty vectors");
-  for (const Vec& v : vectors) {
-    if (v.size() != dim_) {
-      return Status::InvalidArgument("inconsistent vector dimensions");
-    }
-  }
-
+  const size_t n = rows_.count();
   if (!options_.bulk_load) {
-    for (Vec& v : vectors) {
-      CBIX_RETURN_IF_ERROR(Insert(std::move(v)));
-    }
+    // Dynamic path: the substrate is complete up front; insert row by
+    // row exactly as repeated Insert() calls would have.
+    root_ = NewNode(/*is_leaf=*/true);
+    for (size_t i = 0; i < n; ++i) InsertId(static_cast<uint32_t>(i));
     return Status::Ok();
   }
 
-  vectors_ = std::move(vectors);
-  std::vector<uint32_t> ids(vectors_.size());
+  std::vector<uint32_t> ids(n);
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
   BulkLoadStr(ids);
   return Status::Ok();
@@ -412,7 +412,7 @@ void RTree::RangeSearchNode(int32_t node_id, const Vec& q, double radius,
     if (stats != nullptr) ++stats->leaves_visited;
     for (size_t i = 0; i < node.point_ids.size(); ++i) {
       const uint32_t id = node.point_ids[i];
-      const double d = Dist(q, vectors_[id], stats);
+      const double d = Dist(q.data(), id, stats);
       if (d <= radius) out->push_back({id, d});
     }
     return;
@@ -468,7 +468,7 @@ std::vector<Neighbor> RTree::KnnSearch(const Vec& q, size_t k,
     if (node.is_leaf) {
       if (stats != nullptr) ++stats->leaves_visited;
       for (uint32_t id : node.point_ids) {
-        heap_push({id, Dist(q, vectors_[id], stats)});
+        heap_push({id, Dist(q.data(), id, stats)});
       }
     } else {
       if (stats != nullptr) ++stats->nodes_visited;
@@ -489,10 +489,11 @@ std::string RTree::Name() const {
 }
 
 size_t RTree::MemoryBytes() const {
-  // Capacity-based: slack in the vector-of-vectors, node array and
-  // per-node rect/child/id arrays is resident memory too.
-  size_t bytes = sizeof(*this) + vectors_.capacity() * sizeof(Vec);
-  for (const Vec& v : vectors_) bytes += v.capacity() * sizeof(float);
+  // Capacity-based: slack in the node array and per-node rect/child/id
+  // arrays is resident memory too. The flat row substrate counts only
+  // when this tree uniquely owns it (shared store rows are the
+  // store's); the bounding rectangles are always the tree's own.
+  size_t bytes = sizeof(*this) + rows_.OwnedMemoryBytes();
   bytes += nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
     // Each Rect is two Vec control blocks plus their dim_-float heaps.

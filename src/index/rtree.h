@@ -31,10 +31,13 @@ class RTree : public VectorIndex {
  public:
   explicit RTree(RTreeOptions options = {});
 
-  Status Build(std::vector<Vec> vectors) override;
+  /// Shares `rows` zero-copy: points are read from the substrate; only
+  /// node bounding rectangles are materialized by the tree.
+  Status BuildFromRows(RowView rows) override;
 
   /// Dynamic insertion of one vector; its id is size() before the call.
   /// The vector's dimensionality must match (or define it if first).
+  /// Appends through the row view (copy-on-write when shared).
   Status Insert(Vec vector);
 
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
@@ -42,7 +45,7 @@ class RTree : public VectorIndex {
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return vectors_.size(); }
+  size_t size() const override { return rows_.count(); }
   size_t dim() const override { return dim_; }
   std::string Name() const override;
   size_t MemoryBytes() const override;
@@ -65,17 +68,26 @@ class RTree : public VectorIndex {
     int32_t parent = -1;
   };
 
-  double Dist(const Vec& a, const Vec& b, SearchStats* stats) const;
+  double Dist(const float* q, uint32_t id, SearchStats* stats) const;
   double MinDist(const Vec& q, const Rect& r) const;
-  Rect PointRect(const Vec& v) const;
+  Rect PointRect(uint32_t id) const;
   static void Enlarge(Rect* r, const Rect& other);
-  double Volume(const Rect& r) const;
+  // Rectangle size and growth are measured by *margin* (sum of
+  // per-axis extents), not volume: the product of 100+ extents
+  // overflows double to inf in high dimensions, turning every
+  // enlargement into inf - inf = NaN and degenerating ChooseLeaf to
+  // "always child 0". Margin stays finite at any dimensionality and
+  // is the R*-tree's split measure; search exactness never depended
+  // on the choice heuristic, only tree quality does.
+  static double Margin(const Rect& r);
   double EnlargementNeeded(const Rect& r, const Rect& add) const;
 
   int32_t NewNode(bool is_leaf);
   int32_t ChooseLeaf(const Rect& rect) const;
   void InsertEntry(int32_t node_id, const Rect& rect, int32_t child,
                    uint32_t point_id);
+  /// Inserts the existing row `id` into the tree (Insert = append+this).
+  void InsertId(uint32_t id);
   void SplitNode(int32_t node_id);
   void AdjustUpward(int32_t node_id);
   Rect NodeBoundingRect(int32_t node_id) const;
@@ -88,7 +100,7 @@ class RTree : public VectorIndex {
                        SearchStats* stats, std::vector<Neighbor>* out) const;
 
   RTreeOptions options_;
-  std::vector<Vec> vectors_;
+  RowView rows_;
   std::vector<Node> nodes_;
   std::vector<int32_t> str_leaves_;  ///< scratch used during bulk load
   int32_t root_ = -1;

@@ -13,21 +13,9 @@ ShardedIndex::ShardedIndex(ShardedFeatureStore::ShardIndexFactory factory,
   assert(factory_ != nullptr);
 }
 
-Status ShardedIndex::Build(std::vector<Vec> vectors) {
-  if (!vectors.empty()) {
-    const size_t dim = vectors[0].size();
-    if (dim == 0) return Status::InvalidArgument("empty vectors");
-    for (const Vec& v : vectors) {
-      if (v.size() != dim) {
-        return Status::InvalidArgument("inconsistent vector dimensions");
-      }
-    }
-  }
-  return BuildFromMatrix(FeatureMatrix::FromVectors(vectors));
-}
-
-Status ShardedIndex::BuildFromMatrix(const FeatureMatrix& matrix) {
-  store_.Partition(matrix);
+Status ShardedIndex::BuildFromRows(RowView rows) {
+  store_.Partition(rows.matrix());
+  rows.Reset();  // partitions re-laid the rows out; drop the original
   return store_.BuildIndexes(factory_, options_.build_threads);
 }
 

@@ -36,8 +36,11 @@ class ShardedIndex : public VectorIndex {
   ShardedIndex(ShardedFeatureStore::ShardIndexFactory factory,
                ShardedIndexOptions options);
 
-  Status Build(std::vector<Vec> vectors) override;
-  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
+  /// Partitions `rows` round-robin and builds one shard index per
+  /// partition; each shard index shares its partition substrate
+  /// zero-copy. The incoming view itself is released after
+  /// partitioning (rows are re-laid-out per shard).
+  Status BuildFromRows(RowView rows) override;
 
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;

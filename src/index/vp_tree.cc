@@ -41,7 +41,7 @@ VpTree::VpTree(std::shared_ptr<const DistanceMetric> metric,
 
 double VpTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
   if (stats != nullptr) ++stats->distance_evals;
-  return metric_->DistanceRaw(q, data_.row(id), data_.dim());
+  return metric_->DistanceRaw(q, rows_.row(id), rows_.dim());
 }
 
 uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
@@ -51,7 +51,7 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
     return ids[rng->NextBelow(ids.size())];
   }
 
-  const size_t dim = data_.dim();
+  const size_t dim = rows_.dim();
   const size_t candidates =
       std::min(options_.sample_size, ids.size());
 
@@ -59,13 +59,13 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
     // Farthest point from a random probe: cheap approximation of a
     // "corner" of the data set, which yields wide, well-separated
     // distance distributions.
-    const float* probe = data_.row(ids[rng->NextBelow(ids.size())]);
+    const float* probe = rows_.row(ids[rng->NextBelow(ids.size())]);
     uint32_t best_id = ids[0];
     double best_dist = -1.0;
     const std::vector<size_t> sample =
         rng->SampleWithoutReplacement(ids.size(), candidates);
     for (size_t s : sample) {
-      const double d = metric_->DistanceRaw(probe, data_.row(ids[s]), dim);
+      const double d = metric_->DistanceRaw(probe, rows_.row(ids[s]), dim);
       build_distance_evals_ += 1;
       if (d > best_dist) {
         best_dist = d;
@@ -86,12 +86,12 @@ uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
   uint32_t best_id = ids[cand_idx[0]];
   double best_spread = -1.0;
   for (size_t ci : cand_idx) {
-    const float* candidate = data_.row(ids[ci]);
+    const float* candidate = rows_.row(ids[ci]);
     double mean = 0.0, m2 = 0.0;
     size_t n = 0;
     for (size_t ti : target_idx) {
       const double d =
-          metric_->DistanceRaw(candidate, data_.row(ids[ti]), dim);
+          metric_->DistanceRaw(candidate, rows_.row(ids[ti]), dim);
       build_distance_evals_ += 1;
       ++n;
       const double delta = d - mean;
@@ -125,13 +125,13 @@ int32_t VpTree::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
     uint32_t id;
     double dist;
   };
-  const float* vantage_row = data_.row(vantage);
+  const float* vantage_row = rows_.row(vantage);
   std::vector<Entry> entries;
   entries.reserve(ids.size() - 1);
   for (uint32_t id : ids) {
     if (id == vantage) continue;
-    entries.push_back({id, metric_->DistanceRaw(vantage_row, data_.row(id),
-                                                data_.dim())});
+    entries.push_back({id, metric_->DistanceRaw(vantage_row, rows_.row(id),
+                                                rows_.dim())});
     ++build_distance_evals_;
   }
   std::sort(entries.begin(), entries.end(),
@@ -171,34 +171,14 @@ int32_t VpTree::BuildNode(std::vector<uint32_t> ids, Rng* rng) {
   return node_index;
 }
 
-Status VpTree::Build(std::vector<Vec> vectors) {
-  if (!vectors.empty()) {
-    const size_t dim = vectors[0].size();
-    if (dim == 0) return Status::InvalidArgument("empty vectors");
-    for (const Vec& v : vectors) {
-      if (v.size() != dim) {
-        return Status::InvalidArgument("inconsistent vector dimensions");
-      }
-    }
-  }
-  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
-}
-
-Status VpTree::BuildFromMatrix(const FeatureMatrix& matrix) {
-  return AdoptMatrix(FeatureMatrix(matrix));
-}
-
-Status VpTree::AdoptMatrix(FeatureMatrix matrix) {
-  if (matrix.count() > 0 && matrix.dim() == 0) {
-    return Status::InvalidArgument("empty vectors");
-  }
-  data_ = std::move(matrix);
+Status VpTree::BuildFromRows(RowView rows) {
+  rows_ = std::move(rows);
   nodes_.clear();
   build_distance_evals_ = 0;
   root_ = -1;
-  if (data_.empty()) return Status::Ok();
+  if (rows_.empty()) return Status::Ok();
 
-  std::vector<uint32_t> ids(data_.count());
+  std::vector<uint32_t> ids(rows_.count());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
   Rng rng(options_.seed);
   root_ = BuildNode(std::move(ids), &rng);
@@ -208,7 +188,7 @@ Status VpTree::AdoptMatrix(FeatureMatrix matrix) {
 void VpTree::ScanLeafRange(const Node& node, const Vec& q, double radius,
                            SearchStats* stats,
                            std::vector<Neighbor>* out) const {
-  const size_t dim = data_.dim();
+  const size_t dim = rows_.dim();
   const double radius_key =
       RankKeyThreshold(metric_->DistanceToRank(radius));
   const float* rows[kLeafBlock];
@@ -217,7 +197,7 @@ void VpTree::ScanLeafRange(const Node& node, const Vec& q, double radius,
   for (size_t begin = 0; begin < total; begin += kLeafBlock) {
     const size_t block = std::min(kLeafBlock, total - begin);
     for (size_t i = 0; i < block; ++i) {
-      rows[i] = data_.row(node.leaf_ids[begin + i]);
+      rows[i] = rows_.row(node.leaf_ids[begin + i]);
     }
     metric_->RankBatch(q.data(), rows, block, dim, keys);
     if (stats != nullptr) stats->distance_evals += block;
@@ -288,14 +268,14 @@ double HeapTau(const std::vector<Neighbor>& heap, size_t k) {
 void VpTree::ScanLeafKnn(const Node& node, const Vec& q, size_t k,
                          SearchStats* stats,
                          std::vector<Neighbor>* heap) const {
-  const size_t dim = data_.dim();
+  const size_t dim = rows_.dim();
   const float* rows[kLeafBlock];
   double keys[kLeafBlock];
   const size_t total = node.leaf_ids.size();
   for (size_t begin = 0; begin < total; begin += kLeafBlock) {
     const size_t block = std::min(kLeafBlock, total - begin);
     for (size_t i = 0; i < block; ++i) {
-      rows[i] = data_.row(node.leaf_ids[begin + i]);
+      rows[i] = rows_.row(node.leaf_ids[begin + i]);
     }
     metric_->RankBatch(q.data(), rows, block, dim, keys);
     if (stats != nullptr) stats->distance_evals += block;
@@ -368,12 +348,14 @@ std::string VpTree::Name() const {
 
 size_t VpTree::MemoryBytes() const {
   // Capacity-based: allocator slack in the node array and per-node
-  // vectors is resident memory too.
-  size_t bytes =
-      data_.MemoryBytes() + sizeof(*this) + nodes_.capacity() * sizeof(Node);
+  // vectors is resident memory too. The row substrate counts only when
+  // this tree uniquely owns it (shared store rows are the store's).
+  size_t bytes = rows_.OwnedMemoryBytes() + sizeof(*this) +
+                 nodes_.capacity() * sizeof(Node);
   for (const Node& node : nodes_) {
     bytes += node.leaf_ids.capacity() * sizeof(uint32_t);
-    bytes += node.child_lo.capacity() * 2 * sizeof(double);
+    bytes += (node.child_lo.capacity() + node.child_hi.capacity()) *
+             sizeof(double);
     bytes += node.children.capacity() * sizeof(int32_t);
   }
   return bytes;
@@ -408,10 +390,10 @@ void VpTree::Serialize(std::vector<uint8_t>* out) const {
   writer.Write<uint32_t>(static_cast<uint32_t>(options_.arity));
   writer.Write<uint64_t>(options_.leaf_size);
   writer.Write<uint32_t>(static_cast<uint32_t>(options_.selection));
-  writer.Write<uint64_t>(data_.count());
-  writer.Write<uint64_t>(data_.dim());
-  for (size_t i = 0; i < data_.count(); ++i) {
-    writer.WriteVector(data_.RowVec(i));
+  writer.Write<uint64_t>(rows_.count());
+  writer.Write<uint64_t>(rows_.dim());
+  for (size_t i = 0; i < rows_.count(); ++i) {
+    writer.WriteVector(rows_.RowVec(i));
   }
   writer.Write<int32_t>(root_);
   writer.Write<uint64_t>(nodes_.size());
@@ -491,8 +473,27 @@ Status VpTree::Deserialize(const std::vector<uint8_t>& bytes) {
   if (root >= 0 && static_cast<uint64_t>(root) >= node_count) {
     return Status::Corruption("vp_tree: root out of range");
   }
+  // Per-node index ranges above do not rule out cycles or shared
+  // children (a self-referencing node would recurse forever in search
+  // and Shape()). Walk the child graph from the root; visiting any
+  // node twice proves it is not a tree.
+  if (root >= 0) {
+    std::vector<uint8_t> visited(node_count, 0);
+    std::vector<int32_t> stack = {root};
+    while (!stack.empty()) {
+      const int32_t current = stack.back();
+      stack.pop_back();
+      if (visited[current]) {
+        return Status::Corruption("vp_tree: child graph is not a tree");
+      }
+      visited[current] = 1;
+      const Node& node = nodes[current];
+      if (node.is_leaf) continue;
+      for (int32_t child : node.children) stack.push_back(child);
+    }
+  }
 
-  data_ = std::move(matrix);
+  rows_ = RowView::Adopt(std::move(matrix));
   nodes_ = std::move(nodes);
   root_ = root;
   return Status::Ok();

@@ -49,17 +49,16 @@ class VpTree : public VectorIndex {
   VpTree(std::shared_ptr<const DistanceMetric> metric,
          VpTreeOptions options = {});
 
-  Status Build(std::vector<Vec> vectors) override;
-  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
-  /// Zero-copy build: takes ownership of `matrix`.
-  Status AdoptMatrix(FeatureMatrix matrix) override;
+  /// Shares `rows` zero-copy: build and leaf scans read the substrate
+  /// in place.
+  Status BuildFromRows(RowView rows) override;
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
 
-  size_t size() const override { return data_.count(); }
-  size_t dim() const override { return data_.dim(); }
+  size_t size() const override { return rows_.count(); }
+  size_t dim() const override { return rows_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
@@ -112,7 +111,7 @@ class VpTree : public VectorIndex {
 
   std::shared_ptr<const DistanceMetric> metric_;
   VpTreeOptions options_;
-  FeatureMatrix data_;
+  RowView rows_;
   std::vector<Node> nodes_;
   int32_t root_ = -1;
   uint64_t build_distance_evals_ = 0;

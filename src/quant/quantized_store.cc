@@ -41,36 +41,16 @@ QuantizedStore::QuantizedStore(std::shared_ptr<const DistanceMetric> metric,
   if (options_.rerank_factor == 0) options_.rerank_factor = 1;
 }
 
-Status QuantizedStore::Build(std::vector<Vec> vectors) {
-  if (!vectors.empty()) {
-    const size_t dim = vectors[0].size();
-    if (dim == 0) return Status::InvalidArgument("empty vectors");
-    for (const Vec& v : vectors) {
-      if (v.size() != dim) {
-        return Status::InvalidArgument("inconsistent vector dimensions");
-      }
-    }
-  }
-  return AdoptMatrix(FeatureMatrix::FromVectors(vectors));
-}
-
-Status QuantizedStore::BuildFromMatrix(const FeatureMatrix& matrix) {
-  return AdoptMatrix(FeatureMatrix(matrix));
-}
-
-Status QuantizedStore::AdoptMatrix(FeatureMatrix matrix) {
-  if (matrix.count() > 0 && matrix.dim() == 0) {
-    return Status::InvalidArgument("empty vectors");
-  }
-  exact_rows_ = std::move(matrix);
+Status QuantizedStore::BuildFromRows(RowView rows) {
+  exact_rows_ = std::move(rows);
   int8_ = Int8Matrix();
   pq_ = PqMatrix();
   switch (options_.backing) {
     case QuantBacking::kInt8:
-      int8_ = Int8Matrix::Quantize(exact_rows_);
+      int8_ = Int8Matrix::Quantize(exact_rows_.matrix());
       break;
     case QuantBacking::kPq:
-      pq_ = PqMatrix::Quantize(exact_rows_, options_.pq);
+      pq_ = PqMatrix::Quantize(exact_rows_.matrix(), options_.pq);
       break;
   }
   ComputeReconstructionError();
@@ -293,7 +273,12 @@ size_t QuantizedStore::ScanBackingBytes() const {
 }
 
 size_t QuantizedStore::MemoryBytes() const {
-  return ScanBackingBytes() + ExactRowBytes() + sizeof(*this);
+  // Shared rerank rows (engine path: the feature store's substrate)
+  // count 0 here — the store owns them, and the index adds only its
+  // codes on top. The pre-substrate layout held a second full float
+  // copy of every row here regardless of backing.
+  return ScanBackingBytes() + exact_rows_.OwnedMemoryBytes() +
+         sizeof(*this);
 }
 
 void QuantizedStore::Serialize(BinaryWriter* writer,
@@ -385,14 +370,14 @@ Status QuantizedStore::Deserialize(BinaryReader* reader) {
   }
 
   options_ = options;
-  exact_rows_ = std::move(matrix);
+  exact_rows_ = RowView::Adopt(std::move(matrix));
   int8_ = std::move(int8);
   pq_ = std::move(pq);
   max_recon_error_ = max_err;
   return Status::Ok();
 }
 
-Status QuantizedStore::AttachExactRows(FeatureMatrix rows) {
+Status QuantizedStore::AttachExactRows(RowView rows) {
   const bool is_int8 = options_.backing == QuantBacking::kInt8;
   const size_t count = is_int8 ? int8_.count() : pq_.count();
   const size_t dim = is_int8 ? int8_.dim() : pq_.dim();

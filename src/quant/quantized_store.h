@@ -59,11 +59,9 @@ class QuantizedStore : public VectorIndex {
   QuantizedStore(std::shared_ptr<const DistanceMetric> metric,
                  QuantizedStoreOptions options);
 
-  Status Build(std::vector<Vec> vectors) override;
-  Status BuildFromMatrix(const FeatureMatrix& matrix) override;
-  /// Zero-copy adopt: `matrix` becomes the retained exact rows and the
-  /// quantized backing is encoded from it.
-  Status AdoptMatrix(FeatureMatrix matrix) override;
+  /// Shares `rows` zero-copy as the retained exact rows; the quantized
+  /// backing is encoded from them.
+  Status BuildFromRows(RowView rows) override;
 
   std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
                                     SearchStats* stats) const override;
@@ -84,14 +82,17 @@ class QuantizedStore : public VectorIndex {
   size_t ScanBackingBytes() const;
 
   /// Bytes of the retained float rows (cold; rerank candidates only).
-  size_t ExactRowBytes() const { return exact_rows_.MemoryBytes(); }
+  /// Unconditional substrate bytes — when the rows are shared with the
+  /// feature store, MemoryBytes() excludes them but this still reports
+  /// the buffer the rerank path reads.
+  size_t ExactRowBytes() const { return exact_rows_.SubstrateBytes(); }
 
   /// Worst-case metric distance between any stored row and its
   /// reconstruction (the range-search radius inflation).
   double max_reconstruction_error() const { return max_recon_error_; }
 
   const QuantizedStoreOptions& options() const { return options_; }
-  const FeatureMatrix& exact_rows() const { return exact_rows_; }
+  const FeatureMatrix& exact_rows() const { return exact_rows_.matrix(); }
   const Int8Matrix& int8_backing() const { return int8_; }
   const PqMatrix& pq_backing() const { return pq_; }
 
@@ -111,7 +112,8 @@ class QuantizedStore : public VectorIndex {
   /// Reattaches the float rows to a store deserialized with
   /// `include_rows = false`; `rows` must match the backing's count and
   /// dimension exactly (it is the same matrix that was quantized).
-  Status AttachExactRows(FeatureMatrix rows);
+  /// Typically shares the feature store's substrate zero-copy.
+  Status AttachExactRows(RowView rows);
 
  private:
   /// Runs the approximate stage: rank keys of all rows against the
@@ -154,7 +156,7 @@ class QuantizedStore : public VectorIndex {
 
   std::shared_ptr<const DistanceMetric> metric_;
   QuantizedStoreOptions options_;
-  FeatureMatrix exact_rows_;
+  RowView exact_rows_;
   Int8Matrix int8_;  ///< backing == kInt8
   PqMatrix pq_;      ///< backing == kPq
   double max_recon_error_ = 0.0;

@@ -1,0 +1,41 @@
+#include "util/row_view.h"
+
+namespace cbix {
+
+RowView RowView::Adopt(FeatureMatrix matrix) {
+  return RowView(std::make_shared<FeatureMatrix>(std::move(matrix)));
+}
+
+RowView RowView::Copy(const FeatureMatrix& matrix) {
+  return RowView(std::make_shared<FeatureMatrix>(matrix));
+}
+
+const FeatureMatrix& RowView::matrix() const {
+  static const FeatureMatrix kEmpty;
+  return matrix_ ? *matrix_ : kEmpty;
+}
+
+void RowView::AppendRow(const float* values, size_t size) {
+  if (matrix_ == nullptr) {
+    matrix_ = std::make_shared<FeatureMatrix>();
+  } else if (matrix_.use_count() > 1) {
+    // Copy-on-write: other holders keep their snapshot (and the row
+    // pointers they already handed out) bit-stable.
+    matrix_ = std::make_shared<FeatureMatrix>(*matrix_);
+  }
+  matrix_->AppendRow(values, size);
+}
+
+void RowView::Reserve(size_t rows) {
+  if (matrix_ != nullptr && matrix_.use_count() == 1) {
+    matrix_->Reserve(rows);
+  }
+}
+
+size_t RowView::OwnedMemoryBytes() const {
+  return (matrix_ != nullptr && matrix_.use_count() == 1)
+             ? matrix_->MemoryBytes()
+             : 0;
+}
+
+}  // namespace cbix

@@ -1,0 +1,91 @@
+// RowView — a reference-counted view of a FeatureMatrix snapshot: the
+// shared row substrate every storage and index layer reads from.
+//
+// The substrate behind a view is logically immutable: any holder may
+// read rows, none may mutate them in place. This is what lets the
+// feature store, the engine's index, the sharded store's partitions
+// and the quantized store's rerank rows all reference one buffer —
+// float rows are resident exactly once, and every layer feeds the
+// same batched kernels from the same cache lines.
+//
+// The only write operation is AppendRow, which clones the substrate
+// first whenever other holders share it (copy-on-write), so their
+// snapshots stay bit-stable. Dynamic indexes (R-tree / M-tree Insert)
+// grow through it; the feature store's Add path does too.
+//
+// Exposed to index implementations through index/index.h (the build
+// seam: VectorIndex::BuildFromRows). Ownership rules live in
+// src/README.md.
+
+#ifndef CBIX_UTIL_ROW_VIEW_H_
+#define CBIX_UTIL_ROW_VIEW_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "util/feature_matrix.h"
+
+namespace cbix {
+
+class RowView {
+ public:
+  RowView() = default;
+
+  /// Shares `matrix` zero-copy. The caller must not mutate the matrix
+  /// in place while views exist — append through a RowView instead.
+  explicit RowView(std::shared_ptr<FeatureMatrix> matrix)
+      : matrix_(std::move(matrix)) {}
+
+  /// Moves `matrix` into a fresh, uniquely owned substrate.
+  static RowView Adopt(FeatureMatrix matrix);
+
+  /// Copies `matrix` into a fresh, uniquely owned substrate.
+  static RowView Copy(const FeatureMatrix& matrix);
+
+  size_t count() const { return matrix_ ? matrix_->count() : 0; }
+  size_t dim() const { return matrix_ ? matrix_->dim() : 0; }
+  size_t stride() const { return matrix_ ? matrix_->stride() : 0; }
+  bool empty() const { return count() == 0; }
+
+  /// Zero-copy view of row `i`; valid until the next AppendRow through
+  /// *this* view (appends through other views never invalidate it).
+  const float* row(size_t i) const { return matrix_->row(i); }
+
+  /// Materializes row `i` as an owned vector (no padding).
+  Vec RowVec(size_t i) const { return matrix_->RowVec(i); }
+
+  /// The underlying matrix (an empty static instance when unset).
+  const FeatureMatrix& matrix() const;
+
+  /// Appends one row of `size` floats, cloning the substrate first
+  /// when it is shared (copy-on-write). Creates the substrate on first
+  /// append into an empty view.
+  void AppendRow(const float* values, size_t size);
+  void AppendRow(const Vec& v) { AppendRow(v.data(), v.size()); }
+
+  void Reserve(size_t rows);
+
+  /// Drops the reference (the substrate lives on in other views).
+  void Reset() { matrix_.reset(); }
+
+  /// Substrate bytes attributable to THIS view: the full buffer when
+  /// the view is the sole owner, 0 when shared — the owner of record
+  /// (feature store / sharded partition) counts shared buffers, so
+  /// layered MemoryBytes() sums never double-count a row.
+  size_t OwnedMemoryBytes() const;
+
+  /// Unconditional heap bytes of the underlying buffer.
+  size_t SubstrateBytes() const {
+    return matrix_ ? matrix_->MemoryBytes() : 0;
+  }
+
+  /// True when another view (or the owning store) shares the substrate.
+  bool shared() const { return matrix_ && matrix_.use_count() > 1; }
+
+ private:
+  std::shared_ptr<FeatureMatrix> matrix_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_ROW_VIEW_H_

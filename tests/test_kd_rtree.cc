@@ -152,6 +152,56 @@ TEST(RTreeTest, RangeSearchOnUniformGrid) {
   EXPECT_EQ(hits_diag.size(), 9u);  // + 4 diagonal neighbours
 }
 
+TEST(RTreeTest, HighDimDynamicInsertDoesNotDegenerate) {
+  // Regression: volume-based enlargement multiplies 100+ per-axis
+  // extents, overflowing double to inf once a node covers data with
+  // extents > ~256 at dim 128; enlargement became inf - inf = NaN,
+  // every NaN comparison lost, and ChooseLeaf funneled every insert
+  // into child 0 — a degenerate tree with useless pruning. The
+  // margin-based choice stays finite at any dimensionality.
+  const size_t kDim = 128;
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = 400;
+  spec.dim = kDim;
+  spec.num_clusters = 4;
+  spec.cluster_sigma = 0.01;
+  std::vector<Vec> data = GenerateVectors(spec);
+  // Scale into overflow territory: cluster separation ~1000 per axis
+  // makes any cross-cluster cover's volume (>= 300^128) infinite.
+  for (Vec& v : data) {
+    for (float& x : v) x *= 1000.0f;
+  }
+
+  RTreeOptions o;
+  o.bulk_load = false;
+  o.max_entries = 8;
+  o.min_entries = 3;
+  RTree tree(o);
+  ASSERT_TRUE(tree.Build(data).ok());
+
+  LinearScanIndex reference(MakeMinkowskiMetric(MinkowskiKind::kL2));
+  ASSERT_TRUE(reference.Build(data).ok());
+
+  for (int qi = 0; qi < 6; ++qi) {
+    const Vec& q = data[qi * 61 % data.size()];
+    const auto want = KnnSearch(reference, q, 5);
+    SearchStats stats;
+    const auto got = tree.KnnSearch(q, 5, &stats);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].distance, want[i].distance);
+    }
+    // An informed ChooseLeaf separates the 4 well-spread clusters into
+    // disjoint subtrees, so MINDIST pruning skips most of the corpus;
+    // the NaN-degenerate tree mixed clusters in every leaf and
+    // evaluated nearly all 400 points per query.
+    EXPECT_LT(stats.distance_evals, data.size() / 2)
+        << "query " << qi << ": pruning degenerated at dim " << kDim;
+  }
+}
+
 TEST(MinkowskiKindTest, NamesAndFactory) {
   EXPECT_EQ(MinkowskiKindName(MinkowskiKind::kL1), "l1");
   EXPECT_EQ(MinkowskiKindName(MinkowskiKind::kL2), "l2");

@@ -111,6 +111,40 @@ TEST(MTreeTest, IncrementalInsertStaysExact) {
   }
 }
 
+TEST(MTreeTest, MinimumFanoutSurvivesRepeatedSplits) {
+  // Regression companion for the ChooseLeaf guard: max_entries at its
+  // constructor minimum (4) forces a split roughly every fourth insert
+  // and repeated root splits, exercising the invariant that every
+  // internal node keeps >= 1 routing entry (the guarded lookup indexed
+  // entries[-1] if it ever broke). The tree must stay exact and deep.
+  auto metric = std::make_shared<L2Distance>();
+  MTree tree(metric, /*max_node_entries=*/4);
+  LinearScanIndex reference(metric);
+  const auto data = MakeData(500, 6, VectorDistribution::kClustered);
+  ASSERT_TRUE(tree.Build(data).ok());
+  ASSERT_TRUE(reference.Build(data).ok());
+  EXPECT_GE(tree.Height(), 4u);  // fanout 4 over 500 points
+
+  for (int qi = 0; qi < 10; ++qi) {
+    const Vec& q = data[qi * 47 % data.size()];
+    const auto want = KnnSearch(reference, q, 7);
+    const auto got = KnnSearch(tree, q, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << "query " << qi;
+      EXPECT_EQ(got[i].distance, want[i].distance) << "query " << qi;
+    }
+  }
+
+  // Keep splitting after the bulk build (duplicates included, which
+  // stress the degenerate-partition fallback in SplitNode).
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(data[i % 3]).ok());
+  }
+  const auto hits = RangeSearch(tree, data[0], 1e-9);
+  EXPECT_GE(hits.size(), 17u);  // original + ~50/3 duplicates of data[0]
+}
+
 TEST(MTreeTest, HeightGrowsLogarithmically) {
   auto metric = std::make_shared<L2Distance>();
   MTree tree(metric, 16);

@@ -1,0 +1,268 @@
+// RowView — the shared row substrate (PR 4): copy-on-write semantics,
+// ownership-aware memory accounting, and the acceptance criterion that
+// float rows are resident once across the store + index pair.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "distance/minkowski.h"
+#include "index/index.h"
+#include "index/linear_scan.h"
+#include "index/rtree.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 21) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+FeatureMatrix SmallMatrix() {
+  FeatureMatrix m(3);
+  m.AppendRow(Vec{1.0f, 2.0f, 3.0f});
+  m.AppendRow(Vec{4.0f, 5.0f, 6.0f});
+  return m;
+}
+
+TEST(RowViewTest, EmptyViewIsEmpty) {
+  RowView view;
+  EXPECT_EQ(view.count(), 0u);
+  EXPECT_EQ(view.dim(), 0u);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.OwnedMemoryBytes(), 0u);
+  EXPECT_EQ(view.SubstrateBytes(), 0u);
+  EXPECT_FALSE(view.shared());
+  EXPECT_EQ(view.matrix().count(), 0u);
+}
+
+TEST(RowViewTest, AdoptSharesZeroCopy) {
+  RowView a = RowView::Adopt(SmallMatrix());
+  const float* row0 = a.row(0);
+  RowView b = a;  // share, no copy
+  EXPECT_TRUE(a.shared());
+  EXPECT_TRUE(b.shared());
+  EXPECT_EQ(b.row(0), row0);  // literally the same buffer
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.dim(), 3u);
+}
+
+TEST(RowViewTest, AppendCopiesOnWriteWhenShared) {
+  RowView a = RowView::Adopt(SmallMatrix());
+  RowView b = a;
+  const float* b_row0 = b.row(0);
+
+  a.AppendRow(Vec{7.0f, 8.0f, 9.0f});
+  // a forked a private substrate; b's snapshot is untouched.
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.row(0), b_row0);
+  EXPECT_FALSE(a.shared());
+  EXPECT_FALSE(b.shared());
+  EXPECT_EQ(a.row(2)[0], 7.0f);
+  EXPECT_EQ(a.row(0)[0], 1.0f);  // prefix rows copied over
+}
+
+TEST(RowViewTest, AppendInPlaceWhenUnique) {
+  RowView a = RowView::Adopt(SmallMatrix());
+  a.Reserve(8);
+  const float* row0 = a.row(0);
+  a.AppendRow(Vec{7.0f, 8.0f, 9.0f});
+  // Sole owner with reserved capacity: no reallocation, no fork.
+  EXPECT_EQ(a.row(0), row0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(RowViewTest, AppendIntoEmptyViewCreatesSubstrate) {
+  RowView view;
+  view.AppendRow(Vec{1.0f, 2.0f});
+  EXPECT_EQ(view.count(), 1u);
+  EXPECT_EQ(view.dim(), 2u);
+  EXPECT_GT(view.SubstrateBytes(), 0u);
+}
+
+TEST(RowViewTest, OwnedBytesDropToZeroWhenShared) {
+  RowView a = RowView::Adopt(SmallMatrix());
+  const size_t bytes = a.OwnedMemoryBytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(bytes, a.SubstrateBytes());
+  {
+    RowView b = a;
+    // Shared: neither view claims the buffer (the owner of record —
+    // a store — would); substrate bytes stay reported unconditionally.
+    EXPECT_EQ(a.OwnedMemoryBytes(), 0u);
+    EXPECT_EQ(b.OwnedMemoryBytes(), 0u);
+    EXPECT_EQ(a.SubstrateBytes(), bytes);
+  }
+  EXPECT_EQ(a.OwnedMemoryBytes(), bytes);  // sole owner again
+}
+
+TEST(RowViewTest, CopyIsIndependentOfSource) {
+  FeatureMatrix source = SmallMatrix();
+  RowView view = RowView::Copy(source);
+  source.AppendRow(Vec{9.0f, 9.0f, 9.0f});
+  EXPECT_EQ(view.count(), 2u);
+  EXPECT_EQ(source.count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// The engine path: index and store share one substrate.
+
+TEST(SharedSubstrateTest, IndexSharesStoreRows) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  CbirEngine engine((FeatureExtractor()), config);
+  const auto data = ClusteredData(512, 64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  const auto* scan = dynamic_cast<const LinearScanIndex*>(engine.index());
+  ASSERT_NE(scan, nullptr);
+  // Zero-copy: the index scans the very buffer the store owns.
+  EXPECT_EQ(scan->matrix().data(), engine.store().matrix().data());
+}
+
+TEST(SharedSubstrateTest, FlatEngineRowsResidentOnce) {
+  // Acceptance criterion: for a built flat linear-scan engine,
+  // IndexMemoryBytes() + store().MemoryBytes() must be >= 1.8x smaller
+  // than the pre-PR double-resident layout (store matrix + a full
+  // private index copy of it).
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  CbirEngine engine((FeatureExtractor()), config);
+  const auto data = ClusteredData(2048, 128);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+
+  const size_t substrate = engine.store().matrix().MemoryBytes();
+  ASSERT_GT(substrate, 2048u * 128u * sizeof(float) - 1);
+  const size_t resident =
+      engine.IndexMemoryBytes() + engine.store().MemoryBytes();
+  const size_t double_resident = engine.store().MemoryBytes() + substrate;
+  EXPECT_GE(double_resident * 10, resident * 18)
+      << "rows are still resident twice: resident=" << resident
+      << " double_resident=" << double_resident;
+  // And the index itself holds no private row copy at all.
+  EXPECT_LT(engine.IndexMemoryBytes(), substrate / 10);
+}
+
+TEST(SharedSubstrateTest, EveryIndexKindSharesRows) {
+  // For each index kind, the engine-built index must not claim the
+  // substrate in MemoryBytes (it shares the store's), while the same
+  // index built standalone over its own matrix must.
+  const auto data = ClusteredData(600, 32);
+  const size_t row_bytes = 600 * 32 * sizeof(float);
+  for (IndexKind kind :
+       {IndexKind::kLinearScan, IndexKind::kVpTree, IndexKind::kKdTree,
+        IndexKind::kRTree, IndexKind::kMTree}) {
+    EngineConfig config;
+    config.index_kind = kind;
+    config.metric = MetricKind::kL2;
+    CbirEngine engine((FeatureExtractor()), config);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(
+          engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(engine.BuildIndex().ok());
+
+    auto standalone = MakeIndex(config);
+    ASSERT_TRUE(standalone.ok());
+    ASSERT_TRUE((*standalone)->Build(data).ok());
+
+    // Shared build: no private row copy. Standalone build: the index
+    // uniquely owns its substrate, so it reports at least the rows.
+    EXPECT_LT(engine.IndexMemoryBytes() + row_bytes,
+              (*standalone)->MemoryBytes() + row_bytes / 2)
+        << IndexKindName(kind);
+  }
+}
+
+TEST(SharedSubstrateTest, AddAfterBuildKeepsSnapshotStable) {
+  // Copy-on-write: appending to the store after a build must not move
+  // or grow the buffer the built index is scanning.
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  CbirEngine engine((FeatureExtractor()), config);
+  const auto data = ClusteredData(256, 16);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  const auto* scan = dynamic_cast<const LinearScanIndex*>(engine.index());
+  ASSERT_NE(scan, nullptr);
+  const float* snapshot = scan->matrix().data();
+  const auto before = KnnSearch(*scan, data[7], 5);
+
+  ASSERT_TRUE(engine.AddFeatureVector(data[0], "extra").ok());
+  EXPECT_EQ(scan->matrix().data(), snapshot);
+  EXPECT_EQ(scan->matrix().count(), 256u);
+  EXPECT_EQ(engine.store().size(), 257u);
+  const auto after = KnnSearch(*scan, data[7], 5);
+  EXPECT_EQ(before, after);
+
+  // The next query rebuilds over the appended substrate and sees the
+  // new row.
+  const auto result = engine.QueryKnnByVector(data[0], 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->at(1).name, "extra");
+  EXPECT_NEAR(result->at(1).distance, 0.0, 1e-12);
+}
+
+TEST(SharedSubstrateTest, DynamicInsertAfterSharedBuildForksSubstrate) {
+  // An R-tree built over shared rows that is then grown dynamically
+  // must fork the substrate (COW), leaving the original matrix intact.
+  FeatureMatrix matrix = FeatureMatrix::FromVectors(ClusteredData(100, 8));
+  RowView store_rows = RowView::Adopt(std::move(matrix));
+
+  RTreeOptions options;
+  options.bulk_load = false;
+  RTree tree(options);
+  ASSERT_TRUE(tree.BuildFromRows(store_rows).ok());
+  EXPECT_EQ(tree.size(), 100u);
+
+  ASSERT_TRUE(tree.Insert(Vec(8, 0.25f)).ok());
+  EXPECT_EQ(tree.size(), 101u);
+  EXPECT_EQ(store_rows.count(), 100u);  // owner's snapshot unchanged
+
+  const auto hits = RangeSearch(tree, Vec(8, 0.25f), 1e-6);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 100u);
+}
+
+TEST(SharedSubstrateTest, QuantizedIndexAddsOnlyCodesOverStoreRows) {
+  // With rerank rows shared with the store, the quantized index's own
+  // footprint is just its codes — far below the float substrate it
+  // used to duplicate (the pre-substrate layout held every row twice
+  // on the index side: once as codes, once as retained floats).
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.quantization = QuantizationKind::kInt8;
+  CbirEngine engine((FeatureExtractor()), config);
+  const auto data = ClusteredData(1024, 64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(
+        engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  EXPECT_LT(engine.IndexMemoryBytes(),
+            engine.store().matrix().MemoryBytes() / 2);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -6,6 +6,7 @@
 #include "distance/histogram_measures.h"
 #include "distance/minkowski.h"
 #include "index/linear_scan.h"
+#include "util/serialize.h"
 
 namespace cbix {
 namespace {
@@ -117,6 +118,69 @@ TEST(VpTreeTest, DeserializeRejectsGarbage) {
   VpTree tree(std::make_shared<L2Distance>());
   std::vector<uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8};
   EXPECT_FALSE(tree.Deserialize(garbage).ok());
+}
+
+// Hand-assembles a VP-tree file whose node child graph is caller
+// supplied: one row, `nodes` entries, root 0. Every per-node tuple is
+// (is_leaf, children); vantage ids are 0 and interval arrays are sized
+// to the child list, so only the graph shape is corrupt.
+std::vector<uint8_t> FileWithChildGraph(
+    const std::vector<std::pair<bool, std::vector<int32_t>>>& nodes) {
+  BinaryWriter writer;
+  writer.Write<uint32_t>(0x56505452);  // "VPTR"
+  writer.Write<uint32_t>(1);           // version
+  writer.Write<uint32_t>(2);           // arity
+  writer.Write<uint64_t>(4);           // leaf_size
+  writer.Write<uint32_t>(0);           // selection = random
+  writer.Write<uint64_t>(1);           // count
+  writer.Write<uint64_t>(2);           // dim
+  writer.WriteVector(Vec{1.0f, 2.0f});
+  writer.Write<int32_t>(0);  // root
+  writer.Write<uint64_t>(nodes.size());
+  for (const auto& [is_leaf, children] : nodes) {
+    writer.Write<uint8_t>(is_leaf ? 1 : 0);
+    writer.Write<uint32_t>(0);  // vantage_id
+    writer.WriteVector(is_leaf ? std::vector<uint32_t>{0}
+                               : std::vector<uint32_t>{});
+    writer.WriteVector(std::vector<double>(children.size(), 0.0));
+    writer.WriteVector(std::vector<double>(children.size(), 1.0));
+    writer.WriteVector(children);
+  }
+  return writer.TakeBuffer();
+}
+
+TEST(VpTreeTest, DeserializeRejectsSelfReferencingChild) {
+  // A node listing itself as a child passes the per-node index-range
+  // checks but recurses forever in search/Shape(); the tree walk must
+  // reject it.
+  VpTree tree(std::make_shared<L2Distance>());
+  const auto bytes = FileWithChildGraph({{false, {0}}});
+  const Status status = tree.Deserialize(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(VpTreeTest, DeserializeRejectsChildCycle) {
+  VpTree tree(std::make_shared<L2Distance>());
+  const auto bytes = FileWithChildGraph({{false, {1}}, {false, {0}}});
+  EXPECT_EQ(tree.Deserialize(bytes).code(), StatusCode::kCorruption);
+}
+
+TEST(VpTreeTest, DeserializeRejectsDuplicatedChild) {
+  // Two parents (or one parent twice) sharing a child is not a tree:
+  // Shape() would double-count and search would double-report.
+  VpTree tree(std::make_shared<L2Distance>());
+  const auto bytes =
+      FileWithChildGraph({{false, {1, 1}}, {true, {}}});
+  EXPECT_EQ(tree.Deserialize(bytes).code(), StatusCode::kCorruption);
+}
+
+TEST(VpTreeTest, DeserializeAcceptsValidHandAssembledTree) {
+  // The same assembler with a proper two-level tree must parse, proving
+  // the rejection tests fail on the graph shape, not the format.
+  VpTree tree(std::make_shared<L2Distance>());
+  const auto bytes =
+      FileWithChildGraph({{false, {1, 2}}, {true, {}}, {true, {}}});
+  EXPECT_TRUE(tree.Deserialize(bytes).ok());
 }
 
 TEST(VpTreeTest, DeserializeRejectsCorruptedNodeIndices) {
