@@ -12,6 +12,11 @@ portable baseline). Compared fields:
   - BENCH_kernels.json  kernels[]        batched_us_per_query (lower is
                                          better; a >threshold increase
                                          is a QPS regression)
+  - BENCH_kernels.json  batch_tiled[]    tiled_qps, plus an ABSOLUTE
+                                         floor: the tiled l2/dim-128
+                                         multi-query path must stay at
+                                         >= 1.3x the per-query-scan
+                                         QPS regardless of baseline
   - BENCH_shards.json   shard_scaling[]  batch_qps
   - BENCH_quant.json    quantization[]   batch_qps, compression_x
 
@@ -83,6 +88,33 @@ def compare_file(failures, notes, baseline_dir, current_dir, filename,
                          threshold, higher_is_better)
 
 
+def check_tiled_floor(failures, notes, current_dir, min_speedup=1.3):
+    """Absolute gate on the multi-query blocking win: the tiled L2 path
+    must beat the per-query scan by min_speedup on the current run, no
+    baseline required (so the win can never silently erode to 1x)."""
+    path = os.path.join(current_dir, "BENCH_kernels.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_kernels.json: missing from current run")
+        return
+    rows = load(path).get("batch_tiled", [])
+    gated = [r for r in rows if r.get("metric") == "l2" and r.get("dim") == 128]
+    if not gated:
+        failures.append(
+            "BENCH_kernels.json: batch_tiled l2/dim-128 row missing "
+            "(floor gate cannot run)")
+        return
+    for r in gated:
+        speedup = r.get("speedup", 0.0)
+        if speedup < min_speedup:
+            failures.append(
+                f"BENCH_kernels.json batch_tiled l2/dim-128: tiled speedup "
+                f"{speedup:.3f} below the {min_speedup:.1f}x floor")
+        else:
+            notes.append(
+                f"batch_tiled l2/dim-128 speedup {speedup:.3f} "
+                f">= {min_speedup:.1f}x floor")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir")
@@ -98,6 +130,10 @@ def main():
     compare_file(failures, notes, args.baseline_dir, args.current_dir,
                  "BENCH_kernels.json", "kernels", ("metric", "dim"),
                  [("batched_us_per_query", False)], args.threshold)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_kernels.json", "batch_tiled", ("metric", "dim"),
+                 [("tiled_qps", True)], args.threshold)
+    check_tiled_floor(failures, notes, args.current_dir)
     compare_file(failures, notes, args.baseline_dir, args.current_dir,
                  "BENCH_shards.json", "shard_scaling", ("shards",),
                  [("batch_qps", True)], args.threshold)

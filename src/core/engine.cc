@@ -296,35 +296,63 @@ std::vector<std::vector<CbirEngine::Match>> CbirEngine::KnnBatchOnPool(
   const size_t num_queries = queries.size();
   std::vector<std::vector<Match>> results(num_queries);
   std::vector<SearchStats> local_stats(num_queries);
+  if (num_queries == 0) {
+    if (stats != nullptr) stats->clear();
+    return results;
+  }
+  // Pack the whole batch into one QueryBlock and schedule
+  // query_tile-sized windows of it; every tile runs the index's
+  // SearchBatch, which ranks each candidate block against all tile
+  // queries at once. A tile of size 1 degenerates to the per-query
+  // scan, bit for bit — which is also why the tile can be shrunk
+  // freely: when the configured tile would yield fewer work items
+  // than pool workers (small batches on big pools), it is clamped so
+  // every worker gets a tile, trading a slice of the blocking win for
+  // full batch parallelism. Results are identical either way.
+  const QueryBlock block = QueryBlock::Pack(queries);
+  const size_t threads = std::max<size_t>(1, pool.num_threads());
   const auto* sharded = dynamic_cast<const ShardedIndex*>(index_.get());
-  if (sharded != nullptr && sharded->num_shards() > 1) {
-    // queries x shards work items: per-(query, shard) partial top-k
-    // lists land in slots indexed by (query, shard), so the merge is
-    // deterministic regardless of worker scheduling.
-    const size_t num_shards = sharded->num_shards();
+  const size_t num_shards =
+      sharded != nullptr ? std::max<size_t>(1, sharded->num_shards()) : 1;
+  // Work items come in (tile, shard) pairs; shards already multiply
+  // the item count, so the tile only needs to cover threads / shards.
+  const size_t tiles_wanted = (threads + num_shards - 1) / num_shards;
+  const size_t tile = std::max<size_t>(
+      1, std::min(std::max<size_t>(1, config_.query_tile),
+                  (num_queries + tiles_wanted - 1) / tiles_wanted));
+  const size_t num_tiles = (num_queries + tile - 1) / tile;
+  std::vector<std::vector<Neighbor>> neighbors(num_queries);
+  if (sharded != nullptr && num_shards > 1) {
+    // tiles x shards work items: per-(shard, query) partial top-k
+    // lists land in disjoint slots, so the merge is deterministic
+    // regardless of worker scheduling.
     const ShardedFeatureStore& store = sharded->store();
-    std::vector<std::vector<std::vector<Neighbor>>> partial(num_queries);
-    std::vector<std::vector<SearchStats>> shard_stats(num_queries);
-    for (size_t i = 0; i < num_queries; ++i) {
-      partial[i].resize(num_shards);
-      shard_stats[i].resize(num_shards);
-    }
-    pool.ParallelFor(num_queries * num_shards, [&](size_t item) {
-      const size_t qi = item / num_shards;
+    std::vector<std::vector<Neighbor>> partial(num_shards * num_queries);
+    std::vector<SearchStats> shard_stats(num_shards * num_queries);
+    pool.ParallelFor(num_tiles * num_shards, [&](size_t item) {
+      const size_t t = item / num_shards;
       const size_t s = item % num_shards;
-      partial[qi][s] =
-          store.KnnSearchShard(s, queries[qi], k, &shard_stats[qi][s]);
+      const size_t begin = t * tile;
+      const size_t count = std::min(tile, num_queries - begin);
+      store.SearchBatchShard(s, block.Tile(begin, count), k,
+                             partial.data() + s * num_queries + begin,
+                             shard_stats.data() + s * num_queries + begin);
     });
-    for (size_t i = 0; i < num_queries; ++i) {
-      results[i] = ToMatches(
-          ShardedFeatureStore::MergeTopK(std::move(partial[i]), k));
-      for (const SearchStats& s : shard_stats[i]) local_stats[i] += s;
-    }
+    ShardedFeatureStore::MergeShardSlots(std::move(partial), shard_stats,
+                                         num_shards, num_queries, k,
+                                         neighbors.data(),
+                                         local_stats.data());
   } else {
-    pool.ParallelFor(num_queries, [&](size_t i) {
-      results[i] = ToMatches(
-          index_->KnnSearch(queries[i], k, &local_stats[i]));
+    pool.ParallelFor(num_tiles, [&](size_t t) {
+      const size_t begin = t * tile;
+      const size_t count = std::min(tile, num_queries - begin);
+      index_->SearchBatch(block.Tile(begin, count), k,
+                          neighbors.data() + begin,
+                          local_stats.data() + begin);
     });
+  }
+  for (size_t i = 0; i < num_queries; ++i) {
+    results[i] = ToMatches(neighbors[i]);
   }
   if (stats != nullptr) *stats = std::move(local_stats);
   return results;

@@ -91,6 +91,19 @@ struct EngineConfig {
   /// Quantized-scan over-fetch: the approximate stage keeps
   /// k * rerank_factor candidates before the exact rerank.
   size_t rerank_factor = 4;
+  /// Queries per SearchBatch tile in the batch query path. Batched
+  /// queries are packed into one QueryBlock and scheduled as tiles of
+  /// this size (x shards when sharded) on the pool; within a tile
+  /// every candidate block is ranked against all tile queries at once,
+  /// so each candidate row's memory traffic amortizes over the tile.
+  /// Default picked by bench_kernels on the CI container (dim 128,
+  /// n=16k: tiles of 16 capture ~all of the blocking win while leaving
+  /// batch-level parallelism for the pool); clamped to >= 1. This is
+  /// an upper bound: the engine shrinks tiles whenever the configured
+  /// size would leave pool workers idle (small batches on big pools),
+  /// since results are bit-identical at every tile size. A single
+  /// query is simply a tile of size 1.
+  size_t query_tile = 16;
 };
 
 class CbirEngine {
@@ -200,9 +213,11 @@ class CbirEngine {
   std::vector<Match> ToMatches(const std::vector<Neighbor>& neighbors) const;
 
   /// Shared worker of both batch k-NN entry points; the index must be
-  /// built. Unsharded: one pool work item per query. Sharded: one item
-  /// per (query, shard), merged per query — so shard scans of a single
-  /// slow query also spread across workers.
+  /// built. Queries are packed into one QueryBlock and cut into
+  /// config_.query_tile-sized tiles. Unsharded: one pool work item per
+  /// tile (the index's SearchBatch consumes the whole tile). Sharded:
+  /// one item per (tile, shard), merged per query — so shard scans of
+  /// a single slow tile also spread across workers.
   std::vector<std::vector<Match>> KnnBatchOnPool(
       ThreadPool& pool, const std::vector<Vec>& queries, size_t k,
       std::vector<SearchStats>* stats) const;

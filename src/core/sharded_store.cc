@@ -81,6 +81,23 @@ std::vector<Neighbor> ShardedFeatureStore::KnnSearchShard(
   return out;
 }
 
+void ShardedFeatureStore::SearchBatchShard(size_t s, const QueryBlock& block,
+                                           size_t k,
+                                           std::vector<Neighbor>* results,
+                                           SearchStats* stats) const {
+  assert(indexes_built());
+  if (s >= indexes_.size() || indexes_[s] == nullptr) {
+    for (size_t qi = 0; qi < block.count(); ++qi) results[qi].clear();
+    return;
+  }
+  indexes_[s]->SearchBatch(block, k, results, stats);
+  for (size_t qi = 0; qi < block.count(); ++qi) {
+    // Local ids are strictly increasing in the global id within a
+    // shard, so the (distance, id) ordering survives the remap.
+    for (Neighbor& n : results[qi]) n.id = GlobalId(s, n.id);
+  }
+}
+
 std::vector<Neighbor> ShardedFeatureStore::RangeSearchShard(
     size_t s, const Vec& q, double radius, SearchStats* stats) const {
   assert(indexes_built());
@@ -104,6 +121,24 @@ std::vector<Neighbor> ShardedFeatureStore::MergeTopK(
   std::sort(merged.begin(), merged.end());
   if (merged.size() > k) merged.resize(k);
   return merged;
+}
+
+void ShardedFeatureStore::MergeShardSlots(
+    std::vector<std::vector<Neighbor>> slots,
+    const std::vector<SearchStats>& slot_stats, size_t num_shards,
+    size_t num_queries, size_t k, std::vector<Neighbor>* results,
+    SearchStats* stats) {
+  assert(slots.size() == num_shards * num_queries);
+  for (size_t qi = 0; qi < num_queries; ++qi) {
+    std::vector<std::vector<Neighbor>> per_shard(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      per_shard[s] = std::move(slots[s * num_queries + qi]);
+      if (stats != nullptr && !slot_stats.empty()) {
+        stats[qi] += slot_stats[s * num_queries + qi];
+      }
+    }
+    results[qi] = MergeTopK(std::move(per_shard), k);
+  }
 }
 
 std::vector<Neighbor> ShardedFeatureStore::KnnSearch(

@@ -116,6 +116,15 @@ class ShardedFeatureStore {
   std::vector<Neighbor> KnnSearchShard(size_t s, const Vec& q, size_t k,
                                        SearchStats* stats) const;
 
+  /// Batched shard-granular k-NN: SearchBatch of the whole query tile
+  /// on shard `s`'s index, remapped to global ids. `results` and
+  /// `stats` (optional) point at block.count() per-query slots. The
+  /// engine's batch path schedules one (tile, shard) work item per
+  /// call and merges per query with MergeTopK.
+  void SearchBatchShard(size_t s, const QueryBlock& block, size_t k,
+                        std::vector<Neighbor>* results,
+                        SearchStats* stats) const;
+
   /// Shard-granular range search with global ids, sorted.
   std::vector<Neighbor> RangeSearchShard(size_t s, const Vec& q,
                                          double radius,
@@ -125,6 +134,20 @@ class ShardedFeatureStore {
   /// ordered by (distance, id). Deterministic for any input order.
   static std::vector<Neighbor> MergeTopK(
       std::vector<std::vector<Neighbor>> per_shard, size_t k);
+
+  /// The shared tail of every tile x shard fan-out (the engine's pool
+  /// grid and ShardedIndex::SearchBatch): merges per-(shard, query)
+  /// partial lists laid out as slots[s * num_queries + qi] (global
+  /// ids) into per-query global top-k lists, and accumulates the
+  /// matching slot_stats into `stats` (both optional together;
+  /// slot_stats may be empty when stats is null). Slot layout is
+  /// disjoint per work item, so the merge is deterministic regardless
+  /// of worker scheduling.
+  static void MergeShardSlots(std::vector<std::vector<Neighbor>> slots,
+                              const std::vector<SearchStats>& slot_stats,
+                              size_t num_shards, size_t num_queries,
+                              size_t k, std::vector<Neighbor>* results,
+                              SearchStats* stats);
 
   /// Heap bytes of shard matrices plus built indexes.
   size_t MemoryBytes() const;

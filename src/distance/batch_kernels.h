@@ -27,6 +27,25 @@ double L1(const float* a, const float* b, size_t dim);
 /// sum_i (a_i - b_i)^2 — the L2 rank key; distance = sqrt.
 double L2Squared(const float* a, const float* b, size_t dim);
 
+/// L2Squared over pre-widened double operands — the inner kernel of
+/// the multi-query block scan. Float->double conversion is exact, so
+/// widening a query tile and a candidate block once (GEMM-style
+/// operand packing; see L2Distance::RankBlock) and running this kernel
+/// is bit-identical to L2Squared on the original floats — lane
+/// structure, tail and reduction order are replicated exactly — while
+/// the hot loop drops the per-pair convert uops that dominate the
+/// float kernel (~2x fewer inner-loop instructions, amortized over
+/// every query of the tile).
+double L2SquaredWide(const double* a, const double* b, size_t dim);
+
+/// Two-query register tile of the cosine inner loop: dots of `qa` and
+/// `qb` against row `r` plus r.r, in one pass over the row. Lane
+/// structure mirrors DotAndNormSq per query, so every output is
+/// bit-identical to two single-query calls.
+void DotPairAndNormSq(const float* qa, const float* qb, const float* r,
+                      size_t dim, double* dot_a, double* dot_b,
+                      double* norm_r_sq);
+
 /// max_i |a_i - b_i|
 double LInf(const float* a, const float* b, size_t dim);
 

@@ -16,14 +16,6 @@ double IntersectionFromParts(double inter, double mass_a, double mass_b) {
   return 1.0 - inter / norm;
 }
 
-double CosineFromParts(double dot, double norm_a_sq, double norm_b_sq) {
-  if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) {
-    return norm_a_sq == norm_b_sq ? 0.0 : 1.0;
-  }
-  const double cosine = dot / std::sqrt(norm_a_sq * norm_b_sq);
-  return 1.0 - std::clamp(cosine, -1.0, 1.0);
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -151,11 +143,20 @@ double HellingerDistance::DistanceToRank(double distance) const {
 // ---------------------------------------------------------------------------
 // Cosine
 
+double CosineDistance::FromParts(double dot, double norm_a_sq,
+                                 double norm_b_sq) {
+  if (norm_a_sq <= 0.0 || norm_b_sq <= 0.0) {
+    return norm_a_sq == norm_b_sq ? 0.0 : 1.0;
+  }
+  const double cosine = dot / std::sqrt(norm_a_sq * norm_b_sq);
+  return 1.0 - std::clamp(cosine, -1.0, 1.0);
+}
+
 double CosineDistance::DistanceRaw(const float* a, const float* b,
                                    size_t dim) const {
   double dot = 0.0, norm_b_sq = 0.0;
   kernels::DotAndNormSq(a, b, dim, &dot, &norm_b_sq);
-  return CosineFromParts(dot, kernels::NormSquared(a, dim), norm_b_sq);
+  return CosineDistance::FromParts(dot, kernels::NormSquared(a, dim), norm_b_sq);
 }
 
 double CosineDistance::Distance(const Vec& a, const Vec& b) const {
@@ -171,7 +172,7 @@ void CosineDistance::DistanceBatch(const float* q, const float* rows,
       [&](const float* r) {
         double dot = 0.0, norm_r_sq = 0.0;
         kernels::DotAndNormSq(q, r, dim, &dot, &norm_r_sq);
-        return CosineFromParts(dot, norm_q_sq, norm_r_sq);
+        return CosineDistance::FromParts(dot, norm_q_sq, norm_r_sq);
       },
       ContiguousRows{rows, stride}, n, out);
 }
@@ -183,9 +184,60 @@ void CosineDistance::DistanceBatch(const float* q, const float* const* rows,
       [&](const float* r) {
         double dot = 0.0, norm_r_sq = 0.0;
         kernels::DotAndNormSq(q, r, dim, &dot, &norm_r_sq);
-        return CosineFromParts(dot, norm_q_sq, norm_r_sq);
+        return CosineDistance::FromParts(dot, norm_q_sq, norm_r_sq);
       },
       GatheredRows{rows}, n, out);
+}
+
+void CosineDistance::RankBlock(const float* queries, size_t q_stride,
+                               size_t nq, const float* rows,
+                               size_t row_stride, size_t n, size_t dim,
+                               double* keys, size_t key_stride) const {
+  size_t qi = 0;
+  for (; qi + 2 <= nq; qi += 2) {
+    const float* qa = queries + qi * q_stride;
+    const float* qb = qa + q_stride;
+    const double norm_qa_sq = kernels::NormSquared(qa, dim);
+    const double norm_qb_sq = kernels::NormSquared(qb, dim);
+    double* ka = keys + qi * key_stride;
+    double* kb = ka + key_stride;
+    for (size_t i = 0; i < n; ++i) {
+      double dot_a = 0.0, dot_b = 0.0, norm_r_sq = 0.0;
+      kernels::DotPairAndNormSq(qa, qb, rows + i * row_stride, dim, &dot_a,
+                                &dot_b, &norm_r_sq);
+      ka[i] = FromParts(dot_a, norm_qa_sq, norm_r_sq);
+      kb[i] = FromParts(dot_b, norm_qb_sq, norm_r_sq);
+    }
+  }
+  if (qi < nq) {
+    RankBatch(queries + qi * q_stride, rows, row_stride, n, dim,
+              keys + qi * key_stride);
+  }
+}
+
+void CosineDistance::RankBlock(const float* const* queries, size_t nq,
+                               const float* const* rows, size_t n,
+                               size_t dim, double* keys,
+                               size_t key_stride) const {
+  size_t qi = 0;
+  for (; qi + 2 <= nq; qi += 2) {
+    const float* qa = queries[qi];
+    const float* qb = queries[qi + 1];
+    const double norm_qa_sq = kernels::NormSquared(qa, dim);
+    const double norm_qb_sq = kernels::NormSquared(qb, dim);
+    double* ka = keys + qi * key_stride;
+    double* kb = ka + key_stride;
+    for (size_t i = 0; i < n; ++i) {
+      double dot_a = 0.0, dot_b = 0.0, norm_r_sq = 0.0;
+      kernels::DotPairAndNormSq(qa, qb, rows[i], dim, &dot_a, &dot_b,
+                                &norm_r_sq);
+      ka[i] = FromParts(dot_a, norm_qa_sq, norm_r_sq);
+      kb[i] = FromParts(dot_b, norm_qb_sq, norm_r_sq);
+    }
+  }
+  if (qi < nq) {
+    RankBatch(queries[qi], rows, n, dim, keys + qi * key_stride);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -70,6 +70,13 @@ class HellingerDistance : public DistanceMetric {
 /// inequality); included as the vector-space IR baseline.
 class CosineDistance : public DistanceMetric {
  public:
+  /// The shared finalization of every cosine path: 1 - clamp(dot /
+  /// sqrt(na * nb)); degenerate zero norms compare equal only to each
+  /// other. Exposed so fast paths that obtain the parts elsewhere
+  /// (e.g. the int8 asymmetric-dot scan in quant/quantized_store.cc)
+  /// finalize identically to the float kernels.
+  static double FromParts(double dot, double norm_a_sq, double norm_b_sq);
+
   double Distance(const Vec& a, const Vec& b) const override;
   double DistanceRaw(const float* a, const float* b,
                      size_t dim) const override;
@@ -78,6 +85,15 @@ class CosineDistance : public DistanceMetric {
                      size_t n, size_t dim, double* out) const override;
   void DistanceBatch(const float* q, const float* const* rows, size_t n,
                      size_t dim, double* out) const override;
+  /// Register-tiled query-block kernels: query pairs share each row's
+  /// loads and its norm accumulation (kernels::DotPairAndNormSq); keys
+  /// are bit-identical to the per-query batch.
+  void RankBlock(const float* queries, size_t q_stride, size_t nq,
+                 const float* rows, size_t row_stride, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override;
+  void RankBlock(const float* const* queries, size_t nq,
+                 const float* const* rows, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override;
   std::string Name() const override { return "cosine"; }
   bool is_metric() const override { return false; }
 };

@@ -40,6 +40,29 @@ void DistanceMetric::RankBatch(const float* q, const float* const* rows,
   DistanceBatch(q, rows, n, dim, keys);
 }
 
+void DistanceMetric::RankBlock(const float* queries, size_t q_stride,
+                               size_t nq, const float* rows,
+                               size_t row_stride, size_t n, size_t dim,
+                               double* keys, size_t key_stride) const {
+  // Generic per-query fallback. The caller iterates candidate blocks
+  // sized to stay cache-resident, so even this loop reads each
+  // candidate row from cache nq times instead of streaming it from
+  // memory per query.
+  for (size_t qi = 0; qi < nq; ++qi) {
+    RankBatch(queries + qi * q_stride, rows, row_stride, n, dim,
+              keys + qi * key_stride);
+  }
+}
+
+void DistanceMetric::RankBlock(const float* const* queries, size_t nq,
+                               const float* const* rows, size_t n,
+                               size_t dim, double* keys,
+                               size_t key_stride) const {
+  for (size_t qi = 0; qi < nq; ++qi) {
+    RankBatch(queries[qi], rows, n, dim, keys + qi * key_stride);
+  }
+}
+
 MetricCheckReport CheckMetricAxioms(const DistanceMetric& metric,
                                     const std::vector<Vec>& sample) {
   MetricCheckReport report;

@@ -68,6 +68,32 @@ class DistanceMetric {
                          size_t n, size_t dim, double* keys) const;
   virtual double RankToDistance(double key) const { return key; }
   virtual double DistanceToRank(double distance) const { return distance; }
+
+  // Query-block (tile) evaluation: rank keys of a whole tile of
+  // queries against a candidate block in one call, the inner step of
+  // VectorIndex::SearchBatch. keys[qi * key_stride + i] is the key of
+  // query qi vs candidate i.
+  //
+  // Contract: every (query, candidate) key must be bit-identical to
+  // what RankBatch produces for that query alone — tiled overrides may
+  // interleave the independent per-pair accumulation chains (sharing
+  // each candidate row's loads across the tile) but never reorder one
+  // pair's reduction. The defaults loop RankBatch per query, which
+  // satisfies the contract trivially; L2 and cosine override them with
+  // register-tiled kernels (distance/batch_kernels.h pair kernels).
+
+  /// Contiguous tile × contiguous block (linear scans): queries are nq
+  /// rows `q_stride` floats apart, candidates n rows `row_stride`
+  /// apart.
+  virtual void RankBlock(const float* queries, size_t q_stride, size_t nq,
+                         const float* rows, size_t row_stride, size_t n,
+                         size_t dim, double* keys, size_t key_stride) const;
+
+  /// Gathered on both axes (VP-tree leaves ranking the active subset
+  /// of a query block): queries[qi] and rows[i] are row pointers.
+  virtual void RankBlock(const float* const* queries, size_t nq,
+                         const float* const* rows, size_t n, size_t dim,
+                         double* keys, size_t key_stride) const;
 };
 
 /// Decorator that counts every Distance() evaluation — the
@@ -109,6 +135,20 @@ class CountingMetric : public DistanceMetric {
                  size_t dim, double* keys) const override {
     count_.fetch_add(n, std::memory_order_relaxed);
     inner_->RankBatch(q, rows, n, dim, keys);
+  }
+  // Block forms count one evaluation per (query, candidate) pair.
+  void RankBlock(const float* queries, size_t q_stride, size_t nq,
+                 const float* rows, size_t row_stride, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override {
+    count_.fetch_add(nq * n, std::memory_order_relaxed);
+    inner_->RankBlock(queries, q_stride, nq, rows, row_stride, n, dim, keys,
+                      key_stride);
+  }
+  void RankBlock(const float* const* queries, size_t nq,
+                 const float* const* rows, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override {
+    count_.fetch_add(nq * n, std::memory_order_relaxed);
+    inner_->RankBlock(queries, nq, rows, n, dim, keys, key_stride);
   }
   double RankToDistance(double key) const override {
     return inner_->RankToDistance(key);

@@ -73,6 +73,86 @@ void L2Distance::RankBatch(const float* q, const float* const* rows,
             GatheredRows{rows}, n, keys);
 }
 
+namespace {
+
+/// Widens `count` floats to doubles (exact, so downstream arithmetic
+/// is bit-identical to promoting inside the kernel).
+void WidenToDouble(const float* src, size_t count, double* dst) {
+  for (size_t i = 0; i < count; ++i) dst[i] = src[i];
+}
+
+/// Per-thread operand-packing buffers of the tiled L2 kernels; sized
+/// by the largest (tile, block) seen, reused across calls so the hot
+/// path stays allocation-free.
+thread_local std::vector<double> tls_wide_queries;
+thread_local std::vector<double> tls_wide_rows;
+
+}  // namespace
+
+void L2Distance::RankBlock(const float* queries, size_t q_stride, size_t nq,
+                           const float* rows, size_t row_stride, size_t n,
+                           size_t dim, double* keys,
+                           size_t key_stride) const {
+  if (nq < 2) {
+    // A tile of one cannot amortize the packing; the stock batch
+    // kernel is bit-identical anyway.
+    for (size_t qi = 0; qi < nq; ++qi) {
+      RankBatch(queries + qi * q_stride, rows, row_stride, n, dim,
+                keys + qi * key_stride);
+    }
+    return;
+  }
+  // GEMM-style operand packing: widen the query tile and the candidate
+  // block to doubles once (exact), then run the convert-free inner
+  // kernel over every (query, row) pair. The packing cost amortizes
+  // over the tile; the inner loop drops the per-pair convert uops that
+  // dominate the float kernel.
+  tls_wide_queries.resize(nq * dim);
+  tls_wide_rows.resize(n * dim);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    WidenToDouble(queries + qi * q_stride, dim,
+                  tls_wide_queries.data() + qi * dim);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    WidenToDouble(rows + i * row_stride, dim, tls_wide_rows.data() + i * dim);
+  }
+  for (size_t qi = 0; qi < nq; ++qi) {
+    const double* q = tls_wide_queries.data() + qi * dim;
+    double* qkeys = keys + qi * key_stride;
+    for (size_t i = 0; i < n; ++i) {
+      qkeys[i] =
+          kernels::L2SquaredWide(q, tls_wide_rows.data() + i * dim, dim);
+    }
+  }
+}
+
+void L2Distance::RankBlock(const float* const* queries, size_t nq,
+                           const float* const* rows, size_t n, size_t dim,
+                           double* keys, size_t key_stride) const {
+  if (nq < 2) {
+    for (size_t qi = 0; qi < nq; ++qi) {
+      RankBatch(queries[qi], rows, n, dim, keys + qi * key_stride);
+    }
+    return;
+  }
+  tls_wide_queries.resize(nq * dim);
+  tls_wide_rows.resize(n * dim);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    WidenToDouble(queries[qi], dim, tls_wide_queries.data() + qi * dim);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    WidenToDouble(rows[i], dim, tls_wide_rows.data() + i * dim);
+  }
+  for (size_t qi = 0; qi < nq; ++qi) {
+    const double* q = tls_wide_queries.data() + qi * dim;
+    double* qkeys = keys + qi * key_stride;
+    for (size_t i = 0; i < n; ++i) {
+      qkeys[i] =
+          kernels::L2SquaredWide(q, tls_wide_rows.data() + i * dim, dim);
+    }
+  }
+}
+
 double L2Distance::RankToDistance(double key) const { return std::sqrt(key); }
 
 double L2Distance::DistanceToRank(double distance) const {

@@ -39,6 +39,17 @@ class L2Distance : public DistanceMetric {
                  size_t dim, double* keys) const override;
   void RankBatch(const float* q, const float* const* rows, size_t n,
                  size_t dim, double* keys) const override;
+  /// Tiled query-block kernels with GEMM-style operand packing: the
+  /// query tile and candidate block are widened to doubles once
+  /// (exact) and every pair runs the convert-free inner kernel
+  /// (kernels::L2SquaredWide); keys are bit-identical to the per-query
+  /// RankBatch.
+  void RankBlock(const float* queries, size_t q_stride, size_t nq,
+                 const float* rows, size_t row_stride, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override;
+  void RankBlock(const float* const* queries, size_t nq,
+                 const float* const* rows, size_t n, size_t dim,
+                 double* keys, size_t key_stride) const override;
   double RankToDistance(double key) const override;
   double DistanceToRank(double distance) const override;
   std::string Name() const override { return "l2"; }

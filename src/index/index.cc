@@ -15,4 +15,26 @@ Status VectorIndex::Build(std::vector<Vec> vectors) {
   return BuildFromRows(RowView::Adopt(FeatureMatrix::FromVectors(vectors)));
 }
 
+void VectorIndex::SearchBatch(const QueryBlock& block, size_t k,
+                              std::vector<Neighbor>* results,
+                              SearchStats* stats) const {
+  // Base adapter: loop the block per query. Tree indexes whose
+  // traversal is inherently per-query (KD/R/M-tree) inherit this;
+  // their batched results are the per-query results by construction.
+  for (size_t i = 0; i < block.count(); ++i) {
+    SearchStats local;
+    results[i] = KnnSearch(block.RowVec(i), k, &local);
+    if (stats != nullptr) stats[i] += local;
+  }
+}
+
+std::vector<std::vector<Neighbor>> SearchBatch(
+    const VectorIndex& index, const std::vector<Vec>& queries, size_t k) {
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  if (queries.empty()) return results;
+  const QueryBlock block = QueryBlock::Pack(queries);
+  index.SearchBatch(block, k, results.data(), nullptr);
+  return results;
+}
+
 }  // namespace cbix

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "distance/metric.h"
+#include "index/query_block.h"
 #include "util/feature_matrix.h"
 #include "util/row_view.h"
 #include "util/status.h"
@@ -99,6 +100,29 @@ class VectorIndex {
   virtual std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                           SearchStats* stats) const = 0;
 
+  /// The primary batched-search entry point: answers k-NN for every
+  /// query row of `block` in one pass. `results` points at
+  /// block.count() slots (results[i] aligned with query row i);
+  /// `stats`, when non-null, points at block.count() per-query
+  /// counters, accumulated into (callers zero-initialize).
+  ///
+  /// Contract: results (ids AND distances) are bit-identical to
+  /// calling KnnSearch once per query row — batching may only change
+  /// how the same arithmetic is scheduled, never its outcome. The base
+  /// implementation loops the block per query (the adapter the
+  /// KD/R/M-trees inherit); scan-shaped indexes (linear scan,
+  /// quantized store), the VP-tree and the sharded composite override
+  /// it to consume whole tiles. Cost counters: scan-shaped overrides
+  /// report per-query stats identical to KnnSearch; overrides that
+  /// share traversal state (the VP-tree's batched walk) may visit —
+  /// and therefore evaluate — a different node/leaf set per query
+  /// than its nearest-first per-query order would, so ALL of its
+  /// counters (distance_evals included) can differ while results do
+  /// not.
+  virtual void SearchBatch(const QueryBlock& block, size_t k,
+                           std::vector<Neighbor>* results,
+                           SearchStats* stats) const;
+
   /// Number of indexed vectors.
   virtual size_t size() const = 0;
 
@@ -121,6 +145,10 @@ std::vector<Neighbor> RangeSearch(const VectorIndex& index, const Vec& q,
                                   double radius);
 std::vector<Neighbor> KnnSearch(const VectorIndex& index, const Vec& q,
                                 size_t k);
+
+/// Convenience: packs `queries` into one block and searches it whole.
+std::vector<std::vector<Neighbor>> SearchBatch(
+    const VectorIndex& index, const std::vector<Vec>& queries, size_t k);
 
 }  // namespace cbix
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "distance/batch_kernels.h"
+#include "index/top_k.h"
 
 namespace cbix {
 
@@ -69,12 +70,11 @@ std::vector<Neighbor> LinearScanIndex::RangeSearch(const Vec& q,
 
 std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
                                                  SearchStats* stats) const {
-  std::vector<Neighbor> heap;  // max-heap on (distance, id)
-  if (k == 0) return heap;
-  heap.reserve(k + 1);
+  if (k == 0) return {};
   const size_t n = rows_.count();
   const size_t dim = rows_.dim();
-  double tau_key = std::numeric_limits<double>::infinity();
+  TopKCollector collector;
+  collector.Reset(metric_.get(), k);
   double keys[kScanBlock];
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     const size_t block = std::min(kScanBlock, n - begin);
@@ -85,25 +85,48 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
       ++stats->leaves_visited;
     }
     for (size_t i = 0; i < block; ++i) {
-      if (keys[i] > tau_key) continue;  // provably outside the k-ball
-      const Neighbor candidate{static_cast<uint32_t>(begin + i),
-                               metric_->RankToDistance(keys[i])};
-      if (heap.size() < k) {
-        heap.push_back(candidate);
-        std::push_heap(heap.begin(), heap.end());
-      } else if (candidate < heap.front()) {
-        std::pop_heap(heap.begin(), heap.end());
-        heap.back() = candidate;
-        std::push_heap(heap.begin(), heap.end());
+      collector.Offer(static_cast<uint32_t>(begin + i), keys[i]);
+    }
+  }
+  return collector.TakeSorted();
+}
+
+void LinearScanIndex::SearchBatch(const QueryBlock& block, size_t k,
+                                  std::vector<Neighbor>* results,
+                                  SearchStats* stats) const {
+  const size_t nq = block.count();
+  if (nq == 0) return;
+  if (k == 0) {
+    for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+    return;
+  }
+  const size_t n = rows_.count();
+  const size_t dim = rows_.dim();
+  std::vector<TopKCollector> collectors(nq);
+  for (auto& c : collectors) c.Reset(metric_.get(), k);
+  std::vector<double> keys(nq * kScanBlock);
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t bn = std::min(kScanBlock, n - begin);
+    // One candidate block vs the whole query tile: the tiled kernels
+    // read each candidate row once for a pair of queries, and the
+    // block stays cache-resident across the tile.
+    metric_->RankBlock(block.data(), block.stride(), nq, rows_.row(begin),
+                       rows_.stride(), bn, dim, keys.data(), kScanBlock);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (stats != nullptr) {
+        stats[qi].distance_evals += bn;
+        ++stats[qi].leaves_visited;
       }
-      if (heap.size() == k) {
-        tau_key =
-            RankKeyThreshold(metric_->DistanceToRank(heap.front().distance));
+      const double* qkeys = keys.data() + qi * kScanBlock;
+      TopKCollector& collector = collectors[qi];
+      for (size_t i = 0; i < bn; ++i) {
+        collector.Offer(static_cast<uint32_t>(begin + i), qkeys[i]);
       }
     }
   }
-  std::sort(heap.begin(), heap.end());
-  return heap;
+  for (size_t qi = 0; qi < nq; ++qi) {
+    results[qi] = collectors[qi].TakeSorted();
+  }
 }
 
 std::string LinearScanIndex::Name() const {

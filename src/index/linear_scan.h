@@ -26,6 +26,13 @@ class LinearScanIndex : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
+  /// Tiled scan: every candidate block is ranked against the whole
+  /// query tile in one RankBlock call (row loads amortized across the
+  /// tile), feeding one TopKCollector per query. Bit-identical to the
+  /// per-query scan.
+  void SearchBatch(const QueryBlock& block, size_t k,
+                   std::vector<Neighbor>* results,
+                   SearchStats* stats) const override;
 
   size_t size() const override { return rows_.count(); }
   size_t dim() const override { return rows_.dim(); }

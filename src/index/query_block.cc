@@ -1,0 +1,39 @@
+#include "index/query_block.h"
+
+#include <cassert>
+
+namespace cbix {
+
+QueryBlock QueryBlock::Pack(const std::vector<Vec>& queries) {
+  QueryBlock block;
+  if (queries.empty()) return block;
+  const size_t dim = queries[0].size();
+  assert(dim > 0);
+  FeatureMatrix matrix(dim);
+  matrix.Reserve(queries.size());
+  for (const Vec& q : queries) {
+    assert(q.size() == dim);
+    matrix.AppendRow(q);
+  }
+  block.rows_ = RowView::Adopt(std::move(matrix));
+  block.count_ = queries.size();
+  return block;
+}
+
+QueryBlock QueryBlock::FromView(RowView rows) {
+  QueryBlock block;
+  block.count_ = rows.count();
+  block.rows_ = std::move(rows);
+  return block;
+}
+
+QueryBlock QueryBlock::Tile(size_t begin, size_t count) const {
+  assert(begin + count <= count_);
+  QueryBlock tile;
+  tile.rows_ = rows_;
+  tile.begin_ = begin_ + begin;
+  tile.count_ = count;
+  return tile;
+}
+
+}  // namespace cbix

@@ -1,0 +1,64 @@
+// QueryBlock — a tile of query rows, the unit of batched search.
+//
+// Queries are packed once into a FeatureMatrix substrate (the same
+// flat, aligned, stride-padded layout candidate rows live in) and held
+// through RowView, so a block of queries feeds the tiled rank kernels
+// (DistanceMetric::RankBlock) exactly like a block of candidates
+// feeds the batched ones. Tile() carves windows out of a packed block
+// without copying — the engine packs a whole batch once and schedules
+// EngineConfig::query_tile-sized tiles across the pool; a single query
+// is simply a tile of size 1.
+
+#ifndef CBIX_INDEX_QUERY_BLOCK_H_
+#define CBIX_INDEX_QUERY_BLOCK_H_
+
+#include <vector>
+
+#include "util/feature_matrix.h"
+#include "util/row_view.h"
+
+namespace cbix {
+
+class QueryBlock {
+ public:
+  QueryBlock() = default;
+
+  /// Packs `queries` (all the same non-zero dimension, asserted) into
+  /// a fresh padded substrate the block uniquely owns.
+  static QueryBlock Pack(const std::vector<Vec>& queries);
+
+  /// Wraps existing rows zero-copy (e.g. replaying stored features as
+  /// queries).
+  static QueryBlock FromView(RowView rows);
+
+  /// Window [begin, begin + count) of this block; shares the substrate.
+  QueryBlock Tile(size_t begin, size_t count) const;
+
+  size_t count() const { return count_; }
+  size_t dim() const { return rows_.dim(); }
+  bool empty() const { return count_ == 0; }
+
+  /// Floats between consecutive query-row starts.
+  size_t stride() const { return rows_.stride(); }
+
+  /// First query row of the tile (contiguous RankBlock form), nullptr
+  /// when empty.
+  const float* data() const {
+    return count_ > 0 ? rows_.row(begin_) : nullptr;
+  }
+
+  /// Query `i` of the tile.
+  const float* row(size_t i) const { return rows_.row(begin_ + i); }
+
+  /// Materializes query `i` as an owned vector (no padding).
+  Vec RowVec(size_t i) const { return rows_.RowVec(begin_ + i); }
+
+ private:
+  RowView rows_;
+  size_t begin_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_QUERY_BLOCK_H_

@@ -31,6 +31,38 @@ std::vector<Neighbor> ShardedIndex::KnnSearch(const Vec& q, size_t k,
   return store_.KnnSearch(q, k, stats);
 }
 
+void ShardedIndex::SearchBatch(const QueryBlock& block, size_t k,
+                               std::vector<Neighbor>* results,
+                               SearchStats* stats) const {
+  const size_t nq = block.count();
+  if (nq == 0) return;
+  if (!store_.indexes_built()) {
+    for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+    return;
+  }
+  const size_t S = store_.num_shards();
+  if (S == 1) {
+    store_.SearchBatchShard(0, block, k, results, stats);
+    return;
+  }
+  // The tile runs against every shard into disjoint (shard, query)
+  // slots, merged by the shared MergeShardSlots tail. Deliberately
+  // sequential, like per-query KnnSearch: spawning a pool per call
+  // costs more than typical shard scans, and the engine's batch path —
+  // the owner of a long-lived pool — already schedules (tile, shard)
+  // work items in parallel via ShardedFeatureStore::SearchBatchShard
+  // instead of calling this.
+  std::vector<std::vector<Neighbor>> partial(S * nq);
+  std::vector<SearchStats> shard_stats(stats != nullptr ? S * nq : 0);
+  for (size_t s = 0; s < S; ++s) {
+    store_.SearchBatchShard(
+        s, block, k, partial.data() + s * nq,
+        stats != nullptr ? shard_stats.data() + s * nq : nullptr);
+  }
+  ShardedFeatureStore::MergeShardSlots(std::move(partial), shard_stats, S,
+                                       nq, k, results, stats);
+}
+
 std::string ShardedIndex::Name() const {
   const VectorIndex* first = store_.index(0);
   const std::string inner = first != nullptr ? first->Name() : "unbuilt";

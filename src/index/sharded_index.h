@@ -46,6 +46,16 @@ class ShardedIndex : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
+  /// Batched fan-out: the whole query tile runs against every shard
+  /// sequentially (like per-query KnnSearch) and per-query shard
+  /// results merge with MergeShardSlots. Parallelism is the caller's
+  /// job: the engine's batch path schedules (tile, shard) work items
+  /// on its long-lived pool via
+  /// ShardedFeatureStore::SearchBatchShard instead of calling this;
+  /// the override serves direct VectorIndex users.
+  void SearchBatch(const QueryBlock& block, size_t k,
+                   std::vector<Neighbor>* results,
+                   SearchStats* stats) const override;
 
   size_t size() const override { return store_.size(); }
   size_t dim() const override { return store_.dim(); }

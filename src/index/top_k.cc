@@ -1,0 +1,68 @@
+#include "index/top_k.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "distance/batch_kernels.h"
+
+namespace cbix {
+
+void TopKCollector::Reset(const DistanceMetric* metric, size_t k) {
+  metric_ = metric;
+  k_ = k;
+  heap_.clear();
+  if (k_ > 0) heap_.reserve(k_ + 1);
+  tau_key_ = k_ > 0 ? std::numeric_limits<double>::infinity()
+                    : -std::numeric_limits<double>::infinity();
+}
+
+double TopKCollector::tau_distance() const {
+  return full() && k_ > 0 ? heap_.front().distance
+                          : std::numeric_limits<double>::infinity();
+}
+
+void TopKCollector::Insert(const Neighbor& candidate) {
+  if (heap_.size() < k_) {
+    heap_.push_back(candidate);
+    std::push_heap(heap_.begin(), heap_.end());
+  } else if (candidate < heap_.front()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.back() = candidate;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+  if (heap_.size() == k_) RefreshTau();
+}
+
+void TopKCollector::RefreshTau() {
+  const double front = heap_.front().distance;
+  tau_key_ = metric_ != nullptr
+                 ? RankKeyThreshold(metric_->DistanceToRank(front))
+                 : RankKeyThreshold(front);
+}
+
+void TopKCollector::Offer(uint32_t id, double key) {
+  if (key > tau_key_) return;  // provably outside the current k-ball
+  const double distance =
+      metric_ != nullptr ? metric_->RankToDistance(key) : key;
+  Insert({id, distance});
+}
+
+void TopKCollector::Push(uint32_t id, double distance) {
+  if (k_ == 0) return;
+  Insert({id, distance});
+}
+
+std::vector<Neighbor> TopKCollector::TakeSorted() {
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Neighbor> TopKCollector::TakeHeap() {
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  return out;
+}
+
+}  // namespace cbix

@@ -1,0 +1,87 @@
+// TopKCollector — the bounded (distance, id) top-k heap shared by every
+// scan-shaped search in the system, lifted out of linear_scan, the
+// VP-tree leaf scans and the quantized over-fetch so all of them accept
+// candidates through one allocation-free code path. SearchBatch keeps
+// one collector per query lane of a QueryBlock.
+//
+// The acceptance sequence replicates the historical blocked scan
+// op-for-op (this is what keeps batched and per-query searches
+// bit-identical):
+//
+//   - a candidate whose rank key exceeds tau_key() is skipped without
+//     finalization;
+//   - survivors are finalized via RankToDistance and inserted into a
+//     max-heap ordered by (distance, id), bounded at k;
+//   - whenever the heap is full, tau_key() is refreshed to
+//     RankKeyThreshold(DistanceToRank(front.distance)) — the widened
+//     key of the current kth distance, so equal-key candidates are
+//     never pruned before their id tie-break.
+//
+// In key mode (no metric) keys ARE the stored distances and tau is
+// RankKeyThreshold(front.distance) directly — the quantized
+// approximate scan, whose "distances" are rank keys for an exact
+// rerank.
+
+#ifndef CBIX_INDEX_TOP_K_H_
+#define CBIX_INDEX_TOP_K_H_
+
+#include <vector>
+
+#include "distance/metric.h"
+#include "index/index.h"
+
+namespace cbix {
+
+class TopKCollector {
+ public:
+  TopKCollector() = default;
+
+  /// Starts collecting a fresh top-k. `metric` converts rank keys to
+  /// distances (and distances back to key-space pruning thresholds);
+  /// nullptr selects key mode. The pointer must outlive the collector's
+  /// use.
+  void Reset(const DistanceMetric* metric, size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Current pruning threshold in rank-key space: candidates with
+  /// key > tau_key() cannot enter the heap. +inf until full, -inf when
+  /// k == 0.
+  double tau_key() const { return tau_key_; }
+
+  /// Current kth distance (+inf until full) — the pruning ball radius
+  /// tree traversals compare subtree bounds against.
+  double tau_distance() const;
+
+  /// Offers a candidate by rank key (see the acceptance sequence
+  /// above).
+  void Offer(uint32_t id, double key);
+
+  /// Unconditional bounded insert of an already-finalized distance
+  /// (VP-tree vantage points, which bypass the key prefilter).
+  void Push(uint32_t id, double distance);
+
+  /// The collected neighbors sorted by (distance, id); leaves the
+  /// collector empty.
+  std::vector<Neighbor> TakeSorted();
+
+  /// The raw heap contents in heap order (quantized over-fetch
+  /// candidates, reranked and sorted downstream); leaves the collector
+  /// empty.
+  std::vector<Neighbor> TakeHeap();
+
+ private:
+  void Insert(const Neighbor& candidate);
+  void RefreshTau();
+
+  const DistanceMetric* metric_ = nullptr;  ///< null: keys are distances
+  size_t k_ = 0;
+  double tau_key_ = 0.0;
+  std::vector<Neighbor> heap_;  ///< max-heap on (distance, id)
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_TOP_K_H_

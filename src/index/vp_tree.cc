@@ -245,29 +245,18 @@ std::vector<Neighbor> VpTree::RangeSearch(const Vec& q, double radius,
 
 namespace {
 
-/// Push into a bounded max-heap of size k.
-void HeapPush(std::vector<Neighbor>* heap, size_t k,
-              const Neighbor& candidate) {
-  if (heap->size() < k) {
-    heap->push_back(candidate);
-    std::push_heap(heap->begin(), heap->end());
-  } else if (k > 0 && candidate < heap->front()) {
-    std::pop_heap(heap->begin(), heap->end());
-    heap->back() = candidate;
-    std::push_heap(heap->begin(), heap->end());
-  }
-}
-
-double HeapTau(const std::vector<Neighbor>& heap, size_t k) {
-  return heap.size() < k ? std::numeric_limits<double>::infinity()
-                         : heap.front().distance;
+/// Gap between a vantage distance and a child's [lo, hi] annulus — the
+/// triangle-inequality lower bound on any distance inside the child.
+double AnnulusGap(double dq, double lo, double hi) {
+  if (dq < lo) return lo - dq;
+  if (dq > hi) return dq - hi;
+  return 0.0;
 }
 
 }  // namespace
 
-void VpTree::ScanLeafKnn(const Node& node, const Vec& q, size_t k,
-                         SearchStats* stats,
-                         std::vector<Neighbor>* heap) const {
+void VpTree::ScanLeafKnn(const Node& node, const Vec& q, SearchStats* stats,
+                         TopKCollector* collector) const {
   const size_t dim = rows_.dim();
   const float* rows[kLeafBlock];
   double keys[kLeafBlock];
@@ -279,35 +268,24 @@ void VpTree::ScanLeafKnn(const Node& node, const Vec& q, size_t k,
     }
     metric_->RankBatch(q.data(), rows, block, dim, keys);
     if (stats != nullptr) stats->distance_evals += block;
-    double tau_key =
-        heap->size() < k
-            ? std::numeric_limits<double>::infinity()
-            : RankKeyThreshold(metric_->DistanceToRank(HeapTau(*heap, k)));
     for (size_t i = 0; i < block; ++i) {
-      if (keys[i] > tau_key) continue;
-      HeapPush(heap, k, {node.leaf_ids[begin + i],
-                         metric_->RankToDistance(keys[i])});
-      if (heap->size() == k) {
-        tau_key =
-            RankKeyThreshold(metric_->DistanceToRank(heap->front().distance));
-      }
+      collector->Offer(node.leaf_ids[begin + i], keys[i]);
     }
   }
 }
 
-void VpTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
-                           SearchStats* stats,
-                           std::vector<Neighbor>* heap) const {
+void VpTree::KnnSearchNode(int32_t node_id, const Vec& q, SearchStats* stats,
+                           TopKCollector* collector) const {
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     if (stats != nullptr) ++stats->leaves_visited;
-    ScanLeafKnn(node, q, k, stats, heap);
+    ScanLeafKnn(node, q, stats, collector);
     return;
   }
 
   if (stats != nullptr) ++stats->nodes_visited;
   const double dq = Dist(q.data(), node.vantage_id, stats);
-  HeapPush(heap, k, {node.vantage_id, dq});
+  collector->Push(node.vantage_id, dq);
 
   // Visit children nearest-first: the child whose annulus is closest to
   // dq is most likely to tighten tau early and let later children prune.
@@ -315,29 +293,144 @@ void VpTree::KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
   std::vector<std::pair<double, size_t>> order;
   order.reserve(num_children);
   for (size_t i = 0; i < num_children; ++i) {
-    double gap = 0.0;
-    if (dq < node.child_lo[i]) {
-      gap = node.child_lo[i] - dq;
-    } else if (dq > node.child_hi[i]) {
-      gap = dq - node.child_hi[i];
-    }
-    order.emplace_back(gap, i);
+    order.emplace_back(AnnulusGap(dq, node.child_lo[i], node.child_hi[i]),
+                       i);
   }
   std::sort(order.begin(), order.end());
 
   for (const auto& [gap, i] : order) {
-    const double tau = HeapTau(*heap, k);
-    if (gap > tau) continue;  // annulus provably outside current ball
-    KnnSearchNode(node.children[i], q, k, stats, heap);
+    if (gap > collector->tau_distance()) continue;  // annulus outside ball
+    KnnSearchNode(node.children[i], q, stats, collector);
   }
 }
 
 std::vector<Neighbor> VpTree::KnnSearch(const Vec& q, size_t k,
                                         SearchStats* stats) const {
-  std::vector<Neighbor> heap;
-  if (root_ >= 0 && k > 0) KnnSearchNode(root_, q, k, stats, &heap);
-  std::sort(heap.begin(), heap.end());
-  return heap;
+  if (root_ < 0 || k == 0) return {};
+  TopKCollector collector;
+  collector.Reset(metric_.get(), k);
+  KnnSearchNode(root_, q, stats, &collector);
+  return collector.TakeSorted();
+}
+
+void VpTree::ScanLeafBatch(const Node& node, const QueryBlock& block,
+                           const std::vector<uint32_t>& active,
+                           BatchScratch* scratch,
+                           TopKCollector* collectors,
+                           SearchStats* stats) const {
+  const size_t dim = rows_.dim();
+  const size_t na = active.size();
+  const float* rows[kLeafBlock];
+  scratch->leaf_queries.resize(na);
+  const float** queries = scratch->leaf_queries.data();
+  for (size_t a = 0; a < na; ++a) queries[a] = block.row(active[a]);
+  scratch->leaf_keys.resize(na * kLeafBlock);
+  double* keys = scratch->leaf_keys.data();
+  const size_t total = node.leaf_ids.size();
+  for (size_t begin = 0; begin < total; begin += kLeafBlock) {
+    const size_t bn = std::min(kLeafBlock, total - begin);
+    for (size_t i = 0; i < bn; ++i) {
+      rows[i] = rows_.row(node.leaf_ids[begin + i]);
+    }
+    // The whole leaf block vs every active query in one tiled call.
+    metric_->RankBlock(queries, na, rows, bn, dim, keys, kLeafBlock);
+    for (size_t a = 0; a < na; ++a) {
+      if (stats != nullptr) stats[active[a]].distance_evals += bn;
+      const double* qkeys = keys + a * kLeafBlock;
+      TopKCollector& collector = collectors[active[a]];
+      for (size_t i = 0; i < bn; ++i) {
+        collector.Offer(node.leaf_ids[begin + i], qkeys[i]);
+      }
+    }
+  }
+}
+
+void VpTree::SearchBatchNode(int32_t node_id, const QueryBlock& block,
+                             const std::vector<uint32_t>& active,
+                             size_t depth, BatchScratch* scratch,
+                             TopKCollector* collectors,
+                             SearchStats* stats) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (stats != nullptr) {
+      for (const uint32_t qi : active) ++stats[qi].leaves_visited;
+    }
+    ScanLeafBatch(node, block, active, scratch, collectors, stats);
+    return;
+  }
+
+  // One scratch entry per depth, reused across every node at that
+  // depth. Deeper levels appended while this frame holds `lvl` stay
+  // valid (deque).
+  if (scratch->levels.size() <= depth) scratch->levels.resize(depth + 1);
+  BatchLevelScratch& lvl = scratch->levels[depth];
+
+  const size_t na = active.size();
+  lvl.dq.resize(na);
+  for (size_t a = 0; a < na; ++a) {
+    const uint32_t qi = active[a];
+    if (stats != nullptr) ++stats[qi].nodes_visited;
+    lvl.dq[a] = Dist(block.row(qi), node.vantage_id,
+                     stats != nullptr ? &stats[qi] : nullptr);
+    collectors[qi].Push(node.vantage_id, lvl.dq[a]);
+  }
+
+  // Shared child order: ascending minimum annulus gap over the active
+  // set (the per-query nearest-first heuristic, aggregated). Each
+  // query still prunes with its own gap against its own tau at visit
+  // time, so the visited set per query stays correct — but it is not
+  // the per-query visited set (see the SearchBatch comment on cost
+  // counters).
+  const size_t num_children = node.children.size();
+  lvl.gaps.resize(na * num_children);
+  lvl.order.clear();
+  lvl.order.reserve(num_children);
+  for (size_t c = 0; c < num_children; ++c) {
+    double min_gap = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < na; ++a) {
+      const double gap =
+          AnnulusGap(lvl.dq[a], node.child_lo[c], node.child_hi[c]);
+      lvl.gaps[a * num_children + c] = gap;
+      min_gap = std::min(min_gap, gap);
+    }
+    lvl.order.emplace_back(min_gap, c);
+  }
+  std::sort(lvl.order.begin(), lvl.order.end());
+
+  for (const auto& [min_gap, c] : lvl.order) {
+    lvl.sub.clear();
+    for (size_t a = 0; a < na; ++a) {
+      if (lvl.gaps[a * num_children + c] <=
+          collectors[active[a]].tau_distance()) {
+        lvl.sub.push_back(active[a]);
+      }
+    }
+    if (!lvl.sub.empty()) {
+      SearchBatchNode(node.children[c], block, lvl.sub, depth + 1, scratch,
+                      collectors, stats);
+    }
+  }
+}
+
+void VpTree::SearchBatch(const QueryBlock& block, size_t k,
+                         std::vector<Neighbor>* results,
+                         SearchStats* stats) const {
+  const size_t nq = block.count();
+  if (nq == 0) return;
+  if (root_ < 0 || k == 0) {
+    for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+    return;
+  }
+  std::vector<TopKCollector> collectors(nq);
+  for (auto& c : collectors) c.Reset(metric_.get(), k);
+  std::vector<uint32_t> active(nq);
+  for (size_t qi = 0; qi < nq; ++qi) active[qi] = static_cast<uint32_t>(qi);
+  BatchScratch scratch;
+  SearchBatchNode(root_, block, active, 0, &scratch, collectors.data(),
+                  stats);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    results[qi] = collectors[qi].TakeSorted();
+  }
 }
 
 std::string VpTree::Name() const {

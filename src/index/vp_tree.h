@@ -18,9 +18,11 @@
 #ifndef CBIX_INDEX_VP_TREE_H_
 #define CBIX_INDEX_VP_TREE_H_
 
+#include <deque>
 #include <memory>
 
 #include "index/index.h"
+#include "index/top_k.h"
 #include "util/random.h"
 
 namespace cbix {
@@ -56,6 +58,20 @@ class VpTree : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
+  /// Batched traversal: one walk of the tree carries the whole query
+  /// tile, narrowing an active-query set at every node (each query
+  /// prunes children against its own tau, exactly as the per-query
+  /// search would) and ranking every visited leaf against all active
+  /// queries in one RankBlock call. Results are bit-identical to
+  /// per-query KnnSearch; cost counters are not — children are
+  /// visited in a shared order instead of each query's own
+  /// nearest-first order, so a query can descend (and rank leaves of)
+  /// a subtree its solo search would have pruned after tightening tau
+  /// elsewhere first. nodes/leaves_visited AND distance_evals may all
+  /// differ from the per-query counts.
+  void SearchBatch(const QueryBlock& block, size_t k,
+                   std::vector<Neighbor>* results,
+                   SearchStats* stats) const override;
 
   size_t size() const override { return rows_.count(); }
   size_t dim() const override { return rows_.dim(); }
@@ -100,13 +116,42 @@ class VpTree : public VectorIndex {
   /// Batched leaf scan for the range query; appends hits to `out`.
   void ScanLeafRange(const Node& node, const Vec& q, double radius,
                      SearchStats* stats, std::vector<Neighbor>* out) const;
-  /// Batched leaf scan feeding the k-NN heap.
-  void ScanLeafKnn(const Node& node, const Vec& q, size_t k,
-                   SearchStats* stats, std::vector<Neighbor>* heap) const;
+  /// Batched leaf scan feeding the k-NN collector.
+  void ScanLeafKnn(const Node& node, const Vec& q, SearchStats* stats,
+                   TopKCollector* collector) const;
   void RangeSearchNode(int32_t node_id, const Vec& q, double radius,
                        SearchStats* stats, std::vector<Neighbor>* out) const;
-  void KnnSearchNode(int32_t node_id, const Vec& q, size_t k,
-                     SearchStats* stats, std::vector<Neighbor>* heap) const;
+  void KnnSearchNode(int32_t node_id, const Vec& q, SearchStats* stats,
+                     TopKCollector* collector) const;
+  /// Reusable workspace of one batched traversal: one level entry per
+  /// recursion depth (reused across every node visited at that depth,
+  /// so the walk does O(depth) allocations instead of O(nodes)) plus
+  /// the leaf-scan buffers. `levels` is a deque because a child visit
+  /// may append deeper levels while the parent still references its
+  /// own — deque growth never moves existing entries.
+  struct BatchLevelScratch {
+    std::vector<double> dq;    ///< vantage distance per active query
+    std::vector<double> gaps;  ///< active x children annulus gaps
+    std::vector<std::pair<double, size_t>> order;  ///< shared child order
+    std::vector<uint32_t> sub;  ///< active set handed to each child
+  };
+  struct BatchScratch {
+    std::deque<BatchLevelScratch> levels;
+    std::vector<const float*> leaf_queries;
+    std::vector<double> leaf_keys;
+  };
+
+  /// Batched-traversal node visit: `active` holds the query indices
+  /// (into `block`) still interested in this subtree.
+  void SearchBatchNode(int32_t node_id, const QueryBlock& block,
+                       const std::vector<uint32_t>& active, size_t depth,
+                       BatchScratch* scratch, TopKCollector* collectors,
+                       SearchStats* stats) const;
+  /// Leaf tile scan for the active queries of a block.
+  void ScanLeafBatch(const Node& node, const QueryBlock& block,
+                     const std::vector<uint32_t>& active,
+                     BatchScratch* scratch, TopKCollector* collectors,
+                     SearchStats* stats) const;
   void ShapeVisit(int32_t node_id, size_t depth, TreeShape* shape) const;
 
   std::shared_ptr<const DistanceMetric> metric_;

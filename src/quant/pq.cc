@@ -68,11 +68,49 @@ PqCodebook PqCodebook::Train(const FeatureMatrix& data,
     const size_t dsub = cb.sub_dim(s);
     float* cents = cb.centroids_.data() + cb.centroid_offset(s);
 
-    // Init: k distinct sampled rows.
-    const std::vector<size_t> init =
-        rng.SampleWithoutReplacement(sample_count, cb.k_);
-    for (size_t c = 0; c < cb.k_; ++c) {
-      std::memcpy(cents + c * dsub, data.row(sample[init[c]]) + begin,
+    // k-means++ seeding (Arthur & Vassilvitskii): the first centroid
+    // is a uniform sampled subvector; every further one is drawn with
+    // probability proportional to its squared distance to the nearest
+    // centroid chosen so far. Spread-out seeds converge in fewer Lloyd
+    // iterations than uniform seeding and cannot pick duplicate
+    // points; determinism still flows from the options seed through
+    // the shared Rng. Same serialized format — only the training
+    // trajectory changes.
+    std::vector<double> min_d2(sample_count,
+                               std::numeric_limits<double>::infinity());
+    const size_t first = rng.NextBelow(sample_count);
+    std::memcpy(cents, data.row(sample[first]) + begin,
+                dsub * sizeof(float));
+    for (size_t c = 1; c < cb.k_; ++c) {
+      const float* prev = cents + (c - 1) * dsub;
+      double total = 0.0;
+      for (size_t i = 0; i < sample_count; ++i) {
+        const double d =
+            kernels::L2Squared(data.row(sample[i]) + begin, prev, dsub);
+        min_d2[i] = std::min(min_d2[i], d);
+        total += min_d2[i];
+      }
+      size_t next;
+      if (total > 0.0) {
+        // Walk the prefix sums; re-summing min_d2 in the same order
+        // reproduces `total` exactly, so the walk always terminates
+        // inside the array.
+        const double r = rng.NextDouble() * total;
+        double acc = 0.0;
+        next = sample_count - 1;
+        for (size_t i = 0; i < sample_count; ++i) {
+          acc += min_d2[i];
+          if (acc > r) {
+            next = i;
+            break;
+          }
+        }
+      } else {
+        // Every sampled subvector already coincides with a centroid;
+        // any choice reconstructs identically.
+        next = rng.NextBelow(sample_count);
+      }
+      std::memcpy(cents + c * dsub, data.row(sample[next]) + begin,
                   dsub * sizeof(float));
     }
 

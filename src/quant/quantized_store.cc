@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "distance/batch_kernels.h"
+#include "distance/histogram_measures.h"
 #include "distance/minkowski.h"
+#include "index/top_k.h"
 
 namespace cbix {
 
@@ -45,6 +47,7 @@ Status QuantizedStore::BuildFromRows(RowView rows) {
   exact_rows_ = std::move(rows);
   int8_ = Int8Matrix();
   pq_ = PqMatrix();
+  recon_norms_sq_.clear();
   switch (options_.backing) {
     case QuantBacking::kInt8:
       int8_ = Int8Matrix::Quantize(exact_rows_.matrix());
@@ -53,7 +56,9 @@ Status QuantizedStore::BuildFromRows(RowView rows) {
       pq_ = PqMatrix::Quantize(exact_rows_.matrix(), options_.pq);
       break;
   }
+  approx_mode_ = DeriveApproxMode();
   ComputeReconstructionError();
+  ComputeReconNorms();
   return Status::Ok();
 }
 
@@ -75,43 +80,98 @@ void QuantizedStore::ComputeReconstructionError() {
   }
 }
 
-bool QuantizedStore::UseL2FastPath() const {
-  return dynamic_cast<const L2Distance*>(metric_.get()) != nullptr;
+QuantizedStore::ApproxMode QuantizedStore::DeriveApproxMode() const {
+  const bool l2 = dynamic_cast<const L2Distance*>(metric_.get()) != nullptr;
+  if (l2 && options_.backing == QuantBacking::kPq && !pq_.empty()) {
+    return ApproxMode::kPqAdcL2;
+  }
+  if (options_.backing == QuantBacking::kInt8) {
+    if (l2) return ApproxMode::kInt8L2;
+    if (dynamic_cast<const CosineDistance*>(metric_.get()) != nullptr) {
+      return ApproxMode::kInt8Cosine;
+    }
+  }
+  return ApproxMode::kGeneric;
+}
+
+void QuantizedStore::ComputeReconNorms() {
+  recon_norms_sq_.clear();
+  if (approx_mode_ != ApproxMode::kInt8Cosine) return;
+  const size_t n = int8_.count();
+  const size_t dim = int8_.dim();
+  recon_norms_sq_.resize(n, 0.0);
+  if (dim == 0) return;
+  std::vector<float> recon(dim);
+  for (size_t i = 0; i < n; ++i) {
+    int8_.DequantizeRow(i, recon.data());
+    recon_norms_sq_[i] = kernels::NormSquared(recon.data(), dim);
+  }
 }
 
 QuantizedStore::ApproxScratch QuantizedStore::PrepareApproxScan(
-    const Vec& q) const {
+    const float* q) const {
   ApproxScratch scratch;
-  const bool l2 = UseL2FastPath();
-  if (l2 && options_.backing == QuantBacking::kPq && !pq_.empty()) {
-    scratch.lut.resize(pq_.codebook().m() * pq_.codebook().k());
-    pq_.codebook().BuildAdcTable(q.data(), scratch.lut.data());
-  } else if (l2 && options_.backing == QuantBacking::kInt8) {
-    scratch.q_centered.resize(exact_rows_.dim());
-    int8_.CenterQuery(q.data(), scratch.q_centered.data());
-  } else {
-    scratch.block.resize(kScanBlock * ScratchStride(exact_rows_.dim()));
+  const size_t dim = exact_rows_.dim();
+  switch (approx_mode_) {
+    case ApproxMode::kPqAdcL2:
+      scratch.lut.resize(pq_.codebook().m() * pq_.codebook().k());
+      pq_.codebook().BuildAdcTable(q, scratch.lut.data());
+      break;
+    case ApproxMode::kInt8L2:
+      scratch.q_centered.resize(dim);
+      int8_.CenterQuery(q, scratch.q_centered.data());
+      break;
+    case ApproxMode::kInt8Cosine: {
+      // Hoist the per-query constants of the asymmetric dot: the
+      // offset part of every row dot (q . offsets) and the query norm.
+      const float* offsets = int8_.offsets();
+      double dot_off = 0.0;
+      for (size_t j = 0; j < dim; ++j) {
+        dot_off += static_cast<double>(q[j]) * offsets[j];
+      }
+      scratch.q_dot_offset = dot_off;
+      scratch.q_norm_sq = kernels::NormSquared(q, dim);
+      break;
+    }
+    case ApproxMode::kGeneric:
+      scratch.block.resize(kScanBlock * ScratchStride(dim));
+      break;
   }
   return scratch;
 }
 
-void QuantizedStore::ApproxKeysBlock(const Vec& q, size_t begin, size_t n,
+void QuantizedStore::ApproxKeysBlock(const float* q, size_t begin, size_t n,
                                      ApproxScratch* scratch,
                                      double* keys) const {
   const size_t dim = exact_rows_.dim();
-  if (!scratch->lut.empty()) {
-    // PQ + L2: a row key is m() table reads.
-    const PqCodebook& cb = pq_.codebook();
-    for (size_t i = 0; i < n; ++i) {
-      keys[i] = cb.AdcDistanceSquared(scratch->lut.data(), pq_.row(begin + i));
+  switch (approx_mode_) {
+    case ApproxMode::kPqAdcL2: {
+      // PQ + L2: a row key is m() table reads.
+      const PqCodebook& cb = pq_.codebook();
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] =
+            cb.AdcDistanceSquared(scratch->lut.data(), pq_.row(begin + i));
+      }
+      return;
     }
-    return;
-  }
-  if (!scratch->q_centered.empty()) {
-    // int8 + L2: fused asymmetric kernel, no materialized floats.
-    int8_.AsymmetricL2SquaredBatch(scratch->q_centered.data(), begin, n,
-                                   keys);
-    return;
+    case ApproxMode::kInt8L2:
+      // int8 + L2: fused asymmetric kernel, no materialized floats.
+      int8_.AsymmetricL2SquaredBatch(scratch->q_centered.data(), begin, n,
+                                     keys);
+      return;
+    case ApproxMode::kInt8Cosine:
+      // int8 + cosine: asymmetric dot against code rows plus the
+      // reconstructed row norms precomputed at build time — the scan
+      // touches only codes and scales, never materialized floats.
+      for (size_t i = 0; i < n; ++i) {
+        const double dot =
+            int8_.AsymmetricDot(q, scratch->q_dot_offset, begin + i);
+        keys[i] = CosineDistance::FromParts(dot, scratch->q_norm_sq,
+                                            recon_norms_sq_[begin + i]);
+      }
+      return;
+    case ApproxMode::kGeneric:
+      break;
   }
   // Generic metric: reconstruct the block once and feed the stock
   // batched rank kernels — every metric the float path supports works
@@ -122,18 +182,20 @@ void QuantizedStore::ApproxKeysBlock(const Vec& q, size_t begin, size_t n,
   } else {
     pq_.DequantizeBlock(begin, n, scratch->block.data(), stride);
   }
-  metric_->RankBatch(q.data(), scratch->block.data(), stride, n, dim, keys);
+  metric_->RankBatch(q, scratch->block.data(), stride, n, dim, keys);
 }
 
-std::vector<Neighbor> QuantizedStore::ApproxTopK(const Vec& q, size_t fetch,
+std::vector<Neighbor> QuantizedStore::ApproxTopK(const float* q,
+                                                 size_t fetch,
                                                  SearchStats* stats) const {
-  std::vector<Neighbor> heap;  // max-heap on (key, id)
-  if (fetch == 0) return heap;
-  heap.reserve(fetch + 1);
+  if (fetch == 0) return {};
   const size_t n = exact_rows_.count();
   ApproxScratch scratch = PrepareApproxScan(q);
 
-  double tau_key = std::numeric_limits<double>::infinity();
+  // Key mode: the collected "distances" are rank keys ordering the
+  // over-fetch; the rerank recomputes true distances.
+  TopKCollector collector;
+  collector.Reset(nullptr, fetch);
   double keys[kScanBlock];
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     const size_t block = std::min(kScanBlock, n - begin);
@@ -143,26 +205,14 @@ std::vector<Neighbor> QuantizedStore::ApproxTopK(const Vec& q, size_t fetch,
       ++stats->leaves_visited;
     }
     for (size_t i = 0; i < block; ++i) {
-      if (keys[i] > tau_key) continue;
-      const Neighbor candidate{static_cast<uint32_t>(begin + i), keys[i]};
-      if (heap.size() < fetch) {
-        heap.push_back(candidate);
-        std::push_heap(heap.begin(), heap.end());
-      } else if (candidate < heap.front()) {
-        std::pop_heap(heap.begin(), heap.end());
-        heap.back() = candidate;
-        std::push_heap(heap.begin(), heap.end());
-      }
-      if (heap.size() == fetch) {
-        tau_key = RankKeyThreshold(heap.front().distance);
-      }
+      collector.Offer(static_cast<uint32_t>(begin + i), keys[i]);
     }
   }
-  return heap;
+  return collector.TakeHeap();
 }
 
 std::vector<uint32_t> QuantizedStore::ApproxRangeCandidates(
-    const Vec& q, double key_threshold, SearchStats* stats) const {
+    const float* q, double key_threshold, SearchStats* stats) const {
   std::vector<uint32_t> out;
   const size_t n = exact_rows_.count();
   ApproxScratch scratch = PrepareApproxScan(q);
@@ -185,16 +235,22 @@ std::vector<uint32_t> QuantizedStore::ApproxRangeCandidates(
 }
 
 std::vector<Neighbor> QuantizedStore::RerankExact(
-    const Vec& q, const std::vector<Neighbor>& candidates, size_t k,
+    const float* q, const std::vector<Neighbor>& candidates, size_t k,
     SearchStats* stats) const {
-  std::vector<Neighbor> out;
-  out.reserve(candidates.size());
+  const size_t nc = candidates.size();
+  std::vector<Neighbor> out(nc);
   const size_t dim = exact_rows_.dim();
-  for (const Neighbor& c : candidates) {
-    out.push_back(
-        {c.id, metric_->DistanceRaw(q.data(), exact_rows_.row(c.id), dim)});
+  // Blocked exact rerank: gather the retained float rows of every
+  // candidate and run one batched exact-distance call (identical
+  // per-row arithmetic to DistanceRaw).
+  std::vector<const float*> rows(nc);
+  for (size_t i = 0; i < nc; ++i) rows[i] = exact_rows_.row(candidates[i].id);
+  std::vector<double> dists(nc);
+  metric_->DistanceBatch(q, rows.data(), nc, dim, dists.data());
+  for (size_t i = 0; i < nc; ++i) {
+    out[i] = {candidates[i].id, dists[i]};
   }
-  if (stats != nullptr) stats->distance_evals += candidates.size();
+  if (stats != nullptr) stats->distance_evals += nc;
   std::sort(out.begin(), out.end());
   if (out.size() > k) out.resize(k);
   return out;
@@ -205,8 +261,78 @@ std::vector<Neighbor> QuantizedStore::KnnSearch(const Vec& q, size_t k,
   if (k == 0 || exact_rows_.empty()) return {};
   const size_t n = exact_rows_.count();
   const size_t fetch = std::min(n, k * options_.rerank_factor);
-  const std::vector<Neighbor> candidates = ApproxTopK(q, fetch, stats);
-  return RerankExact(q, candidates, k, stats);
+  const std::vector<Neighbor> candidates = ApproxTopK(q.data(), fetch, stats);
+  return RerankExact(q.data(), candidates, k, stats);
+}
+
+void QuantizedStore::SearchBatch(const QueryBlock& block, size_t k,
+                                 std::vector<Neighbor>* results,
+                                 SearchStats* stats) const {
+  const size_t nq = block.count();
+  if (nq == 0) return;
+  const size_t n = exact_rows_.count();
+  if (k == 0 || n == 0) {
+    for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+    return;
+  }
+  const size_t dim = exact_rows_.dim();
+  const size_t fetch = std::min(n, k * options_.rerank_factor);
+  const ApproxMode mode = approx_mode_;
+
+  // Per-query collectors in key mode plus per-query scan state; the
+  // generic mode swaps the per-query dequantize buffers for ONE shared
+  // reconstructed block per scan step — dequantization cost amortizes
+  // over the whole tile instead of being paid per query.
+  std::vector<TopKCollector> collectors(nq);
+  for (auto& c : collectors) c.Reset(nullptr, fetch);
+  std::vector<ApproxScratch> scratch;
+  std::vector<float> shared_block;
+  const size_t stride = ScratchStride(dim);
+  if (mode == ApproxMode::kGeneric) {
+    shared_block.resize(kScanBlock * stride);
+  } else {
+    scratch.reserve(nq);
+    for (size_t qi = 0; qi < nq; ++qi) {
+      scratch.push_back(PrepareApproxScan(block.row(qi)));
+    }
+  }
+
+  std::vector<double> keys(nq * kScanBlock);
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t bn = std::min(kScanBlock, n - begin);
+    if (mode == ApproxMode::kGeneric) {
+      if (options_.backing == QuantBacking::kInt8) {
+        int8_.DequantizeBlock(begin, bn, shared_block.data(), stride);
+      } else {
+        pq_.DequantizeBlock(begin, bn, shared_block.data(), stride);
+      }
+      metric_->RankBlock(block.data(), block.stride(), nq,
+                         shared_block.data(), stride, bn, dim, keys.data(),
+                         kScanBlock);
+    } else {
+      for (size_t qi = 0; qi < nq; ++qi) {
+        ApproxKeysBlock(block.row(qi), begin, bn, &scratch[qi],
+                        keys.data() + qi * kScanBlock);
+      }
+    }
+    for (size_t qi = 0; qi < nq; ++qi) {
+      if (stats != nullptr) {
+        stats[qi].distance_evals += bn;
+        ++stats[qi].leaves_visited;
+      }
+      const double* qkeys = keys.data() + qi * kScanBlock;
+      TopKCollector& collector = collectors[qi];
+      for (size_t i = 0; i < bn; ++i) {
+        collector.Offer(static_cast<uint32_t>(begin + i), qkeys[i]);
+      }
+    }
+  }
+
+  for (size_t qi = 0; qi < nq; ++qi) {
+    results[qi] =
+        RerankExact(block.row(qi), collectors[qi].TakeHeap(), k,
+                    stats != nullptr ? &stats[qi] : nullptr);
+  }
 }
 
 std::vector<Neighbor> QuantizedStore::RangeSearch(const Vec& q, double radius,
@@ -226,7 +352,7 @@ std::vector<Neighbor> QuantizedStore::RangeSearch(const Vec& q, double radius,
         RankKeyThreshold(metric_->DistanceToRank(radius + max_recon_error_)) *
         (1.0 + Int8Matrix::kKeyRelativeError);
     const std::vector<uint32_t> candidates =
-        ApproxRangeCandidates(q, key_threshold, stats);
+        ApproxRangeCandidates(q.data(), key_threshold, stats);
     for (const uint32_t id : candidates) {
       const double d = metric_->DistanceRaw(q.data(), exact_rows_.row(id), dim);
       if (d <= radius) out.push_back({id, d});
@@ -278,7 +404,7 @@ size_t QuantizedStore::MemoryBytes() const {
   // codes on top. The pre-substrate layout held a second full float
   // copy of every row here regardless of backing.
   return ScanBackingBytes() + exact_rows_.OwnedMemoryBytes() +
-         sizeof(*this);
+         recon_norms_sq_.capacity() * sizeof(double) + sizeof(*this);
 }
 
 void QuantizedStore::Serialize(BinaryWriter* writer,
@@ -374,6 +500,11 @@ Status QuantizedStore::Deserialize(BinaryReader* reader) {
   int8_ = std::move(int8);
   pq_ = std::move(pq);
   max_recon_error_ = max_err;
+  approx_mode_ = DeriveApproxMode();
+  // The cosine row norms derive from the codes alone, so they are
+  // recomputed here instead of serialized (keeps the payload format
+  // stable).
+  ComputeReconNorms();
   return Status::Ok();
 }
 

@@ -5,9 +5,11 @@
 //   1. approximate scan: rank every row by its distance to the query
 //      computed against the *reconstructed* (dequantized) point —
 //      int8 rows through the fused asymmetric L2 kernel, PQ rows
-//      through per-query ADC tables, any other metric through a
-//      dequantize-block fallback feeding the stock batched kernels —
-//      and keep the best k * rerank_factor candidates;
+//      through per-query ADC tables, cosine over int8 rows through the
+//      asymmetric dot kernel plus per-row reconstructed norms stored
+//      at build time, any other metric through a dequantize-block
+//      fallback feeding the stock batched kernels — and keep the best
+//      k * rerank_factor candidates;
 //   2. exact rerank: recompute the true metric distance of those
 //      candidates on the retained float rows, sort by (distance, id),
 //      return the top k.
@@ -67,6 +69,15 @@ class QuantizedStore : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
+  /// Tiled two-stage search: the approximate scan runs the whole query
+  /// tile per code block (one shared dequantized block feeds
+  /// RankBlock for generic metrics; int8/PQ L2 and int8 cosine use
+  /// their asymmetric kernels per query lane), then every query's
+  /// over-fetch is reranked exactly on gathered float rows.
+  /// Bit-identical to per-query KnnSearch.
+  void SearchBatch(const QueryBlock& block, size_t k,
+                   std::vector<Neighbor>* results,
+                   SearchStats* stats) const override;
 
   size_t size() const override { return exact_rows_.count(); }
   size_t dim() const override { return exact_rows_.dim(); }
@@ -116,49 +127,72 @@ class QuantizedStore : public VectorIndex {
   Status AttachExactRows(RowView rows);
 
  private:
+  /// How the approximate stage computes rank keys for the configured
+  /// (metric, backing) pair.
+  enum class ApproxMode {
+    kPqAdcL2,     ///< PQ + L2: per-query ADC table, m() reads per row
+    kInt8L2,      ///< int8 + L2: fused asymmetric squared-L2 kernel
+    kInt8Cosine,  ///< int8 + cosine: asymmetric dot + stored row norms
+    kGeneric,     ///< any metric: dequantize blocks into the stock
+                  ///< batched rank kernels
+  };
+
+  /// Derives the mode from the (metric, backing) pair — dynamic_cast
+  /// based, so it runs once per build/load (cached in approx_mode_),
+  /// never in the scan loop.
+  ApproxMode DeriveApproxMode() const;
+
   /// Runs the approximate stage: rank keys of all rows against the
   /// backing, keeping the best `fetch` (key, id) pairs. Keys are the
   /// metric's rank keys evaluated on reconstructed rows.
-  std::vector<Neighbor> ApproxTopK(const Vec& q, size_t fetch,
+  std::vector<Neighbor> ApproxTopK(const float* q, size_t fetch,
                                    SearchStats* stats) const;
 
   /// Approximate stage of range search: all ids whose rank key against
   /// the backing is <= `key_threshold`.
-  std::vector<uint32_t> ApproxRangeCandidates(const Vec& q,
+  std::vector<uint32_t> ApproxRangeCandidates(const float* q,
                                               double key_threshold,
                                               SearchStats* stats) const;
 
-  /// Per-query workspace of the approximate scan; exactly one of its
-  /// buffers is populated, selecting the dispatch in ApproxKeysBlock.
+  /// Per-query workspace of the approximate scan, populated per
+  /// approx_mode().
   struct ApproxScratch {
-    std::vector<double> lut;         ///< PQ + L2: ADC table
-    std::vector<float> q_centered;   ///< int8 + L2: centered query
-    std::vector<float> block;        ///< generic: dequantized block
+    std::vector<double> lut;        ///< kPqAdcL2: ADC table
+    std::vector<float> q_centered;  ///< kInt8L2: centered query
+    double q_dot_offset = 0.0;      ///< kInt8Cosine: q . grid offsets
+    double q_norm_sq = 0.0;         ///< kInt8Cosine: q . q
+    std::vector<float> block;       ///< kGeneric: dequantized block
   };
 
   /// Builds the workspace for one query (ADC table / centered query /
-  /// block buffer, per metric and backing).
-  ApproxScratch PrepareApproxScan(const Vec& q) const;
+  /// hoisted cosine terms / block buffer, per mode).
+  ApproxScratch PrepareApproxScan(const float* q) const;
 
   /// Dispatches one block of approximate rank keys to the backing.
-  void ApproxKeysBlock(const Vec& q, size_t begin, size_t n,
+  void ApproxKeysBlock(const float* q, size_t begin, size_t n,
                        ApproxScratch* scratch, double* keys) const;
 
-  /// Exact rerank of `candidates` (ids) on the retained float rows.
-  std::vector<Neighbor> RerankExact(const Vec& q,
+  /// Exact rerank of `candidates` (ids) on the retained float rows:
+  /// gathers the candidate rows and runs one batched exact-distance
+  /// call, then sorts by (distance, id) and keeps k.
+  std::vector<Neighbor> RerankExact(const float* q,
                                     const std::vector<Neighbor>& candidates,
                                     size_t k, SearchStats* stats) const;
 
-  /// True when the metric admits the fused int8/PQ squared-L2 path.
-  bool UseL2FastPath() const;
-
   void ComputeReconstructionError();
+
+  /// Precomputes per-row squared norms of the reconstructed int8 rows
+  /// (the cosine fast path's row-norm term). Only allocated when
+  /// approx_mode() == kInt8Cosine.
+  void ComputeReconNorms();
 
   std::shared_ptr<const DistanceMetric> metric_;
   QuantizedStoreOptions options_;
   RowView exact_rows_;
   Int8Matrix int8_;  ///< backing == kInt8
   PqMatrix pq_;      ///< backing == kPq
+  ApproxMode approx_mode_ = ApproxMode::kGeneric;  ///< set on build/load
+  std::vector<double> recon_norms_sq_;  ///< kInt8Cosine only, per row
   double max_recon_error_ = 0.0;
 };
 

@@ -213,6 +213,62 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Kernel-level checks of the multi-lane divide/sqrt-bound kernels
+// (chi-square, hellinger) and the register-tiled pair kernels: lane
+// widening may only change summation order (scalar-reference
+// agreement), pair tiling may change nothing at all (bit-identity to
+// the single-query kernels).
+
+TEST(MultiLaneKernels, ChiSquareAndHellingerMatchScalarAcrossDims) {
+  for (size_t dim = 0; dim <= 40; ++dim) {
+    const std::vector<Vec> rows = RandomRows(2, dim == 0 ? 1 : dim, dim + 3);
+    const float* a = rows[0].data();
+    const float* b = rows[1].data();
+    double chi_ref = 0.0, hel_ref = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      const double sum = static_cast<double>(a[i]) + b[i];
+      if (sum > 0.0) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        chi_ref += d * d / sum;
+      }
+      const double h = std::sqrt(std::max(0.0f, a[i])) -
+                       std::sqrt(std::max(0.0f, b[i]));
+      hel_ref += h * h;
+    }
+    chi_ref *= 0.5;
+    EXPECT_NEAR(kernels::ChiSquare(a, b, dim), chi_ref, 1e-9) << dim;
+    EXPECT_NEAR(kernels::HellingerSquaredSum(a, b, dim), hel_ref, 1e-9)
+        << dim;
+  }
+}
+
+TEST(TiledKernels, BitIdenticalToSingleQueryKernels) {
+  for (size_t dim : {1u, 7u, 8u, 9u, 16u, 33u, 257u}) {
+    const std::vector<Vec> rows = RandomRows(3, dim, 17 * dim);
+    const float* qa = rows[0].data();
+    const float* qb = rows[1].data();
+    const float* r = rows[2].data();
+
+    // Operand widening is exact, so the convert-free kernel must
+    // reproduce the float kernel bit for bit.
+    std::vector<double> qa_wide(qa, qa + dim), r_wide(r, r + dim);
+    EXPECT_EQ(kernels::L2SquaredWide(qa_wide.data(), r_wide.data(), dim),
+              kernels::L2Squared(qa, r, dim))
+        << dim;
+
+    double dot_a = -1.0, dot_b = -1.0, norm_pair = -1.0;
+    kernels::DotPairAndNormSq(qa, qb, r, dim, &dot_a, &dot_b, &norm_pair);
+    double dot_ref = 0.0, norm_ref = 0.0;
+    kernels::DotAndNormSq(qa, r, dim, &dot_ref, &norm_ref);
+    EXPECT_EQ(dot_a, dot_ref) << dim;
+    EXPECT_EQ(norm_pair, norm_ref) << dim;
+    kernels::DotAndNormSq(qb, r, dim, &dot_ref, &norm_ref);
+    EXPECT_EQ(dot_b, dot_ref) << dim;
+    EXPECT_EQ(norm_pair, norm_ref) << dim;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Ranking equivalence: the blocked kernel scan must produce the same
 // ids as a scalar-reference top-k / range scan (ties broken by id).
 

@@ -1,0 +1,293 @@
+// SearchBatch equivalence suite: the batched query path must be
+// bit-identical (ids AND distances) to the per-query path for every
+// index shape the engine can build — tile sizes {1, 3, 16, 64} x all 7
+// metrics x shards {1, 3} x quantization {none, int8, pq}, plus the
+// tree indexes (VP-tree batched traversal, KD/R/M-tree base-class
+// adapter) — and must handle the degenerate shapes (k = 0, k > n,
+// empty query set, single-row store, empty index).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/index.h"
+#include "index/query_block.h"
+#include "index/top_k.h"
+#include "index/linear_scan.h"
+#include "quant/quantized_store.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+/// Random non-negative vectors (histogram-like, valid for every
+/// measure) with occasional exact zeros; a few duplicated rows
+/// exercise the (distance, id) tie-break through the collectors.
+std::vector<Vec> RandomRows(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> rows;
+  rows.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    Vec v(dim);
+    for (auto& x : v) {
+      const double u = rng.NextDouble();
+      x = u < 0.1 ? 0.0f : static_cast<float>(u);
+    }
+    rows.push_back(std::move(v));
+  }
+  for (size_t d = 0; d + 1 < n / 10; ++d) rows[n - 1 - d] = rows[d * 7 % n];
+  return rows;
+}
+
+constexpr size_t kTileSizes[] = {1, 3, 16, 64};
+
+/// Asserts SearchBatch over every tile size == per-query KnnSearch,
+/// bit for bit.
+void ExpectBatchMatchesPerQuery(const VectorIndex& index,
+                                const std::vector<Vec>& queries, size_t k,
+                                const std::string& label) {
+  std::vector<std::vector<Neighbor>> want(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    want[i] = KnnSearch(index, queries[i], k);
+  }
+  const QueryBlock block = QueryBlock::Pack(queries);
+  for (const size_t tile : kTileSizes) {
+    std::vector<std::vector<Neighbor>> got(queries.size());
+    std::vector<SearchStats> stats(queries.size());
+    for (size_t begin = 0; begin < queries.size(); begin += tile) {
+      const size_t count = std::min(tile, queries.size() - begin);
+      index.SearchBatch(block.Tile(begin, count), k, got.data() + begin,
+                        stats.data() + begin);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size())
+          << label << " tile=" << tile << " query=" << i;
+      for (size_t j = 0; j < want[i].size(); ++j) {
+        EXPECT_EQ(got[i][j].id, want[i][j].id)
+            << label << " tile=" << tile << " query=" << i << " rank=" << j;
+        // Bit-identity, not tolerance: the tiled kernels must only
+        // reschedule the per-query arithmetic.
+        EXPECT_EQ(got[i][j].distance, want[i][j].distance)
+            << label << " tile=" << tile << " query=" << i << " rank=" << j;
+      }
+      if (k > 0 && index.size() > 0) {
+        EXPECT_GT(stats[i].distance_evals, 0u) << label << " tile=" << tile;
+      }
+    }
+  }
+}
+
+struct ScanCase {
+  MetricKind metric;
+  size_t shards;
+  QuantizationKind quantization;
+  std::string name;
+};
+
+std::vector<ScanCase> AllScanCases() {
+  std::vector<ScanCase> cases;
+  for (const MetricKind metric :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLInf,
+        MetricKind::kHistogramIntersection, MetricKind::kChiSquare,
+        MetricKind::kHellinger, MetricKind::kCosine}) {
+    for (const size_t shards : {1u, 3u}) {
+      for (const QuantizationKind quantization :
+           {QuantizationKind::kNone, QuantizationKind::kInt8,
+            QuantizationKind::kPq}) {
+        cases.push_back(
+            {metric, shards, quantization,
+             MetricKindName(metric) + "_s" + std::to_string(shards) + "_" +
+                 QuantizationKindName(quantization)});
+      }
+    }
+  }
+  return cases;
+}
+
+class SearchBatchScanEquivalence
+    : public ::testing::TestWithParam<ScanCase> {};
+
+TEST_P(SearchBatchScanEquivalence, BitIdenticalToPerQueryAcrossTiles) {
+  const ScanCase& param = GetParam();
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = param.metric;
+  config.shards = param.shards;
+  config.quantization = param.quantization;
+  config.pq_m = 6;
+  config.rerank_factor = 3;
+  auto index = MakeIndex(config);
+  ASSERT_TRUE(index.ok()) << param.name;
+
+  const std::vector<Vec> rows = RandomRows(300, 24, 42);
+  ASSERT_TRUE(index.value()->Build(rows).ok());
+  const std::vector<Vec> queries = RandomRows(70, 24, 4242);
+  for (const size_t k : {1u, 10u}) {
+    ExpectBatchMatchesPerQuery(*index.value(), queries, k,
+                               param.name + "_k" + std::to_string(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SearchBatchScanEquivalence,
+    ::testing::ValuesIn(AllScanCases()),
+    [](const ::testing::TestParamInfo<ScanCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Tree indexes: VP-tree overrides SearchBatch with a shared traversal;
+// KD/R/M-trees run through the base-class per-query adapter.
+
+struct TreeCase {
+  IndexKind index_kind;
+  MetricKind metric;
+  std::string name;
+};
+
+std::vector<TreeCase> AllTreeCases() {
+  return {
+      {IndexKind::kVpTree, MetricKind::kL1, "vp_l1"},
+      {IndexKind::kVpTree, MetricKind::kL2, "vp_l2"},
+      {IndexKind::kVpTree, MetricKind::kLInf, "vp_linf"},
+      {IndexKind::kVpTree, MetricKind::kHellinger, "vp_hellinger"},
+      {IndexKind::kKdTree, MetricKind::kL1, "kd_l1"},
+      {IndexKind::kKdTree, MetricKind::kL2, "kd_l2"},
+      {IndexKind::kRTree, MetricKind::kL2, "rtree_l2"},
+      {IndexKind::kRTree, MetricKind::kLInf, "rtree_linf"},
+      {IndexKind::kMTree, MetricKind::kL2, "mtree_l2"},
+      {IndexKind::kMTree, MetricKind::kHellinger, "mtree_hellinger"},
+  };
+}
+
+class SearchBatchTreeEquivalence
+    : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(SearchBatchTreeEquivalence, BitIdenticalToPerQueryAcrossTiles) {
+  const TreeCase& param = GetParam();
+  for (const size_t shards : {1u, 3u}) {
+    EngineConfig config;
+    config.index_kind = param.index_kind;
+    config.metric = param.metric;
+    config.shards = shards;
+    auto index = MakeIndex(config);
+    ASSERT_TRUE(index.ok()) << param.name;
+
+    const std::vector<Vec> rows = RandomRows(300, 16, 7);
+    ASSERT_TRUE(index.value()->Build(rows).ok());
+    const std::vector<Vec> queries = RandomRows(70, 16, 1007);
+    ExpectBatchMatchesPerQuery(
+        *index.value(), queries, 9,
+        param.name + "_s" + std::to_string(shards));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, SearchBatchTreeEquivalence,
+    ::testing::ValuesIn(AllTreeCases()),
+    [](const ::testing::TestParamInfo<TreeCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Degenerate shapes.
+
+TEST(SearchBatchEdgeCases, KLargerThanStoreReturnsEverything) {
+  LinearScanIndex index(MakeMetric(MetricKind::kL2));
+  const std::vector<Vec> rows = RandomRows(20, 8, 3);
+  ASSERT_TRUE(index.Build(rows).ok());
+  const std::vector<Vec> queries = RandomRows(5, 8, 33);
+  ExpectBatchMatchesPerQuery(index, queries, 50, "k_gt_n");
+  const auto results = SearchBatch(index, queries, 50);
+  for (const auto& r : results) EXPECT_EQ(r.size(), rows.size());
+}
+
+TEST(SearchBatchEdgeCases, KZeroYieldsEmptyResults) {
+  for (const IndexKind kind :
+       {IndexKind::kLinearScan, IndexKind::kVpTree, IndexKind::kKdTree}) {
+    EngineConfig config;
+    config.index_kind = kind;
+    config.metric = MetricKind::kL2;
+    auto index = MakeIndex(config);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(index.value()->Build(RandomRows(30, 8, 5)).ok());
+    const auto results =
+        SearchBatch(*index.value(), RandomRows(4, 8, 55), 0);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto& r : results) EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(SearchBatchEdgeCases, EmptyQuerySetYieldsNoResults) {
+  LinearScanIndex index(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(index.Build(RandomRows(30, 8, 5)).ok());
+  EXPECT_TRUE(SearchBatch(index, {}, 5).empty());
+}
+
+TEST(SearchBatchEdgeCases, SingleRowStore) {
+  for (const QuantizationKind quantization :
+       {QuantizationKind::kNone, QuantizationKind::kInt8,
+        QuantizationKind::kPq}) {
+    EngineConfig config;
+    config.index_kind = IndexKind::kLinearScan;
+    config.metric = MetricKind::kL2;
+    config.quantization = quantization;
+    auto index = MakeIndex(config);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE(index.value()->Build(RandomRows(1, 8, 9)).ok());
+    const std::vector<Vec> queries = RandomRows(3, 8, 99);
+    ExpectBatchMatchesPerQuery(*index.value(), queries, 4,
+                               QuantizationKindName(quantization));
+    const auto results = SearchBatch(*index.value(), queries, 4);
+    for (const auto& r : results) {
+      ASSERT_EQ(r.size(), 1u);
+      EXPECT_EQ(r[0].id, 0u);
+    }
+  }
+}
+
+TEST(SearchBatchEdgeCases, EmptyIndex) {
+  LinearScanIndex index(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(index.Build({}).ok());
+  const auto results = SearchBatch(index, RandomRows(3, 8, 1), 5);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_TRUE(r.empty());
+}
+
+// ---------------------------------------------------------------------------
+// int8 + cosine fast path (asymmetric dot + stored reconstructed row
+// norms): with an over-fetch covering the whole store, the rerank is
+// exhaustive and results must equal the exact float scan regardless of
+// approximate-key rounding.
+
+TEST(QuantizedCosineFastPath, ExhaustiveRerankMatchesExactScan) {
+  const std::vector<Vec> rows = RandomRows(200, 24, 21);
+  const std::vector<Vec> queries = RandomRows(10, 24, 2121);
+  LinearScanIndex exact(MakeMetric(MetricKind::kCosine));
+  ASSERT_TRUE(exact.Build(rows).ok());
+
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kInt8;
+  options.rerank_factor = rows.size();  // fetch covers the whole store
+  QuantizedStore store(MakeMetric(MetricKind::kCosine), options);
+  ASSERT_TRUE(store.Build(rows).ok());
+
+  const size_t k = 10;
+  for (const Vec& q : queries) {
+    const auto want = KnnSearch(exact, q, k);
+    const auto got = KnnSearch(store, q, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(got[j].id, want[j].id);
+      EXPECT_DOUBLE_EQ(got[j].distance, want[j].distance);
+    }
+  }
+  // And the batched form of the fast path stays bit-identical.
+  ExpectBatchMatchesPerQuery(store, queries, k, "int8_cosine");
+}
+
+}  // namespace
+}  // namespace cbix
