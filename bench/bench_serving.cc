@@ -1,0 +1,271 @@
+// bench_serving — closed-loop latency/throughput harness for the
+// fault-tolerant serving runtime.
+//
+// A query thread issues fixed-size batches against a ServingEngine in
+// a closed loop while a writer trickles inserts (crossing merge
+// boundaries, so snapshot swaps happen under fire). Four scenarios
+// walk the fault spectrum:
+//
+//   healthy       no faults — the baseline the others are judged by
+//   slow_shard    one shard +2 ms latency, generous deadline: the
+//                 budget absorbs the straggler, nothing degrades
+//   flaky_shard   one shard fails 20% of attempts, 5 retries: the
+//                 retry policy keeps coverage full
+//   failed_shard  one shard hard down — every query runs degraded
+//                 over the survivors
+//
+// Reported per scenario: QPS, batch latency p50/p99/p999, and the
+// degraded-query fraction. Two absolute gates fail the run (and the
+// smoke ritual) rather than ship a bad trajectory: `healthy` and
+// `flaky_shard` must stay under a 1% degraded ceiling, and
+// `failed_shard` must degrade *everything* (if it does not, the
+// coverage accounting is lying).
+//
+// Usage: bench_serving [output.json]  — writes BENCH_serving.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/fault_injector.h"
+#include "core/serving.h"
+#include "corpus/vector_workload.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+constexpr size_t kCount = 4096;
+constexpr size_t kDim = 64;
+constexpr size_t kShards = 4;
+constexpr size_t kK = 10;
+constexpr size_t kBatch = 16;
+constexpr size_t kBatchesPerScenario = 60;
+constexpr size_t kLiveInserts = 96;  ///< trickled during measurement
+constexpr int64_t kDeadlineMs = 200;
+
+struct Scenario {
+  std::string name;
+  double fail_probability = 0.0;
+  int64_t latency_ms = 0;
+  size_t max_retries = 0;
+  double max_degraded_fraction = 1.0;  ///< absolute ceiling (gate)
+  double min_degraded_fraction = 0.0;  ///< floor (gate, failed_shard)
+};
+
+struct ServingRow {
+  std::string scenario;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double degraded_fraction = 0.0;
+};
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "bench_serving: %s failed: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
+  return sorted[idx];
+}
+
+ServingRow RunScenario(const Scenario& scenario,
+                       const std::vector<Vec>& data,
+                       const std::vector<Vec>& queries) {
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine.index_kind = IndexKind::kLinearScan;
+  options.engine.metric = MetricKind::kL2;
+  options.engine.shards = kShards;
+  options.delta_merge_threshold = 64;
+  options.search_threads = 2;
+  options.fault_injector = injector;
+  auto created = ServingEngine::Create(FeatureExtractor(), options);
+  if (!created.ok()) Die(scenario.name + " Create", created.status());
+  ServingEngine& serve = **created;
+
+  const size_t preload = kCount - kLiveInserts;
+  for (size_t i = 0; i < preload; ++i) {
+    const auto id = serve.Insert(data[i], "v" + std::to_string(i));
+    if (!id.ok()) Die(scenario.name + " Insert", id.status());
+  }
+  if (const Status flushed = serve.Flush(); !flushed.ok()) {
+    Die(scenario.name + " Flush", flushed);
+  }
+
+  if (scenario.fail_probability > 0.0 || scenario.latency_ms > 0) {
+    FaultInjector::ShardFault fault;
+    fault.fail_probability = scenario.fail_probability;
+    fault.latency_ms = scenario.latency_ms;
+    injector->SetShardFault(0, fault);
+    injector->Seed(1234);
+    injector->Enable(true);
+  }
+
+  SearchOptions search;
+  search.timeout_ms = kDeadlineMs;
+  search.max_retries = scenario.max_retries;
+
+  // Writer trickles the remaining rows in while the query loop runs,
+  // forcing snapshot swaps (and one merge) under measurement.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    for (size_t i = preload; i < kCount && !stop_writer.load(); ++i) {
+      const auto id = serve.Insert(data[i], "v" + std::to_string(i));
+      if (!id.ok()) break;  // counted via serve.inserts() below
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kBatchesPerScenario);
+  size_t queries_issued = 0;
+  size_t queries_degraded = 0;
+  Timer wall;
+  for (size_t b = 0; b < kBatchesPerScenario; ++b) {
+    std::vector<Vec> batch;
+    batch.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(queries[(b * kBatch + i) % queries.size()]);
+    }
+    Timer timer;
+    const auto reply = serve.Search(batch, kK, search);
+    if (!reply.ok()) Die(scenario.name + " Search", reply.status());
+    latencies_ms.push_back(
+        static_cast<double>(timer.ElapsedMicros()) / 1000.0);
+    queries_issued += kBatch;
+    for (const QueryCoverage& cov : reply->coverage) {
+      if (cov.degraded) ++queries_degraded;
+    }
+  }
+  const double wall_ms = static_cast<double>(wall.ElapsedMicros()) / 1000.0;
+  stop_writer.store(true);
+  writer.join();
+
+  ServingRow row;
+  row.scenario = scenario.name;
+  row.qps = wall_ms > 0.0
+                ? 1000.0 * static_cast<double>(queries_issued) / wall_ms
+                : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  row.p50_ms = Percentile(latencies_ms, 0.50);
+  row.p99_ms = Percentile(latencies_ms, 0.99);
+  row.p999_ms = Percentile(latencies_ms, 0.999);
+  row.degraded_fraction =
+      queries_issued > 0
+          ? static_cast<double>(queries_degraded) /
+                static_cast<double>(queries_issued)
+          : 0.0;
+
+  // Absolute gates: a scenario whose degradation leaves its envelope
+  // means the fault handling (or its accounting) broke.
+  if (row.degraded_fraction > scenario.max_degraded_fraction) {
+    std::fprintf(stderr,
+                 "bench_serving: %s degraded fraction %.4f exceeds the "
+                 "%.4f ceiling\n",
+                 scenario.name.c_str(), row.degraded_fraction,
+                 scenario.max_degraded_fraction);
+    std::exit(1);
+  }
+  if (row.degraded_fraction < scenario.min_degraded_fraction) {
+    std::fprintf(stderr,
+                 "bench_serving: %s degraded fraction %.4f below the "
+                 "%.4f floor — coverage accounting is not reporting "
+                 "the dead shard\n",
+                 scenario.name.c_str(), row.degraded_fraction,
+                 scenario.min_degraded_fraction);
+    std::exit(1);
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<ServingRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serving: cannot write %s\n", path.c_str());
+    std::exit(1);  // a stale trajectory must not pass the smoke ritual
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_serving\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"dim\": %zu, \"shards\": %zu,"
+               " \"k\": %zu, \"batch\": %zu, \"batches\": %zu,"
+               " \"deadline_ms\": %lld, \"live_inserts\": %zu},\n",
+               kCount, kDim, kShards, kK, kBatch, kBatchesPerScenario,
+               static_cast<long long>(kDeadlineMs), kLiveInserts);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"serving\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServingRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"qps\": %.1f,"
+                 " \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f,"
+                 " \"degraded_fraction\": %.4f}%s\n",
+                 r.scenario.c_str(), r.qps, r.p50_ms, r.p99_ms, r.p999_ms,
+                 r.degraded_fraction, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "SERVING",
+      "closed-loop serving latency under concurrent inserts + faults",
+      "clustered, n=" + std::to_string(kCount) + ", dim=" +
+          std::to_string(kDim) + ", shards=" + std::to_string(kShards) +
+          ", k=" + std::to_string(kK));
+
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = kCount;
+  spec.dim = kDim;
+  spec.seed = 7;
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, 256, 0.05, 4321);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"healthy", 0.0, 0, 0, /*max_degraded=*/0.01, 0.0});
+  scenarios.push_back({"slow_shard", 0.0, 2, 0, /*max_degraded=*/0.01, 0.0});
+  scenarios.push_back(
+      {"flaky_shard", 0.2, 0, 5, /*max_degraded=*/0.01, 0.0});
+  scenarios.push_back(
+      {"failed_shard", 1.0, 0, 0, 1.0, /*min_degraded=*/0.999});
+
+  std::vector<ServingRow> rows;
+  TablePrinter table({"scenario", "qps", "p50_ms", "p99_ms", "p999_ms",
+                      "degraded"});
+  table.PrintHeader();
+  for (const Scenario& scenario : scenarios) {
+    ServingRow row = RunScenario(scenario, data, queries);
+    table.PrintRow({row.scenario, Fmt(row.qps, 1), Fmt(row.p50_ms, 3),
+                    Fmt(row.p99_ms, 3), Fmt(row.p999_ms, 3),
+                    Fmt(row.degraded_fraction, 4)});
+    rows.push_back(std::move(row));
+  }
+
+  if (argc > 1) WriteJson(argv[1], rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

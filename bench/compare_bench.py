@@ -19,6 +19,11 @@ portable baseline). Compared fields:
                                          QPS regardless of baseline
   - BENCH_shards.json   shard_scaling[]  batch_qps
   - BENCH_quant.json    quantization[]   batch_qps, compression_x
+  - BENCH_serving.json  serving[]        qps, plus ABSOLUTE degraded-
+                                         fraction gates: healthy/slow/
+                                         flaky scenarios <= 1%
+                                         degraded, a hard-down shard
+                                         must degrade every query
 
 Usage: compare_bench.py <baseline_dir> <current_dir> [--threshold 0.20]
 
@@ -115,6 +120,48 @@ def check_tiled_floor(failures, notes, current_dir, min_speedup=1.3):
                 f">= {min_speedup:.1f}x floor")
 
 
+def check_degraded_ceiling(failures, notes, current_dir):
+    """Absolute gate on serving fault handling, no baseline required:
+    the healthy and retry-covered scenarios must stay essentially
+    un-degraded, and a hard-down shard must degrade every query (a
+    lower number means the coverage accounting stopped noticing)."""
+    ceilings = {"healthy": 0.01, "slow_shard": 0.01, "flaky_shard": 0.01}
+    floors = {"failed_shard": 0.999}
+    path = os.path.join(current_dir, "BENCH_serving.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_serving.json: missing from current run")
+        return
+    rows = {r.get("scenario"): r for r in load(path).get("serving", [])}
+    for scenario, ceiling in ceilings.items():
+        row = rows.get(scenario)
+        if row is None:
+            failures.append(
+                f"BENCH_serving.json: scenario '{scenario}' missing "
+                "(degraded ceiling cannot run)")
+            continue
+        frac = row.get("degraded_fraction", 1.0)
+        if frac > ceiling:
+            failures.append(
+                f"BENCH_serving.json {scenario}: degraded_fraction "
+                f"{frac:.4f} above the {ceiling:.2f} ceiling")
+        else:
+            notes.append(
+                f"serving {scenario} degraded_fraction {frac:.4f} "
+                f"<= {ceiling:.2f} ceiling")
+    for scenario, floor in floors.items():
+        row = rows.get(scenario)
+        if row is None:
+            failures.append(
+                f"BENCH_serving.json: scenario '{scenario}' missing "
+                "(degraded floor cannot run)")
+            continue
+        frac = row.get("degraded_fraction", 0.0)
+        if frac < floor:
+            failures.append(
+                f"BENCH_serving.json {scenario}: degraded_fraction "
+                f"{frac:.4f} below the {floor:.3f} floor")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir")
@@ -142,6 +189,10 @@ def main():
                  ("backing", "rerank_factor"),
                  [("batch_qps", True), ("compression_x", True)],
                  args.threshold)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_serving.json", "serving", ("scenario",),
+                 [("qps", True)], args.threshold)
+    check_degraded_ceiling(failures, notes, args.current_dir)
 
     for note in notes:
         print(f"note: {note}")

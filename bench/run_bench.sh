@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Per-PR smoke ritual: configure, build, run the tier-1 test suite, and
 # refresh the committed perf trajectories (BENCH_kernels.json +
-# BENCH_shards.json + BENCH_quant.json) so every PR leaves a fresh data
-# point. bench_quant additionally gates int8 recall@10 and int8/pq
-# compression; a quality regression fails the ritual.
+# BENCH_shards.json + BENCH_quant.json + BENCH_serving.json) so every
+# PR leaves a fresh data point. bench_quant additionally gates int8
+# recall@10 and int8/pq compression, and bench_serving gates the
+# degraded-query fraction under injected faults; a quality regression
+# fails the ritual.
 #
 # Usage: bench/run_bench.sh [build-dir]
 #   BUILD_DIR / $1  build directory (default: <repo>/build)
@@ -32,5 +34,8 @@ echo "== perf trajectory: shards =="
 
 echo "== perf trajectory: quantization (recall/compression gates) =="
 "$BUILD/bench_quant" "$ROOT/BENCH_quant.json"
+
+echo "== perf trajectory: serving (degraded-fraction gates) =="
+"$BUILD/bench_serving" "$ROOT/BENCH_serving.json"
 
 echo "== smoke OK =="

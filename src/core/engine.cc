@@ -1,7 +1,11 @@
 #include "core/engine.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <thread>
 
+#include "core/fault_injector.h"
 #include "distance/histogram_measures.h"
 #include "distance/minkowski.h"
 #include "image/pnm_codec.h"
@@ -163,7 +167,28 @@ std::unique_ptr<VectorIndex> MakeUnshardedIndex(const EngineConfig& config) {
 
 }  // namespace
 
+Status ValidateEngineConfig(const EngineConfig& config) {
+  if (config.query_tile == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig: query_tile must be >= 1");
+  }
+  if (config.shards == 0) {
+    return Status::InvalidArgument("EngineConfig: shards must be >= 1");
+  }
+  if (config.quantization != QuantizationKind::kNone &&
+      config.rerank_factor == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig: rerank_factor must be >= 1 under quantization");
+  }
+  if (config.quantization == QuantizationKind::kPq && config.pq_m == 0) {
+    return Status::InvalidArgument(
+        "EngineConfig: pq_m must be >= 1 under PQ quantization");
+  }
+  return Status::Ok();
+}
+
 Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
+  CBIX_RETURN_IF_ERROR(ValidateEngineConfig(config));
   CBIX_RETURN_IF_ERROR(
       ValidateIndexMetricCombination(config.index_kind, config.metric));
   if (config.quantization != QuantizationKind::kNone &&
@@ -290,15 +315,59 @@ Result<std::vector<CbirEngine::Match>> CbirEngine::QueryKnnByVector(
                                      stats != nullptr ? stats : &local));
 }
 
-std::vector<std::vector<CbirEngine::Match>> CbirEngine::KnnBatchOnPool(
+namespace {
+
+/// Per-(tile, shard) attempt loop shared by both fan-out shapes:
+/// injector hook, the scan itself, deadline latching, and retry with
+/// linear backoff. `run_attempt` performs one scan attempt into the
+/// item's slots (cleared here before every attempt) and returns its
+/// status.
+template <typename RunAttempt, typename ResetSlots>
+Status RunWorkItem(const SearchOptions& options,
+                   const CancellationToken* cancel, FaultInjector* injector,
+                   size_t shard, const ResetSlots& reset_slots,
+                   const RunAttempt& run_attempt) {
+  Status status;
+  for (size_t attempt = 0;; ++attempt) {
+    if (cancel != nullptr && cancel->Expired()) {
+      reset_slots();
+      return Status::DeadlineExceeded("query budget exhausted");
+    }
+    reset_slots();
+    status = injector != nullptr ? injector->OnShardSearch(shard)
+                                 : Status::Ok();
+    if (status.ok()) status = run_attempt();
+    // Deadline expiry is never retried: the budget is spent, and
+    // another attempt could only blow further past it.
+    if (status.ok() || status.code() == StatusCode::kDeadlineExceeded) {
+      return status;
+    }
+    if (attempt >= options.max_retries) {
+      reset_slots();
+      return status;
+    }
+    if (options.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          options.retry_backoff_ms * static_cast<int64_t>(attempt + 1)));
+    }
+  }
+}
+
+}  // namespace
+
+Status CbirEngine::KnnBatchOnPool(
     ThreadPool& pool, const std::vector<Vec>& queries, size_t k,
-    std::vector<SearchStats>* stats) const {
+    const SearchOptions& options,
+    std::vector<std::vector<Match>>* results,
+    std::vector<SearchStats>* stats,
+    std::vector<QueryCoverage>* coverage) const {
   const size_t num_queries = queries.size();
-  std::vector<std::vector<Match>> results(num_queries);
+  results->assign(num_queries, {});
   std::vector<SearchStats> local_stats(num_queries);
+  if (coverage != nullptr) coverage->assign(num_queries, QueryCoverage{});
   if (num_queries == 0) {
     if (stats != nullptr) stats->clear();
-    return results;
+    return Status::Ok();
   }
   // Pack the whole batch into one QueryBlock and schedule
   // query_tile-sized windows of it; every tile runs the index's
@@ -321,52 +390,162 @@ std::vector<std::vector<CbirEngine::Match>> CbirEngine::KnnBatchOnPool(
       1, std::min(std::max<size_t>(1, config_.query_tile),
                   (num_queries + tiles_wanted - 1) / tiles_wanted));
   const size_t num_tiles = (num_queries + tile - 1) / tile;
+
+  // Serving controls: the deadline token is shared by every work item
+  // (one budget for the whole call); the injector hook is consulted
+  // per attempt. With default options and no injector both are null
+  // and the scan runs exactly the historical path.
+  const bool has_deadline = options.timeout_ms > 0;
+  const CancellationToken token =
+      has_deadline ? CancellationToken::WithTimeout(
+                         std::chrono::milliseconds(options.timeout_ms))
+                   : CancellationToken();
+  const CancellationToken* cancel = has_deadline ? &token : nullptr;
+  FaultInjector* injector =
+      (injector_ != nullptr && injector_->enabled()) ? injector_.get()
+                                                     : nullptr;
+
   std::vector<std::vector<Neighbor>> neighbors(num_queries);
   if (sharded != nullptr && num_shards > 1) {
     // tiles x shards work items: per-(shard, query) partial top-k
     // lists land in disjoint slots, so the merge is deterministic
-    // regardless of worker scheduling.
+    // regardless of worker scheduling. Item statuses land in disjoint
+    // slots too; the merge below drops failed items per query instead
+    // of failing the batch.
     const ShardedFeatureStore& store = sharded->store();
     std::vector<std::vector<Neighbor>> partial(num_shards * num_queries);
     std::vector<SearchStats> shard_stats(num_shards * num_queries);
+    std::vector<Status> item_status(num_tiles * num_shards);
     pool.ParallelFor(num_tiles * num_shards, [&](size_t item) {
       const size_t t = item / num_shards;
       const size_t s = item % num_shards;
       const size_t begin = t * tile;
       const size_t count = std::min(tile, num_queries - begin);
-      store.SearchBatchShard(s, block.Tile(begin, count), k,
-                             partial.data() + s * num_queries + begin,
-                             shard_stats.data() + s * num_queries + begin);
+      const QueryBlock tile_block = block.Tile(begin, count);
+      std::vector<Neighbor>* slots = partial.data() + s * num_queries + begin;
+      SearchStats* slot_stats = shard_stats.data() + s * num_queries + begin;
+      item_status[item] = RunWorkItem(
+          options, cancel, injector, s,
+          [&] {
+            for (size_t i = 0; i < count; ++i) {
+              slots[i].clear();
+              slot_stats[i] = SearchStats{};
+            }
+          },
+          [&] {
+            return store.SearchBatchShard(s, tile_block, k, slots,
+                                          slot_stats, cancel);
+          });
     });
-    ShardedFeatureStore::MergeShardSlots(std::move(partial), shard_stats,
-                                         num_shards, num_queries, k,
-                                         neighbors.data(),
-                                         local_stats.data());
+    // Degraded merge: per query, exactly the shards whose (tile, shard)
+    // item succeeded. When everything answered this reduces to
+    // MergeShardSlots bit for bit (same shard order, same MergeTopK,
+    // same stats accumulation order).
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      const size_t t = qi / tile;
+      QueryCoverage cov;
+      cov.shards_total = num_shards;
+      cov.shard_status.resize(num_shards, StatusCode::kOk);
+      std::vector<std::vector<Neighbor>> per_shard;
+      per_shard.reserve(num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        const Status& st = item_status[t * num_shards + s];
+        cov.shard_status[s] = st.code();
+        if (!st.ok()) continue;
+        per_shard.push_back(std::move(partial[s * num_queries + qi]));
+        local_stats[qi] += shard_stats[s * num_queries + qi];
+        ++cov.shards_answered;
+      }
+      cov.degraded = cov.shards_answered < num_shards;
+      neighbors[qi] =
+          ShardedFeatureStore::MergeTopK(std::move(per_shard), k);
+      if (cov.shards_answered < options.min_shards) {
+        // Below the coverage floor the partial answer is withheld: the
+        // caller asked to treat it as a failure, not a degraded hit.
+        neighbors[qi].clear();
+        cov.status = Status::Unavailable(
+            "only " + std::to_string(cov.shards_answered) + " of " +
+            std::to_string(num_shards) + " shards answered (min_shards=" +
+            std::to_string(options.min_shards) + ")");
+      }
+      if (coverage != nullptr) (*coverage)[qi] = std::move(cov);
+    }
   } else {
+    std::vector<Status> tile_status(num_tiles);
     pool.ParallelFor(num_tiles, [&](size_t t) {
       const size_t begin = t * tile;
       const size_t count = std::min(tile, num_queries - begin);
-      index_->SearchBatch(block.Tile(begin, count), k,
-                          neighbors.data() + begin,
-                          local_stats.data() + begin);
+      const QueryBlock tile_block = block.Tile(begin, count);
+      tile_status[t] = RunWorkItem(
+          options, cancel, injector, /*shard=*/0,
+          [&] {
+            for (size_t i = 0; i < count; ++i) {
+              neighbors[begin + i].clear();
+              local_stats[begin + i] = SearchStats{};
+            }
+          },
+          [&]() -> Status {
+            index_->SearchBatch(tile_block, k, neighbors.data() + begin,
+                                local_stats.data() + begin, cancel);
+            if (cancel != nullptr && cancel->Expired()) {
+              return Status::DeadlineExceeded("tile scan expired");
+            }
+            return Status::Ok();
+          });
+      if (!tile_status[t].ok()) {
+        // The index may have filled some slots before expiring; a
+        // failed item contributes nothing.
+        for (size_t i = 0; i < count; ++i) {
+          neighbors[begin + i].clear();
+          local_stats[begin + i] = SearchStats{};
+        }
+      }
     });
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      const Status& st = tile_status[qi / tile];
+      QueryCoverage cov;
+      cov.shards_total = 1;
+      cov.shard_status.assign(1, st.code());
+      cov.shards_answered = st.ok() ? 1 : 0;
+      cov.degraded = !st.ok();
+      if (cov.shards_answered < options.min_shards) {
+        neighbors[qi].clear();
+        cov.status = Status::Unavailable(
+            "the only shard failed to answer (" +
+            std::string(StatusCodeName(st.code())) + ")");
+      }
+      if (coverage != nullptr) (*coverage)[qi] = std::move(cov);
+    }
   }
   for (size_t i = 0; i < num_queries; ++i) {
-    results[i] = ToMatches(neighbors[i]);
+    (*results)[i] = ToMatches(neighbors[i]);
   }
   if (stats != nullptr) *stats = std::move(local_stats);
-  return results;
+  return Status::Ok();
 }
 
 Result<std::vector<std::vector<CbirEngine::Match>>>
 CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
                           size_t num_threads,
                           std::vector<SearchStats>* stats) {
+  return QueryKnnBatch(images, k, SearchOptions{}, num_threads, stats,
+                       nullptr);
+}
+
+Result<std::vector<std::vector<CbirEngine::Match>>>
+CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
+                          const SearchOptions& options, size_t num_threads,
+                          std::vector<SearchStats>* stats,
+                          std::vector<QueryCoverage>* coverage) {
+  CBIX_RETURN_IF_ERROR(ValidateSearchOptions(options, num_shards()));
   for (const ImageU8& image : images) {
     if (image.empty()) return Status::InvalidArgument("empty query image");
   }
   if (store_.empty()) {
     if (stats != nullptr) stats->assign(images.size(), SearchStats{});
+    if (coverage != nullptr) {
+      coverage->assign(images.size(), QueryCoverage{});
+    }
     return std::vector<std::vector<Match>>(images.size());
   }
   if (extractor_.dim() != store_.feature_dim()) {
@@ -381,7 +560,9 @@ CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
     pool.ParallelFor(images.size(), [&](size_t i) {
       features[i] = extractor_.Extract(images[i]);
     });
-    results = KnnBatchOnPool(pool, features, k, stats);
+    CBIX_RETURN_IF_ERROR(
+        KnnBatchOnPool(pool, features, k, options, &results, stats,
+                       coverage));
   }
   return results;
 }
@@ -390,8 +571,22 @@ Result<std::vector<std::vector<CbirEngine::Match>>>
 CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
                                    size_t num_threads,
                                    std::vector<SearchStats>* stats) {
+  return QueryKnnBatchByVectors(queries, k, SearchOptions{}, num_threads,
+                                stats, nullptr);
+}
+
+Result<std::vector<std::vector<CbirEngine::Match>>>
+CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
+                                   const SearchOptions& options,
+                                   size_t num_threads,
+                                   std::vector<SearchStats>* stats,
+                                   std::vector<QueryCoverage>* coverage) {
+  CBIX_RETURN_IF_ERROR(ValidateSearchOptions(options, num_shards()));
   if (store_.empty()) {
     if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
+    if (coverage != nullptr) {
+      coverage->assign(queries.size(), QueryCoverage{});
+    }
     return std::vector<std::vector<Match>>(queries.size());
   }
   for (const Vec& q : queries) {
@@ -404,7 +599,9 @@ CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
   std::vector<std::vector<Match>> results;
   {
     ThreadPool pool(num_threads);
-    results = KnnBatchOnPool(pool, queries, k, stats);
+    CBIX_RETURN_IF_ERROR(
+        KnnBatchOnPool(pool, queries, k, options, &results, stats,
+                       coverage));
   }
   return results;
 }
@@ -424,6 +621,12 @@ Result<std::vector<CbirEngine::Match>> CbirEngine::QueryRange(
 }
 
 Status CbirEngine::Save(const std::string& path) const {
+  FaultInjector* injector =
+      (injector_ != nullptr && injector_->enabled()) ? injector_.get()
+                                                     : nullptr;
+  if (injector != nullptr) {
+    CBIX_RETURN_IF_ERROR(injector->OnFailPoint("engine.save.payload"));
+  }
   BinaryWriter writer;
   writer.Write<uint32_t>(static_cast<uint32_t>(config_.index_kind));
   writer.Write<uint32_t>(static_cast<uint32_t>(config_.metric));
@@ -445,8 +648,25 @@ Status CbirEngine::Save(const std::string& path) const {
                    : dynamic_cast<const QuantizedStore*>(index_.get());
   writer.Write<uint8_t>(quant != nullptr ? 1 : 0);
   if (quant != nullptr) quant->Serialize(&writer, /*include_rows=*/false);
-  return WriteFramedFile(path, kEngineMagic, kEngineVersion,
-                         writer.buffer());
+  // Crash-safe commit: the framed payload lands in a sibling temp file
+  // and reaches `path` only through an atomic rename, so a save killed
+  // anywhere before the rename (the "engine.save.commit" fail point
+  // simulates exactly that) leaves any previous file intact.
+  const std::string tmp = path + ".saving";
+  CBIX_RETURN_IF_ERROR(
+      WriteFramedFile(tmp, kEngineMagic, kEngineVersion, writer.buffer()));
+  if (injector != nullptr) {
+    const Status commit = injector->OnFailPoint("engine.save.commit");
+    if (!commit.ok()) {
+      std::remove(tmp.c_str());
+      return commit;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
 }
 
 Status CbirEngine::Load(const std::string& path) {
@@ -490,23 +710,27 @@ Status CbirEngine::Load(const std::string& path) {
   FeatureStore store;
   CBIX_RETURN_IF_ERROR(store.Deserialize(store_bytes));
 
-  config_.index_kind = static_cast<IndexKind>(index_kind);
-  config_.metric = static_cast<MetricKind>(metric);
-  config_.quantization = static_cast<QuantizationKind>(quantization);
-  config_.pq_m = pq_m;
-  config_.rerank_factor = rerank_factor;
-  store_ = std::move(store);
-  index_dirty_ = true;
+  // Everything below parses into locals; the engine commits only once
+  // the whole file has been validated, so a corrupted file rejected
+  // at any point leaves this engine exactly as it was (a half-loaded
+  // engine is the one thing worse than a failed load).
+  EngineConfig new_config = config_;
+  new_config.index_kind = static_cast<IndexKind>(index_kind);
+  new_config.metric = static_cast<MetricKind>(metric);
+  new_config.quantization = static_cast<QuantizationKind>(quantization);
+  new_config.pq_m = pq_m;
+  new_config.rerank_factor = rerank_factor;
 
+  std::unique_ptr<VectorIndex> restored_index;
   if (version >= 2) {
     uint8_t has_quant_index = 0;
     CBIX_RETURN_IF_ERROR(reader.Read(&has_quant_index));
     // The payload is a *flat* quantized index; an engine configured
     // with shards > 1 wants a sharded one, so it skips the payload and
     // takes the rebuild path (each shard re-quantizes its partition).
-    if (has_quant_index != 0 && config_.shards <= 1) {
+    if (has_quant_index != 0 && new_config.shards <= 1) {
       CBIX_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
-                            MakeIndex(config_));
+                            MakeIndex(new_config));
       auto* quant = dynamic_cast<QuantizedStore*>(index.get());
       if (quant == nullptr) {
         return Status::Corruption(
@@ -514,16 +738,23 @@ Status CbirEngine::Load(const std::string& path) {
       }
       CBIX_RETURN_IF_ERROR(quant->Deserialize(&reader));
       // Share the store's substrate as the rerank rows (zero-copy).
-      if (!quant->AttachExactRows(store_.view()).ok() ||
-          quant->size() != store_.size()) {
+      if (!quant->AttachExactRows(store.view()).ok() ||
+          quant->size() != store.size()) {
         return Status::Corruption(
             "quantized index does not match the feature store");
       }
-      index_ = std::move(index);
-      index_dirty_ = false;
-      return Status::Ok();
+      restored_index = std::move(index);
     }
   }
+
+  config_ = new_config;
+  store_ = std::move(store);
+  if (restored_index != nullptr) {
+    index_ = std::move(restored_index);
+    index_dirty_ = false;
+    return Status::Ok();
+  }
+  index_dirty_ = true;
   return BuildIndex();
 }
 

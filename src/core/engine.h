@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/feature_store.h"
+#include "core/search_options.h"
 #include "features/extractor.h"
 #include "image/image.h"
 #include "index/index.h"
@@ -26,6 +27,7 @@
 namespace cbix {
 
 class ThreadPool;
+class FaultInjector;
 
 enum class IndexKind {
   kLinearScan,
@@ -178,6 +180,47 @@ class CbirEngine {
       const std::vector<Vec>& queries, size_t k, size_t num_threads = 4,
       std::vector<SearchStats>* stats = nullptr);
 
+  /// Serving-grade batched k-NN: like QueryKnnBatchByVectors, plus a
+  /// per-call latency budget, shard-failure retries, and graceful
+  /// degradation (see SearchOptions). A shard that fails or exceeds
+  /// the deadline is dropped from the merge instead of failing the
+  /// call: each query returns the exact top-k over the shards that
+  /// answered, and `coverage` (optional, resized to the batch) records
+  /// per query which shards those were. With default options, no
+  /// fault injector, and all shards healthy, results are bit-identical
+  /// to the plain overload. The call-level Result is an error only for
+  /// contract violations (bad options, dimension mismatch, index
+  /// build failure) — never for per-shard trouble.
+  Result<std::vector<std::vector<Match>>> QueryKnnBatchByVectors(
+      const std::vector<Vec>& queries, size_t k, const SearchOptions& options,
+      size_t num_threads = 4, std::vector<SearchStats>* stats = nullptr,
+      std::vector<QueryCoverage>* coverage = nullptr);
+
+  /// Serving-grade batched query-by-example (see the vector overload).
+  Result<std::vector<std::vector<Match>>> QueryKnnBatch(
+      const std::vector<ImageU8>& images, size_t k,
+      const SearchOptions& options, size_t num_threads = 4,
+      std::vector<SearchStats>* stats = nullptr,
+      std::vector<QueryCoverage>* coverage = nullptr);
+
+  /// Installs (or, with nullptr, removes) the fault-injection seam.
+  /// The injector is consulted before every (tile, shard) search work
+  /// item and at named fail points ("engine.save.payload",
+  /// "engine.save.commit"); a disabled injector costs one atomic load
+  /// per hook. Shared so one injector can drive several engines (the
+  /// serving layer re-installs it on every sealed snapshot).
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
+  /// Shards the engine actually serves from (config clamped to >= 1).
+  size_t num_shards() const {
+    return config_.shards > 1 ? config_.shards : 1;
+  }
+
   /// Persists the feature store + config. The extractor itself is code,
   /// not data: the loader must construct the engine with an equivalent
   /// extractor (validated by feature dimension).
@@ -212,26 +255,41 @@ class CbirEngine {
   Status EnsureIndex();
   std::vector<Match> ToMatches(const std::vector<Neighbor>& neighbors) const;
 
-  /// Shared worker of both batch k-NN entry points; the index must be
+  /// Shared worker of every batch k-NN entry point; the index must be
   /// built. Queries are packed into one QueryBlock and cut into
   /// config_.query_tile-sized tiles. Unsharded: one pool work item per
   /// tile (the index's SearchBatch consumes the whole tile). Sharded:
   /// one item per (tile, shard), merged per query — so shard scans of
-  /// a single slow tile also spread across workers.
-  std::vector<std::vector<Match>> KnnBatchOnPool(
-      ThreadPool& pool, const std::vector<Vec>& queries, size_t k,
-      std::vector<SearchStats>* stats) const;
+  /// a single slow tile also spread across workers. Each work item
+  /// runs under `options`' deadline/retry policy and the fault
+  /// injector (when installed); failed items are dropped from the
+  /// per-query merge and reported through `coverage` (optional).
+  /// Returns non-OK only for contract violations, never for per-shard
+  /// failures.
+  Status KnnBatchOnPool(ThreadPool& pool, const std::vector<Vec>& queries,
+                        size_t k, const SearchOptions& options,
+                        std::vector<std::vector<Match>>* results,
+                        std::vector<SearchStats>* stats,
+                        std::vector<QueryCoverage>* coverage) const;
 
   FeatureExtractor extractor_;
   EngineConfig config_;
   FeatureStore store_;
   std::unique_ptr<VectorIndex> index_;
+  std::shared_ptr<FaultInjector> injector_;
   bool index_dirty_ = true;
 };
 
 /// Validates an (index, metric) combination: tree indexes need a true
 /// metric (and KD/R-trees specifically a Minkowski one).
 Status ValidateIndexMetricCombination(IndexKind index, MetricKind metric);
+
+/// Structural validation of an EngineConfig: rejects query_tile == 0,
+/// shards == 0, pq_m == 0 under PQ quantization, and rerank_factor ==
+/// 0 under any quantization. Called by MakeIndex, so a bad config
+/// surfaces as a Status at the first build instead of degenerate
+/// behavior deep in the query path.
+Status ValidateEngineConfig(const EngineConfig& config);
 
 /// Creates an index instance per config (used by the engine and by the
 /// benchmark harnesses directly).

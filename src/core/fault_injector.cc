@@ -1,0 +1,97 @@
+#include "core/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cbix {
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and good enough for failure rolls.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double UnitRoll(uint64_t* state) {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(NextRand(state) >> 11) * 0x1p-53;
+}
+
+}  // namespace
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_state_ = seed;
+}
+
+void FaultInjector::SetShardFault(size_t shard, ShardFault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_faults_[shard] = std::move(fault);
+}
+
+void FaultInjector::ClearShardFault(size_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_faults_.erase(shard);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shard_faults_.clear();
+  fail_points_.clear();
+  shard_attempts_.store(0, std::memory_order_relaxed);
+  injected_failures_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmFailPoint(const std::string& name, size_t count,
+                                 StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count == 0) {
+    fail_points_.erase(name);
+    return;
+  }
+  fail_points_[name] = FailPoint{count, code, std::move(message)};
+}
+
+Status FaultInjector::OnShardSearch(size_t shard) {
+  if (!enabled()) return Status::Ok();
+  shard_attempts_.fetch_add(1, std::memory_order_relaxed);
+  int64_t latency_ms = 0;
+  Status result = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = shard_faults_.find(shard);
+    if (it == shard_faults_.end()) return Status::Ok();
+    const ShardFault& fault = it->second;
+    latency_ms = fault.latency_ms;
+    if (fault.fail_probability > 0.0 &&
+        UnitRoll(&rng_state_) < fault.fail_probability) {
+      result = Status(fault.code, fault.message + " (shard " +
+                                      std::to_string(shard) + ")");
+    }
+  }
+  // Sleep outside the lock: a slow shard must not slow the others.
+  if (latency_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  }
+  if (!result.ok()) {
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+Status FaultInjector::OnFailPoint(const std::string& name) {
+  if (!enabled()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fail_points_.find(name);
+  if (it == fail_points_.end()) return Status::Ok();
+  FailPoint& point = it->second;
+  Status result(point.code, point.message + " (" + name + ")");
+  if (--point.remaining == 0) fail_points_.erase(it);
+  injected_failures_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace cbix

@@ -1,0 +1,110 @@
+// FaultInjector — the test seam that makes the serving layer's fault
+// handling exercisable on one machine.
+//
+// Production vector serving degrades for boring reasons: a shard's
+// worth of pages got evicted, one NUMA node is saturated, a disk
+// hiccuped mid-save. None of those occur on a laptop or in CI, so the
+// degradation paths would ship untested — unless the engine carries a
+// seam that can make shard s slow, make it fail with probability p, or
+// kill a named operation (a save) at a chosen point. The injector is
+// compiled in always and costs one relaxed atomic load when disabled;
+// faults are deterministic under a fixed seed so failing tests replay.
+//
+// Two kinds of injection:
+//   * per-shard search faults — before shard s's scan runs, the engine
+//     asks the injector: it may sleep (slow shard) and/or return a
+//     non-OK Status (failed shard), which the degraded merge then
+//     handles exactly like a real failure;
+//   * named fail points — code marks a spot ("engine.save.payload");
+//     tests arm it to fail the next N times it is hit.
+//
+// Thread safety: all methods are safe to call concurrently; faults are
+// typically configured before load is applied, but reconfiguring under
+// fire is allowed (mutex-guarded state).
+
+#ifndef CBIX_CORE_FAULT_INJECTOR_H_
+#define CBIX_CORE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/status.h"
+
+namespace cbix {
+
+class FaultInjector {
+ public:
+  struct ShardFault {
+    /// Chance in [0, 1] that one shard search attempt fails.
+    double fail_probability = 0.0;
+    /// Sleep applied to every attempt on this shard (slow shard),
+    /// failing or not.
+    int64_t latency_ms = 0;
+    /// Status returned by a failing attempt.
+    StatusCode code = StatusCode::kUnavailable;
+    std::string message = "injected shard fault";
+  };
+
+  FaultInjector() = default;
+
+  /// Master switch. While disabled every hook is a single relaxed
+  /// atomic load — safe to leave wired into hot paths.
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Deterministic failure rolls under a fixed seed.
+  void Seed(uint64_t seed);
+
+  void SetShardFault(size_t shard, ShardFault fault);
+  void ClearShardFault(size_t shard);
+  void Clear();  ///< shard faults, fail points and counters
+
+  /// Arms named fail point `name` to fail its next `count` hits with
+  /// `code`. count = 0 disarms.
+  void ArmFailPoint(const std::string& name, size_t count,
+                    StatusCode code = StatusCode::kInternal,
+                    std::string message = "injected fail point");
+
+  // ------------------------------------------------------------------
+  // Hooks (called by the engine; no-ops while disabled).
+
+  /// Before shard `shard`'s search attempt: applies the configured
+  /// latency, then rolls fail_probability. Non-OK = the attempt must
+  /// not run and reports this status.
+  Status OnShardSearch(size_t shard);
+
+  /// At named fail point `name`: non-OK while armed.
+  Status OnFailPoint(const std::string& name);
+
+  // ------------------------------------------------------------------
+  // Observability for tests/bench.
+
+  uint64_t shard_attempts() const {
+    return shard_attempts_.load(std::memory_order_relaxed);
+  }
+  uint64_t injected_failures() const {
+    return injected_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FailPoint {
+    size_t remaining = 0;
+    StatusCode code = StatusCode::kInternal;
+    std::string message;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> shard_attempts_{0};
+  std::atomic<uint64_t> injected_failures_{0};
+  mutable std::mutex mu_;
+  std::map<size_t, ShardFault> shard_faults_;
+  std::map<std::string, FailPoint> fail_points_;
+  uint64_t rng_state_ = 0x5eed5eed5eed5eedULL;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_FAULT_INJECTOR_H_

@@ -1,0 +1,93 @@
+// Per-query serving controls and coverage reporting.
+//
+// A production query is a contract, not a best effort: it carries a
+// latency budget (deadline), a floor on how much of the corpus must
+// answer (min_shards), and a retry policy for transient shard
+// failures. The engine's batch path honors the budget cooperatively
+// (CancellationToken polled at block/node granularity inside every
+// index scan) and degrades gracefully instead of throwing: shards
+// that fail or run out of time are dropped from the merge, and the
+// caller gets the exact top-k over the shards that answered plus a
+// per-query QueryCoverage record saying precisely what was searched.
+
+#ifndef CBIX_CORE_SEARCH_OPTIONS_H_
+#define CBIX_CORE_SEARCH_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbix {
+
+struct SearchOptions {
+  /// Wall-clock budget for the whole call in milliseconds; 0 = none.
+  /// The deadline is cooperative: scans poll it per candidate block /
+  /// tree node, so overruns are bounded by one block scan, and a
+  /// (tile, shard) work item that exceeds it contributes nothing
+  /// (never a torn partial scan). Negative values are rejected by
+  /// validation.
+  int64_t timeout_ms = 0;
+
+  /// Minimum number of shards that must answer for a query to count
+  /// as served: with fewer, the query's coverage carries a non-OK
+  /// status and its result list is cleared (an answer known to cover
+  /// too little corpus is worse than an explicit failure). 0 accepts
+  /// any coverage, including none. Must be <= the engine's shard
+  /// count.
+  size_t min_shards = 0;
+
+  /// Retries per failed (tile, shard) work item, on top of the first
+  /// attempt. Deadline expiry is never retried (the budget is spent);
+  /// injected/transient shard errors are.
+  size_t max_retries = 0;
+
+  /// Sleep before retry attempt i is retry_backoff_ms * i (linear
+  /// backoff, first retry waits one unit). 0 retries immediately.
+  int64_t retry_backoff_ms = 0;
+};
+
+/// What one query actually searched. `shard_status` holds the final
+/// per-shard outcome for the (tile, shard) work items covering this
+/// query: kOk if the shard answered, the failure code otherwise.
+struct QueryCoverage {
+  size_t shards_total = 0;
+  size_t shards_answered = 0;
+  std::vector<StatusCode> shard_status;
+  /// Serving layer only: false when the unmerged-delta exact scan ran
+  /// out of budget (the sealed-corpus answer is still returned).
+  bool delta_answered = true;
+  /// True when any portion of the corpus went unsearched (a shard
+  /// failed or timed out, or the delta scan was cut short).
+  bool degraded = false;
+  /// Ok when the query met its contract (>= min_shards answered);
+  /// otherwise why it did not. A degraded-but-acceptable query keeps
+  /// status Ok with degraded = true.
+  Status status = Status::Ok();
+};
+
+/// Validates caller-supplied options against an engine with
+/// `num_shards` shards. Rejects negative budgets/backoffs and
+/// min_shards > num_shards.
+inline Status ValidateSearchOptions(const SearchOptions& options,
+                                    size_t num_shards) {
+  if (options.timeout_ms < 0) {
+    return Status::InvalidArgument("SearchOptions: negative timeout_ms");
+  }
+  if (options.retry_backoff_ms < 0) {
+    return Status::InvalidArgument(
+        "SearchOptions: negative retry_backoff_ms");
+  }
+  if (options.min_shards > num_shards) {
+    return Status::InvalidArgument(
+        "SearchOptions: min_shards (" +
+        std::to_string(options.min_shards) + ") exceeds shard count (" +
+        std::to_string(num_shards) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_SEARCH_OPTIONS_H_

@@ -1,0 +1,281 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/cancellation.h"
+
+namespace cbix {
+
+ServingEngine::ServingEngine(FeatureExtractor extractor,
+                             ServingOptions options)
+    : extractor_(std::move(extractor)),
+      options_(std::move(options)),
+      metric_(MakeMetric(options_.engine.metric)),
+      injector_(options_.fault_injector) {
+  if (options_.delta_merge_threshold == 0) {
+    options_.delta_merge_threshold = 1;
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->delta_names = std::make_shared<std::vector<std::string>>();
+  snap->delta_labels = std::make_shared<std::vector<int32_t>>();
+  PublishSnapshot(std::move(snap));
+}
+
+Result<std::unique_ptr<ServingEngine>> ServingEngine::Create(
+    FeatureExtractor extractor, ServingOptions options) {
+  // MakeIndex performs the full config validation (structural checks
+  // plus index/metric/quantization compatibility); the throwaway
+  // instance is cheap because nothing is built.
+  CBIX_RETURN_IF_ERROR(MakeIndex(options.engine).status());
+  return std::unique_ptr<ServingEngine>(
+      new ServingEngine(std::move(extractor), std::move(options)));
+}
+
+Result<uint32_t> ServingEngine::Insert(Vec features, std::string name,
+                                       int32_t label) {
+  if (features.empty()) {
+    return Status::InvalidArgument("insert feature vector is empty");
+  }
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::shared_ptr<const Snapshot> cur = LoadSnapshot();
+  if (cur->dim != 0 && features.size() != cur->dim) {
+    return Status::InvalidArgument("insert feature dimension mismatch");
+  }
+  const uint32_t id =
+      static_cast<uint32_t>(cur->sealed_count + cur->delta_count);
+
+  auto next = std::make_shared<Snapshot>();
+  next->version = cur->version + 1;
+  next->dim = cur->dim != 0 ? cur->dim : features.size();
+  next->sealed = cur->sealed;
+  next->sealed_count = cur->sealed_count;
+  // The published snapshot still references the current delta
+  // substrate, so this append copies-on-write into a fresh buffer —
+  // readers of the old snapshot keep a bit-stable delta.
+  RowView rows = cur->delta_rows;
+  rows.AppendRow(features);
+  auto names = std::make_shared<std::vector<std::string>>(*cur->delta_names);
+  names->push_back(std::move(name));
+  auto labels =
+      std::make_shared<std::vector<int32_t>>(*cur->delta_labels);
+  labels->push_back(label);
+  auto delta_index = std::make_shared<LinearScanIndex>(metric_);
+  CBIX_RETURN_IF_ERROR(delta_index->BuildFromRows(rows));
+  next->delta_rows = std::move(rows);
+  next->delta_index = std::move(delta_index);
+  next->delta_names = std::move(names);
+  next->delta_labels = std::move(labels);
+  next->delta_count = cur->delta_count + 1;
+
+  if (next->delta_count >= options_.delta_merge_threshold) {
+    CBIX_RETURN_IF_ERROR(MergeInto(next.get()));
+  }
+  PublishSnapshot(std::move(next));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Status ServingEngine::MergeInto(Snapshot* snap) const {
+  auto merged = std::make_shared<CbirEngine>(extractor_, options_.engine);
+  merged->SetFaultInjector(injector_);
+  const size_t dim = snap->dim;
+  if (snap->sealed != nullptr) {
+    const FeatureStore& store = snap->sealed->store();
+    for (uint32_t id = 0; id < store.size(); ++id) {
+      const float* row = store.features(id);
+      CBIX_RETURN_IF_ERROR(
+          merged
+              ->AddFeatureVector(Vec(row, row + dim), store.name(id),
+                                 store.label(id))
+              .status());
+    }
+  }
+  for (size_t j = 0; j < snap->delta_count; ++j) {
+    const float* row = snap->delta_rows.row(j);
+    CBIX_RETURN_IF_ERROR(merged
+                             ->AddFeatureVector(Vec(row, row + dim),
+                                                (*snap->delta_names)[j],
+                                                (*snap->delta_labels)[j])
+                             .status());
+  }
+  // The expensive part: per-shard index builds run concurrently on the
+  // engine's build pool, all before the snapshot is published — live
+  // queries keep answering from the previous snapshot meanwhile. The
+  // sealed engine's index must be built BEFORE publication (the
+  // reader-safety invariant: published engines are only ever read).
+  CBIX_RETURN_IF_ERROR(merged->BuildIndex());
+  snap->sealed_count = merged->size();
+  snap->sealed = std::move(merged);
+  snap->delta_rows = RowView();
+  snap->delta_index.reset();
+  snap->delta_names = std::make_shared<std::vector<std::string>>();
+  snap->delta_labels = std::make_shared<std::vector<int32_t>>();
+  snap->delta_count = 0;
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ServingEngine::FlushLocked() {
+  const std::shared_ptr<const Snapshot> cur = LoadSnapshot();
+  if (cur->delta_count == 0) return Status::Ok();
+  auto next = std::make_shared<Snapshot>(*cur);
+  next->version = cur->version + 1;
+  CBIX_RETURN_IF_ERROR(MergeInto(next.get()));
+  PublishSnapshot(std::move(next));
+  return Status::Ok();
+}
+
+Status ServingEngine::Flush() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return FlushLocked();
+}
+
+Status ServingEngine::Save(const std::string& path) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  CBIX_RETURN_IF_ERROR(FlushLocked());
+  const std::shared_ptr<const Snapshot> cur = LoadSnapshot();
+  if (cur->sealed != nullptr) return cur->sealed->Save(path);
+  // Nothing was ever inserted: persist an empty engine so Load of the
+  // file round-trips.
+  CbirEngine empty(extractor_, options_.engine);
+  empty.SetFaultInjector(injector_);
+  return empty.Save(path);
+}
+
+Status ServingEngine::Load(const std::string& path) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto engine = std::make_shared<CbirEngine>(extractor_, options_.engine);
+  engine->SetFaultInjector(injector_);
+  // Load leaves the index built (rebuild or restored quantized
+  // payload), satisfying the sealed-before-publication invariant.
+  CBIX_RETURN_IF_ERROR(engine->Load(path));
+  const std::shared_ptr<const Snapshot> cur = LoadSnapshot();
+  auto next = std::make_shared<Snapshot>();
+  next->version = cur->version + 1;
+  next->dim = engine->size() > 0 ? engine->store().feature_dim() : 0;
+  next->sealed_count = engine->size();
+  next->sealed = std::move(engine);
+  next->delta_names = std::make_shared<std::vector<std::string>>();
+  next->delta_labels = std::make_shared<std::vector<int32_t>>();
+  PublishSnapshot(std::move(next));
+  return Status::Ok();
+}
+
+Result<ServeReply> ServingEngine::Search(const std::vector<Vec>& queries,
+                                         size_t k,
+                                         const SearchOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  const size_t engine_shards =
+      options_.engine.shards > 1 ? options_.engine.shards : 1;
+  CBIX_RETURN_IF_ERROR(ValidateSearchOptions(options, engine_shards));
+  if (snap->dim != 0) {
+    for (const Vec& q : queries) {
+      if (q.size() != snap->dim) {
+        return Status::InvalidArgument("query feature dimension mismatch");
+      }
+    }
+  }
+  const size_t nq = queries.size();
+  ServeReply reply;
+  reply.snapshot_version = snap->version;
+  reply.results.assign(nq, {});
+  reply.coverage.assign(nq, QueryCoverage{});
+  reply.stats.assign(nq, SearchStats{});
+  if (nq == 0) return reply;
+
+  if (snap->sealed != nullptr && snap->sealed_count > 0) {
+    auto sealed = snap->sealed->QueryKnnBatchByVectors(
+        queries, k, options, options_.search_threads, &reply.stats,
+        &reply.coverage);
+    if (!sealed.ok()) return sealed.status();
+    reply.results = std::move(sealed).value();
+  }
+  // else: no sealed corpus yet — coverage stays at its default
+  // (shards_total == 0), and min_shards is vacuous until a merge.
+
+  if (snap->delta_count > 0 && k > 0 && snap->delta_index != nullptr) {
+    // The exact delta scan runs under whatever budget the sealed pass
+    // left over; if none remains (or it expires mid-scan) the sealed
+    // answer stands and the coverage says the delta went unsearched.
+    CancellationToken token;
+    const CancellationToken* cancel = nullptr;
+    bool budget_left = true;
+    if (options.timeout_ms > 0) {
+      const int64_t elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const int64_t remaining_ms = options.timeout_ms - elapsed_ms;
+      if (remaining_ms <= 0) {
+        budget_left = false;
+      } else {
+        token = CancellationToken::WithTimeout(
+            std::chrono::milliseconds(remaining_ms));
+        cancel = &token;
+      }
+    }
+    bool delta_answered = false;
+    std::vector<std::vector<Neighbor>> delta_hits(nq);
+    std::vector<SearchStats> delta_stats(nq);
+    if (budget_left) {
+      const QueryBlock block = QueryBlock::Pack(queries);
+      snap->delta_index->SearchBatch(block, k, delta_hits.data(),
+                                     delta_stats.data(), cancel);
+      delta_answered = cancel == nullptr || !cancel->Expired();
+    }
+    if (delta_answered) {
+      for (size_t qi = 0; qi < nq; ++qi) {
+        if (!reply.coverage[qi].status.ok()) continue;  // withheld query
+        reply.stats[qi] += delta_stats[qi];
+        if (delta_hits[qi].empty()) continue;
+        std::vector<Match>& merged = reply.results[qi];
+        for (const Neighbor& n : delta_hits[qi]) {
+          const size_t j = n.id;
+          merged.push_back(
+              Match{static_cast<uint32_t>(snap->sealed_count + j),
+                    (*snap->delta_names)[j], (*snap->delta_labels)[j],
+                    n.distance});
+        }
+        // Sealed ids < sealed_count < delta ids, distances exact on
+        // both sides: the union's (distance, id) top-k is the global
+        // exact top-k.
+        std::sort(merged.begin(), merged.end(),
+                  [](const Match& a, const Match& b) {
+                    if (a.distance != b.distance) {
+                      return a.distance < b.distance;
+                    }
+                    return a.id < b.id;
+                  });
+        if (merged.size() > k) merged.resize(k);
+      }
+    } else {
+      for (size_t qi = 0; qi < nq; ++qi) {
+        reply.coverage[qi].delta_answered = false;
+        reply.coverage[qi].degraded = true;
+      }
+    }
+  }
+
+  size_t degraded_count = 0;
+  for (const QueryCoverage& cov : reply.coverage) {
+    if (cov.degraded) ++degraded_count;
+  }
+  reply.degraded = degraded_count > 0;
+  queries_.fetch_add(nq, std::memory_order_relaxed);
+  degraded_.fetch_add(degraded_count, std::memory_order_relaxed);
+  return reply;
+}
+
+ServingEngine::SnapshotInfo ServingEngine::snapshot_info() const {
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  SnapshotInfo info;
+  info.version = snap->version;
+  info.sealed_count = snap->sealed_count;
+  info.delta_count = snap->delta_count;
+  return info;
+}
+
+}  // namespace cbix

@@ -1,0 +1,215 @@
+// ServingEngine — the fault-tolerant concurrent serving runtime over
+// CbirEngine.
+//
+// CbirEngine is a single-writer library object: queries rebuild the
+// index lazily, inserts mark it dirty, nothing is safe to share across
+// threads mid-mutation. Serving needs the opposite shape — many
+// concurrent readers, a steady trickle of inserts, and queries that
+// hold a latency budget — without giving up the engine's exactness.
+// ServingEngine gets there with an atomically swapped immutable
+// snapshot:
+//
+//   * Snapshot = a fully built, sealed CbirEngine (never mutated after
+//     publication; concurrent queries only read it) + a small delta of
+//     recent inserts scanned exactly by a LinearScanIndex over a
+//     copy-on-write RowView. Readers load the snapshot pointer once
+//     and work entirely off it, so a query sees one consistent version
+//     — never a torn mix of old and new state.
+//   * Insert (single writer, mutex-serialized) builds the next
+//     snapshot beside the live one — the COW substrate clones itself
+//     because the published snapshot still references it — and
+//     publishes it with an O(1) pointer swap. Readers never block on
+//     merge or index-build work; the only shared critical section is
+//     the pointer hand-off itself (see LoadSnapshot for why that is a
+//     mutex rather than std::atomic<std::shared_ptr>).
+//   * When the delta reaches delta_merge_threshold, the writer seals
+//     it: a new CbirEngine absorbs sealed + delta rows and rebuilds
+//     its index (shard builds run concurrently on a pool), all behind
+//     the swap; queries keep answering from the old snapshot until the
+//     merged one is ready.
+//   * Search carries SearchOptions end to end: the deadline token
+//     reaches every shard scan, failed/slow shards degrade gracefully
+//     into partial coverage (see QueryCoverage), and the exact delta
+//     scan runs under whatever budget remains.
+//
+// Exactness: a zero-fault search over a snapshot returns exactly what
+// one CbirEngine holding all the same rows would return — the sealed
+// part answers through the stock engine batch path and the delta is a
+// plain exact scan merged by (distance, id).
+
+#ifndef CBIX_CORE_SERVING_H_
+#define CBIX_CORE_SERVING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fault_injector.h"
+#include "core/search_options.h"
+#include "index/linear_scan.h"
+
+namespace cbix {
+
+struct ServingOptions {
+  /// Index/metric/shards/quantization of every sealed snapshot.
+  EngineConfig engine;
+  /// Delta size that triggers a merge (sealing rebuild). Clamped to
+  /// >= 1; small values keep the exact-scan tax tiny at the cost of
+  /// more frequent rebuilds.
+  size_t delta_merge_threshold = 256;
+  /// Pool workers per Search call (the engine batch path's pool).
+  size_t search_threads = 4;
+  /// Optional fault-injection seam, installed into every sealed
+  /// engine before it is published (fixed for the runtime's lifetime;
+  /// reconfigure faults through the injector object itself, which is
+  /// thread-safe).
+  std::shared_ptr<FaultInjector> fault_injector;
+};
+
+/// One Search call's answer: per-query results + what was actually
+/// searched to produce them.
+struct ServeReply {
+  std::vector<std::vector<CbirEngine::Match>> results;
+  std::vector<QueryCoverage> coverage;
+  std::vector<SearchStats> stats;
+  /// Version of the snapshot that answered (monotonic per runtime).
+  uint64_t snapshot_version = 0;
+  /// Any query in the batch degraded (shard dropped or delta cut).
+  bool degraded = false;
+};
+
+class ServingEngine {
+ public:
+  using Match = CbirEngine::Match;
+
+  /// The feature dimension is fixed by the first Insert (the repo-wide
+  /// convention — the extractor is only consulted when images, not
+  /// vectors, enter the pipeline). Validates the engine config up
+  /// front.
+  static Result<std::unique_ptr<ServingEngine>> Create(
+      FeatureExtractor extractor, ServingOptions options);
+
+  // ------------------------------------------------------------------
+  // Write path (any thread; mutex-serialized internally).
+
+  /// Appends one vector and publishes a new snapshot. Returns the
+  /// assigned id — stable forever (delta rows keep their id when the
+  /// delta is sealed). Triggers a merge when the delta is full.
+  Result<uint32_t> Insert(Vec features, std::string name,
+                          int32_t label = -1);
+
+  /// Seals the current delta now (no-op when empty).
+  Status Flush();
+
+  /// Flush + crash-safe persist of the sealed engine.
+  Status Save(const std::string& path);
+
+  /// Replaces all contents with a previously saved engine file.
+  Status Load(const std::string& path);
+
+  // ------------------------------------------------------------------
+  // Read path (any number of threads; never blocks on the writer's
+  // merge or index-build work — only on the O(1) pointer hand-off).
+
+  /// Batched exact k-NN over the current snapshot under `options`'
+  /// deadline/retry/coverage contract. Per-shard failures degrade the
+  /// affected queries (see QueryCoverage) instead of failing the
+  /// call; the Result is an error only for contract violations.
+  Result<ServeReply> Search(const std::vector<Vec>& queries, size_t k,
+                            const SearchOptions& options = {}) const;
+
+  // ------------------------------------------------------------------
+  // Introspection.
+
+  struct SnapshotInfo {
+    uint64_t version = 0;
+    size_t sealed_count = 0;
+    size_t delta_count = 0;
+    size_t total() const { return sealed_count + delta_count; }
+  };
+  SnapshotInfo snapshot_info() const;
+
+  size_t size() const { return snapshot_info().total(); }
+  const FeatureExtractor& extractor() const { return extractor_; }
+  const ServingOptions& options() const { return options_; }
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return injector_;
+  }
+
+  uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
+  uint64_t merges() const { return merges_.load(std::memory_order_relaxed); }
+  uint64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_queries() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Immutable once published. The sealed engine is held non-const
+  /// because the engine's query methods are non-const (lazy index
+  /// build), but the serving invariant is that a sealed engine's
+  /// index is built before publication, so those calls never write —
+  /// which is what makes concurrent reader access race-free.
+  struct Snapshot {
+    uint64_t version = 0;
+    size_t dim = 0;  ///< 0 until the first insert fixes the dimension
+    std::shared_ptr<CbirEngine> sealed;  ///< null until the first merge
+    size_t sealed_count = 0;
+    RowView delta_rows;
+    std::shared_ptr<const LinearScanIndex> delta_index;
+    std::shared_ptr<const std::vector<std::string>> delta_names;
+    std::shared_ptr<const std::vector<int32_t>> delta_labels;
+    size_t delta_count = 0;
+  };
+
+  ServingEngine(FeatureExtractor extractor, ServingOptions options);
+
+  // The snapshot pointer is guarded by a dedicated mutex whose critical
+  // section is a single shared_ptr copy/swap — readers grab their
+  // version in O(1) and then run entirely lock-free off it, and the
+  // writer's merge/build work all happens outside this lock. A
+  // std::atomic<std::shared_ptr> would make even the pointer grab
+  // lock-free, but libstdc++'s _Sp_atomic releases its internal
+  // spin-lock with a relaxed RMW on the load path, which TSan (and a
+  // strict reading of the memory model) cannot order against the store
+  // path's plain pointer swap — the torn-snapshot test must run clean
+  // under the TSan CI job, so the pointer hand-off uses a real mutex.
+  std::shared_ptr<const Snapshot> LoadSnapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+  void PublishSnapshot(std::shared_ptr<const Snapshot> snap) {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+
+  /// Absorbs `snap`'s sealed + delta rows into a freshly built sealed
+  /// engine and empties the delta (writer mutex held).
+  Status MergeInto(Snapshot* snap) const;
+
+  /// Flush body; writer mutex held by the caller.
+  Status FlushLocked();
+
+  FeatureExtractor extractor_;
+  ServingOptions options_;
+  std::shared_ptr<const DistanceMetric> metric_;
+  std::shared_ptr<FaultInjector> injector_;
+
+  mutable std::mutex snapshot_mu_;  ///< guards only the pointer below
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::mutex writer_mu_;
+
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> merges_{0};
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> degraded_{0};
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_CORE_SERVING_H_

@@ -39,7 +39,9 @@ void ShardedFeatureStore::Partition(const FeatureMatrix& matrix) {
 
 Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
                                          size_t num_threads) {
-  assert(factory != nullptr);
+  if (factory == nullptr) {
+    return Status::InvalidArgument("BuildIndexes: null shard index factory");
+  }
   const size_t S = shards_.size();
   if (num_threads == 0) {
     // One worker per shard, bounded by the cores that can actually run
@@ -72,7 +74,6 @@ Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
 
 std::vector<Neighbor> ShardedFeatureStore::KnnSearchShard(
     size_t s, const Vec& q, size_t k, SearchStats* stats) const {
-  assert(indexes_built());
   if (s >= indexes_.size() || indexes_[s] == nullptr) return {};
   std::vector<Neighbor> out = indexes_[s]->KnnSearch(q, k, stats);
   // Local ids are strictly increasing in the global id within a shard,
@@ -81,26 +82,36 @@ std::vector<Neighbor> ShardedFeatureStore::KnnSearchShard(
   return out;
 }
 
-void ShardedFeatureStore::SearchBatchShard(size_t s, const QueryBlock& block,
-                                           size_t k,
-                                           std::vector<Neighbor>* results,
-                                           SearchStats* stats) const {
-  assert(indexes_built());
+Status ShardedFeatureStore::SearchBatchShard(
+    size_t s, const QueryBlock& block, size_t k,
+    std::vector<Neighbor>* results, SearchStats* stats,
+    const CancellationToken* cancel) const {
+  if (!indexes_built()) {
+    for (size_t qi = 0; qi < block.count(); ++qi) results[qi].clear();
+    return Status::FailedPrecondition(
+        "SearchBatchShard before BuildIndexes");
+  }
   if (s >= indexes_.size() || indexes_[s] == nullptr) {
     for (size_t qi = 0; qi < block.count(); ++qi) results[qi].clear();
-    return;
+    return Status::InvalidArgument("shard out of range");
   }
-  indexes_[s]->SearchBatch(block, k, results, stats);
+  indexes_[s]->SearchBatch(block, k, results, stats, cancel);
+  if (cancel != nullptr && cancel->Expired()) {
+    // The index may have stopped anywhere mid-scan; a (tile, shard)
+    // work item answers completely or not at all, so drop everything.
+    for (size_t qi = 0; qi < block.count(); ++qi) results[qi].clear();
+    return Status::DeadlineExceeded("shard scan expired");
+  }
   for (size_t qi = 0; qi < block.count(); ++qi) {
     // Local ids are strictly increasing in the global id within a
     // shard, so the (distance, id) ordering survives the remap.
     for (Neighbor& n : results[qi]) n.id = GlobalId(s, n.id);
   }
+  return Status::Ok();
 }
 
 std::vector<Neighbor> ShardedFeatureStore::RangeSearchShard(
     size_t s, const Vec& q, double radius, SearchStats* stats) const {
-  assert(indexes_built());
   if (s >= indexes_.size() || indexes_[s] == nullptr) return {};
   std::vector<Neighbor> out = indexes_[s]->RangeSearch(q, radius, stats);
   for (Neighbor& n : out) n.id = GlobalId(s, n.id);

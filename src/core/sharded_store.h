@@ -121,9 +121,17 @@ class ShardedFeatureStore {
   /// `stats` (optional) point at block.count() per-query slots. The
   /// engine's batch path schedules one (tile, shard) work item per
   /// call and merges per query with MergeTopK.
-  void SearchBatchShard(size_t s, const QueryBlock& block, size_t k,
-                        std::vector<Neighbor>* results,
-                        SearchStats* stats) const;
+  ///
+  /// `cancel` (optional) makes the shard scan cooperative: when the
+  /// token fires mid-scan the call clears every result slot and
+  /// returns DeadlineExceeded — a (tile, shard) work item either
+  /// answers completely or not at all, so degraded merges can reason
+  /// per shard instead of per row. Also returns FailedPrecondition
+  /// when indexes are not built and InvalidArgument for an
+  /// out-of-range shard (instead of asserting).
+  Status SearchBatchShard(size_t s, const QueryBlock& block, size_t k,
+                          std::vector<Neighbor>* results, SearchStats* stats,
+                          const CancellationToken* cancel = nullptr) const;
 
   /// Shard-granular range search with global ids, sorted.
   std::vector<Neighbor> RangeSearchShard(size_t s, const Vec& q,

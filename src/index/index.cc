@@ -15,13 +15,21 @@ Status VectorIndex::Build(std::vector<Vec> vectors) {
   return BuildFromRows(RowView::Adopt(FeatureMatrix::FromVectors(vectors)));
 }
 
-void VectorIndex::SearchBatch(const QueryBlock& block, size_t k,
-                              std::vector<Neighbor>* results,
-                              SearchStats* stats) const {
+void VectorIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                  std::vector<Neighbor>* results,
+                                  SearchStats* stats,
+                                  const CancellationToken* cancel) const {
   // Base adapter: loop the block per query. Tree indexes whose
   // traversal is inherently per-query (KD/R/M-tree) inherit this;
   // their batched results are the per-query results by construction.
+  // Cancellation granularity is one query: a per-query tree walk has
+  // no shared block loop to poll from, so an expired deadline stops
+  // between queries, leaving the remaining slots empty (partial).
   for (size_t i = 0; i < block.count(); ++i) {
+    if (cancel != nullptr && cancel->Expired()) {
+      for (size_t j = i; j < block.count(); ++j) results[j].clear();
+      return;
+    }
     SearchStats local;
     results[i] = KnnSearch(block.RowVec(i), k, &local);
     if (stats != nullptr) stats[i] += local;

@@ -20,6 +20,7 @@
 
 #include "distance/metric.h"
 #include "index/query_block.h"
+#include "util/cancellation.h"
 #include "util/feature_matrix.h"
 #include "util/row_view.h"
 #include "util/status.h"
@@ -119,9 +120,20 @@ class VectorIndex {
   /// than its nearest-first per-query order would, so ALL of its
   /// counters (distance_evals included) can differ while results do
   /// not.
-  virtual void SearchBatch(const QueryBlock& block, size_t k,
-                           std::vector<Neighbor>* results,
-                           SearchStats* stats) const;
+  ///
+  /// `cancel` (optional) is the cooperative deadline seam of the
+  /// serving runtime: implementations poll it at block/node
+  /// granularity and return early once it expires. After an expired
+  /// search the result slots are PARTIAL — possibly empty, possibly a
+  /// top-k over a prefix of the data — and must be discarded by the
+  /// caller (the serving layer marks the shard unanswered instead).
+  /// With cancel == nullptr (or an inert token) behavior and results
+  /// are exactly the historical ones.
+  void SearchBatch(const QueryBlock& block, size_t k,
+                   std::vector<Neighbor>* results, SearchStats* stats,
+                   const CancellationToken* cancel = nullptr) const {
+    SearchBatchImpl(block, k, results, stats, cancel);
+  }
 
   /// Number of indexed vectors.
   virtual size_t size() const = 0;
@@ -138,6 +150,17 @@ class VectorIndex {
   /// over a shared store matrix reports just its nodes, and summing it
   /// with the store's MemoryBytes never counts a float row twice.
   virtual size_t MemoryBytes() const = 0;
+
+ protected:
+  /// The batched-search virtual behind SearchBatch (non-virtual
+  /// interface, so every caller gets the optional-cancel surface
+  /// without per-class overload sets). Overrides must honor the
+  /// SearchBatch contract above, including the partial-results
+  /// semantics once `cancel` expires.
+  virtual void SearchBatchImpl(const QueryBlock& block, size_t k,
+                               std::vector<Neighbor>* results,
+                               SearchStats* stats,
+                               const CancellationToken* cancel) const;
 };
 
 /// Convenience overloads without stats.

@@ -91,9 +91,10 @@ std::vector<Neighbor> LinearScanIndex::KnnSearch(const Vec& q, size_t k,
   return collector.TakeSorted();
 }
 
-void LinearScanIndex::SearchBatch(const QueryBlock& block, size_t k,
-                                  std::vector<Neighbor>* results,
-                                  SearchStats* stats) const {
+void LinearScanIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                      std::vector<Neighbor>* results,
+                                      SearchStats* stats,
+                                      const CancellationToken* cancel) const {
   const size_t nq = block.count();
   if (nq == 0) return;
   if (k == 0) {
@@ -106,6 +107,7 @@ void LinearScanIndex::SearchBatch(const QueryBlock& block, size_t k,
   for (auto& c : collectors) c.Reset(metric_.get(), k);
   std::vector<double> keys(nq * kScanBlock);
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    if (cancel != nullptr && cancel->Expired()) break;  // partial results
     const size_t bn = std::min(kScanBlock, n - begin);
     // One candidate block vs the whole query tile: the tiled kernels
     // read each candidate row once for a pair of queries, and the

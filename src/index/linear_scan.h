@@ -26,20 +26,21 @@ class LinearScanIndex : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
-  /// Tiled scan: every candidate block is ranked against the whole
-  /// query tile in one RankBlock call (row loads amortized across the
-  /// tile), feeding one TopKCollector per query. Bit-identical to the
-  /// per-query scan.
-  void SearchBatch(const QueryBlock& block, size_t k,
-                   std::vector<Neighbor>* results,
-                   SearchStats* stats) const override;
-
   size_t size() const override { return rows_.count(); }
   size_t dim() const override { return rows_.dim(); }
   std::string Name() const override;
   size_t MemoryBytes() const override;
 
   const FeatureMatrix& matrix() const { return rows_.matrix(); }
+
+ protected:
+  /// Tiled scan: every candidate block is ranked against the whole
+  /// query tile in one RankBlock call (row loads amortized across the
+  /// tile), feeding one TopKCollector per query. Bit-identical to the
+  /// per-query scan; `cancel` is polled once per candidate block.
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const override;
 
  private:
   std::shared_ptr<const DistanceMetric> metric_;

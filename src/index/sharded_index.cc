@@ -10,7 +10,9 @@ ShardedIndex::ShardedIndex(ShardedFeatureStore::ShardIndexFactory factory,
     : factory_(std::move(factory)),
       options_(options),
       store_(std::max<size_t>(1, options.num_shards)) {
-  assert(factory_ != nullptr);
+  // A null factory is reported by BuildFromRows (InvalidArgument from
+  // BuildIndexes), not asserted here — serving code paths must get a
+  // Status, never an abort.
 }
 
 Status ShardedIndex::BuildFromRows(RowView rows) {
@@ -31,9 +33,10 @@ std::vector<Neighbor> ShardedIndex::KnnSearch(const Vec& q, size_t k,
   return store_.KnnSearch(q, k, stats);
 }
 
-void ShardedIndex::SearchBatch(const QueryBlock& block, size_t k,
-                               std::vector<Neighbor>* results,
-                               SearchStats* stats) const {
+void ShardedIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                   std::vector<Neighbor>* results,
+                                   SearchStats* stats,
+                                   const CancellationToken* cancel) const {
   const size_t nq = block.count();
   if (nq == 0) return;
   if (!store_.indexes_built()) {
@@ -42,7 +45,9 @@ void ShardedIndex::SearchBatch(const QueryBlock& block, size_t k,
   }
   const size_t S = store_.num_shards();
   if (S == 1) {
-    store_.SearchBatchShard(0, block, k, results, stats);
+    if (!store_.SearchBatchShard(0, block, k, results, stats, cancel).ok()) {
+      for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+    }
     return;
   }
   // The tile runs against every shard into disjoint (shard, query)
@@ -55,9 +60,16 @@ void ShardedIndex::SearchBatch(const QueryBlock& block, size_t k,
   std::vector<std::vector<Neighbor>> partial(S * nq);
   std::vector<SearchStats> shard_stats(stats != nullptr ? S * nq : 0);
   for (size_t s = 0; s < S; ++s) {
-    store_.SearchBatchShard(
+    const Status st = store_.SearchBatchShard(
         s, block, k, partial.data() + s * nq,
-        stats != nullptr ? shard_stats.data() + s * nq : nullptr);
+        stats != nullptr ? shard_stats.data() + s * nq : nullptr, cancel);
+    if (!st.ok()) {
+      // A shard expired mid-fan-out: a merge over the answering subset
+      // would silently drop rows, so the plain VectorIndex surface
+      // returns nothing. Degraded partial merges are the engine's job.
+      for (size_t qi = 0; qi < nq; ++qi) results[qi].clear();
+      return;
+    }
   }
   ShardedFeatureStore::MergeShardSlots(std::move(partial), shard_stats, S,
                                        nq, k, results, stats);

@@ -46,17 +46,6 @@ class ShardedIndex : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
-  /// Batched fan-out: the whole query tile runs against every shard
-  /// sequentially (like per-query KnnSearch) and per-query shard
-  /// results merge with MergeShardSlots. Parallelism is the caller's
-  /// job: the engine's batch path schedules (tile, shard) work items
-  /// on its long-lived pool via
-  /// ShardedFeatureStore::SearchBatchShard instead of calling this;
-  /// the override serves direct VectorIndex users.
-  void SearchBatch(const QueryBlock& block, size_t k,
-                   std::vector<Neighbor>* results,
-                   SearchStats* stats) const override;
-
   size_t size() const override { return store_.size(); }
   size_t dim() const override { return store_.dim(); }
   std::string Name() const override;
@@ -68,6 +57,21 @@ class ShardedIndex : public VectorIndex {
   /// mapping, and the shard-granular search entry points the engine's
   /// batch path fans out over.
   const ShardedFeatureStore& store() const { return store_; }
+
+ protected:
+  /// Batched fan-out: the whole query tile runs against every shard
+  /// sequentially (like per-query KnnSearch) and per-query shard
+  /// results merge with MergeShardSlots. Parallelism is the caller's
+  /// job: the engine's batch path schedules (tile, shard) work items
+  /// on its long-lived pool via
+  /// ShardedFeatureStore::SearchBatchShard instead of calling this;
+  /// the override serves direct VectorIndex users. `cancel` is handed
+  /// to every shard scan; once it fires, remaining shards are skipped
+  /// and all result slots are cleared (a cancelled fan-out must not
+  /// surface a partial cross-shard merge).
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const override;
 
  private:
   ShardedFeatureStore::ShardIndexFactory factory_;

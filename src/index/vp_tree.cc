@@ -348,8 +348,12 @@ void VpTree::ScanLeafBatch(const Node& node, const QueryBlock& block,
 void VpTree::SearchBatchNode(int32_t node_id, const QueryBlock& block,
                              const std::vector<uint32_t>& active,
                              size_t depth, BatchScratch* scratch,
-                             TopKCollector* collectors,
-                             SearchStats* stats) const {
+                             TopKCollector* collectors, SearchStats* stats,
+                             const CancellationToken* cancel) const {
+  // Cooperative deadline: one poll per visited node bounds the overrun
+  // to a single leaf scan; an expired walk unwinds with partial
+  // collectors (the caller discards them).
+  if (cancel != nullptr && cancel->Expired()) return;
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     if (stats != nullptr) {
@@ -407,14 +411,15 @@ void VpTree::SearchBatchNode(int32_t node_id, const QueryBlock& block,
     }
     if (!lvl.sub.empty()) {
       SearchBatchNode(node.children[c], block, lvl.sub, depth + 1, scratch,
-                      collectors, stats);
+                      collectors, stats, cancel);
     }
   }
 }
 
-void VpTree::SearchBatch(const QueryBlock& block, size_t k,
-                         std::vector<Neighbor>* results,
-                         SearchStats* stats) const {
+void VpTree::SearchBatchImpl(const QueryBlock& block, size_t k,
+                             std::vector<Neighbor>* results,
+                             SearchStats* stats,
+                             const CancellationToken* cancel) const {
   const size_t nq = block.count();
   if (nq == 0) return;
   if (root_ < 0 || k == 0) {
@@ -427,7 +432,7 @@ void VpTree::SearchBatch(const QueryBlock& block, size_t k,
   for (size_t qi = 0; qi < nq; ++qi) active[qi] = static_cast<uint32_t>(qi);
   BatchScratch scratch;
   SearchBatchNode(root_, block, active, 0, &scratch, collectors.data(),
-                  stats);
+                  stats, cancel);
   for (size_t qi = 0; qi < nq; ++qi) {
     results[qi] = collectors[qi].TakeSorted();
   }

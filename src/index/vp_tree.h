@@ -68,10 +68,8 @@ class VpTree : public VectorIndex {
   /// nearest-first order, so a query can descend (and rank leaves of)
   /// a subtree its solo search would have pruned after tightening tau
   /// elsewhere first. nodes/leaves_visited AND distance_evals may all
-  /// differ from the per-query counts.
-  void SearchBatch(const QueryBlock& block, size_t k,
-                   std::vector<Neighbor>* results,
-                   SearchStats* stats) const override;
+  /// differ from the per-query counts. (Override lives in
+  /// SearchBatchImpl; `cancel` is polled at every node visit.)
 
   size_t size() const override { return rows_.count(); }
   size_t dim() const override { return rows_.dim(); }
@@ -96,6 +94,11 @@ class VpTree : public VectorIndex {
   /// metric when loading, or pruning becomes invalid).
   void Serialize(std::vector<uint8_t>* out) const;
   Status Deserialize(const std::vector<uint8_t>& bytes);
+
+ protected:
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const override;
 
  private:
   struct Node {
@@ -146,7 +149,8 @@ class VpTree : public VectorIndex {
   void SearchBatchNode(int32_t node_id, const QueryBlock& block,
                        const std::vector<uint32_t>& active, size_t depth,
                        BatchScratch* scratch, TopKCollector* collectors,
-                       SearchStats* stats) const;
+                       SearchStats* stats,
+                       const CancellationToken* cancel) const;
   /// Leaf tile scan for the active queries of a block.
   void ScanLeafBatch(const Node& node, const QueryBlock& block,
                      const std::vector<uint32_t>& active,

@@ -265,9 +265,10 @@ std::vector<Neighbor> QuantizedStore::KnnSearch(const Vec& q, size_t k,
   return RerankExact(q.data(), candidates, k, stats);
 }
 
-void QuantizedStore::SearchBatch(const QueryBlock& block, size_t k,
-                                 std::vector<Neighbor>* results,
-                                 SearchStats* stats) const {
+void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                     std::vector<Neighbor>* results,
+                                     SearchStats* stats,
+                                     const CancellationToken* cancel) const {
   const size_t nq = block.count();
   if (nq == 0) return;
   const size_t n = exact_rows_.count();
@@ -299,6 +300,7 @@ void QuantizedStore::SearchBatch(const QueryBlock& block, size_t k,
 
   std::vector<double> keys(nq * kScanBlock);
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    if (cancel != nullptr && cancel->Expired()) break;  // partial results
     const size_t bn = std::min(kScanBlock, n - begin);
     if (mode == ApproxMode::kGeneric) {
       if (options_.backing == QuantBacking::kInt8) {
@@ -329,6 +331,10 @@ void QuantizedStore::SearchBatch(const QueryBlock& block, size_t k,
   }
 
   for (size_t qi = 0; qi < nq; ++qi) {
+    if (cancel != nullptr && cancel->Expired()) {
+      for (size_t j = qi; j < nq; ++j) results[j].clear();
+      return;
+    }
     results[qi] =
         RerankExact(block.row(qi), collectors[qi].TakeHeap(), k,
                     stats != nullptr ? &stats[qi] : nullptr);

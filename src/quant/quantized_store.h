@@ -69,16 +69,6 @@ class QuantizedStore : public VectorIndex {
                                     SearchStats* stats) const override;
   std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
                                   SearchStats* stats) const override;
-  /// Tiled two-stage search: the approximate scan runs the whole query
-  /// tile per code block (one shared dequantized block feeds
-  /// RankBlock for generic metrics; int8/PQ L2 and int8 cosine use
-  /// their asymmetric kernels per query lane), then every query's
-  /// over-fetch is reranked exactly on gathered float rows.
-  /// Bit-identical to per-query KnnSearch.
-  void SearchBatch(const QueryBlock& block, size_t k,
-                   std::vector<Neighbor>* results,
-                   SearchStats* stats) const override;
-
   size_t size() const override { return exact_rows_.count(); }
   size_t dim() const override { return exact_rows_.dim(); }
   std::string Name() const override;
@@ -125,6 +115,18 @@ class QuantizedStore : public VectorIndex {
   /// dimension exactly (it is the same matrix that was quantized).
   /// Typically shares the feature store's substrate zero-copy.
   Status AttachExactRows(RowView rows);
+
+ protected:
+  /// Tiled two-stage search: the approximate scan runs the whole query
+  /// tile per code block (one shared dequantized block feeds
+  /// RankBlock for generic metrics; int8/PQ L2 and int8 cosine use
+  /// their asymmetric kernels per query lane), then every query's
+  /// over-fetch is reranked exactly on gathered float rows.
+  /// Bit-identical to per-query KnnSearch; `cancel` is polled per
+  /// code block and before each query's rerank.
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const override;
 
  private:
   /// How the approximate stage computes rank keys for the configured

@@ -1,0 +1,90 @@
+// CancellationToken — the cooperative deadline/cancel seam of the
+// serving runtime.
+//
+// A token is a cheap, copyable handle to shared cancellation state: a
+// manual cancel flag plus an optional steady-clock deadline. Long
+// scans (SearchBatch block loops, tree walks) call Expired() at block
+// granularity and return early with partial results when it fires; the
+// caller that created the token decides what a partial answer means
+// (the serving layer marks the shard unanswered and degrades the
+// merge instead of blocking past the deadline).
+//
+// Thread-safety: any number of threads may share one token; Cancel()
+// and Expired() are safe concurrently. Once a deadline check observes
+// expiry the flag latches, so later checks are a single relaxed atomic
+// load instead of a clock read.
+
+#ifndef CBIX_UTIL_CANCELLATION_H_
+#define CBIX_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace cbix {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// An inert token: never expires, never cancelled (Expired() is a
+  /// null check). Prefer passing nullptr where a token is optional.
+  CancellationToken() = default;
+
+  /// A token that expires at `deadline` (and can still be cancelled
+  /// manually before that).
+  static CancellationToken WithDeadline(Clock::time_point deadline) {
+    CancellationToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->deadline = deadline;
+    token.state_->has_deadline = true;
+    return token;
+  }
+
+  /// A token that expires `timeout` from now.
+  static CancellationToken WithTimeout(Clock::duration timeout) {
+    return WithDeadline(Clock::now() + timeout);
+  }
+
+  /// A token with no deadline that only fires via Cancel().
+  static CancellationToken Manual() {
+    CancellationToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// Requests cancellation; every holder's next Expired() returns true.
+  void Cancel() const {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// True once the token was cancelled or its deadline passed. The
+  /// expiry latches: after the first true, no clock reads happen.
+  bool Expired() const {
+    if (state_ == nullptr) return false;
+    if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+    if (state_->has_deadline && Clock::now() >= state_->deadline) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True when this handle actually carries cancellation state.
+  bool active() const { return state_ != nullptr; }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_UTIL_CANCELLATION_H_

@@ -34,9 +34,14 @@ uint32_t Crc32(const void* data, size_t size) {
 Status WriteFramedFile(const std::string& path, uint32_t magic,
                        uint32_t version,
                        const std::vector<uint8_t>& payload) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash-safe: the frame is written to a sibling temp file and only
+  // an atomic rename makes it visible under `path`, so a writer dying
+  // mid-stream (or a full disk) never leaves a torn file where a good
+  // one used to be.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::IoError("cannot open for writing: " + path);
+    return Status::IoError("cannot open for writing: " + tmp);
   }
   BinaryWriter header;
   header.Write(magic);
@@ -50,7 +55,14 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
     ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
   }
   ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return Status::IoError("short write: " + path);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
   return Status::Ok();
 }
 
@@ -81,6 +93,21 @@ Status ReadFramedFile(const std::string& path, uint32_t magic,
   if (file_version != expected_version) {
     std::fclose(f);
     return Status::Corruption("unsupported version in " + path);
+  }
+  // payload_size is untrusted input: validate it against the actual
+  // file size before the resize, or a corrupted length prefix turns
+  // into a multi-gigabyte allocation (bad_alloc / OOM kill) instead
+  // of a Status.
+  const long payload_start = std::ftell(f);
+  bool size_ok = payload_start >= 0 && std::fseek(f, 0, SEEK_END) == 0;
+  const long file_end = size_ok ? std::ftell(f) : -1;
+  size_ok = size_ok && file_end >= payload_start &&
+            payload_size <=
+                static_cast<uint64_t>(file_end - payload_start) &&
+            std::fseek(f, payload_start, SEEK_SET) == 0;
+  if (!size_ok) {
+    std::fclose(f);
+    return Status::Corruption("payload length exceeds file size: " + path);
   }
   payload->resize(payload_size);
   const bool read_ok =

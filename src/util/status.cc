@@ -24,6 +24,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "corruption";
     case StatusCode::kUnimplemented:
       return "unimplemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

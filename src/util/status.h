@@ -30,6 +30,8 @@ enum class StatusCode {
   kIoError = 7,
   kCorruption = 8,
   kUnimplemented = 9,
+  kDeadlineExceeded = 10,
+  kUnavailable = 11,
 };
 
 /// Returns the canonical lowercase name of a status code ("ok",
@@ -82,6 +84,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

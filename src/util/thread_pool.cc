@@ -35,14 +35,23 @@ void ThreadPool::WaitIdle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  if (n == 0) return Status::Ok();
   // Chunk so each worker gets a contiguous strip: cheaper than one task
   // per index and preserves cache locality for image loops.
   const size_t chunks = std::min(n, workers_.size() * 4);
   std::atomic<size_t> next_chunk{0};
   const size_t chunk_size = (n + chunks - 1) / chunks;
+  // The first throwing iteration is captured here (not in the pool's
+  // sticky status) so this call reports its own failures, and so the
+  // capture happens before WaitIdle returns and the locals go away.
+  std::mutex error_mutex;
+  Status first_error;
+  auto record = [&](Status status) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) first_error = std::move(status);
+  };
   for (size_t c = 0; c < chunks; ++c) {
     Submit([&, chunk_size, n] {
       for (;;) {
@@ -50,11 +59,32 @@ void ThreadPool::ParallelFor(size_t n,
         const size_t begin = chunk * chunk_size;
         if (begin >= n) return;
         const size_t end = std::min(n, begin + chunk_size);
-        for (size_t i = begin; i < end; ++i) fn(i);
+        // An exception aborts this chunk only; other chunks (and the
+        // claim loop) keep running so WaitIdle always terminates.
+        try {
+          for (size_t i = begin; i < end; ++i) fn(i);
+        } catch (const std::exception& e) {
+          record(Status::Internal(
+              std::string("ParallelFor iteration threw: ") + e.what()));
+        } catch (...) {
+          record(Status::Internal(
+              "ParallelFor iteration threw a non-std exception"));
+        }
       }
     });
   }
   WaitIdle();
+  return first_error;
+}
+
+Status ThreadPool::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_error_;
+}
+
+void ThreadPool::ClearStatus() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  first_error_ = Status::Ok();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -72,9 +102,24 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A throwing task must not std::terminate the process (the
+    // unwind would otherwise escape the worker thread) and must not
+    // skip the active_ decrement below — that would wedge WaitIdle
+    // forever. Record the failure, keep serving the queue.
+    Status task_status;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      task_status =
+          Status::Internal(std::string("pool task threw: ") + e.what());
+    } catch (...) {
+      task_status = Status::Internal("pool task threw a non-std exception");
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (!task_status.ok() && first_error_.ok()) {
+        first_error_ = std::move(task_status);
+      }
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

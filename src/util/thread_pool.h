@@ -1,6 +1,14 @@
 // Fixed-size worker pool used to parallelize database builds and feature
 // extraction over image batches. Deliberately simple: submit void tasks,
 // wait for quiescence with WaitIdle, destruction joins all workers.
+//
+// Exception safety: a task that throws must not take the process (or
+// the pool) down with it — the serving layer schedules third-party
+// extractor code here. The worker loop catches anything a task
+// escapes with, records the first failure, and keeps draining the
+// queue; WaitIdle/ParallelFor still reach quiescence (no deadlock via
+// a skipped active_ decrement) and the failure is observable through
+// status() / the Status returned by ParallelFor.
 
 #ifndef CBIX_UTIL_THREAD_POOL_H_
 #define CBIX_UTIL_THREAD_POOL_H_
@@ -12,6 +20,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.h"
 
 namespace cbix {
 
@@ -33,17 +43,26 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for all
-  /// iterations. `fn` must be safe to invoke concurrently.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// iterations. `fn` must be safe to invoke concurrently. Returns OK,
+  /// or the first failure any iteration threw (remaining iterations
+  /// still run; an exception aborts only its own chunk).
+  Status ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// First task failure since construction (or ClearStatus), OK if
+  /// none. Submit-path users poll this after WaitIdle; ParallelFor
+  /// reports it directly.
+  Status status() const;
+  void ClearStatus();
 
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  Status first_error_;
   size_t active_ = 0;
   bool shutdown_ = false;
 };

@@ -1,0 +1,220 @@
+// Negative-path corpus for CbirEngine::Load: a corrupted database
+// file must come back as a non-OK Status — never a crash, a hang, or
+// a multi-gigabyte allocation — across the shards x quantization grid.
+//
+// Three corruption families, applied to genuinely saved files:
+//   * truncation at every interesting boundary (empty file, mid-
+//     header, header-only, mid-payload);
+//   * bit flips sprayed across the frame (header fields, payload
+//     bytes; the CRC or the section parsers must catch them);
+//   * a lying length prefix — the header's payload_size claims far
+//     more than the file holds, which must be caught by the size
+//     check before any allocation happens (a resize-bomb otherwise).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 33) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "cbix_load_fuzz_" + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+struct FuzzCase {
+  std::string name;
+  size_t shards;
+  QuantizationKind quantization;
+};
+
+class LoadFuzz : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  // Saves a real engine file for this config and returns its bytes.
+  std::vector<uint8_t> SavedBytes(const std::string& tag) {
+    const size_t kDim = 24;
+    const auto data = ClusteredData(120, kDim);
+    EngineConfig config;
+    config.index_kind = IndexKind::kLinearScan;
+    config.metric = MetricKind::kL2;
+    config.shards = GetParam().shards;
+    config.quantization = GetParam().quantization;
+    config.pq_m = 6;
+    config.rerank_factor = 8;
+    config_ = config;
+    CbirEngine engine((FeatureExtractor()), config);
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_TRUE(
+          engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+    }
+    EXPECT_TRUE(engine.BuildIndex().ok());
+    const std::string path = TempPath(GetParam().name + "_" + tag);
+    EXPECT_TRUE(engine.Save(path).ok());
+    auto bytes = ReadAll(path);
+    std::remove(path.c_str());
+    EXPECT_GT(bytes.size(), 20u);
+    return bytes;
+  }
+
+  // Loading `bytes` must fail with a Status, not a crash.
+  void ExpectLoadFails(const std::vector<uint8_t>& bytes,
+                       const std::string& tag) {
+    const std::string path = TempPath(GetParam().name + "_" + tag);
+    WriteAll(path, bytes);
+    CbirEngine engine((FeatureExtractor()), config_);
+    const Status status = engine.Load(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(status.ok()) << GetParam().name << " " << tag;
+  }
+
+  EngineConfig config_;
+};
+
+TEST_P(LoadFuzz, TruncationsAreRejected) {
+  const auto bytes = SavedBytes("trunc");
+  // Every boundary that has bitten a loader somewhere: nothing, a
+  // partial header, exactly the header (zero of the payload), one
+  // byte of payload, half the payload, all but the last byte.
+  const size_t cuts[] = {0,
+                        7,
+                        19,
+                        20,
+                        21,
+                        bytes.size() / 2,
+                        bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    std::vector<uint8_t> mutated(bytes.begin(), bytes.begin() + cut);
+    ExpectLoadFails(mutated, "cut" + std::to_string(cut));
+  }
+}
+
+TEST_P(LoadFuzz, BitFlipsAreRejected) {
+  const auto bytes = SavedBytes("flip");
+  // Flip one bit in each header field and a spray through the
+  // payload. CRC (payload) or field validation (header) must object.
+  // Deterministic offsets so a failure replays.
+  std::vector<size_t> offsets = {0, 5, 9, 13, 17};  // header fields
+  for (size_t frac = 1; frac <= 16; ++frac) {
+    offsets.push_back(20 + (bytes.size() - 21) * frac / 16);
+  }
+  for (const size_t off : offsets) {
+    if (off >= bytes.size()) continue;
+    std::vector<uint8_t> mutated = bytes;
+    mutated[off] ^= 0x40;
+    const std::string tag = "off" + std::to_string(off);
+    const std::string path = TempPath(GetParam().name + "_" + tag);
+    WriteAll(path, mutated);
+    CbirEngine engine((FeatureExtractor()), config_);
+    const Status status = engine.Load(path);
+    std::remove(path.c_str());
+    // A header or payload flip must be rejected; a rejected load must
+    // leave the engine usable (empty, accepting inserts).
+    EXPECT_FALSE(status.ok()) << GetParam().name << " " << tag;
+    EXPECT_EQ(engine.size(), 0u);
+    EXPECT_TRUE(engine.AddFeatureVector(Vec{1.0f, 2.0f}, "alive").ok());
+  }
+}
+
+TEST_P(LoadFuzz, LyingLengthPrefixIsRejectedWithoutAllocating) {
+  const auto bytes = SavedBytes("lie");
+  // The u64 payload_size lives at header offset 8. Claim ~256 GiB:
+  // the loader must compare against the real file size and bail out
+  // before resizing the payload buffer (OOM otherwise).
+  std::vector<uint8_t> mutated = bytes;
+  const uint64_t huge = 1ull << 38;
+  std::memcpy(mutated.data() + 8, &huge, sizeof(huge));
+  ExpectLoadFails(mutated, "huge_len");
+
+  // Claiming slightly more than available must fail too (truncated
+  // payload read), as must claiming less (CRC over fewer bytes).
+  uint64_t real_size = 0;
+  std::memcpy(&real_size, bytes.data() + 8, sizeof(real_size));
+  mutated = bytes;
+  const uint64_t plus_one = real_size + 1;
+  std::memcpy(mutated.data() + 8, &plus_one, sizeof(plus_one));
+  ExpectLoadFails(mutated, "len_plus_one");
+
+  if (real_size > 0) {
+    mutated = bytes;
+    const uint64_t minus_one = real_size - 1;
+    std::memcpy(mutated.data() + 8, &minus_one, sizeof(minus_one));
+    ExpectLoadFails(mutated, "len_minus_one");
+  }
+}
+
+TEST_P(LoadFuzz, GarbageAndWrongMagicAreRejected) {
+  // Pure garbage of assorted sizes.
+  for (const size_t n : {1u, 19u, 20u, 64u, 4096u}) {
+    std::vector<uint8_t> garbage(n);
+    for (size_t i = 0; i < n; ++i) {
+      garbage[i] = static_cast<uint8_t>(i * 131 + 17);
+    }
+    ExpectLoadFails(garbage, "garbage" + std::to_string(n));
+  }
+  // A real frame with the magic clobbered.
+  auto bytes = SavedBytes("magic");
+  bytes[0] ^= 0xff;
+  ExpectLoadFails(bytes, "bad_magic");
+  // A real frame with the version clobbered.
+  bytes = SavedBytes("version");
+  bytes[4] ^= 0xff;
+  ExpectLoadFails(bytes, "bad_version");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByQuantization, LoadFuzz,
+    ::testing::Values(
+        FuzzCase{"flat_none", 1, QuantizationKind::kNone},
+        FuzzCase{"flat_int8", 1, QuantizationKind::kInt8},
+        FuzzCase{"flat_pq", 1, QuantizationKind::kPq},
+        FuzzCase{"sharded_none", 3, QuantizationKind::kNone},
+        FuzzCase{"sharded_int8", 3, QuantizationKind::kInt8},
+        FuzzCase{"sharded_pq", 3, QuantizationKind::kPq}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace cbix

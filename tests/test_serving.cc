@@ -1,0 +1,834 @@
+// ServingEngine: the fault-tolerant concurrent serving runtime.
+//
+// The contract under test, in order of importance:
+//   1. Zero faults => bit-identical to a plain CbirEngine holding the
+//      same rows, across shards x quantization.
+//   2. Snapshot isolation: concurrent readers always see one complete
+//      snapshot — never a torn mix — while a writer inserts and merges.
+//   3. Faulted shards degrade queries (coverage says what answered)
+//      instead of failing or crashing, for every backing.
+//   4. Deadlines, retries and min_shards behave as documented.
+//   5. A save killed mid-commit leaves the previous file loadable.
+
+#include "core/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fault_injector.h"
+#include "corpus/vector_workload.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 33) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "cbix_serving_" + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
+}
+
+EngineConfig MakeConfig(size_t shards, QuantizationKind quant) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kLinearScan;
+  config.metric = MetricKind::kL2;
+  config.shards = shards;
+  config.quantization = quant;
+  config.pq_m = 6;
+  config.rerank_factor = 8;
+  return config;
+}
+
+void ExpectSameMatches(const std::vector<CbirEngine::Match>& got,
+                       const std::vector<CbirEngine::Match>& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << context << " rank " << i;
+    EXPECT_EQ(got[i].distance, want[i].distance) << context << " rank " << i;
+    EXPECT_EQ(got[i].name, want[i].name) << context << " rank " << i;
+    EXPECT_EQ(got[i].label, want[i].label) << context << " rank " << i;
+  }
+}
+
+struct ServingCase {
+  std::string name;
+  size_t shards;
+  QuantizationKind quantization;
+};
+
+class ServingEquivalence : public ::testing::TestWithParam<ServingCase> {};
+
+// A ServingEngine fed row by row (merging several times along the way)
+// must answer exactly like one CbirEngine that was handed all the rows
+// at once — ids, distances, names, labels.
+TEST_P(ServingEquivalence, ZeroFaultMatchesPlainEngine) {
+  const ServingCase& param = GetParam();
+  const size_t kDim = 24;
+  const size_t kN = 300;
+  const auto data = ClusteredData(kN, kDim);
+  const auto queries = ClusteredData(8, kDim, /*seed=*/91);
+  const EngineConfig config = MakeConfig(param.shards, param.quantization);
+
+  CbirEngine plain((FeatureExtractor()), config);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(plain
+                    .AddFeatureVector(data[i], "v" + std::to_string(i),
+                                      static_cast<int32_t>(i % 7))
+                    .ok());
+  }
+  ASSERT_TRUE(plain.BuildIndex().ok());
+  auto want = plain.QueryKnnBatchByVectors(queries, 10);
+  ASSERT_TRUE(want.ok());
+
+  // The serving overload with default options must not perturb the
+  // plain path either.
+  std::vector<QueryCoverage> coverage;
+  auto with_options = plain.QueryKnnBatchByVectors(queries, 10,
+                                                   SearchOptions{}, 2,
+                                                   nullptr, &coverage);
+  ASSERT_TRUE(with_options.ok());
+  ASSERT_EQ(coverage.size(), queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameMatches((*with_options)[qi], (*want)[qi],
+                      param.name + " options-overload q" + std::to_string(qi));
+    EXPECT_TRUE(coverage[qi].status.ok());
+    EXPECT_FALSE(coverage[qi].degraded);
+    EXPECT_EQ(coverage[qi].shards_answered, coverage[qi].shards_total);
+  }
+
+  ServingOptions options;
+  options.engine = config;
+  options.delta_merge_threshold = 64;  // forces several merges
+  options.search_threads = 2;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < kN; ++i) {
+    auto id = serve.Insert(data[i], "v" + std::to_string(i),
+                           static_cast<int32_t>(i % 7));
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), static_cast<uint32_t>(i));  // ids are stable
+  }
+  EXPECT_GE(serve.merges(), kN / 64);
+  ASSERT_TRUE(serve.Flush().ok());
+  EXPECT_EQ(serve.size(), kN);
+  EXPECT_EQ(serve.snapshot_info().delta_count, 0u);
+
+  auto reply = serve.Search(queries, 10);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->degraded);
+  ASSERT_EQ(reply->results.size(), queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameMatches(reply->results[qi], (*want)[qi],
+                      param.name + " flushed q" + std::to_string(qi));
+    EXPECT_TRUE(reply->coverage[qi].status.ok());
+    EXPECT_TRUE(reply->coverage[qi].delta_answered);
+    EXPECT_FALSE(reply->coverage[qi].degraded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByQuantization, ServingEquivalence,
+    ::testing::Values(
+        ServingCase{"flat_none", 1, QuantizationKind::kNone},
+        ServingCase{"flat_int8", 1, QuantizationKind::kInt8},
+        ServingCase{"flat_pq", 1, QuantizationKind::kPq},
+        ServingCase{"sharded_none", 3, QuantizationKind::kNone},
+        ServingCase{"sharded_int8", 3, QuantizationKind::kInt8},
+        ServingCase{"sharded_pq", 3, QuantizationKind::kPq}),
+    [](const ::testing::TestParamInfo<ServingCase>& info) {
+      return info.param.name;
+    });
+
+// Rows still sitting in the delta (no merge yet) must be searchable
+// and exact: sealed + delta together answer like one engine.
+TEST(ServingDelta, SealedPlusDeltaIsExact) {
+  const size_t kDim = 16;
+  const size_t kN = 150;
+  const auto data = ClusteredData(kN, kDim);
+  const auto queries = ClusteredData(6, kDim, /*seed=*/91);
+  const EngineConfig config = MakeConfig(1, QuantizationKind::kNone);
+
+  CbirEngine plain((FeatureExtractor()), config);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(plain
+                    .AddFeatureVector(data[i], "v" + std::to_string(i),
+                                      static_cast<int32_t>(i % 5))
+                    .ok());
+  }
+  ASSERT_TRUE(plain.BuildIndex().ok());
+  auto want = plain.QueryKnnBatchByVectors(queries, 7);
+  ASSERT_TRUE(want.ok());
+
+  ServingOptions options;
+  options.engine = config;
+  options.delta_merge_threshold = 100;  // merge at 100, 50 stay in delta
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(serve
+                    .Insert(data[i], "v" + std::to_string(i),
+                            static_cast<int32_t>(i % 5))
+                    .ok());
+  }
+  const auto info = serve.snapshot_info();
+  EXPECT_EQ(info.sealed_count, 100u);
+  EXPECT_EQ(info.delta_count, 50u);
+
+  auto reply = serve.Search(queries, 7);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->degraded);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameMatches(reply->results[qi], (*want)[qi],
+                      "delta q" + std::to_string(qi));
+  }
+}
+
+TEST(ServingDelta, DeltaOnlyEngineAnswers) {
+  const size_t kDim = 8;
+  const auto data = ClusteredData(20, kDim);
+  ServingOptions options;
+  options.engine = MakeConfig(1, QuantizationKind::kNone);
+  options.delta_merge_threshold = 1000;  // nothing ever merges
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "d" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(serve.snapshot_info().sealed_count, 0u);
+  EXPECT_EQ(serve.snapshot_info().delta_count, 20u);
+
+  auto reply = serve.Search({data[7]}, 1);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->results.size(), 1u);
+  ASSERT_EQ(reply->results[0].size(), 1u);
+  EXPECT_EQ(reply->results[0][0].id, 7u);
+  EXPECT_EQ(reply->results[0][0].name, "d7");
+  EXPECT_EQ(reply->results[0][0].distance, 0.0);
+}
+
+// The torn-snapshot test. A writer inserts vectors (crossing several
+// merge boundaries); readers query concurrently with exact
+// self-queries for rows that existed before the readers started.
+// Every reply must be internally consistent: the row is found at
+// distance zero with the name and label it was inserted with, and the
+// snapshot version never runs backwards. A reader observing a torn
+// mix (new rows with old name arrays, a half-built index, a
+// mid-mutation engine) fails these assertions or trips TSan.
+TEST(ServingConcurrency, SnapshotSwapIsNeverTorn) {
+  const size_t kDim = 12;
+  const size_t kInitial = 40;
+  const size_t kTotal = 160;
+  const auto data = ClusteredData(kTotal, kDim);
+
+  ServingOptions options;
+  options.engine = MakeConfig(2, QuantizationKind::kNone);
+  options.delta_merge_threshold = 16;  // many swaps while readers run
+  options.search_threads = 1;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < kInitial; ++i) {
+    ASSERT_TRUE(serve
+                    .Insert(data[i], "row" + std::to_string(i),
+                            static_cast<int32_t>(i))
+                    .ok());
+  }
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+  auto fail = [&failures](const std::string& what) {
+    failures.fetch_add(1);
+    ADD_FAILURE() << what;
+  };
+
+  std::thread writer([&] {
+    for (size_t i = kInitial; i < kTotal; ++i) {
+      auto id = serve.Insert(data[i], "row" + std::to_string(i),
+                             static_cast<int32_t>(i));
+      if (!id.ok() || id.value() != i) {
+        fail("insert failed at " + std::to_string(i));
+        break;
+      }
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_version = 0;
+      size_t probe = static_cast<size_t>(r);
+      size_t rounds = 0;
+      while (!writer_done.load() || rounds < 20) {
+        ++rounds;
+        const size_t id = probe % kInitial;
+        probe += 7;
+        auto reply = serve.Search({data[id]}, 1);
+        if (!reply.ok()) {
+          fail("search failed: " + reply.status().ToString());
+          return;
+        }
+        if (reply->snapshot_version < last_version) {
+          fail("snapshot version ran backwards");
+          return;
+        }
+        last_version = reply->snapshot_version;
+        if (reply->results[0].size() != 1) {
+          fail("self-query returned no result");
+          return;
+        }
+        const auto& m = reply->results[0][0];
+        if (m.id != id || m.distance != 0.0 ||
+            m.name != "row" + std::to_string(id) ||
+            m.label != static_cast<int32_t>(id)) {
+          fail("torn snapshot: row " + std::to_string(id) + " came back as " +
+               m.name);
+          return;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(serve.size(), kTotal);
+
+  // After the dust settles the runtime answers exactly for every row.
+  ASSERT_TRUE(serve.Flush().ok());
+  for (size_t i = 0; i < kTotal; i += 13) {
+    auto reply = serve.Search({data[i]}, 1);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->results[0].size(), 1u);
+    EXPECT_EQ(reply->results[0][0].id, i);
+  }
+}
+
+struct FaultCase {
+  std::string name;
+  QuantizationKind quantization;
+  double fail_probability;
+  int64_t latency_ms;
+};
+
+class ServingFaultMatrix : public ::testing::TestWithParam<FaultCase> {};
+
+// Faults on one shard of three must never crash or hang any backing;
+// coverage must tell the truth about what answered, and with a
+// certain failure the results must come exactly from the surviving
+// shards (round-robin: global id % shards == shard).
+TEST_P(ServingFaultMatrix, DegradesInsteadOfFailing) {
+  const FaultCase& param = GetParam();
+  const size_t kShards = 3;
+  const size_t kFaultyShard = 1;
+  const size_t kDim = 24;
+  const size_t kN = 240;
+  const auto data = ClusteredData(kN, kDim);
+  const auto queries = ClusteredData(6, kDim, /*seed=*/91);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(kShards, param.quantization);
+  options.delta_merge_threshold = 64;
+  options.search_threads = 2;
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = param.fail_probability;
+  fault.latency_ms = param.latency_ms;
+  injector->SetShardFault(kFaultyShard, fault);
+  injector->Seed(42);
+  injector->Enable(true);
+
+  for (int round = 0; round < 4; ++round) {
+    auto reply = serve.Search(queries, 5);
+    ASSERT_TRUE(reply.ok()) << param.name;  // never a call-level error
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const QueryCoverage& cov = reply->coverage[qi];
+      EXPECT_EQ(cov.shards_total, kShards);
+      size_t ok_count = 0;
+      for (StatusCode code : cov.shard_status) {
+        if (code == StatusCode::kOk) ++ok_count;
+      }
+      EXPECT_EQ(cov.shards_answered, ok_count);
+      EXPECT_TRUE(cov.status.ok());  // min_shards = 0: always served
+      EXPECT_EQ(cov.degraded, cov.shards_answered < kShards);
+      if (param.fail_probability == 1.0) {
+        // The faulty shard can never answer; everything returned must
+        // come from the other shards, and the reply must say so.
+        EXPECT_EQ(cov.shards_answered, kShards - 1);
+        EXPECT_TRUE(cov.degraded);
+        EXPECT_EQ(cov.shard_status[kFaultyShard], StatusCode::kUnavailable);
+        for (const auto& m : reply->results[qi]) {
+          EXPECT_NE(m.id % kShards, kFaultyShard)
+              << param.name << " returned a row from the failed shard";
+        }
+      }
+    }
+  }
+  EXPECT_GT(injector->shard_attempts(), 0u);
+  if (param.fail_probability == 1.0) {
+    EXPECT_GT(injector->injected_failures(), 0u);
+  }
+
+  // With the faults cleared the engine is whole again.
+  injector->Clear();
+  auto reply = serve.Search(queries, 5);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultGrid, ServingFaultMatrix,
+    ::testing::Values(
+        FaultCase{"none_p0_slow", QuantizationKind::kNone, 0.0, 5},
+        FaultCase{"none_p10", QuantizationKind::kNone, 0.1, 0},
+        FaultCase{"none_p100", QuantizationKind::kNone, 1.0, 0},
+        FaultCase{"none_p100_slow", QuantizationKind::kNone, 1.0, 5},
+        FaultCase{"int8_p10", QuantizationKind::kInt8, 0.1, 2},
+        FaultCase{"int8_p100", QuantizationKind::kInt8, 1.0, 0},
+        FaultCase{"pq_p10", QuantizationKind::kPq, 0.1, 2},
+        FaultCase{"pq_p100", QuantizationKind::kPq, 1.0, 0}),
+    [](const ::testing::TestParamInfo<FaultCase>& info) {
+      return info.param.name;
+    });
+
+// With p = 1.0 on one shard, a certain failure and exactness of the
+// degraded merge: results must equal the exact top-k computed over
+// the rows living on the surviving shards.
+TEST(ServingFaults, CertainFailureYieldsExactTopKOverSurvivors) {
+  const size_t kShards = 3;
+  const size_t kFaultyShard = 2;
+  const size_t kDim = 16;
+  const size_t kN = 180;
+  const auto data = ClusteredData(kN, kDim);
+  const auto queries = ClusteredData(5, kDim, /*seed=*/91);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(kShards, QuantizationKind::kNone);
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  // Reference: a plain engine holding only the survivors' rows
+  // (round-robin placement: shard = global id % shards), queried
+  // without any faults. Distances must agree bit-for-bit; ids map
+  // back through the survivors' global ids.
+  std::vector<size_t> survivor_ids;
+  CbirEngine survivors((FeatureExtractor()),
+                       MakeConfig(1, QuantizationKind::kNone));
+  for (size_t i = 0; i < kN; ++i) {
+    if (i % kShards == kFaultyShard) continue;
+    survivor_ids.push_back(i);
+    ASSERT_TRUE(survivors.AddFeatureVector(data[i], "v" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(survivors.BuildIndex().ok());
+  auto want = survivors.QueryKnnBatchByVectors(queries, 4);
+  ASSERT_TRUE(want.ok());
+
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = 1.0;
+  injector->SetShardFault(kFaultyShard, fault);
+  injector->Enable(true);
+
+  auto reply = serve.Search(queries, 4);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->degraded);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& got = reply->results[qi];
+    const auto& ref = (*want)[qi];
+    ASSERT_EQ(got.size(), ref.size()) << "q" << qi;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].id, survivor_ids[ref[i].id]) << "q" << qi;
+      EXPECT_EQ(got[i].distance, ref[i].distance) << "q" << qi;
+      EXPECT_EQ(got[i].name, ref[i].name) << "q" << qi;
+    }
+  }
+}
+
+// Transient faults plus retries: with p = 0.5 and generous retries
+// every work item eventually succeeds, so coverage is full and the
+// attempt counter shows the retries actually happened.
+TEST(ServingFaults, RetriesRecoverTransientShardFailures) {
+  const size_t kShards = 2;
+  const size_t kDim = 12;
+  const auto data = ClusteredData(120, kDim);
+  const auto queries = ClusteredData(4, kDim, /*seed=*/91);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(kShards, QuantizationKind::kNone);
+  options.search_threads = 1;
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  auto no_faults = serve.Search(queries, 5);
+  ASSERT_TRUE(no_faults.ok());
+
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = 0.5;
+  injector->SetShardFault(0, fault);
+  injector->SetShardFault(1, fault);
+  injector->Seed(7);
+  injector->Enable(true);
+
+  SearchOptions search;
+  search.max_retries = 20;  // P(21 straight failures) ~ 5e-7, seeded
+  auto reply = serve.Search(queries, 5, search);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->degraded);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_EQ(reply->coverage[qi].shards_answered, kShards);
+    ExpectSameMatches(reply->results[qi], no_faults->results[qi],
+                      "retry q" + std::to_string(qi));
+  }
+  EXPECT_GT(injector->injected_failures(), 0u);
+  EXPECT_GT(injector->shard_attempts(),
+            injector->injected_failures());  // some attempts succeeded
+}
+
+// min_shards is a floor: a query that cannot meet it is withheld
+// (empty results, non-OK coverage status) rather than silently
+// answering over too little corpus.
+TEST(ServingFaults, MinShardsWithholdsUnderCoveredQueries) {
+  const size_t kShards = 3;
+  const size_t kDim = 12;
+  const auto data = ClusteredData(90, kDim);
+  const auto queries = ClusteredData(3, kDim, /*seed=*/91);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(kShards, QuantizationKind::kNone);
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = 1.0;
+  injector->SetShardFault(0, fault);
+  injector->Enable(true);
+
+  SearchOptions strict;
+  strict.min_shards = kShards;  // demands every shard
+  auto reply = serve.Search(queries, 5, strict);
+  ASSERT_TRUE(reply.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_TRUE(reply->results[qi].empty());
+    EXPECT_FALSE(reply->coverage[qi].status.ok());
+    EXPECT_EQ(reply->coverage[qi].status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(reply->coverage[qi].degraded);
+  }
+
+  SearchOptions lenient;
+  lenient.min_shards = kShards - 1;  // two of three is acceptable
+  reply = serve.Search(queries, 5, lenient);
+  ASSERT_TRUE(reply.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_FALSE(reply->results[qi].empty());
+    EXPECT_TRUE(reply->coverage[qi].status.ok());
+    EXPECT_TRUE(reply->coverage[qi].degraded);
+  }
+}
+
+// A deadline shorter than an injected shard latency expires every
+// shard: the call still returns (promptly, no hang), coverage says
+// the shards timed out, and nothing is fabricated.
+TEST(ServingFaults, DeadlineExpiryDegradesInsteadOfHanging) {
+  const size_t kShards = 2;
+  const size_t kDim = 12;
+  const auto data = ClusteredData(80, kDim);
+  const auto queries = ClusteredData(3, kDim, /*seed=*/91);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(kShards, QuantizationKind::kNone);
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  FaultInjector::ShardFault slow;
+  slow.latency_ms = 80;
+  injector->SetShardFault(0, slow);
+  injector->SetShardFault(1, slow);
+  injector->Enable(true);
+
+  SearchOptions budget;
+  budget.timeout_ms = 15;
+  auto reply = serve.Search(queries, 5, budget);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->degraded);
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    EXPECT_TRUE(reply->results[qi].empty());
+    for (StatusCode code : reply->coverage[qi].shard_status) {
+      EXPECT_EQ(code, StatusCode::kDeadlineExceeded);
+    }
+    // Deadline expiry is never retried; nothing is served, but the
+    // contract (min_shards = 0) is still met.
+    EXPECT_TRUE(reply->coverage[qi].status.ok());
+  }
+}
+
+// A sealed pass that eats the whole budget leaves none for the delta:
+// the sealed answer stands and coverage flags the unsearched delta.
+TEST(ServingFaults, ExhaustedBudgetSkipsDeltaScan) {
+  const size_t kDim = 12;
+  const auto data = ClusteredData(120, kDim);
+
+  auto injector = std::make_shared<FaultInjector>();
+  ServingOptions options;
+  options.engine = MakeConfig(1, QuantizationKind::kNone);
+  options.delta_merge_threshold = 100;  // 100 sealed, 20 in the delta
+  options.fault_injector = injector;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_EQ(serve.snapshot_info().delta_count, 20u);
+
+  FaultInjector::ShardFault slow;
+  slow.latency_ms = 60;
+  injector->SetShardFault(0, slow);
+  injector->Enable(true);
+
+  SearchOptions budget;
+  budget.timeout_ms = 25;
+  auto reply = serve.Search({data[0]}, 3, budget);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->degraded);
+  EXPECT_FALSE(reply->coverage[0].delta_answered);
+}
+
+// ----------------------------------------------------------------------
+// Option and config validation at the public entry points.
+
+TEST(ServingValidation, BadSearchOptionsAreRejected) {
+  const size_t kDim = 8;
+  const auto data = ClusteredData(10, kDim);
+  ServingOptions options;
+  options.engine = MakeConfig(2, QuantizationKind::kNone);
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(serve.Flush().ok());
+
+  SearchOptions bad;
+  bad.timeout_ms = -5;
+  EXPECT_EQ(serve.Search({data[0]}, 3, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = SearchOptions{};
+  bad.retry_backoff_ms = -1;
+  EXPECT_EQ(serve.Search({data[0]}, 3, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = SearchOptions{};
+  bad.min_shards = 3;  // engine has 2 shards
+  EXPECT_EQ(serve.Search({data[0]}, 3, bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Same contract on the engine's own serving overload.
+  CbirEngine plain((FeatureExtractor()), MakeConfig(2, QuantizationKind::kNone));
+  ASSERT_TRUE(plain.AddFeatureVector(data[0], "a").ok());
+  EXPECT_EQ(plain.QueryKnnBatchByVectors({data[0]}, 1, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServingValidation, BadEngineConfigsAreRejected) {
+  EngineConfig config = MakeConfig(1, QuantizationKind::kNone);
+  config.query_tile = 0;
+  ServingOptions options;
+  options.engine = config;
+  EXPECT_FALSE(ServingEngine::Create(FeatureExtractor(), options).ok());
+
+  config = MakeConfig(1, QuantizationKind::kNone);
+  config.shards = 0;
+  options.engine = config;
+  EXPECT_FALSE(ServingEngine::Create(FeatureExtractor(), options).ok());
+
+  config = MakeConfig(1, QuantizationKind::kPq);
+  config.pq_m = 0;
+  options.engine = config;
+  EXPECT_FALSE(ServingEngine::Create(FeatureExtractor(), options).ok());
+
+  // The plain engine reports the same violation at build time instead
+  // of asserting or throwing.
+  config = MakeConfig(1, QuantizationKind::kNone);
+  config.query_tile = 0;
+  CbirEngine engine((FeatureExtractor()), config);
+  ASSERT_TRUE(engine.AddFeatureVector(Vec{1.0f, 2.0f}, "x").ok());
+  EXPECT_FALSE(engine.BuildIndex().ok());
+}
+
+TEST(ServingValidation, DimensionMismatchesAreRejected) {
+  ServingOptions options;
+  options.engine = MakeConfig(1, QuantizationKind::kNone);
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  EXPECT_FALSE(serve.Insert(Vec{}, "empty").ok());
+  ASSERT_TRUE(serve.Insert(Vec{1.0f, 2.0f, 3.0f}, "first").ok());
+  EXPECT_FALSE(serve.Insert(Vec{1.0f}, "short").ok());
+  EXPECT_EQ(serve.Search({Vec{1.0f}}, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------------
+// Crash-safe persistence: a save killed at either fail point must
+// leave the previously saved file untouched and loadable.
+
+class ServingCrashSafeSave : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServingCrashSafeSave, KilledSaveLeavesOldFileLoadable) {
+  const std::string fail_point = GetParam();
+  const size_t kDim = 16;
+  const auto data = ClusteredData(60, kDim);
+  const auto queries = ClusteredData(4, kDim, /*seed=*/91);
+  const EngineConfig config = MakeConfig(2, QuantizationKind::kInt8);
+
+  auto injector = std::make_shared<FaultInjector>();
+  CbirEngine engine((FeatureExtractor()), config);
+  engine.SetFaultInjector(injector);
+  for (size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  auto want = engine.QueryKnnBatchByVectors(queries, 5);
+  ASSERT_TRUE(want.ok());
+
+  const std::string path = TempPath("crash_" + fail_point.substr(12));
+  ASSERT_TRUE(engine.Save(path).ok());
+
+  // Grow the engine, then kill the re-save at the chosen point.
+  for (size_t i = 40; i < 60; ++i) {
+    ASSERT_TRUE(engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(engine.BuildIndex().ok());
+  injector->ArmFailPoint(fail_point, 1);
+  injector->Enable(true);
+  EXPECT_FALSE(engine.Save(path).ok());
+  injector->Enable(false);
+
+  // The old file must still load, bit-identical to the first save.
+  CbirEngine loaded((FeatureExtractor()), config);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 40u);
+  auto got = loaded.QueryKnnBatchByVectors(queries, 5);
+  ASSERT_TRUE(got.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameMatches((*got)[qi], (*want)[qi],
+                      fail_point + " q" + std::to_string(qi));
+  }
+
+  // And with the fail point disarmed the save goes through again.
+  ASSERT_TRUE(engine.Save(path).ok());
+  CbirEngine reloaded((FeatureExtractor()), config);
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), 60u);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(FailPoints, ServingCrashSafeSave,
+                         ::testing::Values("engine.save.payload",
+                                           "engine.save.commit"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           const std::string name = info.param;
+                           return name.substr(name.rfind('.') + 1);
+                         });
+
+// ServingEngine-level round trip: Save flushes the delta, Load
+// replaces contents, answers match.
+TEST(ServingPersistence, SaveLoadRoundTrip) {
+  const size_t kDim = 16;
+  const auto data = ClusteredData(70, kDim);
+  const auto queries = ClusteredData(4, kDim, /*seed=*/91);
+  ServingOptions options;
+  options.engine = MakeConfig(2, QuantizationKind::kNone);
+  options.delta_merge_threshold = 32;
+  auto serving = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(serving.ok());
+  ServingEngine& serve = **serving;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(serve
+                    .Insert(data[i], "v" + std::to_string(i),
+                            static_cast<int32_t>(i % 3))
+                    .ok());
+  }
+  auto want = serve.Search(queries, 6);
+  ASSERT_TRUE(want.ok());
+
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(serve.Save(path).ok());
+
+  auto restored = ServingEngine::Create(FeatureExtractor(), options);
+  ASSERT_TRUE(restored.ok());
+  ServingEngine& other = **restored;
+  ASSERT_TRUE(other.Load(path).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(other.size(), data.size());
+  auto got = other.Search(queries, 6);
+  ASSERT_TRUE(got.ok());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectSameMatches(got->results[qi], want->results[qi],
+                      "roundtrip q" + std::to_string(qi));
+  }
+
+  // Loaded runtimes keep serving inserts.
+  ASSERT_TRUE(other.Insert(data[0], "again").ok());
+  EXPECT_EQ(other.size(), data.size() + 1);
+}
+
+}  // namespace
+}  // namespace cbix

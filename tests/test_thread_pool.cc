@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace cbix {
@@ -66,6 +68,73 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
     pool.WaitIdle();
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+// ----------------------------------------------------------------------
+// Exception hardening: a throwing task must not terminate the process,
+// wedge WaitIdle, or poison the pool for later work.
+
+TEST(ThreadPoolExceptions, ThrowingSubmittedTaskDoesNotKillThePool) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1); });
+  }
+  pool.WaitIdle();  // must return — the decrement is never skipped
+  EXPECT_EQ(completed.load(), 10);
+  const Status status = pool.status();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("task boom"), std::string::npos);
+
+  // The failure is sticky until cleared, then the pool is clean again.
+  pool.Submit([] {});
+  pool.WaitIdle();
+  EXPECT_FALSE(pool.status().ok());
+  pool.ClearStatus();
+  EXPECT_TRUE(pool.status().ok());
+}
+
+TEST(ThreadPoolExceptions, NonStdExceptionIsCapturedToo) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  pool.WaitIdle();
+  EXPECT_FALSE(pool.status().ok());
+  pool.ClearStatus();
+}
+
+TEST(ThreadPoolExceptions, ParallelForReportsFirstThrowAndKeepsGoing) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<int>> touched(kN);
+  const Status status = pool.ParallelFor(kN, [&touched](size_t i) {
+    if (i == 250) throw std::runtime_error("iteration boom");
+    touched[i].fetch_add(1);
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("iteration boom"), std::string::npos);
+  // An exception aborts only its own chunk; iterations in other chunks
+  // (most of the range, with 500 indices over 12 chunks) still ran.
+  size_t ran = 0;
+  for (size_t i = 0; i < kN; ++i) ran += touched[i].load() != 0;
+  EXPECT_GT(ran, kN / 2);
+
+  // The next ParallelFor is independent and clean.
+  const Status again =
+      pool.ParallelFor(100, [&touched](size_t i) { touched[i].fetch_add(1); });
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(ThreadPoolExceptions, DestructionIsCleanAfterThrowingTasks) {
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([] { throw std::runtime_error("boom"); });
+    }
+    // Destructor joins workers that all saw exceptions — must not
+    // terminate or hang.
+  }
+  SUCCEED();
 }
 
 }  // namespace
