@@ -1,0 +1,218 @@
+// bench_hnsw — the recall-vs-QPS curve of the approximate graph index
+// against the exact linear scan on the standard corpus (clustered,
+// n=16384, dim=128, L2, k=10).
+//
+// One graph is built (build time reported), then the query-time beam
+// width sweeps ef in {16, 32, 64, 128}: per ef the harness measures
+// batched QPS through SearchBatch and recall@10 against the exact
+// scan's answers. Two quality gates run in-process so a regression
+// fails the smoke ritual rather than shipping a bad trajectory:
+//   - the default-ef row must hold recall@10 >= 0.95;
+//   - some row of the curve must reach recall@10 >= 0.95 AND >= 10x
+//     the linear-scan batch QPS (the sub-linear win the index exists
+//     for; compare_bench.py re-checks both floors on the JSON).
+//
+// Usage: bench_hnsw [output.json]
+// Prints the curve and, when a path is given, writes BENCH_hnsw.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "index/hnsw.h"
+#include "index/linear_scan.h"
+#include "index/query_block.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+constexpr size_t kCount = 16384;
+constexpr size_t kDim = 128;
+constexpr size_t kK = 10;
+constexpr size_t kBatchQueries = 128;
+constexpr size_t kEfSweep[] = {16, 32, 64, 128};
+constexpr double kRecallFloor = 0.95;
+constexpr double kSpeedupFloor = 10.0;
+
+struct HnswRow {
+  size_t ef = 0;
+  bool is_default = false;
+  double recall_at_10 = 0.0;
+  double qps = 0.0;
+  double speedup_x = 0.0;  ///< vs the linear-scan batch QPS
+  double evals_per_query = 0.0;
+};
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "bench_hnsw: %s failed: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Batched QPS of `index` over `block`, median-free but warm: one
+/// untimed pass, then `passes` timed passes.
+double MeasureQps(const VectorIndex& index, const QueryBlock& block,
+                  size_t passes, SearchStats* total_stats) {
+  std::vector<std::vector<Neighbor>> results(block.count());
+  index.SearchBatch(block, kK, results.data(), nullptr);  // warm-up
+  std::vector<SearchStats> stats(block.count());
+  Timer timer;
+  for (size_t p = 0; p < passes; ++p) {
+    for (auto& s : stats) s = SearchStats();
+    index.SearchBatch(block, kK, results.data(), stats.data());
+  }
+  const double micros = static_cast<double>(timer.ElapsedMicros());
+  if (total_stats != nullptr) {
+    for (const SearchStats& s : stats) *total_stats += s;
+  }
+  return micros > 0.0
+             ? 1e6 * static_cast<double>(passes * block.count()) / micros
+             : 0.0;
+}
+
+void WriteJson(const std::string& path, double build_ms, double scan_qps,
+               const std::vector<HnswRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hnsw: cannot write %s\n", path.c_str());
+    std::exit(1);  // a stale trajectory must not pass the smoke ritual
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_hnsw\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"dim\": %zu, \"k\": %zu,"
+               " \"batch_queries\": %zu, \"m\": %zu,"
+               " \"ef_construction\": %zu, \"metric\": \"l2\"},\n",
+               kCount, kDim, kK, kBatchQueries, HnswOptions{}.m,
+               HnswOptions{}.ef_construction);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"build_ms\": %.1f,\n", build_ms);
+  std::fprintf(f, "  \"linear_scan\": {\"batch_qps\": %.1f},\n", scan_qps);
+  std::fprintf(f, "  \"hnsw\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const HnswRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"ef\": %zu, \"is_default\": %s,"
+                 " \"recall_at_10\": %.4f, \"qps\": %.1f,"
+                 " \"speedup_x\": %.2f, \"evals_per_query\": %.1f}%s\n",
+                 r.ef, r.is_default ? "true" : "false", r.recall_at_10,
+                 r.qps, r.speedup_x, r.evals_per_query,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "HNSW", "approximate graph search: recall@10 vs batched QPS",
+      "clustered, n=" + std::to_string(kCount) + ", dim=" +
+          std::to_string(kDim) + ", k=" + std::to_string(kK) +
+          ", ef sweep {16,32,64,128}");
+
+  const VectorWorkloadSpec spec = StandardWorkload(kCount, kDim);
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, kBatchQueries, 0.02, 4321);
+  const QueryBlock block = QueryBlock::Pack(queries);
+
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  {
+    const Status built = scan.Build(data);
+    if (!built.ok()) Die("linear scan build", built);
+  }
+  const double scan_qps = MeasureQps(scan, block, /*passes=*/2, nullptr);
+
+  // Exact ground truth for recall.
+  std::vector<std::set<uint32_t>> truth(queries.size());
+  {
+    std::vector<std::vector<Neighbor>> exact(queries.size());
+    scan.SearchBatch(block, kK, exact.data(), nullptr);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (const Neighbor& n : exact[qi]) truth[qi].insert(n.id);
+    }
+  }
+
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  double build_ms = 0.0;
+  {
+    Timer timer;
+    const Status built = hnsw.Build(data);
+    build_ms = static_cast<double>(timer.ElapsedMicros()) / 1000.0;
+    if (!built.ok()) Die("hnsw build", built);
+  }
+  std::printf("hnsw build: %.1f ms (%s)\n", build_ms, hnsw.Name().c_str());
+  std::printf("linear scan batch: %.1f qps\n\n", scan_qps);
+
+  const size_t default_ef = HnswOptions{}.ef_search;
+  std::vector<HnswRow> rows;
+  TablePrinter table(
+      {"ef", "recall@10", "qps", "speedup_x", "evals/q", "default"});
+  table.PrintHeader();
+  for (const size_t ef : kEfSweep) {
+    hnsw.set_ef_search(ef);
+    HnswRow row;
+    row.ef = ef;
+    row.is_default = ef == default_ef;
+    SearchStats total;
+    row.qps = MeasureQps(hnsw, block, /*passes=*/10, &total);
+    row.speedup_x = scan_qps > 0.0 ? row.qps / scan_qps : 0.0;
+    row.evals_per_query = static_cast<double>(total.distance_evals) /
+                          static_cast<double>(queries.size());
+
+    std::vector<std::vector<Neighbor>> results(queries.size());
+    hnsw.SearchBatch(block, kK, results.data(), nullptr);
+    size_t hit = 0, want = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      for (const Neighbor& n : results[qi]) hit += truth[qi].count(n.id);
+      want += truth[qi].size();
+    }
+    row.recall_at_10 =
+        want > 0 ? static_cast<double>(hit) / static_cast<double>(want) : 1.0;
+    rows.push_back(row);
+    table.PrintRow({FmtInt(row.ef), Fmt(row.recall_at_10, 4),
+                    Fmt(row.qps, 1), Fmt(row.speedup_x, 2),
+                    Fmt(row.evals_per_query, 1),
+                    row.is_default ? "yes" : ""});
+  }
+
+  // Quality gates (mirrored by compare_bench.py on the JSON).
+  bool default_ok = false, fast_point_ok = false;
+  for (const HnswRow& row : rows) {
+    if (row.is_default && row.recall_at_10 >= kRecallFloor) default_ok = true;
+    if (row.recall_at_10 >= kRecallFloor && row.speedup_x >= kSpeedupFloor) {
+      fast_point_ok = true;
+    }
+  }
+  if (!default_ok) {
+    std::fprintf(stderr,
+                 "bench_hnsw: recall@10 at the default ef (%zu) fell below "
+                 "the %.2f floor\n",
+                 default_ef, kRecallFloor);
+    std::exit(1);
+  }
+  if (!fast_point_ok) {
+    std::fprintf(stderr,
+                 "bench_hnsw: no point of the curve reaches recall@10 >= "
+                 "%.2f at >= %.0fx the linear-scan QPS\n",
+                 kRecallFloor, kSpeedupFloor);
+    std::exit(1);
+  }
+
+  if (argc > 1) WriteJson(argv[1], build_ms, scan_qps, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

@@ -24,12 +24,20 @@ portable baseline). Compared fields:
                                          flaky scenarios <= 1%
                                          degraded, a hard-down shard
                                          must degrade every query
+  - BENCH_hnsw.json     hnsw[]           qps, recall_at_10, plus
+                                         ABSOLUTE floors: the default-
+                                         ef row must hold recall@10 >=
+                                         0.95, and some row must reach
+                                         recall@10 >= 0.95 at >= 10x
+                                         the linear-scan batch QPS
 
 Usage: compare_bench.py <baseline_dir> <current_dir> [--threshold 0.20]
 
 Exit code 0 = no regression, 1 = regression(s) found, 2 = bad input.
 Missing baseline files are skipped with a note (first run of a new
-trajectory has nothing to regress against).
+trajectory has nothing to regress against), and series rows present
+only in the head are reported as "new series" — they get the absolute
+floors above but never a relative diff.
 """
 
 import argparse
@@ -43,8 +51,18 @@ def load(path):
         return json.load(f)
 
 
-def index_rows(rows, key_fields):
-    return {tuple(r[k] for k in key_fields): r for r in rows}
+def index_rows(rows, key_fields, notes, context):
+    """Keys rows by `key_fields`, tolerating rows that predate (or
+    postdate) the schema: a row missing a key field is noted and
+    skipped instead of raising KeyError and killing the whole diff."""
+    indexed = {}
+    for r in rows:
+        if any(k not in r for k in key_fields):
+            notes.append(f"{context}: row missing key field(s) "
+                         f"{[k for k in key_fields if k not in r]}, skipped")
+            continue
+        indexed[tuple(r[k] for k in key_fields)] = r
+    return indexed
 
 
 def check_metric(failures, name, key, old, new, field, threshold,
@@ -81,8 +99,10 @@ def compare_file(failures, notes, baseline_dir, current_dir, filename,
     if not os.path.exists(cur_path):
         failures.append(f"{filename}: missing from current run")
         return
-    base_rows = index_rows(load(base_path).get(section, []), key_fields)
-    cur_rows = index_rows(load(cur_path).get(section, []), key_fields)
+    base_rows = index_rows(load(base_path).get(section, []), key_fields,
+                           notes, f"{filename} baseline {section}")
+    cur_rows = index_rows(load(cur_path).get(section, []), key_fields,
+                          notes, f"{filename} current {section}")
     for key, old in base_rows.items():
         new = cur_rows.get(key)
         if new is None:
@@ -91,6 +111,12 @@ def compare_file(failures, notes, baseline_dir, current_dir, filename,
         for field, higher_is_better in metrics:
             check_metric(failures, filename, key, old, new, field,
                          threshold, higher_is_better)
+    # Rows only the head has are a new series, not a regression: no
+    # baseline to diff against, only the absolute floors apply.
+    for key in cur_rows:
+        if key not in base_rows:
+            notes.append(f"{filename} {key}: new series in {section} "
+                         "(no baseline, absolute floors only)")
 
 
 def check_tiled_floor(failures, notes, current_dir, min_speedup=1.3):
@@ -162,6 +188,54 @@ def check_degraded_ceiling(failures, notes, current_dir):
                 f"{frac:.4f} below the {floor:.3f} floor")
 
 
+def check_hnsw_floor(failures, notes, current_dir, min_recall=0.95,
+                     min_speedup=10.0):
+    """Absolute gates on the approximate-search quality/speed bargain,
+    no baseline required: the default-ef row must keep recall@10 >=
+    min_recall, and some row of the curve must reach recall@10 >=
+    min_recall at >= min_speedup x the linear-scan batch QPS (otherwise
+    the graph index has stopped paying for its approximation)."""
+    path = os.path.join(current_dir, "BENCH_hnsw.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_hnsw.json: missing from current run")
+        return
+    rows = load(path).get("hnsw", [])
+    if not rows:
+        failures.append("BENCH_hnsw.json: hnsw series empty "
+                        "(floor gates cannot run)")
+        return
+    default_rows = [r for r in rows if r.get("is_default")]
+    if not default_rows:
+        failures.append("BENCH_hnsw.json: no default-ef row "
+                        "(recall floor cannot run)")
+    for r in default_rows:
+        recall = r.get("recall_at_10", 0.0)
+        if recall < min_recall:
+            failures.append(
+                f"BENCH_hnsw.json ef={r.get('ef')}: default-ef recall@10 "
+                f"{recall:.4f} below the {min_recall:.2f} floor")
+        else:
+            notes.append(f"hnsw default ef={r.get('ef')} recall@10 "
+                         f"{recall:.4f} >= {min_recall:.2f} floor")
+    fast = [r for r in rows
+            if r.get("recall_at_10", 0.0) >= min_recall
+            and r.get("speedup_x", 0.0) >= min_speedup]
+    if not fast:
+        best = max((r.get("speedup_x", 0.0) for r in rows
+                    if r.get("recall_at_10", 0.0) >= min_recall),
+                   default=0.0)
+        failures.append(
+            f"BENCH_hnsw.json: no row reaches recall@10 >= {min_recall:.2f} "
+            f"at >= {min_speedup:.0f}x linear scan (best qualifying "
+            f"speedup {best:.2f}x)")
+    else:
+        r = max(fast, key=lambda row: row.get("speedup_x", 0.0))
+        notes.append(f"hnsw ef={r.get('ef')} holds recall@10 "
+                     f"{r.get('recall_at_10'):.4f} at "
+                     f"{r.get('speedup_x'):.2f}x linear scan "
+                     f">= {min_speedup:.0f}x floor")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir")
@@ -193,6 +267,10 @@ def main():
                  "BENCH_serving.json", "serving", ("scenario",),
                  [("qps", True)], args.threshold)
     check_degraded_ceiling(failures, notes, args.current_dir)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_hnsw.json", "hnsw", ("ef",),
+                 [("qps", True), ("recall_at_10", True)], args.threshold)
+    check_hnsw_floor(failures, notes, args.current_dir)
 
     for note in notes:
         print(f"note: {note}")

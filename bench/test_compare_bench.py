@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Regression tests for compare_bench.py on synthetic base/head pairs.
+
+The scenarios that have actually bitten this script:
+  - a head file with no baseline counterpart (first run of a new
+    trajectory, e.g. BENCH_hnsw.json) must be skipped with a note, not
+    KeyError or fail the diff;
+  - a series row present only in the head (new series) must be noted
+    and get only the absolute floors;
+  - a row missing a key field (schema drift across commits) must be
+    skipped with a note, not crash the whole comparison;
+  - genuine regressions and absolute-floor violations must still fail.
+
+Run directly (exits non-zero on failure) or via ctest.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+# A head snapshot that satisfies every absolute gate.
+KERNELS = {
+    "kernels": [
+        {"metric": "l2", "dim": 128, "batched_us_per_query": 10.0},
+        {"metric": "l1", "dim": 128, "batched_us_per_query": 12.0},
+    ],
+    "batch_tiled": [
+        {"metric": "l2", "dim": 128, "tiled_qps": 90000.0, "speedup": 1.8},
+    ],
+}
+SHARDS = {"shard_scaling": [{"shards": 1, "batch_qps": 2500.0}]}
+QUANT = {"quantization": [
+    {"backing": "int8", "rerank_factor": 8, "batch_qps": 9000.0,
+     "compression_x": 3.9}]}
+SERVING = {"serving": [
+    {"scenario": "healthy", "qps": 4000.0, "degraded_fraction": 0.0},
+    {"scenario": "slow_shard", "qps": 3000.0, "degraded_fraction": 0.0},
+    {"scenario": "flaky_shard", "qps": 3000.0, "degraded_fraction": 0.005},
+    {"scenario": "failed_shard", "qps": 3500.0, "degraded_fraction": 1.0},
+]}
+HNSW = {
+    "linear_scan": {"batch_qps": 2500.0},
+    "hnsw": [
+        {"ef": 16, "is_default": False, "recall_at_10": 0.97,
+         "qps": 31000.0, "speedup_x": 12.4},
+        {"ef": 64, "is_default": True, "recall_at_10": 1.0,
+         "qps": 15000.0, "speedup_x": 6.0},
+    ],
+}
+
+
+def write_dir(path, files):
+    os.makedirs(path, exist_ok=True)
+    for name, payload in files.items():
+        with open(os.path.join(path, name), "w", encoding="utf-8") as f:
+            json.dump(payload, f)
+
+
+def run(base, head, threshold=None):
+    cmd = [sys.executable, SCRIPT, base, head]
+    if threshold is not None:
+        cmd += ["--threshold", str(threshold)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+FAILURES = []
+
+
+def expect(condition, label, detail=""):
+    if condition:
+        print(f"ok: {label}")
+    else:
+        FAILURES.append(label)
+        print(f"FAIL: {label}\n{detail}")
+
+
+def head_files():
+    return {
+        "BENCH_kernels.json": copy.deepcopy(KERNELS),
+        "BENCH_shards.json": copy.deepcopy(SHARDS),
+        "BENCH_quant.json": copy.deepcopy(QUANT),
+        "BENCH_serving.json": copy.deepcopy(SERVING),
+        "BENCH_hnsw.json": copy.deepcopy(HNSW),
+    }
+
+
+def base_files_without_hnsw():
+    files = head_files()
+    del files["BENCH_hnsw.json"]
+    return files
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. Head introduces BENCH_hnsw.json; base predates it. The diff
+        # must pass, noting the skip, and still run the hnsw floors.
+        base = os.path.join(tmp, "base1")
+        head = os.path.join(tmp, "head1")
+        write_dir(base, base_files_without_hnsw())
+        write_dir(head, head_files())
+        code, out = run(base, head)
+        expect(code == 0, "new file in head passes", out)
+        expect("BENCH_hnsw.json: no baseline, skipped" in out,
+               "new file is noted as skipped", out)
+        expect("hnsw default ef=64 recall@10" in out,
+               "absolute hnsw floors still run without a baseline", out)
+
+        # 2. New series rows in the head (kernels row for a new metric)
+        # must be noted, never failed or crashed on.
+        head2 = os.path.join(tmp, "head2")
+        files = head_files()
+        files["BENCH_kernels.json"]["kernels"].append(
+            {"metric": "cosine", "dim": 256, "batched_us_per_query": 9.0})
+        write_dir(head2, files)
+        code, out = run(base, head2)
+        expect(code == 0, "new series row in head passes", out)
+        expect("new series" in out, "new series row is noted", out)
+
+        # 3. A baseline row missing a key field (older schema) is
+        # skipped with a note instead of a KeyError traceback.
+        base3 = os.path.join(tmp, "base3")
+        files = base_files_without_hnsw()
+        files["BENCH_kernels.json"]["kernels"].append({"metric": "l1"})
+        write_dir(base3, files)
+        code, out = run(base3, head)
+        expect(code == 0, "baseline row missing key field passes", out)
+        expect("missing key field" in out,
+               "missing key field is noted", out)
+        expect("Traceback" not in out, "no traceback on schema drift", out)
+
+        # 4. A genuine QPS regression in an established series fails.
+        head4 = os.path.join(tmp, "head4")
+        files = head_files()
+        files["BENCH_shards.json"]["shard_scaling"][0]["batch_qps"] = 1000.0
+        write_dir(head4, files)
+        code, out = run(base, head4)
+        expect(code == 1, "regressed series fails", out)
+        expect("batch_qps dropped" in out, "regression names the field", out)
+
+        # 5. hnsw absolute floors: default-ef recall below 0.95 fails
+        # even with no baseline to compare against.
+        head5 = os.path.join(tmp, "head5")
+        files = head_files()
+        files["BENCH_hnsw.json"]["hnsw"][1]["recall_at_10"] = 0.90
+        write_dir(head5, files)
+        code, out = run(base, head5)
+        expect(code == 1, "low default-ef recall fails", out)
+        expect("below the 0.95 floor" in out, "recall floor names itself",
+               out)
+
+        # 6. hnsw speed floor: curve with no >= 10x point at recall >=
+        # 0.95 fails.
+        head6 = os.path.join(tmp, "head6")
+        files = head_files()
+        files["BENCH_hnsw.json"]["hnsw"][0]["speedup_x"] = 4.0
+        write_dir(head6, files)
+        code, out = run(base, head6)
+        expect(code == 1, "missing 10x point fails", out)
+        expect("no row reaches recall@10" in out,
+               "speed floor names itself", out)
+
+        # 7. hnsw series regressions diff like any other once a
+        # baseline exists (qps drop beyond threshold fails).
+        base7 = os.path.join(tmp, "base7")
+        head7 = os.path.join(tmp, "head7")
+        write_dir(base7, head_files())
+        files = head_files()
+        files["BENCH_hnsw.json"]["hnsw"][0]["qps"] = 10000.0
+        files["BENCH_hnsw.json"]["hnsw"][0]["speedup_x"] = 12.0
+        write_dir(head7, files)
+        code, out = run(base7, head7)
+        expect(code == 1, "hnsw qps regression fails against baseline", out)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} compare_bench regression test(s) failed")
+        return 1
+    print("\ncompare_bench regression tests OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

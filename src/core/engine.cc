@@ -9,6 +9,7 @@
 #include "distance/histogram_measures.h"
 #include "distance/minkowski.h"
 #include "image/pnm_codec.h"
+#include "index/hnsw.h"
 #include "index/linear_scan.h"
 #include "index/sharded_index.h"
 #include "quant/quantized_store.h"
@@ -20,7 +21,10 @@ namespace cbix {
 namespace {
 constexpr uint32_t kEngineMagic = 0x43425845;  // "CBXE"
 // v2: quantization config fields appended after the metric kind.
-constexpr uint32_t kEngineVersion = 2;
+// v3: HNSW config fields after rerank_factor; the optional index
+// payloads (quantized scan, HNSW graph) are length-prefixed so a
+// loader can skip one without parsing it.
+constexpr uint32_t kEngineVersion = 3;
 }  // namespace
 
 std::string IndexKindName(IndexKind kind) {
@@ -35,6 +39,8 @@ std::string IndexKindName(IndexKind kind) {
       return "rtree";
     case IndexKind::kMTree:
       return "m_tree";
+    case IndexKind::kHnsw:
+      return "hnsw";
   }
   return "unknown";
 }
@@ -96,6 +102,23 @@ Status ValidateIndexMetricCombination(IndexKind index, MetricKind metric) {
   const bool minkowski = metric == MetricKind::kL1 ||
                          metric == MetricKind::kL2 ||
                          metric == MetricKind::kLInf;
+  if (index == IndexKind::kHnsw) {
+    // Graph navigation needs symmetric edges and an (approximately)
+    // metric geometry; cosine dissimilarity violates the triangle
+    // inequality but is symmetric and navigates well in practice, so
+    // it is allowed — unlike hist_intersect/chi_square, whose
+    // asymmetric, non-metric shape breaks greedy descent.
+    const bool navigable =
+        minkowski || metric == MetricKind::kHellinger ||
+        metric == MetricKind::kCosine;
+    if (!navigable) {
+      return Status::InvalidArgument(
+          "hnsw requires a symmetric, navigable measure (l1/l2/linf/"
+          "hellinger/cosine), got " +
+          MetricKindName(metric));
+    }
+    return Status::Ok();
+  }
   if (index == IndexKind::kKdTree || index == IndexKind::kRTree) {
     if (!minkowski) {
       return Status::InvalidArgument(
@@ -161,6 +184,26 @@ std::unique_ptr<VectorIndex> MakeUnshardedIndex(const EngineConfig& config) {
     case IndexKind::kMTree:
       return std::unique_ptr<VectorIndex>(
           new MTree(MakeMetric(config.metric), config.mtree_max_entries));
+    case IndexKind::kHnsw: {
+      HnswOptions options;
+      options.m = config.hnsw_m;
+      options.ef_construction = config.hnsw_ef_construction;
+      options.ef_search = config.hnsw_ef_search;
+      switch (config.quantization) {
+        case QuantizationKind::kNone:
+          options.traversal = HnswTraversal::kFloat;
+          break;
+        case QuantizationKind::kInt8:
+          options.traversal = HnswTraversal::kInt8;
+          break;
+        case QuantizationKind::kPq:
+          options.traversal = HnswTraversal::kPq;
+          break;
+      }
+      options.pq.m = config.pq_m;
+      return std::unique_ptr<VectorIndex>(
+          new HnswIndex(MakeMetric(config.metric), options));
+    }
   }
   return nullptr;
 }
@@ -184,6 +227,27 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return Status::InvalidArgument(
         "EngineConfig: pq_m must be >= 1 under PQ quantization");
   }
+  if (config.index_kind == IndexKind::kHnsw) {
+    if (config.hnsw_m < 2) {
+      return Status::InvalidArgument(
+          "EngineConfig: hnsw_m must be >= 2 (a 1-regular graph cannot "
+          "navigate)");
+    }
+    if (config.hnsw_m > 1024) {
+      return Status::InvalidArgument(
+          "EngineConfig: hnsw_m must be <= 1024 (degree beyond that "
+          "degenerates to a scan per hop)");
+    }
+    if (config.hnsw_ef_construction < config.hnsw_m) {
+      return Status::InvalidArgument(
+          "EngineConfig: hnsw_ef_construction must be >= hnsw_m (the "
+          "build beam feeds neighbor selection)");
+    }
+    if (config.hnsw_ef_search == 0) {
+      return Status::InvalidArgument(
+          "EngineConfig: hnsw_ef_search must be >= 1");
+    }
+  }
   return Status::Ok();
 }
 
@@ -191,12 +255,24 @@ Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
   CBIX_RETURN_IF_ERROR(ValidateEngineConfig(config));
   CBIX_RETURN_IF_ERROR(
       ValidateIndexMetricCombination(config.index_kind, config.metric));
-  if (config.quantization != QuantizationKind::kNone &&
-      config.index_kind != IndexKind::kLinearScan) {
-    return Status::InvalidArgument(
-        "quantization (" + QuantizationKindName(config.quantization) +
-        ") requires the linear_scan index kind, got " +
-        IndexKindName(config.index_kind));
+  if (config.quantization != QuantizationKind::kNone) {
+    if (config.index_kind != IndexKind::kLinearScan &&
+        config.index_kind != IndexKind::kHnsw) {
+      return Status::InvalidArgument(
+          "quantization (" + QuantizationKindName(config.quantization) +
+          ") requires a scan-shaped index kind (linear_scan, or hnsw "
+          "for quantized graph traversal), got " +
+          IndexKindName(config.index_kind));
+    }
+    if (config.index_kind == IndexKind::kHnsw &&
+        config.metric != MetricKind::kL2) {
+      return Status::InvalidArgument(
+          "hnsw quantized traversal (" +
+          QuantizationKindName(config.quantization) +
+          ") requires the l2 metric (the int8/PQ distance tables rank "
+          "in squared-L2 space), got " +
+          MetricKindName(config.metric));
+    }
   }
   std::unique_ptr<VectorIndex> index = MakeUnshardedIndex(config);
   if (index == nullptr) return Status::InvalidArgument("unknown index kind");
@@ -633,21 +709,38 @@ Status CbirEngine::Save(const std::string& path) const {
   writer.Write<uint32_t>(static_cast<uint32_t>(config_.quantization));
   writer.Write<uint64_t>(config_.pq_m);
   writer.Write<uint64_t>(config_.rerank_factor);
+  writer.Write<uint64_t>(config_.hnsw_m);
+  writer.Write<uint64_t>(config_.hnsw_ef_construction);
+  writer.Write<uint64_t>(config_.hnsw_ef_search);
   writer.Write<uint64_t>(extractor_.dim());
   std::vector<uint8_t> store_bytes;
   store_.Serialize(&store_bytes);
   writer.WriteVector(store_bytes);
-  // Persist a built flat quantized index so Load restores codes and
-  // codebooks instead of re-training (PQ k-means dominates load cost
-  // otherwise). Rows are omitted — the FeatureStore section above
-  // already holds them once; Load reattaches its matrix. Sharded or
-  // unbuilt indexes fall back to the rebuild path, like the tree
-  // indexes always do.
+  // Persist built flat index payloads so Load restores them instead of
+  // re-deriving (PQ k-means dominates load cost; the HNSW graph build
+  // is the whole point of saving it). Rows are omitted — the
+  // FeatureStore section above already holds them once; Load reattaches
+  // its matrix. Both payloads are length-prefixed (v3) so a loader can
+  // skip one without parsing it. Sharded or unbuilt indexes fall back
+  // to the rebuild path, like the tree indexes always do — bit-identical
+  // for HNSW because construction is seeded-deterministic per shard.
   const auto* quant =
       index_dirty_ ? nullptr
                    : dynamic_cast<const QuantizedStore*>(index_.get());
   writer.Write<uint8_t>(quant != nullptr ? 1 : 0);
-  if (quant != nullptr) quant->Serialize(&writer, /*include_rows=*/false);
+  if (quant != nullptr) {
+    BinaryWriter sub;
+    quant->Serialize(&sub, /*include_rows=*/false);
+    writer.WriteVector(sub.buffer());
+  }
+  const auto* hnsw =
+      index_dirty_ ? nullptr : dynamic_cast<const HnswIndex*>(index_.get());
+  writer.Write<uint8_t>(hnsw != nullptr ? 1 : 0);
+  if (hnsw != nullptr) {
+    BinaryWriter sub;
+    hnsw->Serialize(&sub);
+    writer.WriteVector(sub.buffer());
+  }
   // Crash-safe commit: the framed payload lands in a sibling temp file
   // and reaches `path` only through an atomic rename, so a save killed
   // anywhere before the rename (the "engine.save.commit" fail point
@@ -675,18 +768,26 @@ Status CbirEngine::Load(const std::string& path) {
   const Status framed =
       ReadFramedFile(path, kEngineMagic, kEngineVersion, &payload);
   if (!framed.ok()) {
-    // v1 files (pre-quantization layout: no quant config fields, no
-    // index payload) stay loadable with quantization defaulted off.
-    if (!ReadFramedFile(path, kEngineMagic, 1, &payload).ok()) {
+    // Older layouts stay loadable: v2 (quantization fields, inline
+    // quant payload, no HNSW section) and v1 (pre-quantization) files
+    // parse with the missing fields defaulted.
+    if (ReadFramedFile(path, kEngineMagic, 2, &payload).ok()) {
+      version = 2;
+    } else if (ReadFramedFile(path, kEngineMagic, 1, &payload).ok()) {
+      version = 1;
+    } else {
       return framed;
     }
-    version = 1;
   }
   BinaryReader reader(payload);
   uint32_t index_kind = 0, metric = 0, quantization = 0;
   uint64_t pq_m = 8, rerank_factor = 4, dim = 0;
+  uint64_t hnsw_m = 16, hnsw_efc = 100, hnsw_efs = 64;
   CBIX_RETURN_IF_ERROR(reader.Read(&index_kind));
   CBIX_RETURN_IF_ERROR(reader.Read(&metric));
+  if (index_kind > static_cast<uint32_t>(IndexKind::kHnsw)) {
+    return Status::Corruption("unknown index kind");
+  }
   if (version >= 2) {
     CBIX_RETURN_IF_ERROR(reader.Read(&quantization));
     CBIX_RETURN_IF_ERROR(reader.Read(&pq_m));
@@ -696,6 +797,11 @@ Status CbirEngine::Load(const std::string& path) {
       // construction would otherwise coerce them to a valid backing.
       return Status::Corruption("unknown quantization kind");
     }
+  }
+  if (version >= 3) {
+    CBIX_RETURN_IF_ERROR(reader.Read(&hnsw_m));
+    CBIX_RETURN_IF_ERROR(reader.Read(&hnsw_efc));
+    CBIX_RETURN_IF_ERROR(reader.Read(&hnsw_efs));
   }
   CBIX_RETURN_IF_ERROR(reader.Read(&dim));
   if (dim != extractor_.dim()) {
@@ -720,6 +826,9 @@ Status CbirEngine::Load(const std::string& path) {
   new_config.quantization = static_cast<QuantizationKind>(quantization);
   new_config.pq_m = pq_m;
   new_config.rerank_factor = rerank_factor;
+  new_config.hnsw_m = hnsw_m;
+  new_config.hnsw_ef_construction = hnsw_efc;
+  new_config.hnsw_ef_search = hnsw_efs;
 
   std::unique_ptr<VectorIndex> restored_index;
   if (version >= 2) {
@@ -728,6 +837,11 @@ Status CbirEngine::Load(const std::string& path) {
     // The payload is a *flat* quantized index; an engine configured
     // with shards > 1 wants a sharded one, so it skips the payload and
     // takes the rebuild path (each shard re-quantizes its partition).
+    std::vector<uint8_t> quant_bytes;
+    if (has_quant_index != 0 && version >= 3) {
+      // v3 length-prefixes the payload so it can be skipped unparsed.
+      CBIX_RETURN_IF_ERROR(reader.ReadVector(&quant_bytes));
+    }
     if (has_quant_index != 0 && new_config.shards <= 1) {
       CBIX_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
                             MakeIndex(new_config));
@@ -736,12 +850,46 @@ Status CbirEngine::Load(const std::string& path) {
         return Status::Corruption(
             "quantized index payload under a non-quantized config");
       }
-      CBIX_RETURN_IF_ERROR(quant->Deserialize(&reader));
+      if (version >= 3) {
+        BinaryReader sub(quant_bytes);
+        CBIX_RETURN_IF_ERROR(quant->Deserialize(&sub));
+      } else {
+        CBIX_RETURN_IF_ERROR(quant->Deserialize(&reader));
+      }
       // Share the store's substrate as the rerank rows (zero-copy).
       if (!quant->AttachExactRows(store.view()).ok() ||
           quant->size() != store.size()) {
         return Status::Corruption(
             "quantized index does not match the feature store");
+      }
+      restored_index = std::move(index);
+    }
+  }
+  if (version >= 3) {
+    uint8_t has_hnsw_index = 0;
+    CBIX_RETURN_IF_ERROR(reader.Read(&has_hnsw_index));
+    std::vector<uint8_t> hnsw_bytes;
+    if (has_hnsw_index != 0) {
+      CBIX_RETURN_IF_ERROR(reader.ReadVector(&hnsw_bytes));
+    }
+    // Like the quantized payload: the serialized graph is flat, so a
+    // sharded config skips it and rebuilds per shard — bit-identical
+    // anyway, because construction is seeded-deterministic.
+    if (has_hnsw_index != 0 && new_config.shards <= 1) {
+      CBIX_ASSIGN_OR_RETURN(std::unique_ptr<VectorIndex> index,
+                            MakeIndex(new_config));
+      auto* hnsw = dynamic_cast<HnswIndex*>(index.get());
+      if (hnsw == nullptr) {
+        return Status::Corruption(
+            "hnsw graph payload under a non-hnsw config");
+      }
+      BinaryReader sub(hnsw_bytes);
+      CBIX_RETURN_IF_ERROR(hnsw->Deserialize(&sub));
+      // Share the store's substrate as the search rows (zero-copy).
+      if (!hnsw->AttachRows(store.view()).ok() ||
+          hnsw->size() != store.size()) {
+        return Status::Corruption(
+            "hnsw graph does not match the feature store");
       }
       restored_index = std::move(index);
     }

@@ -35,6 +35,10 @@ enum class IndexKind {
   kKdTree,
   kRTree,
   kMTree,
+  /// Approximate graph index (index/hnsw.h): sub-linear k-NN at a
+  /// recall governed by hnsw_ef_search; distances of returned ids stay
+  /// exact, range search stays exact via a scan fallback.
+  kHnsw,
 };
 
 std::string IndexKindName(IndexKind kind);
@@ -84,15 +88,27 @@ struct EngineConfig {
   /// Pool workers for concurrent shard builds; 0 = min(shards,
   /// hardware concurrency).
   size_t shard_build_threads = 0;
-  /// Feature-storage quantization. Requires index_kind == kLinearScan
-  /// (the quantized store *is* a scan structure); composes with
+  /// Feature-storage quantization. Requires a scan-shaped index:
+  /// kLinearScan (the quantized store *is* a scan structure) or kHnsw
+  /// with the L2 metric (the graph beam ranks against int8/PQ tables
+  /// and reranks its survivors on exact float rows). Composes with
   /// `shards` — each shard quantizes its own partition independently.
   QuantizationKind quantization = QuantizationKind::kNone;
   /// PQ subspaces (quantization == kPq); clamped to [1, feature dim].
   size_t pq_m = 8;
   /// Quantized-scan over-fetch: the approximate stage keeps
-  /// k * rerank_factor candidates before the exact rerank.
+  /// k * rerank_factor candidates before the exact rerank. (kHnsw
+  /// ignores it: the ef beam is the over-fetch there.)
   size_t rerank_factor = 4;
+  /// kHnsw: neighbors per node on upper graph layers (2x on layer 0).
+  /// Must be >= 2; larger graphs navigate better and cost more memory.
+  size_t hnsw_m = 16;
+  /// kHnsw: construction beam width (candidate pool per inserted
+  /// node). Must be >= hnsw_m; governs graph quality vs build time.
+  size_t hnsw_ef_construction = 100;
+  /// kHnsw: default query-time beam width; the effective beam is
+  /// max(hnsw_ef_search, k). THE recall-vs-QPS knob. Must be >= 1.
+  size_t hnsw_ef_search = 64;
   /// Queries per SearchBatch tile in the batch query path. Batched
   /// queries are packed into one QueryBlock and scheduled as tiles of
   /// this size (x shards when sharded) on the pool; within a tile
@@ -281,14 +297,18 @@ class CbirEngine {
 };
 
 /// Validates an (index, metric) combination: tree indexes need a true
-/// metric (and KD/R-trees specifically a Minkowski one).
+/// metric (KD/R-trees specifically a Minkowski one); the HNSW graph
+/// needs a symmetric, navigable measure (Minkowski, hellinger or
+/// cosine — asymmetric measures like hist_intersect/chi_square break
+/// greedy graph descent).
 Status ValidateIndexMetricCombination(IndexKind index, MetricKind metric);
 
 /// Structural validation of an EngineConfig: rejects query_tile == 0,
-/// shards == 0, pq_m == 0 under PQ quantization, and rerank_factor ==
-/// 0 under any quantization. Called by MakeIndex, so a bad config
-/// surfaces as a Status at the first build instead of degenerate
-/// behavior deep in the query path.
+/// shards == 0, pq_m == 0 under PQ quantization, rerank_factor == 0
+/// under any quantization, and degenerate HNSW knobs (hnsw_m < 2,
+/// hnsw_ef_construction < hnsw_m, hnsw_ef_search == 0). Called by
+/// MakeIndex, so a bad config surfaces as a Status at the first build
+/// instead of degenerate behavior deep in the query path.
 Status ValidateEngineConfig(const EngineConfig& config);
 
 /// Creates an index instance per config (used by the engine and by the

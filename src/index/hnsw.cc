@@ -1,0 +1,599 @@
+#include "index/hnsw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <utility>
+
+#include "distance/batch_kernels.h"
+#include "index/top_k.h"
+#include "util/random.h"
+
+namespace cbix {
+
+namespace {
+
+/// Candidates per batched kernel call in the exact RangeSearch
+/// fallback (matches the linear scan's block size).
+constexpr size_t kScanBlock = 256;
+
+/// Hard cap on a node's level: a geometric draw past this is clamped.
+/// With m >= 2 the expected top level of even 2^32 nodes is ~32/lg(m),
+/// so 32 never truncates a real draw.
+constexpr size_t kMaxLevel = 32;
+
+}  // namespace
+
+/// Per-query traversal state, reused across the queries of a tile so
+/// the visited array is allocated once (an epoch bump replaces the
+/// per-query clear).
+struct HnswIndex::Scratch {
+  std::vector<uint32_t> visited;  ///< visited[i] == epoch: seen this beam
+  uint32_t epoch = 0;
+  std::vector<std::pair<double, uint32_t>> cand;  ///< min-heap (key, id)
+  std::vector<std::pair<double, uint32_t>> best;  ///< max-heap (key, id)
+  std::vector<uint32_t> frontier;
+  std::vector<const float*> gather;
+  std::vector<double> keys;
+  const float* q = nullptr;
+  bool exact = false;  ///< construction: always rank on float rows
+  std::vector<float> centered;  ///< int8 traversal: q - offsets
+  std::vector<double> lut;      ///< PQ traversal: per-query ADC table
+
+  void BumpEpoch() {
+    if (++epoch == 0) {  // wrapped: stale marks could alias, clear once
+      std::fill(visited.begin(), visited.end(), 0u);
+      epoch = 1;
+    }
+  }
+};
+
+HnswIndex::HnswIndex(std::shared_ptr<const DistanceMetric> metric,
+                     HnswOptions options)
+    : metric_(std::move(metric)), options_(options) {
+  assert(metric_ != nullptr);
+  m_ = std::max<size_t>(2, options_.m);
+  options_.m = m_;
+}
+
+uint32_t* HnswIndex::Links(uint32_t node, size_t layer) {
+  return layer == 0 ? links0_.data() + static_cast<size_t>(node) * 2 * m_
+                    : upper_links_.data() + UpperSlot(node, layer) * m_;
+}
+
+const uint32_t* HnswIndex::Links(uint32_t node, size_t layer) const {
+  return layer == 0 ? links0_.data() + static_cast<size_t>(node) * 2 * m_
+                    : upper_links_.data() + UpperSlot(node, layer) * m_;
+}
+
+uint32_t& HnswIndex::LinkCount(uint32_t node, size_t layer) {
+  return layer == 0 ? counts0_[node] : upper_counts_[UpperSlot(node, layer)];
+}
+
+uint32_t HnswIndex::LinkCount(uint32_t node, size_t layer) const {
+  return layer == 0 ? counts0_[node] : upper_counts_[UpperSlot(node, layer)];
+}
+
+size_t HnswIndex::DrawLevel(uint32_t id) const {
+  // Keyed on (seed, id) only — independent of insertion order and of
+  // everything else the build does, which is what makes a rebuild from
+  // the same rows reproduce the graph bit for bit.
+  SplitMix64 sm(options_.seed + id);
+  const double u = ((sm.Next() >> 11) + 1) * 0x1.0p-53;  // (0, 1]
+  const double level = -std::log(u) / std::log(static_cast<double>(m_));
+  return std::min(static_cast<size_t>(level), kMaxLevel);
+}
+
+void HnswIndex::ComputeKeys(Scratch* s, const uint32_t* ids, size_t n,
+                            double* keys, SearchStats* stats) const {
+  if (s->exact || options_.traversal == HnswTraversal::kFloat) {
+    s->gather.resize(n);
+    for (size_t i = 0; i < n; ++i) s->gather[i] = rows_.row(ids[i]);
+    metric_->RankBatch(s->q, s->gather.data(), n, dim_, keys);
+  } else if (options_.traversal == HnswTraversal::kInt8) {
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = int8_.AsymmetricL2Squared(s->centered.data(), ids[i]);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = pq_.codebook().AdcDistanceSquared(s->lut.data(),
+                                                  pq_.row(ids[i]));
+    }
+  }
+  if (stats != nullptr) stats->distance_evals += n;
+}
+
+double HnswIndex::KeyBetween(uint32_t a, uint32_t b) const {
+  const float* row = rows_.row(b);
+  double key = 0.0;
+  metric_->RankBatch(rows_.row(a), &row, 1, dim_, &key);
+  return key;
+}
+
+bool HnswIndex::SearchLayer(Scratch* s, uint32_t entry, double entry_key,
+                            size_t layer, size_t ef, SearchStats* stats,
+                            const CancellationToken* cancel) const {
+  using Entry = std::pair<double, uint32_t>;
+  s->BumpEpoch();  // visited marks are per (query, layer)
+  auto& cand = s->cand;
+  auto& best = s->best;
+  cand.clear();
+  best.clear();
+  s->visited[entry] = s->epoch;
+  cand.emplace_back(entry_key, entry);
+  best.emplace_back(entry_key, entry);
+  while (!cand.empty()) {
+    if (cancel != nullptr && cancel->Expired()) return false;
+    std::pop_heap(cand.begin(), cand.end(), std::greater<Entry>());
+    const Entry cur = cand.back();
+    cand.pop_back();
+    // Best-first termination: once the nearest unexpanded candidate is
+    // farther than the worst of a full beam, no expansion can improve
+    // it. (key, id) pair ordering keeps ties deterministic.
+    if (best.size() >= ef && cur > best.front()) break;
+    if (stats != nullptr) ++stats->nodes_visited;
+    const uint32_t* links = Links(cur.second, layer);
+    const uint32_t degree = LinkCount(cur.second, layer);
+    s->frontier.clear();
+    for (uint32_t j = 0; j < degree; ++j) {
+      const uint32_t nb = links[j];
+      if (s->visited[nb] == s->epoch) continue;
+      s->visited[nb] = s->epoch;
+      s->frontier.push_back(nb);
+    }
+    if (s->frontier.empty()) continue;
+    s->keys.resize(s->frontier.size());
+    ComputeKeys(s, s->frontier.data(), s->frontier.size(), s->keys.data(),
+                stats);
+    for (size_t j = 0; j < s->frontier.size(); ++j) {
+      const Entry e(s->keys[j], s->frontier[j]);
+      if (best.size() < ef || e < best.front()) {
+        cand.push_back(e);
+        std::push_heap(cand.begin(), cand.end(), std::greater<Entry>());
+        best.push_back(e);
+        std::push_heap(best.begin(), best.end());
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end());
+          best.pop_back();
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void HnswIndex::SelectNeighbors(
+    std::vector<std::pair<double, uint32_t>>* candidates, size_t cap) const {
+  if (candidates->size() <= cap) return;
+  // Malkov's diversity heuristic: a candidate closer to an already
+  // selected neighbor than to the query node adds a redundant edge —
+  // prune it, then backfill from the pruned list so degree never
+  // starves (keep-pruned-connections).
+  std::vector<std::pair<double, uint32_t>> selected, pruned;
+  selected.reserve(cap);
+  for (const auto& c : *candidates) {
+    if (selected.size() >= cap) break;
+    bool keep = true;
+    for (const auto& kept : selected) {
+      if (KeyBetween(c.second, kept.second) < c.first) {
+        keep = false;
+        break;
+      }
+    }
+    (keep ? selected : pruned).push_back(c);
+  }
+  for (const auto& p : pruned) {
+    if (selected.size() >= cap) break;
+    selected.push_back(p);
+  }
+  *candidates = std::move(selected);
+}
+
+void HnswIndex::LinkInto(uint32_t from, uint32_t to, double key,
+                         size_t layer) {
+  uint32_t* links = Links(from, layer);
+  uint32_t& count = LinkCount(from, layer);
+  const size_t cap = LayerCap(layer);
+  if (count < cap) {
+    links[count++] = to;
+    return;
+  }
+  // Full list: re-select over existing neighbors + the newcomer.
+  std::vector<std::pair<double, uint32_t>> cands;
+  cands.reserve(cap + 1);
+  cands.emplace_back(key, to);
+  for (uint32_t j = 0; j < count; ++j) {
+    cands.emplace_back(KeyBetween(from, links[j]), links[j]);
+  }
+  std::sort(cands.begin(), cands.end());
+  SelectNeighbors(&cands, cap);
+  count = static_cast<uint32_t>(cands.size());
+  for (size_t j = 0; j < cands.size(); ++j) links[j] = cands[j].second;
+  // Re-zero the tail so serialized bytes stay canonical.
+  for (size_t j = cands.size(); j < cap; ++j) links[j] = 0;
+}
+
+Status HnswIndex::BuildFromRows(RowView rows) {
+  rows_ = std::move(rows);
+  count_ = rows_.count();
+  dim_ = rows_.dim();
+  m_ = std::max<size_t>(2, options_.m);
+  options_.m = m_;
+
+  levels_.assign(count_, 0);
+  for (uint32_t i = 0; i < count_; ++i) {
+    levels_[i] = static_cast<uint32_t>(DrawLevel(i));
+  }
+  counts0_.assign(count_, 0);
+  links0_.assign(count_ * 2 * m_, 0);
+  upper_base_.assign(count_ + 1, 0);
+  for (size_t i = 0; i < count_; ++i) {
+    upper_base_[i + 1] = upper_base_[i] + levels_[i];
+  }
+  upper_counts_.assign(upper_base_[count_], 0);
+  upper_links_.assign(upper_base_[count_] * m_, 0);
+  entry_point_ = 0;
+  max_level_ = count_ > 0 ? levels_[0] : 0;
+  int8_ = Int8Matrix();
+  pq_ = PqMatrix();
+
+  if (count_ > 1) {
+    Scratch s;
+    s.visited.assign(count_, 0);
+    s.exact = true;  // the graph is always built on float geometry
+    const size_t efc = std::max<size_t>(1, options_.ef_construction);
+    for (uint32_t i = 1; i < count_; ++i) {
+      s.q = rows_.row(i);
+      const uint32_t level = levels_[i];
+      uint32_t ep = entry_point_;
+      double ep_key = 0.0;
+      ComputeKeys(&s, &ep, 1, &ep_key, nullptr);
+      // Greedy descent through layers above the node's own top layer.
+      for (size_t layer = max_level_; layer > level; --layer) {
+        SearchLayer(&s, ep, ep_key, layer, 1, nullptr, nullptr);
+        ep_key = s.best.front().first;
+        ep = s.best.front().second;
+      }
+      // Beam + connect on every shared layer, top down.
+      for (int layer = static_cast<int>(
+               std::min<uint32_t>(max_level_, level));
+           layer >= 0; --layer) {
+        SearchLayer(&s, ep, ep_key, static_cast<size_t>(layer), efc,
+                    nullptr, nullptr);
+        std::sort(s.best.begin(), s.best.end());
+        ep_key = s.best.front().first;
+        ep = s.best.front().second;
+        std::vector<std::pair<double, uint32_t>> selected = s.best;
+        SelectNeighbors(&selected, m_);
+        uint32_t* links = Links(i, static_cast<size_t>(layer));
+        uint32_t& link_count = LinkCount(i, static_cast<size_t>(layer));
+        for (const auto& [key, id] : selected) {
+          links[link_count++] = id;  // new node's list starts empty
+          LinkInto(id, i, key, static_cast<size_t>(layer));
+        }
+      }
+      if (level > max_level_) {
+        max_level_ = level;
+        entry_point_ = i;
+      }
+    }
+  }
+
+  // Search-time traversal tables (built last; construction never reads
+  // them, so the graph bytes are identical across traversal modes).
+  if (options_.traversal == HnswTraversal::kInt8) {
+    int8_ = Int8Matrix::Quantize(rows_.matrix());
+  } else if (options_.traversal == HnswTraversal::kPq) {
+    PqOptions pq = options_.pq;
+    pq.seed = options_.seed;
+    pq_ = PqMatrix::Quantize(rows_.matrix(), pq);
+  }
+  return Status::Ok();
+}
+
+bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
+                        SearchStats* stats, const CancellationToken* cancel,
+                        std::vector<Neighbor>* out) const {
+  out->clear();
+  if (count_ == 0 || k == 0 || rows_.count() != count_) return true;
+  s->q = q;
+  s->exact = false;
+  if (options_.traversal == HnswTraversal::kInt8) {
+    s->centered.resize(dim_);
+    int8_.CenterQuery(q, s->centered.data());
+  } else if (options_.traversal == HnswTraversal::kPq) {
+    s->lut.resize(pq_.codebook().m() * pq_.codebook().k());
+    pq_.codebook().BuildAdcTable(q, s->lut.data());
+  }
+  uint32_t ep = entry_point_;
+  double ep_key = 0.0;
+  ComputeKeys(s, &ep, 1, &ep_key, stats);
+  for (size_t layer = max_level_; layer >= 1; --layer) {
+    if (!SearchLayer(s, ep, ep_key, layer, 1, stats, cancel)) return false;
+    ep_key = s->best.front().first;
+    ep = s->best.front().second;
+  }
+  const size_t ef = std::max(options_.ef_search, k);
+  if (!SearchLayer(s, ep, ep_key, 0, ef, stats, cancel)) return false;
+
+  TopKCollector collector;
+  collector.Reset(metric_.get(), k);
+  if (options_.traversal == HnswTraversal::kFloat) {
+    // Beam keys came from the metric's own rank kernels: the collector
+    // finalizes them exactly as the linear scan would for these ids.
+    for (const auto& [key, id] : s->best) collector.Offer(id, key);
+  } else {
+    // Quantized beam: rerank every survivor on the exact float rows
+    // before the top-k cut (the QuantizedStore two-stage pattern; the
+    // ef beam is the over-fetch).
+    const size_t n = s->best.size();
+    s->gather.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      s->gather[i] = rows_.row(s->best[i].second);
+    }
+    s->keys.resize(n);
+    metric_->RankBatch(q, s->gather.data(), n, dim_, s->keys.data());
+    if (stats != nullptr) stats->distance_evals += n;
+    for (size_t i = 0; i < n; ++i) {
+      collector.Offer(s->best[i].second, s->keys[i]);
+    }
+  }
+  *out = collector.TakeSorted();
+  return true;
+}
+
+std::vector<Neighbor> HnswIndex::KnnSearch(const Vec& q, size_t k,
+                                           SearchStats* stats) const {
+  std::vector<Neighbor> out;
+  Scratch s;
+  s.visited.assign(count_, 0);
+  SearchStats local;
+  KnnCore(q.data(), k, &s, stats != nullptr ? stats : &local, nullptr,
+          &out);
+  return out;
+}
+
+void HnswIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                std::vector<Neighbor>* results,
+                                SearchStats* stats,
+                                const CancellationToken* cancel) const {
+  const size_t nq = block.count();
+  if (nq == 0) return;
+  Scratch s;
+  s.visited.assign(count_, 0);
+  for (size_t qi = 0; qi < nq; ++qi) {
+    if (!KnnCore(block.row(qi), k, &s,
+                 stats != nullptr ? &stats[qi] : nullptr, cancel,
+                 &results[qi])) {
+      // Expired mid-beam: partial-results contract — clear everything
+      // from the interrupted query on; the caller discards the tile.
+      for (size_t r = qi; r < nq; ++r) results[r].clear();
+      return;
+    }
+  }
+}
+
+std::vector<Neighbor> HnswIndex::RangeSearch(const Vec& q, double radius,
+                                             SearchStats* stats) const {
+  // A beam cannot certify that nothing within `radius` was missed, so
+  // range search keeps the exact-contract blocked scan (same shape as
+  // LinearScanIndex::RangeSearch).
+  std::vector<Neighbor> out;
+  if (rows_.count() != count_) return out;
+  const size_t n = count_;
+  const size_t dim = dim_;
+  const double radius_key =
+      RankKeyThreshold(metric_->DistanceToRank(radius));
+  double keys[kScanBlock];
+  for (size_t begin = 0; begin < n; begin += kScanBlock) {
+    const size_t block = std::min(kScanBlock, n - begin);
+    metric_->RankBatch(q.data(), rows_.row(begin), rows_.stride(), block,
+                       dim, keys);
+    if (stats != nullptr) {
+      stats->distance_evals += block;
+      ++stats->leaves_visited;
+    }
+    for (size_t i = 0; i < block; ++i) {
+      if (keys[i] > radius_key) continue;
+      const double d = metric_->RankToDistance(keys[i]);
+      if (d <= radius) {
+        out.push_back({static_cast<uint32_t>(begin + i), d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string HnswIndex::Name() const {
+  std::string name = "hnsw(m=" + std::to_string(m_) +
+                     ",efc=" + std::to_string(options_.ef_construction) +
+                     ",efs=" + std::to_string(options_.ef_search) + "," +
+                     metric_->Name();
+  if (options_.traversal == HnswTraversal::kInt8) name += ",int8";
+  if (options_.traversal == HnswTraversal::kPq) name += ",pq";
+  return name + ")";
+}
+
+size_t HnswIndex::MemoryBytes() const {
+  const size_t graph = levels_.capacity() * sizeof(uint32_t) +
+                       counts0_.capacity() * sizeof(uint32_t) +
+                       links0_.capacity() * sizeof(uint32_t) +
+                       upper_base_.capacity() * sizeof(uint64_t) +
+                       upper_counts_.capacity() * sizeof(uint32_t) +
+                       upper_links_.capacity() * sizeof(uint32_t);
+  size_t backing = 0;
+  if (options_.traversal == HnswTraversal::kInt8) {
+    backing = int8_.MemoryBytes();
+  } else if (options_.traversal == HnswTraversal::kPq) {
+    backing = pq_.MemoryBytes();
+  }
+  const size_t owned = rows_.OwnedMemoryBytes();
+  constexpr size_t kAllocHeader = 16;
+  return graph + backing + owned + (owned > 0 ? kAllocHeader : 0) +
+         sizeof(*this);
+}
+
+namespace {
+constexpr uint32_t kHnswFormatVersion = 1;
+}  // namespace
+
+void HnswIndex::Serialize(BinaryWriter* writer) const {
+  writer->Write<uint32_t>(kHnswFormatVersion);
+  writer->Write<uint64_t>(m_);
+  writer->Write<uint64_t>(options_.ef_construction);
+  writer->Write<uint64_t>(options_.ef_search);
+  writer->Write<uint64_t>(options_.seed);
+  writer->Write<uint32_t>(static_cast<uint32_t>(options_.traversal));
+  writer->Write<uint64_t>(dim_);
+  writer->Write<uint64_t>(count_);
+  writer->Write<uint32_t>(entry_point_);
+  writer->Write<uint32_t>(max_level_);
+  writer->WriteVector(levels_);
+  writer->WriteVector(counts0_);
+  writer->WriteVector(links0_);
+  writer->WriteVector(upper_counts_);
+  writer->WriteVector(upper_links_);
+  if (options_.traversal == HnswTraversal::kInt8) int8_.Serialize(writer);
+  if (options_.traversal == HnswTraversal::kPq) pq_.Serialize(writer);
+}
+
+Status HnswIndex::Deserialize(BinaryReader* reader) {
+  uint32_t format = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&format));
+  if (format != kHnswFormatVersion) {
+    return Status::Corruption("unsupported hnsw graph format");
+  }
+  uint64_t m = 0, efc = 0, efs = 0, seed = 0, dim = 0, count = 0;
+  uint32_t traversal = 0, entry = 0, max_level = 0;
+  CBIX_RETURN_IF_ERROR(reader->Read(&m));
+  CBIX_RETURN_IF_ERROR(reader->Read(&efc));
+  CBIX_RETURN_IF_ERROR(reader->Read(&efs));
+  CBIX_RETURN_IF_ERROR(reader->Read(&seed));
+  CBIX_RETURN_IF_ERROR(reader->Read(&traversal));
+  CBIX_RETURN_IF_ERROR(reader->Read(&dim));
+  CBIX_RETURN_IF_ERROR(reader->Read(&count));
+  CBIX_RETURN_IF_ERROR(reader->Read(&entry));
+  CBIX_RETURN_IF_ERROR(reader->Read(&max_level));
+  if (m < 2 || m > (1u << 20)) {
+    return Status::Corruption("hnsw neighbor cap out of range");
+  }
+  if (traversal > static_cast<uint32_t>(HnswTraversal::kPq)) {
+    return Status::Corruption("unknown hnsw traversal kind");
+  }
+  if (count > (uint64_t{1} << 32)) {
+    return Status::Corruption("hnsw count exceeds the 32-bit id space");
+  }
+  if (count > 0 && dim == 0) {
+    return Status::Corruption("hnsw graph with zero-dimensional rows");
+  }
+  if (count > 0 && entry >= count) {
+    return Status::Corruption("hnsw entry point out of range");
+  }
+  if (max_level > kMaxLevel) {
+    return Status::Corruption("hnsw max level out of range");
+  }
+  if (count != 0 && 2 * m > std::numeric_limits<size_t>::max() / count) {
+    return Status::Corruption("hnsw graph shape overflows");
+  }
+  std::vector<uint32_t> levels, counts0, links0, upper_counts, upper_links;
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&levels));
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&counts0));
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&links0));
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&upper_counts));
+  CBIX_RETURN_IF_ERROR(reader->ReadVector(&upper_links));
+  if (levels.size() != count || counts0.size() != count ||
+      links0.size() != count * 2 * m) {
+    return Status::Corruption("hnsw graph arrays do not match the count");
+  }
+  uint64_t total_upper = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (levels[i] > max_level) {
+      return Status::Corruption("hnsw node level exceeds the max level");
+    }
+    total_upper += levels[i];
+  }
+  if (count > 0 && levels[entry] != max_level) {
+    return Status::Corruption("hnsw entry point is not on the top layer");
+  }
+  if (upper_counts.size() != total_upper ||
+      upper_links.size() != total_upper * m) {
+    return Status::Corruption("hnsw upper-layer arrays do not match levels");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (counts0[i] > 2 * m) {
+      return Status::Corruption("hnsw layer-0 degree exceeds its cap");
+    }
+    const uint32_t* links = links0.data() + i * 2 * m;
+    for (uint32_t j = 0; j < counts0[i]; ++j) {
+      if (links[j] >= count) {
+        return Status::Corruption("hnsw link id out of range");
+      }
+    }
+  }
+  for (size_t slot = 0; slot < total_upper; ++slot) {
+    if (upper_counts[slot] > m) {
+      return Status::Corruption("hnsw upper-layer degree exceeds its cap");
+    }
+    const uint32_t* links = upper_links.data() + slot * m;
+    for (uint32_t j = 0; j < upper_counts[slot]; ++j) {
+      if (links[j] >= count) {
+        return Status::Corruption("hnsw upper link id out of range");
+      }
+    }
+  }
+  Int8Matrix int8;
+  PqMatrix pq;
+  if (traversal == static_cast<uint32_t>(HnswTraversal::kInt8)) {
+    CBIX_RETURN_IF_ERROR(int8.Deserialize(reader));
+    if (int8.count() != count || (count > 0 && int8.dim() != dim)) {
+      return Status::Corruption(
+          "hnsw int8 traversal tables do not match the graph");
+    }
+  } else if (traversal == static_cast<uint32_t>(HnswTraversal::kPq)) {
+    CBIX_RETURN_IF_ERROR(pq.Deserialize(reader));
+    if (pq.count() != count || (count > 0 && pq.dim() != dim)) {
+      return Status::Corruption(
+          "hnsw PQ traversal tables do not match the graph");
+    }
+  }
+
+  // Everything validated — commit. Rows are NOT restored (never
+  // serialized); the caller attaches the store's substrate.
+  options_.m = m;
+  m_ = m;
+  options_.ef_construction = efc;
+  options_.ef_search = efs;
+  options_.seed = seed;
+  options_.traversal = static_cast<HnswTraversal>(traversal);
+  dim_ = dim;
+  count_ = count;
+  entry_point_ = entry;
+  max_level_ = max_level;
+  levels_ = std::move(levels);
+  counts0_ = std::move(counts0);
+  links0_ = std::move(links0);
+  upper_counts_ = std::move(upper_counts);
+  upper_links_ = std::move(upper_links);
+  upper_base_.assign(count_ + 1, 0);
+  for (size_t i = 0; i < count_; ++i) {
+    upper_base_[i + 1] = upper_base_[i] + levels_[i];
+  }
+  int8_ = std::move(int8);
+  pq_ = std::move(pq);
+  rows_.Reset();
+  return Status::Ok();
+}
+
+Status HnswIndex::AttachRows(RowView rows) {
+  if (rows.count() != count_ || (count_ > 0 && rows.dim() != dim_)) {
+    return Status::InvalidArgument(
+        "attached rows do not match the hnsw graph (count/dim)");
+  }
+  rows_ = std::move(rows);
+  return Status::Ok();
+}
+
+}  // namespace cbix

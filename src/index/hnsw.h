@@ -1,0 +1,207 @@
+// HnswIndex — hierarchical navigable small-world graph: the engine's
+// first approximate k-NN index (every other structure is exact).
+//
+// Layout: one graph layer per level, neighbor lists in flat arrays (no
+// per-node allocation). Every node lives on layer 0 with up to 2*m
+// neighbors; a node of level L additionally appears on layers 1..L
+// with up to m neighbors each. Levels are drawn from a geometric
+// distribution keyed ONLY on (seed, node id), and nodes are inserted
+// in id order, so construction is fully deterministic: rebuilding from
+// the same rows + options reproduces the graph bit for bit (this is
+// what lets sharded engines rebuild on Load and still round-trip
+// identically).
+//
+// Search descends the upper layers greedily to a layer-0 entry, then
+// runs a best-first beam of width ef = max(ef_search, k) over layer 0.
+// All comparisons happen in the metric's rank-key space (the gathered
+// RankBatch form ranks a node's whole neighbor list in one call), and
+// the beam's survivors are finalized through the shared TopKCollector
+// — the same acceptance sequence as the exact scans, so returned
+// distances are exactly what a linear scan would report for those ids.
+//
+// Recall contract: KnnSearch/SearchBatch are APPROXIMATE — like
+// QuantizedStore, a true neighbor can be missed (here: when the beam
+// never reaches it), but the distances of returned ids are always
+// exact. ef_search trades recall for speed; RangeSearch stays exact
+// via a blocked scan fallback (a beam cannot certify completeness
+// within a radius).
+//
+// Optional quantized traversal (HnswTraversal::kInt8 / kPq, L2 only):
+// the beam ranks candidates against int8 / PQ distance tables — the
+// QuantizedStore two-stage pattern — and the ef beam survivors are
+// reranked exactly on the shared float rows before the top-k cut, so
+// quantization perturbs which candidates the beam keeps, never the
+// reported distances. The float substrate is attached zero-copy
+// (AttachRows, the AttachExactRows idiom).
+
+#ifndef CBIX_INDEX_HNSW_H_
+#define CBIX_INDEX_HNSW_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/index.h"
+#include "quant/int8_matrix.h"
+#include "quant/pq.h"
+#include "util/serialize.h"
+
+namespace cbix {
+
+/// What the layer-0 beam ranks candidates against. Construction always
+/// uses exact float geometry; this only affects search-time traversal.
+enum class HnswTraversal {
+  kFloat,  ///< exact float rows (no rerank stage needed)
+  kInt8,   ///< int8 asymmetric L2 tables + exact float rerank
+  kPq,     ///< PQ ADC tables + exact float rerank
+};
+
+struct HnswOptions {
+  /// Neighbors per node on layers >= 1; layer 0 keeps 2*m. Clamped to
+  /// >= 2 (a 1-regular graph cannot navigate).
+  size_t m = 16;
+  /// Beam width while inserting a node (candidate pool for neighbor
+  /// selection). Larger builds a better graph, slower.
+  size_t ef_construction = 100;
+  /// Default beam width at query time; the effective beam is
+  /// max(ef_search, k). The recall knob.
+  size_t ef_search = 64;
+  /// Seeds level assignment (and PQ training under kPq traversal).
+  uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Distance tables for the layer-0 beam (L2 only; validated by the
+  /// engine config layer).
+  HnswTraversal traversal = HnswTraversal::kFloat;
+  /// PQ training options under kPq traversal (pq.seed is overridden by
+  /// `seed` so one knob governs determinism).
+  PqOptions pq;
+};
+
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(std::shared_ptr<const DistanceMetric> metric,
+            HnswOptions options = {});
+
+  /// Builds the graph over `rows` (shared zero-copy; ids are row
+  /// positions). Deterministic given (rows, options).
+  Status BuildFromRows(RowView rows) override;
+
+  /// Exact blocked-scan fallback (see the recall contract above).
+  std::vector<Neighbor> RangeSearch(const Vec& q, double radius,
+                                    SearchStats* stats) const override;
+
+  /// Approximate top-k: greedy descent + layer-0 beam of
+  /// max(ef_search, k). Distances of returned ids are exact.
+  std::vector<Neighbor> KnnSearch(const Vec& q, size_t k,
+                                  SearchStats* stats) const override;
+
+  size_t size() const override { return count_; }
+  size_t dim() const override { return dim_; }
+  std::string Name() const override;
+  size_t MemoryBytes() const override;
+
+  const HnswOptions& options() const { return options_; }
+  size_t max_level() const { return max_level_; }
+  uint32_t entry_point() const { return entry_point_; }
+
+  /// Retunes the query-time beam width without rebuilding the graph
+  /// (the recall-vs-QPS sweep knob in bench_hnsw). Not thread-safe
+  /// against concurrent searches.
+  void set_ef_search(size_t ef) { options_.ef_search = ef; }
+
+  /// Persists the graph arrays + traversal tables (never the float
+  /// rows — the engine's store holds them once; reattach on load).
+  void Serialize(BinaryWriter* writer) const;
+
+  /// Restores a Serialize payload after full validation (bounds-checked
+  /// link ids, counts vs caps, layer bookkeeping) into an index with no
+  /// rows attached; a corrupt payload returns non-OK and leaves the
+  /// index unchanged. Call AttachRows before searching.
+  Status Deserialize(BinaryReader* reader);
+
+  /// Attaches the float row substrate (zero-copy) to a deserialized
+  /// graph; `rows` must match the serialized count and dim.
+  Status AttachRows(RowView rows);
+
+ protected:
+  /// Per-query loop over the tile sharing one visited-epoch scratch;
+  /// results are bit-identical to KnnSearch per query row. `cancel` is
+  /// polled per expanded node; on expiry the remaining slots are
+  /// cleared (partial-results contract).
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const override;
+
+ private:
+  struct Scratch;
+
+  size_t LayerCap(size_t layer) const { return layer == 0 ? 2 * m_ : m_; }
+  /// Neighbor-slot base and count-slot index for (node, layer >= 1).
+  size_t UpperSlot(uint32_t node, size_t layer) const {
+    return upper_base_[node] + (layer - 1);
+  }
+  uint32_t* Links(uint32_t node, size_t layer);
+  const uint32_t* Links(uint32_t node, size_t layer) const;
+  uint32_t& LinkCount(uint32_t node, size_t layer);
+  uint32_t LinkCount(uint32_t node, size_t layer) const;
+
+  size_t DrawLevel(uint32_t id) const;
+
+  /// Rank keys from the prepared query to `ids[0..n)` under the active
+  /// traversal backing (exact float RankBatch, int8 asymmetric L2, or
+  /// PQ ADC reads). Counts n distance evals into `stats`.
+  void ComputeKeys(Scratch* s, const uint32_t* ids, size_t n, double* keys,
+                   SearchStats* stats) const;
+  /// Exact float key between two stored rows (construction-time
+  /// neighbor selection).
+  double KeyBetween(uint32_t a, uint32_t b) const;
+
+  /// Best-first beam over one layer from (entry, entry_key); leaves up
+  /// to `ef` (key, id) pairs in s->best (max-heap order). Returns false
+  /// when `cancel` expired mid-beam (s->best is then partial garbage).
+  bool SearchLayer(Scratch* s, uint32_t entry, double entry_key,
+                   size_t layer, size_t ef, SearchStats* stats,
+                   const CancellationToken* cancel) const;
+
+  /// The Malkov select-neighbors heuristic over ascending-sorted
+  /// candidates: keep a candidate only if it is closer to the query
+  /// node than to every already-kept neighbor (edge diversity), then
+  /// backfill from the pruned list up to `cap`.
+  void SelectNeighbors(std::vector<std::pair<double, uint32_t>>* candidates,
+                       size_t cap) const;
+
+  /// Links `from` -> `to` on `layer`, running SelectNeighbors over the
+  /// existing list + `to` when the list is full (tail slots re-zeroed
+  /// so serialized bytes stay canonical).
+  void LinkInto(uint32_t from, uint32_t to, double key, size_t layer);
+
+  /// Shared worker of KnnSearch and SearchBatchImpl: descent + layer-0
+  /// beam + (rerank +) TopKCollector finalization. Returns false on
+  /// cancel expiry (caller discards).
+  bool KnnCore(const float* q, size_t k, Scratch* s, SearchStats* stats,
+               const CancellationToken* cancel,
+               std::vector<Neighbor>* out) const;
+
+  std::shared_ptr<const DistanceMetric> metric_;
+  HnswOptions options_;
+  size_t m_ = 16;  ///< options_.m clamped to >= 2
+
+  RowView rows_;
+  size_t count_ = 0;
+  size_t dim_ = 0;
+
+  uint32_t entry_point_ = 0;
+  uint32_t max_level_ = 0;
+  std::vector<uint32_t> levels_;       ///< per node: top layer it lives on
+  std::vector<uint32_t> counts0_;      ///< per node: layer-0 degree
+  std::vector<uint32_t> links0_;       ///< count_ * 2m, tail slots zero
+  std::vector<uint64_t> upper_base_;   ///< prefix sums of levels_ (size n+1)
+  std::vector<uint32_t> upper_counts_; ///< per (node, layer>=1) slot degree
+  std::vector<uint32_t> upper_links_;  ///< total_upper * m, tail slots zero
+
+  /// Traversal tables (kInt8 / kPq only).
+  Int8Matrix int8_;
+  PqMatrix pq_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_INDEX_HNSW_H_

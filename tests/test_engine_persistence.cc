@@ -1,22 +1,30 @@
-// Engine Save/Load round-trips across the config grid the quantized
-// PR left uncovered: shards > 1 x quantization (the sharded loader
-// takes the rebuild path, re-quantizing per shard) and the empty-store
-// edge. Rebuilt results must match the pre-save results bit-identically
-// — same ids, same distances.
+// Engine Save/Load round-trips across the config grid: index kind
+// (linear scan and HNSW) x shards x quantization, plus the empty-store
+// edge and a hand-built v2-layout file (no HNSW section) that must
+// still load. Loaded results must match the pre-save results
+// bit-identically — same ids, same distances — and re-saving a loaded
+// engine must reproduce the file byte for byte (the payloads the save
+// path emits are canonical: flat HNSW graphs persist their arrays,
+// sharded ones rebuild seeded-deterministically).
 
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "corpus/vector_workload.h"
+#include "util/serialize.h"
 
 namespace cbix {
 namespace {
+
+constexpr uint32_t kEngineFileMagic = 0x43425845;  // "CBXE"
 
 std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 33) {
   VectorWorkloadSpec spec;
@@ -32,8 +40,22 @@ std::string TempPath(const std::string& tag) {
          std::to_string(::getpid()) + ".bin";
 }
 
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
 struct PersistCase {
   std::string name;
+  IndexKind index_kind;
   size_t shards;
   QuantizationKind quantization;
 };
@@ -47,12 +69,14 @@ TEST_P(EnginePersistence, SaveLoadRoundTripIsBitIdentical) {
   const auto queries = ClusteredData(8, kDim, /*seed=*/91);
 
   EngineConfig config;
-  config.index_kind = IndexKind::kLinearScan;
+  config.index_kind = param.index_kind;
   config.metric = MetricKind::kL2;
   config.shards = param.shards;
   config.quantization = param.quantization;
   config.pq_m = 6;
   config.rerank_factor = 8;
+  config.hnsw_m = 8;
+  config.hnsw_ef_construction = 60;
 
   CbirEngine engine((FeatureExtractor()), config);
   for (size_t i = 0; i < data.size(); ++i) {
@@ -72,6 +96,7 @@ TEST_P(EnginePersistence, SaveLoadRoundTripIsBitIdentical) {
 
   const std::string path = TempPath(param.name);
   ASSERT_TRUE(engine.Save(path).ok());
+  const auto saved_bytes = ReadAll(path);
 
   CbirEngine loaded((FeatureExtractor()), config);
   ASSERT_TRUE(loaded.Load(path).ok());
@@ -79,6 +104,7 @@ TEST_P(EnginePersistence, SaveLoadRoundTripIsBitIdentical) {
 
   ASSERT_EQ(loaded.size(), engine.size());
   EXPECT_EQ(loaded.config().quantization, param.quantization);
+  EXPECT_EQ(loaded.config().index_kind, param.index_kind);
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     auto result = loaded.QueryKnnByVector(queries[qi], 10);
     ASSERT_TRUE(result.ok());
@@ -91,52 +117,160 @@ TEST_P(EnginePersistence, SaveLoadRoundTripIsBitIdentical) {
       EXPECT_EQ(result->at(i).label, before[qi][i].label);
     }
   }
+
+  // Save(Load(file)) == file, byte for byte. For a flat HNSW config
+  // this proves the graph arrays round-tripped exactly; for a sharded
+  // one it proves the rebuild path reproduced the persisted state.
+  const std::string resave = TempPath(param.name + "_resave");
+  ASSERT_TRUE(loaded.Save(resave).ok());
+  const auto resaved_bytes = ReadAll(resave);
+  std::remove(resave.c_str());
+  EXPECT_EQ(resaved_bytes, saved_bytes) << param.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    ShardsByQuantization, EnginePersistence,
+    KindByShardsByQuantization, EnginePersistence,
     ::testing::Values(
-        PersistCase{"flat_none", 1, QuantizationKind::kNone},
-        PersistCase{"flat_int8", 1, QuantizationKind::kInt8},
-        PersistCase{"flat_pq", 1, QuantizationKind::kPq},
-        PersistCase{"sharded_none", 3, QuantizationKind::kNone},
-        PersistCase{"sharded_int8", 3, QuantizationKind::kInt8},
-        PersistCase{"sharded_pq", 3, QuantizationKind::kPq}),
+        PersistCase{"flat_none", IndexKind::kLinearScan, 1,
+                    QuantizationKind::kNone},
+        PersistCase{"flat_int8", IndexKind::kLinearScan, 1,
+                    QuantizationKind::kInt8},
+        PersistCase{"flat_pq", IndexKind::kLinearScan, 1,
+                    QuantizationKind::kPq},
+        PersistCase{"sharded_none", IndexKind::kLinearScan, 3,
+                    QuantizationKind::kNone},
+        PersistCase{"sharded_int8", IndexKind::kLinearScan, 3,
+                    QuantizationKind::kInt8},
+        PersistCase{"sharded_pq", IndexKind::kLinearScan, 3,
+                    QuantizationKind::kPq},
+        PersistCase{"hnsw_flat_none", IndexKind::kHnsw, 1,
+                    QuantizationKind::kNone},
+        PersistCase{"hnsw_flat_int8", IndexKind::kHnsw, 1,
+                    QuantizationKind::kInt8},
+        PersistCase{"hnsw_flat_pq", IndexKind::kHnsw, 1,
+                    QuantizationKind::kPq},
+        PersistCase{"hnsw_sharded_none", IndexKind::kHnsw, 3,
+                    QuantizationKind::kNone},
+        PersistCase{"hnsw_sharded_int8", IndexKind::kHnsw, 3,
+                    QuantizationKind::kInt8}),
     [](const ::testing::TestParamInfo<PersistCase>& info) {
       return info.param.name;
     });
 
 TEST(EnginePersistenceEdge, EmptyStoreRoundTrips) {
-  for (const size_t shards : {size_t{1}, size_t{3}}) {
-    for (const QuantizationKind quant :
-         {QuantizationKind::kNone, QuantizationKind::kInt8}) {
-      EngineConfig config;
-      config.index_kind = IndexKind::kLinearScan;
-      config.metric = MetricKind::kL2;
-      config.shards = shards;
-      config.quantization = quant;
-      CbirEngine engine((FeatureExtractor()), config);
+  for (const IndexKind kind : {IndexKind::kLinearScan, IndexKind::kHnsw}) {
+    for (const size_t shards : {size_t{1}, size_t{3}}) {
+      for (const QuantizationKind quant :
+           {QuantizationKind::kNone, QuantizationKind::kInt8}) {
+        EngineConfig config;
+        config.index_kind = kind;
+        config.metric = MetricKind::kL2;
+        config.shards = shards;
+        config.quantization = quant;
+        CbirEngine engine((FeatureExtractor()), config);
 
-      const std::string path =
-          TempPath("empty_" + std::to_string(shards) + "_" +
-                   QuantizationKindName(quant));
-      ASSERT_TRUE(engine.Save(path).ok());
+        const std::string path =
+            TempPath("empty_" + IndexKindName(kind) + "_" +
+                     std::to_string(shards) + "_" + QuantizationKindName(quant));
+        ASSERT_TRUE(engine.Save(path).ok());
 
-      CbirEngine loaded((FeatureExtractor()), config);
-      ASSERT_TRUE(loaded.Load(path).ok());
-      std::remove(path.c_str());
+        CbirEngine loaded((FeatureExtractor()), config);
+        ASSERT_TRUE(loaded.Load(path).ok());
+        std::remove(path.c_str());
 
-      EXPECT_EQ(loaded.size(), 0u);
-      const auto result = loaded.QueryKnnByVector(Vec{}, 3);
+        EXPECT_EQ(loaded.size(), 0u);
+        const auto result = loaded.QueryKnnByVector(Vec{}, 3);
+        ASSERT_TRUE(result.ok());
+        EXPECT_TRUE(result->empty());
+
+        // The loaded engine must accept new content and answer queries.
+        ASSERT_TRUE(loaded.AddFeatureVector(Vec{1.0f, 2.0f}, "first").ok());
+        const auto knn = loaded.QueryKnnByVector(Vec{1.0f, 2.0f}, 1);
+        ASSERT_TRUE(knn.ok());
+        ASSERT_EQ(knn->size(), 1u);
+        EXPECT_EQ(knn->at(0).name, "first");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Version-2 files (pre-HNSW layout) must keep loading. A v2 payload is
+// the v3 payload minus the three hnsw config u64s (offset 28), minus
+// the u64 length prefix on the quant payload (v2 stored it inline),
+// and minus the trailing HNSW section; reframe with version 2.
+std::vector<uint8_t> V2PayloadFromV3(const std::vector<uint8_t>& v3) {
+  std::vector<uint8_t> v2 = v3;
+  // Drop hnsw_m / hnsw_ef_construction / hnsw_ef_search.
+  EXPECT_GE(v2.size(), 52u);
+  v2.erase(v2.begin() + 28, v2.begin() + 52);
+  // Walk to the quant section: dim u64 @28, store vector @36.
+  uint64_t store_len = 0;
+  std::memcpy(&store_len, v2.data() + 36, sizeof(store_len));
+  size_t pos = 44 + static_cast<size_t>(store_len);
+  EXPECT_LT(pos, v2.size());
+  const uint8_t has_quant = v2[pos];
+  ++pos;
+  if (has_quant != 0) {
+    // v3 length-prefixes the quant payload; v2 wrote it inline.
+    v2.erase(v2.begin() + pos, v2.begin() + pos + 8);
+  }
+  // The HNSW section (flag byte + optional payload) is everything
+  // after the quant payload; for these configs the flag is the last
+  // byte and must be 0 (linear scan never persists a graph).
+  EXPECT_EQ(v2.back(), 0u);
+  v2.pop_back();
+  return v2;
+}
+
+TEST(EnginePersistenceEdge, V2FilesWithoutHnswSectionStillLoad) {
+  const size_t kDim = 16;
+  const auto data = ClusteredData(150, kDim, 55);
+  const auto queries = ClusteredData(6, kDim, 56);
+  for (const QuantizationKind quant :
+       {QuantizationKind::kNone, QuantizationKind::kInt8,
+        QuantizationKind::kPq}) {
+    EngineConfig config;
+    config.index_kind = IndexKind::kLinearScan;
+    config.metric = MetricKind::kL2;
+    config.quantization = quant;
+    config.pq_m = 4;
+    CbirEngine engine((FeatureExtractor()), config);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(engine.BuildIndex().ok());
+    std::vector<std::vector<CbirEngine::Match>> before;
+    for (const Vec& q : queries) {
+      auto result = engine.QueryKnnByVector(q, 5);
       ASSERT_TRUE(result.ok());
-      EXPECT_TRUE(result->empty());
+      before.push_back(std::move(result).value());
+    }
 
-      // The loaded engine must accept new content and answer queries.
-      ASSERT_TRUE(loaded.AddFeatureVector(Vec{1.0f, 2.0f}, "first").ok());
-      const auto knn = loaded.QueryKnnByVector(Vec{1.0f, 2.0f}, 1);
-      ASSERT_TRUE(knn.ok());
-      ASSERT_EQ(knn->size(), 1u);
-      EXPECT_EQ(knn->at(0).name, "first");
+    const std::string v3_path = TempPath("v2src_" + QuantizationKindName(quant));
+    ASSERT_TRUE(engine.Save(v3_path).ok());
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(ReadFramedFile(v3_path, kEngineFileMagic, 3, &payload).ok());
+    std::remove(v3_path.c_str());
+
+    const std::string v2_path = TempPath("v2_" + QuantizationKindName(quant));
+    ASSERT_TRUE(WriteFramedFile(v2_path, kEngineFileMagic, 2,
+                                V2PayloadFromV3(payload))
+                    .ok());
+
+    CbirEngine loaded((FeatureExtractor()), config);
+    ASSERT_TRUE(loaded.Load(v2_path).ok());
+    std::remove(v2_path.c_str());
+    ASSERT_EQ(loaded.size(), data.size());
+    EXPECT_EQ(loaded.config().quantization, quant);
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto result = loaded.QueryKnnByVector(queries[qi], 5);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->size(), before[qi].size());
+      for (size_t i = 0; i < before[qi].size(); ++i) {
+        EXPECT_EQ(result->at(i).id, before[qi][i].id);
+        EXPECT_EQ(result->at(i).distance, before[qi][i].distance);
+      }
     }
   }
 }

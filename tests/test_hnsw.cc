@@ -1,0 +1,552 @@
+// HnswIndex unit suite: the approximate-search contract. Recall
+// against an exact linear scan, exact distances for every returned
+// id, bit-identical batched search, seeded-deterministic construction
+// (byte-equal Serialize across rebuilds), the exact RangeSearch
+// fallback, cancellation clearing, quantized traversal with exact
+// rerank, the AttachRows seam, and a targeted corrupt-graph corpus
+// against Deserialize (every mutation a non-OK Status, never UB).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "corpus/vector_workload.h"
+#include "index/hnsw.h"
+#include "index/linear_scan.h"
+#include "index/query_block.h"
+#include "util/random.h"
+#include "util/serialize.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 33) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+std::vector<Vec> PerturbedQueries(const std::vector<Vec>& data, size_t count,
+                                  uint64_t seed = 99) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = data.size();
+  spec.dim = data.empty() ? 0 : data[0].size();
+  spec.seed = 33;
+  return GenerateQueries(spec, data, QueryMode::kPerturbedData, count,
+                         /*perturb_sigma=*/0.02, seed);
+}
+
+/// Fraction of exact top-k ids the approximate result recovered,
+/// averaged over queries.
+double RecallAtK(const VectorIndex& approx, const VectorIndex& exact,
+                 const std::vector<Vec>& queries, size_t k) {
+  size_t hit = 0, want = 0;
+  for (const Vec& q : queries) {
+    const auto truth = KnnSearch(exact, q, k);
+    const auto got = KnnSearch(approx, q, k);
+    std::set<uint32_t> truth_ids;
+    for (const Neighbor& n : truth) truth_ids.insert(n.id);
+    for (const Neighbor& n : got) hit += truth_ids.count(n.id);
+    want += truth.size();
+  }
+  return want == 0 ? 1.0 : static_cast<double>(hit) / want;
+}
+
+TEST(Hnsw, RecallAndExactDistancesVsLinearScan) {
+  const auto data = ClusteredData(2000, 32);
+  const auto queries = PerturbedQueries(data, 50);
+
+  HnswOptions options;
+  options.m = 16;
+  options.ef_construction = 100;
+  options.ef_search = 64;
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2), options);
+  ASSERT_TRUE(hnsw.Build(data).ok());
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(scan.Build(data).ok());
+
+  EXPECT_GE(RecallAtK(hnsw, scan, queries, 10), 0.95);
+
+  // Approximate WHICH ids come back, exact WHAT distance each has:
+  // every returned (id, distance) must be exactly the linear scan's
+  // distance for that id.
+  const auto scan_all = KnnSearch(scan, queries[0], data.size());
+  std::vector<double> exact_by_id(data.size());
+  for (const Neighbor& n : scan_all) exact_by_id[n.id] = n.distance;
+  const auto got = KnnSearch(hnsw, queries[0], 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (const Neighbor& n : got) {
+    EXPECT_EQ(n.distance, exact_by_id[n.id]) << "id " << n.id;
+  }
+  // Sorted by (distance, id).
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+TEST(Hnsw, HigherEfSearchNeverHurtsRecallHere) {
+  const auto data = ClusteredData(1500, 24, 7);
+  const auto queries = PerturbedQueries(data, 40, 71);
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(scan.Build(data).ok());
+
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+  hnsw.set_ef_search(8);
+  const double low = RecallAtK(hnsw, scan, queries, 10);
+  hnsw.set_ef_search(128);
+  const double high = RecallAtK(hnsw, scan, queries, 10);
+  EXPECT_GE(high, low);
+  EXPECT_GE(high, 0.95);
+}
+
+TEST(Hnsw, ConstructionIsDeterministic) {
+  const auto data = ClusteredData(600, 16, 5);
+  BinaryWriter a, b;
+  for (BinaryWriter* w : {&a, &b}) {
+    HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+    ASSERT_TRUE(hnsw.Build(data).ok());
+    hnsw.Serialize(w);
+  }
+  // Bit-identical serialized graphs: same bytes, not just same
+  // topology — this is what lets sharded engines rebuild on Load.
+  ASSERT_EQ(a.buffer().size(), b.buffer().size());
+  EXPECT_EQ(a.buffer(), b.buffer());
+}
+
+TEST(Hnsw, SerializeDeserializeAttachRoundTripsSearches) {
+  const auto data = ClusteredData(800, 24, 11);
+  const auto queries = PerturbedQueries(data, 20, 23);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+
+  BinaryWriter writer;
+  hnsw.Serialize(&writer);
+
+  HnswIndex restored(MakeMetric(MetricKind::kL2));
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+  // Rows are never serialized; a graph without rows answers nothing.
+  EXPECT_TRUE(KnnSearch(restored, queries[0], 5).empty());
+
+  FeatureMatrix matrix(data[0].size());
+  for (const Vec& v : data) matrix.AppendRow(v);
+  ASSERT_TRUE(restored.AttachRows(RowView::Adopt(std::move(matrix))).ok());
+
+  for (const Vec& q : queries) {
+    const auto want = KnnSearch(hnsw, q, 10);
+    const auto got = KnnSearch(restored, q, 10);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id);
+      EXPECT_EQ(got[i].distance, want[i].distance);
+    }
+  }
+  // Round-trip bit-identity of the graph payload itself.
+  BinaryWriter again;
+  restored.Serialize(&again);
+  EXPECT_EQ(again.buffer(), writer.buffer());
+}
+
+TEST(Hnsw, AttachRowsRejectsMismatchedSubstrate) {
+  const auto data = ClusteredData(100, 8, 3);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+  BinaryWriter writer;
+  hnsw.Serialize(&writer);
+
+  HnswIndex restored(MakeMetric(MetricKind::kL2));
+  BinaryReader reader(writer.buffer());
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+
+  FeatureMatrix wrong_count(8);
+  for (size_t i = 0; i + 1 < data.size(); ++i) {
+    wrong_count.AppendRow(data[i]);
+  }
+  EXPECT_FALSE(restored.AttachRows(RowView::Adopt(std::move(wrong_count))).ok());
+
+  FeatureMatrix wrong_dim(9);
+  for (const Vec& v : data) {
+    Vec padded = v;
+    padded.push_back(0.0f);
+    wrong_dim.AppendRow(padded);
+  }
+  EXPECT_FALSE(restored.AttachRows(RowView::Adopt(std::move(wrong_dim))).ok());
+}
+
+TEST(Hnsw, SearchBatchBitIdenticalToPerQueryAcrossTiles) {
+  const auto data = ClusteredData(700, 20, 13);
+  const auto queries = PerturbedQueries(data, 60, 17);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+
+  std::vector<std::vector<Neighbor>> want(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    want[i] = KnnSearch(hnsw, queries[i], 9);
+  }
+  const QueryBlock block = QueryBlock::Pack(queries);
+  for (const size_t tile : {size_t{1}, size_t{7}, size_t{60}}) {
+    std::vector<std::vector<Neighbor>> got(queries.size());
+    std::vector<SearchStats> stats(queries.size());
+    for (size_t begin = 0; begin < queries.size(); begin += tile) {
+      const size_t count = std::min(tile, queries.size() - begin);
+      hnsw.SearchBatch(block.Tile(begin, count), 9, got.data() + begin,
+                       stats.data() + begin);
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(got[i].size(), want[i].size()) << "tile " << tile;
+      for (size_t j = 0; j < want[i].size(); ++j) {
+        EXPECT_EQ(got[i][j].id, want[i][j].id) << "tile " << tile;
+        EXPECT_EQ(got[i][j].distance, want[i][j].distance) << "tile " << tile;
+      }
+      EXPECT_GT(stats[i].distance_evals, 0u);
+      EXPECT_GT(stats[i].nodes_visited, 0u);
+    }
+  }
+}
+
+TEST(Hnsw, ExpiredCancellationClearsResultSlots) {
+  const auto data = ClusteredData(500, 16, 19);
+  const auto queries = PerturbedQueries(data, 8, 29);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+
+  const QueryBlock block = QueryBlock::Pack(queries);
+  std::vector<std::vector<Neighbor>> results(queries.size());
+  const CancellationToken expired = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() - std::chrono::seconds(1));
+  hnsw.SearchBatch(block.Tile(0, queries.size()), 5, results.data(),
+                   /*stats=*/nullptr, &expired);
+  // Partial-results contract: every slot from the interrupted query
+  // onward is cleared; with an already-expired token that is all of
+  // them.
+  for (const auto& r : results) EXPECT_TRUE(r.empty());
+
+  // An inert token changes nothing.
+  const CancellationToken inert;
+  std::vector<std::vector<Neighbor>> with_inert(queries.size());
+  hnsw.SearchBatch(block.Tile(0, queries.size()), 5, with_inert.data(),
+                   nullptr, &inert);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto want = KnnSearch(hnsw, queries[i], 5);
+    ASSERT_EQ(with_inert[i].size(), want.size());
+    for (size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(with_inert[i][j], want[j]);
+    }
+  }
+}
+
+TEST(Hnsw, RangeSearchIsExact) {
+  const auto data = ClusteredData(400, 12, 23);
+  const auto queries = PerturbedQueries(data, 10, 31);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(scan.Build(data).ok());
+
+  for (const Vec& q : queries) {
+    // A radius that catches a meaningful subset.
+    const auto anchor = KnnSearch(scan, q, 20);
+    ASSERT_FALSE(anchor.empty());
+    const double radius = anchor.back().distance;
+    SearchStats hs, ss;
+    const auto got = hnsw.RangeSearch(q, radius, &hs);
+    const auto want = scan.RangeSearch(q, radius, &ss);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(Hnsw, QuantizedTraversalKeepsDistancesExact) {
+  const auto data = ClusteredData(1200, 32, 37);
+  const auto queries = PerturbedQueries(data, 30, 41);
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(scan.Build(data).ok());
+  const auto truth_all = [&](const Vec& q) {
+    std::vector<double> by_id(data.size());
+    for (const Neighbor& n : KnnSearch(scan, q, data.size())) {
+      by_id[n.id] = n.distance;
+    }
+    return by_id;
+  };
+
+  for (const HnswTraversal traversal :
+       {HnswTraversal::kInt8, HnswTraversal::kPq}) {
+    HnswOptions options;
+    options.traversal = traversal;
+    options.pq.m = 8;
+    HnswIndex hnsw(MakeMetric(MetricKind::kL2), options);
+    ASSERT_TRUE(hnsw.Build(data).ok());
+
+    // The quantized beam may alter WHICH neighbors surface (recall is
+    // judged loosely) but every reported distance is the exact float
+    // distance (the rerank stage).
+    const double recall = RecallAtK(hnsw, scan, queries, 10);
+    EXPECT_GE(recall, 0.7) << (traversal == HnswTraversal::kInt8 ? "int8"
+                                                                 : "pq");
+    const auto by_id = truth_all(queries[0]);
+    for (const Neighbor& n : KnnSearch(hnsw, queries[0], 10)) {
+      EXPECT_EQ(n.distance, by_id[n.id]);
+    }
+
+    // Traversal tables round-trip with the graph.
+    BinaryWriter writer;
+    hnsw.Serialize(&writer);
+    HnswIndex restored(MakeMetric(MetricKind::kL2), options);
+    BinaryReader reader(writer.buffer());
+    ASSERT_TRUE(restored.Deserialize(&reader).ok());
+    FeatureMatrix matrix(data[0].size());
+    for (const Vec& v : data) matrix.AppendRow(v);
+    ASSERT_TRUE(restored.AttachRows(RowView::Adopt(std::move(matrix))).ok());
+    for (const Vec& q : queries) {
+      const auto want = KnnSearch(hnsw, q, 10);
+      const auto got = KnnSearch(restored, q, 10);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+TEST(Hnsw, EdgeShapes) {
+  HnswIndex empty(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(empty.Build({}).ok());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(KnnSearch(empty, Vec{1.0f, 2.0f}, 5).empty());
+  SearchStats stats;
+  EXPECT_TRUE(empty.RangeSearch(Vec{1.0f, 2.0f}, 10.0, &stats).empty());
+
+  const auto data = ClusteredData(30, 8, 43);
+  HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(hnsw.Build(data).ok());
+  // k = 0.
+  EXPECT_TRUE(KnnSearch(hnsw, data[0], 0).empty());
+  // k > n returns everything, exactly.
+  LinearScanIndex scan(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(scan.Build(data).ok());
+  const auto got = KnnSearch(hnsw, data[0], 100);
+  const auto want = KnnSearch(scan, data[0], 100);
+  ASSERT_EQ(got.size(), data.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+
+  // Single row.
+  HnswIndex one(MakeMetric(MetricKind::kL2));
+  ASSERT_TRUE(one.Build({data[0]}).ok());
+  const auto single = KnnSearch(one, data[1], 4);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].id, 0u);
+
+  EXPECT_GT(hnsw.MemoryBytes(), 0u);
+  EXPECT_NE(hnsw.Name().find("hnsw"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-graph corpus: targeted mutations of a genuine Serialize
+// payload. Every one must come back as a non-OK Status from
+// Deserialize — never a crash or an out-of-bounds read later.
+//
+// Fixed header layout (offsets into the payload):
+//   0  u32 format          4  u64 m            12 u64 ef_construction
+//   20 u64 ef_search       28 u64 seed         36 u32 traversal
+//   40 u64 dim             48 u64 count        56 u32 entry_point
+//   60 u32 max_level       64.. length-prefixed arrays
+class HnswCorruptGraph : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = ClusteredData(60, 8, 47);
+    HnswIndex hnsw(MakeMetric(MetricKind::kL2));
+    ASSERT_TRUE(hnsw.Build(data_).ok());
+    BinaryWriter writer;
+    hnsw.Serialize(&writer);
+    bytes_ = writer.buffer();
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  template <typename T>
+  void Poke(size_t offset, T value) {
+    ASSERT_LE(offset + sizeof(T), bytes_.size());
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  void ExpectRejected(const std::string& tag) {
+    HnswIndex index(MakeMetric(MetricKind::kL2));
+    BinaryReader reader(bytes_);
+    const Status status = index.Deserialize(&reader);
+    EXPECT_FALSE(status.ok()) << tag;
+    // The failed index stays empty and inert.
+    EXPECT_EQ(index.size(), 0u) << tag;
+  }
+
+  std::vector<Vec> data_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(HnswCorruptGraph, BadFormatVersion) {
+  Poke<uint32_t>(0, 999);
+  ExpectRejected("format");
+}
+
+TEST_F(HnswCorruptGraph, NeighborCapOutOfRange) {
+  Poke<uint64_t>(4, 1);
+  ExpectRejected("m_too_small");
+  SetUp();
+  Poke<uint64_t>(4, uint64_t{1} << 40);
+  ExpectRejected("m_huge");
+}
+
+TEST_F(HnswCorruptGraph, UnknownTraversal) {
+  Poke<uint32_t>(36, 9);
+  ExpectRejected("traversal");
+}
+
+TEST_F(HnswCorruptGraph, EntryPointOutOfRange) {
+  Poke<uint32_t>(56, static_cast<uint32_t>(data_.size()));
+  ExpectRejected("entry");
+}
+
+TEST_F(HnswCorruptGraph, MaxLevelOutOfRange) {
+  Poke<uint32_t>(60, 200);
+  ExpectRejected("max_level");
+}
+
+TEST_F(HnswCorruptGraph, CountMismatchesArrays) {
+  Poke<uint64_t>(48, data_.size() + 4);
+  ExpectRejected("count_up");
+  SetUp();
+  Poke<uint64_t>(48, data_.size() - 4);
+  ExpectRejected("count_down");
+}
+
+TEST_F(HnswCorruptGraph, LayerZeroDegreeExceedsCap) {
+  // counts0 is the second array: levels starts at 64 with a u64
+  // length; counts0's data begins after it.
+  const size_t counts0_data = 64 + 8 + 4 * data_.size() + 8;
+  Poke<uint32_t>(counts0_data, 1000);
+  ExpectRejected("degree");
+}
+
+TEST_F(HnswCorruptGraph, LinkIdOutOfRange) {
+  // links0 is the third array; its first element is a live link for
+  // node 0 (degree >= 1 in any connected 60-node graph).
+  const size_t links0_data =
+      64 + (8 + 4 * data_.size()) + (8 + 4 * data_.size()) + 8;
+  Poke<uint32_t>(links0_data, static_cast<uint32_t>(data_.size() + 7));
+  ExpectRejected("link_id");
+}
+
+TEST_F(HnswCorruptGraph, TruncationsAreRejected) {
+  const std::vector<uint8_t> whole = bytes_;
+  for (const size_t cut :
+       {size_t{0}, size_t{3}, size_t{37}, size_t{63}, size_t{64},
+        whole.size() / 2, whole.size() - 1}) {
+    bytes_.assign(whole.begin(), whole.begin() + cut);
+    ExpectRejected("cut" + std::to_string(cut));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-config validation for the new kind: which metrics navigate,
+// which quantized-traversal combos are legal, and that each rejection
+// carries a message naming the actual constraint.
+
+TEST(HnswConfig, MetricValidation) {
+  for (const MetricKind ok :
+       {MetricKind::kL1, MetricKind::kL2, MetricKind::kLInf,
+        MetricKind::kHellinger, MetricKind::kCosine}) {
+    EXPECT_TRUE(ValidateIndexMetricCombination(IndexKind::kHnsw, ok).ok())
+        << MetricKindName(ok);
+  }
+  for (const MetricKind bad :
+       {MetricKind::kHistogramIntersection, MetricKind::kChiSquare}) {
+    const Status status =
+        ValidateIndexMetricCombination(IndexKind::kHnsw, bad);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << MetricKindName(bad);
+    EXPECT_NE(status.message().find("hnsw"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("navigable"), std::string::npos)
+        << status.message();
+  }
+}
+
+TEST(HnswConfig, KnobValidation) {
+  EngineConfig config;
+  config.index_kind = IndexKind::kHnsw;
+  config.metric = MetricKind::kL2;
+  ASSERT_TRUE(ValidateEngineConfig(config).ok());
+
+  EngineConfig bad = config;
+  bad.hnsw_m = 1;
+  EXPECT_EQ(ValidateEngineConfig(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ValidateEngineConfig(bad).message().find("hnsw_m"),
+            std::string::npos);
+  bad = config;
+  bad.hnsw_m = 4096;
+  EXPECT_EQ(ValidateEngineConfig(bad).code(), StatusCode::kInvalidArgument);
+  bad = config;
+  bad.hnsw_ef_construction = config.hnsw_m - 1;
+  EXPECT_EQ(ValidateEngineConfig(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ValidateEngineConfig(bad).message().find("ef_construction"),
+            std::string::npos);
+  bad = config;
+  bad.hnsw_ef_search = 0;
+  EXPECT_EQ(ValidateEngineConfig(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(ValidateEngineConfig(bad).message().find("ef_search"),
+            std::string::npos);
+}
+
+TEST(HnswConfig, QuantizedTraversalCombos) {
+  // Quantization rides on scan-shaped kinds: linear scan or hnsw.
+  EngineConfig config;
+  config.metric = MetricKind::kL2;
+  config.quantization = QuantizationKind::kInt8;
+  for (const IndexKind ok : {IndexKind::kLinearScan, IndexKind::kHnsw}) {
+    config.index_kind = ok;
+    EXPECT_TRUE(MakeIndex(config).ok()) << IndexKindName(ok);
+  }
+  config.index_kind = IndexKind::kVpTree;
+  const auto tree = MakeIndex(config);
+  EXPECT_EQ(tree.status().code(), StatusCode::kInvalidArgument);
+  // The message must name the rule as it stands now (scan-shaped
+  // kinds), not the pre-HNSW "requires linear_scan" phrasing.
+  EXPECT_NE(tree.status().message().find("linear_scan, or hnsw"),
+            std::string::npos)
+      << tree.status().message();
+
+  // Quantized hnsw traversal is an L2-only construction.
+  config.index_kind = IndexKind::kHnsw;
+  config.metric = MetricKind::kL1;
+  const auto l1 = MakeIndex(config);
+  EXPECT_EQ(l1.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(l1.status().message().find("l2"), std::string::npos)
+      << l1.status().message();
+  config.metric = MetricKind::kCosine;
+  EXPECT_FALSE(MakeIndex(config).ok());
+
+  // The quantized hnsw index names its traversal backing.
+  config.metric = MetricKind::kL2;
+  config.quantization = QuantizationKind::kInt8;
+  const auto named = MakeIndex(config);
+  ASSERT_TRUE(named.ok());
+  EXPECT_NE(named.value()->Name().find("int8"), std::string::npos)
+      << named.value()->Name();
+}
+
+TEST_F(HnswCorruptGraph, ValidBytesStillLoadAfterSetUp) {
+  // Sanity: the fixture's unmutated payload is genuinely loadable
+  // (guards against the corpus passing because SetUp broke).
+  HnswIndex index(MakeMetric(MetricKind::kL2));
+  BinaryReader reader(bytes_);
+  ASSERT_TRUE(index.Deserialize(&reader).ok());
+  EXPECT_EQ(index.size(), data_.size());
+}
+
+}  // namespace
+}  // namespace cbix

@@ -65,6 +65,7 @@ void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
 
 struct FuzzCase {
   std::string name;
+  IndexKind index_kind;
   size_t shards;
   QuantizationKind quantization;
 };
@@ -76,12 +77,14 @@ class LoadFuzz : public ::testing::TestWithParam<FuzzCase> {
     const size_t kDim = 24;
     const auto data = ClusteredData(120, kDim);
     EngineConfig config;
-    config.index_kind = IndexKind::kLinearScan;
+    config.index_kind = GetParam().index_kind;
     config.metric = MetricKind::kL2;
     config.shards = GetParam().shards;
     config.quantization = GetParam().quantization;
     config.pq_m = 6;
     config.rerank_factor = 8;
+    config.hnsw_m = 8;
+    config.hnsw_ef_construction = 40;
     config_ = config;
     CbirEngine engine((FeatureExtractor()), config);
     for (size_t i = 0; i < data.size(); ++i) {
@@ -204,14 +207,27 @@ TEST_P(LoadFuzz, GarbageAndWrongMagicAreRejected) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    ShardsByQuantization, LoadFuzz,
+    KindByShardsByQuantization, LoadFuzz,
     ::testing::Values(
-        FuzzCase{"flat_none", 1, QuantizationKind::kNone},
-        FuzzCase{"flat_int8", 1, QuantizationKind::kInt8},
-        FuzzCase{"flat_pq", 1, QuantizationKind::kPq},
-        FuzzCase{"sharded_none", 3, QuantizationKind::kNone},
-        FuzzCase{"sharded_int8", 3, QuantizationKind::kInt8},
-        FuzzCase{"sharded_pq", 3, QuantizationKind::kPq}),
+        FuzzCase{"flat_none", IndexKind::kLinearScan, 1,
+                 QuantizationKind::kNone},
+        FuzzCase{"flat_int8", IndexKind::kLinearScan, 1,
+                 QuantizationKind::kInt8},
+        FuzzCase{"flat_pq", IndexKind::kLinearScan, 1, QuantizationKind::kPq},
+        FuzzCase{"sharded_none", IndexKind::kLinearScan, 3,
+                 QuantizationKind::kNone},
+        FuzzCase{"sharded_int8", IndexKind::kLinearScan, 3,
+                 QuantizationKind::kInt8},
+        FuzzCase{"sharded_pq", IndexKind::kLinearScan, 3,
+                 QuantizationKind::kPq},
+        // HNSW: the file now carries a serialized graph section, so the
+        // truncation/flip/lying-length families chew on it too.
+        FuzzCase{"hnsw_flat_none", IndexKind::kHnsw, 1,
+                 QuantizationKind::kNone},
+        FuzzCase{"hnsw_flat_int8", IndexKind::kHnsw, 1,
+                 QuantizationKind::kInt8},
+        FuzzCase{"hnsw_sharded_none", IndexKind::kHnsw, 3,
+                 QuantizationKind::kNone}),
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return info.param.name;
     });

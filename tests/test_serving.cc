@@ -45,14 +45,17 @@ std::string TempPath(const std::string& tag) {
          std::to_string(::getpid()) + ".bin";
 }
 
-EngineConfig MakeConfig(size_t shards, QuantizationKind quant) {
+EngineConfig MakeConfig(size_t shards, QuantizationKind quant,
+                        IndexKind kind = IndexKind::kLinearScan) {
   EngineConfig config;
-  config.index_kind = IndexKind::kLinearScan;
+  config.index_kind = kind;
   config.metric = MetricKind::kL2;
   config.shards = shards;
   config.quantization = quant;
   config.pq_m = 6;
   config.rerank_factor = 8;
+  config.hnsw_m = 8;
+  config.hnsw_ef_construction = 60;
   return config;
 }
 
@@ -72,6 +75,7 @@ struct ServingCase {
   std::string name;
   size_t shards;
   QuantizationKind quantization;
+  IndexKind index_kind = IndexKind::kLinearScan;
 };
 
 class ServingEquivalence : public ::testing::TestWithParam<ServingCase> {};
@@ -85,7 +89,8 @@ TEST_P(ServingEquivalence, ZeroFaultMatchesPlainEngine) {
   const size_t kN = 300;
   const auto data = ClusteredData(kN, kDim);
   const auto queries = ClusteredData(8, kDim, /*seed=*/91);
-  const EngineConfig config = MakeConfig(param.shards, param.quantization);
+  const EngineConfig config =
+      MakeConfig(param.shards, param.quantization, param.index_kind);
 
   CbirEngine plain((FeatureExtractor()), config);
   for (size_t i = 0; i < kN; ++i) {
@@ -153,10 +158,62 @@ INSTANTIATE_TEST_SUITE_P(
         ServingCase{"flat_pq", 1, QuantizationKind::kPq},
         ServingCase{"sharded_none", 3, QuantizationKind::kNone},
         ServingCase{"sharded_int8", 3, QuantizationKind::kInt8},
-        ServingCase{"sharded_pq", 3, QuantizationKind::kPq}),
+        ServingCase{"sharded_pq", 3, QuantizationKind::kPq},
+        // HNSW-backed serving: approximate answers, but construction
+        // is seeded-deterministic, so the sealed engine still matches
+        // the plain engine exactly.
+        ServingCase{"hnsw_flat", 1, QuantizationKind::kNone,
+                    IndexKind::kHnsw},
+        ServingCase{"hnsw_sharded", 3, QuantizationKind::kNone,
+                    IndexKind::kHnsw},
+        ServingCase{"hnsw_sharded_int8", 3, QuantizationKind::kInt8,
+                    IndexKind::kHnsw}),
     [](const ::testing::TestParamInfo<ServingCase>& info) {
       return info.param.name;
     });
+
+// Coverage honesty: an HNSW-backed ServingEngine under the zero-fault
+// scenario answers APPROXIMATELY, but approximation is not
+// degradation — with every shard answering, QueryCoverage::degraded
+// must stay false for every query, and shards_answered must equal
+// shards_total. (degraded means "some shard never answered", never
+// "the index kind is approximate".)
+TEST(ServingCoverage, ApproximateIndexNeverReportsDegraded) {
+  const size_t kDim = 24;
+  const size_t kN = 400;
+  const auto data = ClusteredData(kN, kDim);
+  const auto queries = ClusteredData(12, kDim, /*seed=*/91);
+
+  for (const size_t shards : {size_t{1}, size_t{3}}) {
+    ServingOptions options;
+    options.engine = MakeConfig(shards, QuantizationKind::kNone,
+                                IndexKind::kHnsw);
+    options.delta_merge_threshold = 128;
+    options.search_threads = 2;
+    auto serving = ServingEngine::Create(FeatureExtractor(), options);
+    ASSERT_TRUE(serving.ok());
+    ServingEngine& serve = **serving;
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(serve.Insert(data[i], "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(serve.Flush().ok());
+
+    auto reply = serve.Search(queries, 10);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_FALSE(reply->degraded);
+    ASSERT_EQ(reply->coverage.size(), queries.size());
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const QueryCoverage& cov = reply->coverage[qi];
+      EXPECT_TRUE(cov.status.ok()) << "shards=" << shards << " q" << qi;
+      EXPECT_FALSE(cov.degraded) << "shards=" << shards << " q" << qi;
+      EXPECT_EQ(cov.shards_answered, cov.shards_total)
+          << "shards=" << shards << " q" << qi;
+      EXPECT_EQ(cov.shards_total, shards);
+      // Approximate or not, the engine must actually answer.
+      EXPECT_EQ(reply->results[qi].size(), 10u);
+    }
+  }
+}
 
 // Rows still sitting in the delta (no merge yet) must be searchable
 // and exact: sealed + delta together answer like one engine.
