@@ -1,0 +1,214 @@
+// bench_obs — proves the observability layer's hot-path cost claim.
+//
+// The contract (src/obs/metrics.h): a disabled registry costs the
+// query path one relaxed atomic load per batch, and full metrics
+// recording stays within noise of that — the gate is instrumented
+// batch QPS within 2% of uninstrumented. Trace sampling is measured as
+// a curve (every 64th / 8th / every query) to show what a sampled
+// query actually pays; only the metrics row is gated, since sampling
+// cost is opt-in by knob.
+//
+// Methodology: one ServingEngine (linear scan, so QPS is dominated by
+// real kernel work, not index variance) serves identical closed-loop
+// batch rounds per mode. Every round runs the uninstrumented baseline
+// and each mode back-to-back, and a mode's overhead is the MEDIAN of
+// its per-round paired ratios against that round's baseline. Pairing
+// cancels the drift (thermal, noisy-neighbor load) that a best-of
+// across rounds cannot — an unpaired comparison on a shared container
+// drifts 2-3% between rounds, dwarfing the ~10 atomics under test.
+//
+// Usage: bench_obs [output.json]  — writes BENCH_obs.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/serving.h"
+#include "corpus/vector_workload.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace cbix::bench {
+namespace {
+
+constexpr size_t kCount = 8192;
+constexpr size_t kDim = 64;
+constexpr size_t kK = 10;
+constexpr size_t kBatch = 64;
+constexpr size_t kBatchesPerRound = 6;
+constexpr size_t kRounds = 9;  ///< paired rounds; median ratio wins
+constexpr double kMaxOverheadPct = 2.0;
+
+struct Mode {
+  std::string name;
+  bool metrics_enabled = false;
+  size_t trace_every_n = 0;
+};
+
+struct ObsRow {
+  std::string mode;
+  double batch_qps = 0.0;
+  double overhead_pct = 0.0;  ///< vs the uninstrumented row
+};
+
+[[noreturn]] void Die(const std::string& what, const Status& status) {
+  std::fprintf(stderr, "bench_obs: %s failed: %s\n", what.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+/// One closed-loop round for one mode; returns batch QPS.
+double RunRound(ServingEngine& serve, MetricsRegistry& registry,
+                const Mode& mode, const std::vector<Vec>& queries) {
+  registry.set_enabled(mode.metrics_enabled);
+  SearchOptions search;
+  search.trace_every_n = mode.trace_every_n;
+  size_t issued = 0;
+  Timer wall;
+  for (size_t b = 0; b < kBatchesPerRound; ++b) {
+    std::vector<Vec> batch;
+    batch.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(queries[(b * kBatch + i) % queries.size()]);
+    }
+    const auto reply = serve.Search(batch, kK, search);
+    if (!reply.ok()) Die(mode.name + " Search", reply.status());
+    issued += kBatch;
+  }
+  const double secs = wall.ElapsedSeconds();
+  return secs > 0.0 ? static_cast<double>(issued) / secs : 0.0;
+}
+
+void WriteJson(const std::string& path, const std::vector<ObsRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_obs: cannot write %s\n", path.c_str());
+    std::exit(1);  // a stale trajectory must not pass the smoke ritual
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_obs\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"count\": %zu, \"dim\": %zu, \"k\": %zu,"
+               " \"batch\": %zu, \"batches_per_round\": %zu,"
+               " \"rounds\": %zu},\n",
+               kCount, kDim, kK, kBatch, kBatchesPerRound, kRounds);
+  std::fprintf(f, "  \"hardware\": {\"concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"obs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ObsRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"batch_qps\": %.1f,"
+                 " \"overhead_pct\": %.3f}%s\n",
+                 r.mode.c_str(), r.batch_qps, r.overhead_pct,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  PrintExperimentHeader(
+      "OBS", "query-path cost of metrics recording and trace sampling",
+      "clustered, n=" + std::to_string(kCount) + ", dim=" +
+          std::to_string(kDim) + ", linear scan, batch=" +
+          std::to_string(kBatch) + ", k=" + std::to_string(kK));
+
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = kCount;
+  spec.dim = kDim;
+  spec.seed = 11;
+  const std::vector<Vec> data = GenerateVectors(spec);
+  const std::vector<Vec> queries = GenerateQueries(
+      spec, data, QueryMode::kPerturbedData, 256, 0.05, 2024);
+
+  // A bench-private registry: toggling its enabled flag between rounds
+  // IS the experiment, and the process-global registry stays clean.
+  auto registry = std::make_shared<MetricsRegistry>();
+  ServingOptions options;
+  options.engine.index_kind = IndexKind::kLinearScan;
+  options.engine.metric = MetricKind::kL2;
+  options.search_threads = 2;
+  options.metrics = registry;
+  auto created = ServingEngine::Create(FeatureExtractor(), options);
+  if (!created.ok()) Die("Create", created.status());
+  ServingEngine& serve = **created;
+  for (size_t i = 0; i < kCount; ++i) {
+    const auto id = serve.Insert(data[i], "v" + std::to_string(i));
+    if (!id.ok()) Die("Insert", id.status());
+  }
+  if (const Status flushed = serve.Flush(); !flushed.ok()) {
+    Die("Flush", flushed);
+  }
+
+  const std::vector<Mode> modes = {
+      {"uninstrumented", false, 0},
+      {"metrics", true, 0},
+      {"trace_64", true, 64},
+      {"trace_8", true, 8},
+      {"trace_1", true, 1},
+  };
+
+  // Warm-up: touch every mode once so first-call effects (page faults,
+  // trace allocation paths) do not land in round 0 of one mode.
+  for (const Mode& mode : modes) (void)RunRound(serve, *registry, mode,
+                                                queries);
+
+  // ratios[m][r] = mode m's QPS over the SAME round's baseline QPS.
+  std::vector<double> best(modes.size(), 0.0);
+  std::vector<std::vector<double>> ratios(modes.size());
+  for (size_t round = 0; round < kRounds; ++round) {
+    const double base_qps = RunRound(serve, *registry, modes[0], queries);
+    if (base_qps > best[0]) best[0] = base_qps;
+    for (size_t m = 1; m < modes.size(); ++m) {
+      const double qps = RunRound(serve, *registry, modes[m], queries);
+      if (qps > best[m]) best[m] = qps;
+      if (base_qps > 0.0) ratios[m].push_back(qps / base_qps);
+    }
+  }
+
+  std::vector<ObsRow> rows;
+  TablePrinter table({"mode", "batch_qps", "overhead_pct"});
+  table.PrintHeader();
+  for (size_t m = 0; m < modes.size(); ++m) {
+    ObsRow row;
+    row.mode = modes[m].name;
+    row.batch_qps = best[m];
+    if (m > 0 && !ratios[m].empty()) {
+      std::vector<double>& rs = ratios[m];
+      std::nth_element(rs.begin(), rs.begin() + rs.size() / 2, rs.end());
+      row.overhead_pct = 100.0 * (1.0 - rs[rs.size() / 2]);
+    }
+    table.PrintRow({row.mode, Fmt(row.batch_qps, 1),
+                    Fmt(row.overhead_pct, 3)});
+    rows.push_back(std::move(row));
+  }
+
+  // THE gate: metrics recording (sampling off) must stay within 2% of
+  // the uninstrumented path. compare_bench.py re-checks this from the
+  // JSON so CI fails even if someone drops this binary check.
+  if (rows[1].overhead_pct > kMaxOverheadPct) {
+    std::fprintf(stderr,
+                 "bench_obs: metrics overhead %.3f%% exceeds the %.1f%% "
+                 "gate (uninstrumented %.1f qps vs %.1f qps)\n",
+                 rows[1].overhead_pct, kMaxOverheadPct, rows[0].batch_qps,
+                 rows[1].batch_qps);
+    std::exit(1);
+  }
+
+  if (argc > 1) WriteJson(argv[1], rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cbix::bench
+
+int main(int argc, char** argv) { return cbix::bench::Run(argc, argv); }

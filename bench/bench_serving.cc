@@ -37,6 +37,7 @@
 #include "core/fault_injector.h"
 #include "core/serving.h"
 #include "corpus/vector_workload.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace cbix::bench {
@@ -73,13 +74,6 @@ struct ServingRow {
   std::fprintf(stderr, "bench_serving: %s failed: %s\n", what.c_str(),
                status.ToString().c_str());
   std::exit(1);
-}
-
-double Percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
-  return sorted[idx];
 }
 
 ServingRow RunScenario(const Scenario& scenario,
@@ -130,8 +124,10 @@ ServingRow RunScenario(const Scenario& scenario,
     }
   });
 
-  std::vector<double> latencies_ms;
-  latencies_ms.reserve(kBatchesPerScenario);
+  // Batch latencies flow through the runtime's own histogram type so
+  // bench and serving export agree on one quantile implementation
+  // (log-linear buckets, <= 1/16 relative bucket width).
+  LatencyHistogram latency;
   size_t queries_issued = 0;
   size_t queries_degraded = 0;
   Timer wall;
@@ -144,8 +140,7 @@ ServingRow RunScenario(const Scenario& scenario,
     Timer timer;
     const auto reply = serve.Search(batch, kK, search);
     if (!reply.ok()) Die(scenario.name + " Search", reply.status());
-    latencies_ms.push_back(
-        static_cast<double>(timer.ElapsedMicros()) / 1000.0);
+    latency.Observe(static_cast<uint64_t>(timer.ElapsedMicros()));
     queries_issued += kBatch;
     for (const QueryCoverage& cov : reply->coverage) {
       if (cov.degraded) ++queries_degraded;
@@ -160,10 +155,9 @@ ServingRow RunScenario(const Scenario& scenario,
   row.qps = wall_ms > 0.0
                 ? 1000.0 * static_cast<double>(queries_issued) / wall_ms
                 : 0.0;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  row.p50_ms = Percentile(latencies_ms, 0.50);
-  row.p99_ms = Percentile(latencies_ms, 0.99);
-  row.p999_ms = Percentile(latencies_ms, 0.999);
+  row.p50_ms = latency.Quantile(0.50) / 1000.0;
+  row.p99_ms = latency.Quantile(0.99) / 1000.0;
+  row.p999_ms = latency.Quantile(0.999) / 1000.0;
   row.degraded_fraction =
       queries_issued > 0
           ? static_cast<double>(queries_degraded) /

@@ -30,6 +30,11 @@ portable baseline). Compared fields:
                                          0.95, and some row must reach
                                          recall@10 >= 0.95 at >= 10x
                                          the linear-scan batch QPS
+  - BENCH_obs.json      obs[]            batch_qps, plus an ABSOLUTE
+                                         ceiling: the metrics mode
+                                         (recording on, tracing off)
+                                         must stay within 2% of the
+                                         uninstrumented batch QPS
 
 Usage: compare_bench.py <baseline_dir> <current_dir> [--threshold 0.20]
 
@@ -236,6 +241,31 @@ def check_hnsw_floor(failures, notes, current_dir, min_recall=0.95,
                      f">= {min_speedup:.0f}x floor")
 
 
+def check_obs_overhead(failures, notes, current_dir, max_overhead_pct=2.0):
+    """Absolute gate on the observability hot-path claim, no baseline
+    required: full metrics recording (trace sampling off) must cost at
+    most max_overhead_pct of the uninstrumented batch QPS. Trace-mode
+    rows are informative only — sampling cost is opt-in by knob."""
+    path = os.path.join(current_dir, "BENCH_obs.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_obs.json: missing from current run")
+        return
+    rows = {r.get("mode"): r for r in load(path).get("obs", [])}
+    row = rows.get("metrics")
+    if row is None:
+        failures.append("BENCH_obs.json: 'metrics' mode row missing "
+                        "(overhead gate cannot run)")
+        return
+    overhead = row.get("overhead_pct", 100.0)
+    if overhead > max_overhead_pct:
+        failures.append(
+            f"BENCH_obs.json metrics: instrumentation overhead "
+            f"{overhead:.3f}% above the {max_overhead_pct:.1f}% ceiling")
+    else:
+        notes.append(f"obs metrics overhead {overhead:.3f}% "
+                     f"<= {max_overhead_pct:.1f}% ceiling")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir")
@@ -271,6 +301,10 @@ def main():
                  "BENCH_hnsw.json", "hnsw", ("ef",),
                  [("qps", True), ("recall_at_10", True)], args.threshold)
     check_hnsw_floor(failures, notes, args.current_dir)
+    compare_file(failures, notes, args.baseline_dir, args.current_dir,
+                 "BENCH_obs.json", "obs", ("mode",),
+                 [("batch_qps", True)], args.threshold)
+    check_obs_overhead(failures, notes, args.current_dir)
 
     for note in notes:
         print(f"note: {note}")

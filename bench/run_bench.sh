@@ -2,11 +2,13 @@
 # Per-PR smoke ritual: configure, build, run the tier-1 test suite, and
 # refresh the committed perf trajectories (BENCH_kernels.json +
 # BENCH_shards.json + BENCH_quant.json + BENCH_serving.json +
-# BENCH_hnsw.json) so every PR leaves a fresh data point. bench_quant
-# additionally gates int8 recall@10 and int8/pq compression,
-# bench_serving gates the degraded-query fraction under injected
-# faults, and bench_hnsw gates recall@10 and the speedup-vs-scan floor;
-# a quality regression fails the ritual.
+# BENCH_hnsw.json + BENCH_obs.json) so every PR leaves a fresh data
+# point. bench_quant additionally gates int8 recall@10 and int8/pq
+# compression, bench_serving gates the degraded-query fraction under
+# injected faults, bench_hnsw gates recall@10 and the speedup-vs-scan
+# floor, and bench_obs gates the metrics-instrumentation overhead
+# (<= 2% of uninstrumented batch QPS); a quality regression fails the
+# ritual.
 #
 # Usage: bench/run_bench.sh [build-dir]
 #   BUILD_DIR / $1  build directory (default: <repo>/build)
@@ -41,5 +43,8 @@ echo "== perf trajectory: serving (degraded-fraction gates) =="
 
 echo "== perf trajectory: hnsw (recall/speedup floors) =="
 "$BUILD/bench_hnsw" "$ROOT/BENCH_hnsw.json"
+
+echo "== perf trajectory: observability (overhead gate) =="
+"$BUILD/bench_obs" "$ROOT/BENCH_obs.json"
 
 echo "== smoke OK =="

@@ -53,6 +53,11 @@ HNSW = {
          "qps": 15000.0, "speedup_x": 6.0},
     ],
 }
+OBS = {"obs": [
+    {"mode": "uninstrumented", "batch_qps": 8000.0, "overhead_pct": 0.0},
+    {"mode": "metrics", "batch_qps": 7950.0, "overhead_pct": 0.625},
+    {"mode": "trace_1", "batch_qps": 7500.0, "overhead_pct": 6.25},
+]}
 
 
 def write_dir(path, files):
@@ -88,6 +93,7 @@ def head_files():
         "BENCH_quant.json": copy.deepcopy(QUANT),
         "BENCH_serving.json": copy.deepcopy(SERVING),
         "BENCH_hnsw.json": copy.deepcopy(HNSW),
+        "BENCH_obs.json": copy.deepcopy(OBS),
     }
 
 
@@ -177,6 +183,27 @@ def main():
         write_dir(head7, files)
         code, out = run(base7, head7)
         expect(code == 1, "hnsw qps regression fails against baseline", out)
+
+        # 8. obs absolute ceiling: metrics-mode instrumentation overhead
+        # above 2% fails even with no baseline to compare against.
+        head8 = os.path.join(tmp, "head8")
+        files = head_files()
+        files["BENCH_obs.json"]["obs"][1]["overhead_pct"] = 3.5
+        write_dir(head8, files)
+        code, out = run(base, head8)
+        expect(code == 1, "obs overhead above ceiling fails", out)
+        expect("above the 2.0% ceiling" in out,
+               "obs ceiling names itself", out)
+
+        # 9. obs gate must not be silently disabled by a vanished row.
+        head9 = os.path.join(tmp, "head9")
+        files = head_files()
+        files["BENCH_obs.json"]["obs"] = [files["BENCH_obs.json"]["obs"][0]]
+        write_dir(head9, files)
+        code, out = run(base, head9)
+        expect(code == 1, "missing obs metrics row fails", out)
+        expect("'metrics' mode row missing" in out,
+               "missing obs row names itself", out)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} compare_bench regression test(s) failed")

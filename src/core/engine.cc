@@ -12,9 +12,12 @@
 #include "index/hnsw.h"
 #include "index/linear_scan.h"
 #include "index/sharded_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/quantized_store.h"
 #include "util/thread_pool.h"
 #include "util/serialize.h"
+#include "util/timer.h"
 
 namespace cbix {
 
@@ -287,7 +290,25 @@ Result<std::unique_ptr<VectorIndex>> MakeIndex(const EngineConfig& config) {
 }
 
 CbirEngine::CbirEngine(FeatureExtractor extractor, EngineConfig config)
-    : extractor_(std::move(extractor)), config_(config) {}
+    : extractor_(std::move(extractor)), config_(config) {
+  SetMetricsRegistry(MetricsRegistry::Global());
+}
+
+void CbirEngine::SetMetricsRegistry(std::shared_ptr<MetricsRegistry> metrics) {
+  metrics_ = std::move(metrics);
+  inst_ = BatchInstruments{};
+  if (metrics_ == nullptr) return;
+  inst_.queries = metrics_->GetCounter("cbix.engine.queries");
+  inst_.batches = metrics_->GetCounter("cbix.engine.batches");
+  inst_.work_items = metrics_->GetCounter("cbix.engine.work_items");
+  inst_.work_item_failures =
+      metrics_->GetCounter("cbix.engine.work_item_failures");
+  inst_.retries = metrics_->GetCounter("cbix.engine.retry_attempts");
+  inst_.distance_evals = metrics_->GetCounter("cbix.engine.distance_evals");
+  inst_.rerank_evals = metrics_->GetCounter("cbix.engine.rerank_evals");
+  inst_.cancel_polls = metrics_->GetCounter("cbix.engine.cancel_polls");
+  inst_.knn_batch_us = metrics_->GetHistogram("cbix.engine.knn_batch_us");
+}
 
 Result<uint32_t> CbirEngine::AddImage(const ImageU8& image, std::string name,
                                       int32_t label) {
@@ -397,14 +418,17 @@ namespace {
 /// injector hook, the scan itself, deadline latching, and retry with
 /// linear backoff. `run_attempt` performs one scan attempt into the
 /// item's slots (cleared here before every attempt) and returns its
-/// status.
+/// status. `attempts_out` (optional) reports how many attempts ran —
+/// the trace's retry accounting.
 template <typename RunAttempt, typename ResetSlots>
 Status RunWorkItem(const SearchOptions& options,
                    const CancellationToken* cancel, FaultInjector* injector,
                    size_t shard, const ResetSlots& reset_slots,
-                   const RunAttempt& run_attempt) {
+                   const RunAttempt& run_attempt,
+                   size_t* attempts_out = nullptr) {
   Status status;
   for (size_t attempt = 0;; ++attempt) {
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
     if (cancel != nullptr && cancel->Expired()) {
       reset_slots();
       return Status::DeadlineExceeded("query budget exhausted");
@@ -429,6 +453,32 @@ Status RunWorkItem(const SearchOptions& options,
   }
 }
 
+/// Fills one work-item trace span after its RunWorkItem completed:
+/// wall time, tile/shard coordinates, attempt count, final status, and
+/// the item's aggregated per-query counters.
+void FillWorkItemSpan(TraceSpan* span, double start_ms, double end_ms,
+                      size_t t, size_t s, size_t attempts,
+                      const Status& status, const SearchStats* slot_stats,
+                      size_t count) {
+  span->name = "shard";
+  span->start_ms = start_ms;
+  span->duration_ms = end_ms - start_ms;
+  if (!status.ok()) span->status = status.ToString();
+  SearchStats sum;
+  for (size_t i = 0; i < count; ++i) sum += slot_stats[i];
+  span->AddAttr("tile", static_cast<double>(t));
+  span->AddAttr("shard", static_cast<double>(s));
+  span->AddAttr("queries", static_cast<double>(count));
+  span->AddAttr("attempts", static_cast<double>(attempts));
+  span->AddAttr("distance_evals", static_cast<double>(sum.distance_evals));
+  span->AddAttr("rerank_evals", static_cast<double>(sum.rerank_evals));
+  span->AddAttr("nodes_visited", static_cast<double>(sum.nodes_visited));
+  span->AddAttr("cancel_polls", static_cast<double>(sum.cancel_polls));
+  if (sum.ef_survivors > 0) {
+    span->AddAttr("ef_survivors", static_cast<double>(sum.ef_survivors));
+  }
+}
+
 }  // namespace
 
 Status CbirEngine::KnnBatchOnPool(
@@ -436,7 +486,7 @@ Status CbirEngine::KnnBatchOnPool(
     const SearchOptions& options,
     std::vector<std::vector<Match>>* results,
     std::vector<SearchStats>* stats,
-    std::vector<QueryCoverage>* coverage) const {
+    std::vector<QueryCoverage>* coverage, QueryTrace* trace) const {
   const size_t num_queries = queries.size();
   results->assign(num_queries, {});
   std::vector<SearchStats> local_stats(num_queries);
@@ -445,6 +495,10 @@ Status CbirEngine::KnnBatchOnPool(
     if (stats != nullptr) stats->clear();
     return Status::Ok();
   }
+  // One relaxed load decides the whole batch's metrics fate; the
+  // recording itself happens once at the end, never per work item.
+  const bool record = metrics_ != nullptr && metrics_->enabled();
+  const Timer batch_timer;  // runs from construction; read only if record
   // Pack the whole batch into one QueryBlock and schedule
   // query_tile-sized windows of it; every tile runs the index's
   // SearchBatch, which ranks each candidate block against all tile
@@ -481,6 +535,28 @@ Status CbirEngine::KnnBatchOnPool(
       (injector_ != nullptr && injector_->enabled()) ? injector_.get()
                                                      : nullptr;
 
+  // Sampled queries get an "engine.knn_batch" span under the trace
+  // root with one pre-sized child slot per (tile, shard) work item —
+  // workers fill disjoint slots, the pool join publishes them.
+  TraceSpan* espan = nullptr;
+  const size_t num_items =
+      (sharded != nullptr && num_shards > 1) ? num_tiles * num_shards
+                                             : num_tiles;
+  if (trace != nullptr) {
+    trace->root().children.emplace_back();
+    espan = &trace->root().children.back();
+    espan->name = "engine.knn_batch";
+    espan->start_ms = trace->NowMs();
+    espan->AddAttr("queries", static_cast<double>(num_queries));
+    espan->AddAttr("tiles", static_cast<double>(num_tiles));
+    espan->AddAttr("shards", static_cast<double>(num_shards));
+    espan->children.resize(num_items);
+  }
+  // Disjoint per-item slots (same pattern as item_status): workers
+  // write their own element, read after the pool join.
+  std::vector<size_t> item_attempts(num_items, 1);
+  size_t failed_items = 0;
+
   std::vector<std::vector<Neighbor>> neighbors(num_queries);
   if (sharded != nullptr && num_shards > 1) {
     // tiles x shards work items: per-(shard, query) partial top-k
@@ -500,6 +576,7 @@ Status CbirEngine::KnnBatchOnPool(
       const QueryBlock tile_block = block.Tile(begin, count);
       std::vector<Neighbor>* slots = partial.data() + s * num_queries + begin;
       SearchStats* slot_stats = shard_stats.data() + s * num_queries + begin;
+      const double span_start = espan != nullptr ? trace->NowMs() : 0.0;
       item_status[item] = RunWorkItem(
           options, cancel, injector, s,
           [&] {
@@ -511,8 +588,15 @@ Status CbirEngine::KnnBatchOnPool(
           [&] {
             return store.SearchBatchShard(s, tile_block, k, slots,
                                           slot_stats, cancel);
-          });
+          },
+          &item_attempts[item]);
+      if (espan != nullptr) {
+        FillWorkItemSpan(&espan->children[item], span_start, trace->NowMs(),
+                         t, s, item_attempts[item], item_status[item],
+                         slot_stats, count);
+      }
     });
+    for (const Status& st : item_status) failed_items += !st.ok();
     // Degraded merge: per query, exactly the shards whose (tile, shard)
     // item succeeded. When everything answered this reduces to
     // MergeShardSlots bit for bit (same shard order, same MergeTopK,
@@ -552,6 +636,7 @@ Status CbirEngine::KnnBatchOnPool(
       const size_t begin = t * tile;
       const size_t count = std::min(tile, num_queries - begin);
       const QueryBlock tile_block = block.Tile(begin, count);
+      const double span_start = espan != nullptr ? trace->NowMs() : 0.0;
       tile_status[t] = RunWorkItem(
           options, cancel, injector, /*shard=*/0,
           [&] {
@@ -567,7 +652,13 @@ Status CbirEngine::KnnBatchOnPool(
               return Status::DeadlineExceeded("tile scan expired");
             }
             return Status::Ok();
-          });
+          },
+          &item_attempts[t]);
+      if (espan != nullptr) {
+        FillWorkItemSpan(&espan->children[t], span_start, trace->NowMs(), t,
+                         /*s=*/0, item_attempts[t], tile_status[t],
+                         local_stats.data() + begin, count);
+      }
       if (!tile_status[t].ok()) {
         // The index may have filled some slots before expiring; a
         // failed item contributes nothing.
@@ -577,6 +668,7 @@ Status CbirEngine::KnnBatchOnPool(
         }
       }
     });
+    for (const Status& st : tile_status) failed_items += !st.ok();
     for (size_t qi = 0; qi < num_queries; ++qi) {
       const Status& st = tile_status[qi / tile];
       QueryCoverage cov;
@@ -595,6 +687,31 @@ Status CbirEngine::KnnBatchOnPool(
   }
   for (size_t i = 0; i < num_queries; ++i) {
     (*results)[i] = ToMatches(neighbors[i]);
+  }
+  if (espan != nullptr) {
+    espan->duration_ms = trace->NowMs() - espan->start_ms;
+    size_t degraded = 0;
+    if (coverage != nullptr) {
+      for (const QueryCoverage& c : *coverage) degraded += c.degraded;
+    }
+    espan->AddAttr("degraded_queries", static_cast<double>(degraded));
+    espan->AddAttr("failed_work_items", static_cast<double>(failed_items));
+  }
+  if (record) {
+    inst_.batches->Increment();
+    inst_.queries->Increment(num_queries);
+    inst_.work_items->Increment(num_items);
+    inst_.work_item_failures->Increment(failed_items);
+    size_t retries = 0;
+    for (const size_t a : item_attempts) retries += a - 1;
+    inst_.retries->Increment(retries);
+    SearchStats sum;
+    for (const SearchStats& s : local_stats) sum += s;
+    inst_.distance_evals->Increment(sum.distance_evals);
+    inst_.rerank_evals->Increment(sum.rerank_evals);
+    inst_.cancel_polls->Increment(sum.cancel_polls);
+    inst_.knn_batch_us->Observe(
+        static_cast<uint64_t>(batch_timer.ElapsedMicros()));
   }
   if (stats != nullptr) *stats = std::move(local_stats);
   return Status::Ok();
@@ -656,7 +773,8 @@ CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
                                    const SearchOptions& options,
                                    size_t num_threads,
                                    std::vector<SearchStats>* stats,
-                                   std::vector<QueryCoverage>* coverage) {
+                                   std::vector<QueryCoverage>* coverage,
+                                   QueryTrace* trace) {
   CBIX_RETURN_IF_ERROR(ValidateSearchOptions(options, num_shards()));
   if (store_.empty()) {
     if (stats != nullptr) stats->assign(queries.size(), SearchStats{});
@@ -677,7 +795,7 @@ CbirEngine::QueryKnnBatchByVectors(const std::vector<Vec>& queries, size_t k,
     ThreadPool pool(num_threads);
     CBIX_RETURN_IF_ERROR(
         KnnBatchOnPool(pool, queries, k, options, &results, stats,
-                       coverage));
+                       coverage, trace));
   }
   return results;
 }

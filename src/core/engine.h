@@ -28,6 +28,10 @@ namespace cbix {
 
 class ThreadPool;
 class FaultInjector;
+class MetricsRegistry;
+class Counter;
+class LatencyHistogram;
+class QueryTrace;
 
 enum class IndexKind {
   kLinearScan,
@@ -207,10 +211,16 @@ class CbirEngine {
   /// to the plain overload. The call-level Result is an error only for
   /// contract violations (bad options, dimension mismatch, index
   /// build failure) — never for per-shard trouble.
+  /// `trace` (optional) receives an "engine.knn_batch" span appended
+  /// under its root, with one child per (tile, shard) work item
+  /// (wall time, attempts, status, per-shard eval/hop/poll counters) —
+  /// the engine stage of the obs/trace.h span tree. Pass only for
+  /// sampled queries: span bookkeeping is allocation-bearing.
   Result<std::vector<std::vector<Match>>> QueryKnnBatchByVectors(
       const std::vector<Vec>& queries, size_t k, const SearchOptions& options,
       size_t num_threads = 4, std::vector<SearchStats>* stats = nullptr,
-      std::vector<QueryCoverage>* coverage = nullptr);
+      std::vector<QueryCoverage>* coverage = nullptr,
+      QueryTrace* trace = nullptr);
 
   /// Serving-grade batched query-by-example (see the vector overload).
   Result<std::vector<std::vector<Match>>> QueryKnnBatch(
@@ -230,6 +240,17 @@ class CbirEngine {
   }
   const std::shared_ptr<FaultInjector>& fault_injector() const {
     return injector_;
+  }
+
+  /// Installs the metrics registry this engine records query-path
+  /// counters/latencies into (default: MetricsRegistry::Global()).
+  /// Instrument pointers are resolved once here — never on the query
+  /// path — and a disabled registry costs one relaxed atomic load per
+  /// batch. nullptr turns engine metrics off entirely. Shared so the
+  /// serving layer can point every sealed snapshot at one registry.
+  void SetMetricsRegistry(std::shared_ptr<MetricsRegistry> metrics);
+  const std::shared_ptr<MetricsRegistry>& metrics() const {
+    return metrics_;
   }
 
   /// Shards the engine actually serves from (config clamped to >= 1).
@@ -286,13 +307,31 @@ class CbirEngine {
                         size_t k, const SearchOptions& options,
                         std::vector<std::vector<Match>>* results,
                         std::vector<SearchStats>* stats,
-                        std::vector<QueryCoverage>* coverage) const;
+                        std::vector<QueryCoverage>* coverage,
+                        QueryTrace* trace = nullptr) const;
+
+  /// Instrument pointers resolved once per SetMetricsRegistry — the
+  /// batch path records through these without any name lookup. All
+  /// null when metrics_ is null.
+  struct BatchInstruments {
+    Counter* queries = nullptr;
+    Counter* batches = nullptr;
+    Counter* work_items = nullptr;
+    Counter* work_item_failures = nullptr;
+    Counter* retries = nullptr;
+    Counter* distance_evals = nullptr;
+    Counter* rerank_evals = nullptr;
+    Counter* cancel_polls = nullptr;
+    LatencyHistogram* knn_batch_us = nullptr;
+  };
 
   FeatureExtractor extractor_;
   EngineConfig config_;
   FeatureStore store_;
   std::unique_ptr<VectorIndex> index_;
   std::shared_ptr<FaultInjector> injector_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+  BatchInstruments inst_;
   bool index_dirty_ = true;
 };
 

@@ -46,6 +46,12 @@ struct SearchOptions {
   /// Sleep before retry attempt i is retry_backoff_ms * i (linear
   /// backoff, first retry waits one unit). 0 retries immediately.
   int64_t retry_backoff_ms = 0;
+
+  /// Trace sampling: collect a QueryTrace span tree for one in every
+  /// `trace_every_n` serving calls (1 = every call, 0 = never). The
+  /// unsampled path costs one atomic counter bump; sampled calls pay
+  /// span bookkeeping per pipeline stage and (tile, shard) work item.
+  size_t trace_every_n = 0;
 };
 
 /// What one query actually searched. `shard_status` holds the final

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/cancellation.h"
+#include "util/timer.h"
 
 namespace cbix {
 
@@ -13,10 +14,21 @@ ServingEngine::ServingEngine(FeatureExtractor extractor,
     : extractor_(std::move(extractor)),
       options_(std::move(options)),
       metric_(MakeMetric(options_.engine.metric)),
-      injector_(options_.fault_injector) {
+      injector_(options_.fault_injector),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : MetricsRegistry::Global()),
+      slow_log_(options_.slow_query_log_capacity) {
   if (options_.delta_merge_threshold == 0) {
     options_.delta_merge_threshold = 1;
   }
+  inst_.queries = metrics_->GetCounter("cbix.serve.queries");
+  inst_.degraded = metrics_->GetCounter("cbix.serve.degraded_queries");
+  inst_.traces_sampled = metrics_->GetCounter("cbix.serve.traces_sampled");
+  inst_.search_us = metrics_->GetHistogram("cbix.serve.search_us");
+  inst_.sealed_us = metrics_->GetHistogram("cbix.serve.sealed_us");
+  inst_.delta_us = metrics_->GetHistogram("cbix.serve.delta_us");
+  inst_.delta_size = metrics_->GetGauge("cbix.serve.delta_size");
+  inst_.snapshot_version = metrics_->GetGauge("cbix.serve.snapshot_version");
   auto snap = std::make_shared<Snapshot>();
   snap->delta_names = std::make_shared<std::vector<std::string>>();
   snap->delta_labels = std::make_shared<std::vector<int32_t>>();
@@ -80,6 +92,7 @@ Result<uint32_t> ServingEngine::Insert(Vec features, std::string name,
 Status ServingEngine::MergeInto(Snapshot* snap) const {
   auto merged = std::make_shared<CbirEngine>(extractor_, options_.engine);
   merged->SetFaultInjector(injector_);
+  merged->SetMetricsRegistry(metrics_);
   const size_t dim = snap->dim;
   if (snap->sealed != nullptr) {
     const FeatureStore& store = snap->sealed->store();
@@ -148,6 +161,7 @@ Status ServingEngine::Load(const std::string& path) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   auto engine = std::make_shared<CbirEngine>(extractor_, options_.engine);
   engine->SetFaultInjector(injector_);
+  engine->SetMetricsRegistry(metrics_);
   // Load leaves the index built (rebuild or restored quantized
   // payload), satisfying the sealed-before-publication invariant.
   CBIX_RETURN_IF_ERROR(engine->Load(path));
@@ -186,10 +200,32 @@ Result<ServeReply> ServingEngine::Search(const std::vector<Vec>& queries,
   reply.stats.assign(nq, SearchStats{});
   if (nq == 0) return reply;
 
+  // One relaxed load gates all metric recording for this call; trace
+  // sampling is one more relaxed counter bump. The unsampled,
+  // metrics-disabled path does no other obs work.
+  const bool record = metrics_->enabled();
+  const bool sampled =
+      options.trace_every_n > 0 &&
+      trace_seq_.fetch_add(1, std::memory_order_relaxed) %
+              options.trace_every_n ==
+          0;
+  std::shared_ptr<QueryTrace> trace;
+  if (sampled) {
+    trace = std::make_shared<QueryTrace>();
+    trace->root().name = "serve.search";
+    trace->root().AddAttr("queries", static_cast<double>(nq));
+    trace->root().AddAttr("k", static_cast<double>(k));
+    trace->root().AddAttr("snapshot_version",
+                          static_cast<double>(snap->version));
+  }
+
+  double sealed_ms = 0.0;
   if (snap->sealed != nullptr && snap->sealed_count > 0) {
+    const Timer sealed_timer;
     auto sealed = snap->sealed->QueryKnnBatchByVectors(
         queries, k, options, options_.search_threads, &reply.stats,
-        &reply.coverage);
+        &reply.coverage, trace.get());
+    sealed_ms = sealed_timer.ElapsedSeconds() * 1e3;
     if (!sealed.ok()) return sealed.status();
     reply.results = std::move(sealed).value();
   }
@@ -220,11 +256,31 @@ Result<ServeReply> ServingEngine::Search(const std::vector<Vec>& queries,
     bool delta_answered = false;
     std::vector<std::vector<Neighbor>> delta_hits(nq);
     std::vector<SearchStats> delta_stats(nq);
+    const double delta_start_ms = trace != nullptr ? trace->NowMs() : 0.0;
+    const Timer delta_timer;
     if (budget_left) {
       const QueryBlock block = QueryBlock::Pack(queries);
       snap->delta_index->SearchBatch(block, k, delta_hits.data(),
                                      delta_stats.data(), cancel);
       delta_answered = cancel == nullptr || !cancel->Expired();
+    }
+    if (record) {
+      inst_.delta_us->Observe(
+          static_cast<uint64_t>(delta_timer.ElapsedMicros()));
+    }
+    if (trace != nullptr) {
+      trace->root().children.emplace_back();
+      TraceSpan& ds = trace->root().children.back();
+      ds.name = "serve.delta";
+      ds.start_ms = delta_start_ms;
+      ds.duration_ms = trace->NowMs() - delta_start_ms;
+      SearchStats sum;
+      for (const SearchStats& s : delta_stats) sum += s;
+      ds.AddAttr("rows", static_cast<double>(snap->delta_count));
+      ds.AddAttr("answered", delta_answered ? 1.0 : 0.0);
+      ds.AddAttr("distance_evals", static_cast<double>(sum.distance_evals));
+      ds.AddAttr("cancel_polls", static_cast<double>(sum.cancel_polls));
+      if (!delta_answered) ds.status = "deadline exceeded: delta scan cut";
     }
     if (delta_answered) {
       for (size_t qi = 0; qi < nq; ++qi) {
@@ -266,6 +322,36 @@ Result<ServeReply> ServingEngine::Search(const std::vector<Vec>& queries,
   reply.degraded = degraded_count > 0;
   queries_.fetch_add(nq, std::memory_order_relaxed);
   degraded_.fetch_add(degraded_count, std::memory_order_relaxed);
+
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (record) {
+    inst_.queries->Increment(nq);
+    inst_.degraded->Increment(degraded_count);
+    inst_.search_us->Observe(static_cast<uint64_t>(total_ms * 1e3));
+    if (sealed_ms > 0.0) {
+      inst_.sealed_us->Observe(static_cast<uint64_t>(sealed_ms * 1e3));
+    }
+    inst_.delta_size->Set(static_cast<int64_t>(snap->delta_count));
+    inst_.snapshot_version->Set(static_cast<int64_t>(snap->version));
+    if (sampled) inst_.traces_sampled->Increment();
+  }
+  if (trace != nullptr) {
+    // Per-query coverage outcome: how much of the corpus each answer
+    // covers, and whether any answer was withheld below min_shards.
+    size_t withheld = 0;
+    for (const QueryCoverage& cov : reply.coverage) {
+      withheld += !cov.status.ok();
+    }
+    trace->root().AddAttr("degraded_queries",
+                          static_cast<double>(degraded_count));
+    trace->root().AddAttr("withheld_queries", static_cast<double>(withheld));
+    trace->root().duration_ms = trace->NowMs();
+    reply.trace = trace;
+    slow_log_.Offer(total_ms, trace);
+  }
   return reply;
 }
 
@@ -276,6 +362,24 @@ ServingEngine::SnapshotInfo ServingEngine::snapshot_info() const {
   info.sealed_count = snap->sealed_count;
   info.delta_count = snap->delta_count;
   return info;
+}
+
+ServingEngine::Stats ServingEngine::StatsSnapshot() const {
+  Stats s;
+  s.queries_served = queries_served();
+  s.degraded_queries = degraded_queries();
+  s.degraded_fraction =
+      s.queries_served > 0 ? static_cast<double>(s.degraded_queries) /
+                                 static_cast<double>(s.queries_served)
+                           : 0.0;
+  s.inserts = inserts();
+  s.merges = merges();
+  s.snapshot_swaps = snapshot_swaps();
+  const std::shared_ptr<const Snapshot> snap = LoadSnapshot();
+  s.snapshot_version = snap->version;
+  s.sealed_count = snap->sealed_count;
+  s.delta_count = snap->delta_count;
+  return s;
 }
 
 }  // namespace cbix

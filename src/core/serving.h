@@ -51,6 +51,8 @@
 #include "core/fault_injector.h"
 #include "core/search_options.h"
 #include "index/linear_scan.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 
 namespace cbix {
 
@@ -68,6 +70,13 @@ struct ServingOptions {
   /// reconfigure faults through the injector object itself, which is
   /// thread-safe).
   std::shared_ptr<FaultInjector> fault_injector;
+  /// Metrics registry the runtime (and every sealed engine) records
+  /// into; null = MetricsRegistry::Global(). Tests wanting isolated
+  /// counts pass their own.
+  std::shared_ptr<MetricsRegistry> metrics;
+  /// Retained traces in the slow-query log (top-N by latency; 0
+  /// disables the log).
+  size_t slow_query_log_capacity = 16;
 };
 
 /// One Search call's answer: per-query results + what was actually
@@ -80,6 +89,9 @@ struct ServeReply {
   uint64_t snapshot_version = 0;
   /// Any query in the batch degraded (shard dropped or delta cut).
   bool degraded = false;
+  /// Span tree of this call, non-null only when the call was sampled
+  /// (SearchOptions::trace_every_n). Shared with the slow-query log.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 class ServingEngine {
@@ -148,6 +160,35 @@ class ServingEngine {
   uint64_t degraded_queries() const {
     return degraded_.load(std::memory_order_relaxed);
   }
+  uint64_t snapshot_swaps() const {
+    return snapshot_swaps_.load(std::memory_order_relaxed);
+  }
+
+  /// One consistent-enough view of the runtime's lifetime counters
+  /// plus the live snapshot's shape — the operational stats export.
+  /// Counters are relaxed reads (a concurrent query may or may not be
+  /// included); version/sealed/delta come from one snapshot load.
+  struct Stats {
+    uint64_t queries_served = 0;
+    uint64_t degraded_queries = 0;
+    double degraded_fraction = 0.0;  ///< 0 when nothing served yet
+    uint64_t inserts = 0;
+    uint64_t merges = 0;
+    uint64_t snapshot_swaps = 0;
+    uint64_t snapshot_version = 0;
+    size_t sealed_count = 0;
+    size_t delta_count = 0;
+  };
+  Stats StatsSnapshot() const;
+
+  /// The top-N-by-latency trace log (thread-safe; entries only for
+  /// sampled queries). Dump with slow_query_log().DumpJson().
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+
+  /// The registry this runtime records into (never null).
+  const std::shared_ptr<MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
 
  private:
   /// Immutable once published. The sealed engine is held non-const
@@ -184,8 +225,11 @@ class ServingEngine {
     return snapshot_;
   }
   void PublishSnapshot(std::shared_ptr<const Snapshot> snap) {
-    std::lock_guard<std::mutex> lock(snapshot_mu_);
-    snapshot_ = std::move(snap);
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      snapshot_ = std::move(snap);
+    }
+    snapshot_swaps_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Absorbs `snap`'s sealed + delta rows into a freshly built sealed
@@ -199,6 +243,20 @@ class ServingEngine {
   ServingOptions options_;
   std::shared_ptr<const DistanceMetric> metric_;
   std::shared_ptr<FaultInjector> injector_;
+  std::shared_ptr<MetricsRegistry> metrics_;
+
+  /// Serving-stage instruments, resolved once at construction.
+  struct ServeInstruments {
+    Counter* queries = nullptr;
+    Counter* degraded = nullptr;
+    Counter* traces_sampled = nullptr;
+    LatencyHistogram* search_us = nullptr;
+    LatencyHistogram* sealed_us = nullptr;
+    LatencyHistogram* delta_us = nullptr;
+    Gauge* delta_size = nullptr;
+    Gauge* snapshot_version = nullptr;
+  };
+  ServeInstruments inst_;
 
   mutable std::mutex snapshot_mu_;  ///< guards only the pointer below
   std::shared_ptr<const Snapshot> snapshot_;
@@ -208,6 +266,10 @@ class ServingEngine {
   mutable std::atomic<uint64_t> merges_{0};
   mutable std::atomic<uint64_t> queries_{0};
   mutable std::atomic<uint64_t> degraded_{0};
+  mutable std::atomic<uint64_t> snapshot_swaps_{0};
+  /// Trace-sampling sequence for SearchOptions::trace_every_n.
+  mutable std::atomic<uint64_t> trace_seq_{0};
+  mutable SlowQueryLog slow_log_;
 };
 
 }  // namespace cbix

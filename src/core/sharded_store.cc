@@ -96,6 +96,11 @@ Status ShardedFeatureStore::SearchBatchShard(
     return Status::InvalidArgument("shard out of range");
   }
   indexes_[s]->SearchBatch(block, k, results, stats, cancel);
+  if (cancel != nullptr && stats != nullptr) {
+    // The all-or-nothing post-call check below is itself one poll per
+    // query of this (tile, shard) item.
+    for (size_t qi = 0; qi < block.count(); ++qi) ++stats[qi].cancel_polls;
+  }
   if (cancel != nullptr && cancel->Expired()) {
     // The index may have stopped anywhere mid-scan; a (tile, shard)
     // work item answers completely or not at all, so drop everything.

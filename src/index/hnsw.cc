@@ -125,7 +125,10 @@ bool HnswIndex::SearchLayer(Scratch* s, uint32_t entry, double entry_key,
   cand.emplace_back(entry_key, entry);
   best.emplace_back(entry_key, entry);
   while (!cand.empty()) {
-    if (cancel != nullptr && cancel->Expired()) return false;
+    if (cancel != nullptr) {
+      if (stats != nullptr) ++stats->cancel_polls;
+      if (cancel->Expired()) return false;
+    }
     std::pop_heap(cand.begin(), cand.end(), std::greater<Entry>());
     const Entry cur = cand.back();
     cand.pop_back();
@@ -310,6 +313,10 @@ bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
   uint32_t ep = entry_point_;
   double ep_key = 0.0;
   ComputeKeys(s, &ep, 1, &ep_key, stats);
+  // The entry-point evaluation is a hop too: without it a graph whose
+  // descent immediately converges would report zero nodes for real
+  // traversal work.
+  if (stats != nullptr) ++stats->nodes_visited;
   for (size_t layer = max_level_; layer >= 1; --layer) {
     if (!SearchLayer(s, ep, ep_key, layer, 1, stats, cancel)) return false;
     ep_key = s->best.front().first;
@@ -317,6 +324,7 @@ bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
   }
   const size_t ef = std::max(options_.ef_search, k);
   if (!SearchLayer(s, ep, ep_key, 0, ef, stats, cancel)) return false;
+  if (stats != nullptr) stats->ef_survivors += s->best.size();
 
   TopKCollector collector;
   collector.Reset(metric_.get(), k);
@@ -335,7 +343,7 @@ bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
     }
     s->keys.resize(n);
     metric_->RankBatch(q, s->gather.data(), n, dim_, s->keys.data());
-    if (stats != nullptr) stats->distance_evals += n;
+    if (stats != nullptr) stats->rerank_evals += n;
     for (size_t i = 0; i < n; ++i) {
       collector.Offer(s->best[i].second, s->keys[i]);
     }

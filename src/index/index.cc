@@ -26,9 +26,12 @@ void VectorIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
   // no shared block loop to poll from, so an expired deadline stops
   // between queries, leaving the remaining slots empty (partial).
   for (size_t i = 0; i < block.count(); ++i) {
-    if (cancel != nullptr && cancel->Expired()) {
-      for (size_t j = i; j < block.count(); ++j) results[j].clear();
-      return;
+    if (cancel != nullptr) {
+      if (stats != nullptr) ++stats[i].cancel_polls;
+      if (cancel->Expired()) {
+        for (size_t j = i; j < block.count(); ++j) results[j].clear();
+        return;
+      }
     }
     SearchStats local;
     results[i] = KnnSearch(block.RowVec(i), k, &local);

@@ -29,14 +29,31 @@ namespace cbix {
 
 /// Per-query cost counters. All fields count work for one query.
 struct SearchStats {
-  uint64_t distance_evals = 0;  ///< full-vector distance computations
-  uint64_t nodes_visited = 0;   ///< internal nodes expanded
+  /// Primary-stage distance computations: full-vector evaluations for
+  /// exact indexes, compressed-domain (approx) evaluations for
+  /// quantized backings. For a linear scan this is exactly the row
+  /// count per query — the invariant the stats-exactness tests assert.
+  uint64_t distance_evals = 0;
+  uint64_t nodes_visited = 0;   ///< internal nodes expanded / graph hops
   uint64_t leaves_visited = 0;  ///< leaf nodes (or scan blocks) touched
+  /// Exact rerank-stage evaluations, counted separately from the
+  /// approx pass (quantized over-fetch rerank, HNSW quantized-traversal
+  /// rerank). Zero for indexes with no rerank stage.
+  uint64_t rerank_evals = 0;
+  /// Cooperative-deadline polls of the CancellationToken attributed to
+  /// this query. Zero when searched without a token.
+  uint64_t cancel_polls = 0;
+  /// HNSW only: layer-0 beam survivors (candidates alive in `ef` when
+  /// the beam converged) before truncation to k. Zero elsewhere.
+  uint64_t ef_survivors = 0;
 
   SearchStats& operator+=(const SearchStats& other) {
     distance_evals += other.distance_evals;
     nodes_visited += other.nodes_visited;
     leaves_visited += other.leaves_visited;
+    rerank_evals += other.rerank_evals;
+    cancel_polls += other.cancel_polls;
+    ef_survivors += other.ef_survivors;
     return *this;
   }
 };

@@ -107,7 +107,14 @@ void LinearScanIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
   for (auto& c : collectors) c.Reset(metric_.get(), k);
   std::vector<double> keys(nq * kScanBlock);
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
-    if (cancel != nullptr && cancel->Expired()) break;  // partial results
+    if (cancel != nullptr) {
+      // One deadline poll guards the whole tile's block scan; attribute
+      // it to every query in the tile.
+      if (stats != nullptr) {
+        for (size_t qi = 0; qi < nq; ++qi) ++stats[qi].cancel_polls;
+      }
+      if (cancel->Expired()) break;  // partial results
+    }
     const size_t bn = std::min(kScanBlock, n - begin);
     // One candidate block vs the whole query tile: the tiled kernels
     // read each candidate row once for a pair of queries, and the

@@ -352,8 +352,14 @@ void VpTree::SearchBatchNode(int32_t node_id, const QueryBlock& block,
                              const CancellationToken* cancel) const {
   // Cooperative deadline: one poll per visited node bounds the overrun
   // to a single leaf scan; an expired walk unwinds with partial
-  // collectors (the caller discards them).
-  if (cancel != nullptr && cancel->Expired()) return;
+  // collectors (the caller discards them). The poll guards every query
+  // still active at this node, so it is attributed to each.
+  if (cancel != nullptr) {
+    if (stats != nullptr) {
+      for (const uint32_t qi : active) ++stats[qi].cancel_polls;
+    }
+    if (cancel->Expired()) return;
+  }
   const Node& node = nodes_[node_id];
   if (node.is_leaf) {
     if (stats != nullptr) {

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace cbix {
+
+namespace {
+
+// JSON string escaping for instrument names (conservative: names are
+// [a-z0-9_.] by convention, but render must not emit broken JSON for
+// any input).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names use [a-zA-Z_:][a-zA-Z0-9_:]*; map the
+// registry's dotted names onto that by replacing other characters
+// with '_'.
+std::string PromName(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketIndex(uint64_t micros) {
+  if (micros < kSubBuckets) return static_cast<size_t>(micros);
+  const unsigned octave = 63 - static_cast<unsigned>(std::countl_zero(micros));
+  const size_t sub =
+      static_cast<size_t>((micros >> (octave - kSubBits)) - kSubBuckets);
+  size_t idx = kSubBuckets + (octave - kSubBits) * kSubBuckets + sub;
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+std::pair<uint64_t, uint64_t> LatencyHistogram::BucketBounds(size_t index) {
+  if (index < kSubBuckets) return {index, index + 1};
+  const size_t octave = kSubBits + (index - kSubBuckets) / kSubBuckets;
+  const size_t sub = (index - kSubBuckets) % kSubBuckets;
+  const uint64_t width = uint64_t{1} << (octave - kSubBits);
+  const uint64_t lo = (uint64_t{kSubBuckets} + sub) * width;
+  return {lo, lo + width};
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample (1-based); ceil so p100 is the max.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      const auto [lo, hi] = BucketBounds(i);
+      // Linear interpolation within the bucket by rank position.
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(c);
+      return static_cast<double>(lo) +
+             frac * static_cast<double>(hi - lo);
+    }
+    seen += c;
+  }
+  // Concurrent updates can make count() momentarily ahead of the
+  // buckets; fall back to the largest non-empty bucket's upper bound.
+  for (size_t i = kNumBuckets; i-- > 0;) {
+    if (buckets_[i].load(std::memory_order_relaxed) != 0)
+      return static_cast<double>(BucketBounds(i).second);
+  }
+  return 0.0;
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> LatencyHistogram::CumulativeBuckets()
+    const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    cum += c;
+    out.emplace_back(BucketBounds(i).second, cum);
+  }
+  return out;
+}
+
+const std::shared_ptr<MetricsRegistry>& MetricsRegistry::Global() {
+  // Leaked on purpose: engines may hold instrument pointers through
+  // static destruction order.
+  static const auto* global =
+      new std::shared_ptr<MetricsRegistry>(std::make_shared<MetricsRegistry>());
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_)
+    if (c.name == name) return &c.instrument;
+  counters_.emplace_back(name);
+  return &counters_.back().instrument;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : gauges_)
+    if (g.name == name) return &g.instrument;
+  gauges_.emplace_back(name);
+  return &gauges_.back().instrument;
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& h : histograms_)
+    if (h.name == name) return &h.instrument;
+  histograms_.emplace_back(name);
+  return &histograms_.back().instrument;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& c : counters_) {
+    const std::string n = PromName(c.name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << " " << c.instrument.value() << "\n";
+  }
+  for (const auto& g : gauges_) {
+    const std::string n = PromName(g.name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << " " << g.instrument.value() << "\n";
+  }
+  for (const auto& h : histograms_) {
+    const std::string n = PromName(h.name);
+    out << "# TYPE " << n << " histogram\n";
+    uint64_t cum = 0;
+    for (const auto& [le, c] : h.instrument.CumulativeBuckets()) {
+      cum = c;
+      out << n << "_bucket{le=\"" << le << "\"} " << c << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << std::max(cum, h.instrument.count())
+        << "\n";
+    out << n << "_sum " << h.instrument.sum_micros() << "\n";
+    out << n << "_count " << h.instrument.count() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(c.name) << "\":" << c.instrument.value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(g.name) << "\":" << g.instrument.value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(h.name) << "\":{"
+        << "\"count\":" << h.instrument.count()
+        << ",\"sum_us\":" << h.instrument.sum_micros()
+        << ",\"p50_us\":" << h.instrument.Quantile(0.50)
+        << ",\"p99_us\":" << h.instrument.Quantile(0.99)
+        << ",\"p999_us\":" << h.instrument.Quantile(0.999) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c.instrument.Reset();
+  for (auto& g : gauges_) g.instrument.Reset();
+  for (auto& h : histograms_) h.instrument.Reset();
+}
+
+}  // namespace cbix

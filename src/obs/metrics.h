@@ -1,0 +1,178 @@
+// Metrics — the process-wide observability registry of the query path.
+//
+// Three instrument kinds, all safe for concurrent writers against
+// concurrent readers and allocation-free on the record path:
+//
+//   Counter            monotonic uint64, one relaxed fetch_add
+//   Gauge              last-written int64 (Set) or running sum (Add)
+//   LatencyHistogram   log-linear microsecond buckets; Observe is
+//                      three relaxed fetch_adds, quantiles come from
+//                      bucket interpolation at read time
+//
+// Cost discipline: instruments are resolved by name ONCE (registration
+// takes a mutex and allocates); hot paths hold the returned pointers,
+// which stay valid for the registry's lifetime (instruments live in a
+// std::deque — registration never moves existing entries). A disabled
+// registry costs callers exactly one relaxed atomic load (enabled());
+// nothing in the serving/engine instrumentation records per candidate
+// row — only per call, per work item, or per batch.
+//
+// Ownership: MetricsRegistry::Global() is the process-wide default
+// every engine records into unless told otherwise; tests that need
+// isolated counts construct their own registry and install it
+// (CbirEngine::SetMetricsRegistry, ServingOptions::metrics). The
+// registry must outlive every engine holding instrument pointers into
+// it — the shared_ptr seam makes that automatic.
+//
+// Export: RenderText() is Prometheus-style exposition (counters and
+// gauges as bare samples, histograms as cumulative le-buckets +
+// _sum/_count); RenderJson() is the same data as one JSON object with
+// interpolated p50/p99/p999 per histogram.
+
+#ifndef CBIX_OBS_METRICS_H_
+#define CBIX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cbix {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  // Registered instruments are write-hot from many threads; padding to
+  // a cache line keeps two counters from false-sharing one line.
+  char pad_[64 - sizeof(std::atomic<uint64_t>)];
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  char pad_[64 - sizeof(std::atomic<int64_t>)];
+};
+
+/// Log-linear histogram over non-negative microsecond values.
+///
+/// Bucket layout (HdrHistogram-style): values below 16 get unit-wide
+/// linear buckets; every octave [2^o, 2^(o+1)) above that is split
+/// into 16 linear sub-buckets. A bucket's width is therefore at most
+/// 1/16 of its lower bound, which bounds the relative error of an
+/// interpolated quantile by ~6.25% (the property the quantile test
+/// asserts against a sorted reference). 64-bit values fit in
+/// kNumBuckets buckets; anything above the last bound clamps into it.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSubBuckets = 16;    // per octave
+  static constexpr size_t kSubBits = 4;        // log2(kSubBuckets)
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (63 - kSubBits) * kSubBuckets;
+
+  void Observe(uint64_t micros) {
+    buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+
+  /// Interpolated quantile in microseconds, q in [0, 1]; 0 when empty.
+  /// Reads a relaxed snapshot of the buckets — concurrent Observes may
+  /// or may not be included, never torn.
+  double Quantile(double q) const;
+
+  /// (lower, upper) value bounds of bucket `index`.
+  static std::pair<uint64_t, uint64_t> BucketBounds(size_t index);
+  static size_t BucketIndex(uint64_t micros);
+
+  void Reset();
+
+  /// Non-empty (bucket upper bound, cumulative count) pairs — the
+  /// Prometheus le-bucket form. Snapshot semantics as Quantile.
+  std::vector<std::pair<uint64_t, uint64_t>> CumulativeBuckets() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (created on first use, never destroyed
+  /// while any holder remains).
+  static const std::shared_ptr<MetricsRegistry>& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument lookup-or-create by exposition name. Pointers remain
+  /// valid (and the instrument keeps its value) for the registry's
+  /// lifetime; repeated calls with one name return the same instrument.
+  /// Takes the registry mutex — resolve once, cache the pointer.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Global on/off for everything recorded through this registry's
+  /// callers: instrumentation sites check enabled() (one relaxed load)
+  /// and skip recording when false. Render surfaces keep working.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Prometheus-style text exposition, instruments in registration
+  /// order: `# TYPE` line then samples; histograms render non-empty
+  /// cumulative le-buckets plus `_sum` / `_count`.
+  std::string RenderText() const;
+
+  /// The same data as one JSON object:
+  /// {"counters": {...}, "gauges": {...},
+  ///  "histograms": {name: {count, sum_us, p50_us, p99_us, p999_us}}}.
+  std::string RenderJson() const;
+
+  /// Zeroes every registered instrument (tests); pointers stay valid.
+  void ResetAll();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T instrument;
+    explicit Named(std::string n) : name(std::move(n)) {}
+  };
+
+  mutable std::mutex mu_;  ///< guards registration and render walks
+  // deque: registration appends without moving existing instruments,
+  // so handed-out pointers stay valid.
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<LatencyHistogram>> histograms_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_OBS_METRICS_H_

@@ -1,0 +1,66 @@
+#include "obs/slow_query_log.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cbix {
+
+namespace {
+bool HeapLess(const SlowQueryLog::Entry& a, const SlowQueryLog::Entry& b) {
+  // std::push_heap builds a max-heap; invert to keep the MIN at front.
+  return a.latency_ms > b.latency_ms;
+}
+}  // namespace
+
+void SlowQueryLog::Offer(double latency_ms,
+                         std::shared_ptr<const QueryTrace> trace) {
+  if (capacity_ == 0 || !trace) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back({latency_ms, std::move(trace)});
+    std::push_heap(entries_.begin(), entries_.end(), HeapLess);
+    return;
+  }
+  if (latency_ms <= entries_.front().latency_ms) return;
+  std::pop_heap(entries_.begin(), entries_.end(), HeapLess);
+  entries_.back() = {latency_ms, std::move(trace)};
+  std::push_heap(entries_.begin(), entries_.end(), HeapLess);
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::vector<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.latency_ms > b.latency_ms;
+  });
+  return out;
+}
+
+std::string SlowQueryLog::DumpJson() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const auto& e : Entries()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"latency_ms\":" << e.latency_ms
+        << ",\"trace\":" << e.trace->DumpJson() << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace cbix

@@ -1,0 +1,60 @@
+// SlowQueryLog — keep the N slowest sampled queries' traces.
+//
+// A fixed-capacity min-heap keyed by query latency: Offer() is O(log N)
+// under one mutex and only runs for traces that were already sampled
+// (SearchOptions::trace_every_n), so it is never on the unsampled hot
+// path. Entries hold shared ownership of their QueryTrace — the same
+// object the ServeReply hands back — so logging a trace costs one
+// shared_ptr copy, not a deep copy of the span tree.
+//
+// Dump() returns entries slowest-first as a JSON array of
+// {"latency_ms":..,"trace":<QueryTrace::DumpJson()>} objects.
+
+#ifndef CBIX_OBS_SLOW_QUERY_LOG_H_
+#define CBIX_OBS_SLOW_QUERY_LOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace cbix {
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Record a completed query; keeps it only if it ranks among the
+  /// `capacity` slowest seen so far. No-op when capacity is 0 or the
+  /// trace is null.
+  void Offer(double latency_ms, std::shared_ptr<const QueryTrace> trace);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  struct Entry {
+    double latency_ms;
+    std::shared_ptr<const QueryTrace> trace;
+  };
+
+  /// Current entries, slowest first.
+  std::vector<Entry> Entries() const;
+
+  /// JSON array of the entries, slowest first.
+  std::string DumpJson() const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  // Min-heap on latency_ms: entries_[0] is the fastest retained query,
+  // i.e. the eviction candidate.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace cbix {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void DumpSpan(const TraceSpan& s, std::ostringstream& out) {
+  out << "{\"name\":\"" << JsonEscape(s.name) << "\""
+      << ",\"start_ms\":" << s.start_ms
+      << ",\"duration_ms\":" << s.duration_ms;
+  if (!s.status.empty())
+    out << ",\"status\":\"" << JsonEscape(s.status) << "\"";
+  if (!s.attrs.empty()) {
+    out << ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [k, v] : s.attrs) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(k) << "\":" << v;
+    }
+    out << "}";
+  }
+  if (!s.children.empty()) {
+    out << ",\"children\":[";
+    bool first = true;
+    for (const auto& c : s.children) {
+      if (!first) out << ",";
+      first = false;
+      DumpSpan(c, out);
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+double TraceSpan::Attr(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : attrs)
+    if (k == key) return v;
+  return fallback;
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& target) const {
+  if (name == target) return this;
+  for (const auto& c : children)
+    if (const TraceSpan* hit = c.Find(target)) return hit;
+  return nullptr;
+}
+
+size_t TraceSpan::TreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c.TreeSize();
+  return n;
+}
+
+std::string QueryTrace::DumpJson() const {
+  std::ostringstream out;
+  DumpSpan(root_, out);
+  return out.str();
+}
+
+}  // namespace cbix

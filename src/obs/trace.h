@@ -1,0 +1,78 @@
+// QueryTrace — a per-query span tree carried alongside SearchStats.
+//
+// A trace is built by the layer that owns each stage: ServingEngine
+// opens the root ("serve.search") and the delta-scan span,
+// CbirEngine::KnnBatchOnPool adds "engine.knn_batch" with one "shard"
+// child per (tile, shard) work item, and index-level detail (evals,
+// hops, rerank split, cancellation polls) flows up as TraceSpan attrs
+// copied out of the extended SearchStats.
+//
+// Concurrency contract: a span's `children` vector is pre-sized by the
+// parent BEFORE fanning work out to the thread pool; each worker fills
+// only its own element, and the pool join provides the happens-before
+// for the final read. Spans are never mutated after the query returns.
+//
+// Sampling: traces are requested by SearchOptions::trace_every_n
+// (0 = never, 1 = every query, N = one in N); the engine allocates a
+// trace only for sampled queries, so the unsampled hot path costs one
+// counter check. Traces are heap-allocated, query-private, and freed
+// with the last ServeReply/SlowQueryLog reference.
+
+#ifndef CBIX_OBS_TRACE_H_
+#define CBIX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace cbix {
+
+struct TraceSpan {
+  std::string name;
+  double start_ms = 0.0;     ///< offset from the trace root's start
+  double duration_ms = 0.0;  ///< wall time of this stage
+  std::string status;        ///< empty = OK; else the failure message
+  std::vector<std::pair<std::string, double>> attrs;
+  std::vector<TraceSpan> children;
+
+  void AddAttr(std::string key, double value) {
+    attrs.emplace_back(std::move(key), value);
+  }
+  /// First attr with `key`, or `fallback`.
+  double Attr(const std::string& key, double fallback = 0.0) const;
+  /// Depth-first search for the first descendant (or self) named `name`.
+  const TraceSpan* Find(const std::string& name) const;
+  /// Total number of spans in this subtree, including self.
+  size_t TreeSize() const;
+};
+
+/// One sampled query's span tree plus the wall clock it is measured
+/// against. The creating layer owns the root and the clock; nested
+/// layers receive `TraceSpan*` slots to fill and use NowMs() for
+/// consistent offsets.
+class QueryTrace {
+ public:
+  QueryTrace() = default;  // timer_ starts running on construction
+
+  TraceSpan& root() { return root_; }
+  const TraceSpan& root() const { return root_; }
+
+  /// Milliseconds since this trace was created (the root's clock).
+  double NowMs() const { return timer_.ElapsedSeconds() * 1e3; }
+
+  /// The whole tree as one JSON object
+  /// {"name":..,"start_ms":..,"duration_ms":..,"status":..,
+  ///  "attrs":{..},"children":[..]}.
+  std::string DumpJson() const;
+
+ private:
+  TraceSpan root_;
+  Timer timer_;
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_OBS_TRACE_H_

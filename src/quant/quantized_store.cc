@@ -250,7 +250,7 @@ std::vector<Neighbor> QuantizedStore::RerankExact(
   for (size_t i = 0; i < nc; ++i) {
     out[i] = {candidates[i].id, dists[i]};
   }
-  if (stats != nullptr) stats->distance_evals += nc;
+  if (stats != nullptr) stats->rerank_evals += nc;
   std::sort(out.begin(), out.end());
   if (out.size() > k) out.resize(k);
   return out;
@@ -300,7 +300,14 @@ void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
 
   std::vector<double> keys(nq * kScanBlock);
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
-    if (cancel != nullptr && cancel->Expired()) break;  // partial results
+    if (cancel != nullptr) {
+      // One deadline poll guards the whole tile's block scan; attribute
+      // it to every query in the tile.
+      if (stats != nullptr) {
+        for (size_t qi = 0; qi < nq; ++qi) ++stats[qi].cancel_polls;
+      }
+      if (cancel->Expired()) break;  // partial results
+    }
     const size_t bn = std::min(kScanBlock, n - begin);
     if (mode == ApproxMode::kGeneric) {
       if (options_.backing == QuantBacking::kInt8) {
@@ -331,9 +338,12 @@ void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
   }
 
   for (size_t qi = 0; qi < nq; ++qi) {
-    if (cancel != nullptr && cancel->Expired()) {
-      for (size_t j = qi; j < nq; ++j) results[j].clear();
-      return;
+    if (cancel != nullptr) {
+      if (stats != nullptr) ++stats[qi].cancel_polls;
+      if (cancel->Expired()) {
+        for (size_t j = qi; j < nq; ++j) results[j].clear();
+        return;
+      }
     }
     results[qi] =
         RerankExact(block.row(qi), collectors[qi].TakeHeap(), k,
@@ -363,7 +373,7 @@ std::vector<Neighbor> QuantizedStore::RangeSearch(const Vec& q, double radius,
       const double d = metric_->DistanceRaw(q.data(), exact_rows_.row(id), dim);
       if (d <= radius) out.push_back({id, d});
     }
-    if (stats != nullptr) stats->distance_evals += candidates.size();
+    if (stats != nullptr) stats->rerank_evals += candidates.size();
   } else {
     // No distance bound without the triangle inequality — scan the
     // retained float rows exactly, as LinearScanIndex would.

@@ -209,6 +209,12 @@ TEST(Hnsw, SearchBatchBitIdenticalToPerQueryAcrossTiles) {
       }
       EXPECT_GT(stats[i].distance_evals, 0u);
       EXPECT_GT(stats[i].nodes_visited, 0u);
+      // The layer-0 beam reports its survivor count: with a full beam
+      // it equals max(ef_search, k); never more, never zero here.
+      EXPECT_GT(stats[i].ef_survivors, 0u);
+      EXPECT_LE(stats[i].ef_survivors, std::max<size_t>(64, 9));
+      // Float traversal has no rerank stage.
+      EXPECT_EQ(stats[i].rerank_evals, 0u);
     }
   }
 }
@@ -293,9 +299,16 @@ TEST(Hnsw, QuantizedTraversalKeepsDistancesExact) {
     EXPECT_GE(recall, 0.7) << (traversal == HnswTraversal::kInt8 ? "int8"
                                                                  : "pq");
     const auto by_id = truth_all(queries[0]);
-    for (const Neighbor& n : KnnSearch(hnsw, queries[0], 10)) {
+    SearchStats stats;
+    for (const Neighbor& n : hnsw.KnnSearch(queries[0], 10, &stats)) {
       EXPECT_EQ(n.distance, by_id[n.id]);
     }
+    // Quantized traversal counts its stages separately: compressed-
+    // domain beam evals in distance_evals, the exact float rerank of
+    // the ef survivors in rerank_evals (one per survivor).
+    EXPECT_GT(stats.distance_evals, 0u);
+    EXPECT_GT(stats.rerank_evals, 0u);
+    EXPECT_EQ(stats.rerank_evals, stats.ef_survivors);
 
     // Traversal tables round-trip with the graph.
     BinaryWriter writer;

@@ -1,0 +1,586 @@
+// Observability suite: the contracts of src/obs/ end to end.
+//
+//   1. Histogram quantiles stay within the log-linear error bound
+//      (bucket width <= 1/16 of lower bound => ~6.25% relative error)
+//      against a sorted reference, across distributions.
+//   2. Registry registration is stable-pointer and idempotent; both
+//      export surfaces (Prometheus text, JSON) round-trip the counts.
+//   3. Instruments are safe under concurrent writers and live readers
+//      (this suite runs under TSan in CI — the Obs name is load-bearing).
+//   4. Stats exactness: a linear scan reports distance_evals equal to
+//      exactly n_rows per query, across tiles x shards x quantization
+//      (quantized backings split the rerank stage into rerank_evals).
+//   5. Traces: sampled queries carry a serve.search -> engine.knn_batch
+//      -> shard span tree; a failed shard's span records its Status;
+//      unsampled queries allocate nothing.
+//   6. ServingEngine::StatsSnapshot() and the registry exports agree
+//      with each other and with ground truth.
+//   7. SlowQueryLog keeps the top-N by latency, slowest first.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/fault_injector.h"
+#include "core/serving.h"
+#include "corpus/vector_workload.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+std::vector<Vec> ClusteredData(size_t n, size_t dim, uint64_t seed = 91) {
+  VectorWorkloadSpec spec;
+  spec.distribution = VectorDistribution::kClustered;
+  spec.count = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return GenerateVectors(spec);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Histogram quantile accuracy.
+
+double ReferenceQuantile(std::vector<uint64_t> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::llround(q * static_cast<double>(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+TEST(ObsHistogram, QuantileWithinLogLinearErrorBound) {
+  // Three shapes: uniform, heavy-tailed (squared uniform over a wide
+  // range), and bimodal — the bound must hold regardless.
+  const double quantiles[] = {0.50, 0.90, 0.99, 0.999};
+  for (int shape = 0; shape < 3; ++shape) {
+    Rng rng(1000 + static_cast<uint64_t>(shape));
+    LatencyHistogram hist;
+    std::vector<uint64_t> values;
+    for (size_t i = 0; i < 20000; ++i) {
+      const double u = rng.NextDouble();
+      uint64_t v = 0;
+      if (shape == 0) {
+        v = static_cast<uint64_t>(u * 50000.0);
+      } else if (shape == 1) {
+        v = static_cast<uint64_t>(u * u * u * 5e7);
+      } else {
+        v = u < 0.8 ? static_cast<uint64_t>(u * 500.0)
+                    : static_cast<uint64_t>(1e6 + u * 1e6);
+      }
+      values.push_back(v);
+      hist.Observe(v);
+    }
+    for (const double q : quantiles) {
+      const double want = ReferenceQuantile(values, q);
+      const double got = hist.Quantile(q);
+      // Bucket width <= 1/16 of its lower bound; interpolation keeps
+      // the estimate inside the bucket, so 8% relative (plus one unit
+      // of slack for the tiny linear buckets) is a safe ceiling.
+      const double tolerance = 0.08 * want + 1.0;
+      EXPECT_NEAR(got, want, tolerance)
+          << "shape=" << shape << " q=" << q << " n=" << values.size();
+    }
+  }
+}
+
+TEST(ObsHistogram, SmallValuesWithinUnitBucket) {
+  // Values below kSubBuckets land in unit-wide buckets, so every
+  // quantile lands within one unit of the true sample (interpolation
+  // positions the estimate inside the owning bucket).
+  LatencyHistogram hist;
+  for (uint64_t v = 0; v < 16; ++v) {
+    for (int r = 0; r < 10; ++r) hist.Observe(v);
+  }
+  EXPECT_EQ(hist.count(), 160u);
+  EXPECT_NEAR(hist.Quantile(0.5), 7.0, 1.0);
+  EXPECT_NEAR(hist.Quantile(1.0), 15.0, 1.0);
+  EXPECT_NEAR(hist.Quantile(0.0), 0.0, 1.0);
+}
+
+TEST(ObsHistogram, BucketIndexBoundsAreConsistent) {
+  // Every value maps into a bucket whose [lower, upper) range contains
+  // it — spot-check across the full 64-bit span including the clamp.
+  const uint64_t probes[] = {0,    1,    15,        16,        17,
+                             100,  1023, 1024,      999999,    1u << 30,
+                             ~0ull >> 1, ~0ull};
+  for (const uint64_t v : probes) {
+    const size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets) << v;
+    const auto [lo, hi] = LatencyHistogram::BucketBounds(idx);
+    EXPECT_GE(v, lo) << "value " << v << " bucket " << idx;
+    if (idx + 1 < LatencyHistogram::kNumBuckets) {
+      EXPECT_LT(v, hi) << "value " << v << " bucket " << idx;
+    }
+  }
+}
+
+TEST(ObsHistogram, ResetClears) {
+  LatencyHistogram hist;
+  hist.Observe(123);
+  hist.Observe(45678);
+  ASSERT_EQ(hist.count(), 2u);
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum_micros(), 0u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Registry + export round-trip.
+
+TEST(ObsRegistry, LookupOrCreateIsIdempotentAndStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  // Registering more instruments must not move the earlier ones.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("test.counter"), a);
+  EXPECT_EQ(a->value(), 3u);
+  EXPECT_EQ(registry.GetGauge("test.gauge"),
+            registry.GetGauge("test.gauge"));
+  EXPECT_EQ(registry.GetHistogram("test.hist"),
+            registry.GetHistogram("test.hist"));
+}
+
+TEST(ObsRegistry, RenderTextIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("cbix.test.queries")->Increment(42);
+  registry.GetGauge("cbix.test.depth")->Set(-7);
+  LatencyHistogram* hist = registry.GetHistogram("cbix.test.latency_us");
+  hist->Observe(100);
+  hist->Observe(200);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE cbix_test_queries counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cbix_test_queries 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("cbix_test_depth -7"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE cbix_test_latency_us histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cbix_test_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cbix_test_latency_us_sum 300"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cbix_test_latency_us_count 2"), std::string::npos)
+      << text;
+}
+
+TEST(ObsRegistry, RenderJsonCarriesCountsAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one")->Increment(5);
+  registry.GetGauge("g.one")->Set(11);
+  LatencyHistogram* hist = registry.GetHistogram("h.one");
+  for (int i = 0; i < 100; ++i) hist->Observe(1000);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.one\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g.one\":11"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h.one\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999_us\""), std::string::npos) << json;
+}
+
+TEST(ObsRegistry, ResetAllZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("r.c");
+  LatencyHistogram* h = registry.GetHistogram("r.h");
+  c->Increment(9);
+  h->Observe(500);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("r.c"), c);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Concurrency (TSan coverage: writers vs writers vs renderers).
+
+TEST(ObsConcurrency, ConcurrentRecordingUnderLiveReaders) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("cc.counter");
+  LatencyHistogram* hist = registry.GetHistogram("cc.hist");
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 20000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Increment();
+        hist->Observe(static_cast<uint64_t>((w + 1) * 17 + i % 1000));
+      }
+    });
+  }
+  // Readers render and query quantiles while the writers are hot; the
+  // snapshots must be tear-free (values sane), not exact.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        const std::string text = registry.RenderText();
+        EXPECT_NE(text.find("cc_counter"), std::string::npos);
+        (void)registry.RenderJson();
+        const double p50 = hist->Quantile(0.5);
+        EXPECT_GE(p50, 0.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_EQ(hist->count(), static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Stats exactness on the query path.
+
+TEST(ObsStatsExactness, LinearScanEvalsEqualRowsAcrossShardsAndQuant) {
+  constexpr size_t kRows = 300;
+  constexpr size_t kDim = 16;
+  constexpr size_t kQueries = 7;
+  const std::vector<Vec> data = ClusteredData(kRows, kDim);
+  const std::vector<Vec> queries = ClusteredData(kQueries, kDim, 77);
+
+  struct Case {
+    size_t shards;
+    QuantizationKind quant;
+  };
+  const Case cases[] = {{1, QuantizationKind::kNone},
+                        {3, QuantizationKind::kNone},
+                        {1, QuantizationKind::kInt8},
+                        {3, QuantizationKind::kInt8}};
+  for (const Case& c : cases) {
+    EngineConfig config;
+    config.index_kind = IndexKind::kLinearScan;
+    config.metric = MetricKind::kL2;
+    config.shards = c.shards;
+    config.quantization = c.quant;
+    config.rerank_factor = 4;
+    CbirEngine engine(FeatureExtractor(), config);
+    for (size_t i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(
+          engine.AddFeatureVector(data[i], "v" + std::to_string(i)).ok());
+    }
+    std::vector<SearchStats> stats;
+    const auto got = engine.QueryKnnBatchByVectors(queries, 5, 2, &stats);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(stats.size(), kQueries);
+    size_t total_primary = 0;
+    for (const SearchStats& s : stats) {
+      // A full scan touches every row exactly once per query — the
+      // invariant distance_evals preserves now that rerank-stage exact
+      // re-evaluations are accounted separately.
+      EXPECT_EQ(s.distance_evals, kRows)
+          << "shards=" << c.shards
+          << " quant=" << static_cast<int>(c.quant);
+      if (c.quant == QuantizationKind::kNone) {
+        EXPECT_EQ(s.rerank_evals, 0u);
+      } else {
+        EXPECT_GT(s.rerank_evals, 0u);
+        EXPECT_LT(s.rerank_evals, kRows);
+      }
+      total_primary += s.distance_evals;
+    }
+    EXPECT_EQ(total_primary, kRows * kQueries);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Traces.
+
+std::unique_ptr<ServingEngine> MakeServing(
+    std::shared_ptr<MetricsRegistry> registry,
+    std::shared_ptr<FaultInjector> injector, size_t shards,
+    const std::vector<Vec>& data) {
+  ServingOptions options;
+  options.engine.index_kind = IndexKind::kLinearScan;
+  options.engine.metric = MetricKind::kL2;
+  options.engine.shards = shards;
+  options.metrics = std::move(registry);
+  options.fault_injector = std::move(injector);
+  options.search_threads = 2;
+  auto created = ServingEngine::Create(FeatureExtractor(), options);
+  EXPECT_TRUE(created.ok());
+  std::unique_ptr<ServingEngine> serve = std::move(created.value());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(serve->Insert(data[i], "v" + std::to_string(i)).ok());
+  }
+  EXPECT_TRUE(serve->Flush().ok());
+  return serve;
+}
+
+TEST(ObsTrace, SampledQueryCarriesFullSpanTree) {
+  const std::vector<Vec> data = ClusteredData(200, 12);
+  const std::vector<Vec> queries = ClusteredData(4, 12, 55);
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto serve = MakeServing(registry, nullptr, 3, data);
+
+  SearchOptions options;
+  options.trace_every_n = 1;
+  const auto reply = serve->Search(queries, 5, options);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_NE(reply->trace, nullptr);
+
+  const TraceSpan& root = reply->trace->root();
+  EXPECT_EQ(root.name, "serve.search");
+  EXPECT_DOUBLE_EQ(root.Attr("queries"), 4.0);
+  EXPECT_GT(root.duration_ms, 0.0);
+
+  const TraceSpan* engine_span = root.Find("engine.knn_batch");
+  ASSERT_NE(engine_span, nullptr);
+  EXPECT_DOUBLE_EQ(engine_span->Attr("shards"), 3.0);
+  ASSERT_EQ(engine_span->children.size(), 3u);
+  size_t evals = 0;
+  for (const TraceSpan& shard : engine_span->children) {
+    EXPECT_EQ(shard.name, "shard");
+    EXPECT_TRUE(shard.status.empty()) << shard.status;
+    evals += static_cast<size_t>(shard.Attr("distance_evals"));
+  }
+  // The shard spans account for the whole scan: 200 rows x 4 queries.
+  EXPECT_EQ(evals, 200u * 4u);
+
+  const std::string json = reply->trace->DumpJson();
+  EXPECT_NE(json.find("\"serve.search\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine.knn_batch\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"children\""), std::string::npos) << json;
+}
+
+TEST(ObsTrace, FailedShardSpanCarriesStatus) {
+  const std::vector<Vec> data = ClusteredData(150, 12);
+  const std::vector<Vec> queries = ClusteredData(3, 12, 56);
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto injector = std::make_shared<FaultInjector>();
+  auto serve = MakeServing(registry, injector, 3, data);
+
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = 1.0;
+  injector->SetShardFault(1, fault);
+  injector->Seed(99);
+  injector->Enable(true);
+
+  SearchOptions options;
+  options.trace_every_n = 1;
+  const auto reply = serve->Search(queries, 5, options);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->degraded);
+  ASSERT_NE(reply->trace, nullptr);
+
+  const TraceSpan* engine_span = reply->trace->root().Find("engine.knn_batch");
+  ASSERT_NE(engine_span, nullptr);
+  ASSERT_EQ(engine_span->children.size(), 3u);
+  size_t failed = 0;
+  for (const TraceSpan& shard : engine_span->children) {
+    if (!shard.status.empty()) {
+      ++failed;
+      // The span records the injected Status, not a generic marker.
+      EXPECT_NE(shard.status.find("injected"), std::string::npos)
+          << shard.status;
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  EXPECT_GT(engine_span->Attr("degraded_queries"), 0.0);
+}
+
+TEST(ObsTrace, SamplingEveryNAndNever) {
+  const std::vector<Vec> data = ClusteredData(64, 8);
+  const std::vector<Vec> queries = ClusteredData(2, 8, 57);
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto serve = MakeServing(registry, nullptr, 1, data);
+
+  // Default options: never sampled.
+  const auto plain = serve->Search(queries, 3);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace, nullptr);
+
+  // every-2nd: the sampler is a shared sequence counter, so across 4
+  // calls exactly 2 are sampled.
+  SearchOptions options;
+  options.trace_every_n = 2;
+  size_t sampled = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto reply = serve->Search(queries, 3, options);
+    ASSERT_TRUE(reply.ok());
+    sampled += reply->trace != nullptr;
+  }
+  EXPECT_EQ(sampled, 2u);
+}
+
+TEST(ObsTrace, SpanHelpers) {
+  TraceSpan root;
+  root.name = "a";
+  root.AddAttr("x", 1.5);
+  TraceSpan child;
+  child.name = "b";
+  child.status = "deadline exceeded";
+  root.children.push_back(child);
+  root.children.push_back(TraceSpan{});
+  root.children[1].name = "c";
+
+  EXPECT_DOUBLE_EQ(root.Attr("x"), 1.5);
+  EXPECT_DOUBLE_EQ(root.Attr("missing", -2.0), -2.0);
+  EXPECT_EQ(root.TreeSize(), 3u);
+  const TraceSpan* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->status, "deadline exceeded");
+  EXPECT_EQ(root.Find("nope"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// 6. ServingEngine stats snapshot + registry agreement.
+
+TEST(ObsServingStats, StatsSnapshotAndRenderTextRoundTrip) {
+  const std::vector<Vec> data = ClusteredData(180, 12);
+  const std::vector<Vec> queries = ClusteredData(6, 12, 58);
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto injector = std::make_shared<FaultInjector>();
+  auto serve = MakeServing(registry, injector, 3, data);
+
+  // 3 healthy batches, then kill a shard and run 2 degraded batches.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(serve->Search(queries, 5).ok());
+  }
+  FaultInjector::ShardFault fault;
+  fault.fail_probability = 1.0;
+  injector->SetShardFault(0, fault);
+  injector->Seed(7);
+  injector->Enable(true);
+  for (int i = 0; i < 2; ++i) {
+    const auto reply = serve->Search(queries, 5);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply->degraded);
+  }
+
+  const ServingEngine::Stats stats = serve->StatsSnapshot();
+  EXPECT_EQ(stats.queries_served, 5u * queries.size());
+  EXPECT_EQ(stats.degraded_queries, 2u * queries.size());
+  EXPECT_DOUBLE_EQ(stats.degraded_fraction, 2.0 / 5.0);
+  EXPECT_EQ(stats.inserts, data.size());
+  EXPECT_EQ(stats.sealed_count + stats.delta_count, data.size());
+  EXPECT_GT(stats.snapshot_version, 0u);
+  EXPECT_GT(stats.snapshot_swaps, 0u);
+  EXPECT_EQ(stats.snapshot_version, serve->snapshot_info().version);
+
+  // The registry's counters tell the same story as the snapshot, and
+  // the text export carries them verbatim.
+  EXPECT_EQ(registry->GetCounter("cbix.serve.queries")->value(),
+            stats.queries_served);
+  EXPECT_EQ(registry->GetCounter("cbix.serve.degraded_queries")->value(),
+            stats.degraded_queries);
+  const std::string text = registry->RenderText();
+  EXPECT_NE(text.find("cbix_serve_queries " +
+                      std::to_string(stats.queries_served)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cbix_serve_degraded_queries " +
+                      std::to_string(stats.degraded_queries)),
+            std::string::npos)
+      << text;
+  // Per-stage latency histograms recorded once per Search call.
+  EXPECT_EQ(registry->GetHistogram("cbix.serve.search_us")->count(), 5u);
+  EXPECT_NE(text.find("cbix_serve_search_us_count 5"), std::string::npos)
+      << text;
+  // Engine-stage counters flow into the same registry via the sealed
+  // engines: 5 batches x 6 queries x 180 rows of primary-stage evals,
+  // minus the rows on shards that never answered — so bounded, not
+  // exact, under the dead shard.
+  const uint64_t engine_evals =
+      registry->GetCounter("cbix.engine.distance_evals")->value();
+  EXPECT_GT(engine_evals, 0u);
+  EXPECT_LE(engine_evals, 5u * queries.size() * data.size());
+}
+
+TEST(ObsServingStats, DisabledRegistryRecordsNothing) {
+  const std::vector<Vec> data = ClusteredData(64, 8);
+  const std::vector<Vec> queries = ClusteredData(2, 8, 59);
+  auto registry = std::make_shared<MetricsRegistry>();
+  registry->set_enabled(false);
+  auto serve = MakeServing(registry, nullptr, 1, data);
+
+  ASSERT_TRUE(serve->Search(queries, 3).ok());
+  EXPECT_EQ(registry->GetCounter("cbix.serve.queries")->value(), 0u);
+  EXPECT_EQ(registry->GetHistogram("cbix.serve.search_us")->count(), 0u);
+  EXPECT_EQ(registry->GetCounter("cbix.engine.distance_evals")->value(), 0u);
+  // StatsSnapshot still works — it reads the engine's own atomics, not
+  // the registry.
+  EXPECT_EQ(serve->StatsSnapshot().queries_served, queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// 7. Slow-query log.
+
+std::shared_ptr<const QueryTrace> TraceNamed(const std::string& name) {
+  auto trace = std::make_shared<QueryTrace>();
+  trace->root().name = name;
+  return trace;
+}
+
+TEST(ObsSlowQueryLog, KeepsTopNSlowestInOrder) {
+  SlowQueryLog log(3);
+  log.Offer(5.0, TraceNamed("q5"));
+  log.Offer(1.0, TraceNamed("q1"));
+  log.Offer(9.0, TraceNamed("q9"));
+  ASSERT_EQ(log.size(), 3u);
+  log.Offer(2.0, TraceNamed("q2"));  // slower than q1: evicts it
+  log.Offer(7.0, TraceNamed("q7"));  // evicts q2
+  log.Offer(0.5, TraceNamed("q05"));  // too fast: dropped
+
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries[0].latency_ms, 9.0);
+  EXPECT_DOUBLE_EQ(entries[1].latency_ms, 7.0);
+  EXPECT_DOUBLE_EQ(entries[2].latency_ms, 5.0);
+  EXPECT_EQ(entries[0].trace->root().name, "q9");
+
+  const std::string json = log.DumpJson();
+  EXPECT_NE(json.find("\"latency_ms\":9"), std::string::npos) << json;
+  EXPECT_LT(json.find("\"q9\""), json.find("\"q7\"")) << json;
+
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(ObsSlowQueryLog, ServingFeedsSampledTraces) {
+  const std::vector<Vec> data = ClusteredData(64, 8);
+  const std::vector<Vec> queries = ClusteredData(2, 8, 60);
+  auto registry = std::make_shared<MetricsRegistry>();
+  auto serve = MakeServing(registry, nullptr, 1, data);
+
+  SearchOptions options;
+  options.trace_every_n = 1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(serve->Search(queries, 3, options).ok());
+  }
+  const auto& log = serve->slow_query_log();
+  EXPECT_EQ(log.size(), 5u);  // capacity default 16: all retained
+  for (const auto& entry : log.Entries()) {
+    ASSERT_NE(entry.trace, nullptr);
+    EXPECT_EQ(entry.trace->root().name, "serve.search");
+  }
+}
+
+}  // namespace
+}  // namespace cbix
