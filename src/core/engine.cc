@@ -352,9 +352,10 @@ Result<uint32_t> CbirEngine::AddImagesParallel(std::vector<BatchItem> batch,
   std::vector<Vec> features(batch.size());
   {
     ThreadPool pool(num_threads);
-    pool.ParallelFor(batch.size(), [this, &batch, &features](size_t i) {
-      features[i] = extractor_.Extract(batch[i].image);
-    });
+    CBIX_RETURN_IF_ERROR(
+        pool.ParallelFor(batch.size(), [this, &batch, &features](size_t i) {
+          features[i] = extractor_.Extract(batch[i].image);
+        }));
   }
   const uint32_t first_id = static_cast<uint32_t>(store_.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -568,7 +569,12 @@ Status CbirEngine::KnnBatchOnPool(
     std::vector<std::vector<Neighbor>> partial(num_shards * num_queries);
     std::vector<SearchStats> shard_stats(num_shards * num_queries);
     std::vector<Status> item_status(num_tiles * num_shards);
-    pool.ParallelFor(num_tiles * num_shards, [&](size_t item) {
+    // Per-item failures land in item_status; the pool's own sticky
+    // status only fires when a task escapes RunWorkItem's capture (an
+    // engine bug, not a shard fault) — propagate it instead of
+    // degrading.
+    const Status pool_status =
+        pool.ParallelFor(num_tiles * num_shards, [&](size_t item) {
       const size_t t = item / num_shards;
       const size_t s = item % num_shards;
       const size_t begin = t * tile;
@@ -596,6 +602,7 @@ Status CbirEngine::KnnBatchOnPool(
                          slot_stats, count);
       }
     });
+    CBIX_RETURN_IF_ERROR(pool_status);
     for (const Status& st : item_status) failed_items += !st.ok();
     // Degraded merge: per query, exactly the shards whose (tile, shard)
     // item succeeded. When everything answered this reduces to
@@ -632,7 +639,9 @@ Status CbirEngine::KnnBatchOnPool(
     }
   } else {
     std::vector<Status> tile_status(num_tiles);
-    pool.ParallelFor(num_tiles, [&](size_t t) {
+    // Same contract as the sharded path: tile faults land in
+    // tile_status, a task escaping the capture is an engine bug.
+    const Status pool_status = pool.ParallelFor(num_tiles, [&](size_t t) {
       const size_t begin = t * tile;
       const size_t count = std::min(tile, num_queries - begin);
       const QueryBlock tile_block = block.Tile(begin, count);
@@ -668,6 +677,7 @@ Status CbirEngine::KnnBatchOnPool(
         }
       }
     });
+    CBIX_RETURN_IF_ERROR(pool_status);
     for (const Status& st : tile_status) failed_items += !st.ok();
     for (size_t qi = 0; qi < num_queries; ++qi) {
       const Status& st = tile_status[qi / tile];
@@ -750,9 +760,9 @@ CbirEngine::QueryKnnBatch(const std::vector<ImageU8>& images, size_t k,
   {
     ThreadPool pool(num_threads);
     std::vector<Vec> features(images.size());
-    pool.ParallelFor(images.size(), [&](size_t i) {
+    CBIX_RETURN_IF_ERROR(pool.ParallelFor(images.size(), [&](size_t i) {
       features[i] = extractor_.Extract(images[i]);
-    });
+    }));
     CBIX_RETURN_IF_ERROR(
         KnnBatchOnPool(pool, features, k, options, &results, stats,
                        coverage));

@@ -53,7 +53,7 @@ Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
   std::vector<Status> statuses(S, Status::Ok());
   {
     ThreadPool pool(num_threads);
-    pool.ParallelFor(S, [&](size_t s) {
+    CBIX_RETURN_IF_ERROR(pool.ParallelFor(S, [&](size_t s) {
       indexes[s] = factory();
       if (indexes[s] == nullptr) {
         statuses[s] = Status::Internal("shard index factory returned null");
@@ -63,7 +63,7 @@ Status ShardedFeatureStore::BuildIndexes(const ShardIndexFactory& factory,
       // buffer, so the partition rows are resident exactly once and
       // shard(s) stays readable after the build.
       statuses[s] = indexes[s]->BuildFromRows(shards_[s]);
-    });
+    }));
   }
   for (const Status& status : statuses) {
     CBIX_RETURN_IF_ERROR(status);
@@ -144,6 +144,8 @@ void ShardedFeatureStore::MergeShardSlots(
     const std::vector<SearchStats>& slot_stats, size_t num_shards,
     size_t num_queries, size_t k, std::vector<Neighbor>* results,
     SearchStats* stats) {
+  // cbix-lint: allow(release-assert) private-helper call contract: the
+  // only caller sizes slots to num_shards * num_queries itself.
   assert(slots.size() == num_shards * num_queries);
   for (size_t qi = 0; qi < num_queries; ++qi) {
     std::vector<std::vector<Neighbor>> per_shard(num_shards);

@@ -41,6 +41,7 @@ struct HnswIndex::Scratch {
   bool exact = false;  ///< construction: always rank on float rows
   std::vector<float> centered;  ///< int8 traversal: q - offsets
   std::vector<double> lut;      ///< PQ traversal: per-query ADC table
+  TopKCollector collector;      ///< beam -> top-k finalization
 
   void BumpEpoch() {
     if (++epoch == 0) {  // wrapped: stale marks could alias, clear once
@@ -48,11 +49,25 @@ struct HnswIndex::Scratch {
       epoch = 1;
     }
   }
+
+  /// Growth-only visited sizing for a graph of `count` nodes; marks
+  /// left by earlier searches (any index) are older epochs and never
+  /// alias the next BumpEpoch'd value.
+  void EnsureVisited(size_t count) {
+    if (visited.size() < count) visited.resize(count, 0);
+  }
 };
+
+HnswIndex::Scratch& HnswIndex::TlsSearchScratch() {
+  thread_local Scratch tls_scratch;
+  return tls_scratch;
+}
 
 HnswIndex::HnswIndex(std::shared_ptr<const DistanceMetric> metric,
                      HnswOptions options)
     : metric_(std::move(metric)), options_(options) {
+  // cbix-lint: allow(release-assert) construction wiring check, never
+  // reachable from query or serialized data.
   assert(metric_ != nullptr);
   m_ = std::max<size_t>(2, options_.m);
   options_.m = m_;
@@ -326,7 +341,7 @@ bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
   if (!SearchLayer(s, ep, ep_key, 0, ef, stats, cancel)) return false;
   if (stats != nullptr) stats->ef_survivors += s->best.size();
 
-  TopKCollector collector;
+  TopKCollector& collector = s->collector;
   collector.Reset(metric_.get(), k);
   if (options_.traversal == HnswTraversal::kFloat) {
     // Beam keys came from the metric's own rank kernels: the collector
@@ -348,15 +363,15 @@ bool HnswIndex::KnnCore(const float* q, size_t k, Scratch* s,
       collector.Offer(s->best[i].second, s->keys[i]);
     }
   }
-  *out = collector.TakeSorted();
+  collector.ExportSorted(out);
   return true;
 }
 
 std::vector<Neighbor> HnswIndex::KnnSearch(const Vec& q, size_t k,
                                            SearchStats* stats) const {
   std::vector<Neighbor> out;
-  Scratch s;
-  s.visited.assign(count_, 0);
+  Scratch& s = TlsSearchScratch();
+  s.EnsureVisited(count_);
   SearchStats local;
   KnnCore(q.data(), k, &s, stats != nullptr ? stats : &local, nullptr,
           &out);
@@ -369,8 +384,8 @@ void HnswIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
                                 const CancellationToken* cancel) const {
   const size_t nq = block.count();
   if (nq == 0) return;
-  Scratch s;
-  s.visited.assign(count_, 0);
+  Scratch& s = TlsSearchScratch();
+  s.EnsureVisited(count_);
   for (size_t qi = 0; qi < nq; ++qi) {
     if (!KnnCore(block.row(qi), k, &s,
                  stats != nullptr ? &stats[qi] : nullptr, cancel,

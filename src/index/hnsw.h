@@ -133,6 +133,13 @@ class HnswIndex : public VectorIndex {
  private:
   struct Scratch;
 
+  /// The per-thread search scratch, shared by every HnswIndex on the
+  /// thread and reused across calls: after warm-up a steady-state
+  /// SearchBatch allocates nothing (visited grows to the largest graph
+  /// searched; the epoch discipline makes stale marks — including
+  /// another index's — harmless).
+  static Scratch& TlsSearchScratch();
+
   size_t LayerCap(size_t layer) const { return layer == 0 ? 2 * m_ : m_; }
   /// Neighbor-slot base and count-slot index for (node, layer >= 1).
   size_t UpperSlot(uint32_t node, size_t layer) const {

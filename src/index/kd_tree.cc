@@ -36,6 +36,8 @@ std::shared_ptr<const DistanceMetric> MakeMinkowskiMetric(
 }
 
 KdTree::KdTree(KdTreeOptions options) : options_(options) {
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.leaf_size >= 1);
 }
 
@@ -58,6 +60,8 @@ double KdTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
 
 int32_t KdTree::BuildNode(std::vector<uint32_t>* ids, size_t begin,
                           size_t end) {
+  // cbix-lint: allow(release-assert) recursion invariant: callers only
+  // split non-empty ranges (BuildFromRows early-outs on zero rows).
   assert(begin < end);
   if (end - begin <= options_.leaf_size) {
     Node leaf;

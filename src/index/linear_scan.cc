@@ -27,11 +27,29 @@ namespace {
 /// virtual dispatch, small enough that the key buffer stays in L1.
 constexpr size_t kScanBlock = 256;
 
+/// Per-thread batched-scan state, reused across SearchBatch calls so a
+/// steady-state batch performs zero heap allocations (the invariant
+/// tests/alloc/test_alloc_guard.cc asserts). Growth-only: the first
+/// batches on a thread size it for the largest (tile, k) seen; the
+/// tls_ prefix is the repo convention cbix_lint's hot-path-alloc rule
+/// recognizes as warm-up-only allocation.
+struct ScanScratch {
+  std::vector<TopKCollector> collectors;  ///< one per query lane
+  std::vector<double> keys;               ///< tile x kScanBlock rank keys
+};
+
+ScanScratch& TlsScanScratch() {
+  thread_local ScanScratch tls_scratch;
+  return tls_scratch;
+}
+
 }  // namespace
 
 LinearScanIndex::LinearScanIndex(
     std::shared_ptr<const DistanceMetric> metric)
     : metric_(std::move(metric)) {
+  // cbix-lint: allow(release-assert) construction wiring check, never
+  // reachable from query or serialized data.
   assert(metric_ != nullptr);
 }
 
@@ -103,9 +121,14 @@ void LinearScanIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
   }
   const size_t n = rows_.count();
   const size_t dim = rows_.dim();
-  std::vector<TopKCollector> collectors(nq);
-  for (auto& c : collectors) c.Reset(metric_.get(), k);
-  std::vector<double> keys(nq * kScanBlock);
+  ScanScratch& tls_scratch = TlsScanScratch();
+  if (tls_scratch.collectors.size() < nq) tls_scratch.collectors.resize(nq);
+  if (tls_scratch.keys.size() < nq * kScanBlock) {
+    tls_scratch.keys.resize(nq * kScanBlock);
+  }
+  TopKCollector* collectors = tls_scratch.collectors.data();
+  for (size_t qi = 0; qi < nq; ++qi) collectors[qi].Reset(metric_.get(), k);
+  std::vector<double>& keys = tls_scratch.keys;
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     if (cancel != nullptr) {
       // One deadline poll guards the whole tile's block scan; attribute
@@ -134,7 +157,7 @@ void LinearScanIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
     }
   }
   for (size_t qi = 0; qi < nq; ++qi) {
-    results[qi] = collectors[qi].TakeSorted();
+    collectors[qi].ExportSorted(&results[qi]);
   }
 }
 

@@ -12,7 +12,11 @@ MTree::MTree(std::shared_ptr<const DistanceMetric> metric,
              size_t max_node_entries, uint64_t seed)
     : metric_(std::move(metric)), max_entries_(max_node_entries),
       rng_(seed) {
+  // cbix-lint: allow(release-assert) construction wiring check, never
+  // reachable from query or serialized data.
   assert(metric_ != nullptr);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(max_entries_ >= 4);
 }
 
@@ -89,6 +93,8 @@ int32_t MTree::ChooseLeaf(uint32_t id, double* dist_to_parent_out) {
     // here rather than trusting it silently; in release builds (the
     // assert compiles out) degrade the childless node to a leaf — it
     // has no subtree to lose, and inserting here is well-defined.
+    // cbix-lint: allow(release-assert) debug-build alarm only — the
+    // release path right below degrades the childless node to a leaf.
     assert(!node.entries.empty() &&
            "internal M-tree node has no routing entries");
     if (node.entries.empty()) {

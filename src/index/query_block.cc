@@ -8,10 +8,14 @@ QueryBlock QueryBlock::Pack(const std::vector<Vec>& queries) {
   QueryBlock block;
   if (queries.empty()) return block;
   const size_t dim = queries[0].size();
+  // cbix-lint: allow(release-assert) Pack's documented precondition
+  // (query_block.h): the engine validates query dims before packing.
   assert(dim > 0);
   FeatureMatrix matrix(dim);
   matrix.Reserve(queries.size());
   for (const Vec& q : queries) {
+    // cbix-lint: allow(release-assert) Pack's documented precondition
+    // (query_block.h): the engine validates query dims before packing.
     assert(q.size() == dim);
     matrix.AppendRow(q);
   }
@@ -28,6 +32,8 @@ QueryBlock QueryBlock::FromView(RowView rows) {
 }
 
 QueryBlock QueryBlock::Tile(size_t begin, size_t count) const {
+  // cbix-lint: allow(release-assert) tiling loops derive begin/count
+  // from count_ itself, so the range is in bounds by construction.
   assert(begin + count <= count_);
   QueryBlock tile;
   tile.rows_ = rows_;

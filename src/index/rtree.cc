@@ -11,8 +11,14 @@
 namespace cbix {
 
 RTree::RTree(RTreeOptions options) : options_(options) {
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.max_entries >= 4);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.min_entries >= 1);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.min_entries <= options_.max_entries / 2);
 }
 
@@ -132,6 +138,8 @@ void RTree::InsertEntry(int32_t node_id, const Rect& rect, int32_t child,
 
 RTree::Rect RTree::NodeBoundingRect(int32_t node_id) const {
   const Node& node = nodes_[node_id];
+  // cbix-lint: allow(release-assert) tree invariant: every live node
+  // keeps >= 1 entry (Insert splits and condensation maintain it).
   assert(!node.rects.empty());
   Rect r = node.rects[0];
   for (size_t i = 1; i < node.rects.size(); ++i) Enlarge(&r, node.rects[i]);

@@ -23,6 +23,8 @@ double TopKCollector::tau_distance() const {
 
 void TopKCollector::Insert(const Neighbor& candidate) {
   if (heap_.size() < k_) {
+    // cbix-lint: allow(hot-path-alloc) bounded by Reset's reserve(k_ + 1):
+    // size() < k_ here, so capacity is never exceeded — no reallocation.
     heap_.push_back(candidate);
     std::push_heap(heap_.begin(), heap_.end());
   } else if (candidate < heap_.front()) {
@@ -63,6 +65,17 @@ std::vector<Neighbor> TopKCollector::TakeHeap() {
   std::vector<Neighbor> out = std::move(heap_);
   heap_.clear();
   return out;
+}
+
+void TopKCollector::ExportSorted(std::vector<Neighbor>* out) {
+  std::sort(heap_.begin(), heap_.end());
+  out->assign(heap_.begin(), heap_.end());
+  heap_.clear();
+}
+
+void TopKCollector::ExportHeap(std::vector<Neighbor>* out) {
+  out->assign(heap_.begin(), heap_.end());
+  heap_.clear();
 }
 
 }  // namespace cbix

@@ -65,12 +65,29 @@ class TopKCollector {
 
   /// The collected neighbors sorted by (distance, id); leaves the
   /// collector empty.
+  ///
+  /// Moves the heap buffer out — the next Reset reallocates. Batched
+  /// hot paths use ExportSorted instead, which keeps both buffers
+  /// warm; Take* stays for per-query entry points that return results
+  /// by value anyway.
   std::vector<Neighbor> TakeSorted();
 
   /// The raw heap contents in heap order (quantized over-fetch
   /// candidates, reranked and sorted downstream); leaves the collector
-  /// empty.
+  /// empty. Same buffer-ejection caveat as TakeSorted.
   std::vector<Neighbor> TakeHeap();
+
+  /// Copies the collected neighbors, sorted by (distance, id), into
+  /// `*out` (replacing its contents) and clears the collector. Unlike
+  /// TakeSorted, both the collector's heap buffer and `out`'s capacity
+  /// are retained — the allocation-free steady-state form the batched
+  /// search paths use (and the AllocationGuard tests assert).
+  void ExportSorted(std::vector<Neighbor>* out);
+
+  /// Copies the raw heap contents in heap order into `*out` and clears
+  /// the collector, retaining both buffers (the batched quantized
+  /// over-fetch form of TakeHeap).
+  void ExportHeap(std::vector<Neighbor>* out);
 
  private:
   void Insert(const Neighbor& candidate);

@@ -33,9 +33,17 @@ std::string VantageSelectionName(VantageSelection selection) {
 VpTree::VpTree(std::shared_ptr<const DistanceMetric> metric,
                VpTreeOptions options)
     : metric_(std::move(metric)), options_(options) {
+  // cbix-lint: allow(release-assert) construction wiring check, never
+  // reachable from query or serialized data.
   assert(metric_ != nullptr);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.arity >= 2);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.leaf_size >= 1);
+  // cbix-lint: allow(release-assert) option-sanity wiring check at
+  // construction; not data-dependent.
   assert(options_.sample_size >= 2);
 }
 
@@ -46,6 +54,8 @@ double VpTree::Dist(const float* q, uint32_t id, SearchStats* stats) const {
 
 uint32_t VpTree::SelectVantage(const std::vector<uint32_t>& ids,
                                Rng* rng) {
+  // cbix-lint: allow(release-assert) build-recursion invariant: BuildNode
+  // only selects vantage points for non-empty id partitions.
   assert(!ids.empty());
   if (ids.size() == 1 || options_.selection == VantageSelection::kRandom) {
     return ids[rng->NextBelow(ids.size())];

@@ -68,6 +68,8 @@ class PqCodebook {
   /// Fills the per-query ADC table: lut[s * k() + c] is the squared L2
   /// distance from the query's subvector s to centroid c. `lut` must
   /// hold m() * k() doubles.
+  // cbix-lint: allow(status-public-api) infallible table fill into a
+  // caller-sized buffer — no I/O, no validation, nothing to fail.
   void BuildAdcTable(const float* q, double* lut) const;
 
   /// Squared L2 between the query behind `lut` and the reconstruction

@@ -26,6 +26,25 @@ size_t ScratchStride(size_t dim) {
 
 }  // namespace
 
+/// Per-thread batched-search workspace, reused across SearchBatch
+/// calls so a steady-state batch performs zero heap allocations (the
+/// AllocationGuard invariant). Growth-only: warm-up sizes every buffer
+/// for the largest (tile, fetch, dim) combination seen on the thread.
+struct QuantizedStore::BatchScratch {
+  std::vector<TopKCollector> collectors;  ///< one per query lane
+  std::vector<ApproxScratch> scratch;     ///< one per query lane
+  std::vector<float> shared_block;        ///< kGeneric: dequantized block
+  std::vector<double> keys;               ///< tile x kScanBlock rank keys
+  std::vector<Neighbor> candidates;       ///< per-query over-fetch export
+  std::vector<const float*> rerank_rows;  ///< gathered candidate rows
+  std::vector<double> rerank_dists;       ///< exact rerank distances
+};
+
+QuantizedStore::BatchScratch& QuantizedStore::TlsBatchScratch() {
+  thread_local BatchScratch tls_scratch;
+  return tls_scratch;
+}
+
 std::string QuantBackingName(QuantBacking backing) {
   switch (backing) {
     case QuantBacking::kInt8:
@@ -111,15 +130,21 @@ void QuantizedStore::ComputeReconNorms() {
 QuantizedStore::ApproxScratch QuantizedStore::PrepareApproxScan(
     const float* q) const {
   ApproxScratch scratch;
+  PrepareApproxScanInto(q, &scratch);
+  return scratch;
+}
+
+void QuantizedStore::PrepareApproxScanInto(const float* q,
+                                           ApproxScratch* scratch) const {
   const size_t dim = exact_rows_.dim();
   switch (approx_mode_) {
     case ApproxMode::kPqAdcL2:
-      scratch.lut.resize(pq_.codebook().m() * pq_.codebook().k());
-      pq_.codebook().BuildAdcTable(q, scratch.lut.data());
+      scratch->lut.resize(pq_.codebook().m() * pq_.codebook().k());
+      pq_.codebook().BuildAdcTable(q, scratch->lut.data());
       break;
     case ApproxMode::kInt8L2:
-      scratch.q_centered.resize(dim);
-      int8_.CenterQuery(q, scratch.q_centered.data());
+      scratch->q_centered.resize(dim);
+      int8_.CenterQuery(q, scratch->q_centered.data());
       break;
     case ApproxMode::kInt8Cosine: {
       // Hoist the per-query constants of the asymmetric dot: the
@@ -129,15 +154,14 @@ QuantizedStore::ApproxScratch QuantizedStore::PrepareApproxScan(
       for (size_t j = 0; j < dim; ++j) {
         dot_off += static_cast<double>(q[j]) * offsets[j];
       }
-      scratch.q_dot_offset = dot_off;
-      scratch.q_norm_sq = kernels::NormSquared(q, dim);
+      scratch->q_dot_offset = dot_off;
+      scratch->q_norm_sq = kernels::NormSquared(q, dim);
       break;
     }
     case ApproxMode::kGeneric:
-      scratch.block.resize(kScanBlock * ScratchStride(dim));
+      scratch->block.resize(kScanBlock * ScratchStride(dim));
       break;
   }
-  return scratch;
 }
 
 void QuantizedStore::ApproxKeysBlock(const float* q, size_t begin, size_t n,
@@ -237,23 +261,47 @@ std::vector<uint32_t> QuantizedStore::ApproxRangeCandidates(
 std::vector<Neighbor> QuantizedStore::RerankExact(
     const float* q, const std::vector<Neighbor>& candidates, size_t k,
     SearchStats* stats) const {
-  const size_t nc = candidates.size();
-  std::vector<Neighbor> out(nc);
+  std::vector<Neighbor> staged(candidates);
+  std::vector<Neighbor> out;
+  RerankExactInto(q, &staged, k, stats, &out);
+  return out;
+}
+
+void QuantizedStore::RerankExactInto(const float* q,
+                                     std::vector<Neighbor>* candidates,
+                                     size_t k, SearchStats* stats,
+                                     std::vector<Neighbor>* out) const {
+  const size_t nc = candidates->size();
+  if (nc == 0) {
+    out->clear();
+    return;
+  }
   const size_t dim = exact_rows_.dim();
   // Blocked exact rerank: gather the retained float rows of every
   // candidate and run one batched exact-distance call (identical
-  // per-row arithmetic to DistanceRaw).
-  std::vector<const float*> rows(nc);
-  for (size_t i = 0; i < nc; ++i) rows[i] = exact_rows_.row(candidates[i].id);
-  std::vector<double> dists(nc);
-  metric_->DistanceBatch(q, rows.data(), nc, dim, dists.data());
+  // per-row arithmetic to DistanceRaw). Row-pointer and distance lanes
+  // live in the per-thread scratch; the candidate list itself is the
+  // staging buffer for the (distance, id) sort, so a warmed call
+  // allocates nothing.
+  BatchScratch& tls_scratch = TlsBatchScratch();
+  if (tls_scratch.rerank_rows.size() < nc) tls_scratch.rerank_rows.resize(nc);
+  if (tls_scratch.rerank_dists.size() < nc) {
+    tls_scratch.rerank_dists.resize(nc);
+  }
+  Neighbor* cand = candidates->data();
   for (size_t i = 0; i < nc; ++i) {
-    out[i] = {candidates[i].id, dists[i]};
+    tls_scratch.rerank_rows[i] = exact_rows_.row(cand[i].id);
+  }
+  metric_->DistanceBatch(q, tls_scratch.rerank_rows.data(), nc, dim,
+                         tls_scratch.rerank_dists.data());
+  for (size_t i = 0; i < nc; ++i) {
+    cand[i].distance = tls_scratch.rerank_dists[i];
   }
   if (stats != nullptr) stats->rerank_evals += nc;
-  std::sort(out.begin(), out.end());
-  if (out.size() > k) out.resize(k);
-  return out;
+  std::sort(candidates->begin(), candidates->end());
+  if (candidates->size() > k) candidates->resize(k);
+  out->assign(candidates->begin(), candidates->end());
+  candidates->clear();
 }
 
 std::vector<Neighbor> QuantizedStore::KnnSearch(const Vec& q, size_t k,
@@ -283,22 +331,29 @@ void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
   // Per-query collectors in key mode plus per-query scan state; the
   // generic mode swaps the per-query dequantize buffers for ONE shared
   // reconstructed block per scan step — dequantization cost amortizes
-  // over the whole tile instead of being paid per query.
-  std::vector<TopKCollector> collectors(nq);
-  for (auto& c : collectors) c.Reset(nullptr, fetch);
-  std::vector<ApproxScratch> scratch;
-  std::vector<float> shared_block;
+  // over the whole tile instead of being paid per query. Everything
+  // lives in the per-thread scratch and is re-prepared (not
+  // reallocated) per call.
+  BatchScratch& tls_scratch = TlsBatchScratch();
+  if (tls_scratch.collectors.size() < nq) tls_scratch.collectors.resize(nq);
+  TopKCollector* collectors = tls_scratch.collectors.data();
+  for (size_t qi = 0; qi < nq; ++qi) collectors[qi].Reset(nullptr, fetch);
   const size_t stride = ScratchStride(dim);
+  std::vector<float>& shared_block = tls_scratch.shared_block;
   if (mode == ApproxMode::kGeneric) {
-    shared_block.resize(kScanBlock * stride);
+    if (shared_block.size() < kScanBlock * stride) {
+      shared_block.resize(kScanBlock * stride);
+    }
   } else {
-    scratch.reserve(nq);
+    if (tls_scratch.scratch.size() < nq) tls_scratch.scratch.resize(nq);
     for (size_t qi = 0; qi < nq; ++qi) {
-      scratch.push_back(PrepareApproxScan(block.row(qi)));
+      PrepareApproxScanInto(block.row(qi), &tls_scratch.scratch[qi]);
     }
   }
+  ApproxScratch* scratch = tls_scratch.scratch.data();
 
-  std::vector<double> keys(nq * kScanBlock);
+  std::vector<double>& keys = tls_scratch.keys;
+  if (keys.size() < nq * kScanBlock) keys.resize(nq * kScanBlock);
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     if (cancel != nullptr) {
       // One deadline poll guards the whole tile's block scan; attribute
@@ -345,9 +400,9 @@ void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
         return;
       }
     }
-    results[qi] =
-        RerankExact(block.row(qi), collectors[qi].TakeHeap(), k,
-                    stats != nullptr ? &stats[qi] : nullptr);
+    collectors[qi].ExportHeap(&tls_scratch.candidates);
+    RerankExactInto(block.row(qi), &tls_scratch.candidates, k,
+                    stats != nullptr ? &stats[qi] : nullptr, &results[qi]);
   }
 }
 

@@ -170,6 +170,25 @@ class QuantizedStore : public VectorIndex {
   /// hoisted cosine terms / block buffer, per mode).
   ApproxScratch PrepareApproxScan(const float* q) const;
 
+  /// In-place form of PrepareApproxScan: (re)populates `*scratch` for
+  /// `q`, reusing its buffers — on a warmed scratch this allocates
+  /// nothing (the batched path's steady-state contract).
+  void PrepareApproxScanInto(const float* q, ApproxScratch* scratch) const;
+
+  /// Per-thread batched-search workspace reused across SearchBatch
+  /// calls (collectors, per-query scratches, key lanes, rerank
+  /// buffers); growth-only, so steady-state batches are allocation
+  /// free.
+  struct BatchScratch;
+  static BatchScratch& TlsBatchScratch();
+
+  /// In-place form of RerankExact: leaves the exact top-k in `*out`
+  /// (replacing its contents) and keeps every scratch buffer warm.
+  /// `candidates` is consumed (cleared).
+  void RerankExactInto(const float* q, std::vector<Neighbor>* candidates,
+                       size_t k, SearchStats* stats,
+                       std::vector<Neighbor>* out) const;
+
   /// Dispatches one block of approximate rank keys to the backing.
   void ApproxKeysBlock(const float* q, size_t begin, size_t n,
                        ApproxScratch* scratch, double* keys) const;

@@ -15,6 +15,8 @@ float* AllocateAligned(size_t floats) {
   // from serialized files) must fail allocation, not wrap to a tiny
   // buffer that later row writes overrun.
   if (floats > std::numeric_limits<size_t>::max() / sizeof(float)) {
+    // cbix-lint: allow(no-throw) allocation-failure contract: substrate
+    // construction signals OOM as bad_alloc, like the allocator it wraps.
     throw std::bad_alloc();
   }
   return static_cast<float*>(::operator new(
@@ -24,6 +26,8 @@ float* AllocateAligned(size_t floats) {
 size_t CheckedFloatCount(size_t rows, size_t stride) {
   if (stride != 0 &&
       rows > std::numeric_limits<size_t>::max() / stride) {
+    // cbix-lint: allow(no-throw) allocation-failure contract: substrate
+    // construction signals OOM as bad_alloc, like the allocator it wraps.
     throw std::bad_alloc();
   }
   return rows * stride;

@@ -42,7 +42,11 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// The default-constructed Status is OK. An OK status never carries a
 /// message. Statuses are immutable once constructed.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures — callers
+/// must branch on it, propagate it, or (in tests) assert it OK. The
+/// build escalates the diagnostic with -Werror=unused-result.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -115,7 +119,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// Accessors assert on misuse (taking the value of a failed result), so
 /// callers must branch on `ok()` first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in Result-returning code.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,283 @@
+// AllocationGuard — the dynamic complement of the static lint wall:
+// counting operator new/delete hooks that turn the "allocation-free
+// hot path" comments (src/index/top_k.h, src/distance/batch_kernels.h,
+// src/README.md) into a tested invariant.
+//
+// Contract under test: after a warm-up batch has sized every
+// per-thread scratch buffer (TLS collectors/keys/visited/rerank lanes,
+// the tls_ discipline cbix_lint's hot-path-alloc rule recognizes), a
+// steady-state VectorIndex::SearchBatch performs ZERO heap
+// allocations — across the linear-scan, HNSW (float and quantized
+// traversal) and QuantizedStore (int8 / PQ / generic-metric) backings.
+//
+// This file lives in its own test binary (cbix_alloc_tests): replacing
+// the global allocation operators must not perturb the main suite, and
+// the sanitizer builds (which interpose their own allocator) skip it
+// entirely (see CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/engine.h"
+#include "index/hnsw.h"
+#include "index/linear_scan.h"
+#include "index/query_block.h"
+#include "index/top_k.h"
+#include "quant/quantized_store.h"
+#include "util/random.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_deallocations{0};
+
+void* CountedAlloc(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAlignedAlloc(size_t size, size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size ? size : align) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  g_deallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void* operator new(size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<size_t>(align));
+}
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+
+namespace cbix {
+namespace {
+
+/// Scoped allocation meter: captures the global counters on
+/// construction; allocations()/deallocations() report the delta. Keep
+/// gtest assertions OUTSIDE the scope being measured — EXPECT_* itself
+/// allocates on failure.
+class AllocationGuard {
+ public:
+  AllocationGuard()
+      : allocs_(g_allocations.load(std::memory_order_relaxed)),
+        frees_(g_deallocations.load(std::memory_order_relaxed)) {}
+
+  uint64_t allocations() const {
+    return g_allocations.load(std::memory_order_relaxed) - allocs_;
+  }
+  uint64_t deallocations() const {
+    return g_deallocations.load(std::memory_order_relaxed) - frees_;
+  }
+
+ private:
+  uint64_t allocs_;
+  uint64_t frees_;
+};
+
+std::vector<Vec> RandomVectors(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec> out(n, Vec(dim));
+  for (auto& v : out) {
+    for (auto& x : v) {
+      // Non-negative: every metric (histogram family included) accepts
+      // the data, so one generator serves all backings.
+      x = static_cast<float>(rng.NextDouble());
+    }
+  }
+  return out;
+}
+
+constexpr size_t kRows = 2048;
+constexpr size_t kDim = 32;
+constexpr size_t kQueries = 16;
+constexpr size_t kK = 10;
+
+/// The shared harness: builds the index over random rows, packs a
+/// query block, runs `warmups` batches to size every thread-local
+/// scratch, then measures one more batch under the guard and asserts
+/// zero allocations AND zero deallocations (buffer churn — free +
+/// fresh alloc per batch — is exactly the regression this catches).
+void ExpectSteadyStateAllocationFree(VectorIndex* index,
+                                     size_t warmups = 2) {
+  const std::vector<Vec> data = RandomVectors(kRows, kDim, /*seed=*/41);
+  ASSERT_TRUE(index->Build(data).ok());
+  const std::vector<Vec> queries =
+      RandomVectors(kQueries, kDim, /*seed=*/97);
+  const QueryBlock block = QueryBlock::Pack(queries);
+  std::vector<std::vector<Neighbor>> results(kQueries);
+  std::vector<SearchStats> stats(kQueries);
+  for (size_t w = 0; w < warmups; ++w) {
+    index->SearchBatch(block, kK, results.data(), stats.data());
+  }
+  const std::vector<std::vector<Neighbor>> warm = results;
+
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  {
+    AllocationGuard guard;
+    index->SearchBatch(block, kK, results.data(), stats.data());
+    allocs = guard.allocations();
+    frees = guard.deallocations();
+  }
+  EXPECT_EQ(allocs, 0u) << "steady-state SearchBatch allocated";
+  EXPECT_EQ(frees, 0u) << "steady-state SearchBatch freed (buffer churn)";
+  // The measured batch really answered: bit-identical to the warm one.
+  for (size_t qi = 0; qi < kQueries; ++qi) {
+    ASSERT_EQ(results[qi].size(), kK);
+    EXPECT_EQ(results[qi], warm[qi]) << "query " << qi;
+  }
+}
+
+// The hooks themselves must demonstrably count — otherwise every
+// zero-allocation assertion above would pass vacuously.
+TEST(AllocationGuardTest, HooksObserveAllocations) {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  {
+    AllocationGuard guard;
+    {
+      std::vector<int>* v = new std::vector<int>(1000);
+      delete v;
+    }
+    allocs = guard.allocations();
+    frees = guard.deallocations();
+  }
+  EXPECT_GE(allocs, 2u);  // the vector object + its buffer
+  EXPECT_GE(frees, 2u);
+}
+
+TEST(AllocationGuardTest, WarmTopKCollectorAcceptPathIsAllocationFree) {
+  const auto metric = MakeMetric(MetricKind::kL2);
+  TopKCollector collector;
+  std::vector<Neighbor> out;
+  // Warm-up: one full accept + export cycle sizes the heap and the
+  // output buffer.
+  collector.Reset(metric.get(), kK);
+  for (uint32_t id = 0; id < 100; ++id) {
+    collector.Offer(id, 1000.0 - id);
+  }
+  collector.ExportSorted(&out);
+
+  uint64_t allocs = 0;
+  {
+    AllocationGuard guard;
+    collector.Reset(metric.get(), kK);
+    for (uint32_t id = 0; id < 100; ++id) {
+      collector.Offer(id, 1000.0 - id);
+    }
+    collector.ExportSorted(&out);
+    allocs = guard.allocations();
+  }
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.size(), kK);
+}
+
+TEST(AllocGuardSearchBatch, LinearScan) {
+  LinearScanIndex index(MakeMetric(MetricKind::kL2));
+  ExpectSteadyStateAllocationFree(&index);
+}
+
+TEST(AllocGuardSearchBatch, LinearScanCosine) {
+  LinearScanIndex index(MakeMetric(MetricKind::kCosine));
+  ExpectSteadyStateAllocationFree(&index);
+}
+
+TEST(AllocGuardSearchBatch, HnswFloatTraversal) {
+  HnswIndex index(MakeMetric(MetricKind::kL2));
+  ExpectSteadyStateAllocationFree(&index);
+}
+
+TEST(AllocGuardSearchBatch, HnswInt8Traversal) {
+  HnswOptions options;
+  options.traversal = HnswTraversal::kInt8;
+  HnswIndex index(MakeMetric(MetricKind::kL2), options);
+  ExpectSteadyStateAllocationFree(&index);
+}
+
+TEST(AllocGuardSearchBatch, QuantizedInt8L2) {
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kInt8;
+  options.rerank_factor = 4;
+  QuantizedStore store(MakeMetric(MetricKind::kL2), options);
+  ExpectSteadyStateAllocationFree(&store);
+}
+
+TEST(AllocGuardSearchBatch, QuantizedInt8CosineFastPath) {
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kInt8;
+  options.rerank_factor = 4;
+  QuantizedStore store(MakeMetric(MetricKind::kCosine), options);
+  ExpectSteadyStateAllocationFree(&store);
+}
+
+TEST(AllocGuardSearchBatch, QuantizedPqAdc) {
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kPq;
+  options.rerank_factor = 8;
+  options.pq.m = 8;
+  options.pq.train_iters = 3;
+  QuantizedStore store(MakeMetric(MetricKind::kL2), options);
+  ExpectSteadyStateAllocationFree(&store);
+}
+
+TEST(AllocGuardSearchBatch, QuantizedGenericMetricDequantizePath) {
+  // chi-square has no fused quantized kernel, so this exercises the
+  // kGeneric shared-dequantize-block mode.
+  QuantizedStoreOptions options;
+  options.backing = QuantBacking::kInt8;
+  options.rerank_factor = 4;
+  QuantizedStore store(MakeMetric(MetricKind::kChiSquare), options);
+  ExpectSteadyStateAllocationFree(&store);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -1,0 +1,27 @@
+// ASSERT_OK / EXPECT_OK — the one sanctioned way for tests to consume
+// a [[nodiscard]] Status they expect to succeed. A failure prints the
+// full status (code + message) instead of a bare "x.ok() is false",
+// and the Status is genuinely inspected — never cast to void, so a
+// regression in a fallible call can't slip through as a discarded
+// return (the invariant -Werror=unused-result enforces everywhere).
+
+#ifndef CBIX_TESTS_STATUS_MATCHERS_H_
+#define CBIX_TESTS_STATUS_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace cbix {
+
+inline ::testing::AssertionResult IsOkStatus(const Status& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "status: " << status.ToString();
+}
+
+}  // namespace cbix
+
+#define ASSERT_OK(expr) ASSERT_TRUE(::cbix::IsOkStatus((expr)))
+#define EXPECT_OK(expr) EXPECT_TRUE(::cbix::IsOkStatus((expr)))
+
+#endif  // CBIX_TESTS_STATUS_MATCHERS_H_

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "status_matchers.h"
+
 namespace cbix {
 namespace {
 
@@ -34,21 +36,23 @@ TEST(ThreadPoolTest, ParallelForTouchesEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   constexpr size_t kN = 10000;
   std::vector<std::atomic<int>> touched(kN);
-  pool.ParallelFor(kN, [&touched](size_t i) { touched[i].fetch_add(1); });
+  ASSERT_OK(
+      pool.ParallelFor(kN, [&touched](size_t i) { touched[i].fetch_add(1); }));
   for (size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
 }
 
 TEST(ThreadPoolTest, ParallelForEmptyRange) {
   ThreadPool pool(2);
   bool called = false;
-  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  ASSERT_OK(pool.ParallelFor(0, [&called](size_t) { called = true; }));
   EXPECT_FALSE(called);
 }
 
 TEST(ThreadPoolTest, ParallelForSmallerThanThreadCount) {
   ThreadPool pool(8);
   std::atomic<int> sum{0};
-  pool.ParallelFor(3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  ASSERT_OK(pool.ParallelFor(
+      3, [&sum](size_t i) { sum.fetch_add(static_cast<int>(i)); }));
   EXPECT_EQ(sum.load(), 3);
 }
 

@@ -1,0 +1,639 @@
+#!/usr/bin/env python3
+"""cbix_lint — the repo-specific invariant checker.
+
+Enforces the contracts the general-purpose tools cannot see, because
+they are *project* rules, not C++ rules:
+
+  no-throw              library code returns Status, never throws
+  release-assert        no naked assert() on src/core / src/index
+                        release paths (invariants there must either be
+                        validated Status returns or carry a written
+                        justification)
+  status-public-api     public fallible verbs (Build*/Load*/Save*/
+                        Deserialize*/Attach*/Adopt*/Insert*) in
+                        src/core / src/index / src/quant headers return
+                        Status or Result
+  hot-path-alloc        no heap allocation inside the RankBlock /
+                        RankBatch kernels or the TopKCollector accept
+                        path (receivers named tls_* are the sanctioned
+                        warmed-scratch idiom)
+  searchbatch-cancel    every SearchBatchImpl definition references the
+                        CancellationToken (the serving runtime's
+                        cooperative-deadline seam must not be dropped
+                        by a new override)
+  obs-relaxed-atomics   src/obs record-path atomics pass
+                        memory_order_relaxed (the <=2% observability
+                        overhead ceiling assumes no fenced ops)
+  rowview-ownership     no raw owning FeatureMatrix* outside the
+                        substrate files — rows travel as RowView
+  deterministic-build   no nondeterminism sources (random_device, time,
+                        libc rand) in index/quant construction code;
+                        stochastic build steps draw from the seeded Rng
+
+Suppressions follow the justified-NOLINT discipline:
+
+    // cbix-lint: allow(rule-name) reason the invariant is upheld anyway
+
+The annotation covers its own line and the next line. A suppression
+without a substantive reason is itself a finding
+(unjustified-suppression), as is one naming an unknown rule.
+
+Runs AST-backed when python libclang is importable (used to confirm
+access specifiers and return types for status-public-api); otherwise —
+including this repo's CI image — a resilient token-level pass over
+comment/string-stripped sources carries the full rule set.
+
+Usage:
+  cbix_lint.py [--root DIR]              # scan DIR/src with scoped rules
+  cbix_lint.py --rule NAME file...       # force rules onto explicit
+                                         # files (the fixture self-test)
+  cbix_lint.py --list-rules
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Findings and suppression
+
+MIN_REASON_LEN = 10  # "bounded" alone is not a justification
+
+ALLOW_RE = re.compile(
+    r"cbix-lint:\s*allow\(([a-z0-9\-]+(?:\s*,\s*[a-z0-9\-]+)*)\)\s*(.*?)\s*(?:\*/)?\s*$"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __repr__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def parse_suppressions(raw_lines):
+    """line(1-based) -> (set(rule names), reason string)."""
+    out = {}
+    for i, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            out[i] = (rules, m.group(2).strip())
+    return out
+
+
+# --------------------------------------------------------------------------
+# Comment/string stripping (line structure preserved)
+
+
+def strip_code(text):
+    """Blanks comments, string and char literals, preserving length and
+    newlines, so token matches never fire on prose."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: skip to the matching delimiter wholesale.
+                if out and out[-1] == "R":
+                    m = re.match(r'R"([^(]*)\(', text[i - 1:])
+                    if m:
+                        end = text.find(")%s\"" % m.group(1), i)
+                        if end == -1:
+                            end = n - 1
+                        end += len(m.group(1)) + 2
+                        seg = text[i:end + 1]
+                        out.append(re.sub(r"[^\n]", " ", seg))
+                        i = end + 1
+                        continue
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                mode = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(code, offset, _cache={}):
+    return code.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Function-extent scanning (token level)
+
+
+def find_function_bodies(code, name_pattern):
+    """Yields (name, def_line, body_start, body_end) for each function
+    DEFINITION whose (possibly ::-qualified) name matches name_pattern.
+    Declarations (ending in ';' before any '{') are skipped. Offsets
+    index into `code`; body excludes the outer braces."""
+    pat = re.compile(r"\b((?:\w+::)*(?:%s))\s*\(" % name_pattern)
+    for m in pat.finditer(code):
+        # Not a definition if this is a call: heuristically require the
+        # token before the name to end a type/qualifier, not an
+        # expression. We accept ')' (for "void f(...)" continuations the
+        # name follows a type word) by checking the preceding
+        # non-space char is not one of '.', '(', ',', '=', '!', '<'.
+        j = m.start() - 1
+        while j >= 0 and code[j] in " \t\n":
+            j -= 1
+        if j >= 0 and code[j] in ".(,=!<>+-|&?:":
+            continue
+        # Walk the parameter list.
+        i = m.end() - 1
+        depth = 0
+        while i < len(code):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= len(code):
+            continue
+        # After the params: qualifiers until '{' (definition) or ';'.
+        k = i + 1
+        while k < len(code) and code[k] not in "{;":
+            k += 1
+        if k >= len(code) or code[k] == ";":
+            continue
+        # Brace-track the body.
+        b = k
+        depth = 0
+        while b < len(code):
+            if code[b] == "{":
+                depth += 1
+            elif code[b] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            b += 1
+        yield m.group(1), line_of(code, m.start()), k + 1, b
+
+
+# --------------------------------------------------------------------------
+# Rule registry
+
+RULES = {}
+
+
+def rule(name, scopes, excludes=(), headers_only=False):
+    def deco(fn):
+        RULES[name] = {
+            "fn": fn,
+            "scopes": scopes,
+            "excludes": excludes,
+            "headers_only": headers_only,
+            "doc": (fn.__doc__ or "").strip().splitlines()[0],
+        }
+        return fn
+
+    return deco
+
+
+def in_scope(rel, spec):
+    if spec["headers_only"] and not rel.endswith(".h"):
+        return False
+    if any(rel.startswith(e) for e in spec["excludes"]):
+        return False
+    return any(rel.startswith(s) for s in spec["scopes"])
+
+
+# ---- no-throw -------------------------------------------------------------
+
+
+@rule("no-throw", scopes=("src/",))
+def check_no_throw(path, raw_lines, code, code_lines):
+    """Library code returns Status; it never throws."""
+    out = []
+    for i, line in enumerate(code_lines, start=1):
+        if re.search(r"\bthrow\b", line):
+            out.append((i, "throw on a library path — return Status "
+                           "(util/status.h) instead"))
+    return out
+
+
+# ---- release-assert -------------------------------------------------------
+
+
+@rule("release-assert", scopes=("src/core/", "src/index/"))
+def check_release_assert(path, raw_lines, code, code_lines):
+    """No naked assert() on core/index release paths."""
+    out = []
+    for i, line in enumerate(code_lines, start=1):
+        if re.search(r"(?<!static_)\bassert\s*\(", line):
+            out.append((i, "naked assert() compiles out under NDEBUG — "
+                           "validate with a Status return, or justify "
+                           "with an allow(release-assert) annotation"))
+    return out
+
+
+# ---- status-public-api ----------------------------------------------------
+
+FALLIBLE_VERBS = ("Build", "Load", "Save", "Deserialize", "Attach",
+                  "Adopt", "Insert")
+
+DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+|static\s+|explicit\s+|inline\s+)*"
+    r"([A-Za-z_][\w:<>,\s*&]*?)[\s*&]+"
+    r"((?:%s)\w*)\s*\(" % "|".join(FALLIBLE_VERBS)
+)
+
+
+@rule("status-public-api",
+      scopes=("src/core/", "src/index/", "src/quant/"), headers_only=True)
+def check_status_public_api(path, raw_lines, code, code_lines):
+    """Public fallible verbs return Status or Result."""
+    out = []
+    # Track class extents and access specifiers by brace depth.
+    depth = 0
+    stack = []  # (class_depth, current_access)
+    class_pending = None
+    for i, line in enumerate(code_lines, start=1):
+        stripped = line.strip()
+        cm = re.match(r"(?:template\s*<[^>]*>\s*)?(class|struct)\s+"
+                      r"(?:\[\[[^\]]*\]\]\s*)?(\w+)", stripped)
+        if cm and ";" not in stripped.split("{")[0]:
+            class_pending = "private" if cm.group(1) == "class" else "public"
+        am = re.match(r"(public|protected|private)\s*:", stripped)
+        if am and stack:
+            stack[-1][1] = am.group(0).split(":")[0].strip()
+        if stack and stack[-1][0] + 1 == depth and stack[-1][1] == "public":
+            dm = DECL_RE.match(line)
+            if dm and dm.group(1).strip() not in ("return",):
+                ret = dm.group(1)
+                if "Status" not in ret and "Result" not in ret:
+                    out.append((i, "public %s() returns '%s' — fallible "
+                                   "verbs on this surface return Status "
+                                   "or Result" % (dm.group(2), ret.strip())))
+        for c in line:
+            if c == "{":
+                depth += 1
+                if class_pending is not None:
+                    stack.append([depth - 1, class_pending])
+                    class_pending = None
+            elif c == "}":
+                depth -= 1
+                if stack and depth == stack[-1][0]:
+                    stack.pop()
+        if class_pending is not None and ";" in line:
+            class_pending = None  # forward declaration
+    return out
+
+
+# ---- hot-path-alloc -------------------------------------------------------
+
+ALLOC_CALL_RE = re.compile(
+    r"(?:\bnew\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|"
+    r"make_unique\s*<|make_shared\s*<)"
+)
+GROWTH_RE = re.compile(
+    r"([A-Za-z_]\w*(?:\.\w+|->\w+)*?)\s*(?:\.|->)\s*"
+    r"(push_back|emplace_back|resize|reserve|assign|insert|append)\s*\("
+)
+LOCAL_CONTAINER_RE = re.compile(
+    r"\bstd\s*::\s*(vector|string|deque|map|set|unordered_map|"
+    r"unordered_set|list)\s*<[^;=]*>\s+\w+\s*[({;]"
+)
+
+HOT_FUNCS = r"RankBlock\w*|RankBatch\w*"
+HOT_METHODS = r"TopKCollector::(?:Offer|Push|Insert)"
+
+
+@rule("hot-path-alloc", scopes=("src/distance/", "src/index/top_k."))
+def check_hot_path_alloc(path, raw_lines, code, code_lines):
+    """No heap allocation in rank kernels / top-k accept path."""
+    out = []
+    pattern = HOT_FUNCS
+    if "top_k" in path:
+        pattern = r"Offer|Push|Insert"
+    for name, _def_line, b0, b1 in find_function_bodies(code, pattern):
+        body = code[b0:b1]
+        base = line_of(code, b0)
+        for m in ALLOC_CALL_RE.finditer(body):
+            out.append((base + body.count("\n", 0, m.start()),
+                        "heap allocation inside hot-path %s()" % name))
+        for m in GROWTH_RE.finditer(body):
+            recv = m.group(1)
+            leaf = recv.split(".")[-1].split("->")[-1]
+            if recv.startswith("tls_") or leaf.startswith("tls_"):
+                continue  # the sanctioned warmed thread-local scratch
+            out.append((base + body.count("\n", 0, m.start()),
+                        "%s.%s() may allocate inside hot-path %s() — "
+                        "route through a tls_* warmed scratch or justify"
+                        % (recv, m.group(2), name)))
+        for m in LOCAL_CONTAINER_RE.finditer(body):
+            out.append((base + body.count("\n", 0, m.start()),
+                        "local container constructed inside hot-path "
+                        "%s()" % name))
+    return out
+
+
+# ---- searchbatch-cancel ---------------------------------------------------
+
+
+@rule("searchbatch-cancel", scopes=("src/",))
+def check_searchbatch_cancel(path, raw_lines, code, code_lines):
+    """Every SearchBatchImpl definition references the cancel token."""
+    out = []
+    for name, def_line, b0, b1 in find_function_bodies(
+            code, r"SearchBatchImpl"):
+        body = code[b0:b1]
+        if not re.search(r"\bcancel\b", body):
+            out.append((def_line,
+                        "%s() never references `cancel` — overrides "
+                        "must honor the cooperative-deadline contract "
+                        "(index/index.h)" % name))
+    return out
+
+
+# ---- obs-relaxed-atomics --------------------------------------------------
+
+ATOMIC_OP_RE = re.compile(
+    r"(?:\.|->)\s*(fetch_add|fetch_sub|fetch_or|fetch_and|store|load|"
+    r"exchange|compare_exchange_weak|compare_exchange_strong)\s*\(")
+
+
+@rule("obs-relaxed-atomics", scopes=("src/obs/",))
+def check_obs_relaxed(path, raw_lines, code, code_lines):
+    """Observability record-path atomics stay memory_order_relaxed."""
+    out = []
+    for m in ATOMIC_OP_RE.finditer(code):
+        stmt_end = code.find(";", m.end())
+        if stmt_end == -1:
+            stmt_end = len(code)
+        stmt = code[m.start():stmt_end]
+        if "memory_order_relaxed" not in stmt:
+            out.append((line_of(code, m.start()),
+                        "%s() without memory_order_relaxed — the obs "
+                        "overhead ceiling assumes unfenced record paths"
+                        % m.group(1)))
+    return out
+
+
+# ---- rowview-ownership ----------------------------------------------------
+
+
+@rule("rowview-ownership", scopes=("src/",),
+      excludes=("src/util/feature_matrix.", "src/util/row_view."))
+def check_rowview_ownership(path, raw_lines, code, code_lines):
+    """Row substrates travel as RowView, never raw FeatureMatrix*."""
+    out = []
+    for i, line in enumerate(code_lines, start=1):
+        if re.search(r"\bnew\s+FeatureMatrix\b", line):
+            out.append((i, "heap-allocated FeatureMatrix — build a "
+                           "RowView substrate instead"))
+        elif re.search(r"\bFeatureMatrix\s*\*", line):
+            out.append((i, "raw FeatureMatrix* — ownership must flow "
+                           "through RowView (util/row_view.h)"))
+    return out
+
+
+# ---- deterministic-build --------------------------------------------------
+
+NONDET_RE = re.compile(
+    r"std\s*::\s*random_device|\bmt19937\b|\bsrand\s*\(|"
+    r"(?<![\w:])rand\s*\(|system_clock|steady_clock|"
+    r"high_resolution_clock|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)")
+
+
+@rule("deterministic-build", scopes=("src/index/", "src/quant/"))
+def check_deterministic_build(path, raw_lines, code, code_lines):
+    """Index construction draws only from the seeded Rng."""
+    out = []
+    for i, line in enumerate(code_lines, start=1):
+        m = NONDET_RE.search(line)
+        if m:
+            out.append((i, "nondeterminism source '%s' in construction "
+                           "code — draw from the seeded Rng "
+                           "(util/random.h)" % m.group(0).strip()))
+    return out
+
+
+# --------------------------------------------------------------------------
+# Optional libclang refinement
+
+
+def load_libclang():
+    try:
+        from clang import cindex  # noqa: F401
+        index = cindex.Index.create()
+        return cindex, index
+    except Exception:
+        return None, None
+
+
+def refine_status_api_with_libclang(path, findings, root):
+    """With libclang importable, re-verifies status-public-api findings
+    against the real AST (access specifier + canonical result type),
+    dropping token-level false positives. Any parse trouble keeps the
+    token-level findings — the fallback is authoritative, never silent."""
+    cindex, index = load_libclang()
+    if cindex is None:
+        return findings
+    try:
+        tu = index.parse(path, args=["-std=c++20",
+                                     "-I", os.path.join(root, "src")])
+        confirmed = []
+        flagged = {f.line for f in findings if f.rule == "status-public-api"}
+        others = [f for f in findings if f.rule != "status-public-api"]
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != cindex.CursorKind.CXX_METHOD:
+                continue
+            if cur.location.file is None or cur.location.file.name != path:
+                continue
+            if cur.location.line not in flagged:
+                continue
+            if cur.access_specifier != cindex.AccessSpecifier.PUBLIC:
+                continue
+            ret = cur.result_type.spelling
+            if "Status" in ret or "Result" in ret:
+                continue
+            confirmed.append(next(f for f in findings
+                                  if f.line == cur.location.line
+                                  and f.rule == "status-public-api"))
+        return others + confirmed
+    except Exception:
+        return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+
+def lint_file(path, rel, rules, root, use_libclang=True):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        return [Finding(rel, 0, "io-error", str(e))]
+    raw_lines = text.splitlines()
+    code = strip_code(text)
+    code_lines = code.splitlines()
+    suppressions = parse_suppressions(raw_lines)
+
+    findings = []
+    for name in rules:
+        spec = RULES[name]
+        for line, message in spec["fn"](rel, raw_lines, code, code_lines):
+            findings.append(Finding(rel, line, name, message))
+
+    if use_libclang and any(f.rule == "status-public-api" for f in findings):
+        findings = refine_status_api_with_libclang(path, findings, root)
+
+    # Apply suppressions. An annotation covers its own line and extends
+    # downward through any following comment-only lines onto the first
+    # code line — so a multi-line justification comment still covers the
+    # statement beneath it.
+    def covering_annotation(line):
+        for cand in (line, line - 1):
+            if cand in suppressions:
+                return cand
+        i = line - 1  # walk up through the comment block above
+        while i >= 1 and raw_lines[i - 1].strip().startswith("//"):
+            if i in suppressions:
+                return i
+            i -= 1
+        return None
+
+    kept = []
+    for f in findings:
+        ann_line = covering_annotation(f.line)
+        if ann_line is not None and f.rule in suppressions[ann_line][0]:
+            continue
+        kept.append(f)
+
+    # Suppression hygiene: justified reasons, known rule names.
+    for line, (names, reason) in sorted(suppressions.items()):
+        unknown = names - set(RULES)
+        if unknown:
+            kept.append(Finding(rel, line, "unjustified-suppression",
+                                "allow() names unknown rule(s): %s"
+                                % ", ".join(sorted(unknown))))
+        if len(reason) < MIN_REASON_LEN:
+            kept.append(Finding(rel, line, "unjustified-suppression",
+                                "allow(%s) carries no justification — "
+                                "state why the invariant still holds"
+                                % ", ".join(sorted(names))))
+    return kept
+
+
+def iter_source_files(root):
+    src = os.path.join(root, "src")
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if fn.endswith((".cc", ".h")):
+                yield os.path.join(dirpath, fn)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this "
+                         "script)")
+    ap.add_argument("--rule", action="append", default=[],
+                    help="force these rules (repeatable); with explicit "
+                         "paths, path scoping is bypassed")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--no-libclang", action="store_true",
+                    help="skip AST refinement even if libclang imports")
+    ap.add_argument("paths", nargs="*",
+                    help="explicit files (default: <root>/src tree)")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print("%-22s %s" % (name, RULES[name]["doc"]))
+        return 0
+
+    for name in args.rule:
+        if name not in RULES:
+            print("cbix_lint: unknown rule '%s' (see --list-rules)" % name,
+                  file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+    findings = []
+    if args.paths:
+        for p in args.paths:
+            path = os.path.abspath(p)
+            rel = os.path.relpath(path, root)
+            rules = args.rule or [n for n in sorted(RULES)
+                                  if in_scope(rel, RULES[n])]
+            findings += lint_file(path, rel, rules, root,
+                                  use_libclang=not args.no_libclang)
+    else:
+        for path in iter_source_files(root):
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            rules = [n for n in sorted(RULES) if in_scope(rel, RULES[n])]
+            if not rules:
+                continue
+            findings += lint_file(path, rel, rules, root,
+                                  use_libclang=not args.no_libclang)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print("cbix_lint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+// Fixture: nondeterminism sources in construction code must be flagged
+// (deterministic-build) — rebuilds must reproduce the structure bit
+// for bit.
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace cbix {
+
+uint64_t FixtureBuildSeed() {
+  std::random_device rd;  // finding: entropy source
+  std::mt19937 gen(rd());  // finding: non-project PRNG
+  const auto now = std::chrono::steady_clock::now();  // finding: time
+  return gen() ^ static_cast<uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace cbix

@@ -1,0 +1,23 @@
+// Fixture: construction keyed on the seeded project Rng is compliant;
+// the word "operand(" must not trip the rand( token.
+#include <cstdint>
+
+namespace cbix {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() { return state_ += 0x9e3779b97f4a7c15ULL; }
+
+ private:
+  uint64_t state_;
+};
+
+uint64_t operand(uint64_t x) { return x; }
+
+uint64_t FixtureBuildSeed(uint64_t seed) {
+  Rng rng(seed);
+  return operand(rng.Next());
+}
+
+}  // namespace cbix

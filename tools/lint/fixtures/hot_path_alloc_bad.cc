@@ -1,0 +1,22 @@
+// Fixture: allocation inside a Rank* kernel must be flagged
+// (hot-path-alloc): a local container, a growth call on a non-tls
+// receiver, and a naked new.
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+void RankBatchFixture(const float* q, const float* rows, size_t n,
+                      size_t dim, double* keys) {
+  std::vector<double> partials(dim);  // finding: local container
+  std::vector<double> acc;
+  for (size_t i = 0; i < n; ++i) {
+    acc.push_back(0.0);  // finding: growth on non-tls receiver
+    keys[i] = partials[0] + static_cast<double>(rows[i * dim]) +
+              static_cast<double>(q[0]);
+  }
+  double* spill = new double[n];  // finding: naked new
+  delete[] spill;
+}
+
+}  // namespace cbix

@@ -1,0 +1,32 @@
+// Fixture: the sanctioned forms — arithmetic into caller buffers, and
+// growth only on warmed tls_* scratch — must not be flagged. A helper
+// that is NOT a Rank* kernel may allocate freely.
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+namespace {
+std::vector<double>& TlsKeys() {
+  static thread_local std::vector<double> tls_keys;
+  return tls_keys;
+}
+}  // namespace
+
+void RankBatchFixture(const float* q, const float* rows, size_t n,
+                      size_t dim, double* keys) {
+  std::vector<double>& tls_scratch = TlsKeys();
+  if (tls_scratch.size() < n) tls_scratch.resize(n);  // growth-only TLS
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = tls_scratch[i] + static_cast<double>(rows[i * dim]) +
+              static_cast<double>(q[0]);
+  }
+}
+
+std::vector<double> PrepareFixture(size_t n) {
+  std::vector<double> out;  // not a kernel: allocation is fine here
+  out.resize(n);
+  return out;
+}
+
+}  // namespace cbix

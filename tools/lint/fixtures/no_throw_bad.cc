@@ -1,0 +1,13 @@
+// Fixture: throwing on a library path must be flagged (no-throw).
+#include <stdexcept>
+
+namespace cbix {
+
+int ParsePositive(int v) {
+  if (v <= 0) {
+    throw std::invalid_argument("v must be positive");  // finding here
+  }
+  return v;
+}
+
+}  // namespace cbix

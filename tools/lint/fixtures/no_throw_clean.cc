@@ -1,0 +1,19 @@
+// Fixture: Status-returning code with "throw" only in prose must not
+// be flagged — the linter strips comments and strings first. Library
+// code does not throw; it returns Status.
+
+namespace cbix {
+
+struct Status {
+  static Status Ok() { return Status(); }
+};
+
+// A comment saying throw, and a string below, are not code:
+Status ParsePositive(int v) {
+  const char* msg = "would throw in a lesser codebase";
+  (void)msg;
+  (void)v;
+  return Status::Ok();
+}
+
+}  // namespace cbix

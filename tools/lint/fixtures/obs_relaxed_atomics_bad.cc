@@ -1,0 +1,21 @@
+// Fixture: record-path atomics with a default (seq_cst) or acquire
+// ordering must be flagged (obs-relaxed-atomics).
+#include <atomic>
+#include <cstdint>
+
+namespace cbix {
+
+class FixtureCounter {
+ public:
+  void Add(uint64_t n) {
+    value_.fetch_add(n);  // finding: defaults to seq_cst
+  }
+  uint64_t value() const {
+    return value_.load(std::memory_order_acquire);  // finding: fenced
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace cbix

@@ -1,0 +1,25 @@
+// Fixture: relaxed record-path atomics are compliant, including
+// multi-line calls whose ordering argument lands on the next line.
+#include <atomic>
+#include <cstdint>
+
+namespace cbix {
+
+class FixtureCounter {
+ public:
+  void Add(uint64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    value_.store(0,
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace cbix

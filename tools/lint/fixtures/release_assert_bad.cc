@@ -1,0 +1,14 @@
+// Fixture: a naked assert on a release path must be flagged
+// (release-assert) — it compiles out under NDEBUG.
+#include <cassert>
+#include <cstddef>
+
+namespace cbix {
+
+double RowAt(const double* rows, size_t n, size_t i) {
+  assert(i < n);  // finding here: vanishes in release builds
+  (void)n;
+  return rows[i];
+}
+
+}  // namespace cbix

@@ -1,0 +1,17 @@
+// Fixture: static_assert and a justified allow() must not be flagged.
+#include <cassert>
+#include <cstddef>
+
+namespace cbix {
+
+static_assert(sizeof(size_t) >= 4, "compile-time checks are fine");
+
+double RowAt(const double* rows, size_t n, size_t i) {
+  // cbix-lint: allow(release-assert) callers index with loop bounds
+  // derived from n itself, so i < n holds by construction.
+  assert(i < n);
+  (void)n;
+  return rows[i];
+}
+
+}  // namespace cbix

@@ -1,0 +1,16 @@
+// Fixture: raw FeatureMatrix pointers escaping an API must be flagged
+// (rowview-ownership) — row substrates travel as RowView.
+#include <cstddef>
+
+namespace cbix {
+
+class FeatureMatrix;
+
+FeatureMatrix* StealRows();  // finding: raw pointer crosses an API
+
+void AdoptRows() {
+  FeatureMatrix* rows = StealRows();  // finding: raw pointer local
+  (void)rows;
+}
+
+}  // namespace cbix

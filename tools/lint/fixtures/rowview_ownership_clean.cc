@@ -1,0 +1,21 @@
+// Fixture: const references and by-value RowView handoffs are the
+// sanctioned substrate shapes — no raw FeatureMatrix pointers.
+#include <utility>
+
+namespace cbix {
+
+class FeatureMatrix {};
+class RowView {
+ public:
+  static RowView Adopt(FeatureMatrix m) {
+    (void)m;
+    return RowView();
+  }
+};
+
+RowView ShareRows(const FeatureMatrix& rows) {
+  FeatureMatrix copy = rows;
+  return RowView::Adopt(std::move(copy));
+}
+
+}  // namespace cbix

@@ -1,0 +1,31 @@
+// Fixture: a SearchBatchImpl override that never references the
+// CancellationToken must be flagged (searchbatch-cancel) — it would
+// silently opt the index out of the serving runtime's deadlines.
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+struct QueryBlock;
+struct Neighbor;
+struct SearchStats;
+class CancellationToken;
+
+class FixtureIndex {
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const;
+};
+
+void FixtureIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                   std::vector<Neighbor>* results,
+                                   SearchStats* stats,
+                                   const CancellationToken* /*cancel*/) const {
+  // finding: the body never polls (or even names) cancel.
+  (void)block;
+  (void)k;
+  (void)results;
+  (void)stats;
+}
+
+}  // namespace cbix

@@ -1,0 +1,33 @@
+// Fixture: a SearchBatchImpl override that polls the token is
+// compliant; the declaration alone (no body) is never flagged.
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+
+struct QueryBlock;
+struct Neighbor;
+struct SearchStats;
+class CancellationToken {
+ public:
+  bool Expired() const { return false; }
+};
+
+class FixtureIndex {
+  void SearchBatchImpl(const QueryBlock& block, size_t k,
+                       std::vector<Neighbor>* results, SearchStats* stats,
+                       const CancellationToken* cancel) const;
+};
+
+void FixtureIndex::SearchBatchImpl(const QueryBlock& block, size_t k,
+                                   std::vector<Neighbor>* results,
+                                   SearchStats* stats,
+                                   const CancellationToken* cancel) const {
+  if (cancel != nullptr && cancel->Expired()) return;
+  (void)block;
+  (void)k;
+  (void)results;
+  (void)stats;
+}
+
+}  // namespace cbix

@@ -1,0 +1,23 @@
+// Fixture: a public fallible verb returning void/bool must be flagged
+// (status-public-api).
+#ifndef CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_BAD_H_
+#define CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_BAD_H_
+
+#include <string>
+
+namespace cbix {
+
+class Status;
+
+class FixtureIndex {
+ public:
+  void BuildFromNothing();                  // finding: void Build*
+  bool LoadSnapshot(const std::string& p);  // finding: bool Load*
+
+ private:
+  void InsertHelper();  // private: out of the rule's scope
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_BAD_H_

@@ -1,0 +1,32 @@
+// Fixture: the compliant surface — public fallible verbs return Status
+// or Result, private helpers and non-verb methods are unconstrained.
+#ifndef CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_CLEAN_H_
+#define CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_CLEAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cbix {
+
+class Status;
+template <typename T>
+class Result;
+
+class FixtureIndex {
+ public:
+  Status BuildFromNothing();
+  virtual Status LoadSnapshot(const std::string& p);
+  Result<uint32_t> Insert(int row);
+  Status BuildFromCopy(const FixtureIndex& other) {
+    return BuildFromNothing();  // inline body: statements not decls
+  }
+  void Clear();       // not a fallible verb
+  size_t size() const { return 0; }
+
+ private:
+  void InsertHelper();  // private: out of the rule's scope
+};
+
+}  // namespace cbix
+
+#endif  // CBIX_LINT_FIXTURE_STATUS_PUBLIC_API_CLEAN_H_

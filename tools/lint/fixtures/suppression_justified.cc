@@ -1,0 +1,16 @@
+// Fixture: an allow() carrying a real justification suppresses its
+// rule and produces no hygiene finding — the fully compliant shape.
+#include <stdexcept>
+
+namespace cbix {
+
+int ParsePositive(int v) {
+  if (v <= 0) {
+    // cbix-lint: allow(no-throw) fixture boundary: this sample models a
+    // third-party-facing adapter whose contract is exception-based.
+    throw std::invalid_argument("bad v");
+  }
+  return v;
+}
+
+}  // namespace cbix

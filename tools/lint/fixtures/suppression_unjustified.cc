@@ -1,0 +1,17 @@
+// Fixture: an allow() with no written reason must itself be flagged
+// (unjustified-suppression) — the discipline is justification, not
+// exemption. The suppressed rule stays suppressed; the hygiene finding
+// replaces it.
+#include <stdexcept>
+
+namespace cbix {
+
+int ParsePositive(int v) {
+  if (v <= 0) {
+    // cbix-lint: allow(no-throw)
+    throw std::invalid_argument("bad v");  // suppressed, but unjustified
+  }
+  return v;
+}
+
+}  // namespace cbix

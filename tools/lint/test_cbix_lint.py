@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Self-test of cbix_lint against the known-bad / known-clean fixture
+corpus. Every rule must (a) flag each *_bad fixture at least once with
+the right rule name, and (b) stay silent on its *_clean twin — so a
+regression in either direction (a rule going blind, or a rule starting
+to scream at sanctioned idiom) fails ctest.
+
+Stdlib-only; registered in CMakeLists.txt behind the Python3 gate.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cbix_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+REPO_ROOT = os.path.abspath(os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+
+# fixture basename stem -> forced rule
+RULE_FIXTURES = {
+    "no_throw": "no-throw",
+    "release_assert": "release-assert",
+    "status_public_api": "status-public-api",
+    "hot_path_alloc": "hot-path-alloc",
+    "searchbatch_cancel": "searchbatch-cancel",
+    "obs_relaxed_atomics": "obs-relaxed-atomics",
+    "rowview_ownership": "rowview-ownership",
+    "deterministic_build": "deterministic-build",
+}
+
+
+def run_rule(rule, filename):
+    path = os.path.join(FIXTURES, filename)
+    return cbix_lint.lint_file(path, filename, [rule], REPO_ROOT,
+                               use_libclang=False)
+
+
+def fixture_file(stem, suffix):
+    for ext in (".cc", ".h"):
+        name = "%s_%s%s" % (stem, suffix, ext)
+        if os.path.exists(os.path.join(FIXTURES, name)):
+            return name
+    raise AssertionError("missing fixture %s_%s.{cc,h}" % (stem, suffix))
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        # The corpus must grow with the rule set: a new rule without a
+        # proving fixture fails here.
+        meta_rules = {"unjustified-suppression"}
+        covered = {r for r in RULE_FIXTURES.values()}
+        self.assertEqual(covered, set(cbix_lint.RULES) - meta_rules)
+        for stem in RULE_FIXTURES:
+            fixture_file(stem, "bad")
+            fixture_file(stem, "clean")
+
+    def test_bad_fixtures_are_flagged(self):
+        for stem, rule in sorted(RULE_FIXTURES.items()):
+            with self.subTest(rule=rule):
+                findings = run_rule(rule, fixture_file(stem, "bad"))
+                self.assertTrue(
+                    findings,
+                    "%s did not flag its bad fixture" % rule)
+                self.assertTrue(
+                    all(f.rule == rule for f in findings),
+                    "unexpected rules in %r" % findings)
+
+    def test_clean_fixtures_stay_silent(self):
+        for stem, rule in sorted(RULE_FIXTURES.items()):
+            with self.subTest(rule=rule):
+                findings = run_rule(rule, fixture_file(stem, "clean"))
+                self.assertEqual(
+                    [], findings,
+                    "%s flagged its clean fixture: %r" % (rule, findings))
+
+
+class FindingDetailTest(unittest.TestCase):
+    """Line-accuracy spot checks: a linter that flags the right file at
+    the wrong line is unusable in review."""
+
+    def lines(self, rule, filename):
+        return sorted(f.line for f in run_rule(rule, filename))
+
+    def test_no_throw_line(self):
+        self.assertEqual([8], self.lines("no-throw", "no_throw_bad.cc"))
+
+    def test_hot_path_alloc_flags_every_shape(self):
+        # Two local containers, one non-tls growth call, one naked new.
+        findings = run_rule("hot-path-alloc", "hot_path_alloc_bad.cc")
+        self.assertEqual(4, len(findings), repr(findings))
+
+    def test_status_public_api_flags_both_verbs(self):
+        findings = run_rule("status-public-api",
+                            "status_public_api_bad.h")
+        flagged = sorted(f.line for f in findings)
+        self.assertEqual(2, len(flagged), repr(findings))
+
+    def test_obs_atomics_flags_both_fenced_ops(self):
+        findings = run_rule("obs-relaxed-atomics",
+                            "obs_relaxed_atomics_bad.cc")
+        self.assertEqual(2, len(findings), repr(findings))
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_justified_allow_suppresses_and_is_hygienic(self):
+        findings = run_rule("no-throw", "suppression_justified.cc")
+        self.assertEqual([], findings, repr(findings))
+
+    def test_unjustified_allow_is_itself_a_finding(self):
+        findings = run_rule("no-throw", "suppression_unjustified.cc")
+        self.assertEqual(1, len(findings), repr(findings))
+        self.assertEqual("unjustified-suppression", findings[0].rule)
+
+    def test_unknown_rule_in_allow_is_flagged(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cc", delete=False) as f:
+            f.write("// cbix-lint: allow(not-a-rule) some reason here\n"
+                    "int x;\n")
+            path = f.name
+        try:
+            findings = cbix_lint.lint_file(
+                path, os.path.basename(path), ["no-throw"], REPO_ROOT,
+                use_libclang=False)
+            self.assertEqual(1, len(findings), repr(findings))
+            self.assertEqual("unjustified-suppression", findings[0].rule)
+            self.assertIn("unknown rule", findings[0].message)
+        finally:
+            os.unlink(path)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        # The same invariant ctest enforces via cbix_lint_src, asserted
+        # here too so `python3 test_cbix_lint.py` alone proves the tree.
+        rc = cbix_lint.main(["--root", REPO_ROOT, "--no-libclang"])
+        self.assertEqual(0, rc, "cbix_lint found violations in src/")
+
+
+if __name__ == "__main__":
+    unittest.main()
