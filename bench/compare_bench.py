@@ -17,8 +17,18 @@ portable baseline). Compared fields:
                                          multi-query path must stay at
                                          >= 1.3x the per-query-scan
                                          QPS regardless of baseline
+  - BENCH_kernels.json  isa_dispatch     ABSOLUTE floors on the runtime
+                                         SIMD dispatch (vector tiers
+                                         only): dispatched l2 >= 0.9x
+                                         autovec, dispatched hellinger
+                                         >= 1.3x autovec, rsqrt fast
+                                         hellinger >= 1.0x exact
   - BENCH_shards.json   shard_scaling[]  batch_qps
-  - BENCH_quant.json    quantization[]   batch_qps, compression_x
+  - BENCH_quant.json    quantization[]   batch_qps, compression_x, plus
+                                         an ABSOLUTE floor: the int8
+                                         dequant-free scan must hold
+                                         batch_qps >= 1.0x the 'none'
+                                         (float) backing row
   - BENCH_serving.json  serving[]        qps, plus ABSOLUTE degraded-
                                          fraction gates: healthy/slow/
                                          flaky scenarios <= 1%
@@ -149,6 +159,97 @@ def check_tiled_floor(failures, notes, current_dir, min_speedup=1.3):
             notes.append(
                 f"batch_tiled l2/dim-128 speedup {speedup:.3f} "
                 f">= {min_speedup:.1f}x floor")
+
+
+def check_isa_dispatch_floor(failures, notes, current_dir):
+    """Absolute gates on the runtime-dispatched SIMD kernels, no
+    baseline required. On a vector tier the dispatched table must stay
+    within 0.9x of the compiler-autovectorized body for l2 (the
+    workhorse kernel), must beat autovec by >= 1.3x for hellinger (the
+    kernel autovec never cracked), and the rsqrt fast-Hellinger variant
+    must never be slower than the exact kernel it approximates. On the
+    scalar tier the dispatched table IS the scalar reference, so only
+    its presence is checked."""
+    path = os.path.join(current_dir, "BENCH_kernels.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_kernels.json: missing from current run")
+        return
+    isa = load(path).get("isa_dispatch")
+    if not isa:
+        failures.append("BENCH_kernels.json: isa_dispatch section missing "
+                        "(dispatch floors cannot run)")
+        return
+    tier = isa.get("active_tier", "")
+    if tier == "scalar":
+        notes.append("isa_dispatch: scalar tier active, dispatched == "
+                     "scalar reference, vector floors skipped")
+        return
+    rows = {(r.get("kernel"), r.get("dim")): r
+            for r in isa.get("kernels", [])}
+    floors = {("l2_squared", 128): 0.9, ("l2_squared", 512): 0.9,
+              ("hellinger", 128): 1.3, ("hellinger", 512): 1.3}
+    for (kernel, dim), floor in sorted(floors.items()):
+        row = rows.get((kernel, dim))
+        if row is None:
+            failures.append(
+                f"BENCH_kernels.json isa_dispatch: {kernel}/dim-{dim} row "
+                "missing (dispatch floor cannot run)")
+            continue
+        speedup = row.get("speedup_vs_autovec", 0.0)
+        if speedup < floor:
+            failures.append(
+                f"BENCH_kernels.json isa_dispatch {kernel}/dim-{dim}: "
+                f"dispatched {speedup:.3f}x autovec below the "
+                f"{floor:.1f}x floor on tier {tier}")
+        else:
+            notes.append(f"isa_dispatch {kernel}/dim-{dim} dispatched "
+                         f"{speedup:.3f}x autovec >= {floor:.1f}x on {tier}")
+    fast_rows = [r for r in isa.get("hellinger_fast", [])
+                 if r.get("dim") in (128, 512)]
+    if not fast_rows:
+        failures.append("BENCH_kernels.json isa_dispatch: hellinger_fast "
+                        "dim-128/512 rows missing (floor cannot run)")
+    for r in fast_rows:
+        speedup = r.get("speedup", 0.0)
+        if speedup < 1.0:
+            failures.append(
+                f"BENCH_kernels.json isa_dispatch hellinger_fast/"
+                f"dim-{r.get('dim')}: fast {speedup:.3f}x exact below the "
+                f"1.0x floor on tier {tier}")
+
+
+def check_int8_scan_floor(failures, notes, current_dir, min_ratio=1.0):
+    """Absolute gate on the dequant-free int8 bargain, no baseline
+    required: the int8-backed batch QPS must reach min_ratio x the
+    unquantized float scan in the same BENCH_quant run. Before the
+    integer scan kernel this sat at ~0.7x — 4x less memory traffic
+    bought with a dequantizing inner loop that gave the win straight
+    back — so this floor is what keeps the int8 mode worth shipping."""
+    path = os.path.join(current_dir, "BENCH_quant.json")
+    if not os.path.exists(path):
+        failures.append("BENCH_quant.json: missing from current run")
+        return
+    rows = {r.get("backing"): r for r in load(path).get("quantization", [])}
+    float_row, int8_row = rows.get("none"), rows.get("int8")
+    if float_row is None or int8_row is None:
+        failures.append("BENCH_quant.json: 'none' or 'int8' backing row "
+                        "missing (int8 scan floor cannot run)")
+        return
+    float_qps = float_row.get("batch_qps", 0.0)
+    int8_qps = int8_row.get("batch_qps", 0.0)
+    if float_qps <= 0.0:
+        failures.append("BENCH_quant.json: float batch_qps is zero "
+                        "(int8 scan floor cannot run)")
+        return
+    ratio = int8_qps / float_qps
+    if ratio < min_ratio:
+        failures.append(
+            f"BENCH_quant.json: int8 batch_qps {int8_qps:.1f} is "
+            f"{ratio:.3f}x the float scan ({float_qps:.1f}), below the "
+            f"{min_ratio:.1f}x floor")
+    else:
+        notes.append(f"int8 batch_qps {int8_qps:.1f} = {ratio:.3f}x float "
+                     f"scan {float_qps:.1f} >= {min_ratio:.1f}x floor")
 
 
 def check_degraded_ceiling(failures, notes, current_dir):
@@ -285,6 +386,8 @@ def main():
                  "BENCH_kernels.json", "batch_tiled", ("metric", "dim"),
                  [("tiled_qps", True)], args.threshold)
     check_tiled_floor(failures, notes, args.current_dir)
+    check_isa_dispatch_floor(failures, notes, args.current_dir)
+    check_int8_scan_floor(failures, notes, args.current_dir)
     compare_file(failures, notes, args.baseline_dir, args.current_dir,
                  "BENCH_shards.json", "shard_scaling", ("shards",),
                  [("batch_qps", True)], args.threshold)

@@ -33,9 +33,30 @@ KERNELS = {
     "batch_tiled": [
         {"metric": "l2", "dim": 128, "tiled_qps": 90000.0, "speedup": 1.8},
     ],
+    "isa_dispatch": {
+        "active_tier": "avx2",
+        "kernels": [
+            {"kernel": "l2_squared", "dim": 128, "dispatched_mevals": 35.0,
+             "autovec_mevals": 30.0, "speedup_vs_autovec": 1.17},
+            {"kernel": "l2_squared", "dim": 512, "dispatched_mevals": 8.2,
+             "autovec_mevals": 7.4, "speedup_vs_autovec": 1.11},
+            {"kernel": "hellinger", "dim": 128, "dispatched_mevals": 14.0,
+             "autovec_mevals": 3.5, "speedup_vs_autovec": 4.0},
+            {"kernel": "hellinger", "dim": 512, "dispatched_mevals": 3.5,
+             "autovec_mevals": 0.9, "speedup_vs_autovec": 3.9},
+        ],
+        "hellinger_fast": [
+            {"dim": 128, "exact_mevals": 14.0, "fast_mevals": 16.5,
+             "speedup": 1.18},
+            {"dim": 512, "exact_mevals": 3.5, "fast_mevals": 4.2,
+             "speedup": 1.2},
+        ],
+    },
 }
 SHARDS = {"shard_scaling": [{"shards": 1, "batch_qps": 2500.0}]}
 QUANT = {"quantization": [
+    {"backing": "none", "rerank_factor": 8, "batch_qps": 2200.0,
+     "compression_x": 1.0},
     {"backing": "int8", "rerank_factor": 8, "batch_qps": 9000.0,
      "compression_x": 3.9}]}
 SERVING = {"serving": [
@@ -204,6 +225,67 @@ def main():
         expect(code == 1, "missing obs metrics row fails", out)
         expect("'metrics' mode row missing" in out,
                "missing obs row names itself", out)
+
+        # 10. isa_dispatch absolute floors: dispatched l2 falling below
+        # 0.9x autovec fails even with no baseline to compare against.
+        head10 = os.path.join(tmp, "head10")
+        files = head_files()
+        isa = files["BENCH_kernels.json"]["isa_dispatch"]
+        isa["kernels"][0]["speedup_vs_autovec"] = 0.8
+        write_dir(head10, files)
+        code, out = run(base, head10)
+        expect(code == 1, "dispatched l2 below 0.9x autovec fails", out)
+        expect("below the 0.9x floor" in out,
+               "dispatch floor names itself", out)
+
+        # 11. On the scalar tier the dispatched table IS the scalar
+        # reference: the vector floors must be skipped, not failed.
+        head11 = os.path.join(tmp, "head11")
+        files = head_files()
+        isa = files["BENCH_kernels.json"]["isa_dispatch"]
+        isa["active_tier"] = "scalar"
+        for row in isa["kernels"]:
+            row["speedup_vs_autovec"] = 1.0
+        write_dir(head11, files)
+        code, out = run(base, head11)
+        expect(code == 0, "scalar tier skips the vector dispatch floors",
+               out)
+        expect("vector floors skipped" in out,
+               "scalar-tier skip is noted", out)
+
+        # 12. A bench binary predating the dispatch series must fail the
+        # gate loudly, not silently skip it.
+        head12 = os.path.join(tmp, "head12")
+        files = head_files()
+        del files["BENCH_kernels.json"]["isa_dispatch"]
+        write_dir(head12, files)
+        code, out = run(base, head12)
+        expect(code == 1, "missing isa_dispatch section fails", out)
+        expect("isa_dispatch section missing" in out,
+               "missing dispatch section names itself", out)
+
+        # 13. int8 absolute floor: the dequant-free scan dropping below
+        # the float-scan QPS fails even with no baseline.
+        head13 = os.path.join(tmp, "head13")
+        files = head_files()
+        files["BENCH_quant.json"]["quantization"][1]["batch_qps"] = 1500.0
+        write_dir(head13, files)
+        code, out = run(base, head13)
+        expect(code == 1, "int8 below float-scan QPS fails", out)
+        expect("below the 1.0x floor" in out,
+               "int8 floor names itself", out)
+
+        # 14. The int8 floor cannot be disabled by dropping the float
+        # comparison row.
+        head14 = os.path.join(tmp, "head14")
+        files = head_files()
+        files["BENCH_quant.json"]["quantization"] = [
+            files["BENCH_quant.json"]["quantization"][1]]
+        write_dir(head14, files)
+        code, out = run(base, head14)
+        expect(code == 1, "missing 'none' backing row fails", out)
+        expect("int8 scan floor cannot run" in out,
+               "missing backing row names itself", out)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} compare_bench regression test(s) failed")

@@ -3,224 +3,82 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/dispatch.h"
+#include "simd/generic_kernels.h"
+
 namespace cbix {
 namespace kernels {
 
-// All reductions run four independent accumulator lanes: a single
-// accumulator serializes on FP-add latency (~4 cycles/element), which is
-// exactly the seed's scalar bottleneck; independent lanes let the
-// compiler pipeline or SLP-vectorize without reassociation flags.
+// The hot kernels forward through the runtime-selected ISA tier (one
+// indirect call per row batch; the table reference is resolved once).
+// The reference bodies — and the lane structure every tier replicates
+// — live in src/simd/generic_kernels.h.
 
 double L1(const float* a, const float* b, size_t dim) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-  size_t i = 0;
-  for (; i + 8 <= dim; i += 8) {
-    s0 += std::fabs(static_cast<double>(a[i + 0]) - b[i + 0]);
-    s1 += std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]);
-    s2 += std::fabs(static_cast<double>(a[i + 2]) - b[i + 2]);
-    s3 += std::fabs(static_cast<double>(a[i + 3]) - b[i + 3]);
-    s4 += std::fabs(static_cast<double>(a[i + 4]) - b[i + 4]);
-    s5 += std::fabs(static_cast<double>(a[i + 5]) - b[i + 5]);
-    s6 += std::fabs(static_cast<double>(a[i + 6]) - b[i + 6]);
-    s7 += std::fabs(static_cast<double>(a[i + 7]) - b[i + 7]);
-  }
-  for (; i < dim; ++i) {
-    s0 += std::fabs(static_cast<double>(a[i]) - b[i]);
-  }
-  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  return simd::ActiveKernels().l1(a, b, dim);
 }
 
 double L2Squared(const float* a, const float* b, size_t dim) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-  size_t i = 0;
-  for (; i + 8 <= dim; i += 8) {
-    const double d0 = static_cast<double>(a[i + 0]) - b[i + 0];
-    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
-    const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
-    const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
-    const double d4 = static_cast<double>(a[i + 4]) - b[i + 4];
-    const double d5 = static_cast<double>(a[i + 5]) - b[i + 5];
-    const double d6 = static_cast<double>(a[i + 6]) - b[i + 6];
-    const double d7 = static_cast<double>(a[i + 7]) - b[i + 7];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-    s4 += d4 * d4;
-    s5 += d5 * d5;
-    s6 += d6 * d6;
-    s7 += d7 * d7;
-  }
-  for (; i < dim; ++i) {
-    const double d = static_cast<double>(a[i]) - b[i];
-    s0 += d * d;
-  }
-  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  return simd::ActiveKernels().l2_squared(a, b, dim);
 }
 
 double L2SquaredWide(const double* a, const double* b, size_t dim) {
-  // Op-for-op the L2Squared reduction (lanes, tail, final order) minus
-  // the float->double converts, which the caller hoisted.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-  size_t i = 0;
-  for (; i + 8 <= dim; i += 8) {
-    const double d0 = a[i + 0] - b[i + 0];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    const double d4 = a[i + 4] - b[i + 4];
-    const double d5 = a[i + 5] - b[i + 5];
-    const double d6 = a[i + 6] - b[i + 6];
-    const double d7 = a[i + 7] - b[i + 7];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-    s4 += d4 * d4;
-    s5 += d5 * d5;
-    s6 += d6 * d6;
-    s7 += d7 * d7;
-  }
-  for (; i < dim; ++i) {
-    const double d = a[i] - b[i];
-    s0 += d * d;
-  }
-  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  return simd::ActiveKernels().l2_squared_wide(a, b, dim);
 }
 
 void DotPairAndNormSq(const float* qa, const float* qb, const float* r,
                       size_t dim, double* dot_a, double* dot_b,
                       double* norm_r_sq) {
-  // Same lane structure as DotAndNormSq per query (two dot lanes and
-  // two norm lanes) so every output is bit-identical to the
-  // single-query kernel; the row stream is shared by both queries.
-  double da0 = 0.0, da1 = 0.0, db0 = 0.0, db1 = 0.0;
-  double n0 = 0.0, n1 = 0.0;
-  size_t i = 0;
-  for (; i + 2 <= dim; i += 2) {
-    const double r0 = r[i];
-    const double r1 = r[i + 1];
-    da0 += static_cast<double>(qa[i]) * r0;
-    da1 += static_cast<double>(qa[i + 1]) * r1;
-    db0 += static_cast<double>(qb[i]) * r0;
-    db1 += static_cast<double>(qb[i + 1]) * r1;
-    n0 += r0 * r0;
-    n1 += r1 * r1;
-  }
-  for (; i < dim; ++i) {
-    const double r0 = r[i];
-    da0 += static_cast<double>(qa[i]) * r0;
-    db0 += static_cast<double>(qb[i]) * r0;
-    n0 += r0 * r0;
-  }
-  *dot_a = da0 + da1;
-  *dot_b = db0 + db1;
-  *norm_r_sq = n0 + n1;
+  simd::ActiveKernels().dot_pair_and_norm_sq(qa, qb, r, dim, dot_a, dot_b,
+                                             norm_r_sq);
 }
 
 double LInf(const float* a, const float* b, size_t dim) {
-  // max is order-independent, so the lanes are exact.
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    m0 = std::max(m0, std::fabs(static_cast<double>(a[i + 0]) - b[i + 0]));
-    m1 = std::max(m1, std::fabs(static_cast<double>(a[i + 1]) - b[i + 1]));
-    m2 = std::max(m2, std::fabs(static_cast<double>(a[i + 2]) - b[i + 2]));
-    m3 = std::max(m3, std::fabs(static_cast<double>(a[i + 3]) - b[i + 3]));
-  }
-  for (; i < dim; ++i) {
-    m0 = std::max(m0, std::fabs(static_cast<double>(a[i]) - b[i]));
-  }
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::ActiveKernels().linf(a, b, dim);
 }
 
 double ChiSquare(const float* a, const float* b, size_t dim) {
-  // Eight lanes like the L2 path. The zero-mass guard stays a select
-  // (not a branch) so the compiler can if-convert and mask-vectorize
-  // the body, and the independent lanes pipeline the divide latency
-  // instead of serializing on it.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-  size_t i = 0;
-  for (; i + 8 <= dim; i += 8) {
-    const double sum0 = static_cast<double>(a[i + 0]) + b[i + 0];
-    const double sum1 = static_cast<double>(a[i + 1]) + b[i + 1];
-    const double sum2 = static_cast<double>(a[i + 2]) + b[i + 2];
-    const double sum3 = static_cast<double>(a[i + 3]) + b[i + 3];
-    const double sum4 = static_cast<double>(a[i + 4]) + b[i + 4];
-    const double sum5 = static_cast<double>(a[i + 5]) + b[i + 5];
-    const double sum6 = static_cast<double>(a[i + 6]) + b[i + 6];
-    const double sum7 = static_cast<double>(a[i + 7]) + b[i + 7];
-    const double d0 = static_cast<double>(a[i + 0]) - b[i + 0];
-    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
-    const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
-    const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
-    const double d4 = static_cast<double>(a[i + 4]) - b[i + 4];
-    const double d5 = static_cast<double>(a[i + 5]) - b[i + 5];
-    const double d6 = static_cast<double>(a[i + 6]) - b[i + 6];
-    const double d7 = static_cast<double>(a[i + 7]) - b[i + 7];
-    s0 += sum0 > 0.0 ? d0 * d0 / sum0 : 0.0;
-    s1 += sum1 > 0.0 ? d1 * d1 / sum1 : 0.0;
-    s2 += sum2 > 0.0 ? d2 * d2 / sum2 : 0.0;
-    s3 += sum3 > 0.0 ? d3 * d3 / sum3 : 0.0;
-    s4 += sum4 > 0.0 ? d4 * d4 / sum4 : 0.0;
-    s5 += sum5 > 0.0 ? d5 * d5 / sum5 : 0.0;
-    s6 += sum6 > 0.0 ? d6 * d6 / sum6 : 0.0;
-    s7 += sum7 > 0.0 ? d7 * d7 / sum7 : 0.0;
-  }
-  for (; i < dim; ++i) {
-    const double sum = static_cast<double>(a[i]) + b[i];
-    if (sum > 0.0) {
-      const double d = static_cast<double>(a[i]) - b[i];
-      s0 += d * d / sum;
-    }
-  }
-  return 0.5 * (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7)));
+  return simd::ActiveKernels().chi_square(a, b, dim);
 }
 
 double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
-  // Per-element math mirrors the scalar reference (float sqrt and
-  // subtraction, double squared accumulation); eight independent lanes
-  // pipeline the sqrt latency like the L2 path does for FP adds.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
-  size_t i = 0;
-  for (; i + 8 <= dim; i += 8) {
-    const double d0 = std::sqrt(std::max(0.0f, a[i + 0])) -
-                      std::sqrt(std::max(0.0f, b[i + 0]));
-    const double d1 = std::sqrt(std::max(0.0f, a[i + 1])) -
-                      std::sqrt(std::max(0.0f, b[i + 1]));
-    const double d2 = std::sqrt(std::max(0.0f, a[i + 2])) -
-                      std::sqrt(std::max(0.0f, b[i + 2]));
-    const double d3 = std::sqrt(std::max(0.0f, a[i + 3])) -
-                      std::sqrt(std::max(0.0f, b[i + 3]));
-    const double d4 = std::sqrt(std::max(0.0f, a[i + 4])) -
-                      std::sqrt(std::max(0.0f, b[i + 4]));
-    const double d5 = std::sqrt(std::max(0.0f, a[i + 5])) -
-                      std::sqrt(std::max(0.0f, b[i + 5]));
-    const double d6 = std::sqrt(std::max(0.0f, a[i + 6])) -
-                      std::sqrt(std::max(0.0f, b[i + 6]));
-    const double d7 = std::sqrt(std::max(0.0f, a[i + 7])) -
-                      std::sqrt(std::max(0.0f, b[i + 7]));
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-    s4 += d4 * d4;
-    s5 += d5 * d5;
-    s6 += d6 * d6;
-    s7 += d7 * d7;
-  }
-  for (; i < dim; ++i) {
-    const double d = std::sqrt(std::max(0.0f, a[i])) -
-                     std::sqrt(std::max(0.0f, b[i]));
-    s0 += d * d;
-  }
-  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+  return simd::ActiveKernels().hellinger_squared_sum(a, b, dim);
 }
+
+double HellingerSquaredSumFast(const float* a, const float* b, size_t dim) {
+  return simd::ActiveKernels().hellinger_squared_sum_fast(a, b, dim);
+}
+
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq) {
+  simd::ActiveKernels().dot_and_norm_sq(a, b, dim, dot, norm_b_sq);
+}
+
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b) {
+  simd::ActiveKernels().min_and_mass(a, b, dim, inter, mass_b);
+}
+
+double Mass(const float* a, size_t dim) {
+  return simd::ActiveKernels().mass(a, dim);
+}
+
+double NormSquared(const float* a, size_t dim) {
+  return simd::ActiveKernels().norm_squared(a, dim);
+}
+
+void WidenToDouble(const float* src, size_t count, double* dst) {
+  simd::ActiveKernels().widen_to_double(src, count, dst);
+}
+
+int64_t Int8WeightedCodeSum(const int16_t* w_q, const uint8_t* codes,
+                            size_t dim) {
+  return simd::ActiveKernels().int8_weighted_code_sum(w_q, codes, dim);
+}
+
+// Non-dispatched kernels: Canberra (VP-tree only), PowSum (generic
+// Minkowski p, per-element pow dominates) and WeightedL2Squared (cold
+// weighted metric) stay with the compiler's autovectorizer.
 
 double Canberra(const float* a, const float* b, size_t dim) {
   double s0 = 0.0, s1 = 0.0;
@@ -242,68 +100,6 @@ double Canberra(const float* a, const float* b, size_t dim) {
     }
   }
   return s0 + s1;
-}
-
-void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
-                  double* norm_b_sq) {
-  double d0 = 0.0, d1 = 0.0, n0 = 0.0, n1 = 0.0;
-  size_t i = 0;
-  for (; i + 2 <= dim; i += 2) {
-    d0 += static_cast<double>(a[i]) * b[i];
-    d1 += static_cast<double>(a[i + 1]) * b[i + 1];
-    n0 += static_cast<double>(b[i]) * b[i];
-    n1 += static_cast<double>(b[i + 1]) * b[i + 1];
-  }
-  for (; i < dim; ++i) {
-    d0 += static_cast<double>(a[i]) * b[i];
-    n0 += static_cast<double>(b[i]) * b[i];
-  }
-  *dot = d0 + d1;
-  *norm_b_sq = n0 + n1;
-}
-
-void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
-                double* mass_b) {
-  double i0 = 0.0, i1 = 0.0, m0 = 0.0, m1 = 0.0;
-  size_t i = 0;
-  for (; i + 2 <= dim; i += 2) {
-    i0 += std::min(a[i], b[i]);
-    i1 += std::min(a[i + 1], b[i + 1]);
-    m0 += b[i];
-    m1 += b[i + 1];
-  }
-  for (; i < dim; ++i) {
-    i0 += std::min(a[i], b[i]);
-    m0 += b[i];
-  }
-  *inter = i0 + i1;
-  *mass_b = m0 + m1;
-}
-
-double Mass(const float* a, size_t dim) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    s0 += a[i + 0];
-    s1 += a[i + 1];
-    s2 += a[i + 2];
-    s3 += a[i + 3];
-  }
-  for (; i < dim; ++i) s0 += a[i];
-  return (s0 + s1) + (s2 + s3);
-}
-
-double NormSquared(const float* a, size_t dim) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= dim; i += 4) {
-    s0 += static_cast<double>(a[i + 0]) * a[i + 0];
-    s1 += static_cast<double>(a[i + 1]) * a[i + 1];
-    s2 += static_cast<double>(a[i + 2]) * a[i + 2];
-    s3 += static_cast<double>(a[i + 3]) * a[i + 3];
-  }
-  for (; i < dim; ++i) s0 += static_cast<double>(a[i]) * a[i];
-  return (s0 + s1) + (s2 + s3);
 }
 
 double PowSum(const float* a, const float* b, size_t dim, double p) {
@@ -330,6 +126,40 @@ double WeightedL2Squared(const float* a, const float* b, const float* w,
   }
   return s0 + s1;
 }
+
+namespace autovec {
+
+double L1(const float* a, const float* b, size_t dim) {
+  return simd::generic::L1(a, b, dim);
+}
+
+double L2Squared(const float* a, const float* b, size_t dim) {
+  return simd::generic::L2Squared(a, b, dim);
+}
+
+double LInf(const float* a, const float* b, size_t dim) {
+  return simd::generic::LInf(a, b, dim);
+}
+
+double ChiSquare(const float* a, const float* b, size_t dim) {
+  return simd::generic::ChiSquare(a, b, dim);
+}
+
+double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
+  return simd::generic::HellingerSquaredSum(a, b, dim);
+}
+
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b) {
+  simd::generic::MinAndMass(a, b, dim, inter, mass_b);
+}
+
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq) {
+  simd::generic::DotAndNormSq(a, b, dim, dot, norm_b_sq);
+}
+
+}  // namespace autovec
 
 }  // namespace kernels
 }  // namespace cbix

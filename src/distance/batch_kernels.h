@@ -2,11 +2,20 @@
 //
 // These are the hot inner loops of every query in the system. They take
 // raw pointers into FeatureMatrix storage (or any contiguous float
-// data), keep the loop free of virtual dispatch and heap traffic, and
-// accumulate in four independent double lanes so the compiler can
-// pipeline/vectorize the reduction without -ffast-math. Results agree
-// with the scalar double-accumulating reference implementations to
-// ~1e-15 relative (the lanes only change summation order).
+// data) and keep the loop free of virtual dispatch and heap traffic.
+// Results agree with the scalar double-accumulating reference
+// implementations to ~1e-15 relative (independent accumulator lanes
+// only change summation order).
+//
+// Since the SIMD dispatch pass, most kernels here are one-line
+// forwards through the runtime-selected ISA tier (src/simd/dispatch.h
+// — hand-written AVX2/AVX-512/NEON behind a one-time CPUID probe, so a
+// portable binary still runs vector code). The reference lane
+// structure every tier replicates lives in src/simd/generic_kernels.h;
+// Canberra, PowSum and WeightedL2Squared stay autovec-only (cold
+// paths, documented in src/README.md). The kernels::autovec mirror
+// compiles the reference bodies with this build's own flags — it
+// exists for the bench's scalar-vs-autovec-vs-dispatched series.
 //
 // Kernels that admit a cheaper monotone "rank key" (L2 -> squared
 // distance, Hellinger -> unscaled squared sum) expose it so top-k and
@@ -17,6 +26,7 @@
 #define CBIX_DISTANCE_BATCH_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace cbix {
 namespace kernels {
@@ -56,6 +66,13 @@ double ChiSquare(const float* a, const float* b, size_t dim);
 /// key; distance = sqrt(key / 2).
 double HellingerSquaredSum(const float* a, const float* b, size_t dim);
 
+/// HellingerSquaredSum with the per-element sqrt allowed to be
+/// approximate (rsqrt + one Newton step on the AVX tiers, <= 1e-6
+/// relative per element; exact on the scalar/NEON tiers). ORDERING
+/// USE ONLY: callers must rerank or re-test candidates with the exact
+/// kernel — see DistanceMetric::ApproxRankBatch in distance/metric.h.
+double HellingerSquaredSumFast(const float* a, const float* b, size_t dim);
+
 /// sum_i |a_i - b_i| / (|a_i| + |b_i|), zero-mass bins skipped.
 double Canberra(const float* a, const float* b, size_t dim);
 
@@ -82,6 +99,35 @@ double PowSum(const float* a, const float* b, size_t dim, double p);
 /// sum_i w_i * (a_i - b_i)^2 — weighted-L2 rank key.
 double WeightedL2Squared(const float* a, const float* b, const float* w,
                          size_t dim);
+
+/// Exact float->double widening copy (dispatched: vcvtps2pd on the
+/// vector tiers) — the operand-packing step of the L2 block scan.
+void WidenToDouble(const float* src, size_t count, double* dst);
+
+/// sum_j w_q[j] * codes[j] over int16 weights x uint8 codes — the
+/// dequant-free int8 scan kernel (pure integer, bit-identical on every
+/// tier). `dim` is the zero-padded code stride; see
+/// Int8Matrix::PrepareScanQuery for the affine correction that turns
+/// this sum into an L2/dot rank key.
+int64_t Int8WeightedCodeSum(const int16_t* w_q, const uint8_t* codes,
+                            size_t dim);
+
+namespace autovec {
+
+/// The generic reference bodies compiled with THIS build's flags (so
+/// under -march=native they are what the pre-dispatch engine shipped):
+/// the "autovec" series of bench_kernels. Not used on any query path.
+double L1(const float* a, const float* b, size_t dim);
+double L2Squared(const float* a, const float* b, size_t dim);
+double LInf(const float* a, const float* b, size_t dim);
+double ChiSquare(const float* a, const float* b, size_t dim);
+double HellingerSquaredSum(const float* a, const float* b, size_t dim);
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b);
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq);
+
+}  // namespace autovec
 
 }  // namespace kernels
 

@@ -132,6 +132,29 @@ void HellingerDistance::RankBatch(const float* q, const float* const* rows,
       GatheredRows{rows}, n, keys);
 }
 
+void HellingerDistance::ApproxRankBatch(const float* q, const float* rows,
+                                        size_t stride, size_t n, size_t dim,
+                                        double* keys) const {
+  BatchLoop(
+      [&](const float* r) {
+        return kernels::HellingerSquaredSumFast(q, r, dim);
+      },
+      ContiguousRows{rows, stride}, n, keys);
+}
+
+void HellingerDistance::ApproxRankBlock(const float* queries, size_t q_stride,
+                                        size_t nq, const float* rows,
+                                        size_t row_stride, size_t n,
+                                        size_t dim, double* keys,
+                                        size_t key_stride) const {
+  // Per-query loop: block keys stay bit-identical to the per-query
+  // approx batch (same contract shape as the exact RankBlock default).
+  for (size_t qi = 0; qi < nq; ++qi) {
+    ApproxRankBatch(queries + qi * q_stride, rows, row_stride, n, dim,
+                    keys + qi * key_stride);
+  }
+}
+
 double HellingerDistance::RankToDistance(double key) const {
   return std::sqrt(key / 2.0);
 }

@@ -61,6 +61,15 @@ class HellingerDistance : public DistanceMetric {
                  size_t dim, double* keys) const override;
   void RankBatch(const float* q, const float* const* rows, size_t n,
                  size_t dim, double* keys) const override;
+  /// Ordering-only keys via the rsqrt fast kernel (<= 1e-6 relative
+  /// sqrt error per element; exact on tiers without a cheap rsqrt).
+  /// Used by QuantizedStore's rerank-protected scans.
+  void ApproxRankBatch(const float* q, const float* rows, size_t stride,
+                       size_t n, size_t dim, double* keys) const override;
+  void ApproxRankBlock(const float* queries, size_t q_stride, size_t nq,
+                       const float* rows, size_t row_stride, size_t n,
+                       size_t dim, double* keys,
+                       size_t key_stride) const override;
   double RankToDistance(double key) const override;
   double DistanceToRank(double distance) const override;
   std::string Name() const override { return "hellinger"; }

@@ -94,6 +94,30 @@ class DistanceMetric {
   virtual void RankBlock(const float* const* queries, size_t nq,
                          const float* const* rows, size_t n, size_t dim,
                          double* keys, size_t key_stride) const;
+
+  // Approximate rank keys: ORDERING USE ONLY. Keys agree with the
+  // exact RankBatch/RankBlock to a tiny documented per-kernel bound
+  // (Hellinger: <= 1e-6 relative per element; exact for every other
+  // measure), so a caller that selects candidates by key order and
+  // reranks the survivors with exact distances gets exact results —
+  // QuantizedStore already runs that protocol to absorb quantization
+  // error and feeds these forms its ordering scans. NEVER use
+  // approximate keys as final distances or for un-reranked range
+  // filtering. Defaults forward to the exact forms; Hellinger
+  // overrides with the rsqrt-based fast kernel.
+
+  virtual void ApproxRankBatch(const float* q, const float* rows,
+                               size_t stride, size_t n, size_t dim,
+                               double* keys) const {
+    RankBatch(q, rows, stride, n, dim, keys);
+  }
+  virtual void ApproxRankBlock(const float* queries, size_t q_stride,
+                               size_t nq, const float* rows,
+                               size_t row_stride, size_t n, size_t dim,
+                               double* keys, size_t key_stride) const {
+    RankBlock(queries, q_stride, nq, rows, row_stride, n, dim, keys,
+              key_stride);
+  }
 };
 
 /// Decorator that counts every Distance() evaluation — the
@@ -149,6 +173,19 @@ class CountingMetric : public DistanceMetric {
                  double* keys, size_t key_stride) const override {
     count_.fetch_add(nq * n, std::memory_order_relaxed);
     inner_->RankBlock(queries, nq, rows, n, dim, keys, key_stride);
+  }
+  void ApproxRankBatch(const float* q, const float* rows, size_t stride,
+                       size_t n, size_t dim, double* keys) const override {
+    count_.fetch_add(n, std::memory_order_relaxed);
+    inner_->ApproxRankBatch(q, rows, stride, n, dim, keys);
+  }
+  void ApproxRankBlock(const float* queries, size_t q_stride, size_t nq,
+                       const float* rows, size_t row_stride, size_t n,
+                       size_t dim, double* keys,
+                       size_t key_stride) const override {
+    count_.fetch_add(nq * n, std::memory_order_relaxed);
+    inner_->ApproxRankBlock(queries, q_stride, nq, rows, row_stride, n, dim,
+                            keys, key_stride);
   }
   double RankToDistance(double key) const override {
     return inner_->RankToDistance(key);

@@ -75,10 +75,11 @@ void L2Distance::RankBatch(const float* q, const float* const* rows,
 
 namespace {
 
-/// Widens `count` floats to doubles (exact, so downstream arithmetic
-/// is bit-identical to promoting inside the kernel).
+/// Widens `count` floats to doubles via the dispatched vcvtps2pd
+/// kernel (exact, so downstream arithmetic is bit-identical to
+/// promoting inside the kernel).
 void WidenToDouble(const float* src, size_t count, double* dst) {
-  for (size_t i = 0; i < count; ++i) dst[i] = src[i];
+  kernels::WidenToDouble(src, count, dst);
 }
 
 /// Per-thread operand-packing buffers of the tiled L2 kernels; sized

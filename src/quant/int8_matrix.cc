@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "distance/batch_kernels.h"
+
 namespace cbix {
 
 namespace {
@@ -61,7 +63,25 @@ Int8Matrix Int8Matrix::Quantize(const FeatureMatrix& matrix) {
           std::min(255.0f, std::max(0.0f, r)));
     }
   }
+  q.ComputeScanSidecar();
   return q;
+}
+
+void Int8Matrix::ComputeScanSidecar() {
+  row_t_.assign(count_, 0.0f);
+  max_code_mass_ = 0.0;
+  for (size_t i = 0; i < count_; ++i) {
+    const uint8_t* codes = row(i);
+    double t = 0.0;
+    int64_t mass = 0;
+    for (size_t j = 0; j < dim_; ++j) {
+      const double r = static_cast<double>(scales_[j]) * codes[j];
+      t += r * r;
+      mass += codes[j];
+    }
+    row_t_[i] = static_cast<float>(t);
+    max_code_mass_ = std::max(max_code_mass_, static_cast<double>(mass));
+  }
 }
 
 void Int8Matrix::DequantizeRow(size_t i, float* out) const {
@@ -176,10 +196,91 @@ double Int8Matrix::AsymmetricDot(const float* q, double q_dot_offset,
   return q_dot_offset + (acc0 + acc1) + (acc2 + acc3);
 }
 
+namespace {
+
+/// Quantizes `dim` double weights onto a symmetric int16 grid: w_q[j]
+/// = round(w[j] / w_step) with w_step = maxabs / 32767; all-zero
+/// weights give w_step 0. The padded tail of w_q is zero-filled so the
+/// integer kernel can run tail-free over the full code stride.
+void QuantizeWeights(const double* w, size_t dim, size_t stride,
+                     int16_t* w_q, double* w_step) {
+  double max_abs = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    max_abs = std::max(max_abs, std::fabs(w[j]));
+  }
+  if (max_abs == 0.0) {
+    std::memset(w_q, 0, stride * sizeof(int16_t));
+    *w_step = 0.0;
+    return;
+  }
+  const double step = max_abs / 32767.0;
+  const double inv_step = 32767.0 / max_abs;
+  for (size_t j = 0; j < dim; ++j) {
+    const double r = std::nearbyint(w[j] * inv_step);
+    w_q[j] = static_cast<int16_t>(std::min(32767.0, std::max(-32767.0, r)));
+  }
+  if (stride > dim) {
+    std::memset(w_q + dim, 0, (stride - dim) * sizeof(int16_t));
+  }
+  *w_step = step;
+}
+
+/// Per-thread staging for the double weights handed to QuantizeWeights
+/// (one entry per dimension, growth-only — query-prep path, not the
+/// per-row scan loop).
+thread_local std::vector<double> tls_scan_weights;
+
+}  // namespace
+
+void Int8Matrix::PrepareL2ScanQuery(const float* q_centered, int16_t* w_q,
+                                    double* w_step) const {
+  if (tls_scan_weights.size() < dim_) tls_scan_weights.resize(dim_);
+  double* w = tls_scan_weights.data();
+  for (size_t j = 0; j < dim_; ++j) {
+    w[j] = 2.0 * static_cast<double>(q_centered[j]) * scales_[j];
+  }
+  QuantizeWeights(w, dim_, stride_, w_q, w_step);
+}
+
+void Int8Matrix::PrepareDotScanQuery(const float* q, int16_t* w_q,
+                                     double* w_step) const {
+  if (tls_scan_weights.size() < dim_) tls_scan_weights.resize(dim_);
+  double* w = tls_scan_weights.data();
+  for (size_t j = 0; j < dim_; ++j) {
+    w[j] = static_cast<double>(q[j]) * scales_[j];
+  }
+  QuantizeWeights(w, dim_, stride_, w_q, w_step);
+}
+
+void Int8Matrix::AsymmetricL2SquaredIntBatch(const int16_t* w_q,
+                                             double w_step,
+                                             double qc_norm_sq, size_t begin,
+                                             size_t n, double* out) const {
+  assert(begin + n <= count_);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t s =
+        kernels::Int8WeightedCodeSum(w_q, row(begin + i), stride_);
+    out[i] = qc_norm_sq + static_cast<double>(row_t_[begin + i]) -
+             w_step * static_cast<double>(s);
+  }
+}
+
+void Int8Matrix::AsymmetricDotIntBatch(const int16_t* w_q, double w_step,
+                                       double q_dot_offset, size_t begin,
+                                       size_t n, double* out) const {
+  assert(begin + n <= count_);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t s =
+        kernels::Int8WeightedCodeSum(w_q, row(begin + i), stride_);
+    out[i] = q_dot_offset + w_step * static_cast<double>(s);
+  }
+}
+
 size_t Int8Matrix::MemoryBytes() const {
   return codes_.capacity() * sizeof(uint8_t) +
          scales_.capacity() * sizeof(float) +
-         offsets_.capacity() * sizeof(float);
+         offsets_.capacity() * sizeof(float) +
+         row_t_.capacity() * sizeof(float);
 }
 
 void Int8Matrix::Serialize(BinaryWriter* writer) const {
@@ -213,6 +314,9 @@ Status Int8Matrix::Deserialize(BinaryReader* reader) {
   codes_ = std::move(codes);
   scales_ = std::move(scales);
   offsets_ = std::move(offsets);
+  // The scan sidecar is derived, not serialized: rebuild it so a
+  // loaded matrix scans exactly like a freshly quantized one.
+  ComputeScanSidecar();
   return Status::Ok();
 }
 

@@ -102,12 +102,61 @@ class Int8Matrix {
   /// codes and scales.
   double AsymmetricDot(const float* q, double q_dot_offset, size_t i) const;
 
+  // ------------------------------------------------------------------
+  // Dequant-free integer scan. The per-dimension weights of the
+  // asymmetric forms are hoisted out of the row loop and quantized
+  // ONCE PER QUERY to int16 on a uniform grid (w_q[j] ~= w[j] /
+  // w_step), turning the per-row work into the pure-integer kernel
+  //   S_i = sum_j w_q[j] * codes[j]      (kernels::Int8WeightedCodeSum)
+  // plus one affine correction per row:
+  //   L2 key:  w[j] = 2 * q_centered[j] * scales[j]
+  //            key_i ~= qc_norm_sq + row_t[i] - w_step * S_i
+  //   dot:     w[j] = q[j] * scales[j]
+  //            dot_i ~= q_dot_offset + w_step * S_i
+  // with row_t[i] = sum_j (scales[j]*codes[j])^2 precomputed at build.
+  // The weight-rounding error is bounded by ScanKeyAbsoluteError(
+  // w_step) = 0.5 * w_step * max_i sum_j codes[j]; like the float-lane
+  // keys these only order candidates for an exact rerank, and any
+  // bound compared against them must additionally be widened by that
+  // absolute slack (see QuantizedStore::ApproxRangeCandidates).
+
+  /// Quantizes the L2 scan weights for a centered query into
+  /// `w_q[0..stride())` (padding zero-filled) and returns the grid
+  /// step. Zero weights (e.g. dim 0) yield w_step 0 and an all-zero
+  /// w_q.
+  void PrepareL2ScanQuery(const float* q_centered, int16_t* w_q,
+                          double* w_step) const;
+
+  /// Same for the dot scan: w[j] = q[j] * scales[j].
+  void PrepareDotScanQuery(const float* q, int16_t* w_q,
+                           double* w_step) const;
+
+  /// Integer-kernel L2 keys over rows [begin, begin+n):
+  ///   out[i] = qc_norm_sq + row_t[begin+i] - w_step * S_{begin+i}.
+  void AsymmetricL2SquaredIntBatch(const int16_t* w_q, double w_step,
+                                   double qc_norm_sq, size_t begin, size_t n,
+                                   double* out) const;
+
+  /// Integer-kernel dots over rows [begin, begin+n):
+  ///   out[i] = q_dot_offset + w_step * S_{begin+i}.
+  void AsymmetricDotIntBatch(const int16_t* w_q, double w_step,
+                             double q_dot_offset, size_t begin, size_t n,
+                             double* out) const;
+
+  /// |integer-scan key - float key| bound for a query whose weight
+  /// grid step is `w_step` (0 when w_step is 0).
+  double ScanKeyAbsoluteError(double w_step) const {
+    return 0.5 * w_step * max_code_mass_;
+  }
+
   /// Heap bytes of codes plus the scale/offset arrays.
   size_t MemoryBytes() const;
 
   void Serialize(BinaryWriter* writer) const;
   Status Deserialize(BinaryReader* reader);
 
+  // Derived fields (row_t_, max_code_mass_) are recomputed from the
+  // codes on load and deliberately excluded here.
   bool operator==(const Int8Matrix& other) const {
     return dim_ == other.dim_ && count_ == other.count_ &&
            codes_ == other.codes_ && scales_ == other.scales_ &&
@@ -115,12 +164,24 @@ class Int8Matrix {
   }
 
  private:
+  /// Rebuilds row_t_ and max_code_mass_ from codes/scales; called by
+  /// both Quantize and Deserialize so the integer scan is available on
+  /// every construction path.
+  void ComputeScanSidecar();
+
   size_t dim_ = 0;
   size_t stride_ = 0;  ///< bytes per code row, multiple of kAlignment
   size_t count_ = 0;
   std::vector<uint8_t> codes_;  ///< count_ * stride_ bytes
   std::vector<float> scales_;   ///< dim_ entries
   std::vector<float> offsets_;  ///< dim_ entries
+  /// Per-row sum_j (scales[j]*codes[j])^2, the precomputed quadratic
+  /// term of the integer L2 scan. Stored as float (4 bytes/vector on
+  /// top of the codes): the ~6e-8 relative rounding it adds is far
+  /// inside kKeyRelativeError, and it keeps the scan footprint within
+  /// the compression gates. Derived — not serialized, not compared.
+  std::vector<float> row_t_;
+  double max_code_mass_ = 0.0;  ///< max_i sum_j codes[j] (derived)
 };
 
 }  // namespace cbix

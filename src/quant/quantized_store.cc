@@ -143,8 +143,15 @@ void QuantizedStore::PrepareApproxScanInto(const float* q,
       pq_.codebook().BuildAdcTable(q, scratch->lut.data());
       break;
     case ApproxMode::kInt8L2:
+      // Center the query, then quantize the scan weights so the per-row
+      // work is the pure-integer weighted code sum (see Int8Matrix).
       scratch->q_centered.resize(dim);
       int8_.CenterQuery(q, scratch->q_centered.data());
+      scratch->qc_norm_sq =
+          kernels::NormSquared(scratch->q_centered.data(), dim);
+      scratch->w_q.resize(int8_.stride());
+      int8_.PrepareL2ScanQuery(scratch->q_centered.data(),
+                               scratch->w_q.data(), &scratch->w_step);
       break;
     case ApproxMode::kInt8Cosine: {
       // Hoist the per-query constants of the asymmetric dot: the
@@ -156,6 +163,8 @@ void QuantizedStore::PrepareApproxScanInto(const float* q,
       }
       scratch->q_dot_offset = dot_off;
       scratch->q_norm_sq = kernels::NormSquared(q, dim);
+      scratch->w_q.resize(int8_.stride());
+      int8_.PrepareDotScanQuery(q, scratch->w_q.data(), &scratch->w_step);
       break;
     }
     case ApproxMode::kGeneric:
@@ -165,8 +174,8 @@ void QuantizedStore::PrepareApproxScanInto(const float* q,
 }
 
 void QuantizedStore::ApproxKeysBlock(const float* q, size_t begin, size_t n,
-                                     ApproxScratch* scratch,
-                                     double* keys) const {
+                                     ApproxScratch* scratch, double* keys,
+                                     bool for_ordering) const {
   const size_t dim = exact_rows_.dim();
   switch (approx_mode_) {
     case ApproxMode::kPqAdcL2: {
@@ -179,34 +188,43 @@ void QuantizedStore::ApproxKeysBlock(const float* q, size_t begin, size_t n,
       return;
     }
     case ApproxMode::kInt8L2:
-      // int8 + L2: fused asymmetric kernel, no materialized floats.
-      int8_.AsymmetricL2SquaredBatch(scratch->q_centered.data(), begin, n,
-                                     keys);
+      // int8 + L2: dequant-free integer scan — a pure int16 x uint8
+      // weighted code sum per row plus one affine correction; no
+      // materialized floats, no per-element dequantization.
+      int8_.AsymmetricL2SquaredIntBatch(scratch->w_q.data(), scratch->w_step,
+                                        scratch->qc_norm_sq, begin, n, keys);
       return;
     case ApproxMode::kInt8Cosine:
-      // int8 + cosine: asymmetric dot against code rows plus the
+      // int8 + cosine: integer dot against code rows plus the
       // reconstructed row norms precomputed at build time — the scan
-      // touches only codes and scales, never materialized floats.
+      // touches only codes, never materialized floats.
+      int8_.AsymmetricDotIntBatch(scratch->w_q.data(), scratch->w_step,
+                                  scratch->q_dot_offset, begin, n, keys);
       for (size_t i = 0; i < n; ++i) {
-        const double dot =
-            int8_.AsymmetricDot(q, scratch->q_dot_offset, begin + i);
-        keys[i] = CosineDistance::FromParts(dot, scratch->q_norm_sq,
+        keys[i] = CosineDistance::FromParts(keys[i], scratch->q_norm_sq,
                                             recon_norms_sq_[begin + i]);
       }
       return;
     case ApproxMode::kGeneric:
       break;
   }
-  // Generic metric: reconstruct the block once and feed the stock
-  // batched rank kernels — every metric the float path supports works
-  // against the quantized backing too.
+  // Generic metric: reconstruct the block once and feed the batched
+  // rank kernels — every metric the float path supports works against
+  // the quantized backing too. Ordering consumers (the reranked top-k
+  // over-fetch) take the metric's ApproxRank* kernels (exact by
+  // default; Hellinger substitutes its rsqrt fast kernel); the range
+  // prefilter compares keys against a bound and stays exact.
   const size_t stride = ScratchStride(dim);
   if (options_.backing == QuantBacking::kInt8) {
     int8_.DequantizeBlock(begin, n, scratch->block.data(), stride);
   } else {
     pq_.DequantizeBlock(begin, n, scratch->block.data(), stride);
   }
-  metric_->RankBatch(q, scratch->block.data(), stride, n, dim, keys);
+  if (for_ordering) {
+    metric_->ApproxRankBatch(q, scratch->block.data(), stride, n, dim, keys);
+  } else {
+    metric_->RankBatch(q, scratch->block.data(), stride, n, dim, keys);
+  }
 }
 
 std::vector<Neighbor> QuantizedStore::ApproxTopK(const float* q,
@@ -240,11 +258,18 @@ std::vector<uint32_t> QuantizedStore::ApproxRangeCandidates(
   std::vector<uint32_t> out;
   const size_t n = exact_rows_.count();
   ApproxScratch scratch = PrepareApproxScan(q);
+  if (approx_mode_ == ApproxMode::kInt8L2) {
+    // The integer scan's keys deviate from the float-lane keys by at
+    // most the weight-rounding bound; widen the threshold additively so
+    // the rounding never drops a true candidate (survivors are
+    // verified exactly anyway).
+    key_threshold += int8_.ScanKeyAbsoluteError(scratch.w_step);
+  }
 
   double keys[kScanBlock];
   for (size_t begin = 0; begin < n; begin += kScanBlock) {
     const size_t block = std::min(kScanBlock, n - begin);
-    ApproxKeysBlock(q, begin, block, &scratch, keys);
+    ApproxKeysBlock(q, begin, block, &scratch, keys, /*for_ordering=*/false);
     if (stats != nullptr) {
       stats->distance_evals += block;
       ++stats->leaves_visited;
@@ -370,9 +395,9 @@ void QuantizedStore::SearchBatchImpl(const QueryBlock& block, size_t k,
       } else {
         pq_.DequantizeBlock(begin, bn, shared_block.data(), stride);
       }
-      metric_->RankBlock(block.data(), block.stride(), nq,
-                         shared_block.data(), stride, bn, dim, keys.data(),
-                         kScanBlock);
+      metric_->ApproxRankBlock(block.data(), block.stride(), nq,
+                               shared_block.data(), stride, bn, dim,
+                               keys.data(), kScanBlock);
     } else {
       for (size_t qi = 0; qi < nq; ++qi) {
         ApproxKeysBlock(block.row(qi), begin, bn, &scratch[qi],

@@ -4,12 +4,14 @@
 //
 //   1. approximate scan: rank every row by its distance to the query
 //      computed against the *reconstructed* (dequantized) point —
-//      int8 rows through the fused asymmetric L2 kernel, PQ rows
-//      through per-query ADC tables, cosine over int8 rows through the
-//      asymmetric dot kernel plus per-row reconstructed norms stored
-//      at build time, any other metric through a dequantize-block
-//      fallback feeding the stock batched kernels — and keep the best
-//      k * rerank_factor candidates;
+//      int8 rows through the dequant-free integer scan (per-query
+//      int16 weights against raw uint8 codes, see Int8Matrix), PQ
+//      rows through per-query ADC tables, cosine over int8 rows
+//      through the integer dot plus per-row reconstructed norms
+//      stored at build time, any other metric through a
+//      dequantize-block fallback feeding the metric's ordering-only
+//      ApproxRank* kernels — and keep the best k * rerank_factor
+//      candidates;
 //   2. exact rerank: recompute the true metric distance of those
 //      candidates on the retained float rows, sort by (distance, id),
 //      return the top k.
@@ -163,6 +165,9 @@ class QuantizedStore : public VectorIndex {
     std::vector<float> q_centered;  ///< kInt8L2: centered query
     double q_dot_offset = 0.0;      ///< kInt8Cosine: q . grid offsets
     double q_norm_sq = 0.0;         ///< kInt8Cosine: q . q
+    std::vector<int16_t> w_q;       ///< kInt8*: int16 scan weights
+    double w_step = 0.0;            ///< kInt8*: weight grid step
+    double qc_norm_sq = 0.0;        ///< kInt8L2: |q_centered|^2
     std::vector<float> block;       ///< kGeneric: dequantized block
   };
 
@@ -190,8 +195,15 @@ class QuantizedStore : public VectorIndex {
                        std::vector<Neighbor>* out) const;
 
   /// Dispatches one block of approximate rank keys to the backing.
+  /// `for_ordering` distinguishes the two consumers: the top-k
+  /// over-fetch only *orders* candidates for the exact rerank, so it
+  /// may use the metric's ApproxRank* kernels (e.g. rsqrt Hellinger);
+  /// the range prefilter *compares keys against a bound*, so generic
+  /// metrics keep the exact rank kernels there (the int8/PQ fast paths
+  /// have explicit error bounds the threshold is widened by instead).
   void ApproxKeysBlock(const float* q, size_t begin, size_t n,
-                       ApproxScratch* scratch, double* keys) const;
+                       ApproxScratch* scratch, double* keys,
+                       bool for_ordering = true) const;
 
   /// Exact rerank of `candidates` (ids) on the retained float rows:
   /// gathers the candidate rows and runs one batched exact-distance

@@ -1,0 +1,135 @@
+#include "simd/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cbix::simd {
+namespace {
+
+int g_init_count = 0;
+
+// getenv + strcmp only: the selection runs inside a magic static and
+// must stay allocation-free (AllocationGuard covers it in tests).
+IsaTier ParseForcedTier(const char* force, bool* recognized) {
+  *recognized = true;
+  if (force != nullptr) {
+    if (std::strcmp(force, "scalar") == 0) return IsaTier::kScalar;
+    if (std::strcmp(force, "avx2") == 0) return IsaTier::kAvx2;
+    if (std::strcmp(force, "avx512") == 0) return IsaTier::kAvx512;
+    if (std::strcmp(force, "neon") == 0) return IsaTier::kNeon;
+  }
+  *recognized = false;
+  return IsaTier::kScalar;
+}
+
+}  // namespace
+
+const char* TierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+    case IsaTier::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+const KernelTable* TableForTier(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return detail::ScalarTable();
+    case IsaTier::kAvx2:
+      return detail::Avx2Table();
+    case IsaTier::kAvx512:
+      return detail::Avx512Table();
+    case IsaTier::kNeon:
+      return detail::NeonTable();
+  }
+  return nullptr;
+}
+
+bool TierCompiled(IsaTier tier) { return TableForTier(tier) != nullptr; }
+
+bool TierSupported(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return true;
+    case IsaTier::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case IsaTier::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+    case IsaTier::kNeon:
+      // The NEON TU only compiles on aarch64, where Advanced SIMD is
+      // architecturally mandatory — compiled implies supported.
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+IsaTier BestSupportedTier() {
+  if (TierCompiled(IsaTier::kAvx512) && TierSupported(IsaTier::kAvx512)) {
+    return IsaTier::kAvx512;
+  }
+  if (TierCompiled(IsaTier::kAvx2) && TierSupported(IsaTier::kAvx2)) {
+    return IsaTier::kAvx2;
+  }
+  if (TierCompiled(IsaTier::kNeon) && TierSupported(IsaTier::kNeon)) {
+    return IsaTier::kNeon;
+  }
+  return IsaTier::kScalar;
+}
+
+IsaTier ResolveTier(const char* force) {
+  bool recognized = false;
+  const IsaTier forced = ParseForcedTier(force, &recognized);
+  if (recognized && TierCompiled(forced) && TierSupported(forced)) {
+    return forced;
+  }
+  return BestSupportedTier();
+}
+
+namespace {
+
+IsaTier SelectActiveTier() {
+  ++g_init_count;
+  return ResolveTier(std::getenv("CBIX_FORCE_ISA"));
+}
+
+}  // namespace
+
+IsaTier ActiveTier() {
+  static const IsaTier tier = SelectActiveTier();
+  return tier;
+}
+
+const KernelTable& ActiveKernels() {
+  static const KernelTable& table = *TableForTier(ActiveTier());
+  return table;
+}
+
+namespace detail {
+
+int InitCount() { return g_init_count; }
+
+}  // namespace detail
+
+}  // namespace cbix::simd

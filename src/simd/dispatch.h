@@ -1,0 +1,104 @@
+// Runtime ISA dispatch for the hot distance kernels.
+//
+// A single binary compiled WITHOUT -march=native probes the host CPU
+// once at startup and routes every kernel call through the best
+// compiled-and-supported tier (scalar -> AVX2 -> AVX-512; NEON on
+// aarch64). The public kernels:: functions in
+// distance/batch_kernels.h are one-line forwards through
+// ActiveKernels(), so nothing above this layer knows tiers exist.
+//
+// Exactness contract: within one process every call goes through the
+// SAME table, so all within-build bit-identity invariants (pair kernel
+// == two single calls, wide L2 == float L2, SearchBatch == per-query)
+// hold on every tier. Across tiers, outputs differ at most by FMA
+// contraction (~1e-16 relative) — except LInf, WidenToDouble and
+// Int8WeightedCodeSum, which are bit-identical on every tier by
+// construction, and HellingerSquaredSumFast, which on AVX tiers uses
+// rsqrt + one Newton step (per-element relative error <= 1e-6) and is
+// only legal on rerank-protected ordering paths.
+//
+// CBIX_FORCE_ISA={scalar,avx2,avx512,neon} clamps the selection for
+// testing; an unknown or unsupported value falls back to the best
+// supported tier — the probe can never select a tier the host cannot
+// execute.
+#ifndef CBIX_SIMD_DISPATCH_H_
+#define CBIX_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbix::simd {
+
+enum class IsaTier { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// Stable lowercase name ("scalar", "avx2", "avx512", "neon") — the
+/// same spelling CBIX_FORCE_ISA accepts.
+const char* TierName(IsaTier tier);
+
+/// Function-pointer table for one ISA tier. Signatures mirror
+/// kernels:: in distance/batch_kernels.h one-to-one.
+struct KernelTable {
+  double (*l1)(const float*, const float*, size_t);
+  double (*l2_squared)(const float*, const float*, size_t);
+  double (*l2_squared_wide)(const double*, const double*, size_t);
+  void (*dot_pair_and_norm_sq)(const float*, const float*, const float*,
+                               size_t, double*, double*, double*);
+  double (*linf)(const float*, const float*, size_t);
+  double (*chi_square)(const float*, const float*, size_t);
+  double (*hellinger_squared_sum)(const float*, const float*, size_t);
+  double (*hellinger_squared_sum_fast)(const float*, const float*, size_t);
+  void (*dot_and_norm_sq)(const float*, const float*, size_t, double*,
+                          double*);
+  void (*min_and_mass)(const float*, const float*, size_t, double*, double*);
+  double (*mass)(const float*, size_t);
+  double (*norm_squared)(const float*, size_t);
+  void (*widen_to_double)(const float*, size_t, double*);
+  int64_t (*int8_weighted_code_sum)(const int16_t*, const uint8_t*, size_t);
+};
+
+/// True when this build contains code for `tier` (compile-time).
+bool TierCompiled(IsaTier tier);
+
+/// True when the running host can execute `tier` (runtime probe).
+bool TierSupported(IsaTier tier);
+
+/// The table for `tier`, or nullptr when the tier is not compiled into
+/// this binary. Does NOT check host support — test/bench plumbing only;
+/// production code must go through ActiveKernels().
+const KernelTable* TableForTier(IsaTier tier);
+
+/// Best tier that is both compiled in and supported by the host.
+IsaTier BestSupportedTier();
+
+/// Selection with the CBIX_FORCE_ISA override applied: a known,
+/// compiled AND supported forced tier wins; anything else (null, empty,
+/// unknown, unsupported) resolves to BestSupportedTier(). Exposed for
+/// tests; `force` is the raw env value.
+IsaTier ResolveTier(const char* force);
+
+/// The tier ActiveKernels() routes through (resolved once at startup).
+IsaTier ActiveTier();
+
+/// The process-wide dispatch table. Initialized exactly once (magic
+/// static, thread-safe) on first use, allocation-free, honoring
+/// CBIX_FORCE_ISA at that moment only.
+const KernelTable& ActiveKernels();
+
+namespace detail {
+
+/// Number of times the table selection has actually run — tests assert
+/// this stays 1 no matter how many call sites touch ActiveKernels().
+int InitCount();
+
+/// Per-TU table getters; each returns nullptr when its TU was compiled
+/// without the matching ISA flags (or on a foreign architecture).
+const KernelTable* ScalarTable();
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+const KernelTable* NeonTable();
+
+}  // namespace detail
+
+}  // namespace cbix::simd
+
+#endif  // CBIX_SIMD_DISPATCH_H_

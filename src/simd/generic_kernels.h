@@ -1,0 +1,328 @@
+// Portable reference bodies for the dispatched kernels.
+//
+// Every function here is the lane-structure ground truth: the scalar
+// dispatch tier compiles these bodies verbatim (kernels_scalar.cc), the
+// autovec bench series compiles them again under the build's own flags
+// (batch_kernels.cc), and the hand-written AVX2/AVX-512/NEON tiers
+// replicate the SAME accumulator-lane structure so that switching tiers
+// changes at most the floating-point contraction (FMA), never the
+// summation order. Concretely:
+//
+//   - L1 / L2Squared / ChiSquare / HellingerSquaredSum use 8 independent
+//     double lanes (lane j sees elements j, j+8, ...), tail into lane 0,
+//     pairwise reduction ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)).
+//   - LInf uses 8 lanes of max(|a-b|) — max is associative/commutative,
+//     so any lane count is output-identical; 8 matches the vector width.
+//   - Mass / NormSquared use 4 lanes; DotAndNormSq / MinAndMass use
+//     2+2 lanes; DotPairAndNormSq uses 2 dot lanes per query + 2 norm
+//     lanes and must stay op-for-op a fusion of two DotAndNormSq calls.
+//   - L2SquaredWide is op-for-op L2Squared on pre-widened doubles: the
+//     bit-identity contract L2Squared(a,b) == L2SquaredWide(widen(a),
+//     widen(b)) within one build depends on it.
+//
+// These are header-inline so each TU (scalar tier, autovec wrappers)
+// gets its own codegen without cross-TU drift in the op sequence.
+#ifndef CBIX_SIMD_GENERIC_KERNELS_H_
+#define CBIX_SIMD_GENERIC_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace cbix::simd::generic {
+
+inline double L1(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    s0 += std::fabs(double(a[i + 0]) - double(b[i + 0]));
+    s1 += std::fabs(double(a[i + 1]) - double(b[i + 1]));
+    s2 += std::fabs(double(a[i + 2]) - double(b[i + 2]));
+    s3 += std::fabs(double(a[i + 3]) - double(b[i + 3]));
+    s4 += std::fabs(double(a[i + 4]) - double(b[i + 4]));
+    s5 += std::fabs(double(a[i + 5]) - double(b[i + 5]));
+    s6 += std::fabs(double(a[i + 6]) - double(b[i + 6]));
+    s7 += std::fabs(double(a[i + 7]) - double(b[i + 7]));
+  }
+  for (; i < dim; ++i) {
+    s0 += std::fabs(double(a[i]) - double(b[i]));
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+inline double L2Squared(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const double d0 = double(a[i + 0]) - double(b[i + 0]);
+    const double d1 = double(a[i + 1]) - double(b[i + 1]);
+    const double d2 = double(a[i + 2]) - double(b[i + 2]);
+    const double d3 = double(a[i + 3]) - double(b[i + 3]);
+    const double d4 = double(a[i + 4]) - double(b[i + 4]);
+    const double d5 = double(a[i + 5]) - double(b[i + 5]);
+    const double d6 = double(a[i + 6]) - double(b[i + 6]);
+    const double d7 = double(a[i + 7]) - double(b[i + 7]);
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s4 += d4 * d4;
+    s5 += d5 * d5;
+    s6 += d6 * d6;
+    s7 += d7 * d7;
+  }
+  for (; i < dim; ++i) {
+    const double d = double(a[i]) - double(b[i]);
+    s0 += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+// Op-for-op L2Squared on pre-widened doubles; see header comment for
+// the within-build bit-identity contract this preserves.
+inline double L2SquaredWide(const double* a, const double* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const double d0 = a[i + 0] - b[i + 0];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    const double d4 = a[i + 4] - b[i + 4];
+    const double d5 = a[i + 5] - b[i + 5];
+    const double d6 = a[i + 6] - b[i + 6];
+    const double d7 = a[i + 7] - b[i + 7];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+    s4 += d4 * d4;
+    s5 += d5 * d5;
+    s6 += d6 * d6;
+    s7 += d7 * d7;
+  }
+  for (; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+// 8-lane max-abs-diff. max() is order-independent, so this is exactly
+// equal to any other lane decomposition; SIMD tiers must keep the
+// subtraction in double (widen first) to match the reference bitwise.
+inline double LInf(const float* a, const float* b, size_t dim) {
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  double m4 = 0.0, m5 = 0.0, m6 = 0.0, m7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    m0 = std::max(m0, std::fabs(double(a[i + 0]) - double(b[i + 0])));
+    m1 = std::max(m1, std::fabs(double(a[i + 1]) - double(b[i + 1])));
+    m2 = std::max(m2, std::fabs(double(a[i + 2]) - double(b[i + 2])));
+    m3 = std::max(m3, std::fabs(double(a[i + 3]) - double(b[i + 3])));
+    m4 = std::max(m4, std::fabs(double(a[i + 4]) - double(b[i + 4])));
+    m5 = std::max(m5, std::fabs(double(a[i + 5]) - double(b[i + 5])));
+    m6 = std::max(m6, std::fabs(double(a[i + 6]) - double(b[i + 6])));
+    m7 = std::max(m7, std::fabs(double(a[i + 7]) - double(b[i + 7])));
+  }
+  for (; i < dim; ++i) {
+    m0 = std::max(m0, std::fabs(double(a[i]) - double(b[i])));
+  }
+  return std::max(std::max(std::max(m0, m1), std::max(m2, m3)),
+                  std::max(std::max(m4, m5), std::max(m6, m7)));
+}
+
+inline double ChiSquare(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+#define CBIX_CHI_LANE(k, acc)                              \
+  {                                                        \
+    const double sum = double(a[i + k]) + double(b[i + k]); \
+    const double d = double(a[i + k]) - double(b[i + k]);   \
+    acc += sum > 0.0 ? (d * d) / sum : 0.0;                 \
+  }
+    CBIX_CHI_LANE(0, s0)
+    CBIX_CHI_LANE(1, s1)
+    CBIX_CHI_LANE(2, s2)
+    CBIX_CHI_LANE(3, s3)
+    CBIX_CHI_LANE(4, s4)
+    CBIX_CHI_LANE(5, s5)
+    CBIX_CHI_LANE(6, s6)
+    CBIX_CHI_LANE(7, s7)
+  }
+  for (; i < dim; ++i) {
+    const double sum = double(a[i]) + double(b[i]);
+    const double d = double(a[i]) - double(b[i]);
+    s0 += sum > 0.0 ? (d * d) / sum : 0.0;
+  }
+#undef CBIX_CHI_LANE
+  return 0.5 * (((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7)));
+}
+
+// Exact kernel: per-element float sqrt (IEEE correctly rounded, so
+// vsqrtps in the SIMD tiers matches std::sqrt(float) bitwise), float
+// subtract, double square-accumulate in 8 lanes.
+inline double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+#define CBIX_HEL_LANE(k, acc)                                     \
+  {                                                               \
+    const float d = std::sqrt(std::max(0.0f, a[i + k])) -         \
+                    std::sqrt(std::max(0.0f, b[i + k]));          \
+    acc += double(d) * double(d);                                 \
+  }
+    CBIX_HEL_LANE(0, s0)
+    CBIX_HEL_LANE(1, s1)
+    CBIX_HEL_LANE(2, s2)
+    CBIX_HEL_LANE(3, s3)
+    CBIX_HEL_LANE(4, s4)
+    CBIX_HEL_LANE(5, s5)
+    CBIX_HEL_LANE(6, s6)
+    CBIX_HEL_LANE(7, s7)
+  }
+  for (; i < dim; ++i) {
+    const float d = std::sqrt(std::max(0.0f, a[i])) -
+                    std::sqrt(std::max(0.0f, b[i]));
+    s0 += double(d) * double(d);
+  }
+#undef CBIX_HEL_LANE
+  return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7));
+}
+
+// Fast-ordering variant: in the portable tier this IS the exact body
+// (there is no cheaper scalar sqrt), but the AVX tiers substitute
+// rsqrt + one Newton step (per-element relative error <= 1e-6). Only
+// the rerank-protected ApproxRank* ordering paths may call it.
+inline double HellingerSquaredSumFast(const float* a, const float* b,
+                                      size_t dim) {
+  return HellingerSquaredSum(a, b, dim);
+}
+
+inline void DotAndNormSq(const float* a, const float* b, size_t dim,
+                         double* dot, double* norm_b_sq) {
+  double d0 = 0.0, d1 = 0.0;
+  double n0 = 0.0, n1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    d0 += double(a[i + 0]) * double(b[i + 0]);
+    d1 += double(a[i + 1]) * double(b[i + 1]);
+    n0 += double(b[i + 0]) * double(b[i + 0]);
+    n1 += double(b[i + 1]) * double(b[i + 1]);
+  }
+  for (; i < dim; ++i) {
+    d0 += double(a[i]) * double(b[i]);
+    n0 += double(b[i]) * double(b[i]);
+  }
+  *dot = d0 + d1;
+  *norm_b_sq = n0 + n1;
+}
+
+// Must remain op-for-op a fusion of two DotAndNormSq calls sharing the
+// norm lanes: DotPairAndNormSq(qa, qb, r) == {DotAndNormSq(qa, r),
+// DotAndNormSq(qb, r)} bitwise within one build.
+inline void DotPairAndNormSq(const float* qa, const float* qb, const float* r,
+                             size_t dim, double* dot_a, double* dot_b,
+                             double* norm_r_sq) {
+  double da0 = 0.0, da1 = 0.0;
+  double db0 = 0.0, db1 = 0.0;
+  double n0 = 0.0, n1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    da0 += double(qa[i + 0]) * double(r[i + 0]);
+    da1 += double(qa[i + 1]) * double(r[i + 1]);
+    db0 += double(qb[i + 0]) * double(r[i + 0]);
+    db1 += double(qb[i + 1]) * double(r[i + 1]);
+    n0 += double(r[i + 0]) * double(r[i + 0]);
+    n1 += double(r[i + 1]) * double(r[i + 1]);
+  }
+  for (; i < dim; ++i) {
+    da0 += double(qa[i]) * double(r[i]);
+    db0 += double(qb[i]) * double(r[i]);
+    n0 += double(r[i]) * double(r[i]);
+  }
+  *dot_a = da0 + da1;
+  *dot_b = db0 + db1;
+  *norm_r_sq = n0 + n1;
+}
+
+inline void MinAndMass(const float* a, const float* b, size_t dim,
+                       double* min_sum, double* b_mass) {
+  double m0 = 0.0, m1 = 0.0;
+  double s0 = 0.0, s1 = 0.0;
+  size_t i = 0;
+  for (; i + 2 <= dim; i += 2) {
+    m0 += double(std::min(a[i + 0], b[i + 0]));
+    m1 += double(std::min(a[i + 1], b[i + 1]));
+    s0 += double(b[i + 0]);
+    s1 += double(b[i + 1]);
+  }
+  for (; i < dim; ++i) {
+    m0 += double(std::min(a[i], b[i]));
+    s0 += double(b[i]);
+  }
+  *min_sum = m0 + m1;
+  *b_mass = s0 + s1;
+}
+
+inline double Mass(const float* a, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += double(a[i + 0]);
+    s1 += double(a[i + 1]);
+    s2 += double(a[i + 2]);
+    s3 += double(a[i + 3]);
+  }
+  for (; i < dim; ++i) {
+    s0 += double(a[i]);
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+inline double NormSquared(const float* a, size_t dim) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += double(a[i + 0]) * double(a[i + 0]);
+    s1 += double(a[i + 1]) * double(a[i + 1]);
+    s2 += double(a[i + 2]) * double(a[i + 2]);
+    s3 += double(a[i + 3]) * double(a[i + 3]);
+  }
+  for (; i < dim; ++i) {
+    s0 += double(a[i]) * double(a[i]);
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+// float -> double widening copy (vcvtps2pd in the SIMD tiers). The
+// conversion is exact, so every tier is bit-identical by construction.
+inline void WidenToDouble(const float* src, size_t count, double* dst) {
+  for (size_t i = 0; i < count; ++i) {
+    dst[i] = double(src[i]);
+  }
+}
+
+// S_i = sum_j w_q[j] * codes[j] over int16 weights x uint8 codes.
+// Pure integer arithmetic: every tier is exactly equal by construction.
+// `dim` here is the PADDED stride — callers zero-fill both the code
+// rows and the weight vector past the logical dim, so SIMD tiers may
+// process the full stride with no tail handling.
+inline int64_t Int8WeightedCodeSum(const int16_t* w_q, const uint8_t* codes,
+                                   size_t dim) {
+  int64_t s = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    s += int64_t(w_q[i]) * int64_t(codes[i]);
+  }
+  return s;
+}
+
+}  // namespace cbix::simd::generic
+
+#endif  // CBIX_SIMD_GENERIC_KERNELS_H_

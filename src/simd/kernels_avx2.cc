@@ -1,0 +1,430 @@
+// AVX2+FMA dispatch tier. Compiled with per-file -mavx2 -mfma (see
+// CMakeLists.txt); the whole body is guarded so a toolchain without
+// those flags still links (the tier just reports "not compiled").
+//
+// Lane discipline: the 8-double-lane kernels keep the generic
+// reference's accumulator structure — acc_lo holds lanes 0..3, acc_hi
+// lanes 4..7, the scalar tail folds into lane 0, and the final
+// reduction is ((s0+s1)+(s2+s3)) + ((s4+s5)+(s6+s7)). The only
+// cross-tier difference is FMA contraction (~1e-16 relative); LInf,
+// Mass, WidenToDouble and Int8WeightedCodeSum are bit-identical to the
+// scalar tier by construction (exact IEEE ops / pure integers).
+#include "simd/dispatch.h"
+
+#if defined(__AVX2__) && defined(__FMA__) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace cbix::simd::detail {
+namespace {
+
+inline void WidenPs8(const float* p, __m256d* lo, __m256d* hi) {
+  const __m256 v = _mm256_loadu_ps(p);
+  *lo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+  *hi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+}
+
+inline double Reduce8(const __m256d acc_lo, const __m256d acc_hi,
+                      double tail0) {
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, acc_lo);
+  _mm256_store_pd(lanes + 4, acc_hi);
+  lanes[0] += tail0;
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+// Shared tail helpers: L2Squared and L2SquaredWide (and the dot pair
+// vs single-dot kernels) must stay bit-identical within this TU, so
+// their tails run through one expression tree and the compiler makes
+// one contraction decision for both.
+inline void TailSqDiff(double av, double bv, double* acc) {
+  const double d = av - bv;
+  *acc += d * d;
+}
+
+inline void TailDot(double av, double bv, double* acc) { *acc += av * bv; }
+
+double L1(const float* a, const float* b, size_t dim) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    WidenPs8(a + i, &alo, &ahi);
+    WidenPs8(b + i, &blo, &bhi);
+    acc_lo = _mm256_add_pd(
+        acc_lo, _mm256_andnot_pd(sign, _mm256_sub_pd(alo, blo)));
+    acc_hi = _mm256_add_pd(
+        acc_hi, _mm256_andnot_pd(sign, _mm256_sub_pd(ahi, bhi)));
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    tail += std::fabs(double(a[i]) - double(b[i]));
+  }
+  return Reduce8(acc_lo, acc_hi, tail);
+}
+
+double L2Squared(const float* a, const float* b, size_t dim) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    WidenPs8(a + i, &alo, &ahi);
+    WidenPs8(b + i, &blo, &bhi);
+    const __m256d dlo = _mm256_sub_pd(alo, blo);
+    const __m256d dhi = _mm256_sub_pd(ahi, bhi);
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    TailSqDiff(double(a[i]), double(b[i]), &tail);
+  }
+  return Reduce8(acc_lo, acc_hi, tail);
+}
+
+double L2SquaredWide(const double* a, const double* b, size_t dim) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256d dlo =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d dhi =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    TailSqDiff(a[i], b[i], &tail);
+  }
+  return Reduce8(acc_lo, acc_hi, tail);
+}
+
+double LInf(const float* a, const float* b, size_t dim) {
+  // Widen -> subtract -> abs -> max, all exact IEEE ops: bit-identical
+  // to the scalar reference on any lane decomposition.
+  __m256d max_lo = _mm256_setzero_pd();
+  __m256d max_hi = _mm256_setzero_pd();
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    WidenPs8(a + i, &alo, &ahi);
+    WidenPs8(b + i, &blo, &bhi);
+    max_lo = _mm256_max_pd(
+        max_lo, _mm256_andnot_pd(sign, _mm256_sub_pd(alo, blo)));
+    max_hi = _mm256_max_pd(
+        max_hi, _mm256_andnot_pd(sign, _mm256_sub_pd(ahi, bhi)));
+  }
+  alignas(32) double lanes[8];
+  _mm256_store_pd(lanes, max_lo);
+  _mm256_store_pd(lanes + 4, max_hi);
+  for (; i < dim; ++i) {
+    const double d = std::fabs(double(a[i]) - double(b[i]));
+    lanes[0] = lanes[0] < d ? d : lanes[0];
+  }
+  double m = lanes[0];
+  for (int k = 1; k < 8; ++k) m = m < lanes[k] ? lanes[k] : m;
+  return m;
+}
+
+double ChiSquare(const float* a, const float* b, size_t dim) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    __m256d alo, ahi, blo, bhi;
+    WidenPs8(a + i, &alo, &ahi);
+    WidenPs8(b + i, &blo, &bhi);
+    const __m256d sum_lo = _mm256_add_pd(alo, blo);
+    const __m256d sum_hi = _mm256_add_pd(ahi, bhi);
+    const __m256d d_lo = _mm256_sub_pd(alo, blo);
+    const __m256d d_hi = _mm256_sub_pd(ahi, bhi);
+    // Unconditional divide, then mask: a zero-mass lane produces
+    // 0/0 = NaN or d^2/0 = inf, and the sum>0 mask zeroes it exactly
+    // like the reference's select.
+    const __m256d q_lo =
+        _mm256_div_pd(_mm256_mul_pd(d_lo, d_lo), sum_lo);
+    const __m256d q_hi =
+        _mm256_div_pd(_mm256_mul_pd(d_hi, d_hi), sum_hi);
+    const __m256d m_lo = _mm256_cmp_pd(sum_lo, zero, _CMP_GT_OQ);
+    const __m256d m_hi = _mm256_cmp_pd(sum_hi, zero, _CMP_GT_OQ);
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_and_pd(q_lo, m_lo));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_and_pd(q_hi, m_hi));
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    const double sum = double(a[i]) + double(b[i]);
+    const double d = double(a[i]) - double(b[i]);
+    tail += sum > 0.0 ? d * d / sum : 0.0;
+  }
+  return 0.5 * Reduce8(acc_lo, acc_hi, tail);
+}
+
+double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
+  // vsqrtps is IEEE correctly rounded, i.e. bitwise std::sqrt(float):
+  // per-element math matches the scalar reference exactly.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 sa = _mm256_sqrt_ps(_mm256_max_ps(zero, _mm256_loadu_ps(a + i)));
+    const __m256 sb = _mm256_sqrt_ps(_mm256_max_ps(zero, _mm256_loadu_ps(b + i)));
+    const __m256 df = _mm256_sub_ps(sa, sb);
+    const __m256d dlo = _mm256_cvtps_pd(_mm256_castps256_ps128(df));
+    const __m256d dhi = _mm256_cvtps_pd(_mm256_extractf128_ps(df, 1));
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    const float d =
+        std::sqrt(std::max(0.0f, a[i])) - std::sqrt(std::max(0.0f, b[i]));
+    TailSqDiff(double(d), 0.0, &tail);
+  }
+  return Reduce8(acc_lo, acc_hi, tail);
+}
+
+// sqrt(x) ~= x * rsqrt(x) refined by one Newton step:
+//   y  = rsqrt(x)                      (|rel err| <= 1.5 * 2^-12)
+//   y' = y * (1.5 - 0.5 * x * y * y)   (|rel err| ~ 2e-7 after step)
+// Per-element relative error of the approximate sqrt stays under 1e-6,
+// which is the bound HellingerDistance's ApproxRank* paths widen their
+// rank keys by. Lanes with x == 0 are masked to exactly 0 (rsqrt(0) is
+// inf and would otherwise produce NaN).
+double HellingerSquaredSumFast(const float* a, const float* b, size_t dim) {
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 three_half = _mm256_set1_ps(1.5f);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 xa = _mm256_max_ps(zero, _mm256_loadu_ps(a + i));
+    const __m256 xb = _mm256_max_ps(zero, _mm256_loadu_ps(b + i));
+    const __m256 ya = _mm256_rsqrt_ps(xa);
+    const __m256 yb = _mm256_rsqrt_ps(xb);
+    const __m256 ra = _mm256_mul_ps(
+        ya, _mm256_fnmadd_ps(_mm256_mul_ps(half, xa),
+                             _mm256_mul_ps(ya, ya), three_half));
+    const __m256 rb = _mm256_mul_ps(
+        yb, _mm256_fnmadd_ps(_mm256_mul_ps(half, xb),
+                             _mm256_mul_ps(yb, yb), three_half));
+    const __m256 sa = _mm256_and_ps(_mm256_mul_ps(xa, ra),
+                                    _mm256_cmp_ps(xa, zero, _CMP_GT_OQ));
+    const __m256 sb = _mm256_and_ps(_mm256_mul_ps(xb, rb),
+                                    _mm256_cmp_ps(xb, zero, _CMP_GT_OQ));
+    const __m256 df = _mm256_sub_ps(sa, sb);
+    const __m256d dlo = _mm256_cvtps_pd(_mm256_castps256_ps128(df));
+    const __m256d dhi = _mm256_cvtps_pd(_mm256_extractf128_ps(df, 1));
+    acc_lo = _mm256_fmadd_pd(dlo, dlo, acc_lo);
+    acc_hi = _mm256_fmadd_pd(dhi, dhi, acc_hi);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    // Exact sqrt on the tail: error only ever below the approx bound.
+    const float d =
+        std::sqrt(std::max(0.0f, a[i])) - std::sqrt(std::max(0.0f, b[i]));
+    TailSqDiff(double(d), 0.0, &tail);
+  }
+  return Reduce8(acc_lo, acc_hi, tail);
+}
+
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq) {
+  // 4 dot lanes + 4 norm lanes (one ymm each). The pair kernel below
+  // runs the identical per-query op sequence, so pair == 2x single
+  // holds bitwise within this tier.
+  __m256d d_acc = _mm256_setzero_pd();
+  __m256d n_acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d av = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d bv = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    d_acc = _mm256_fmadd_pd(av, bv, d_acc);
+    n_acc = _mm256_fmadd_pd(bv, bv, n_acc);
+  }
+  alignas(32) double dl[4];
+  alignas(32) double nl[4];
+  _mm256_store_pd(dl, d_acc);
+  _mm256_store_pd(nl, n_acc);
+  for (; i < dim; ++i) {
+    TailDot(double(a[i]), double(b[i]), &dl[0]);
+    TailDot(double(b[i]), double(b[i]), &nl[0]);
+  }
+  *dot = (dl[0] + dl[1]) + (dl[2] + dl[3]);
+  *norm_b_sq = (nl[0] + nl[1]) + (nl[2] + nl[3]);
+}
+
+void DotPairAndNormSq(const float* qa, const float* qb, const float* r,
+                      size_t dim, double* dot_a, double* dot_b,
+                      double* norm_r_sq) {
+  __m256d da_acc = _mm256_setzero_pd();
+  __m256d db_acc = _mm256_setzero_pd();
+  __m256d n_acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d av = _mm256_cvtps_pd(_mm_loadu_ps(qa + i));
+    const __m256d bv = _mm256_cvtps_pd(_mm_loadu_ps(qb + i));
+    const __m256d rv = _mm256_cvtps_pd(_mm_loadu_ps(r + i));
+    da_acc = _mm256_fmadd_pd(av, rv, da_acc);
+    db_acc = _mm256_fmadd_pd(bv, rv, db_acc);
+    n_acc = _mm256_fmadd_pd(rv, rv, n_acc);
+  }
+  alignas(32) double dal[4];
+  alignas(32) double dbl[4];
+  alignas(32) double nl[4];
+  _mm256_store_pd(dal, da_acc);
+  _mm256_store_pd(dbl, db_acc);
+  _mm256_store_pd(nl, n_acc);
+  for (; i < dim; ++i) {
+    TailDot(double(qa[i]), double(r[i]), &dal[0]);
+    TailDot(double(qb[i]), double(r[i]), &dbl[0]);
+    TailDot(double(r[i]), double(r[i]), &nl[0]);
+  }
+  *dot_a = (dal[0] + dal[1]) + (dal[2] + dal[3]);
+  *dot_b = (dbl[0] + dbl[1]) + (dbl[2] + dbl[3]);
+  *norm_r_sq = (nl[0] + nl[1]) + (nl[2] + nl[3]);
+}
+
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b) {
+  __m256d i_acc = _mm256_setzero_pd();
+  __m256d m_acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m128 a4 = _mm_loadu_ps(a + i);
+    const __m128 b4 = _mm_loadu_ps(b + i);
+    i_acc = _mm256_add_pd(i_acc, _mm256_cvtps_pd(_mm_min_ps(b4, a4)));
+    m_acc = _mm256_add_pd(m_acc, _mm256_cvtps_pd(b4));
+  }
+  alignas(32) double il[4];
+  alignas(32) double ml[4];
+  _mm256_store_pd(il, i_acc);
+  _mm256_store_pd(ml, m_acc);
+  for (; i < dim; ++i) {
+    il[0] += double(a[i] < b[i] ? a[i] : b[i]);
+    ml[0] += double(b[i]);
+  }
+  *inter = (il[0] + il[1]) + (il[2] + il[3]);
+  *mass_b = (ml[0] + ml[1]) + (ml[2] + ml[3]);
+}
+
+double Mass(const float* a, size_t dim) {
+  // 4 lanes = 1 ymm, matching the scalar structure exactly; pure
+  // double adds, so this tier is bit-identical to the reference.
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(a + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < dim; ++i) lanes[0] += double(a[i]);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double NormSquared(const float* a, size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d av = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    acc = _mm256_fmadd_pd(av, av, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < dim; ++i) {
+    TailDot(double(a[i]), double(a[i]), &lanes[0]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void WidenToDouble(const float* src, size_t count, double* dst) {
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256d lo, hi;
+    WidenPs8(src + i, &lo, &hi);
+    _mm256_storeu_pd(dst + i, lo);
+    _mm256_storeu_pd(dst + i + 4, hi);
+  }
+  for (; i < count; ++i) dst[i] = double(src[i]);
+}
+
+int64_t Int8WeightedCodeSum(const int16_t* w_q, const uint8_t* codes,
+                            size_t dim) {
+  // 16 codes per iteration: zero-extend u8 -> i16, vpmaddwd against
+  // the int16 weights (two products per i32 lane), accumulate in i32,
+  // drain to int64 every <= 64 iterations. Each vpmaddwd lane is at
+  // most 2 * 32767 * 255 ~= 1.67e7, so 64 accumulations stay far from
+  // i32 overflow for any dim. `dim` is the zero-padded stride
+  // (multiple of 32), so there is no tail.
+  int64_t total = 0;
+  __m256i acc = _mm256_setzero_si256();
+  size_t pending = 0;
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m256i c16 = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i)));
+    const __m256i w16 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w_q + i));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(w16, c16));
+    if (++pending == 64) {
+      alignas(32) int32_t lanes[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+      for (int k = 0; k < 8; ++k) total += lanes[k];
+      acc = _mm256_setzero_si256();
+      pending = 0;
+    }
+  }
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  for (int k = 0; k < 8; ++k) total += lanes[k];
+  for (; i < dim; ++i) {
+    total += int64_t(w_q[i]) * int64_t(codes[i]);
+  }
+  return total;
+}
+
+const KernelTable kAvx2Table = {
+    &L1,
+    &L2Squared,
+    &L2SquaredWide,
+    &DotPairAndNormSq,
+    &LInf,
+    &ChiSquare,
+    &HellingerSquaredSum,
+    &HellingerSquaredSumFast,
+    &DotAndNormSq,
+    &MinAndMass,
+    &Mass,
+    &NormSquared,
+    &WidenToDouble,
+    &Int8WeightedCodeSum,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Table() { return &kAvx2Table; }
+
+}  // namespace cbix::simd::detail
+
+#else  // !(AVX2 && FMA && x86)
+
+namespace cbix::simd::detail {
+
+const KernelTable* Avx2Table() { return nullptr; }
+
+}  // namespace cbix::simd::detail
+
+#endif

@@ -1,0 +1,389 @@
+// AVX-512 dispatch tier (F+BW+DQ+VL), compiled with per-file arch
+// flags; guarded so other toolchains still link. The 8-double-lane
+// kernels map the reference's 8 accumulator lanes onto ONE zmm
+// register (lane k == scalar lane k) and unroll the stream 2x — two
+// sequential fmadds into the same accumulator visit elements j then
+// j+8 per lane, exactly the scalar order. Reduction and tail rules
+// match the AVX2 tier; see kernels_avx2.cc.
+#include "simd/dispatch.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__) && defined(__FMA__) &&                              \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+
+namespace cbix::simd::detail {
+namespace {
+
+inline __m512d Widen8(const float* p) {
+  return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+}
+
+inline double Reduce8(const __m512d acc, double tail0) {
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  lanes[0] += tail0;
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+inline void TailSqDiff(double av, double bv, double* acc) {
+  const double d = av - bv;
+  *acc += d * d;
+}
+
+inline void TailDot(double av, double bv, double* acc) { *acc += av * bv; }
+
+double L1(const float* a, const float* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc = _mm512_add_pd(
+        acc, _mm512_abs_pd(_mm512_sub_pd(Widen8(a + i), Widen8(b + i))));
+    acc = _mm512_add_pd(
+        acc,
+        _mm512_abs_pd(_mm512_sub_pd(Widen8(a + i + 8), Widen8(b + i + 8))));
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_abs_pd(_mm512_sub_pd(Widen8(a + i), Widen8(b + i))));
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    tail += std::fabs(double(a[i]) - double(b[i]));
+  }
+  return Reduce8(acc, tail);
+}
+
+double L2Squared(const float* a, const float* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512d d0 = _mm512_sub_pd(Widen8(a + i), Widen8(b + i));
+    const __m512d d1 = _mm512_sub_pd(Widen8(a + i + 8), Widen8(b + i + 8));
+    acc = _mm512_fmadd_pd(d0, d0, acc);
+    acc = _mm512_fmadd_pd(d1, d1, acc);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m512d d = _mm512_sub_pd(Widen8(a + i), Widen8(b + i));
+    acc = _mm512_fmadd_pd(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    TailSqDiff(double(a[i]), double(b[i]), &tail);
+  }
+  return Reduce8(acc, tail);
+}
+
+double L2SquaredWide(const double* a, const double* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    const __m512d d0 =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    const __m512d d1 =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i + 8), _mm512_loadu_pd(b + i + 8));
+    acc = _mm512_fmadd_pd(d0, d0, acc);
+    acc = _mm512_fmadd_pd(d1, d1, acc);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    const __m512d d =
+        _mm512_sub_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i));
+    acc = _mm512_fmadd_pd(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    TailSqDiff(a[i], b[i], &tail);
+  }
+  return Reduce8(acc, tail);
+}
+
+double LInf(const float* a, const float* b, size_t dim) {
+  __m512d mx = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    mx = _mm512_max_pd(
+        mx, _mm512_abs_pd(_mm512_sub_pd(Widen8(a + i), Widen8(b + i))));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, mx);
+  for (; i < dim; ++i) {
+    const double d = std::fabs(double(a[i]) - double(b[i]));
+    lanes[0] = lanes[0] < d ? d : lanes[0];
+  }
+  double m = lanes[0];
+  for (int k = 1; k < 8; ++k) m = m < lanes[k] ? lanes[k] : m;
+  return m;
+}
+
+double ChiSquare(const float* a, const float* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  const __m512d zero = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m512d av = Widen8(a + i);
+    const __m512d bv = Widen8(b + i);
+    const __m512d sum = _mm512_add_pd(av, bv);
+    const __m512d d = _mm512_sub_pd(av, bv);
+    // Masked divide: zero-mass lanes never execute the division, so
+    // the select semantics of the reference hold with no NaN traffic.
+    const __mmask8 pos = _mm512_cmp_pd_mask(sum, zero, _CMP_GT_OQ);
+    acc = _mm512_add_pd(
+        acc, _mm512_maskz_div_pd(pos, _mm512_mul_pd(d, d), sum));
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    const double sum = double(a[i]) + double(b[i]);
+    const double d = double(a[i]) - double(b[i]);
+    tail += sum > 0.0 ? d * d / sum : 0.0;
+  }
+  return 0.5 * Reduce8(acc, tail);
+}
+
+double HellingerSquaredSum(const float* a, const float* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 sa =
+        _mm256_sqrt_ps(_mm256_max_ps(zero, _mm256_loadu_ps(a + i)));
+    const __m256 sb =
+        _mm256_sqrt_ps(_mm256_max_ps(zero, _mm256_loadu_ps(b + i)));
+    const __m512d d = _mm512_cvtps_pd(_mm256_sub_ps(sa, sb));
+    acc = _mm512_fmadd_pd(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    const float d =
+        std::sqrt(std::max(0.0f, a[i])) - std::sqrt(std::max(0.0f, b[i]));
+    TailSqDiff(double(d), 0.0, &tail);
+  }
+  return Reduce8(acc, tail);
+}
+
+// rsqrt14 (|rel err| <= 2^-14) + one Newton step: the approximate sqrt
+// lands well inside the 1e-6 per-element bound the ApproxRank* paths
+// budget for. x == 0 lanes are masked to exactly 0.
+double HellingerSquaredSumFast(const float* a, const float* b, size_t dim) {
+  __m512d acc = _mm512_setzero_pd();
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 three_half = _mm256_set1_ps(1.5f);
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 xa = _mm256_max_ps(zero, _mm256_loadu_ps(a + i));
+    const __m256 xb = _mm256_max_ps(zero, _mm256_loadu_ps(b + i));
+    const __m256 ya = _mm256_rsqrt14_ps(xa);
+    const __m256 yb = _mm256_rsqrt14_ps(xb);
+    const __m256 ra = _mm256_mul_ps(
+        ya, _mm256_fnmadd_ps(_mm256_mul_ps(half, xa),
+                             _mm256_mul_ps(ya, ya), three_half));
+    const __m256 rb = _mm256_mul_ps(
+        yb, _mm256_fnmadd_ps(_mm256_mul_ps(half, xb),
+                             _mm256_mul_ps(yb, yb), three_half));
+    const __mmask8 pa = _mm256_cmp_ps_mask(xa, zero, _CMP_GT_OQ);
+    const __mmask8 pb = _mm256_cmp_ps_mask(xb, zero, _CMP_GT_OQ);
+    const __m256 sa = _mm256_maskz_mul_ps(pa, xa, ra);
+    const __m256 sb = _mm256_maskz_mul_ps(pb, xb, rb);
+    const __m512d d = _mm512_cvtps_pd(_mm256_sub_ps(sa, sb));
+    acc = _mm512_fmadd_pd(d, d, acc);
+  }
+  double tail = 0.0;
+  for (; i < dim; ++i) {
+    const float d =
+        std::sqrt(std::max(0.0f, a[i])) - std::sqrt(std::max(0.0f, b[i]));
+    TailSqDiff(double(d), 0.0, &tail);
+  }
+  return Reduce8(acc, tail);
+}
+
+void DotAndNormSq(const float* a, const float* b, size_t dim, double* dot,
+                  double* norm_b_sq) {
+  __m512d d_acc = _mm512_setzero_pd();
+  __m512d n_acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m512d av = Widen8(a + i);
+    const __m512d bv = Widen8(b + i);
+    d_acc = _mm512_fmadd_pd(av, bv, d_acc);
+    n_acc = _mm512_fmadd_pd(bv, bv, n_acc);
+  }
+  alignas(64) double dl[8];
+  alignas(64) double nl[8];
+  _mm512_store_pd(dl, d_acc);
+  _mm512_store_pd(nl, n_acc);
+  for (; i < dim; ++i) {
+    TailDot(double(a[i]), double(b[i]), &dl[0]);
+    TailDot(double(b[i]), double(b[i]), &nl[0]);
+  }
+  *dot = ((dl[0] + dl[1]) + (dl[2] + dl[3])) + ((dl[4] + dl[5]) + (dl[6] + dl[7]));
+  *norm_b_sq =
+      ((nl[0] + nl[1]) + (nl[2] + nl[3])) + ((nl[4] + nl[5]) + (nl[6] + nl[7]));
+}
+
+void DotPairAndNormSq(const float* qa, const float* qb, const float* r,
+                      size_t dim, double* dot_a, double* dot_b,
+                      double* norm_r_sq) {
+  // Identical per-query op sequence to DotAndNormSq above, so pair ==
+  // two single calls bitwise within this tier.
+  __m512d da_acc = _mm512_setzero_pd();
+  __m512d db_acc = _mm512_setzero_pd();
+  __m512d n_acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m512d av = Widen8(qa + i);
+    const __m512d bv = Widen8(qb + i);
+    const __m512d rv = Widen8(r + i);
+    da_acc = _mm512_fmadd_pd(av, rv, da_acc);
+    db_acc = _mm512_fmadd_pd(bv, rv, db_acc);
+    n_acc = _mm512_fmadd_pd(rv, rv, n_acc);
+  }
+  alignas(64) double dal[8];
+  alignas(64) double dbl[8];
+  alignas(64) double nl[8];
+  _mm512_store_pd(dal, da_acc);
+  _mm512_store_pd(dbl, db_acc);
+  _mm512_store_pd(nl, n_acc);
+  for (; i < dim; ++i) {
+    TailDot(double(qa[i]), double(r[i]), &dal[0]);
+    TailDot(double(qb[i]), double(r[i]), &dbl[0]);
+    TailDot(double(r[i]), double(r[i]), &nl[0]);
+  }
+  *dot_a = ((dal[0] + dal[1]) + (dal[2] + dal[3])) +
+           ((dal[4] + dal[5]) + (dal[6] + dal[7]));
+  *dot_b = ((dbl[0] + dbl[1]) + (dbl[2] + dbl[3])) +
+           ((dbl[4] + dbl[5]) + (dbl[6] + dbl[7]));
+  *norm_r_sq =
+      ((nl[0] + nl[1]) + (nl[2] + nl[3])) + ((nl[4] + nl[5]) + (nl[6] + nl[7]));
+}
+
+void MinAndMass(const float* a, const float* b, size_t dim, double* inter,
+                double* mass_b) {
+  __m512d i_acc = _mm512_setzero_pd();
+  __m512d m_acc = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= dim; i += 8) {
+    const __m256 a8 = _mm256_loadu_ps(a + i);
+    const __m256 b8 = _mm256_loadu_ps(b + i);
+    i_acc = _mm512_add_pd(i_acc, _mm512_cvtps_pd(_mm256_min_ps(b8, a8)));
+    m_acc = _mm512_add_pd(m_acc, _mm512_cvtps_pd(b8));
+  }
+  alignas(64) double il[8];
+  alignas(64) double ml[8];
+  _mm512_store_pd(il, i_acc);
+  _mm512_store_pd(ml, m_acc);
+  for (; i < dim; ++i) {
+    il[0] += double(a[i] < b[i] ? a[i] : b[i]);
+    ml[0] += double(b[i]);
+  }
+  *inter = ((il[0] + il[1]) + (il[2] + il[3])) + ((il[4] + il[5]) + (il[6] + il[7]));
+  *mass_b =
+      ((ml[0] + ml[1]) + (ml[2] + ml[3])) + ((ml[4] + ml[5]) + (ml[6] + ml[7]));
+}
+
+double Mass(const float* a, size_t dim) {
+  // 4 lanes = 1 ymm, matching the scalar structure exactly; pure
+  // double adds, so this tier is bit-identical to the reference.
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_cvtps_pd(_mm_loadu_ps(a + i)));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < dim; ++i) lanes[0] += double(a[i]);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double NormSquared(const float* a, size_t dim) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    const __m256d av = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    acc = _mm256_fmadd_pd(av, av, acc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  for (; i < dim; ++i) {
+    TailDot(double(a[i]), double(a[i]), &lanes[0]);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+void WidenToDouble(const float* src, size_t count, double* dst) {
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    _mm512_storeu_pd(dst + i, Widen8(src + i));
+  }
+  for (; i < count; ++i) dst[i] = double(src[i]);
+}
+
+int64_t Int8WeightedCodeSum(const int16_t* w_q, const uint8_t* codes,
+                            size_t dim) {
+  // 32 codes per iteration: u8 -> i16 zero-extend into a zmm,
+  // vpmaddwd against the int16 weights, accumulate in i32 lanes and
+  // drain to int64 every <= 64 iterations (same overflow budget as the
+  // AVX2 tier). `dim` is the zero-padded stride (multiple of 32).
+  int64_t total = 0;
+  __m512i acc = _mm512_setzero_si512();
+  size_t pending = 0;
+  size_t i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m512i c16 = _mm512_cvtepu8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i)));
+    const __m512i w16 =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(w_q + i));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(w16, c16));
+    if (++pending == 64) {
+      alignas(64) int32_t lanes[16];
+      _mm512_store_si512(reinterpret_cast<void*>(lanes), acc);
+      for (int k = 0; k < 16; ++k) total += lanes[k];
+      acc = _mm512_setzero_si512();
+      pending = 0;
+    }
+  }
+  alignas(64) int32_t lanes[16];
+  _mm512_store_si512(reinterpret_cast<void*>(lanes), acc);
+  for (int k = 0; k < 16; ++k) total += lanes[k];
+  for (; i < dim; ++i) {
+    total += int64_t(w_q[i]) * int64_t(codes[i]);
+  }
+  return total;
+}
+
+const KernelTable kAvx512Table = {
+    &L1,
+    &L2Squared,
+    &L2SquaredWide,
+    &DotPairAndNormSq,
+    &LInf,
+    &ChiSquare,
+    &HellingerSquaredSum,
+    &HellingerSquaredSumFast,
+    &DotAndNormSq,
+    &MinAndMass,
+    &Mass,
+    &NormSquared,
+    &WidenToDouble,
+    &Int8WeightedCodeSum,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Table() { return &kAvx512Table; }
+
+}  // namespace cbix::simd::detail
+
+#else  // !(AVX-512 F/BW/DQ/VL && FMA && x86)
+
+namespace cbix::simd::detail {
+
+const KernelTable* Avx512Table() { return nullptr; }
+
+}  // namespace cbix::simd::detail
+
+#endif

@@ -1,0 +1,34 @@
+// Scalar dispatch tier: the generic reference bodies, compiled with
+// the build's default flags. In a portable (CBIX_NATIVE_ARCH=OFF)
+// build this is the baseline-codegen fallback every host can run; in a
+// native build the TU inherits -march=native like the rest of the
+// library, so tier labels are only "clean" in portable builds — which
+// is the configuration the dispatch subsystem exists for.
+#include "simd/dispatch.h"
+#include "simd/generic_kernels.h"
+
+namespace cbix::simd::detail {
+namespace {
+
+const KernelTable kScalarTable = {
+    &generic::L1,
+    &generic::L2Squared,
+    &generic::L2SquaredWide,
+    &generic::DotPairAndNormSq,
+    &generic::LInf,
+    &generic::ChiSquare,
+    &generic::HellingerSquaredSum,
+    &generic::HellingerSquaredSumFast,
+    &generic::DotAndNormSq,
+    &generic::MinAndMass,
+    &generic::Mass,
+    &generic::NormSquared,
+    &generic::WidenToDouble,
+    &generic::Int8WeightedCodeSum,
+};
+
+}  // namespace
+
+const KernelTable* ScalarTable() { return &kScalarTable; }
+
+}  // namespace cbix::simd::detail

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -29,6 +30,7 @@
 #include "index/query_block.h"
 #include "index/top_k.h"
 #include "quant/quantized_store.h"
+#include "simd/dispatch.h"
 #include "util/random.h"
 
 namespace {
@@ -219,6 +221,65 @@ TEST(AllocationGuardTest, WarmTopKCollectorAcceptPathIsAllocationFree) {
   }
   EXPECT_EQ(allocs, 0u);
   EXPECT_EQ(out.size(), kK);
+}
+
+TEST(AllocationGuardTest, SimdDispatchSelectionAndKernelsAllocationFree) {
+  // The tier selection (env parse + CPUID probe) and every dispatched
+  // kernel run on stack operands must allocate nothing — the kernels
+  // sit under the hot paths the other tests in this file measure.
+  const simd::KernelTable& table = simd::ActiveKernels();
+  constexpr size_t kN = 64;
+  float a[kN], b[kN];
+  double wa[kN], wb[kN], widened[kN];
+  int16_t w_q[kN];
+  uint8_t codes[kN];
+  Rng rng(7);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = static_cast<float>(rng.NextDouble());
+    b[i] = static_cast<float>(rng.NextDouble());
+    wa[i] = a[i];
+    wb[i] = b[i];
+    w_q[i] = static_cast<int16_t>(i * 31 % 200 - 100);
+    codes[i] = static_cast<uint8_t>(i * 17);
+  }
+
+  double sink = 0.0;
+  uint64_t allocs = 0;
+  {
+    AllocationGuard guard;
+    for (int round = 0; round < 4; ++round) {
+      sink += static_cast<double>(simd::ResolveTier("avx2"));
+      sink += static_cast<double>(simd::ResolveTier("not-a-tier"));
+      sink += static_cast<double>(simd::BestSupportedTier());
+      const simd::KernelTable& t = simd::ActiveKernels();
+      sink += t.l1(a, b, kN);
+      sink += t.l2_squared(a, b, kN);
+      sink += t.l2_squared_wide(wa, wb, kN);
+      sink += t.linf(a, b, kN);
+      sink += t.chi_square(a, b, kN);
+      sink += t.hellinger_squared_sum(a, b, kN);
+      sink += t.hellinger_squared_sum_fast(a, b, kN);
+      sink += t.mass(a, kN);
+      sink += t.norm_squared(a, kN);
+      double x = 0.0, y = 0.0, z = 0.0;
+      t.dot_and_norm_sq(a, b, kN, &x, &y);
+      sink += x + y;
+      t.min_and_mass(a, b, kN, &x, &y);
+      sink += x + y;
+      t.dot_pair_and_norm_sq(a, b, b, kN, &x, &y, &z);
+      sink += x + y + z;
+      t.widen_to_double(a, kN, widened);
+      sink += widened[kN - 1];
+      sink += static_cast<double>(t.int8_weighted_code_sum(w_q, codes, kN));
+    }
+    allocs = guard.allocations();
+  }
+  EXPECT_EQ(allocs, 0u) << "dispatch selection or kernel call allocated";
+  // The process-wide selection ran exactly once regardless of how many
+  // call sites (this test included) touched ActiveKernels().
+  EXPECT_EQ(simd::detail::InitCount(), 1);
+  EXPECT_TRUE(std::isfinite(sink));
+  EXPECT_EQ(&table, &simd::ActiveKernels());
 }
 
 TEST(AllocGuardSearchBatch, LinearScan) {

@@ -242,6 +242,22 @@ TEST(MultiLaneKernels, ChiSquareAndHellingerMatchScalarAcrossDims) {
   }
 }
 
+TEST(MultiLaneKernels, LInfMatchesScalarAcrossDims) {
+  // max is associative and commutative, so the 8-lane kernel must be
+  // *bit-identical* to the sequential reference on every dimension
+  // (all lane-count remainders 0..7 plus multi-pass lengths).
+  for (size_t dim = 0; dim <= 40; ++dim) {
+    const std::vector<Vec> rows = RandomRows(2, dim == 0 ? 1 : dim, dim + 7);
+    const float* a = rows[0].data();
+    const float* b = rows[1].data();
+    double ref = 0.0;
+    for (size_t i = 0; i < dim; ++i) {
+      ref = std::max(ref, std::fabs(static_cast<double>(a[i]) - b[i]));
+    }
+    EXPECT_EQ(kernels::LInf(a, b, dim), ref) << dim;
+  }
+}
+
 TEST(TiledKernels, BitIdenticalToSingleQueryKernels) {
   for (size_t dim : {1u, 7u, 8u, 9u, 16u, 33u, 257u}) {
     const std::vector<Vec> rows = RandomRows(3, dim, 17 * dim);

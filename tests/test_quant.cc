@@ -138,6 +138,107 @@ TEST(Int8Matrix, AsymmetricDotMatchesScalarReference) {
   }
 }
 
+TEST(Int8Matrix, IntegerL2ScanWithinDocumentedAbsoluteBound) {
+  const FeatureMatrix data = ClusteredMatrix(150, 27);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  const std::vector<Vec> queries = PerturbedQueries(data, 8);
+  std::vector<float> centered(data.dim());
+  std::vector<int16_t> w_q(q.stride());
+  std::vector<double> got(data.count());
+  for (const Vec& query : queries) {
+    q.CenterQuery(query.data(), centered.data());
+    double qc_norm_sq = 0.0;
+    for (size_t j = 0; j < data.dim(); ++j) {
+      qc_norm_sq += static_cast<double>(centered[j]) * centered[j];
+    }
+    double w_step = -1.0;
+    q.PrepareL2ScanQuery(centered.data(), w_q.data(), &w_step);
+    ASSERT_GE(w_step, 0.0);
+    for (size_t j = data.dim(); j < q.stride(); ++j) {
+      ASSERT_EQ(w_q[j], 0) << "padding weight not zeroed";
+    }
+    q.AsymmetricL2SquaredIntBatch(w_q.data(), w_step, qc_norm_sq, 0,
+                                  data.count(), got.data());
+    for (size_t i = 0; i < data.count(); ++i) {
+      // Exact-weight double reference of the same algebra the integer
+      // scan approximates: |q_c|^2 + sum (s c)^2 - sum 2 q_c s c,
+      // built straight from the codes (exact in double).
+      const uint8_t* codes = q.row(i);
+      double t = 0.0, cross = 0.0;
+      for (size_t j = 0; j < data.dim(); ++j) {
+        const double sc = static_cast<double>(q.scales()[j]) * codes[j];
+        t += sc * sc;
+        cross += 2.0 * static_cast<double>(centered[j]) * sc;
+      }
+      const double ref = qc_norm_sq + t - cross;
+      // Weight-rounding bound plus the float storage of the row term.
+      const double bound = q.ScanKeyAbsoluteError(w_step) + t * 1e-6 + 1e-9;
+      EXPECT_LE(std::fabs(got[i] - ref), bound) << "row " << i;
+    }
+  }
+}
+
+TEST(Int8Matrix, IntegerDotScanWithinDocumentedAbsoluteBound) {
+  const FeatureMatrix data = ClusteredMatrix(100, 33);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  const std::vector<Vec> queries = PerturbedQueries(data, 4);
+  std::vector<int16_t> w_q(q.stride());
+  std::vector<double> got(data.count());
+  for (const Vec& query : queries) {
+    double q_dot_offset = 0.0;
+    for (size_t j = 0; j < data.dim(); ++j) {
+      q_dot_offset += static_cast<double>(query[j]) * q.offsets()[j];
+    }
+    double w_step = -1.0;
+    q.PrepareDotScanQuery(query.data(), w_q.data(), &w_step);
+    q.AsymmetricDotIntBatch(w_q.data(), w_step, q_dot_offset, 0,
+                            data.count(), got.data());
+    for (size_t i = 0; i < data.count(); ++i) {
+      // Exact-weight reference from the codes: q_dot_offset +
+      // sum q s c, so the only deviation left is weight rounding.
+      const uint8_t* codes = q.row(i);
+      double ref = q_dot_offset;
+      for (size_t j = 0; j < data.dim(); ++j) {
+        ref += static_cast<double>(query[j]) * q.scales()[j] * codes[j];
+      }
+      EXPECT_LE(std::fabs(got[i] - ref),
+                q.ScanKeyAbsoluteError(w_step) + 1e-9)
+          << "row " << i;
+    }
+  }
+}
+
+TEST(Int8Matrix, IntegerScanSurvivesSerializeRoundTrip) {
+  // row_t_/max_code_mass_ are derived and not serialized; Deserialize
+  // must recompute them so the integer scan gives identical keys.
+  const FeatureMatrix data = ClusteredMatrix(80, 21);
+  const Int8Matrix q = Int8Matrix::Quantize(data);
+  BinaryWriter writer;
+  q.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  Int8Matrix restored;
+  ASSERT_TRUE(restored.Deserialize(&reader).ok());
+
+  const Vec query = PerturbedQueries(data, 1)[0];
+  std::vector<float> centered(data.dim());
+  q.CenterQuery(query.data(), centered.data());
+  double qc_norm_sq = 0.0;
+  for (size_t j = 0; j < data.dim(); ++j) {
+    qc_norm_sq += static_cast<double>(centered[j]) * centered[j];
+  }
+  std::vector<int16_t> w_q(q.stride());
+  double w_step = 0.0;
+  q.PrepareL2ScanQuery(centered.data(), w_q.data(), &w_step);
+  std::vector<double> want(data.count()), got(data.count());
+  q.AsymmetricL2SquaredIntBatch(w_q.data(), w_step, qc_norm_sq, 0,
+                                data.count(), want.data());
+  restored.AsymmetricL2SquaredIntBatch(w_q.data(), w_step, qc_norm_sq, 0,
+                                       data.count(), got.data());
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(restored.ScanKeyAbsoluteError(w_step),
+            q.ScanKeyAbsoluteError(w_step));
+}
+
 TEST(Int8Matrix, DequantizeBlockMatchesRowwise) {
   const FeatureMatrix data = ClusteredMatrix(70, 13);
   const Int8Matrix q = Int8Matrix::Quantize(data);

@@ -1,0 +1,297 @@
+// SIMD dispatch suite: every ISA tier compiled into this binary and
+// supported by the host must (a) agree with the scalar reference table
+// within the documented exactness contract — bit-identical for LInf,
+// Mass, WidenToDouble and Int8WeightedCodeSum, FMA-contraction-close
+// for the accumulating kernels, within the mass-derived rsqrt bound
+// for the fast Hellinger kernel — and (b) produce *bit-identical rank
+// orderings* against a corpus (ordering is what the rerank-protected
+// scans actually consume). The resolver must never select a tier the
+// host cannot execute, no matter what CBIX_FORCE_ISA says, and the
+// process-wide table must initialize exactly once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "simd/dispatch.h"
+#include "util/random.h"
+
+namespace cbix {
+namespace {
+
+using simd::IsaTier;
+using simd::KernelTable;
+
+constexpr IsaTier kAllTiers[] = {IsaTier::kScalar, IsaTier::kAvx2,
+                                 IsaTier::kAvx512, IsaTier::kNeon};
+
+/// Tiers this binary can actually execute here and now.
+std::vector<IsaTier> RunnableTiers() {
+  std::vector<IsaTier> out;
+  for (IsaTier tier : kAllTiers) {
+    if (simd::TierCompiled(tier) && simd::TierSupported(tier)) {
+      out.push_back(tier);
+    }
+  }
+  return out;
+}
+
+std::vector<float> RandomFloats(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (auto& x : out) {
+    const double u = rng.NextDouble();
+    // Non-negative with exact zeros: valid histogram input for the
+    // divide/sqrt kernels, and the zero-mass branches get exercised.
+    x = u < 0.1 ? 0.0f : static_cast<float>(u);
+  }
+  return out;
+}
+
+/// Relative-tolerance comparison for the accumulating kernels: across
+/// tiers only FMA contraction and lane-count differences may move the
+/// result, both far below 1e-9 relative at these dimensions.
+void ExpectClose(double got, double want, const char* what, size_t dim) {
+  EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want)))
+      << what << " dim=" << dim;
+}
+
+TEST(SimdDispatch, EveryRunnableTierMatchesScalarContract) {
+  const KernelTable* scalar = simd::TableForTier(IsaTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+
+  for (IsaTier tier : RunnableTiers()) {
+    const KernelTable* t = simd::TableForTier(tier);
+    ASSERT_NE(t, nullptr) << simd::TierName(tier);
+    SCOPED_TRACE(simd::TierName(tier));
+
+    // All lane remainders 0..7 twice over, plus multi-register strides.
+    for (size_t dim : {0u,  1u,  2u,  3u,  5u,  7u,  8u,  9u,   13u,
+                       15u, 16u, 17u, 23u, 31u, 32u, 33u, 100u, 257u}) {
+      const std::vector<float> a = RandomFloats(dim, 11 * dim + 1);
+      const std::vector<float> b = RandomFloats(dim, 13 * dim + 2);
+
+      ExpectClose(t->l1(a.data(), b.data(), dim),
+                  scalar->l1(a.data(), b.data(), dim), "l1", dim);
+      ExpectClose(t->l2_squared(a.data(), b.data(), dim),
+                  scalar->l2_squared(a.data(), b.data(), dim), "l2", dim);
+      ExpectClose(t->chi_square(a.data(), b.data(), dim),
+                  scalar->chi_square(a.data(), b.data(), dim), "chi", dim);
+      ExpectClose(t->hellinger_squared_sum(a.data(), b.data(), dim),
+                  scalar->hellinger_squared_sum(a.data(), b.data(), dim),
+                  "hellinger", dim);
+      ExpectClose(t->norm_squared(a.data(), dim),
+                  scalar->norm_squared(a.data(), dim), "norm_sq", dim);
+
+      // Bit-identical by construction on every tier.
+      EXPECT_EQ(t->linf(a.data(), b.data(), dim),
+                scalar->linf(a.data(), b.data(), dim))
+          << "linf dim=" << dim;
+      EXPECT_EQ(t->mass(a.data(), dim), scalar->mass(a.data(), dim))
+          << "mass dim=" << dim;
+      std::vector<double> wide_got(dim + 1, -1.0), wide_want(dim + 1, -1.0);
+      t->widen_to_double(a.data(), dim, wide_got.data());
+      scalar->widen_to_double(a.data(), dim, wide_want.data());
+      EXPECT_EQ(wide_got, wide_want) << "widen dim=" << dim;
+
+      // Pair kernels agree with scalar within tolerance...
+      double dot_a = 0.0, dot_b = 0.0, norm_r = 0.0;
+      double ref_dot = 0.0, ref_norm = 0.0;
+      t->dot_and_norm_sq(a.data(), b.data(), dim, &dot_a, &norm_r);
+      scalar->dot_and_norm_sq(a.data(), b.data(), dim, &ref_dot, &ref_norm);
+      ExpectClose(dot_a, ref_dot, "dot", dim);
+      ExpectClose(norm_r, ref_norm, "dot_norm", dim);
+      t->min_and_mass(a.data(), b.data(), dim, &dot_a, &norm_r);
+      scalar->min_and_mass(a.data(), b.data(), dim, &ref_dot, &ref_norm);
+      ExpectClose(dot_a, ref_dot, "min", dim);
+      ExpectClose(norm_r, ref_norm, "min_mass", dim);
+
+      // ...and the fused pair kernel is bit-identical to two single
+      // calls WITHIN the tier (the within-build contract RankBlock
+      // tests rely on).
+      double pair_a = 0.0, pair_b = 0.0, pair_norm = 0.0;
+      t->dot_pair_and_norm_sq(a.data(), b.data(), a.data(), dim, &pair_a,
+                              &pair_b, &pair_norm);
+      double one_dot = 0.0, one_norm = 0.0;
+      t->dot_and_norm_sq(a.data(), a.data(), dim, &one_dot, &one_norm);
+      EXPECT_EQ(pair_a, one_dot) << "pair[0] dim=" << dim;
+      EXPECT_EQ(pair_norm, one_norm) << "pair norm dim=" << dim;
+      t->dot_and_norm_sq(b.data(), a.data(), dim, &one_dot, &one_norm);
+      EXPECT_EQ(pair_b, one_dot) << "pair[1] dim=" << dim;
+
+      // Wide L2 must be bit-identical to float L2 within the tier
+      // (operand widening is exact).
+      const std::vector<double> wa(a.begin(), a.end());
+      const std::vector<double> wb(b.begin(), b.end());
+      EXPECT_EQ(t->l2_squared_wide(wa.data(), wb.data(), dim),
+                t->l2_squared(a.data(), b.data(), dim))
+          << "wide dim=" << dim;
+    }
+  }
+}
+
+TEST(SimdDispatch, Int8WeightedCodeSumBitIdenticalAcrossTiers) {
+  const KernelTable* scalar = simd::TableForTier(IsaTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  Rng rng(99);
+  for (size_t n : {0u, 1u, 15u, 16u, 17u, 64u, 100u, 256u, 1000u, 4096u}) {
+    std::vector<int16_t> w_q(n);
+    std::vector<uint8_t> codes(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Full-range weights and codes: the drain cadence of the integer
+      // kernels must never overflow an i32 lane.
+      w_q[i] = static_cast<int16_t>(rng.NextBelow(65535) - 32767);
+      codes[i] = static_cast<uint8_t>(rng.NextBelow(256));
+    }
+    const int64_t want =
+        scalar->int8_weighted_code_sum(w_q.data(), codes.data(), n);
+    for (IsaTier tier : RunnableTiers()) {
+      const int64_t got = simd::TableForTier(tier)->int8_weighted_code_sum(
+          w_q.data(), codes.data(), n);
+      EXPECT_EQ(got, want) << simd::TierName(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdDispatch, FastHellingerWithinMassDerivedBoundAndExactTail) {
+  // Per-element relative sqrt error of the rsqrt+Newton kernel is
+  // <= eps = 1e-6 (documented in dispatch.h). Expanding the squared
+  // sum, the key error is bounded by 2*eps*sqrt(2*(Ma+Mb)*key) +
+  // 2*eps^2*(Ma+Mb), with Ma/Mb the histogram masses.
+  constexpr double kEps = 1e-6;
+  for (IsaTier tier : RunnableTiers()) {
+    const KernelTable* t = simd::TableForTier(tier);
+    SCOPED_TRACE(simd::TierName(tier));
+    for (size_t dim : {1u, 7u, 8u, 16u, 33u, 128u, 257u}) {
+      const std::vector<float> a = RandomFloats(dim, 3 * dim + 5);
+      // Near-duplicate row: tiny exact keys against large masses is
+      // exactly where a sloppy approximate kernel would betray the
+      // bound.
+      std::vector<float> b = a;
+      if (dim > 2) b[dim / 2] += 0.25f;
+
+      const float* const others[] = {b.data(), a.data()};
+      for (const float* other : others) {
+        const double exact = t->hellinger_squared_sum(a.data(), other, dim);
+        const double fast =
+            t->hellinger_squared_sum_fast(a.data(), other, dim);
+        const double masses =
+            t->mass(a.data(), dim) + t->mass(other, dim);
+        const double bound = 2.0 * kEps * std::sqrt(2.0 * masses * exact) +
+                             2.0 * kEps * kEps * masses;
+        EXPECT_GE(fast, 0.0) << "dim=" << dim;
+        EXPECT_LE(std::fabs(fast - exact), bound) << "dim=" << dim;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, RankOrderingsBitIdenticalAcrossTiers) {
+  // Order a 400-row corpus by each ordering kernel's keys on every
+  // runnable tier; the resulting id permutation must match the scalar
+  // tier exactly. Random rows keep key gaps far above the ~1e-16 FMA
+  // contraction, so identical orderings are the *expected* outcome,
+  // not a coin flip.
+  const KernelTable* scalar = simd::TableForTier(IsaTier::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  constexpr size_t kRows = 400;
+  constexpr size_t kDim = 48;
+  const std::vector<float> corpus = RandomFloats(kRows * kDim, 1234);
+  const std::vector<float> q = RandomFloats(kDim, 4321);
+
+  using KeyFn = double (*)(const float*, const float*, size_t);
+  const auto order_by = [&](KeyFn fn) {
+    std::vector<double> keys(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      keys[i] = fn(q.data(), corpus.data() + i * kDim, kDim);
+    }
+    std::vector<uint32_t> ids(kRows);
+    std::iota(ids.begin(), ids.end(), 0u);
+    std::sort(ids.begin(), ids.end(), [&](uint32_t x, uint32_t y) {
+      return keys[x] != keys[y] ? keys[x] < keys[y] : x < y;
+    });
+    return ids;
+  };
+
+  for (IsaTier tier : RunnableTiers()) {
+    const KernelTable* t = simd::TableForTier(tier);
+    SCOPED_TRACE(simd::TierName(tier));
+    EXPECT_EQ(order_by(t->l1), order_by(scalar->l1));
+    EXPECT_EQ(order_by(t->l2_squared), order_by(scalar->l2_squared));
+    EXPECT_EQ(order_by(t->linf), order_by(scalar->linf));
+    EXPECT_EQ(order_by(t->chi_square), order_by(scalar->chi_square));
+    EXPECT_EQ(order_by(t->hellinger_squared_sum),
+              order_by(scalar->hellinger_squared_sum));
+    // The fast Hellinger kernel must reproduce the EXACT scalar
+    // ordering here too: random-row key gaps dwarf the 1e-6 bound.
+    EXPECT_EQ(order_by(t->hellinger_squared_sum_fast),
+              order_by(scalar->hellinger_squared_sum));
+  }
+}
+
+TEST(SimdDispatch, ResolverNeverSelectsAnUnrunnableTier) {
+  const IsaTier best = simd::BestSupportedTier();
+  EXPECT_TRUE(simd::TierCompiled(best));
+  EXPECT_TRUE(simd::TierSupported(best));
+
+  const char* const forces[] = {"scalar", "avx2", "avx512", "neon",
+                                "garbage", "AVX2", "", nullptr};
+  for (const char* force : forces) {
+    const IsaTier got = simd::ResolveTier(force);
+    SCOPED_TRACE(force == nullptr ? "(null)" : force);
+    // Whatever was asked for, the result is always executable here.
+    EXPECT_TRUE(simd::TierCompiled(got));
+    EXPECT_TRUE(simd::TierSupported(got));
+    if (force != nullptr && std::string(force) == simd::TierName(got)) {
+      continue;  // honored a runnable forced tier
+    }
+    // Anything else — unknown, wrong case, empty, null, or a known
+    // tier this build/host can't run — falls back to the best tier.
+    EXPECT_EQ(got, best);
+  }
+
+  // A forced tier that IS runnable must be honored exactly, even when
+  // a better one exists (that's the whole point of the override).
+  for (IsaTier tier : RunnableTiers()) {
+    EXPECT_EQ(simd::ResolveTier(simd::TierName(tier)), tier);
+  }
+}
+
+TEST(SimdDispatch, TableInitializesExactlyOnceAndIsStable) {
+  const KernelTable& first = simd::ActiveKernels();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(&simd::ActiveKernels(), &first);
+  }
+  EXPECT_EQ(simd::detail::InitCount(), 1);
+  // The active table is the one the active tier names, and the active
+  // tier is executable.
+  EXPECT_EQ(simd::TableForTier(simd::ActiveTier()), &first);
+  EXPECT_TRUE(simd::TierCompiled(simd::ActiveTier()));
+  EXPECT_TRUE(simd::TierSupported(simd::ActiveTier()));
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  for (IsaTier tier : kAllTiers) {
+    const std::string name = simd::TierName(tier);
+    EXPECT_FALSE(name.empty());
+    if (simd::TierCompiled(tier) && simd::TierSupported(tier)) {
+      EXPECT_EQ(simd::ResolveTier(name.c_str()), tier) << name;
+    }
+  }
+  // Exactly one of the per-TU tables backs each compiled tier.
+  EXPECT_NE(simd::detail::ScalarTable(), nullptr);
+  EXPECT_EQ(simd::TierCompiled(IsaTier::kAvx2),
+            simd::detail::Avx2Table() != nullptr);
+  EXPECT_EQ(simd::TierCompiled(IsaTier::kAvx512),
+            simd::detail::Avx512Table() != nullptr);
+  EXPECT_EQ(simd::TierCompiled(IsaTier::kNeon),
+            simd::detail::NeonTable() != nullptr);
+}
+
+}  // namespace
+}  // namespace cbix

@@ -17,6 +17,9 @@ they are *project* rules, not C++ rules:
                         RankBatch kernels or the TopKCollector accept
                         path (receivers named tls_* are the sanctioned
                         warmed-scratch idiom)
+  simd-kernel-purity    src/simd kernel TUs are pure functions over raw
+                        pointers: no allocation of any kind, no Status,
+                        no virtual dispatch
   searchbatch-cancel    every SearchBatchImpl definition references the
                         CancellationToken (the serving runtime's
                         cooperative-deadline seam must not be dropped
@@ -379,6 +382,36 @@ def check_hot_path_alloc(path, raw_lines, code, code_lines):
             out.append((base + body.count("\n", 0, m.start()),
                         "local container constructed inside hot-path "
                         "%s()" % name))
+    return out
+
+
+# ---- simd-kernel-purity ---------------------------------------------------
+
+
+@rule("simd-kernel-purity", scopes=("src/simd/",))
+def check_simd_kernel_purity(path, raw_lines, code, code_lines):
+    """src/simd stays pure: no allocation, no Status, no virtual."""
+    out = []
+    for i, line in enumerate(code_lines, start=1):
+        if ALLOC_CALL_RE.search(line):
+            out.append((i, "heap allocation in a SIMD kernel TU — "
+                           "kernels take raw pointers and never "
+                           "allocate (no tls_* exemption here)"))
+        for m in GROWTH_RE.finditer(line):
+            out.append((i, "%s.%s() may allocate — SIMD kernel TUs hold "
+                           "no containers at all"
+                           % (m.group(1), m.group(2))))
+        if LOCAL_CONTAINER_RE.search(line):
+            out.append((i, "container constructed in a SIMD kernel TU — "
+                           "operands arrive as raw pointers"))
+        if re.search(r"\bStatus\b", line):
+            out.append((i, "Status in a SIMD kernel TU — kernels are "
+                           "infallible pure functions; validate at the "
+                           "dispatch boundary instead"))
+        if re.search(r"\bvirtual\b", line):
+            out.append((i, "virtual in a SIMD kernel TU — dispatch is "
+                           "one indirect call through the resolved "
+                           "KernelTable, never a vtable"))
     return out
 
 

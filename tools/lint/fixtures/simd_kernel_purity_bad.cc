@@ -1,0 +1,31 @@
+// Fixture: every impurity class a SIMD kernel TU could smuggle in must
+// be flagged (simd-kernel-purity): allocation (even the tls_ idiom the
+// hot-path rule sanctions elsewhere), local containers, Status, and
+// virtual dispatch.
+#include <cstddef>
+#include <vector>
+
+namespace cbix {
+class Status;
+
+struct KernelBase {
+  virtual double Run(const float* a, size_t n) = 0;  // finding: virtual
+};
+
+double L2SquaredFixture(const float* a, const float* b, size_t n) {
+  std::vector<double> lanes(8);  // finding: local container
+  static thread_local std::vector<double> tls_scratch;
+  tls_scratch.resize(n);  // finding: no tls_* exemption in kernels
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    s += d * d + lanes[0] + tls_scratch[i];
+  }
+  double* spill = new double[n];  // finding: naked new
+  delete[] spill;
+  return s;
+}
+
+Status* ValidateFixture();  // finding: Status on a kernel surface
+
+}  // namespace cbix

@@ -1,0 +1,25 @@
+// Fixture: the sanctioned kernel shape — a pure function over raw
+// pointers with fixed-size stack lanes — must not be flagged
+// (simd-kernel-purity).
+#include <cstddef>
+
+namespace cbix {
+
+double L2SquaredFixture(const float* a, const float* b, size_t n) {
+  double lanes[8] = {0.0};
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t j = 0; j < 8; ++j) {
+      const double d = static_cast<double>(a[i + j]) - b[i + j];
+      lanes[j] += d * d;
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    lanes[0] += d * d;
+  }
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+}  // namespace cbix

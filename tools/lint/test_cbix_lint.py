@@ -27,6 +27,7 @@ RULE_FIXTURES = {
     "release_assert": "release-assert",
     "status_public_api": "status-public-api",
     "hot_path_alloc": "hot-path-alloc",
+    "simd_kernel_purity": "simd-kernel-purity",
     "searchbatch_cancel": "searchbatch-cancel",
     "obs_relaxed_atomics": "obs-relaxed-atomics",
     "rowview_ownership": "rowview-ownership",
